@@ -1,0 +1,46 @@
+//! Baseline random-walk systems (paper §6.1).
+//!
+//! Every baseline implements [`flexi_core::WalkEngine`], so the benchmark
+//! harness can iterate Table 2 uniformly. The engines implement the
+//! sampling strategy the paper attributes to each system:
+//!
+//! | System | Platform | Sampling |
+//! |---|---|---|
+//! | SOWalker | CPU (out-of-core) | RJS (unweighted) + ITS |
+//! | ThunderRW | CPU (in-memory) | RJS (unweighted Node2Vec) + ITS |
+//! | KnightKing | CPU (distributed) | RJS with exact max (dynamic) |
+//! | C-SAW | GPU | ITS (prefix sum + binary search) |
+//! | NextDoor | GPU | RJS with exact max reduction |
+//! | Skywalker | GPU | ALS (alias table per step) |
+//! | FlowWalker | GPU | RVS (prefix-sum reservoir) |
+//!
+//! GPU baselines run on the same simulator as FlexiWalker, so measured
+//! differences isolate the algorithmic deltas the paper claims (per-step
+//! table builds, max reductions, prefix sums). CPU baselines run the real
+//! scalar algorithms with an abstract cycle model ([`cpu::CpuSpec`]).
+
+pub mod cpu;
+pub mod gpu;
+
+pub use cpu::{CpuSpec, KnightKingCpu, SoWalkerCpu, ThunderRwCpu};
+pub use gpu::{CSawGpu, FlowWalkerGpu, GpuBaselineKind, NextDoorGpu, SkywalkerGpu};
+
+/// All GPU baselines, boxed behind the engine trait.
+pub fn gpu_baselines(
+    spec: flexi_gpu_sim::DeviceSpec,
+) -> Vec<Box<dyn flexi_core::WalkEngine>> {
+    vec![
+        Box::new(CSawGpu::new(spec.clone())),
+        Box::new(NextDoorGpu::new(spec.clone())),
+        Box::new(SkywalkerGpu::new(spec.clone())),
+        Box::new(FlowWalkerGpu::new(spec)),
+    ]
+}
+
+/// All CPU baselines, boxed behind the engine trait.
+pub fn cpu_baselines() -> Vec<Box<dyn flexi_core::WalkEngine>> {
+    vec![
+        Box::new(SoWalkerCpu::new(CpuSpec::epyc_9124p())),
+        Box::new(ThunderRwCpu::new(CpuSpec::epyc_9124p())),
+    ]
+}

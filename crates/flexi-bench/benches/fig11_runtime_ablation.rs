@@ -1,0 +1,36 @@
+//! Fig. 11 wall-clock bench: runtime-component ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexi_baselines::FlowWalkerGpu;
+use flexi_bench::harness::{config_for, dataset, device_for, queries, Profile, WeightSetup};
+use flexi_core::{FlexiWalkerEngine, Node2Vec, SelectionStrategy, WalkEngine};
+
+fn bench(c: &mut Criterion) {
+    let p = Profile::test();
+    let g = dataset(&p, "YT", WeightSetup::Uniform, false);
+    let qs = queries(&g, &p);
+    let mut cfg = config_for(&p, "YT", &g, qs.len());
+    cfg.time_budget = f64::MAX;
+    let spec = device_for("YT", &g);
+    let w = Node2Vec::paper(true);
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    let fw = FlowWalkerGpu::new(spec.clone());
+    group.bench_function("FlowWalker", |b| {
+        b.iter(|| fw.run(&g, &w, &qs, &cfg).expect("run"));
+    });
+    for (label, strategy) in [
+        ("eRVS-only", SelectionStrategy::RvsOnly),
+        ("eRJS-only", SelectionStrategy::RjsOnly),
+        ("adaptive", SelectionStrategy::CostModel),
+    ] {
+        let engine = FlexiWalkerEngine::with_strategy(spec.clone(), strategy);
+        group.bench_function(label, |b| {
+            b.iter(|| engine.run(&g, &w, &qs, &cfg).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 15 wall-clock bench: multi-device execution, 1 vs 4 devices.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexi_bench::harness::{config_for, dataset, device_for, queries, Profile, WeightSetup};
+use flexi_core::multi_device::MultiDeviceEngine;
+use flexi_core::{Node2Vec, WalkEngine};
+
+fn bench(c: &mut Criterion) {
+    let p = Profile::test();
+    let g = dataset(&p, "EU", WeightSetup::Uniform, false);
+    let qs = queries(&g, &p);
+    let mut cfg = config_for(&p, "EU", &g, qs.len());
+    cfg.time_budget = f64::MAX;
+    let spec = device_for("EU", &g);
+    let w = Node2Vec::paper(true);
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    for devices in [1usize, 4] {
+        let engine = MultiDeviceEngine::new(spec.clone(), devices);
+        group.bench_function(format!("{devices}gpu"), |b| {
+            b.iter(|| engine.run(&g, &w, &qs, &cfg).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 2 wall-clock bench: the full engine roster on weighted Node2Vec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexi_baselines::{
+    CSawGpu, CpuSpec, FlowWalkerGpu, NextDoorGpu, SkywalkerGpu, SoWalkerCpu, ThunderRwCpu,
+};
+use flexi_bench::harness::{config_for, dataset, device_for, queries, Profile, WeightSetup};
+use flexi_core::{FlexiWalkerEngine, Node2Vec, WalkEngine};
+
+fn bench(c: &mut Criterion) {
+    let p = Profile::test();
+    let g = dataset(&p, "CP", WeightSetup::Uniform, false);
+    let qs = queries(&g, &p);
+    let mut cfg = config_for(&p, "CP", &g, qs.len());
+    cfg.time_budget = f64::MAX;
+    let spec = device_for("CP", &g);
+    let w = Node2Vec::paper(true);
+    let engines: Vec<Box<dyn WalkEngine>> = vec![
+        Box::new(SoWalkerCpu::new(CpuSpec::epyc_9124p())),
+        Box::new(ThunderRwCpu::new(CpuSpec::epyc_9124p())),
+        Box::new(CSawGpu::new(spec.clone())),
+        Box::new(NextDoorGpu::new(spec.clone())),
+        Box::new(SkywalkerGpu::new(spec.clone())),
+        Box::new(FlowWalkerGpu::new(spec.clone())),
+        Box::new(FlexiWalkerEngine::new(spec)),
+    ];
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for e in &engines {
+        group.bench_function(e.name(), |b| {
+            b.iter(|| e.run(&g, &w, &qs, &cfg).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

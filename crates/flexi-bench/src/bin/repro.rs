@@ -1,0 +1,98 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment>... [--full] [--quick] [--shrink N] [--queries N]
+//! repro all [--full]
+//! repro list
+//! ```
+
+use flexi_bench::experiments::{run_experiment, ALL_IDS};
+use flexi_bench::Profile;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let mut profile = Profile::quick();
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => profile = Profile::full(),
+            "--quick" => profile = Profile::quick(),
+            "--shrink" => {
+                i += 1;
+                profile.shrink = parse_num(&args, i, "--shrink");
+            }
+            "--queries" => {
+                i += 1;
+                profile.query_budget = parse_num(&args, i, "--queries");
+            }
+            "--steps" => {
+                i += 1;
+                profile.steps = parse_num(&args, i, "--steps");
+            }
+            "list" => {
+                for id in ALL_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    ids.dedup();
+    println!(
+        "# FlexiWalker reproduction (shrink {}, {} queries, {} steps, {} host threads)\n",
+        profile.shrink, profile.query_budget, profile.steps, profile.host_threads
+    );
+    for id in &ids {
+        let start = Instant::now();
+        match run_experiment(id, &profile) {
+            Some(tables) => {
+                for t in tables {
+                    println!("{}", t.render());
+                }
+                println!(
+                    "({id} regenerated in {:.1}s wall time)\n",
+                    start.elapsed().as_secs_f64()
+                );
+            }
+            None => {
+                eprintln!("unknown experiment {id:?}; `repro list` shows valid ids");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    args.get(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} requires a numeric argument");
+            std::process::exit(2);
+        })
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: repro <experiment>... [--full|--quick] [--shrink N] [--queries N] [--steps N]\n\
+         experiments: {} | all | list",
+        ALL_IDS.join(" | ")
+    );
+}

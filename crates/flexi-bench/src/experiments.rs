@@ -1,0 +1,822 @@
+//! One function per paper artifact (see `DESIGN.md` §4 for the index).
+//!
+//! Every function returns printable [`Table`]s whose *shape* — who wins,
+//! by roughly what factor, where crossovers fall — mirrors the paper's
+//! figure or table. Absolute values are simulated milliseconds at proxy
+//! scale, extrapolated to the paper's one-query-per-node convention.
+
+use crate::harness::{
+    config_for, dataset, device_for, extrapolate_ms, geomean, queries, run, Outcome, Profile,
+    Table, WeightSetup,
+};
+use flexi_baselines::{
+    CSawGpu, CpuSpec, FlowWalkerGpu, KnightKingCpu, NextDoorGpu, SkywalkerGpu, SoWalkerCpu,
+    ThunderRwCpu,
+};
+use flexi_core::energy::energy_of;
+use flexi_core::multi_device::MultiDeviceEngine;
+use flexi_core::{
+    DynamicWalk, FlexiWalkerEngine, MetaPath, Node2Vec, SecondOrderPr, SelectionStrategy,
+    WalkEngine, WalkState,
+};
+use flexi_graph::stats::{coefficient_of_variation, histogram};
+use flexi_sampling::kernels::ErvsMode;
+
+/// All experiment ids `repro` accepts.
+pub const ALL_IDS: [&str; 14] = [
+    "fig3", "fig7a", "fig7b", "table2", "fig10", "fig11", "fig12", "fig13", "fig14", "table3",
+    "fig15", "fig16", "int8", "ablation",
+];
+
+/// Dispatches an experiment by id.
+///
+/// Returns `None` for unknown ids.
+pub fn run_experiment(id: &str, p: &Profile) -> Option<Vec<Table>> {
+    Some(match id {
+        "fig3" => fig3(p),
+        "fig7a" => vec![fig7a(p)],
+        "fig7b" => vec![fig7b(p)],
+        "table2" => table2(p),
+        "fig10" => vec![fig10(p)],
+        "fig11" => vec![fig11(p)],
+        "fig12" => fig12(p),
+        "fig13" => vec![fig13(p)],
+        "fig14" => vec![fig14(p)],
+        "table3" => vec![table3(p)],
+        "fig15" => vec![fig15(p)],
+        "fig16" => fig16(p),
+        "int8" => vec![int8(p)],
+        "ablation" => ablation(p),
+        _ => return None,
+    })
+}
+
+const PARETO_ALPHAS: [f64; 6] = [1.0, 1.5, 2.0, 2.5, 3.0, 4.0];
+
+fn alpha_label(a: f64) -> String {
+    format!("a={a}")
+}
+
+/// Fig. 3: base sampling methods on (un)weighted Node2Vec, normalised to
+/// ITS (C-SAW). Expected shape: ITS/ALS slowest; RJS best unweighted; RVS
+/// best weighted.
+pub fn fig3(p: &Profile) -> Vec<Table> {
+    let datasets_list = ["YT", "CP", "OK", "EU"];
+    let mut tables = Vec::new();
+    for (weighted, title) in [(false, "unweighted Node2Vec"), (true, "weighted Node2Vec")] {
+        let mut t = Table::new(
+            "fig3",
+            format!("exec time normalised to ITS — {title}"),
+            vec![
+                "dataset".into(),
+                "ITS(C-SAW)".into(),
+                "ALS(Skywalker)".into(),
+                "RVS(FlowWalker)".into(),
+                "RJS(NextDoor)".into(),
+            ],
+        );
+        let w = Node2Vec::paper(weighted);
+        let setup = if weighted {
+            WeightSetup::Uniform
+        } else {
+            WeightSetup::Unweighted
+        };
+        for name in datasets_list {
+            let g = dataset(p, name, setup, false);
+            let qs = queries(&g, p);
+            let mut cfg = config_for(p, name, &g, qs.len());
+            cfg.time_budget = f64::MAX; // Fig. 3 reports all methods.
+            let spec = device_for(name, &g);
+            let outcomes: Vec<Outcome> = [
+                Box::new(CSawGpu::new(spec.clone())) as Box<dyn WalkEngine>,
+                Box::new(SkywalkerGpu::new(spec.clone())),
+                Box::new(FlowWalkerGpu::new(spec.clone())),
+                Box::new(NextDoorGpu::new(spec.clone())),
+            ]
+            .iter()
+            .map(|e| run(e.as_ref(), &g, &w, &qs, &cfg))
+            .collect();
+            let its = outcomes[0].ms().unwrap_or(f64::NAN);
+            let mut row = vec![name.to_string()];
+            for o in &outcomes {
+                row.push(match o.ms() {
+                    Some(ms) => format!("{:.2}", ms / its),
+                    None => o.to_string(),
+                });
+            }
+            t.push_row(row);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// Fig. 7a: eRVS vs eRJS sensitivity to weight skew on EU. Expected
+/// shape: eRVS flat; eRJS degrades sharply as α → 1.
+pub fn fig7a(p: &Profile) -> Table {
+    let mut t = Table::new(
+        "fig7a",
+        "eRVS/eRJS skew sensitivity, weighted Node2Vec on EU (ms)",
+        vec!["distribution".into(), "eRVS".into(), "eRJS".into()],
+    );
+    let w = Node2Vec::paper(true);
+    for alpha in PARETO_ALPHAS {
+        let g = dataset(p, "EU", WeightSetup::Pareto(alpha), false);
+        let qs = queries(&g, p);
+        let mut cfg = config_for(p, "EU", &g, qs.len());
+        cfg.time_budget = f64::MAX;
+        let spec = device_for("EU", &g);
+        let rvs = FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RvsOnly);
+        let rjs = FlexiWalkerEngine::with_strategy(spec, SelectionStrategy::RjsOnly);
+        t.push_row(vec![
+            alpha_label(alpha),
+            run(&rvs, &g, &w, &qs, &cfg).to_string(),
+            run(&rjs, &g, &w, &qs, &cfg).to_string(),
+        ]);
+    }
+    t
+}
+
+/// Fig. 7b: histogram of per-node coefficient of variation of the edge
+/// weight sum across sampling steps (2nd-order PageRank on EU). Expected
+/// shape: substantial mass at high CV — runtime weight variation is real.
+pub fn fig7b(p: &Profile) -> Table {
+    let g = dataset(p, "EU", WeightSetup::Uniform, false);
+    let qs = queries(&g, p);
+    let w = SecondOrderPr::paper();
+    let mut cfg = config_for(p, "EU", &g, qs.len());
+    cfg.record_paths = true;
+    cfg.time_budget = f64::MAX;
+    let engine = FlexiWalkerEngine::new(device_for("EU", &g));
+    let report = engine.run(&g, &w, &qs, &cfg).expect("walk succeeds");
+    // For every visited (node, prev) instance, record the node's dynamic
+    // weight sum; CV per node across instances.
+    let mut sums: std::collections::HashMap<u32, Vec<f64>> = std::collections::HashMap::new();
+    for path in report.paths.as_ref().expect("recorded") {
+        for (step, win) in path.windows(2).enumerate() {
+            let st = WalkState {
+                cur: win[1],
+                prev: Some(win[0]),
+                step: step + 1,
+            };
+            let total: f64 = g
+                .edge_range(st.cur)
+                .map(|e| f64::from(w.weight(&g, &st, e)))
+                .sum();
+            sums.entry(st.cur).or_default().push(total);
+        }
+    }
+    let cvs: Vec<f64> = sums
+        .values()
+        .filter(|v| v.len() >= 3)
+        .filter_map(|v| coefficient_of_variation(v))
+        .collect();
+    let bins = histogram(&cvs, 0.0, 80.0, 8);
+    let mut t = Table::new(
+        "fig7b",
+        "runtime weight variation: CV histogram (2nd PR on EU)",
+        vec!["cv_upper_bound".into(), "node_count".into()],
+    );
+    for (i, count) in bins.iter().enumerate() {
+        t.push_row(vec![format!("{}", (i + 1) * 10), count.to_string()]);
+    }
+    t
+}
+
+/// The Table 2 engine roster, in paper column order.
+fn table2_engines(spec: &flexi_gpu_sim::DeviceSpec) -> Vec<Box<dyn WalkEngine>> {
+    vec![
+        Box::new(SoWalkerCpu::new(CpuSpec::epyc_9124p())),
+        Box::new(ThunderRwCpu::new(CpuSpec::epyc_9124p())),
+        Box::new(CSawGpu::new(spec.clone())),
+        Box::new(NextDoorGpu::new(spec.clone())),
+        Box::new(SkywalkerGpu::new(spec.clone())),
+        Box::new(FlowWalkerGpu::new(spec.clone())),
+        Box::new(FlexiWalkerEngine::new(spec.clone())),
+    ]
+}
+
+/// Table 2: execution time of every system × workload × dataset under
+/// uniform property weights. Expected shape: FlexiWalker wins nearly
+/// everywhere; ITS/ALS systems hit OOT on weighted workloads at scale.
+pub fn table2(p: &Profile) -> Vec<Table> {
+    let workloads: Vec<(&str, Box<dyn DynamicWalk>, WeightSetup, bool)> = vec![
+        (
+            "unweighted Node2Vec",
+            Box::new(Node2Vec::paper(false)),
+            WeightSetup::Unweighted,
+            false,
+        ),
+        (
+            "weighted Node2Vec",
+            Box::new(Node2Vec::paper(true)),
+            WeightSetup::Uniform,
+            false,
+        ),
+        (
+            "unweighted MetaPath",
+            Box::new(MetaPath::paper(false)),
+            WeightSetup::Unweighted,
+            true,
+        ),
+        (
+            "weighted MetaPath",
+            Box::new(MetaPath::paper(true)),
+            WeightSetup::Uniform,
+            true,
+        ),
+        (
+            "2nd-order PageRank",
+            Box::new(SecondOrderPr::paper()),
+            WeightSetup::Uniform,
+            false,
+        ),
+    ];
+    let mut tables = Vec::new();
+    for (title, w, setup, labels) in &workloads {
+        let mut t = Table::new(
+            "table2",
+            format!("execution time (ms), uniform property weights — {title}"),
+            vec![
+                "dataset".into(),
+                "SOWalker".into(),
+                "ThunderRW".into(),
+                "C-SAW".into(),
+                "NextDoor".into(),
+                "Skywalker".into(),
+                "FlowWalker".into(),
+                "FlexiWalker".into(),
+            ],
+        );
+        for ds in flexi_graph::ALL_DATASETS.iter() {
+            let g = dataset(p, ds.name, *setup, *labels);
+            let qs = queries(&g, p);
+            let cfg = config_for(p, ds.name, &g, qs.len());
+            let spec = device_for(ds.name, &g);
+            let mut row = vec![ds.name.to_string()];
+            for engine in table2_engines(&spec) {
+                row.push(run(engine.as_ref(), &g, w.as_ref(), &qs, &cfg).to_string());
+            }
+            t.push_row(row);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// Fig. 10: power-law and degree-based property weights, NextDoor vs
+/// FlowWalker vs FlexiWalker. Expected shape: FlexiWalker tracks the
+/// better baseline everywhere; NextDoor collapses at low α.
+pub fn fig10(p: &Profile) -> Table {
+    let mut t = Table::new(
+        "fig10",
+        "power-law / degree-based weights, weighted Node2Vec (ms)",
+        vec![
+            "dataset/dist".into(),
+            "NextDoor".into(),
+            "FlowWalker".into(),
+            "FlexiWalker".into(),
+        ],
+    );
+    for name in ["YT", "EU", "SK"] {
+        let mut setups: Vec<(String, WeightSetup)> = PARETO_ALPHAS
+            .iter()
+            .map(|&a| (alpha_label(a), WeightSetup::Pareto(a)))
+            .collect();
+        setups.push(("degree".into(), WeightSetup::DegreeBased));
+        for (label, setup) in setups {
+            let g = dataset(p, name, setup, false);
+            let qs = queries(&g, p);
+            let cfg = config_for(p, name, &g, qs.len());
+            let spec = device_for(name, &g);
+            let w = Node2Vec::paper(true);
+            t.push_row(vec![
+                format!("{name} {label}"),
+                run(&NextDoorGpu::new(spec.clone()), &g, &w, &qs, &cfg).to_string(),
+                run(&FlowWalkerGpu::new(spec.clone()), &g, &w, &qs, &cfg).to_string(),
+                run(&FlexiWalkerEngine::new(spec), &g, &w, &qs, &cfg).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig. 11: runtime-component ablation. Expected shape: the adaptive
+/// engine tracks the better of eRJS-only/eRVS-only across skews; eRJS-only
+/// collapses at α = 1.
+pub fn fig11(p: &Profile) -> Table {
+    let mut t = Table::new(
+        "fig11",
+        "runtime component ablation, weighted Node2Vec (ms)",
+        vec![
+            "dataset/dist".into(),
+            "FlowWalker".into(),
+            "eRVS-only".into(),
+            "eRJS-only".into(),
+            "FlexiWalker".into(),
+        ],
+    );
+    for name in ["YT", "EU", "SK"] {
+        let mut setups: Vec<(String, WeightSetup)> = vec![("uniform".into(), WeightSetup::Uniform)];
+        setups.extend(
+            PARETO_ALPHAS
+                .iter()
+                .map(|&a| (alpha_label(a), WeightSetup::Pareto(a))),
+        );
+        for (label, setup) in setups {
+            let g = dataset(p, name, setup, false);
+            let qs = queries(&g, p);
+            let mut cfg = config_for(p, name, &g, qs.len());
+            cfg.time_budget = f64::MAX;
+            let spec = device_for(name, &g);
+            let w = Node2Vec::paper(true);
+            t.push_row(vec![
+                format!("{name} {label}"),
+                run(&FlowWalkerGpu::new(spec.clone()), &g, &w, &qs, &cfg).to_string(),
+                run(
+                    &FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RvsOnly),
+                    &g,
+                    &w,
+                    &qs,
+                    &cfg,
+                )
+                .to_string(),
+                run(
+                    &FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RjsOnly),
+                    &g,
+                    &w,
+                    &qs,
+                    &cfg,
+                )
+                .to_string(),
+                run(&FlexiWalkerEngine::new(spec), &g, &w, &qs, &cfg).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig. 12: kernel-level ablations for (a) eRVS stages and (b) eRJS bound
+/// estimation, under uniform and heavily skewed (α = 1) weights.
+pub fn fig12(p: &Profile) -> Vec<Table> {
+    let datasets_list = ["YT", "EU", "AB", "UK", "SK"];
+    let w = Node2Vec::paper(true);
+    let mut a = Table::new(
+        "fig12",
+        "(a) reservoir ablation: exec time normalised to FlowWalker",
+        vec![
+            "dataset/dist".into(),
+            "FlowWalker".into(),
+            "+EXP".into(),
+            "+JUMP".into(),
+        ],
+    );
+    let mut b = Table::new(
+        "fig12",
+        "(b) rejection ablation: NextDoor vs +Est.Max (ms)",
+        vec![
+            "dataset/dist".into(),
+            "NextDoor".into(),
+            "+Est.Max".into(),
+            "speedup".into(),
+        ],
+    );
+    for name in datasets_list {
+        for (label, setup) in [
+            ("uniform", WeightSetup::Uniform),
+            ("a=1", WeightSetup::Pareto(1.0)),
+        ] {
+            let g = dataset(p, name, setup, false);
+            let qs = queries(&g, p);
+            let mut cfg = config_for(p, name, &g, qs.len());
+            cfg.time_budget = f64::MAX;
+            let spec = device_for(name, &g);
+
+            // (a) FlowWalker → +EXP → +JUMP.
+            let fw = run(&FlowWalkerGpu::new(spec.clone()), &g, &w, &qs, &cfg);
+            let mut exp_engine =
+                FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RvsOnly);
+            exp_engine.ervs_mode = ErvsMode::Exp;
+            let exp = run(&exp_engine, &g, &w, &qs, &cfg);
+            let jump_engine =
+                FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RvsOnly);
+            let jump = run(&jump_engine, &g, &w, &qs, &cfg);
+            let base = fw.ms().unwrap_or(f64::NAN);
+            a.push_row(vec![
+                format!("{name} {label}"),
+                "1.00".into(),
+                exp.ms().map_or("-".into(), |m| format!("{:.2}", m / base)),
+                jump.ms().map_or("-".into(), |m| format!("{:.2}", m / base)),
+            ]);
+
+            // (b) NextDoor (exact max, transit-scattered) vs eRJS bound.
+            let nd = run(&NextDoorGpu::new(spec.clone()), &g, &w, &qs, &cfg);
+            let est = run(
+                &FlexiWalkerEngine::with_strategy(spec, SelectionStrategy::RjsOnly),
+                &g,
+                &w,
+                &qs,
+                &cfg,
+            );
+            let speedup = match (nd.ms(), est.ms()) {
+                (Some(x), Some(y)) if y > 0.0 => format!("{:.1}x", x / y),
+                _ => "-".into(),
+            };
+            b.push_row(vec![
+                format!("{name} {label}"),
+                nd.to_string(),
+                est.to_string(),
+                speedup,
+            ]);
+        }
+    }
+    vec![a, b]
+}
+
+/// Fig. 13: sampler-selection strategies (random / degree-based / cost
+/// model), speedup normalised to degree-based. Expected shape: cost model
+/// ≥ degree-based ≥ random.
+pub fn fig13(p: &Profile) -> Table {
+    let mut t = Table::new(
+        "fig13",
+        "selection strategy speedup vs degree-based, weighted Node2Vec",
+        vec![
+            "dataset".into(),
+            "Random".into(),
+            "Degree-based".into(),
+            "FlexiWalker".into(),
+        ],
+    );
+    let w = Node2Vec::paper(true);
+    for ds in flexi_graph::ALL_DATASETS.iter() {
+        let g = dataset(p, ds.name, WeightSetup::Uniform, false);
+        let qs = queries(&g, p);
+        let mut cfg = config_for(p, ds.name, &g, qs.len());
+        cfg.time_budget = f64::MAX;
+        let spec = device_for(ds.name, &g);
+        let strategies = [
+            SelectionStrategy::Random,
+            SelectionStrategy::paper_degree_baseline(),
+            SelectionStrategy::CostModel,
+        ];
+        let times: Vec<Option<f64>> = strategies
+            .iter()
+            .map(|s| {
+                run(
+                    &FlexiWalkerEngine::with_strategy(spec.clone(), *s),
+                    &g,
+                    &w,
+                    &qs,
+                    &cfg,
+                )
+                .ms()
+            })
+            .collect();
+        let base = times[1].unwrap_or(f64::NAN);
+        let mut row = vec![ds.name.to_string()];
+        for tm in &times {
+            row.push(tm.map_or("-".into(), |m| format!("{:.2}", base / m)));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Fig. 14: fraction of steps choosing each kernel across weight skews.
+/// Expected shape: eRJS share grows with α (less skew), eRVS dominates at
+/// α = 1.
+pub fn fig14(p: &Profile) -> Table {
+    let mut t = Table::new(
+        "fig14",
+        "chosen sampling method ratio (% of steps)",
+        vec![
+            "dataset/dist".into(),
+            "eRVS %".into(),
+            "eRJS %".into(),
+        ],
+    );
+    let w = Node2Vec::paper(true);
+    for name in ["YT", "EU", "SK"] {
+        for alpha in PARETO_ALPHAS {
+            let g = dataset(p, name, WeightSetup::Pareto(alpha), false);
+            let qs = queries(&g, p);
+            let mut cfg = config_for(p, name, &g, qs.len());
+            cfg.time_budget = f64::MAX;
+            let engine = FlexiWalkerEngine::new(device_for(name, &g));
+            let report = engine.run(&g, &w, &qs, &cfg).expect("run succeeds");
+            let total = (report.chosen_rjs + report.chosen_rvs).max(1) as f64;
+            t.push_row(vec![
+                format!("{name} {}", alpha_label(alpha)),
+                format!("{:.1}", report.chosen_rvs as f64 / total * 100.0),
+                format!("{:.1}", report.chosen_rjs as f64 / total * 100.0),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table 3: profiling and preprocessing overhead per dataset. Expected
+/// shape: overheads are a small percentage of execution time.
+pub fn table3(p: &Profile) -> Table {
+    let mut t = Table::new(
+        "table3",
+        "profile / preprocessing time (ms) and share of exec time",
+        vec![
+            "dataset".into(),
+            "profile".into(),
+            "preproc".into(),
+            "total".into(),
+            "% of exec".into(),
+        ],
+    );
+    let w = Node2Vec::paper(true);
+    for ds in flexi_graph::ALL_DATASETS.iter() {
+        let g = dataset(p, ds.name, WeightSetup::Uniform, false);
+        let qs = queries(&g, p);
+        let mut cfg = config_for(p, ds.name, &g, qs.len());
+        cfg.time_budget = f64::MAX;
+        let engine = FlexiWalkerEngine::new(device_for(ds.name, &g));
+        let report = engine.run(&g, &w, &qs, &cfg).expect("run succeeds");
+        let profile_ms = report.profile_seconds * 1e3;
+        let preproc_ms = report.preprocess_seconds * 1e3;
+        let exec_ms = extrapolate_ms(&report, &g, qs.len());
+        t.push_row(vec![
+            ds.name.to_string(),
+            format!("{profile_ms:.3}"),
+            format!("{preproc_ms:.3}"),
+            format!("{:.3}", profile_ms + preproc_ms),
+            format!("{:.2}", (profile_ms + preproc_ms) / exec_ms * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Fig. 15: multi-GPU scalability with hash-partitioned queries.
+/// Expected shape: near-linear speedup to 4 devices.
+pub fn fig15(p: &Profile) -> Table {
+    let mut t = Table::new(
+        "fig15",
+        "multi-GPU speedup vs 1 GPU, weighted Node2Vec",
+        vec![
+            "dataset".into(),
+            "1 GPU".into(),
+            "2 GPUs".into(),
+            "3 GPUs".into(),
+            "4 GPUs".into(),
+        ],
+    );
+    let w = Node2Vec::paper(true);
+    for name in ["FS", "EU", "AB", "TW", "SK"] {
+        let g = dataset(p, name, WeightSetup::Uniform, false);
+        let qs = queries(&g, p);
+        let mut cfg = config_for(p, name, &g, qs.len());
+        cfg.time_budget = f64::MAX;
+        let spec = device_for(name, &g);
+        let base = MultiDeviceEngine::new(spec.clone(), 1)
+            .run(&g, &w, &qs, &cfg)
+            .expect("run succeeds")
+            .saturated_seconds;
+        let mut row = vec![name.to_string()];
+        for d in 1..=4usize {
+            let secs = MultiDeviceEngine::new(spec.clone(), d)
+                .run(&g, &w, &qs, &cfg)
+                .expect("run succeeds")
+                .saturated_seconds;
+            row.push(format!("{:.2}", base / secs));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Fig. 16: energy efficiency (joules/query) and peak watts.
+/// Expected shape: FlexiWalker lowest J/query; CPU engines lowest watts
+/// but far more joules.
+pub fn fig16(p: &Profile) -> Vec<Table> {
+    let mut tj = Table::new(
+        "fig16",
+        "energy per query (J/query), weighted Node2Vec",
+        vec![
+            "dataset".into(),
+            "KnightKing".into(),
+            "ThunderRW".into(),
+            "FlowWalker".into(),
+            "FlexiWalker".into(),
+        ],
+    );
+    let mut tw = Table::new(
+        "fig16",
+        "peak power (W)",
+        vec![
+            "dataset".into(),
+            "KnightKing".into(),
+            "ThunderRW".into(),
+            "FlowWalker".into(),
+            "FlexiWalker".into(),
+        ],
+    );
+    let w = Node2Vec::paper(true);
+    for name in ["FS", "AB", "UK", "TW", "SK"] {
+        let g = dataset(p, name, WeightSetup::Uniform, false);
+        let qs = queries(&g, p);
+        let mut cfg = config_for(p, name, &g, qs.len());
+        cfg.time_budget = f64::MAX;
+        let spec = device_for(name, &g);
+        let engines: Vec<Box<dyn WalkEngine>> = vec![
+            Box::new(KnightKingCpu::new(CpuSpec::epyc_9124p())),
+            Box::new(ThunderRwCpu::new(CpuSpec::epyc_9124p())),
+            Box::new(FlowWalkerGpu::new(spec.clone())),
+            Box::new(FlexiWalkerEngine::new(spec)),
+        ];
+        let mut row_j = vec![name.to_string()];
+        let mut row_w = vec![name.to_string()];
+        for e in &engines {
+            match e.run(&g, &w, &qs, &cfg) {
+                Ok(report) => {
+                    let energy = energy_of(&report);
+                    row_j.push(format!("{:.3e}", energy.joules_per_query));
+                    row_w.push(format!("{:.0}", energy.max_watts));
+                }
+                Err(_) => {
+                    row_j.push("OOT".into());
+                    row_w.push("-".into());
+                }
+            }
+        }
+        tj.push_row(row_j);
+        tw.push_row(row_w);
+    }
+    vec![tj, tw]
+}
+
+/// §7.2: INT8 property weights — FlexiWalker vs FlowWalker with quantised
+/// weights. Expected shape: FlexiWalker keeps a large geomean speedup.
+pub fn int8(p: &Profile) -> Table {
+    let mut t = Table::new(
+        "int8",
+        "INT8 property weights, weighted Node2Vec (ms)",
+        vec![
+            "dataset".into(),
+            "FlowWalker".into(),
+            "FlexiWalker".into(),
+            "speedup".into(),
+        ],
+    );
+    let w = Node2Vec::paper(true);
+    let mut speedups = Vec::new();
+    for ds in flexi_graph::ALL_DATASETS.iter() {
+        let g = dataset(p, ds.name, WeightSetup::UniformInt8, false);
+        let qs = queries(&g, p);
+        let mut cfg = config_for(p, ds.name, &g, qs.len());
+        cfg.time_budget = f64::MAX;
+        let spec = device_for(ds.name, &g);
+        let fw = run(&FlowWalkerGpu::new(spec.clone()), &g, &w, &qs, &cfg);
+        let fx = run(&FlexiWalkerEngine::new(spec), &g, &w, &qs, &cfg);
+        let speedup = match (fw.ms(), fx.ms()) {
+            (Some(a), Some(b)) if b > 0.0 => {
+                speedups.push(a / b);
+                format!("{:.2}x", a / b)
+            }
+            _ => "-".into(),
+        };
+        t.push_row(vec![
+            ds.name.to_string(),
+            fw.to_string(),
+            fx.to_string(),
+            speedup,
+        ]);
+    }
+    if let Some(gm) = geomean(&speedups) {
+        t.push_row(vec![
+            "geomean".into(),
+            String::new(),
+            String::new(),
+            format!("{gm:.2}x"),
+        ]);
+    }
+    t
+}
+
+/// Design-choice ablations beyond the paper's figures (DESIGN.md §6):
+/// (a) sensitivity of the adaptive engine to the profiled cost ratio —
+/// how wrong can the profile be before selection quality degrades; and
+/// (b) profiling on/off — what the §5.1 kernels actually buy.
+pub fn ablation(p: &Profile) -> Vec<Table> {
+    let w = Node2Vec::paper(true);
+
+    // (a) Cost-ratio sweep on EU, uniform + skewed weights.
+    let mut a = Table::new(
+        "ablation",
+        "(a) cost-model ratio sensitivity on EU (ms; profiled value marked)",
+        vec![
+            "ratio".into(),
+            "uniform".into(),
+            "a=1.5".into(),
+        ],
+    );
+    let profiled = {
+        let g = dataset(p, "EU", WeightSetup::Uniform, false);
+        let device = flexi_gpu_sim::Device::new(device_for("EU", &g));
+        flexi_core::profile::run_profile(&device, &g, w.bytes_per_weight(&g), p.seed)
+            .edge_cost_ratio
+    };
+    for ratio in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+        let mut row = vec![if (ratio / profiled).max(profiled / ratio) < 1.5 {
+            format!("{ratio} (~profiled)")
+        } else {
+            format!("{ratio}")
+        }];
+        for setup in [WeightSetup::Uniform, WeightSetup::Pareto(1.5)] {
+            let g = dataset(p, "EU", setup, false);
+            let qs = queries(&g, p);
+            let mut cfg = config_for(p, "EU", &g, qs.len());
+            cfg.time_budget = f64::MAX;
+            let mut engine = FlexiWalkerEngine::new(device_for("EU", &g));
+            engine.skip_profile = true;
+            // Force the swept ratio by bypassing profiling: strategy stays
+            // CostModel with the default ratio replaced through a custom
+            // engine run per ratio.
+            let out = run_with_ratio(&engine, ratio, &g, &w, &qs, &cfg);
+            row.push(out.to_string());
+        }
+        a.push_row(row);
+    }
+
+    // (b) Profiling on/off across three datasets.
+    let mut b = Table::new(
+        "ablation",
+        "(b) profiling kernels on/off (ms)",
+        vec![
+            "dataset".into(),
+            "profiled".into(),
+            "default ratio".into(),
+        ],
+    );
+    for name in ["YT", "EU", "SK"] {
+        let g = dataset(p, name, WeightSetup::Uniform, false);
+        let qs = queries(&g, p);
+        let mut cfg = config_for(p, name, &g, qs.len());
+        cfg.time_budget = f64::MAX;
+        let on = FlexiWalkerEngine::new(device_for(name, &g));
+        let mut off = FlexiWalkerEngine::new(device_for(name, &g));
+        off.skip_profile = true;
+        b.push_row(vec![
+            name.to_string(),
+            run(&on, &g, &w, &qs, &cfg).to_string(),
+            run(&off, &g, &w, &qs, &cfg).to_string(),
+        ]);
+    }
+    vec![a, b]
+}
+
+/// Runs the engine with Eq. 11's ratio pinned to `ratio`.
+fn run_with_ratio(
+    engine: &FlexiWalkerEngine,
+    ratio: f64,
+    g: &flexi_graph::Csr,
+    w: &dyn DynamicWalk,
+    qs: &[flexi_graph::NodeId],
+    cfg: &flexi_core::WalkConfig,
+) -> Outcome {
+    let mut pinned = engine.clone();
+    pinned.cost_ratio_override = Some(ratio);
+    run(&pinned, g, w, qs, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7a_shows_ervs_flat_and_erjs_skew_sensitive() {
+        let p = Profile::test();
+        let t = fig7a(&p);
+        assert_eq!(t.rows.len(), PARETO_ALPHAS.len());
+        // eRJS at α=1 must be slower than eRJS at α=4.
+        let rjs_skewed = t.cell_f64(0, 2).expect("time");
+        let rjs_flat = t.cell_f64(t.rows.len() - 1, 2).expect("time");
+        assert!(
+            rjs_skewed > rjs_flat,
+            "eRJS should degrade with skew: α=1 {rjs_skewed} vs α=4 {rjs_flat}"
+        );
+    }
+
+    #[test]
+    fn fig14_erjs_share_grows_with_alpha() {
+        let p = Profile::test();
+        let t = fig14(&p);
+        // First 6 rows are YT across α = 1..4: eRJS% should not decrease
+        // dramatically; compare α=1 vs α=4.
+        let rjs_at_1 = t.cell_f64(0, 2).unwrap();
+        let rjs_at_4 = t.cell_f64(5, 2).unwrap();
+        assert!(
+            rjs_at_4 >= rjs_at_1,
+            "eRJS share should grow with α: {rjs_at_1} -> {rjs_at_4}"
+        );
+    }
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(run_experiment("fig99", &Profile::test()).is_none());
+    }
+}

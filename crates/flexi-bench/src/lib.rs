@@ -1,0 +1,18 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Two entry points share this library:
+//!
+//! - the `repro` binary (`cargo run -p flexi-bench --release --bin repro --
+//!   <experiment>`) prints each table/figure's rows;
+//! - the criterion benches (`cargo bench`) measure wall-clock time of the
+//!   same engine configurations at reduced scale.
+//!
+//! [`harness`] holds the shared machinery: run profiles, the dataset
+//! cache, VRAM/time-budget scaling (so OOM/OOT reproduce at proxy scale),
+//! and outcome formatting. [`experiments`] implements one function per
+//! paper artifact (`fig3`, `table2`, …) as indexed in `DESIGN.md` §4.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{Outcome, Profile, Table};

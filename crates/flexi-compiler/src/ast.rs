@@ -1,0 +1,242 @@
+//! Abstract syntax tree of the walk mini-language.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// Whether this operator yields a boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            Self::Eq | Self::Ne | Self::Lt | Self::Le | Self::Gt | Self::Ge | Self::And | Self::Or
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Variable reference.
+    Var(String),
+    /// Array indexing `array[index]`.
+    Index {
+        /// Array name (e.g. `h`, `label`, `deg`).
+        array: String,
+        /// Index expression (e.g. `edge`, `cur`, `prev`).
+        index: Box<Expr>,
+    },
+    /// Function call `name(args…)` (e.g. `linked(prev, post)`, `max(x, y)`).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Visits every sub-expression (pre-order).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Num(_) | Expr::Var(_) => {}
+            Expr::Index { index, .. } => index.visit(f),
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+            Expr::Unary { expr, .. } => expr.visit(f),
+        }
+    }
+
+    /// Pretty-prints the expression in C-like syntax.
+    pub fn to_source(&self) -> String {
+        match self {
+            Expr::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{n:.1}")
+                } else {
+                    format!("{n}")
+                }
+            }
+            Expr::Var(v) => v.clone(),
+            Expr::Index { array, index } => format!("{array}[{}]", index.to_source()),
+            Expr::Call { name, args } => {
+                let args: Vec<String> = args.iter().map(Expr::to_source).collect();
+                format!("{name}({})", args.join(", "))
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::And => "&&",
+                    BinOp::Or => "||",
+                };
+                format!("({} {sym} {})", lhs.to_source(), rhs.to_source())
+            }
+            Expr::Unary { op, expr } => match op {
+                UnOp::Neg => format!("(-{})", expr.to_source()),
+                UnOp::Not => format!("!{}", expr.to_source()),
+            },
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `name = expr;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Assigned expression.
+        value: Expr,
+    },
+    /// `if (cond) { … } else { … }` (else branch may be empty).
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Then-block.
+        then_branch: Vec<Stmt>,
+        /// Else-block.
+        else_branch: Vec<Stmt>,
+    },
+    /// `return expr;`
+    Return(Expr),
+    /// `while (cond) { … }` — parsed only so validation can reject it.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A parsed `get_weight` function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Function name (normally `get_weight`).
+    pub name: String,
+    /// Declared parameter names (informational).
+    pub params: Vec<String>,
+    /// Function body.
+    pub body: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visit_reaches_all_nodes() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Index {
+                array: "h".into(),
+                index: Box::new(Expr::Var("edge".into())),
+            }),
+            rhs: Box::new(Expr::Call {
+                name: "max".into(),
+                args: vec![Expr::Num(1.0), Expr::Var("a".into())],
+            }),
+        };
+        let mut count = 0;
+        e.visit(&mut |_| count += 1);
+        // Binary, Index, Var(edge), Call, Num, Var(a).
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn to_source_roundtrips_structure() {
+        let e = Expr::Binary {
+            op: BinOp::Div,
+            lhs: Box::new(Expr::Var("h_e".into())),
+            rhs: Box::new(Expr::Var("a".into())),
+        };
+        assert_eq!(e.to_source(), "(h_e / a)");
+        let idx = Expr::Index {
+            array: "h".into(),
+            index: Box::new(Expr::Var("edge".into())),
+        };
+        assert_eq!(idx.to_source(), "h[edge]");
+        let neg = Expr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(Expr::Var("x".into())),
+        };
+        assert_eq!(neg.to_source(), "!x");
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::And.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::Div.is_comparison());
+    }
+}

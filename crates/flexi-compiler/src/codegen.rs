@@ -1,0 +1,497 @@
+//! Estimator generation (the code generator of Fig. 9d).
+//!
+//! From the enumerated return paths this module emits:
+//!
+//! - the `preprocess()` reduction requests (`h_MAX[]`, `h_SUM[]` arrays);
+//! - `get_weight_max()` — per-edge indexed arrays rebound to their `_MAX`
+//!   aggregates, maximum over all path returns (the eRJS upper bound);
+//! - `get_weight_sum()` — arrays rebound to `_SUM` aggregates, *mean* over
+//!   path returns (Eq. 12's `Σw · E[h]` estimate), multiplied by the degree
+//!   when the kernel is `PER_KERNEL` (constant returns).
+//!
+//! The estimators are expression IRs evaluated against an
+//! [`EstimatorEnv`] supplied by the runtime; a pretty-printed C-like
+//! rendering is kept for inspection (`CompiledWalk::generated_source`).
+
+use crate::analysis::{fold, overall_granularity, BoundGranularity, PathInfo};
+use crate::ast::{Expr, Program, UnOp};
+
+/// Which per-node aggregate of an indexed array a preprocess pass computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// `array_MAX[v] = max over v's out-edges`.
+    Max,
+    /// `array_SUM[v] = sum over v's out-edges`.
+    Sum,
+}
+
+/// One preprocessing reduction the runtime must run before walking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreprocessRequest {
+    /// Array name in the user source (e.g. `h`).
+    pub array: String,
+    /// Aggregate kind.
+    pub kind: AggKind,
+}
+
+/// Runtime values the estimators read.
+///
+/// Implemented by `Flexi-Runtime`; the compiler only defines the interface.
+pub trait EstimatorEnv {
+    /// Per-node aggregate of an edge-indexed array at the current node
+    /// (e.g. `h_MAX[cur]`). `None` if the aggregate was not preprocessed.
+    fn edge_aggregate(&self, array: &str, kind: AggKind) -> Option<f64>;
+
+    /// A node-indexed runtime scalar such as `deg[cur]`, `deg[prev]`, or
+    /// `schema[step]`.
+    fn node_scalar(&self, array: &str, index: &str) -> Option<f64>;
+
+    /// A free runtime variable such as `step` or `deg` (current degree).
+    fn var(&self, name: &str) -> Option<f64>;
+}
+
+/// How an estimator combines its per-path values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combine {
+    /// Maximum over paths (bound estimation).
+    Max,
+    /// Mean over paths (weight-sum estimation, Eq. 12).
+    Mean,
+}
+
+/// A generated helper function (`get_weight_max` / `get_weight_sum`).
+#[derive(Debug, Clone)]
+pub struct Estimator {
+    /// One rebound expression per control-flow path.
+    pub exprs: Vec<Expr>,
+    /// Path-combination rule.
+    pub combine: Combine,
+    /// Multiply the combined value by the current degree (PER_KERNEL sum
+    /// helpers emulate the weight sum this way, Fig. 9d).
+    pub multiply_by_degree: bool,
+}
+
+impl Estimator {
+    /// Evaluates the estimator against `env`.
+    ///
+    /// Returns `None` if a referenced aggregate/scalar is unavailable.
+    pub fn eval(&self, env: &dyn EstimatorEnv) -> Option<f64> {
+        let mut acc: Option<f64> = None;
+        for e in &self.exprs {
+            let v = eval_expr(e, env)?;
+            acc = Some(match (acc, self.combine) {
+                (None, _) => v,
+                (Some(a), Combine::Max) => a.max(v),
+                (Some(a), Combine::Mean) => a + v,
+            });
+        }
+        let mut out = acc?;
+        if self.combine == Combine::Mean && !self.exprs.is_empty() {
+            out /= self.exprs.len() as f64;
+        }
+        if self.multiply_by_degree {
+            out *= env.var("deg")?;
+        }
+        Some(out)
+    }
+
+    /// Pretty-prints the estimator body in the Fig. 9d style.
+    pub fn to_source(&self, name: &str) -> String {
+        let mut s = format!("{name}(...) {{\n");
+        let (acc, op) = match self.combine {
+            Combine::Max => ("max_val", "max_val = max(max_val, {});"),
+            Combine::Mean => ("sum_val", "sum_val = sum_val + {};"),
+        };
+        for (i, e) in self.exprs.iter().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("    {acc} = {};\n", e.to_source()));
+            } else {
+                s.push_str(&format!("    {}\n", op.replacen("{}", &e.to_source(), 1)));
+            }
+        }
+        if self.combine == Combine::Mean && self.exprs.len() > 1 {
+            s.push_str(&format!("    sum_val = sum_val / {}.0;\n", self.exprs.len()));
+        }
+        if self.multiply_by_degree {
+            s.push_str(&format!("    {acc} = {acc} * deg[cur];\n"));
+        }
+        s.push_str(&format!("    return {acc};\n}}\n"));
+        s
+    }
+}
+
+/// A fully compiled walk: analysis table plus generated helpers.
+#[derive(Debug)]
+pub struct CompiledWalk {
+    /// The enumerated analysis result table.
+    pub paths: Vec<PathInfo>,
+    /// Kernel-wide bound granularity.
+    pub flag: BoundGranularity,
+    /// `get_weight_max()` helper.
+    pub max_estimator: Estimator,
+    /// `get_weight_sum()` helper.
+    pub sum_estimator: Estimator,
+    /// Reductions `preprocess()` must run.
+    pub preprocess: Vec<PreprocessRequest>,
+    /// Non-fatal analysis warnings.
+    pub warnings: Vec<String>,
+    /// Human-readable rendering of all generated code.
+    pub generated_source: String,
+}
+
+/// Generates estimators for the enumerated `paths`.
+///
+/// Returns `None` when some return expression cannot be bounded (unknown
+/// calls, boolean returns, …) — the caller falls back to eRVS-only mode.
+pub fn generate(
+    program: &Program,
+    paths: &[PathInfo],
+    _hyperparams: &[(String, f64)],
+) -> Option<CompiledWalk> {
+    let flag = overall_granularity(paths);
+    let mut preprocess = Vec::new();
+    let mut max_exprs = Vec::new();
+    let mut sum_exprs = Vec::new();
+    for p in paths {
+        let max_e = rebind(&p.return_expr, AggKind::Max, &mut preprocess)?;
+        let sum_e = rebind(&p.return_expr, AggKind::Sum, &mut Vec::new())?;
+        max_exprs.push(fold(&max_e));
+        sum_exprs.push(fold(&sum_e));
+    }
+    let max_estimator = Estimator {
+        exprs: max_exprs,
+        combine: Combine::Max,
+        multiply_by_degree: false,
+    };
+    let sum_estimator = Estimator {
+        exprs: sum_exprs,
+        combine: Combine::Mean,
+        multiply_by_degree: flag == BoundGranularity::PerKernel,
+    };
+    // Sum aggregates are also preprocessed for every max-preprocessed array.
+    let mut all_pre = Vec::new();
+    for r in &preprocess {
+        all_pre.push(r.clone());
+        all_pre.push(PreprocessRequest {
+            array: r.array.clone(),
+            kind: AggKind::Sum,
+        });
+    }
+    all_pre.dedup();
+    let generated_source = render_source(program, &all_pre, &max_estimator, &sum_estimator);
+    Some(CompiledWalk {
+        paths: paths.to_vec(),
+        flag,
+        max_estimator,
+        sum_estimator,
+        preprocess: all_pre,
+        warnings: Vec::new(),
+        generated_source,
+    })
+}
+
+/// Rebinds edge-indexed arrays to their aggregates and checks estimability.
+///
+/// - `array[edge]` → `array_MAX[cur]` / `array_SUM[cur]` (recorded in
+///   `preprocess`);
+/// - `array[other]` (node-indexed scalars) stays, resolved by the env;
+/// - `max`/`min`/`abs` calls stay;
+/// - anything else (unknown calls, comparisons, `!`) is not estimable.
+fn rebind(e: &Expr, kind: AggKind, preprocess: &mut Vec<PreprocessRequest>) -> Option<Expr> {
+    match e {
+        Expr::Num(n) => Some(Expr::Num(*n)),
+        // Free variables: runtime scalars (step, iter, deg) — allowed; the
+        // env resolves them at estimation time.
+        Expr::Var(v) => Some(Expr::Var(v.clone())),
+        Expr::Index { array, index } => {
+            if matches!(&**index, Expr::Var(v) if v == "edge") {
+                let req = PreprocessRequest {
+                    array: array.clone(),
+                    kind: AggKind::Max,
+                };
+                if !preprocess.contains(&req) {
+                    preprocess.push(req);
+                }
+                let suffix = match kind {
+                    AggKind::Max => "_MAX",
+                    AggKind::Sum => "_SUM",
+                };
+                Some(Expr::Index {
+                    array: format!("{array}{suffix}"),
+                    index: Box::new(Expr::Var("cur".into())),
+                })
+            } else {
+                // Node-indexed scalar (deg[cur], schema[step], ...).
+                Some(e.clone())
+            }
+        }
+        Expr::Call { name, args } => {
+            if !matches!(name.as_str(), "max" | "min" | "abs") {
+                return None;
+            }
+            let args: Option<Vec<Expr>> =
+                args.iter().map(|a| rebind(a, kind, preprocess)).collect();
+            Some(Expr::Call {
+                name: name.clone(),
+                args: args?,
+            })
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            if op.is_comparison() {
+                return None;
+            }
+            Some(Expr::Binary {
+                op: *op,
+                lhs: Box::new(rebind(lhs, kind, preprocess)?),
+                rhs: Box::new(rebind(rhs, kind, preprocess)?),
+            })
+        }
+        Expr::Unary { op, expr } => match op {
+            UnOp::Neg => Some(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(rebind(expr, kind, preprocess)?),
+            }),
+            UnOp::Not => None,
+        },
+    }
+}
+
+fn eval_expr(e: &Expr, env: &dyn EstimatorEnv) -> Option<f64> {
+    match e {
+        Expr::Num(n) => Some(*n),
+        Expr::Var(v) => env.var(v),
+        Expr::Index { array, index } => {
+            let idx_name = match &**index {
+                Expr::Var(v) => v.as_str(),
+                _ => return None,
+            };
+            if let Some(base) = array.strip_suffix("_MAX") {
+                env.edge_aggregate(base, AggKind::Max)
+            } else if let Some(base) = array.strip_suffix("_SUM") {
+                env.edge_aggregate(base, AggKind::Sum)
+            } else {
+                env.node_scalar(array, idx_name)
+            }
+        }
+        Expr::Call { name, args } => {
+            let vals: Option<Vec<f64>> = args.iter().map(|a| eval_expr(a, env)).collect();
+            let vals = vals?;
+            match (name.as_str(), vals.as_slice()) {
+                ("max", [a, b]) => Some(a.max(*b)),
+                ("min", [a, b]) => Some(a.min(*b)),
+                ("abs", [a]) => Some(a.abs()),
+                _ => None,
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = eval_expr(lhs, env)?;
+            let b = eval_expr(rhs, env)?;
+            use crate::ast::BinOp::*;
+            Some(match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                _ => return None,
+            })
+        }
+        Expr::Unary { op, expr } => match op {
+            UnOp::Neg => Some(-eval_expr(expr, env)?),
+            UnOp::Not => None,
+        },
+    }
+}
+
+fn render_source(
+    program: &Program,
+    preprocess: &[PreprocessRequest],
+    max_est: &Estimator,
+    sum_est: &Estimator,
+) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "// Generated by Flexi-Compiler from {}().\n",
+        program.name
+    ));
+    s.push_str("preprocess(...) {\n");
+    for r in preprocess {
+        let suffix = match r.kind {
+            AggKind::Max => "MAX",
+            AggKind::Sum => "SUM",
+        };
+        s.push_str(&format!(
+            "    allocate_and_reduce({}_{suffix});\n",
+            r.array
+        ));
+    }
+    s.push_str("}\n\n");
+    s.push_str(&max_est.to_source("get_weight_max"));
+    s.push('\n');
+    s.push_str(&sum_est.to_source("get_weight_sum"));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::enumerate_paths;
+    use crate::parser::parse_program;
+    use std::collections::HashMap;
+
+    struct TestEnv {
+        aggregates: HashMap<(String, &'static str), f64>,
+        scalars: HashMap<(String, String), f64>,
+        vars: HashMap<String, f64>,
+    }
+
+    impl TestEnv {
+        fn new() -> Self {
+            Self {
+                aggregates: HashMap::new(),
+                scalars: HashMap::new(),
+                vars: HashMap::new(),
+            }
+        }
+    }
+
+    impl EstimatorEnv for TestEnv {
+        fn edge_aggregate(&self, array: &str, kind: AggKind) -> Option<f64> {
+            let k = match kind {
+                AggKind::Max => "max",
+                AggKind::Sum => "sum",
+            };
+            self.aggregates.get(&(array.to_string(), k)).copied()
+        }
+        fn node_scalar(&self, array: &str, index: &str) -> Option<f64> {
+            self.scalars
+                .get(&(array.to_string(), index.to_string()))
+                .copied()
+        }
+        fn var(&self, name: &str) -> Option<f64> {
+            self.vars.get(name).copied()
+        }
+    }
+
+    fn compile_paths(src: &str, hyper: &[(&str, f64)]) -> CompiledWalk {
+        let p = parse_program(src).unwrap();
+        let hyper: Vec<(String, f64)> = hyper.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let paths = enumerate_paths(&p, &hyper).unwrap();
+        generate(&p, &paths, &hyper).expect("estimable")
+    }
+
+    const N2V: &str = r#"
+        get_weight() {
+            h_e = h[edge];
+            post = adj[edge];
+            if (post == prev) return h_e / a;
+            else if (linked(prev, post)) return h_e;
+            else return h_e / b;
+        }
+    "#;
+
+    #[test]
+    fn node2vec_max_estimator_matches_hand_derivation() {
+        let c = compile_paths(N2V, &[("a", 2.0), ("b", 0.5)]);
+        // max(h_MAX/2, h_MAX, h_MAX/0.5) with h_MAX = 7 → 14.
+        let mut env = TestEnv::new();
+        env.aggregates.insert(("h".into(), "max"), 7.0);
+        env.aggregates.insert(("h".into(), "sum"), 20.0);
+        assert_eq!(c.max_estimator.eval(&env), Some(14.0));
+    }
+
+    #[test]
+    fn node2vec_sum_estimator_is_mean_of_paths() {
+        let c = compile_paths(N2V, &[("a", 2.0), ("b", 0.5)]);
+        let mut env = TestEnv::new();
+        env.aggregates.insert(("h".into(), "max"), 7.0);
+        env.aggregates.insert(("h".into(), "sum"), 21.0);
+        // (21/2 + 21 + 21/0.5)/3 = (10.5 + 21 + 42)/3 = 24.5.
+        assert_eq!(c.sum_estimator.eval(&env), Some(24.5));
+    }
+
+    #[test]
+    fn node2vec_preprocess_requests_h_max_and_sum() {
+        let c = compile_paths(N2V, &[("a", 2.0), ("b", 0.5)]);
+        assert!(c.preprocess.contains(&PreprocessRequest {
+            array: "h".into(),
+            kind: AggKind::Max
+        }));
+        assert!(c.preprocess.contains(&PreprocessRequest {
+            array: "h".into(),
+            kind: AggKind::Sum
+        }));
+        assert_eq!(c.flag, BoundGranularity::PerStep);
+    }
+
+    #[test]
+    fn per_kernel_sum_multiplies_by_degree() {
+        let src = r#"
+            get_weight() {
+                post = adj[edge];
+                if (post == prev) return 1.0 / a;
+                else return 1.0;
+            }
+        "#;
+        let c = compile_paths(src, &[("a", 2.0)]);
+        assert_eq!(c.flag, BoundGranularity::PerKernel);
+        assert!(c.sum_estimator.multiply_by_degree);
+        let mut env = TestEnv::new();
+        env.vars.insert("deg".into(), 10.0);
+        // mean(0.5, 1.0) * 10 = 7.5.
+        assert_eq!(c.sum_estimator.eval(&env), Some(7.5));
+        // Max needs no runtime data at all.
+        assert_eq!(c.max_estimator.eval(&env), Some(1.0));
+    }
+
+    #[test]
+    fn node_scalars_resolve_through_env() {
+        let src = r#"
+            get_weight() {
+                maxd = max(deg[cur], deg[prev]);
+                h_e = h[edge];
+                if (linked(prev, post)) return (1.0 - g) / deg[cur] * maxd * h_e;
+                else return g / deg[cur] * maxd * h_e;
+            }
+        "#;
+        let c = compile_paths(src, &[("g", 0.2)]);
+        let mut env = TestEnv::new();
+        env.aggregates.insert(("h".into(), "max"), 2.0);
+        env.aggregates.insert(("h".into(), "sum"), 8.0);
+        env.scalars.insert(("deg".into(), "cur".into()), 4.0);
+        env.scalars.insert(("deg".into(), "prev".into()), 8.0);
+        // Path 1: 0.8/4*8*2 = 3.2; path 2: 0.2/4*8*2 = 0.8 → max 3.2.
+        let v = c.max_estimator.eval(&env).unwrap();
+        assert!((v - 3.2).abs() < 1e-9, "v = {v}");
+    }
+
+    #[test]
+    fn estimation_fails_gracefully_without_aggregates() {
+        let c = compile_paths(N2V, &[("a", 2.0), ("b", 0.5)]);
+        let env = TestEnv::new();
+        assert_eq!(c.max_estimator.eval(&env), None);
+    }
+
+    #[test]
+    fn boolean_returns_are_not_estimable() {
+        let p = parse_program("f() { return x == 1; }").unwrap();
+        let paths = enumerate_paths(&p, &[]).unwrap();
+        assert!(generate(&p, &paths, &[]).is_none());
+    }
+
+    #[test]
+    fn unknown_calls_in_returns_are_not_estimable() {
+        let p = parse_program("f() { return linked(prev, post); }").unwrap();
+        let paths = enumerate_paths(&p, &[]).unwrap();
+        assert!(generate(&p, &paths, &[]).is_none());
+    }
+
+    #[test]
+    fn generated_source_mentions_helpers() {
+        let c = compile_paths(N2V, &[("a", 2.0), ("b", 0.5)]);
+        assert!(c.generated_source.contains("preprocess"));
+        assert!(c.generated_source.contains("get_weight_max"));
+        assert!(c.generated_source.contains("get_weight_sum"));
+        assert!(c.generated_source.contains("h_MAX"));
+        assert!(c.generated_source.contains("h_SUM"));
+    }
+}

@@ -1,0 +1,411 @@
+//! Recursive-descent parser for the walk mini-language.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnOp};
+use crate::token::{lex, Tok};
+use crate::CompileError;
+
+/// Parses a full `name(params…) { body }` function definition.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on lexical or syntactic problems.
+pub fn parse_program(src: &str) -> Result<Program, CompileError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let program = p.program()?;
+    if p.pos != p.toks.len() {
+        return Err(CompileError::Parse(format!(
+            "trailing tokens after function body (at token {})",
+            p.pos
+        )));
+    }
+    Ok(program)
+}
+
+/// Parses a standalone expression (used by tests and estimator tooling).
+pub fn parse_expr(src: &str) -> Result<Expr, CompileError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(CompileError::Parse("trailing tokens after expression".into()));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), CompileError> {
+        match self.next() {
+            Some(ref got) if got == t => Ok(()),
+            got => Err(CompileError::Parse(format!(
+                "expected {what}, found {got:?}"
+            ))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, CompileError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            got => Err(CompileError::Parse(format!(
+                "expected {what}, found {got:?}"
+            ))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let name = self.ident("function name")?;
+        self.expect(&Tok::LParen, "'('")?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                // Accept `...` style "anything" by allowing bare idents only.
+                params.push(self.ident("parameter name")?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "')'")?;
+        let body = self.block()?;
+        Ok(Program { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return Err(CompileError::Parse("unterminated block".into()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.next(); // consume '}'
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek() {
+            Some(Tok::Return) => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(&Tok::Semi, "';' after return")?;
+                Ok(Stmt::Return(e))
+            }
+            Some(Tok::If) => self.if_stmt(),
+            Some(Tok::While) => {
+                self.next();
+                self.expect(&Tok::LParen, "'(' after while")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen, "')' after while condition")?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Some(Tok::Ident(_)) => {
+                let name = self.ident("assignment target")?;
+                self.expect(&Tok::Assign, "'=' in assignment")?;
+                let value = self.expr()?;
+                self.expect(&Tok::Semi, "';' after assignment")?;
+                Ok(Stmt::Assign { name, value })
+            }
+            got => Err(CompileError::Parse(format!(
+                "expected statement, found {got:?}"
+            ))),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.expect(&Tok::If, "'if'")?;
+        self.expect(&Tok::LParen, "'(' after if")?;
+        let cond = self.expr()?;
+        self.expect(&Tok::RParen, "')' after if condition")?;
+        let then_branch = self.block_or_single()?;
+        let else_branch = if self.peek() == Some(&Tok::Else) {
+            self.next();
+            if self.peek() == Some(&Tok::If) {
+                vec![self.if_stmt()?]
+            } else {
+                self.block_or_single()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
+    }
+
+    fn block_or_single(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.peek() == Some(&Tok::LBrace) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    // Precedence climbing: || < && < comparison < additive < multiplicative
+    // < unary < primary.
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&Tok::Or) {
+            self.next();
+            let rhs = self.and_expr()?;
+            lhs = bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == Some(&Tok::And) {
+            self.next();
+            let rhs = self.cmp_expr()?;
+            lhs = bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => BinOp::Eq,
+            Some(Tok::Ne) => BinOp::Ne,
+            Some(Tok::Lt) => BinOp::Lt,
+            Some(Tok::Le) => BinOp::Le,
+            Some(Tok::Gt) => BinOp::Gt,
+            Some(Tok::Ge) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.next();
+        let rhs = self.add_expr()?;
+        Ok(bin(op, lhs, rhs))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.mul_expr()?;
+            lhs = bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.unary_expr()?;
+            lhs = bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.next();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(e),
+                })
+            }
+            Some(Tok::Not) => {
+                self.next();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(e),
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => match self.peek() {
+                Some(Tok::LParen) => {
+                    self.next();
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.peek() == Some(&Tok::Comma) {
+                                self.next();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen, "')' after call arguments")?;
+                    Ok(Expr::Call { name, args })
+                }
+                Some(Tok::LBracket) => {
+                    self.next();
+                    let index = self.expr()?;
+                    self.expect(&Tok::RBracket, "']' after index")?;
+                    Ok(Expr::Index {
+                        array: name,
+                        index: Box::new(index),
+                    })
+                }
+                _ => Ok(Expr::Var(name)),
+            },
+            got => Err(CompileError::Parse(format!(
+                "expected expression, found {got:?}"
+            ))),
+        }
+    }
+}
+
+fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_node2vec_shape() {
+        let src = r#"
+            get_weight(graph, q, edge) {
+                h_e = h[edge];
+                post = adj[edge];
+                if (post == prev) return h_e / a;
+                else if (linked(prev, post)) return h_e;
+                else return h_e / b;
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.name, "get_weight");
+        assert_eq!(p.params, vec!["graph", "q", "edge"]);
+        assert_eq!(p.body.len(), 3);
+        assert!(matches!(&p.body[2], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_source(), "(1.0 + (2.0 * 3.0))");
+    }
+
+    #[test]
+    fn precedence_cmp_over_and() {
+        let e = parse_expr("a == 1 && b < 2").unwrap();
+        assert_eq!(e.to_source(), "((a == 1.0) && (b < 2.0))");
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(e.to_source(), "((1.0 + 2.0) * 3.0)");
+    }
+
+    #[test]
+    fn unary_binds_tighter_than_mul() {
+        let e = parse_expr("-a * b").unwrap();
+        assert_eq!(e.to_source(), "((-a) * b)");
+    }
+
+    #[test]
+    fn calls_and_indexing_nest() {
+        let e = parse_expr("max(deg[cur], deg[prev]) / h[edge]").unwrap();
+        assert_eq!(e.to_source(), "(max(deg[cur], deg[prev]) / h[edge])");
+    }
+
+    #[test]
+    fn else_if_chains_nest_right() {
+        let src = "f() { if (a == 1) return 1; else if (a == 2) return 2; else return 3; }";
+        let p = parse_program(src).unwrap();
+        let Stmt::If { else_branch, .. } = &p.body[0] else {
+            panic!("expected if");
+        };
+        assert_eq!(else_branch.len(), 1);
+        assert!(matches!(&else_branch[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn if_without_else_parses() {
+        let p = parse_program("f() { if (a == 1) return 1; return 2; }").unwrap();
+        assert_eq!(p.body.len(), 2);
+    }
+
+    #[test]
+    fn single_statement_branches_allowed() {
+        let p = parse_program("f() { if (x > 0) return 1; else return 0; }").unwrap();
+        assert_eq!(p.body.len(), 1);
+    }
+
+    #[test]
+    fn while_parses_for_rejection() {
+        let p = parse_program("f() { while (x < 3) { x = x + 1; } return x; }").unwrap();
+        assert!(matches!(&p.body[0], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        assert!(parse_program("f() { return 1 }").is_err());
+    }
+
+    #[test]
+    fn error_on_unterminated_block() {
+        assert!(parse_program("f() { return 1;").is_err());
+    }
+
+    #[test]
+    fn error_on_trailing_tokens() {
+        assert!(parse_program("f() { return 1; } extra").is_err());
+    }
+
+    #[test]
+    fn error_on_missing_expression() {
+        assert!(parse_program("f() { return ; }").is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Tokeniser for the walk mini-language.
+
+use crate::CompileError;
+
+/// Lexical token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier (variable, array, or function name).
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// `if` keyword.
+    If,
+    /// `else` keyword.
+    Else,
+    /// `return` keyword.
+    Return,
+    /// `while` keyword (parsed only to be rejected by validation).
+    While,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Assign,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `!`.
+    Not,
+    /// `&&`.
+    And,
+    /// `||`.
+    Or,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+}
+
+/// Tokenises `src`.
+///
+/// Supports `//` line comments and `/* */` block comments.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Lex`] on unknown characters or malformed
+/// numbers.
+pub fn lex(src: &str) -> Result<Vec<Tok>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::Lex("unterminated block comment".into()));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '(' => push1(&mut out, &mut i, Tok::LParen),
+            ')' => push1(&mut out, &mut i, Tok::RParen),
+            '{' => push1(&mut out, &mut i, Tok::LBrace),
+            '}' => push1(&mut out, &mut i, Tok::RBrace),
+            '[' => push1(&mut out, &mut i, Tok::LBracket),
+            ']' => push1(&mut out, &mut i, Tok::RBracket),
+            ';' => push1(&mut out, &mut i, Tok::Semi),
+            ',' => push1(&mut out, &mut i, Tok::Comma),
+            '+' => push1(&mut out, &mut i, Tok::Plus),
+            '-' => push1(&mut out, &mut i, Tok::Minus),
+            '*' => push1(&mut out, &mut i, Tok::Star),
+            '/' => push1(&mut out, &mut i, Tok::Slash),
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Eq);
+                    i += 2;
+                } else {
+                    push1(&mut out, &mut i, Tok::Assign);
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    push1(&mut out, &mut i, Tok::Not);
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Le);
+                    i += 2;
+                } else {
+                    push1(&mut out, &mut i, Tok::Lt);
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    push1(&mut out, &mut i, Tok::Gt);
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push(Tok::And);
+                    i += 2;
+                } else {
+                    return Err(CompileError::Lex("expected '&&'".into()));
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push(Tok::Or);
+                    i += 2;
+                } else {
+                    return Err(CompileError::Lex("expected '||'".into()));
+                }
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| CompileError::Lex(format!("bad number {text:?}")))?;
+                out.push(Tok::Num(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                out.push(match word {
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "return" => Tok::Return,
+                    "while" | "for" => Tok::While,
+                    _ => Tok::Ident(word.to_string()),
+                });
+            }
+            other => {
+                return Err(CompileError::Lex(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push1(out: &mut Vec<Tok>, i: &mut usize, t: Tok) {
+    out.push(t);
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_simple_program() {
+        let toks = lex("if (a == 1) return h[edge] / 2.5;").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::If,
+                Tok::LParen,
+                Tok::Ident("a".into()),
+                Tok::Eq,
+                Tok::Num(1.0),
+                Tok::RParen,
+                Tok::Return,
+                Tok::Ident("h".into()),
+                Tok::LBracket,
+                Tok::Ident("edge".into()),
+                Tok::RBracket,
+                Tok::Slash,
+                Tok::Num(2.5),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        let toks = lex("a != b && c <= d || !e >= f").unwrap();
+        assert!(toks.contains(&Tok::Ne));
+        assert!(toks.contains(&Tok::And));
+        assert!(toks.contains(&Tok::Le));
+        assert!(toks.contains(&Tok::Or));
+        assert!(toks.contains(&Tok::Not));
+        assert!(toks.contains(&Tok::Ge));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = lex("a // line\n /* block\n */ b").unwrap();
+        assert_eq!(toks, vec![Tok::Ident("a".into()), Tok::Ident("b".into())]);
+    }
+
+    #[test]
+    fn while_and_for_map_to_while() {
+        assert_eq!(lex("while").unwrap(), vec![Tok::While]);
+        assert_eq!(lex("for").unwrap(), vec![Tok::While]);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("1.2.3").is_err());
+        assert!(lex("/* open").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("   \n\t ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! The paper's five evaluation workloads as mini-language sources (§2.1).
+//!
+//! The runtime environment provides: `edge` (edge id being scored), `prev`
+//! (previously visited node), `cur` (current node), `step` (walk step
+//! index), arrays `h` (edge property weight), `adj` (edge target), `label`
+//! (edge label), `deg` (node out-degree), `schema` (MetaPath label
+//! schedule), and the predicate `linked(a, b)` (directed edge a→b exists).
+
+/// Weighted Node2Vec (Eq. 2 times the property weight `h`).
+///
+/// Hyperparameters: `a` (return parameter), `b` (in-out parameter).
+pub const NODE2VEC_WEIGHTED: &str = r#"
+get_weight(edge) {
+    h_e = h[edge];
+    post = adj[edge];
+    if (post == prev) return h_e / a;
+    else if (linked(prev, post)) return h_e;
+    else return h_e / b;
+}
+"#;
+
+/// Unweighted Node2Vec (`h ≡ 1`); returns are hyperparameter constants, so
+/// the flag allocator classifies it `PER_KERNEL` (§3.3).
+pub const NODE2VEC_UNWEIGHTED: &str = r#"
+get_weight(edge) {
+    post = adj[edge];
+    if (post == prev) return 1.0 / a;
+    else if (linked(prev, post)) return 1.0;
+    else return 1.0 / b;
+}
+"#;
+
+/// Weighted MetaPath: an edge is admissible iff its label matches the
+/// schema entry for the current step.
+pub const METAPATH_WEIGHTED: &str = r#"
+get_weight(edge) {
+    h_e = h[edge];
+    if (label[edge] == schema[step]) return h_e;
+    else return 0.0;
+}
+"#;
+
+/// Unweighted MetaPath.
+pub const METAPATH_UNWEIGHTED: &str = r#"
+get_weight(edge) {
+    if (label[edge] == schema[step]) return 1.0;
+    else return 0.0;
+}
+"#;
+
+/// Second-order PageRank (Eq. 3 times the property weight `h`).
+///
+/// Hyperparameter: `gamma`.
+pub const PAGERANK_2ND: &str = r#"
+get_weight(edge) {
+    h_e = h[edge];
+    post = adj[edge];
+    maxd = max(deg[cur], deg[prev]);
+    if (linked(prev, post)) {
+        return ((1.0 - gamma) / deg[cur] + gamma / deg[prev]) * maxd * h_e;
+    } else {
+        return ((1.0 - gamma) / deg[cur]) * maxd * h_e;
+    }
+}
+"#;
+
+/// All five sources with their default hyperparameters (paper §6.1:
+/// `a = 2.0`, `b = 0.5`, `gamma = 0.2`).
+pub fn all_specs() -> Vec<(&'static str, crate::WalkSpec)> {
+    let n2v = vec![("a".to_string(), 2.0), ("b".to_string(), 0.5)];
+    let pr = vec![("gamma".to_string(), 0.2)];
+    vec![
+        (
+            "node2vec_weighted",
+            crate::WalkSpec {
+                source: NODE2VEC_WEIGHTED.to_string(),
+                hyperparams: n2v.clone(),
+            },
+        ),
+        (
+            "node2vec_unweighted",
+            crate::WalkSpec {
+                source: NODE2VEC_UNWEIGHTED.to_string(),
+                hyperparams: n2v,
+            },
+        ),
+        (
+            "metapath_weighted",
+            crate::WalkSpec {
+                source: METAPATH_WEIGHTED.to_string(),
+                hyperparams: vec![],
+            },
+        ),
+        (
+            "metapath_unweighted",
+            crate::WalkSpec {
+                source: METAPATH_UNWEIGHTED.to_string(),
+                hyperparams: vec![],
+            },
+        ),
+        (
+            "pagerank_2nd",
+            crate::WalkSpec {
+                source: PAGERANK_2ND.to_string(),
+                hyperparams: pr,
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis::BoundGranularity;
+    use crate::{compile, CompileOutcome};
+
+    #[test]
+    fn all_five_workloads_compile_supported() {
+        for (name, spec) in super::all_specs() {
+            match compile(&spec).unwrap() {
+                CompileOutcome::Supported(c) => {
+                    assert!(
+                        !c.paths.is_empty(),
+                        "{name}: no control-flow paths enumerated"
+                    );
+                }
+                CompileOutcome::Fallback { warnings } => {
+                    panic!("{name} unexpectedly fell back: {warnings:?}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unweighted_node2vec_is_per_kernel_weighted_is_per_step() {
+        let specs = super::all_specs();
+        let get = |name: &str| {
+            let spec = &specs.iter().find(|(n, _)| *n == name).unwrap().1;
+            match compile(spec).unwrap() {
+                CompileOutcome::Supported(c) => c.flag,
+                _ => panic!("fallback"),
+            }
+        };
+        assert_eq!(get("node2vec_unweighted"), BoundGranularity::PerKernel);
+        assert_eq!(get("node2vec_weighted"), BoundGranularity::PerStep);
+        assert_eq!(get("metapath_weighted"), BoundGranularity::PerStep);
+        assert_eq!(get("pagerank_2nd"), BoundGranularity::PerStep);
+    }
+
+    #[test]
+    fn metapath_unweighted_is_per_kernel() {
+        // Both returns are constants (1 and 0), so a single bound suffices.
+        let specs = super::all_specs();
+        let spec = &specs
+            .iter()
+            .find(|(n, _)| *n == "metapath_unweighted")
+            .unwrap()
+            .1;
+        match compile(spec).unwrap() {
+            CompileOutcome::Supported(c) => {
+                assert_eq!(c.flag, BoundGranularity::PerKernel);
+            }
+            _ => panic!("fallback"),
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for Flexi-Compiler: randomly generated weight
+//! programs must (a) survive parse → analysis → codegen, and (b) produce
+//! max estimators that soundly dominate every interpreted weight.
+
+use flexi_compiler::{
+    compile, interpret, parse_program, AggKind, CompileOutcome, EstimatorEnv, InterpEnv,
+    WalkSpec,
+};
+use proptest::prelude::*;
+
+/// A randomly generated branchy `get_weight` whose returns are affine in
+/// `h[edge]` — the analyzable fragment every real workload lives in.
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    /// Per-path (scale, offset): `return h[edge] * scale + offset;`.
+    paths: Vec<(f64, f64)>,
+}
+
+impl RandomProgram {
+    fn source(&self) -> String {
+        let mut s = String::from("get_weight(edge) {\n    h_e = h[edge];\n");
+        for (i, (scale, offset)) in self.paths.iter().enumerate() {
+            let ret = format!("return h_e * {scale:.4} + {offset:.4};");
+            if i == 0 && self.paths.len() > 1 {
+                s.push_str(&format!("    if (cond == {i}) {ret}\n"));
+            } else if i + 1 == self.paths.len() {
+                if self.paths.len() > 1 {
+                    s.push_str(&format!("    else {ret}\n"));
+                } else {
+                    s.push_str(&format!("    {ret}\n"));
+                }
+            } else {
+                s.push_str(&format!("    else if (cond == {i}) {ret}\n"));
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn programs() -> impl Strategy<Value = RandomProgram> {
+    proptest::collection::vec((0.01f64..10.0, 0.0f64..20.0), 1..6)
+        .prop_map(|paths| RandomProgram { paths })
+}
+
+struct Env {
+    h: Vec<f64>,
+    edge: usize,
+    cond: f64,
+}
+
+impl InterpEnv for Env {
+    fn var(&self, name: &str) -> Option<f64> {
+        match name {
+            "edge" => Some(self.edge as f64),
+            "cond" => Some(self.cond),
+            _ => None,
+        }
+    }
+    fn index(&self, array: &str, index: f64) -> Option<f64> {
+        (array == "h").then(|| self.h.get(index as usize).copied()).flatten()
+    }
+    fn call(&self, _: &str, _: &[f64]) -> Option<f64> {
+        None
+    }
+}
+
+struct AggEnv {
+    h_max: f64,
+    h_sum: f64,
+    deg: f64,
+}
+
+impl EstimatorEnv for AggEnv {
+    fn edge_aggregate(&self, array: &str, kind: AggKind) -> Option<f64> {
+        (array == "h").then_some(match kind {
+            AggKind::Max => self.h_max,
+            AggKind::Sum => self.h_sum,
+        })
+    }
+    fn node_scalar(&self, _: &str, _: &str) -> Option<f64> {
+        None
+    }
+    fn var(&self, name: &str) -> Option<f64> {
+        (name == "deg").then_some(self.deg)
+    }
+}
+
+proptest! {
+    /// Soundness: the generated `get_weight_max` with `h → h_MAX` dominates
+    /// the interpreted weight of every edge under every branch condition.
+    #[test]
+    fn derived_bound_dominates_interpreted_weights(
+        prog in programs(),
+        h in proptest::collection::vec(0.0f64..100.0, 1..40),
+    ) {
+        let spec = WalkSpec { source: prog.source(), hyperparams: vec![] };
+        let compiled = match compile(&spec).unwrap() {
+            CompileOutcome::Supported(c) => c,
+            CompileOutcome::Fallback { warnings } => {
+                return Err(TestCaseError::fail(format!("fallback: {warnings:?}")));
+            }
+        };
+        let h_max = h.iter().copied().fold(0.0f64, f64::max);
+        let h_sum: f64 = h.iter().sum();
+        let agg = AggEnv { h_max, h_sum, deg: h.len() as f64 };
+        let bound = compiled.max_estimator.eval(&agg).expect("estimable");
+
+        let parsed = parse_program(&spec.source).unwrap();
+        for edge in 0..h.len() {
+            for cond in 0..prog.paths.len() {
+                let env = Env { h: h.clone(), edge, cond: cond as f64 };
+                let w = interpret(&parsed, &env).unwrap();
+                prop_assert!(
+                    bound * (1.0 + 1e-9) >= w,
+                    "bound {bound} < weight {w} (edge {edge}, cond {cond})"
+                );
+            }
+        }
+    }
+
+    /// The analysis enumerates exactly one path per return branch.
+    #[test]
+    fn path_enumeration_counts_branches(prog in programs()) {
+        let spec = WalkSpec { source: prog.source(), hyperparams: vec![] };
+        match compile(&spec).unwrap() {
+            CompileOutcome::Supported(c) => {
+                prop_assert_eq!(c.paths.len(), prog.paths.len());
+            }
+            CompileOutcome::Fallback { .. } => {
+                return Err(TestCaseError::fail("unexpected fallback"));
+            }
+        }
+    }
+
+    /// Pretty-printed source re-parses to the same AST (printer fidelity).
+    #[test]
+    fn expression_printing_roundtrips(prog in programs()) {
+        let parsed = parse_program(&prog.source()).unwrap();
+        // Re-parse every pretty-printed return expression.
+        let hyper: Vec<(String, f64)> = vec![];
+        let paths = flexi_compiler::enumerate_paths(&parsed, &hyper).unwrap();
+        for p in &paths {
+            let printed = p.return_expr.to_source();
+            let reparsed = flexi_compiler::parser::parse_expr(&printed).unwrap();
+            prop_assert_eq!(&reparsed, &p.return_expr, "printed: {}", printed);
+        }
+    }
+
+    /// Hyperparameter folding: binding the scale as a hyperparameter and
+    /// writing it symbolically yields the same estimator value.
+    #[test]
+    fn hyperparameter_folding_is_transparent(scale in 0.01f64..10.0, h_max in 0.1f64..50.0) {
+        let symbolic = WalkSpec {
+            source: "get_weight(edge) { return h[edge] * k; }".into(),
+            hyperparams: vec![("k".into(), scale)],
+        };
+        let literal = WalkSpec {
+            source: format!("get_weight(edge) {{ return h[edge] * {scale}; }}"),
+            hyperparams: vec![],
+        };
+        let eval = |spec: &WalkSpec| match compile(spec).unwrap() {
+            CompileOutcome::Supported(c) => {
+                let agg = AggEnv { h_max, h_sum: h_max, deg: 1.0 };
+                c.max_estimator.eval(&agg).unwrap()
+            }
+            CompileOutcome::Fallback { .. } => panic!("fallback"),
+        };
+        let a = eval(&symbolic);
+        let b = eval(&literal);
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+}

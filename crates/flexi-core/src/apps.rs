@@ -1,0 +1,255 @@
+//! Application-level utilities built on the walk engine.
+//!
+//! The paper motivates dynamic random walks with downstream applications —
+//! network embeddings and proximity measures (§1). This module packages
+//! the two most common ones as ready-to-use functions over any
+//! [`WalkEngine`]:
+//!
+//! - [`personalized_pagerank`] — random-walk-with-restart proximity scores
+//!   from a set of source nodes;
+//! - [`walk_corpus`] — a skip-gram training corpus (one walk per line),
+//!   the standard input format for DeepWalk/Node2Vec embedding trainers.
+
+use crate::engine::{EngineError, WalkConfig, WalkEngine};
+use crate::workload::DynamicWalk;
+use flexi_graph::{Csr, NodeId};
+use std::io::Write;
+
+/// Estimates personalized PageRank by walk-visit frequency.
+///
+/// Runs `walks_per_source` walks from every source; a walk's visit to a
+/// node at step `t` contributes `restart^t` (the survival probability of
+/// a restart-`(1-restart)` walker), so scores approximate the PPR vector
+/// of the uniform distribution over `sources`. Scores are normalised to
+/// sum to 1.
+///
+/// # Errors
+///
+/// Propagates the engine's errors.
+pub fn personalized_pagerank(
+    engine: &dyn WalkEngine,
+    g: &Csr,
+    w: &dyn DynamicWalk,
+    sources: &[NodeId],
+    walks_per_source: usize,
+    restart: f64,
+    cfg: &WalkConfig,
+) -> Result<Vec<f64>, EngineError> {
+    assert!(
+        (0.0..1.0).contains(&restart),
+        "restart probability must be in [0, 1)"
+    );
+    let mut scores = vec![0.0f64; g.num_nodes()];
+    let mut mass = 0.0f64;
+    for round in 0..walks_per_source {
+        let mut round_cfg = cfg.clone();
+        round_cfg.record_paths = true;
+        round_cfg.seed = cfg.seed.wrapping_add(0x9E37_79B9u64.wrapping_mul(round as u64 + 1));
+        let report = engine.run(g, w, sources, &round_cfg)?;
+        for path in report.paths.as_ref().expect("recorded") {
+            let mut survive = 1.0f64;
+            for &v in path {
+                scores[v as usize] += survive;
+                mass += survive;
+                survive *= restart;
+            }
+        }
+    }
+    if mass > 0.0 {
+        for s in &mut scores {
+            *s /= mass;
+        }
+    }
+    Ok(scores)
+}
+
+/// Writes a walk corpus: one whitespace-separated node sequence per line.
+///
+/// Returns the number of lines written. Walks shorter than two nodes
+/// (immediate dead ends) are skipped, matching embedding-trainer
+/// expectations.
+///
+/// # Errors
+///
+/// Propagates engine and I/O errors (I/O wrapped as
+/// [`EngineError::Unsupported`] with a message would lose detail, so I/O
+/// failures panic-free bubble via `std::io::Error`).
+pub fn walk_corpus<W: Write>(
+    engine: &dyn WalkEngine,
+    g: &Csr,
+    w: &dyn DynamicWalk,
+    queries: &[NodeId],
+    cfg: &WalkConfig,
+    out: &mut W,
+) -> Result<usize, CorpusError> {
+    let mut run_cfg = cfg.clone();
+    run_cfg.record_paths = true;
+    let report = engine.run(g, w, queries, &run_cfg)?;
+    let mut lines = 0usize;
+    for path in report.paths.as_ref().expect("recorded") {
+        if path.len() < 2 {
+            continue;
+        }
+        let mut first = true;
+        for &v in path {
+            if !first {
+                write!(out, " ")?;
+            }
+            write!(out, "{v}")?;
+            first = false;
+        }
+        writeln!(out)?;
+        lines += 1;
+    }
+    Ok(lines)
+}
+
+/// Errors from corpus generation: engine failures or sink I/O failures.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// The walk engine failed.
+    Engine(EngineError),
+    /// Writing to the output sink failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Engine(e) => write!(f, "engine error: {e}"),
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<EngineError> for CorpusError {
+    fn from(e: EngineError) -> Self {
+        Self::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for CorpusError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FlexiWalkerEngine;
+    use crate::workload::UniformWalk;
+    use flexi_gpu_sim::DeviceSpec;
+    use flexi_graph::{gen, CsrBuilder, WeightModel};
+
+    fn engine() -> FlexiWalkerEngine {
+        FlexiWalkerEngine::new(DeviceSpec::tiny())
+    }
+
+    #[test]
+    fn ppr_scores_sum_to_one_and_favor_the_source_cluster() {
+        // Two cliques joined by one weak link; walks from clique A should
+        // concentrate mass there.
+        let mut b = CsrBuilder::new(8);
+        for s in 0..4u32 {
+            for d in 0..4u32 {
+                if s != d {
+                    b.push_weighted(s, d, 1.0);
+                }
+            }
+        }
+        for s in 4..8u32 {
+            for d in 4..8u32 {
+                if s != d {
+                    b.push_weighted(s, d, 1.0);
+                }
+            }
+        }
+        b.push_weighted(3, 4, 0.05);
+        b.push_weighted(4, 3, 0.05);
+        let g = b.build().unwrap();
+        let cfg = WalkConfig {
+            steps: 8,
+            ..WalkConfig::default()
+        };
+        let scores =
+            personalized_pagerank(&engine(), &g, &UniformWalk, &[0, 1], 16, 0.85, &cfg).unwrap();
+        let total: f64 = scores.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "not normalised: {total}");
+        let a_mass: f64 = scores[..4].iter().sum();
+        assert!(a_mass > 0.8, "source cluster mass {a_mass} too low");
+    }
+
+    #[test]
+    fn ppr_on_sink_only_graph_is_all_source_mass() {
+        let g = CsrBuilder::new(2).build().unwrap();
+        let cfg = WalkConfig::default();
+        let scores =
+            personalized_pagerank(&engine(), &g, &UniformWalk, &[1], 4, 0.5, &cfg).unwrap();
+        assert_eq!(scores[1], 1.0);
+        assert_eq!(scores[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart probability")]
+    fn ppr_rejects_bad_restart() {
+        let g = CsrBuilder::new(1).build().unwrap();
+        let _ = personalized_pagerank(
+            &engine(),
+            &g,
+            &UniformWalk,
+            &[0],
+            1,
+            1.5,
+            &WalkConfig::default(),
+        );
+    }
+
+    #[test]
+    fn corpus_emits_one_line_per_surviving_walk() {
+        let g = gen::rmat(7, 1024, gen::RmatParams::SOCIAL, 3);
+        let g = WeightModel::UniformReal.apply(g, 3);
+        let queries: Vec<u32> = (0..32).collect();
+        let cfg = WalkConfig {
+            steps: 5,
+            ..WalkConfig::default()
+        };
+        let mut buf = Vec::new();
+        let lines =
+            walk_corpus(&engine(), &g, &UniformWalk, &queries, &cfg, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), lines);
+        for line in text.lines() {
+            let ids: Vec<u32> = line
+                .split_whitespace()
+                .map(|t| t.parse().expect("node id"))
+                .collect();
+            assert!(ids.len() >= 2);
+            for pair in ids.windows(2) {
+                assert!(g.has_edge(pair[0], pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_skips_instant_dead_ends() {
+        let g = CsrBuilder::new(2).edge(0, 1).build().unwrap();
+        let mut buf = Vec::new();
+        // Node 1 is a sink: its walk has length 1 and is skipped.
+        let lines = walk_corpus(
+            &engine(),
+            &g,
+            &UniformWalk,
+            &[0, 1],
+            &WalkConfig {
+                steps: 3,
+                ..WalkConfig::default()
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(lines, 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Energy model (paper §6.7, Fig. 16).
+//!
+//! The paper measures board power with `nvidia-smi` / RAPL; this module
+//! substitutes an activity-proportional model: an engine reports its load
+//! watts (device class) and the energy of a run is `watts × sim_seconds`.
+//! Because both CPU and GPU engines live in the same simulated-time
+//! universe, joules-per-query comparisons keep the ordering Fig. 16 shows:
+//! CPU engines draw little power but run long; FlexiWalker draws GPU power
+//! for a very short time.
+
+use crate::engine::RunReport;
+
+/// Energy summary of one run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyReport {
+    /// Total energy of the main walk phase.
+    pub joules: f64,
+    /// Energy divided by query count (Fig. 16's y-axis).
+    pub joules_per_query: f64,
+    /// Peak power draw (Fig. 16's secondary axis).
+    pub max_watts: f64,
+}
+
+/// Computes the energy summary for a run report.
+pub fn energy_of(report: &RunReport) -> EnergyReport {
+    EnergyReport {
+        joules: report.joules(),
+        joules_per_query: report.joules_per_query(),
+        max_watts: report.watts,
+    }
+}
+
+/// Typical sustained package power of the CPU baselines (16-core EPYC
+/// under full load), used by `flexi-baselines`.
+pub const CPU_LOAD_WATTS: f64 = 145.0;
+
+/// Typical package power of an out-of-core CPU system (adds NVMe I/O).
+pub const CPU_OOC_WATTS: f64 = 165.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexi_gpu_sim::CostStats;
+
+    fn report(watts: f64, secs: f64, queries: usize) -> RunReport {
+        RunReport {
+            engine: "test",
+            sim_seconds: secs,
+            saturated_seconds: secs,
+            stats: CostStats::default(),
+            queries,
+            steps_taken: 0,
+            paths: None,
+            chosen_rjs: 0,
+            chosen_rvs: 0,
+            profile_seconds: 0.0,
+            preprocess_seconds: 0.0,
+            warnings: vec![],
+            watts,
+        }
+    }
+
+    #[test]
+    fn energy_is_watts_times_time() {
+        let e = energy_of(&report(300.0, 0.5, 10));
+        assert_eq!(e.joules, 150.0);
+        assert_eq!(e.joules_per_query, 15.0);
+        assert_eq!(e.max_watts, 300.0);
+    }
+
+    #[test]
+    fn zero_queries_yield_zero_per_query() {
+        let e = energy_of(&report(300.0, 1.0, 0));
+        assert_eq!(e.joules_per_query, 0.0);
+    }
+
+    #[test]
+    fn fast_gpu_beats_slow_cpu_on_energy() {
+        // The Fig. 16 mechanism: GPU draws 2x the power but finishes 50x
+        // faster → far fewer joules per query.
+        let gpu = energy_of(&report(300.0, 0.1, 100));
+        let cpu = energy_of(&report(CPU_LOAD_WATTS, 5.0, 100));
+        assert!(gpu.joules_per_query < cpu.joules_per_query / 10.0);
+        assert!(gpu.max_watts > cpu.max_watts);
+    }
+}

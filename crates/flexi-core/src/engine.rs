@@ -1,0 +1,890 @@
+//! The FlexiWalker execution engine (paper §5).
+//!
+//! One persistent warp kernel interleaves the two optimised samplers:
+//! every lane owns a walk query (thread-granular eRJS trials), and when a
+//! ballot finds lanes that chose reservoir sampling the whole warp executes
+//! eRVS for those lanes one at a time (warp-granular), sharing query
+//! parameters through shuffles — the §5.2 design. Queries are pulled from
+//! the §5.3 atomic queue, and every step consults Flexi-Runtime for the
+//! sampler choice.
+
+use crate::preprocess::Aggregates;
+use crate::profile::run_profile;
+use crate::queue::QueryQueue;
+use crate::runtime::{CostModel, RuntimeEnv, SamplerChoice, SelectionStrategy};
+use crate::workload::{DynamicWalk, WalkState};
+use flexi_compiler::{compile, CompileOutcome, CompiledWalk};
+use flexi_gpu_sim::{CostStats, Device, DeviceSpec, WarpCtx, WARP_SIZE};
+use flexi_graph::{Csr, NodeId};
+use flexi_sampling::kernels::{lane_rejection, warp_ervs, warp_max_reduce, ErvsMode, NeighborView};
+
+/// Default simulated-time budget (the paper's 12-hour OOT cutoff).
+pub const DEFAULT_TIME_BUDGET: f64 = 12.0 * 3600.0;
+
+/// Run configuration shared by every engine.
+#[derive(Clone, Debug)]
+pub struct WalkConfig {
+    /// Steps per walk (the paper uses 80; MetaPath overrides to its schema
+    /// depth via [`DynamicWalk::preferred_steps`]).
+    pub steps: usize,
+    /// Whether to materialise full walk paths in the report.
+    pub record_paths: bool,
+    /// Simulated-seconds budget; exceeding it is an OOT (paper §6.1).
+    pub time_budget: f64,
+    /// Host threads for warp execution (1 = deterministic).
+    pub host_threads: usize,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self {
+            steps: 80,
+            record_paths: false,
+            time_budget: DEFAULT_TIME_BUDGET,
+            host_threads: 1,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Errors every engine can report (the paper's OOM / OOT / unsupported
+/// table entries).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// Device memory exhausted.
+    OutOfMemory {
+        /// Bytes the failing allocation requested.
+        requested: usize,
+        /// Bytes that were available.
+        available: usize,
+    },
+    /// Simulated time exceeded the budget.
+    OutOfTime {
+        /// The exceeded budget in simulated seconds.
+        budget_secs: f64,
+    },
+    /// The engine cannot run this workload at all.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::OutOfMemory {
+                requested,
+                available,
+            } => write!(f, "OOM (requested {requested} B, available {available} B)"),
+            Self::OutOfTime { budget_secs } => write!(f, "OOT (budget {budget_secs} s)"),
+            Self::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result of one engine run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Engine name.
+    pub engine: &'static str,
+    /// Main walk time in simulated seconds (excludes profile/preprocess,
+    /// which the paper reports separately in Table 3).
+    pub sim_seconds: f64,
+    /// Walk time under full device saturation: aggregate warp work divided
+    /// by total device parallelism. Equals `sim_seconds` for saturated
+    /// launches and for CPU engines; the harness extrapolates from this so
+    /// an underfilled test launch does not penalise a device that would be
+    /// full at paper scale.
+    pub saturated_seconds: f64,
+    /// Device activity of the main walk.
+    pub stats: CostStats,
+    /// Number of walk queries processed.
+    pub queries: usize,
+    /// Total steps taken across all walks.
+    pub steps_taken: u64,
+    /// Full paths (only when [`WalkConfig::record_paths`]).
+    pub paths: Option<Vec<Vec<NodeId>>>,
+    /// Steps that ran eRJS.
+    pub chosen_rjs: u64,
+    /// Steps that ran eRVS.
+    pub chosen_rvs: u64,
+    /// Profiling time (Table 3).
+    pub profile_seconds: f64,
+    /// Preprocessing time (Table 3).
+    pub preprocess_seconds: f64,
+    /// Compiler / runtime warnings.
+    pub warnings: Vec<String>,
+    /// Board power under load (energy model input, Fig. 16).
+    pub watts: f64,
+}
+
+impl RunReport {
+    /// Energy of the main walk phase in joules.
+    ///
+    /// Uses the saturated time: load watts apply when the device is busy.
+    pub fn joules(&self) -> f64 {
+        self.watts * self.saturated_seconds
+    }
+
+    /// Joules per query (Fig. 16's metric).
+    pub fn joules_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.joules() / self.queries as f64
+        }
+    }
+}
+
+/// Uniform interface over FlexiWalker and every baseline system.
+pub trait WalkEngine: Sync {
+    /// Engine name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs `queries` walks of workload `w` over `g`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::OutOfMemory`] / [`EngineError::OutOfTime`] /
+    /// [`EngineError::Unsupported`] mirror the paper's OOM/OOT/`-` table
+    /// entries.
+    fn run(
+        &self,
+        g: &Csr,
+        w: &dyn DynamicWalk,
+        queries: &[NodeId],
+        cfg: &WalkConfig,
+    ) -> Result<RunReport, EngineError>;
+}
+
+/// The FlexiWalker engine: compile → preprocess → profile → adaptive walk.
+#[derive(Clone, Debug)]
+pub struct FlexiWalkerEngine {
+    spec: DeviceSpec,
+    /// Sampler-selection strategy (Fig. 13 compares these).
+    pub strategy: SelectionStrategy,
+    /// Skip the profiling kernels and use the default cost ratio.
+    pub skip_profile: bool,
+    /// Pin the cost model's `EdgeCost_RJS / EdgeCost_RVS` ratio instead of
+    /// profiling it (ratio-sensitivity ablations).
+    pub cost_ratio_override: Option<f64>,
+    /// eRVS optimisation stage (the Fig. 12a ablation axis; `ExpJump` is
+    /// the full kernel).
+    pub ervs_mode: ErvsMode,
+}
+
+impl FlexiWalkerEngine {
+    /// FlexiWalker with the paper's cost-model selection.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self {
+            spec,
+            strategy: SelectionStrategy::CostModel,
+            skip_profile: false,
+            cost_ratio_override: None,
+            ervs_mode: ErvsMode::ExpJump,
+        }
+    }
+
+    /// FlexiWalker with an explicit selection strategy (ablations).
+    pub fn with_strategy(spec: DeviceSpec, strategy: SelectionStrategy) -> Self {
+        Self {
+            spec,
+            strategy,
+            skip_profile: false,
+            cost_ratio_override: None,
+            ervs_mode: ErvsMode::ExpJump,
+        }
+    }
+
+    /// The device specification in use.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+}
+
+#[derive(Debug)]
+struct Lane {
+    query: usize,
+    state: WalkState,
+    path: Vec<NodeId>,
+    steps_taken: u64,
+}
+
+/// Per-warp kernel output.
+#[derive(Debug, Default)]
+struct WarpOut {
+    finished: Vec<(usize, Vec<NodeId>, u64)>,
+    rjs: u64,
+    rvs: u64,
+}
+
+impl WalkEngine for FlexiWalkerEngine {
+    fn name(&self) -> &'static str {
+        "FlexiWalker"
+    }
+
+    fn run(
+        &self,
+        g: &Csr,
+        w: &dyn DynamicWalk,
+        queries: &[NodeId],
+        cfg: &WalkConfig,
+    ) -> Result<RunReport, EngineError> {
+        let mut warnings = Vec::new();
+
+        // Compile-time workflow (Flexi-Compiler).
+        let compiled: Option<CompiledWalk> = match compile(&w.spec()) {
+            Ok(CompileOutcome::Supported(c)) => {
+                warnings.extend(c.warnings.clone());
+                Some(*c)
+            }
+            Ok(CompileOutcome::Fallback {
+                warnings: fallback_warnings,
+            }) => {
+                warnings.extend(fallback_warnings);
+                None
+            }
+            Err(e) => {
+                warnings.push(format!("compile error: {e}; running eRVS-only"));
+                None
+            }
+        };
+
+        // Effective strategy: compiler fallback forces eRVS-only (§7.1).
+        let strategy = if compiled.is_none() {
+            SelectionStrategy::RvsOnly
+        } else {
+            self.strategy
+        };
+
+        let device = Device::new(self.spec.clone());
+        device
+            .pool()
+            .try_alloc(g.memory_bytes())
+            .map_err(|e| match e {
+                flexi_gpu_sim::SimError::OutOfMemory {
+                    requested,
+                    available,
+                } => EngineError::OutOfMemory {
+                    requested,
+                    available,
+                },
+            })?;
+
+        // Runtime workflow: preprocess + profile.
+        let aggregates = match &compiled {
+            Some(c) if !c.preprocess.is_empty() => {
+                Aggregates::compute(g, &c.preprocess, &self.spec)
+            }
+            _ => Aggregates::default(),
+        };
+        let profile = if self.skip_profile || self.cost_ratio_override.is_some() {
+            None
+        } else {
+            Some(run_profile(&device, g, w.bytes_per_weight(g), cfg.seed))
+        };
+        let cost_model = match self.cost_ratio_override {
+            Some(edge_cost_ratio) => CostModel { edge_cost_ratio },
+            None => profile
+                .as_ref()
+                .map_or(CostModel::default_ratio(), |p| p.cost_model()),
+        };
+
+        let steps = w.preferred_steps().unwrap_or(cfg.steps);
+        let queue = QueryQueue::new(queries.len());
+        let slots = self.spec.total_warp_slots();
+        let num_warps = queries.len().div_ceil(WARP_SIZE).min(slots).max(1);
+
+        let ervs_mode = self.ervs_mode;
+        let kernel = |ctx: &mut WarpCtx| {
+            walk_warp(
+                ctx,
+                g,
+                w,
+                compiled.as_ref(),
+                &aggregates,
+                &queue,
+                queries,
+                steps,
+                cfg.record_paths,
+                strategy,
+                cost_model,
+                ervs_mode,
+            )
+        };
+        let launch = if cfg.host_threads > 1 {
+            device.launch_parallel(num_warps, cfg.host_threads, cfg.seed, kernel)
+        } else {
+            device.launch(num_warps, cfg.seed, kernel)
+        };
+
+        if launch.sim_seconds > cfg.time_budget {
+            return Err(EngineError::OutOfTime {
+                budget_secs: cfg.time_budget,
+            });
+        }
+
+        let mut chosen_rjs = 0;
+        let mut chosen_rvs = 0;
+        let mut steps_taken = 0;
+        let mut paths = cfg
+            .record_paths
+            .then(|| vec![Vec::new(); queries.len()]);
+        for out in &launch.outputs {
+            chosen_rjs += out.rjs;
+            chosen_rvs += out.rvs;
+            for (q, path, s) in &out.finished {
+                steps_taken += s;
+                if let Some(paths) = &mut paths {
+                    paths[*q] = path.clone();
+                }
+            }
+        }
+
+        let saturated_seconds = self
+            .spec
+            .saturated_seconds(&launch.stats)
+            .min(launch.sim_seconds);
+        Ok(RunReport {
+            engine: self.name(),
+            sim_seconds: launch.sim_seconds,
+            saturated_seconds,
+            stats: launch.stats,
+            queries: queries.len(),
+            steps_taken,
+            paths,
+            chosen_rjs,
+            chosen_rvs,
+            profile_seconds: profile.as_ref().map_or(0.0, |p| p.sim_seconds),
+            preprocess_seconds: aggregates.sim_seconds,
+            warnings,
+            watts: self.spec.load_watts,
+        })
+    }
+}
+
+/// The §5.2 concurrent kernel body for one warp.
+#[allow(clippy::too_many_arguments)]
+fn walk_warp(
+    ctx: &mut WarpCtx,
+    g: &Csr,
+    w: &dyn DynamicWalk,
+    compiled: Option<&CompiledWalk>,
+    aggregates: &Aggregates,
+    queue: &QueryQueue,
+    queries: &[NodeId],
+    steps: usize,
+    record_paths: bool,
+    strategy: SelectionStrategy,
+    cost_model: CostModel,
+    ervs_mode: ErvsMode,
+) -> WarpOut {
+    let mut out = WarpOut::default();
+    let bytes_per_weight = w.bytes_per_weight(g);
+    let mut lanes: [Option<Lane>; WARP_SIZE] = std::array::from_fn(|_| None);
+
+    // PER_KERNEL bounds are estimated once (§4.2 flag semantics).
+    let per_kernel_bound: Option<f64> = compiled.and_then(|c| {
+        if c.flag == flexi_compiler::BoundGranularity::PerKernel {
+            let env = RuntimeEnv {
+                graph: g,
+                aggregates,
+                workload: w,
+                state: WalkState::start(0),
+            };
+            ctx.alu(4);
+            c.max_estimator.eval(&env)
+        } else {
+            None
+        }
+    });
+
+    loop {
+        // Refill idle lanes from the global queue (§5.3).
+        let mut any_active = false;
+        for lane_slot in lanes.iter_mut() {
+            if lane_slot.is_none() {
+                ctx.atomic();
+                if let Some(q) = queue.pop() {
+                    let start = queries[q];
+                    let mut path = Vec::new();
+                    if record_paths {
+                        path.push(start);
+                    }
+                    *lane_slot = Some(Lane {
+                        query: q,
+                        state: WalkState::start(start),
+                        path,
+                        steps_taken: 0,
+                    });
+                }
+            }
+            any_active |= lane_slot.is_some();
+        }
+        if !any_active {
+            break;
+        }
+
+        // Retire finished walks and pick a sampler for the rest.
+        let mut choice: [Option<SamplerChoice>; WARP_SIZE] = [None; WARP_SIZE];
+        for (l, lane_slot) in lanes.iter_mut().enumerate() {
+            let Some(lane) = lane_slot else { continue };
+            let deg = g.degree(lane.state.cur);
+            if lane.state.step >= steps || deg == 0 {
+                let lane = lane_slot.take().expect("checked Some");
+                out.finished.push((lane.query, lane.path, lane.steps_taken));
+                continue;
+            }
+            choice[l] = Some(select_sampler(
+                ctx,
+                l,
+                g,
+                w,
+                compiled,
+                aggregates,
+                &lane.state,
+                strategy,
+                cost_model,
+            ));
+        }
+
+        // Phase 1: rejection lanes run thread-granular trials.
+        for l in 0..WARP_SIZE {
+            if choice[l] != Some(SamplerChoice::Rjs) {
+                continue;
+            }
+            let lane = lanes[l].as_mut().expect("choice implies lane");
+            let state = lane.state;
+            let bound = rjs_bound(ctx, g, w, compiled, aggregates, &state, per_kernel_bound);
+            let range = g.edge_range(state.cur);
+            let wf = |i: usize| w.weight(g, &state, range.start + i);
+            let view = NeighborView::new(&wf, range.len(), bytes_per_weight);
+            let picked = match bound {
+                Some(b) => lane_rejection(ctx, l, &view, b).0,
+                None => None,
+            };
+            out.rjs += 1;
+            advance_lane(&mut lanes[l], picked, g, record_paths, &mut out);
+        }
+
+        // Ballot: does any lane need warp-granular reservoir sampling?
+        let mut preds = [false; WARP_SIZE];
+        for (l, p) in preds.iter_mut().enumerate() {
+            *p = choice[l] == Some(SamplerChoice::Rvs);
+        }
+        let mask = ctx.ballot(&preds);
+        if mask != 0 {
+            // Phase 2: the whole warp cooperates on each RVS lane in turn,
+            // sharing the query parameters via shuffles (§5.2).
+            #[allow(clippy::needless_range_loop)]
+            for l in 0..WARP_SIZE {
+                if mask & (1 << l) == 0 {
+                    continue;
+                }
+                let lane = lanes[l].as_mut().expect("mask implies lane");
+                let state = lane.state;
+                let dummy = [0u32; WARP_SIZE];
+                ctx.shfl(&dummy, l); // Broadcast target node.
+                ctx.shfl(&dummy, l); // Broadcast step/query id.
+                let range = g.edge_range(state.cur);
+                let wf = |i: usize| w.weight(g, &state, range.start + i);
+                let view = NeighborView::new(&wf, range.len(), bytes_per_weight);
+                let picked = warp_ervs(ctx, &view, ervs_mode);
+                out.rvs += 1;
+                advance_lane(&mut lanes[l], picked, g, record_paths, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Applies a sampled neighbor index (or dead end) to a lane.
+fn advance_lane(
+    lane_slot: &mut Option<Lane>,
+    picked: Option<usize>,
+    g: &Csr,
+    record_paths: bool,
+    out: &mut WarpOut,
+) {
+    let lane = lane_slot.as_mut().expect("advance on empty lane");
+    match picked {
+        Some(i) => {
+            let next = g.neighbor(lane.state.cur, i);
+            lane.state.advance(next);
+            lane.steps_taken += 1;
+            if record_paths {
+                lane.path.push(next);
+            }
+        }
+        None => {
+            // Dead end (all weights zero): the walk terminates here.
+            let lane = lane_slot.take().expect("checked Some");
+            out.finished.push((lane.query, lane.path, lane.steps_taken));
+        }
+    }
+}
+
+/// Flexi-Runtime's per-step selection, with cost accounting.
+#[allow(clippy::too_many_arguments)]
+fn select_sampler(
+    ctx: &mut WarpCtx,
+    lane: usize,
+    g: &Csr,
+    w: &dyn DynamicWalk,
+    compiled: Option<&CompiledWalk>,
+    aggregates: &Aggregates,
+    state: &WalkState,
+    strategy: SelectionStrategy,
+    cost_model: CostModel,
+) -> SamplerChoice {
+    match strategy {
+        SelectionStrategy::RvsOnly => SamplerChoice::Rvs,
+        SelectionStrategy::RjsOnly => SamplerChoice::Rjs,
+        SelectionStrategy::Random => {
+            if ctx.draw_u32(lane) & 1 == 0 {
+                SamplerChoice::Rjs
+            } else {
+                SamplerChoice::Rvs
+            }
+        }
+        SelectionStrategy::DegreeThreshold(t) => {
+            if g.degree(state.cur) >= t {
+                SamplerChoice::Rjs
+            } else {
+                SamplerChoice::Rvs
+            }
+        }
+        SelectionStrategy::CostModel => {
+            let Some(c) = compiled else {
+                return SamplerChoice::Rvs;
+            };
+            let env = RuntimeEnv {
+                graph: g,
+                aggregates,
+                workload: w,
+                state: *state,
+            };
+            // PER_STEP estimators read the per-node aggregates (h_MAX,
+            // h_SUM); PER_KERNEL estimators are register-resident constants
+            // plus the degree, which the lane already holds (§4.2).
+            if c.flag == flexi_compiler::BoundGranularity::PerStep {
+                ctx.read_random(4);
+                ctx.read_random(4);
+            }
+            ctx.alu(6);
+            let max_est = c.max_estimator.eval(&env);
+            let sum_est = c.sum_estimator.eval(&env);
+            cost_model.choose(max_est, sum_est)
+        }
+    }
+}
+
+/// The eRJS upper bound for the lane's current node (§3.3).
+fn rjs_bound(
+    ctx: &mut WarpCtx,
+    g: &Csr,
+    w: &dyn DynamicWalk,
+    compiled: Option<&CompiledWalk>,
+    aggregates: &Aggregates,
+    state: &WalkState,
+    per_kernel_bound: Option<f64>,
+) -> Option<f32> {
+    // Float-safety headroom: the estimator math is f64 while kernel weights
+    // are f32; a hair of slack keeps "bound >= max" airtight.
+    const SLACK: f64 = 1.0 + 1e-5;
+    if let Some(b) = per_kernel_bound {
+        return Some((b * SLACK) as f32);
+    }
+    if let Some(c) = compiled {
+        let env = RuntimeEnv {
+            graph: g,
+            aggregates,
+            workload: w,
+            state: *state,
+        };
+        // PER_STEP bounds read h_MAX[cur]; the estimator arithmetic is a
+        // handful of register ops either way.
+        if c.flag == flexi_compiler::BoundGranularity::PerStep {
+            ctx.read_random(4);
+        }
+        ctx.alu(4);
+        if let Some(b) = c.max_estimator.eval(&env) {
+            return Some((b * SLACK) as f32);
+        }
+    }
+    // No estimator: pay the exact max reduction (NextDoor's cost).
+    let range = g.edge_range(state.cur);
+    let wf = |i: usize| w.weight(g, state, range.start + i);
+    let view = NeighborView::new(&wf, range.len(), w.bytes_per_weight(g));
+    let m = warp_max_reduce(ctx, &view);
+    (m > 0.0).then_some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{MetaPath, Node2Vec, SecondOrderPr, UniformWalk};
+    use flexi_graph::{gen, props, CsrBuilder, WeightModel};
+    use flexi_sampling::stat;
+
+    fn small_graph() -> Csr {
+        let g = gen::rmat(8, 2048, gen::RmatParams::SOCIAL, 11);
+        WeightModel::UniformReal.apply(g, 11)
+    }
+
+    fn cfg(steps: usize) -> WalkConfig {
+        WalkConfig {
+            steps,
+            record_paths: true,
+            ..WalkConfig::default()
+        }
+    }
+
+    #[test]
+    fn walks_have_requested_length_and_valid_edges() {
+        let g = small_graph();
+        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+        let queries: Vec<NodeId> = (0..64).collect();
+        let w = Node2Vec::paper(true);
+        let report = engine.run(&g, &w, &queries, &cfg(10)).unwrap();
+        let paths = report.paths.as_ref().unwrap();
+        assert_eq!(paths.len(), 64);
+        for (q, path) in paths.iter().enumerate() {
+            assert_eq!(path[0], queries[q]);
+            assert!(path.len() <= 11, "path too long: {}", path.len());
+            for pair in path.windows(2) {
+                assert!(
+                    g.has_edge(pair[0], pair[1]),
+                    "walk used a non-edge {} -> {}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+        assert_eq!(report.queries, 64);
+        assert!(report.steps_taken > 0);
+        assert!(report.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn adaptive_engine_uses_both_kernels_on_mixed_graph() {
+        let g = small_graph();
+        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+        let queries: Vec<NodeId> = (0..128u32).collect();
+        let w = Node2Vec::paper(true);
+        let report = engine.run(&g, &w, &queries, &cfg(20)).unwrap();
+        assert!(
+            report.chosen_rjs > 0 && report.chosen_rvs > 0,
+            "expected both kernels on an R-MAT graph: rjs {} rvs {}",
+            report.chosen_rjs,
+            report.chosen_rvs
+        );
+    }
+
+    #[test]
+    fn forced_strategies_use_one_kernel() {
+        let g = small_graph();
+        let queries: Vec<NodeId> = (0..32u32).collect();
+        let w = Node2Vec::paper(true);
+        let rvs = FlexiWalkerEngine::with_strategy(DeviceSpec::tiny(), SelectionStrategy::RvsOnly)
+            .run(&g, &w, &queries, &cfg(10))
+            .unwrap();
+        assert_eq!(rvs.chosen_rjs, 0);
+        assert!(rvs.chosen_rvs > 0);
+        let rjs = FlexiWalkerEngine::with_strategy(DeviceSpec::tiny(), SelectionStrategy::RjsOnly)
+            .run(&g, &w, &queries, &cfg(10))
+            .unwrap();
+        assert_eq!(rjs.chosen_rvs, 0);
+        assert!(rjs.chosen_rjs > 0);
+    }
+
+    #[test]
+    fn single_step_distribution_matches_exact_sampling() {
+        // Star graph: 0 -> {1..6} with distinct weights; one walk step from
+        // node 0 must follow p = w̃/Σw̃. Repeat over many seeds.
+        let mut b = CsrBuilder::new(7);
+        let weights = [3.0f32, 2.0, 4.0, 1.0, 0.5, 2.5];
+        for (i, &wgt) in weights.iter().enumerate() {
+            b.push_weighted(0, (i + 1) as u32, wgt);
+        }
+        let g = b.build().unwrap();
+        let w = UniformWalk;
+        let mut counts = vec![0u64; 6];
+        for seed in 0..6000u64 {
+            let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+            let mut c = cfg(1);
+            c.seed = seed;
+            let report = engine.run(&g, &w, &[0], &c).unwrap();
+            let path = &report.paths.as_ref().unwrap()[0];
+            assert_eq!(path.len(), 2);
+            counts[(path[1] - 1) as usize] += 1;
+        }
+        stat::assert_matches_distribution(&counts, &stat::normalize(&weights), "engine 1-step");
+    }
+
+    #[test]
+    fn rjs_and_rvs_modes_draw_from_same_distribution() {
+        // Forced eRJS and forced eRVS must both produce the target
+        // distribution (the selection cannot change walk semantics).
+        let mut b = CsrBuilder::new(5);
+        let weights = [1.0f32, 2.0, 3.0, 4.0];
+        for (i, &wgt) in weights.iter().enumerate() {
+            b.push_weighted(0, (i + 1) as u32, wgt);
+        }
+        let g = b.build().unwrap();
+        let w = UniformWalk;
+        for strategy in [SelectionStrategy::RjsOnly, SelectionStrategy::RvsOnly] {
+            let mut counts = vec![0u64; 4];
+            for seed in 0..5000u64 {
+                let engine = FlexiWalkerEngine::with_strategy(DeviceSpec::tiny(), strategy);
+                let mut c = cfg(1);
+                c.seed = seed;
+                let report = engine.run(&g, &w, &[0], &c).unwrap();
+                let path = &report.paths.as_ref().unwrap()[0];
+                counts[(path[1] - 1) as usize] += 1;
+            }
+            stat::assert_matches_distribution(
+                &counts,
+                &stat::normalize(&weights),
+                &format!("{strategy:?}"),
+            );
+        }
+    }
+
+    #[test]
+    fn node2vec_never_violates_transition_support() {
+        // With b tiny, distance-2 moves dominate, but every move must still
+        // be a real edge; with MetaPath, every move must match the schema.
+        let g = small_graph();
+        let g = props::assign_uniform_labels(g, 5, 3);
+        let w = MetaPath::paper(true);
+        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+        let queries: Vec<NodeId> = (0..128u32).collect();
+        let report = engine.run(&g, &w, &queries, &cfg(5)).unwrap();
+        for path in report.paths.as_ref().unwrap() {
+            for (step, pair) in path.windows(2).enumerate() {
+                // The traversed edge must carry the schema label.
+                let r = g.edge_range(pair[0]);
+                let found = r.clone().any(|e| {
+                    g.edge_target(e) == pair[1] && g.label(e) == w.wanted_label(step)
+                });
+                assert!(found, "step {step} violated schema: {} -> {}", pair[0], pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn metapath_uses_schema_depth() {
+        let g = props::assign_uniform_labels(small_graph(), 5, 3);
+        let w = MetaPath::paper(false);
+        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+        let report = engine.run(&g, &w, &[0, 1, 2], &cfg(80)).unwrap();
+        for path in report.paths.as_ref().unwrap() {
+            assert!(path.len() <= 6, "MetaPath must stop at schema depth");
+        }
+    }
+
+    #[test]
+    fn sink_start_terminates_immediately() {
+        let g = CsrBuilder::new(2).edge(0, 1).build().unwrap();
+        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+        let w = UniformWalk;
+        let report = engine.run(&g, &w, &[1], &cfg(10)).unwrap();
+        assert_eq!(report.paths.as_ref().unwrap()[0], vec![1]);
+        assert_eq!(report.steps_taken, 0);
+    }
+
+    #[test]
+    fn empty_query_set_is_ok() {
+        let g = small_graph();
+        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+        let report = engine
+            .run(&g, &Node2Vec::paper(true), &[], &cfg(10))
+            .unwrap();
+        assert_eq!(report.queries, 0);
+        assert_eq!(report.steps_taken, 0);
+    }
+
+    #[test]
+    fn graph_larger_than_vram_is_oom() {
+        let g = small_graph();
+        let mut spec = DeviceSpec::tiny();
+        spec.vram_bytes = 16; // Absurdly small.
+        let engine = FlexiWalkerEngine::new(spec);
+        let err = engine
+            .run(&g, &Node2Vec::paper(true), &[0], &cfg(1))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn tiny_time_budget_is_oot() {
+        let g = small_graph();
+        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+        let mut c = cfg(80);
+        c.time_budget = 1e-12;
+        let queries: Vec<NodeId> = (0..64u32).collect();
+        let err = engine
+            .run(&g, &Node2Vec::paper(true), &queries, &c)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::OutOfTime { .. }));
+    }
+
+    #[test]
+    fn parallel_hosts_match_sequential_aggregates() {
+        let g = small_graph();
+        let queries: Vec<NodeId> = (0..96u32).collect();
+        let w = SecondOrderPr::paper();
+        let mut c1 = cfg(10);
+        c1.record_paths = false;
+        let seq = FlexiWalkerEngine::new(DeviceSpec::tiny())
+            .run(&g, &w, &queries, &c1)
+            .unwrap();
+        let mut c2 = c1.clone();
+        c2.host_threads = 4;
+        let par = FlexiWalkerEngine::new(DeviceSpec::tiny())
+            .run(&g, &w, &queries, &c2)
+            .unwrap();
+        // Dynamic queue assignment differs, but every query must complete
+        // with the full number of steps on a sink-light graph.
+        assert_eq!(seq.queries, par.queries);
+        assert!(par.steps_taken > 0);
+    }
+
+    #[test]
+    fn report_energy_math() {
+        let r = RunReport {
+            engine: "x",
+            sim_seconds: 2.0,
+            saturated_seconds: 2.0,
+            stats: CostStats::default(),
+            queries: 4,
+            steps_taken: 0,
+            paths: None,
+            chosen_rjs: 0,
+            chosen_rvs: 0,
+            profile_seconds: 0.0,
+            preprocess_seconds: 0.0,
+            warnings: vec![],
+            watts: 100.0,
+        };
+        assert_eq!(r.joules(), 200.0);
+        assert_eq!(r.joules_per_query(), 50.0);
+    }
+
+    #[test]
+    fn profile_and_preprocess_overhead_reported() {
+        let g = small_graph();
+        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+        let queries: Vec<NodeId> = (0..32u32).collect();
+        let report = engine
+            .run(&g, &Node2Vec::paper(true), &queries, &cfg(10))
+            .unwrap();
+        assert!(report.profile_seconds > 0.0, "profiling ran");
+        assert!(report.preprocess_seconds > 0.0, "preprocess ran");
+        // Overheads stay well below the main walk (Table 3's claim).
+        assert!(report.profile_seconds + report.preprocess_seconds < report.sim_seconds);
+    }
+}

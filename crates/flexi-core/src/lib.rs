@@ -1,0 +1,44 @@
+//! FlexiWalker: an extensible framework for efficient dynamic random walks
+//! with runtime adaptation (EuroSys '26 reproduction).
+//!
+//! The crate wires together the three paper components:
+//!
+//! - **Flexi-Kernel** — the optimised eRVS/eRJS sampling kernels live in
+//!   [`flexi_sampling`]; this crate drives them through the concurrent
+//!   warp kernel of §5.2 ([`engine`]).
+//! - **Flexi-Runtime** — the first-order cost model (Eqs. 9–11) and the
+//!   per-node, per-step sampler selection ([`runtime`]), fed by the
+//!   profiling kernels of §5.1 ([`profile`]) and the preprocessed
+//!   aggregates ([`preprocess`]).
+//! - **Flexi-Compiler** — workload analysis and estimator generation from
+//!   [`flexi_compiler`]; [`workload`] carries the paper's five workloads as
+//!   both DSL sources and hand-written Rust, with tests proving the two
+//!   agree.
+//!
+//! Cross-cutting pieces: the dynamic query queue of §5.3 ([`queue`]),
+//! multi-device execution of §6.6 ([`multi_device`]), and the energy model
+//! of §6.7 ([`energy`]). The [`engine::WalkEngine`] trait is the uniform
+//! interface every baseline in `flexi-baselines` also implements, which is
+//! what lets the benchmark harness iterate Table 2 over all systems.
+
+pub mod apps;
+pub mod energy;
+pub mod engine;
+pub mod multi_device;
+pub mod partitioned;
+pub mod preprocess;
+pub mod profile;
+pub mod queue;
+pub mod runtime;
+pub mod workload;
+
+pub use engine::{
+    EngineError, FlexiWalkerEngine, RunReport, WalkConfig, WalkEngine, DEFAULT_TIME_BUDGET,
+};
+pub use preprocess::Aggregates;
+pub use profile::ProfileResult;
+pub use queue::QueryQueue;
+pub use runtime::{CostModel, SamplerChoice, SelectionStrategy};
+pub use workload::{
+    static_max_bound, DynamicWalk, MetaPath, Node2Vec, SecondOrderPr, UniformWalk, WalkState,
+};

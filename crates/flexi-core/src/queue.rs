@@ -1,0 +1,98 @@
+//! Dynamic query scheduling (paper §5.3).
+//!
+//! A single atomically incremented counter indexes into the array of
+//! pending walk queries; processing units (warp lanes) pop the next query
+//! when their current one finishes. This is exactly the scheme the paper
+//! found sufficient — no work-stealing deque needed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A global FIFO over `len` queries, popped by atomic counter increment.
+#[derive(Debug)]
+pub struct QueryQueue {
+    next: AtomicUsize,
+    len: usize,
+}
+
+impl QueryQueue {
+    /// Creates a queue over `len` queries.
+    pub fn new(len: usize) -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            len,
+        }
+    }
+
+    /// Pops the next query index, or `None` when the batch is drained.
+    ///
+    /// Each successful pop corresponds to one global atomic on the device;
+    /// the caller is responsible for charging it (`WarpCtx::atomic`).
+    pub fn pop(&self) -> Option<usize> {
+        // `fetch_add` may overshoot past `len`; indices >= len are simply
+        // discarded, which keeps the hot path a single atomic.
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.len).then_some(i)
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queries handed out so far (may exceed `len` due to overshoot).
+    pub fn popped(&self) -> usize {
+        self.next.load(Ordering::Relaxed).min(self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pops_each_index_exactly_once() {
+        let q = QueryQueue::new(5);
+        let mut seen = Vec::new();
+        while let Some(i) = q.pop() {
+            seen.push(i);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.popped(), 5);
+    }
+
+    #[test]
+    fn empty_queue_pops_none() {
+        let q = QueryQueue::new(0);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_pops_are_disjoint_and_complete() {
+        let q = Arc::new(QueryQueue::new(10_000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(i) = q.pop() {
+                    got.push(i);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10_000).collect::<Vec<_>>());
+    }
+}

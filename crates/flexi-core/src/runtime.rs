@@ -1,0 +1,228 @@
+//! Flexi-Runtime: per-node, per-step sampler selection (paper §4.1).
+//!
+//! The first-order cost model compares the expected memory cost of the two
+//! optimised kernels at the current node (Eqs. 9–11):
+//!
+//! ```text
+//! Cost_RVS = EdgeCost_RVS · degree
+//! Cost_RJS = EdgeCost_RJS · degree · max(w̃) / Σw̃
+//! prefer RJS  ⇔  (EdgeCost_RJS / EdgeCost_RVS) · max(w̃) < Σw̃
+//! ```
+//!
+//! `max(w̃)` comes from the compiler-generated bound estimator (also used
+//! as the eRJS bound) and `Σw̃` from the sum estimator (Eq. 12); the edge
+//! cost ratio is measured by the profiling kernels (§5.1, [`crate::profile`]).
+
+use crate::preprocess::Aggregates;
+use crate::workload::{DynamicWalk, WalkState};
+use flexi_compiler::{AggKind, EstimatorEnv};
+use flexi_graph::Csr;
+
+/// Which optimised kernel to run for one sampling step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplerChoice {
+    /// eRJS: thread-granular rejection with estimated bound.
+    Rjs,
+    /// eRVS: warp-granular reservoir with exponential keys + jump.
+    Rvs,
+}
+
+/// Sampler-selection strategies evaluated in Fig. 13.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// The paper's first-order cost model (Eq. 11).
+    CostModel,
+    /// Uniformly random choice (Fig. 13 baseline).
+    Random,
+    /// Degree threshold: RVS below `1K` neighbors, RJS above (Fig. 13
+    /// baseline).
+    DegreeThreshold(usize),
+    /// Always eRJS (Fig. 11 ablation).
+    RjsOnly,
+    /// Always eRVS (Fig. 11 ablation; also the compiler fallback mode).
+    RvsOnly,
+}
+
+impl SelectionStrategy {
+    /// The degree-based baseline with the paper's 1K threshold.
+    pub fn paper_degree_baseline() -> Self {
+        Self::DegreeThreshold(1000)
+    }
+}
+
+/// The profiled cost model.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// `EdgeCost_RJS / EdgeCost_RVS` — random-probe cost relative to
+    /// sequential-scan cost per edge, measured at startup.
+    pub edge_cost_ratio: f64,
+}
+
+impl CostModel {
+    /// A reasonable default when profiling is skipped (random DRAM access
+    /// is roughly this much more expensive than sequential on an A6000).
+    pub fn default_ratio() -> Self {
+        Self {
+            edge_cost_ratio: 8.0,
+        }
+    }
+
+    /// Eq. 11: prefer eRJS iff `ratio · max(w̃) < Σw̃`.
+    ///
+    /// `None` estimates (estimator fallback) select eRVS for soundness.
+    pub fn choose(&self, max_est: Option<f64>, sum_est: Option<f64>) -> SamplerChoice {
+        match (max_est, sum_est) {
+            (Some(mx), Some(sm)) if mx.is_finite() && sm.is_finite() && mx > 0.0 => {
+                if self.edge_cost_ratio * mx < sm {
+                    SamplerChoice::Rjs
+                } else {
+                    SamplerChoice::Rvs
+                }
+            }
+            _ => SamplerChoice::Rvs,
+        }
+    }
+}
+
+/// Estimator environment bridging graph, aggregates, workload and walker
+/// state — the values `get_weight_max()/_sum()` read at runtime.
+pub struct RuntimeEnv<'a> {
+    /// Graph being walked.
+    pub graph: &'a Csr,
+    /// Preprocessed `_MAX` / `_SUM` aggregates.
+    pub aggregates: &'a Aggregates,
+    /// The workload (hyperparameters, schema lookups).
+    pub workload: &'a dyn DynamicWalk,
+    /// Current walker state.
+    pub state: WalkState,
+}
+
+impl EstimatorEnv for RuntimeEnv<'_> {
+    fn edge_aggregate(&self, array: &str, kind: AggKind) -> Option<f64> {
+        self.aggregates.get(array, kind, self.state.cur)
+    }
+
+    fn node_scalar(&self, array: &str, index: &str) -> Option<f64> {
+        self.workload
+            .env_scalar(self.graph, &self.state, array, index)
+    }
+
+    fn var(&self, name: &str) -> Option<f64> {
+        match name {
+            "deg" => Some(self.graph.degree(self.state.cur) as f64),
+            "step" | "iter" => Some(self.state.step as f64),
+            other => self.workload.hyperparam(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Node2Vec;
+    use flexi_compiler::PreprocessRequest;
+    use flexi_gpu_sim::DeviceSpec;
+    use flexi_graph::CsrBuilder;
+
+    #[test]
+    fn cost_model_prefers_rjs_for_flat_weights() {
+        // 100 neighbors of weight ~1: max = 1, sum = 100, ratio 8 → RJS.
+        let m = CostModel { edge_cost_ratio: 8.0 };
+        assert_eq!(m.choose(Some(1.0), Some(100.0)), SamplerChoice::Rjs);
+    }
+
+    #[test]
+    fn cost_model_prefers_rvs_for_skewed_weights() {
+        // One huge outlier: max = 90, sum = 100 → 8·90 > 100 → RVS.
+        let m = CostModel { edge_cost_ratio: 8.0 };
+        assert_eq!(m.choose(Some(90.0), Some(100.0)), SamplerChoice::Rvs);
+    }
+
+    #[test]
+    fn cost_model_threshold_is_eq11() {
+        let m = CostModel { edge_cost_ratio: 2.0 };
+        // 2 * 10 = 20: strictly-less comparison → RVS at equality.
+        assert_eq!(m.choose(Some(10.0), Some(20.0)), SamplerChoice::Rvs);
+        assert_eq!(m.choose(Some(10.0), Some(20.1)), SamplerChoice::Rjs);
+    }
+
+    #[test]
+    fn missing_estimates_fall_back_to_rvs() {
+        let m = CostModel::default_ratio();
+        assert_eq!(m.choose(None, Some(5.0)), SamplerChoice::Rvs);
+        assert_eq!(m.choose(Some(5.0), None), SamplerChoice::Rvs);
+        assert_eq!(m.choose(Some(f64::NAN), Some(5.0)), SamplerChoice::Rvs);
+        assert_eq!(m.choose(Some(0.0), Some(5.0)), SamplerChoice::Rvs);
+    }
+
+    #[test]
+    fn runtime_env_resolves_all_value_classes() {
+        let g = CsrBuilder::new(2)
+            .weighted_edge(0, 1, 3.0)
+            .weighted_edge(0, 0, 5.0)
+            .weighted_edge(1, 0, 1.0)
+            .build()
+            .unwrap();
+        let req = vec![PreprocessRequest {
+            array: "h".into(),
+            kind: AggKind::Max,
+        }];
+        let agg = Aggregates::compute(&g, &req, &DeviceSpec::tiny());
+        let w = Node2Vec::paper(true);
+        let env = RuntimeEnv {
+            graph: &g,
+            aggregates: &agg,
+            workload: &w,
+            state: WalkState::start(0),
+        };
+        assert_eq!(env.edge_aggregate("h", AggKind::Max), Some(5.0));
+        assert_eq!(env.edge_aggregate("h", AggKind::Sum), Some(8.0));
+        assert_eq!(env.node_scalar("deg", "cur"), Some(2.0));
+        assert_eq!(env.var("deg"), Some(2.0));
+        assert_eq!(env.var("step"), Some(0.0));
+        assert_eq!(env.var("a"), Some(2.0));
+        assert_eq!(env.var("nonsense"), None);
+    }
+
+    #[test]
+    fn compiled_estimator_plus_env_produces_sound_bound() {
+        // End-to-end: compile weighted Node2Vec, evaluate its max estimator
+        // through RuntimeEnv, and verify it dominates every actual weight.
+        use crate::workload::DynamicWalk;
+        use flexi_compiler::{compile, CompileOutcome};
+        let g = CsrBuilder::new(3)
+            .weighted_edge(0, 1, 3.0)
+            .weighted_edge(0, 2, 4.5)
+            .weighted_edge(1, 0, 2.0)
+            .weighted_edge(2, 0, 1.0)
+            .build()
+            .unwrap();
+        let w = Node2Vec::paper(true);
+        let compiled = match compile(&w.spec()).unwrap() {
+            CompileOutcome::Supported(c) => c,
+            _ => panic!("node2vec must compile"),
+        };
+        let agg = Aggregates::compute(&g, &compiled.preprocess, &DeviceSpec::tiny());
+        for prev in [None, Some(1u32), Some(2u32)] {
+            let state = WalkState {
+                cur: 0,
+                prev,
+                step: 1,
+            };
+            let env = RuntimeEnv {
+                graph: &g,
+                aggregates: &agg,
+                workload: &w,
+                state,
+            };
+            let bound = compiled.max_estimator.eval(&env).unwrap();
+            for e in g.edge_range(0) {
+                let actual = f64::from(w.weight(&g, &state, e));
+                assert!(
+                    bound >= actual - 1e-9,
+                    "bound {bound} < actual {actual} (prev {prev:?})"
+                );
+            }
+        }
+    }
+}

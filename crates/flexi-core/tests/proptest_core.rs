@@ -1,0 +1,104 @@
+//! Property-based tests for runtime selection and engine invariants.
+
+use flexi_core::{
+    CostModel, FlexiWalkerEngine, Node2Vec, QueryQueue, SamplerChoice, SelectionStrategy,
+    WalkConfig, WalkEngine, WalkState,
+};
+use flexi_gpu_sim::DeviceSpec;
+use flexi_graph::{gen, WeightModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// Eq. 11 monotonicity: raising the max estimate (more skew) can only
+    /// move the choice toward reservoir sampling, never toward rejection.
+    #[test]
+    fn cost_model_monotone_in_skew(
+        ratio in 1.0f64..64.0,
+        sum in 0.1f64..1e6,
+        max_lo in 0.01f64..1e3,
+        bump in 1.0f64..1e3,
+    ) {
+        let m = CostModel { edge_cost_ratio: ratio };
+        let lo = m.choose(Some(max_lo), Some(sum));
+        let hi = m.choose(Some(max_lo + bump), Some(sum));
+        // Rjs -> Rvs transitions are allowed; Rvs -> Rjs is not.
+        prop_assert!(
+            !(lo == SamplerChoice::Rvs && hi == SamplerChoice::Rjs),
+            "raising max flipped Rvs -> Rjs"
+        );
+    }
+
+    /// Eq. 11 monotonicity in the sum: a larger Σw̃ never flips toward
+    /// reservoir sampling.
+    #[test]
+    fn cost_model_monotone_in_sum(
+        ratio in 1.0f64..64.0,
+        max in 0.01f64..1e3,
+        sum_lo in 0.1f64..1e6,
+        bump in 1.0f64..1e6,
+    ) {
+        let m = CostModel { edge_cost_ratio: ratio };
+        let lo = m.choose(Some(max), Some(sum_lo));
+        let hi = m.choose(Some(max), Some(sum_lo + bump));
+        prop_assert!(
+            !(lo == SamplerChoice::Rjs && hi == SamplerChoice::Rvs),
+            "raising sum flipped Rjs -> Rvs"
+        );
+    }
+
+    /// The queue hands out exactly 0..len, once each, in order.
+    #[test]
+    fn queue_hands_out_every_index_once(len in 0usize..500) {
+        let q = QueryQueue::new(len);
+        let mut seen = Vec::new();
+        while let Some(i) = q.pop() {
+            seen.push(i);
+        }
+        prop_assert_eq!(seen, (0..len).collect::<Vec<_>>());
+    }
+
+    /// Walk state advance is a pure shift register.
+    #[test]
+    fn walk_state_advance_shifts(start: u32, hops in proptest::collection::vec(any::<u32>(), 1..20)) {
+        let mut st = WalkState::start(start);
+        let mut prev = start;
+        for (i, &h) in hops.iter().enumerate() {
+            st.advance(h);
+            prop_assert_eq!(st.cur, h);
+            prop_assert_eq!(st.prev, Some(prev));
+            prop_assert_eq!(st.step, i + 1);
+            prev = h;
+        }
+    }
+
+    /// Engine invariant: for any seed and strategy, paths start at their
+    /// query node, never exceed the step limit, and only traverse edges.
+    #[test]
+    fn engine_paths_always_valid(seed in 0u64..1000, strat_idx in 0usize..4) {
+        let g = gen::rmat(7, 512, gen::RmatParams::SOCIAL, 13);
+        let g = WeightModel::UniformReal.apply(g, 13);
+        let strategy = [
+            SelectionStrategy::CostModel,
+            SelectionStrategy::Random,
+            SelectionStrategy::RjsOnly,
+            SelectionStrategy::RvsOnly,
+        ][strat_idx];
+        let engine = FlexiWalkerEngine::with_strategy(DeviceSpec::tiny(), strategy);
+        let cfg = WalkConfig {
+            steps: 6,
+            record_paths: true,
+            seed,
+            ..WalkConfig::default()
+        };
+        let queries = [0u32, 17, 63, 101];
+        let report = engine.run(&g, &Node2Vec::paper(true), &queries, &cfg).unwrap();
+        let paths = report.paths.as_ref().unwrap();
+        for (q, path) in paths.iter().enumerate() {
+            prop_assert_eq!(path[0], queries[q]);
+            prop_assert!(path.len() <= 7);
+            for pair in path.windows(2) {
+                prop_assert!(g.has_edge(pair[0], pair[1]));
+            }
+        }
+    }
+}

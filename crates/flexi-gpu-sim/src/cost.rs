@@ -1,0 +1,130 @@
+//! Activity counters and the first-order kernel time model.
+
+use crate::spec::DeviceSpec;
+
+/// Per-warp (and, aggregated, per-kernel) activity counters.
+///
+/// Every [`crate::WarpCtx`] accessor increments these; the scheduler turns
+/// them into cycles with [`CostStats::cycles`]. Counters are plain sums, so
+/// aggregation is element-wise addition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostStats {
+    /// Coalesced DRAM transactions (sequential warp-wide accesses).
+    pub coalesced_transactions: u64,
+    /// Non-coalesced DRAM transactions (random single-lane accesses).
+    pub random_transactions: u64,
+    /// Scalar ALU operations.
+    pub alu_ops: u64,
+    /// 32-bit random-number draws.
+    pub rng_draws: u64,
+    /// Warp-intrinsic steps (one shuffle stage each).
+    pub shuffle_ops: u64,
+    /// Atomic operations on global memory.
+    pub atomic_ops: u64,
+}
+
+impl CostStats {
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &CostStats) {
+        self.coalesced_transactions += other.coalesced_transactions;
+        self.random_transactions += other.random_transactions;
+        self.alu_ops += other.alu_ops;
+        self.rng_draws += other.rng_draws;
+        self.shuffle_ops += other.shuffle_ops;
+        self.atomic_ops += other.atomic_ops;
+    }
+
+    /// Total DRAM transactions of either kind.
+    pub fn total_transactions(&self) -> u64 {
+        self.coalesced_transactions + self.random_transactions
+    }
+
+    /// First-order cycle cost of this activity on `spec`.
+    ///
+    /// Atomics are priced as random transactions (they serialise on the
+    /// memory system the same way).
+    pub fn cycles(&self, spec: &DeviceSpec) -> u64 {
+        let mem = self.coalesced_transactions * spec.cycles_per_transaction
+            + self.random_transactions
+                * (spec.cycles_per_transaction + spec.random_access_penalty)
+            + self.atomic_ops * (spec.cycles_per_transaction + spec.random_access_penalty);
+        let compute = self.alu_ops * spec.cycles_per_alu
+            + self.rng_draws * spec.cycles_per_rng
+            + self.shuffle_ops * spec.cycles_per_shuffle;
+        // Memory-bound model with imperfect overlap: the larger component
+        // dominates and a quarter of the smaller leaks through.
+        let (hi, lo) = if mem >= compute {
+            (mem, compute)
+        } else {
+            (compute, mem)
+        };
+        hi + lo / 4
+    }
+}
+
+impl std::ops::Add for CostStats {
+    type Output = CostStats;
+
+    fn add(mut self, rhs: CostStats) -> CostStats {
+        CostStats::add(&mut self, &rhs);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_elementwise() {
+        let a = CostStats {
+            coalesced_transactions: 1,
+            random_transactions: 2,
+            alu_ops: 3,
+            rng_draws: 4,
+            shuffle_ops: 5,
+            atomic_ops: 6,
+        };
+        let b = a;
+        let c = a + b;
+        assert_eq!(c.coalesced_transactions, 2);
+        assert_eq!(c.atomic_ops, 12);
+        assert_eq!(c.total_transactions(), 6);
+    }
+
+    #[test]
+    fn cycles_weigh_random_access_heavier() {
+        let spec = DeviceSpec::tiny();
+        let coalesced = CostStats {
+            coalesced_transactions: 100,
+            ..Default::default()
+        };
+        let random = CostStats {
+            random_transactions: 100,
+            ..Default::default()
+        };
+        assert!(random.cycles(&spec) > coalesced.cycles(&spec));
+    }
+
+    #[test]
+    fn cycles_overlap_memory_and_compute() {
+        let spec = DeviceSpec::tiny();
+        let mem_only = CostStats {
+            coalesced_transactions: 1000,
+            ..Default::default()
+        };
+        let mixed = CostStats {
+            coalesced_transactions: 1000,
+            alu_ops: 100,
+            ..Default::default()
+        };
+        let delta = mixed.cycles(&spec) - mem_only.cycles(&spec);
+        // Compute mostly hides under memory: only 1/4 of it leaks through.
+        assert_eq!(delta, 100 / 4 * spec.cycles_per_alu);
+    }
+
+    #[test]
+    fn zero_activity_is_zero_cycles() {
+        assert_eq!(CostStats::default().cycles(&DeviceSpec::tiny()), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! A SIMT execution simulator standing in for CUDA hardware.
+//!
+//! FlexiWalker's kernels are *memory-bound* (paper §4.1): their relative
+//! performance is governed by how many memory transactions and random-number
+//! draws each sampling strategy issues, and by warp-level execution effects
+//! (lockstep divergence, coalescing, warp intrinsics). This crate models
+//! exactly those quantities:
+//!
+//! - [`DeviceSpec`] — an A6000-like device description (SMs, resident warps,
+//!   clock, DRAM bandwidth/latency, per-op costs, VRAM capacity);
+//! - [`WarpCtx`] — a 32-lane warp context: per-lane Philox RNG streams,
+//!   `ballot` / `shfl` / reduction intrinsics, typed memory accessors that
+//!   charge coalesced vs. random transaction costs, and divergence
+//!   accounting for lockstep loops;
+//! - [`Device::launch`] — runs a warp kernel over a grid, schedules warp
+//!   costs onto SM slots, and reports aggregate [`CostStats`] plus a
+//!   first-order simulated kernel time;
+//! - [`MemPool`] — device-memory tracking for out-of-memory emulation
+//!   (the paper reports OOM for baselines that sort or build tables).
+//!
+//! The simulator executes the *real* algorithm logic (sampled walks are
+//! genuine samples); only time is modelled rather than measured, which is
+//! what makes the reproduction deterministic and hardware-independent.
+
+pub mod cost;
+pub mod device;
+pub mod spec;
+pub mod warp;
+
+pub use cost::CostStats;
+pub use device::{Device, LaunchReport, MemPool, SimError};
+pub use spec::DeviceSpec;
+pub use warp::{WarpCtx, WARP_SIZE};

@@ -1,0 +1,238 @@
+//! Device descriptions.
+
+/// Static description of a simulated GPU.
+///
+/// The default matches the paper's NVIDIA A6000 at the granularity the cost
+/// model needs: enough SM-level parallelism for the scheduler, and per-op
+/// cycle/byte costs for the memory-bound kernel time estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Resident warps per SM the scheduler can overlap (occupancy).
+    pub warps_per_sm: usize,
+    /// Warp instructions each SM can issue per cycle — compute throughput
+    /// is `num_sms × issue_per_sm × clock`, far below the resident-warp
+    /// count (residency hides latency; it does not add issue width).
+    pub issue_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// DRAM transaction granularity in bytes (one coalesced sector).
+    pub transaction_bytes: usize,
+    /// Aggregate DRAM bandwidth in GB/s — caps whole-device throughput
+    /// when many warps stream memory concurrently.
+    pub dram_gbps: f64,
+    /// Amortised cycles one DRAM transaction occupies an SM slot.
+    ///
+    /// With deep warp overlap most latency hides; this is the *throughput*
+    /// cost, not the raw latency.
+    pub cycles_per_transaction: u64,
+    /// Extra cycle penalty for a non-coalesced (random) transaction.
+    pub random_access_penalty: u64,
+    /// Cycles per scalar ALU op.
+    pub cycles_per_alu: u64,
+    /// Cycles per 32-bit RNG draw (Philox round cost).
+    pub cycles_per_rng: u64,
+    /// Cycles per warp-intrinsic step (shuffle, ballot stage).
+    pub cycles_per_shuffle: u64,
+    /// Device memory capacity in bytes, for OOM emulation.
+    pub vram_bytes: usize,
+    /// Board power under load, in watts (energy model input).
+    pub load_watts: f64,
+    /// Idle power in watts.
+    pub idle_watts: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA A6000-like configuration (84 SMs, 48 GB VRAM, 300 W).
+    pub fn a6000() -> Self {
+        Self {
+            name: "SimA6000",
+            num_sms: 84,
+            warps_per_sm: 12,
+            issue_per_sm: 4,
+            clock_ghz: 1.41,
+            transaction_bytes: 32,
+            dram_gbps: 768.0,
+            cycles_per_transaction: 8,
+            random_access_penalty: 24,
+            cycles_per_alu: 1,
+            cycles_per_rng: 6,
+            cycles_per_shuffle: 2,
+            vram_bytes: 48 * (1 << 30),
+            load_watts: 300.0,
+            idle_watts: 20.0,
+        }
+    }
+
+    /// NVIDIA A100-SXM-like configuration (108 SMs, 80 GB HBM2e, 400 W).
+    pub fn a100() -> Self {
+        Self {
+            name: "SimA100",
+            num_sms: 108,
+            warps_per_sm: 16,
+            issue_per_sm: 4,
+            clock_ghz: 1.41,
+            transaction_bytes: 32,
+            dram_gbps: 2039.0,
+            cycles_per_transaction: 8,
+            random_access_penalty: 20,
+            cycles_per_alu: 1,
+            cycles_per_rng: 6,
+            cycles_per_shuffle: 2,
+            vram_bytes: 80 * (1 << 30),
+            load_watts: 400.0,
+            idle_watts: 50.0,
+        }
+    }
+
+    /// NVIDIA RTX 3090-like configuration (82 SMs, 24 GB GDDR6X, 350 W).
+    pub fn rtx3090() -> Self {
+        Self {
+            name: "SimRTX3090",
+            num_sms: 82,
+            warps_per_sm: 12,
+            issue_per_sm: 4,
+            clock_ghz: 1.70,
+            transaction_bytes: 32,
+            dram_gbps: 936.0,
+            cycles_per_transaction: 8,
+            random_access_penalty: 24,
+            cycles_per_alu: 1,
+            cycles_per_rng: 6,
+            cycles_per_shuffle: 2,
+            vram_bytes: 24 * (1 << 30),
+            load_watts: 350.0,
+            idle_watts: 25.0,
+        }
+    }
+
+    /// A deliberately tiny device for tests: 2 SMs, 1 MiB of "VRAM".
+    pub fn tiny() -> Self {
+        Self {
+            name: "SimTiny",
+            num_sms: 2,
+            warps_per_sm: 2,
+            issue_per_sm: 1,
+            clock_ghz: 1.0,
+            transaction_bytes: 32,
+            dram_gbps: 16.0,
+            cycles_per_transaction: 8,
+            random_access_penalty: 24,
+            cycles_per_alu: 1,
+            cycles_per_rng: 6,
+            cycles_per_shuffle: 2,
+            vram_bytes: 1 << 20,
+            load_watts: 10.0,
+            idle_watts: 1.0,
+        }
+    }
+
+    /// Total concurrent warp slots the scheduler can fill.
+    pub fn total_warp_slots(&self) -> usize {
+        self.num_sms * self.warps_per_sm
+    }
+
+    /// Converts a cycle count to seconds at this device's clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Time the DRAM system needs to serve all of `stats`' transactions.
+    pub fn bandwidth_seconds(&self, stats: &crate::CostStats) -> f64 {
+        let bytes = (stats.total_transactions() + stats.atomic_ops) as f64
+            * self.transaction_bytes as f64;
+        bytes / (self.dram_gbps * 1e9)
+    }
+
+    /// Time the issue pipelines need for all of `stats`' compute work
+    /// (ALU, RNG rounds, warp intrinsics).
+    pub fn compute_seconds(&self, stats: &crate::CostStats) -> f64 {
+        let ops = stats.alu_ops * self.cycles_per_alu
+            + stats.rng_draws * self.cycles_per_rng
+            + stats.shuffle_ops * self.cycles_per_shuffle;
+        ops as f64 / (self.num_sms as f64 * self.issue_per_sm as f64 * self.clock_ghz * 1e9)
+    }
+
+    /// Whole-device execution time for aggregate activity `stats` assuming
+    /// every warp slot is busy: the slowest of the latency-slot model, the
+    /// DRAM bandwidth cap, and the compute-issue cap.
+    pub fn saturated_seconds(&self, stats: &crate::CostStats) -> f64 {
+        let slot_secs =
+            self.cycles_to_seconds(stats.cycles(self) / self.total_warp_slots().max(1) as u64);
+        slot_secs
+            .max(self.bandwidth_seconds(stats))
+            .max(self.compute_seconds(stats))
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::a6000()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a6000_has_sane_shape() {
+        let s = DeviceSpec::a6000();
+        assert_eq!(s.num_sms, 84);
+        assert_eq!(s.total_warp_slots(), 84 * 12);
+        assert!(s.vram_bytes > 40 * (1 << 30));
+    }
+
+    #[test]
+    fn cycles_to_seconds_scales_with_clock() {
+        let s = DeviceSpec::tiny();
+        assert!((s.cycles_to_seconds(1_000_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_a6000() {
+        assert_eq!(DeviceSpec::default(), DeviceSpec::a6000());
+    }
+
+    #[test]
+    fn presets_are_ordered_by_capability() {
+        // A100 outclasses A6000 outclasses the test device in bandwidth
+        // and VRAM; memory-bound work must follow that ordering.
+        let stats = crate::CostStats {
+            coalesced_transactions: 1_000_000,
+            ..Default::default()
+        };
+        let a100 = DeviceSpec::a100().saturated_seconds(&stats);
+        let a6000 = DeviceSpec::a6000().saturated_seconds(&stats);
+        let tiny = DeviceSpec::tiny().saturated_seconds(&stats);
+        assert!(a100 < a6000, "{a100} vs {a6000}");
+        assert!(a6000 < tiny, "{a6000} vs {tiny}");
+        assert!(DeviceSpec::a100().vram_bytes > DeviceSpec::rtx3090().vram_bytes);
+    }
+
+    #[test]
+    fn bandwidth_and_compute_caps_kick_in() {
+        let spec = DeviceSpec::a6000();
+        // Memory-only workload: bandwidth bound.
+        let mem = crate::CostStats {
+            coalesced_transactions: 1 << 24,
+            ..Default::default()
+        };
+        assert!(spec.bandwidth_seconds(&mem) > spec.compute_seconds(&mem));
+        // RNG-heavy workload: compute bound.
+        let rng = crate::CostStats {
+            rng_draws: 1 << 30,
+            ..Default::default()
+        };
+        assert!(spec.compute_seconds(&rng) > spec.bandwidth_seconds(&rng));
+        assert_eq!(
+            spec.saturated_seconds(&rng),
+            spec.compute_seconds(&rng).max(
+                spec.cycles_to_seconds(rng.cycles(&spec) / spec.total_warp_slots() as u64)
+            )
+        );
+    }
+}

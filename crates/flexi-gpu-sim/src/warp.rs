@@ -1,0 +1,334 @@
+//! The 32-lane warp execution context.
+//!
+//! Kernels in this repository are written *warp-centric*: one function
+//! invocation models the lockstep execution of 32 SIMT lanes. The context
+//! provides per-lane RNG streams, CUDA-style warp intrinsics, and typed
+//! memory accessors that feed the activity counters in [`CostStats`].
+
+use crate::cost::CostStats;
+use flexi_rng::{Philox4x32, RandomSource};
+
+/// Number of lanes per warp (CUDA warp size).
+pub const WARP_SIZE: usize = 32;
+
+/// Number of shuffle stages a full-warp butterfly reduction takes (log2 32).
+const REDUCTION_STAGES: u64 = 5;
+
+/// Execution context of a single warp.
+///
+/// # Examples
+///
+/// ```
+/// use flexi_gpu_sim::{WarpCtx, WARP_SIZE};
+///
+/// let mut ctx = WarpCtx::new(0, 42);
+/// let mut keys = [0.0f32; WARP_SIZE];
+/// for lane in 0..WARP_SIZE {
+///     keys[lane] = ctx.draw_f32(lane);
+/// }
+/// let (argmax, max) = ctx.reduce_argmax_f32(&keys);
+/// assert!(max >= keys[argmax] - f32::EPSILON);
+/// assert_eq!(ctx.stats().rng_draws, 32);
+/// ```
+#[derive(Debug)]
+pub struct WarpCtx {
+    warp_id: usize,
+    stats: CostStats,
+    lanes: Vec<Philox4x32>,
+    transaction_bytes: usize,
+}
+
+impl WarpCtx {
+    /// Creates the context for warp `warp_id` under experiment `seed`.
+    ///
+    /// Lane `l` owns Philox stream `warp_id * 32 + l`, so every lane in a
+    /// grid draws from an independent, reproducible stream.
+    pub fn new(warp_id: usize, seed: u64) -> Self {
+        Self::with_transaction_bytes(warp_id, seed, 32)
+    }
+
+    /// As [`WarpCtx::new`] with an explicit DRAM sector size.
+    pub fn with_transaction_bytes(warp_id: usize, seed: u64, transaction_bytes: usize) -> Self {
+        assert!(transaction_bytes > 0, "sector size must be positive");
+        let lanes = (0..WARP_SIZE)
+            .map(|l| Philox4x32::new(seed, (warp_id * WARP_SIZE + l) as u64))
+            .collect();
+        Self {
+            warp_id,
+            stats: CostStats::default(),
+            lanes,
+            transaction_bytes,
+        }
+    }
+
+    /// This warp's grid-global id.
+    pub fn warp_id(&self) -> usize {
+        self.warp_id
+    }
+
+    /// Activity accumulated so far.
+    pub fn stats(&self) -> &CostStats {
+        &self.stats
+    }
+
+    /// Consumes the context, returning its final activity counters.
+    pub fn into_stats(self) -> CostStats {
+        self.stats
+    }
+
+    // ---- Per-lane RNG -----------------------------------------------------
+
+    /// Draws 32 random bits on `lane` (counted).
+    pub fn draw_u32(&mut self, lane: usize) -> u32 {
+        self.stats.rng_draws += 1;
+        self.lanes[lane].next_u32()
+    }
+
+    /// Draws a uniform `f32` in `(0, 1]` on `lane` (counted).
+    pub fn draw_f32(&mut self, lane: usize) -> f32 {
+        self.stats.rng_draws += 1;
+        self.lanes[lane].uniform_f32()
+    }
+
+    /// Draws a uniform `f64` in `(0, 1]` on `lane` (counted as two draws).
+    pub fn draw_f64(&mut self, lane: usize) -> f64 {
+        self.stats.rng_draws += 2;
+        self.lanes[lane].uniform_f64()
+    }
+
+    /// Draws a uniform index in `[0, bound)` on `lane` (counted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn draw_index(&mut self, lane: usize, bound: usize) -> usize {
+        assert!(bound > 0, "draw_index bound must be positive");
+        self.stats.rng_draws += 1;
+        let x = self.lanes[lane].next_u32();
+        ((u64::from(x) * bound as u64) >> 32) as usize
+    }
+
+    /// Advances `lane`'s stream by `n` draws **without** RNG cost.
+    ///
+    /// This is the primitive behind the eRVS jump optimisation: skipping is
+    /// an O(1) counter addition on Philox, so it is deliberately free in the
+    /// cost model (charge an [`WarpCtx::alu`] op at the call site for the
+    /// threshold arithmetic instead).
+    pub fn skip_rng(&mut self, lane: usize, n: u64) {
+        self.lanes[lane].skip(n);
+    }
+
+    // ---- Memory accounting ------------------------------------------------
+
+    /// Charges a warp-wide sequential read of `bytes` contiguous bytes.
+    pub fn read_coalesced(&mut self, bytes: usize) {
+        self.stats.coalesced_transactions += Self::transactions(bytes, self.transaction_bytes);
+    }
+
+    /// Charges a single-lane random-address read of `bytes` bytes.
+    pub fn read_random(&mut self, bytes: usize) {
+        self.stats.random_transactions += Self::transactions(bytes, self.transaction_bytes).max(1);
+    }
+
+    /// Charges a warp-wide sequential write of `bytes` bytes.
+    pub fn write_coalesced(&mut self, bytes: usize) {
+        self.stats.coalesced_transactions += Self::transactions(bytes, self.transaction_bytes);
+    }
+
+    /// Charges `n` scalar ALU operations.
+    pub fn alu(&mut self, n: u64) {
+        self.stats.alu_ops += n;
+    }
+
+    /// Charges one global atomic operation.
+    pub fn atomic(&mut self) {
+        self.stats.atomic_ops += 1;
+    }
+
+    fn transactions(bytes: usize, sector: usize) -> u64 {
+        (bytes.div_ceil(sector)) as u64
+    }
+
+    // ---- Warp intrinsics ----------------------------------------------------
+
+    /// `__ballot_sync`: packs one predicate bit per lane.
+    pub fn ballot(&mut self, preds: &[bool; WARP_SIZE]) -> u32 {
+        self.stats.shuffle_ops += 1;
+        let mut mask = 0u32;
+        for (lane, &p) in preds.iter().enumerate() {
+            if p {
+                mask |= 1 << lane;
+            }
+        }
+        mask
+    }
+
+    /// `__shfl_sync`: every lane reads `vals[src_lane]`.
+    pub fn shfl<T: Copy>(&mut self, vals: &[T; WARP_SIZE], src_lane: usize) -> T {
+        self.stats.shuffle_ops += 1;
+        vals[src_lane]
+    }
+
+    /// Butterfly max-reduction over all lanes.
+    pub fn reduce_max_f32(&mut self, vals: &[f32; WARP_SIZE]) -> f32 {
+        self.stats.shuffle_ops += REDUCTION_STAGES;
+        vals.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Butterfly sum-reduction over all lanes.
+    pub fn reduce_sum_f32(&mut self, vals: &[f32; WARP_SIZE]) -> f32 {
+        self.stats.shuffle_ops += REDUCTION_STAGES;
+        vals.iter().sum()
+    }
+
+    /// Butterfly argmax-reduction; ties resolve to the lowest lane.
+    pub fn reduce_argmax_f32(&mut self, vals: &[f32; WARP_SIZE]) -> (usize, f32) {
+        self.stats.shuffle_ops += REDUCTION_STAGES;
+        let mut best = (0usize, f32::NEG_INFINITY);
+        for (lane, &v) in vals.iter().enumerate() {
+            if v > best.1 {
+                best = (lane, v);
+            }
+        }
+        best
+    }
+
+    /// Warp-scope inclusive prefix sum (Hillis–Steele, 5 stages).
+    pub fn prefix_sum_f32(&mut self, vals: &[f32; WARP_SIZE]) -> [f32; WARP_SIZE] {
+        self.stats.shuffle_ops += REDUCTION_STAGES;
+        let mut out = *vals;
+        for i in 1..WARP_SIZE {
+            out[i] += out[i - 1];
+        }
+        out
+    }
+
+    /// Charges the lockstep cost of a divergent loop: all lanes pay for the
+    /// longest-running lane. Returns that maximum for the caller's logic.
+    pub fn lockstep_iters(&mut self, per_lane_iters: &[u64; WARP_SIZE], alu_per_iter: u64) -> u64 {
+        let max = per_lane_iters.iter().copied().max().unwrap_or(0);
+        self.stats.alu_ops += max * alu_per_iter;
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_streams_are_independent_and_reproducible() {
+        let mut a = WarpCtx::new(3, 9);
+        let mut b = WarpCtx::new(3, 9);
+        assert_eq!(a.draw_u32(0), b.draw_u32(0));
+        assert_ne!(a.draw_u32(1), a.draw_u32(2));
+        let mut c = WarpCtx::new(4, 9);
+        assert_ne!(a.draw_u32(0), c.draw_u32(0));
+    }
+
+    #[test]
+    fn draw_counts_accumulate() {
+        let mut ctx = WarpCtx::new(0, 1);
+        ctx.draw_u32(0);
+        ctx.draw_f32(1);
+        ctx.draw_f64(2);
+        ctx.draw_index(3, 10);
+        assert_eq!(ctx.stats().rng_draws, 5);
+    }
+
+    #[test]
+    fn skip_rng_is_free_and_advances_stream() {
+        let mut a = WarpCtx::new(0, 1);
+        let mut b = WarpCtx::new(0, 1);
+        for _ in 0..5 {
+            a.draw_u32(7);
+        }
+        b.skip_rng(7, 5);
+        assert_eq!(b.stats().rng_draws, 0);
+        assert_eq!(a.draw_u32(7), b.draw_u32(7));
+    }
+
+    #[test]
+    fn coalesced_reads_batch_into_sectors() {
+        let mut ctx = WarpCtx::new(0, 1);
+        ctx.read_coalesced(32 * 4); // 128 bytes = 4 sectors of 32.
+        assert_eq!(ctx.stats().coalesced_transactions, 4);
+        ctx.read_coalesced(1);
+        assert_eq!(ctx.stats().coalesced_transactions, 5);
+    }
+
+    #[test]
+    fn random_reads_cost_at_least_one_transaction() {
+        let mut ctx = WarpCtx::new(0, 1);
+        ctx.read_random(4);
+        ctx.read_random(4);
+        assert_eq!(ctx.stats().random_transactions, 2);
+    }
+
+    #[test]
+    fn ballot_packs_bits() {
+        let mut ctx = WarpCtx::new(0, 1);
+        let mut preds = [false; WARP_SIZE];
+        preds[0] = true;
+        preds[5] = true;
+        preds[31] = true;
+        assert_eq!(ctx.ballot(&preds), 1 | (1 << 5) | (1 << 31));
+    }
+
+    #[test]
+    fn reductions_match_scalar_equivalents() {
+        let mut ctx = WarpCtx::new(0, 1);
+        let mut vals = [0.0f32; WARP_SIZE];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = ((i * 7) % 13) as f32;
+        }
+        assert_eq!(ctx.reduce_max_f32(&vals), 12.0);
+        assert_eq!(ctx.reduce_sum_f32(&vals), vals.iter().sum());
+        let (lane, max) = ctx.reduce_argmax_f32(&vals);
+        assert_eq!(max, 12.0);
+        assert_eq!(vals[lane], 12.0);
+    }
+
+    #[test]
+    fn argmax_ties_resolve_to_lowest_lane() {
+        let mut ctx = WarpCtx::new(0, 1);
+        let vals = [1.0f32; WARP_SIZE];
+        assert_eq!(ctx.reduce_argmax_f32(&vals).0, 0);
+    }
+
+    #[test]
+    fn prefix_sum_is_inclusive() {
+        let mut ctx = WarpCtx::new(0, 1);
+        let vals = [1.0f32; WARP_SIZE];
+        let ps = ctx.prefix_sum_f32(&vals);
+        assert_eq!(ps[0], 1.0);
+        assert_eq!(ps[31], 32.0);
+    }
+
+    #[test]
+    fn shfl_broadcasts_one_lane() {
+        let mut ctx = WarpCtx::new(0, 1);
+        let mut vals = [0u32; WARP_SIZE];
+        vals[9] = 77;
+        assert_eq!(ctx.shfl(&vals, 9), 77);
+    }
+
+    #[test]
+    fn lockstep_charges_max_lane() {
+        let mut ctx = WarpCtx::new(0, 1);
+        let mut iters = [1u64; WARP_SIZE];
+        iters[4] = 50;
+        let max = ctx.lockstep_iters(&iters, 3);
+        assert_eq!(max, 50);
+        assert_eq!(ctx.stats().alu_ops, 150);
+    }
+
+    #[test]
+    fn intrinsics_charge_shuffles() {
+        let mut ctx = WarpCtx::new(0, 1);
+        let vals = [0.0f32; WARP_SIZE];
+        ctx.reduce_max_f32(&vals);
+        ctx.ballot(&[false; WARP_SIZE]);
+        assert_eq!(ctx.stats().shuffle_ops, 5 + 1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Edge-list to CSR construction.
+
+use crate::csr::{Csr, NodeId};
+use crate::props::EdgeProps;
+use crate::GraphError;
+
+/// Accumulates directed edges and materialises a [`Csr`].
+///
+/// Construction is a counting sort on source ids followed by a per-node sort
+/// on target ids, so per-node adjacency ends up ordered (a requirement for
+/// `Csr::has_edge`). Parallel per-edge payloads (property weights, labels)
+/// are permuted consistently with the adjacency.
+///
+/// # Examples
+///
+/// ```
+/// use flexi_graph::CsrBuilder;
+///
+/// let g = CsrBuilder::new(2)
+///     .weighted_edge(0, 1, 2.5)
+///     .weighted_edge(1, 0, 0.5)
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.prop(0), 2.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CsrBuilder {
+    num_nodes: usize,
+    src: Vec<NodeId>,
+    dst: Vec<NodeId>,
+    weights: Option<Vec<f32>>,
+    labels: Option<Vec<u8>>,
+    dedup: bool,
+}
+
+impl CsrBuilder {
+    /// Creates a builder for a graph on `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            src: Vec::new(),
+            dst: Vec::new(),
+            weights: None,
+            labels: None,
+            dedup: false,
+        }
+    }
+
+    /// Pre-allocates capacity for `edges` edges.
+    pub fn with_capacity(num_nodes: usize, edges: usize) -> Self {
+        let mut b = Self::new(num_nodes);
+        b.src.reserve(edges);
+        b.dst.reserve(edges);
+        b
+    }
+
+    /// Requests removal of duplicate `(src, dst)` pairs at build time.
+    ///
+    /// For duplicate edges the payload of the first occurrence (in sorted
+    /// order) is kept.
+    pub fn dedup(mut self) -> Self {
+        self.dedup = true;
+        self
+    }
+
+    /// Adds an unweighted directed edge.
+    pub fn edge(mut self, src: NodeId, dst: NodeId) -> Self {
+        self.push_edge(src, dst);
+        self
+    }
+
+    /// Adds a weighted directed edge.
+    pub fn weighted_edge(mut self, src: NodeId, dst: NodeId, w: f32) -> Self {
+        self.push_weighted(src, dst, w);
+        self
+    }
+
+    /// Adds an unweighted edge (by-reference form for loops).
+    pub fn push_edge(&mut self, src: NodeId, dst: NodeId) {
+        self.src.push(src);
+        self.dst.push(dst);
+        if let Some(w) = &mut self.weights {
+            w.push(1.0);
+        }
+        if let Some(l) = &mut self.labels {
+            l.push(0);
+        }
+    }
+
+    /// Adds a weighted edge (by-reference form for loops).
+    pub fn push_weighted(&mut self, src: NodeId, dst: NodeId, w: f32) {
+        let weights = self
+            .weights
+            .get_or_insert_with(|| vec![1.0; self.src.len()]);
+        weights.push(w);
+        self.src.push(src);
+        self.dst.push(dst);
+        if let Some(l) = &mut self.labels {
+            l.push(0);
+        }
+    }
+
+    /// Adds a weighted, labeled edge.
+    pub fn push_full(&mut self, src: NodeId, dst: NodeId, w: f32, label: u8) {
+        let weights = self
+            .weights
+            .get_or_insert_with(|| vec![1.0; self.src.len()]);
+        let labels = self.labels.get_or_insert_with(|| vec![0; self.src.len()]);
+        weights.push(w);
+        labels.push(label);
+        self.src.push(src);
+        self.dst.push(dst);
+    }
+
+    /// Number of edges accumulated so far.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Whether no edges have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+
+    /// Builds the CSR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if any endpoint is `>=
+    /// num_nodes`.
+    pub fn build(self) -> Result<Csr, GraphError> {
+        let n = self.num_nodes;
+        for &v in self.src.iter().chain(self.dst.iter()) {
+            if (v as usize) >= n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: u64::from(v),
+                    num_nodes: n as u64,
+                });
+            }
+        }
+
+        let m = self.src.len();
+        // Counting sort by source.
+        let mut counts = vec![0u64; n + 1];
+        for &s in &self.src {
+            counts[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr = counts.clone();
+
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        // Stable sort by (src, dst) — keeps payload association simple and
+        // gives sorted per-node adjacency in one pass.
+        order.sort_by_key(|&i| (self.src[i as usize], self.dst[i as usize]));
+
+        let mut col_idx = Vec::with_capacity(m);
+        let mut weights = self.weights.as_ref().map(|_| Vec::with_capacity(m));
+        let mut labels = self.labels.as_ref().map(|_| Vec::with_capacity(m));
+        let mut prev: Option<(NodeId, NodeId)> = None;
+        let mut kept_row_counts = vec![0u64; n];
+        for &i in &order {
+            let i = i as usize;
+            let key = (self.src[i], self.dst[i]);
+            if self.dedup && prev == Some(key) {
+                continue;
+            }
+            prev = Some(key);
+            kept_row_counts[key.0 as usize] += 1;
+            col_idx.push(self.dst[i]);
+            if let (Some(out), Some(src)) = (&mut weights, &self.weights) {
+                out.push(src[i]);
+            }
+            if let (Some(out), Some(src)) = (&mut labels, &self.labels) {
+                out.push(src[i]);
+            }
+        }
+
+        let row_ptr = if self.dedup {
+            let mut rp = vec![0u64; n + 1];
+            for i in 0..n {
+                rp[i + 1] = rp[i] + kept_row_counts[i];
+            }
+            rp
+        } else {
+            row_ptr
+        };
+
+        let props = match weights {
+            Some(w) => EdgeProps::F32(w),
+            None => EdgeProps::Unweighted,
+        };
+        Ok(Csr {
+            row_ptr,
+            col_idx,
+            props,
+            labels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_adjacency_with_payload_permuted() {
+        let mut b = CsrBuilder::new(3);
+        b.push_full(0, 2, 2.0, 20);
+        b.push_full(0, 1, 1.0, 10);
+        b.push_full(1, 0, 5.0, 50);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        let r = g.edge_range(0);
+        assert_eq!(g.prop(r.start), 1.0);
+        assert_eq!(g.prop(r.start + 1), 2.0);
+        assert_eq!(g.label(r.start), 10);
+        assert_eq!(g.label(r.start + 1), 20);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.prop(g.edge_range(1).start), 5.0);
+    }
+
+    #[test]
+    fn out_of_range_src_is_rejected() {
+        let err = CsrBuilder::new(2).edge(2, 0).build().unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: 2,
+                num_nodes: 2
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_dst_is_rejected() {
+        let err = CsrBuilder::new(2).edge(0, 7).build().unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 7, .. }));
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_keeping_first_payload() {
+        let mut b = CsrBuilder::new(2).dedup();
+        b.push_weighted(0, 1, 3.0);
+        b.push_weighted(0, 1, 9.0);
+        b.push_weighted(1, 0, 1.0);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.prop(g.edge_range(0).start), 3.0);
+    }
+
+    #[test]
+    fn without_dedup_duplicates_are_kept() {
+        let g = CsrBuilder::new(2).edge(0, 1).edge(0, 1).build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    fn mixing_weighted_and_unweighted_backfills_ones() {
+        let mut b = CsrBuilder::new(2);
+        b.push_edge(0, 1);
+        b.push_weighted(1, 0, 4.0);
+        let g = b.build().unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.prop(g.edge_range(0).start), 1.0);
+        assert_eq!(g.prop(g.edge_range(1).start), 4.0);
+    }
+
+    #[test]
+    fn len_and_is_empty_track_pushes() {
+        let mut b = CsrBuilder::new(2);
+        assert!(b.is_empty());
+        b.push_edge(0, 1);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_get_empty_ranges() {
+        let g = CsrBuilder::new(5).edge(0, 4).build().unwrap();
+        for v in 1..4 {
+            assert_eq!(g.degree(v), 0);
+        }
+        assert_eq!(g.degree(0), 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! Compressed-sparse-row graph representation.
+//!
+//! The layout mirrors what GPU random-walk frameworks upload to device
+//! memory: a `row_ptr` offset array, a flat `col_idx` adjacency array, and
+//! optional parallel arrays for edge property weights and edge labels.
+//! Per-node adjacency is kept sorted by target id so that `has_edge` — the
+//! `dist(v', u) == 1` test at the heart of Node2Vec and 2nd-order PageRank —
+//! is a binary search rather than a linear scan.
+
+use crate::props::EdgeProps;
+
+/// Node identifier (u32 suffices for the laptop-scale proxies).
+pub type NodeId = u32;
+
+/// Edge identifier: an index into the flat adjacency/property arrays.
+pub type EdgeId = usize;
+
+/// An immutable directed graph in CSR form.
+///
+/// Construct via [`crate::builder::CsrBuilder`], the generators in
+/// [`crate::gen`], or the dataset proxies in [`crate::datasets`].
+///
+/// # Examples
+///
+/// ```
+/// use flexi_graph::CsrBuilder;
+///
+/// let g = CsrBuilder::new(3)
+///     .edge(0, 1)
+///     .edge(0, 2)
+///     .edge(1, 2)
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.num_nodes(), 3);
+/// assert_eq!(g.degree(0), 2);
+/// assert_eq!(g.neighbors(0), &[1, 2]);
+/// assert!(g.has_edge(0, 2));
+/// assert!(!g.has_edge(2, 0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Csr {
+    pub(crate) row_ptr: Vec<u64>,
+    pub(crate) col_idx: Vec<NodeId>,
+    pub(crate) props: EdgeProps,
+    pub(crate) labels: Option<Vec<u8>>,
+}
+
+impl Csr {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        (self.row_ptr[v + 1] - self.row_ptr[v]) as usize
+    }
+
+    /// The half-open edge-id range of `v`'s out-edges.
+    #[inline]
+    pub fn edge_range(&self, v: NodeId) -> std::ops::Range<EdgeId> {
+        let v = v as usize;
+        self.row_ptr[v] as EdgeId..self.row_ptr[v + 1] as EdgeId
+    }
+
+    /// The sorted out-neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.col_idx[self.edge_range(v)]
+    }
+
+    /// Target node of edge `e`.
+    #[inline]
+    pub fn edge_target(&self, e: EdgeId) -> NodeId {
+        self.col_idx[e]
+    }
+
+    /// The `i`-th out-neighbor of `v`.
+    #[inline]
+    pub fn neighbor(&self, v: NodeId, i: usize) -> NodeId {
+        self.col_idx[self.row_ptr[v as usize] as usize + i]
+    }
+
+    /// Whether the directed edge `(v, u)` exists (binary search).
+    #[inline]
+    pub fn has_edge(&self, v: NodeId, u: NodeId) -> bool {
+        self.neighbors(v).binary_search(&u).is_ok()
+    }
+
+    /// Edge property weight of edge `e` (1.0 when the graph is unweighted).
+    #[inline]
+    pub fn prop(&self, e: EdgeId) -> f32 {
+        self.props.get(e)
+    }
+
+    /// Edge property weights container.
+    pub fn props(&self) -> &EdgeProps {
+        &self.props
+    }
+
+    /// Edge label of `e` (0 when the graph is unlabeled).
+    #[inline]
+    pub fn label(&self, e: EdgeId) -> u8 {
+        self.labels.as_ref().map_or(0, |l| l[e])
+    }
+
+    /// Whether the graph carries edge labels.
+    pub fn has_labels(&self) -> bool {
+        self.labels.is_some()
+    }
+
+    /// Whether the graph carries non-trivial edge property weights.
+    pub fn is_weighted(&self) -> bool {
+        !matches!(self.props, EdgeProps::Unweighted)
+    }
+
+    /// Raw row-pointer array (for simulator memory-footprint accounting).
+    pub fn row_ptr(&self) -> &[u64] {
+        &self.row_ptr
+    }
+
+    /// Raw adjacency array.
+    pub fn col_idx(&self) -> &[NodeId] {
+        &self.col_idx
+    }
+
+    /// Replaces the edge property weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GraphError::PropLengthMismatch`] if the container's
+    /// length disagrees with the edge count (the `Unweighted` variant is
+    /// always accepted).
+    pub fn with_props(mut self, props: EdgeProps) -> Result<Self, crate::GraphError> {
+        if let Some(len) = props.len() {
+            if len != self.num_edges() {
+                return Err(crate::GraphError::PropLengthMismatch {
+                    got: len,
+                    expected: self.num_edges(),
+                });
+            }
+        }
+        self.props = props;
+        Ok(self)
+    }
+
+    /// Replaces the edge labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GraphError::PropLengthMismatch`] on length mismatch.
+    pub fn with_labels(mut self, labels: Vec<u8>) -> Result<Self, crate::GraphError> {
+        if labels.len() != self.num_edges() {
+            return Err(crate::GraphError::PropLengthMismatch {
+                got: labels.len(),
+                expected: self.num_edges(),
+            });
+        }
+        self.labels = Some(labels);
+        Ok(self)
+    }
+
+    /// Approximate resident bytes (used for OOM emulation in baselines).
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.row_ptr.len() * 8 + self.col_idx.len() * 4;
+        bytes += match &self.props {
+            EdgeProps::Unweighted => 0,
+            EdgeProps::F32(w) => w.len() * 4,
+            EdgeProps::Int8 { data, .. } => data.len(),
+        };
+        if let Some(l) = &self.labels {
+            bytes += l.len();
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::CsrBuilder;
+    use crate::props::EdgeProps;
+    use crate::GraphError;
+
+    fn diamond() -> crate::Csr {
+        // 0 -> {1, 2}, 1 -> {3}, 2 -> {3}, 3 -> {}
+        CsrBuilder::new(4)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(1, 3)
+            .edge(2, 3)
+            .build()
+            .expect("valid graph")
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = CsrBuilder::new(4)
+            .edge(0, 3)
+            .edge(0, 1)
+            .edge(0, 2)
+            .build()
+            .unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn has_edge_matches_adjacency() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(3, 0));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn zero_degree_node_has_empty_slice() {
+        let g = diamond();
+        assert!(g.neighbors(3).is_empty());
+        assert!(g.edge_range(3).is_empty());
+    }
+
+    #[test]
+    fn unweighted_prop_is_one() {
+        let g = diamond();
+        assert!(!g.is_weighted());
+        for e in 0..g.num_edges() {
+            assert_eq!(g.prop(e), 1.0);
+        }
+    }
+
+    #[test]
+    fn with_props_validates_length() {
+        let g = diamond();
+        let err = g
+            .clone()
+            .with_props(EdgeProps::F32(vec![1.0; 3]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::PropLengthMismatch {
+                got: 3,
+                expected: 4
+            }
+        );
+        let ok = g.with_props(EdgeProps::F32(vec![2.0; 4])).unwrap();
+        assert!(ok.is_weighted());
+        assert_eq!(ok.prop(2), 2.0);
+    }
+
+    #[test]
+    fn with_labels_validates_length() {
+        let g = diamond();
+        assert!(g.clone().with_labels(vec![0; 5]).is_err());
+        let ok = g.with_labels(vec![0, 1, 2, 3]).unwrap();
+        assert!(ok.has_labels());
+        assert_eq!(ok.label(2), 2);
+    }
+
+    #[test]
+    fn unlabeled_label_is_zero() {
+        let g = diamond();
+        assert!(!g.has_labels());
+        assert_eq!(g.label(0), 0);
+    }
+
+    #[test]
+    fn memory_bytes_accounts_for_arrays() {
+        let g = diamond();
+        let base = g.memory_bytes();
+        assert_eq!(base, 5 * 8 + 4 * 4);
+        let weighted = g.with_props(EdgeProps::F32(vec![1.0; 4])).unwrap();
+        assert_eq!(weighted.memory_bytes(), base + 16);
+    }
+
+    #[test]
+    fn empty_graph_is_legal() {
+        let g = CsrBuilder::new(0).build().unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn single_node_self_loop() {
+        let g = CsrBuilder::new(1).edge(0, 0).build().unwrap();
+        assert_eq!(g.degree(0), 1);
+        assert!(g.has_edge(0, 0));
+    }
+}

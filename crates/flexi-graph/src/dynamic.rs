@@ -1,0 +1,350 @@
+//! Dynamic (mutable) graphs — the paper's §7.2 extension.
+//!
+//! FlexiWalker's preprocessed aggregates (`h_MAX`/`h_SUM`) assume a fixed
+//! graph; §7.1 lists runtime topology/weight updates as the case that
+//! "can compromise the accuracy of preprocessed values". This module
+//! provides the update layer the paper sketches as future work:
+//!
+//! - **in-place weight updates** are applied immediately and tracked per
+//!   source node, so the runtime can refresh exactly the dirty aggregates;
+//! - **structural updates** (edge insertions/removals) are buffered and
+//!   applied in batches by a CSR rebuild, again yielding the dirty-node
+//!   set.
+//!
+//! The aggregate refresh itself lives in `flexi-core::preprocess`
+//! (`Aggregates::refresh_nodes`), keeping this crate engine-agnostic.
+
+use crate::builder::CsrBuilder;
+use crate::csr::{Csr, EdgeId, NodeId};
+use crate::props::EdgeProps;
+use crate::GraphError;
+use std::collections::BTreeSet;
+
+/// A structural update awaiting [`DynamicGraph::commit`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphUpdate {
+    /// Insert a directed edge.
+    AddEdge {
+        /// Source node.
+        src: NodeId,
+        /// Target node.
+        dst: NodeId,
+        /// Property weight.
+        weight: f32,
+        /// Edge label.
+        label: u8,
+    },
+    /// Remove one occurrence of a directed edge (no-op if absent).
+    RemoveEdge {
+        /// Source node.
+        src: NodeId,
+        /// Target node.
+        dst: NodeId,
+    },
+}
+
+/// A CSR graph with batched structural updates and immediate weight
+/// updates, tracking which source nodes have stale aggregates.
+///
+/// # Examples
+///
+/// ```
+/// use flexi_graph::dynamic::{DynamicGraph, GraphUpdate};
+/// use flexi_graph::CsrBuilder;
+///
+/// let g = CsrBuilder::new(3).weighted_edge(0, 1, 2.0).build().unwrap();
+/// let mut dg = DynamicGraph::new(g);
+/// dg.queue(GraphUpdate::AddEdge { src: 0, dst: 2, weight: 5.0, label: 0 });
+/// dg.commit().unwrap();
+/// assert!(dg.graph().has_edge(0, 2));
+/// assert_eq!(dg.take_dirty_nodes(), vec![0]);
+/// ```
+#[derive(Debug)]
+pub struct DynamicGraph {
+    csr: Csr,
+    pending: Vec<GraphUpdate>,
+    dirty: BTreeSet<NodeId>,
+}
+
+impl DynamicGraph {
+    /// Wraps an existing graph.
+    pub fn new(csr: Csr) -> Self {
+        Self {
+            csr,
+            pending: Vec::new(),
+            dirty: BTreeSet::new(),
+        }
+    }
+
+    /// The current (committed) graph.
+    pub fn graph(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Updates one edge's property weight in place.
+    ///
+    /// Takes effect immediately (no commit needed); the edge's source node
+    /// is marked dirty. Unweighted graphs are promoted to weighted form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    pub fn set_weight(&mut self, edge: EdgeId, weight: f32) {
+        assert!(edge < self.csr.num_edges(), "edge id {edge} out of range");
+        let src = self.source_of(edge);
+        let m = self.csr.num_edges();
+        let props = match std::mem::replace(&mut self.csr.props, EdgeProps::Unweighted) {
+            EdgeProps::F32(mut w) => {
+                w[edge] = weight;
+                EdgeProps::F32(w)
+            }
+            EdgeProps::Unweighted => {
+                let mut w = vec![1.0f32; m];
+                w[edge] = weight;
+                EdgeProps::F32(w)
+            }
+            EdgeProps::Int8 {
+                data,
+                scale,
+                offset,
+            } => {
+                // Dequantise fully; INT8 cannot represent arbitrary updates.
+                let mut w: Vec<f32> = (0..m)
+                    .map(|e| f32::from(data[e]) * scale + offset)
+                    .collect();
+                w[edge] = weight;
+                EdgeProps::F32(w)
+            }
+        };
+        self.csr.props = props;
+        self.dirty.insert(src);
+    }
+
+    /// Binary-searches the row pointer for an edge's source node.
+    fn source_of(&self, edge: EdgeId) -> NodeId {
+        let rp = self.csr.row_ptr();
+        let e = edge as u64;
+        // partition_point: first node whose range starts after `edge`.
+        let idx = rp.partition_point(|&start| start <= e);
+        (idx - 1) as NodeId
+    }
+
+    /// Queues a structural update for the next [`DynamicGraph::commit`].
+    pub fn queue(&mut self, update: GraphUpdate) {
+        self.pending.push(update);
+    }
+
+    /// Number of queued structural updates.
+    pub fn pending_updates(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Applies all queued structural updates by rebuilding the CSR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an insertion references an
+    /// unknown node; the graph is left unchanged in that case.
+    pub fn commit(&mut self) -> Result<(), GraphError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let n = self.csr.num_nodes();
+        for u in &self.pending {
+            let (src, dst) = match u {
+                GraphUpdate::AddEdge { src, dst, .. } => (*src, *dst),
+                GraphUpdate::RemoveEdge { src, dst } => (*src, *dst),
+            };
+            if src as usize >= n || dst as usize >= n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: u64::from(src.max(dst)),
+                    num_nodes: n as u64,
+                });
+            }
+        }
+        // Removal multiset: (src, dst) -> count.
+        let mut removals: std::collections::HashMap<(NodeId, NodeId), usize> =
+            std::collections::HashMap::new();
+        for u in &self.pending {
+            if let GraphUpdate::RemoveEdge { src, dst } = u {
+                *removals.entry((*src, *dst)).or_insert(0) += 1;
+            }
+        }
+        let mut b = CsrBuilder::with_capacity(n, self.csr.num_edges() + self.pending.len());
+        let mut dirty: BTreeSet<NodeId> = BTreeSet::new();
+        for v in 0..n as NodeId {
+            for e in self.csr.edge_range(v) {
+                let t = self.csr.edge_target(e);
+                if let Some(count) = removals.get_mut(&(v, t)) {
+                    if *count > 0 {
+                        *count -= 1;
+                        dirty.insert(v);
+                        continue;
+                    }
+                }
+                b.push_full(v, t, self.csr.prop(e), self.csr.label(e));
+            }
+        }
+        for u in &self.pending {
+            if let GraphUpdate::AddEdge {
+                src,
+                dst,
+                weight,
+                label,
+            } = u
+            {
+                b.push_full(*src, *dst, *weight, *label);
+                dirty.insert(*src);
+            }
+        }
+        self.csr = b.build()?;
+        self.pending.clear();
+        self.dirty.extend(dirty);
+        Ok(())
+    }
+
+    /// Returns and clears the set of nodes whose aggregates are stale.
+    pub fn take_dirty_nodes(&mut self) -> Vec<NodeId> {
+        let out: Vec<NodeId> = self.dirty.iter().copied().collect();
+        self.dirty.clear();
+        out
+    }
+
+    /// Peeks at the dirty set without clearing it.
+    pub fn dirty_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.dirty.iter().copied()
+    }
+
+    /// Consumes the wrapper, returning the committed graph.
+    pub fn into_graph(self) -> Csr {
+        self.csr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Csr {
+        CsrBuilder::new(4)
+            .weighted_edge(0, 1, 2.0)
+            .weighted_edge(0, 2, 3.0)
+            .weighted_edge(1, 2, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn set_weight_is_immediate_and_marks_source_dirty() {
+        let mut dg = DynamicGraph::new(base());
+        let e = dg.graph().edge_range(0).start + 1; // edge 0 -> 2
+        dg.set_weight(e, 9.5);
+        assert_eq!(dg.graph().prop(e), 9.5);
+        assert_eq!(dg.take_dirty_nodes(), vec![0]);
+        assert!(dg.take_dirty_nodes().is_empty(), "dirty set cleared");
+    }
+
+    #[test]
+    fn set_weight_promotes_unweighted_graphs() {
+        let g = CsrBuilder::new(2).edge(0, 1).edge(1, 0).build().unwrap();
+        let mut dg = DynamicGraph::new(g);
+        dg.set_weight(0, 4.0);
+        assert!(dg.graph().is_weighted());
+        assert_eq!(dg.graph().prop(0), 4.0);
+        assert_eq!(dg.graph().prop(1), 1.0, "other edges keep weight 1");
+    }
+
+    #[test]
+    fn set_weight_dequantizes_int8() {
+        let g = base();
+        let q = g.props().quantize_int8();
+        let g = g.with_props(q).unwrap();
+        let mut dg = DynamicGraph::new(g);
+        dg.set_weight(0, 7.25);
+        assert_eq!(dg.graph().prop(0), 7.25);
+    }
+
+    #[test]
+    fn source_of_resolves_across_rows() {
+        let dg = DynamicGraph::new(base());
+        assert_eq!(dg.source_of(0), 0);
+        assert_eq!(dg.source_of(1), 0);
+        assert_eq!(dg.source_of(2), 1);
+    }
+
+    #[test]
+    fn add_edge_commits_and_keeps_sorted_adjacency() {
+        let mut dg = DynamicGraph::new(base());
+        dg.queue(GraphUpdate::AddEdge {
+            src: 0,
+            dst: 3,
+            weight: 5.0,
+            label: 2,
+        });
+        dg.queue(GraphUpdate::AddEdge {
+            src: 3,
+            dst: 0,
+            weight: 1.5,
+            label: 0,
+        });
+        assert_eq!(dg.pending_updates(), 2);
+        dg.commit().unwrap();
+        assert_eq!(dg.pending_updates(), 0);
+        let g = dg.graph();
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert!(g.has_edge(3, 0));
+        let e03 = g.edge_range(0).start + 2;
+        assert_eq!(g.prop(e03), 5.0);
+        assert_eq!(g.label(e03), 2);
+        assert_eq!(dg.take_dirty_nodes(), vec![0, 3]);
+    }
+
+    #[test]
+    fn remove_edge_deletes_one_occurrence() {
+        let g = CsrBuilder::new(2)
+            .weighted_edge(0, 1, 1.0)
+            .weighted_edge(0, 1, 2.0)
+            .build()
+            .unwrap();
+        let mut dg = DynamicGraph::new(g);
+        dg.queue(GraphUpdate::RemoveEdge { src: 0, dst: 1 });
+        dg.commit().unwrap();
+        assert_eq!(dg.graph().num_edges(), 1);
+        assert_eq!(dg.graph().prop(0), 2.0, "first occurrence removed");
+    }
+
+    #[test]
+    fn remove_absent_edge_is_a_noop() {
+        let mut dg = DynamicGraph::new(base());
+        dg.queue(GraphUpdate::RemoveEdge { src: 2, dst: 0 });
+        dg.commit().unwrap();
+        assert_eq!(dg.graph().num_edges(), 3);
+    }
+
+    #[test]
+    fn commit_rejects_out_of_range_and_preserves_graph() {
+        let mut dg = DynamicGraph::new(base());
+        dg.queue(GraphUpdate::AddEdge {
+            src: 0,
+            dst: 99,
+            weight: 1.0,
+            label: 0,
+        });
+        assert!(dg.commit().is_err());
+        assert_eq!(dg.graph().num_edges(), 3, "graph unchanged on error");
+    }
+
+    #[test]
+    fn empty_commit_is_free() {
+        let mut dg = DynamicGraph::new(base());
+        dg.commit().unwrap();
+        assert!(dg.take_dirty_nodes().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_weight_rejects_bad_edge() {
+        DynamicGraph::new(base()).set_weight(99, 1.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Seeded synthetic graph generators.
+//!
+//! Real datasets in the paper range up to 3.6B edges; this crate substitutes
+//! R-MAT/Kronecker graphs whose degree distributions match each dataset's
+//! skew profile at laptop scale (see `DESIGN.md` §2). All generators are
+//! deterministic in their seed.
+
+use crate::builder::CsrBuilder;
+use crate::csr::Csr;
+use flexi_rng::SplitMix64;
+
+/// R-MAT quadrant probabilities.
+///
+/// `a + b + c + d` must be 1; `a` is the self-similar "celebrity" quadrant —
+/// larger `a` yields a heavier-tailed degree distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// Classic social-network skew (Graph500-like).
+    pub const SOCIAL: Self = Self {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
+
+    /// Heavier skew typical of web crawls (EU/AB/UK/SK).
+    pub const WEB: Self = Self {
+        a: 0.65,
+        b: 0.15,
+        c: 0.15,
+        d: 0.05,
+    };
+
+    /// Mild skew (citation networks).
+    pub const CITATION: Self = Self {
+        a: 0.45,
+        b: 0.22,
+        c: 0.22,
+        d: 0.11,
+    };
+
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "R-MAT quadrant probabilities must sum to 1, got {sum}"
+        );
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
+            "R-MAT probabilities must be non-negative"
+        );
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` nodes and `edges` directed edges.
+///
+/// Nodes ids are bit-shuffled after placement so that high-degree nodes are
+/// spread across the id space (matching relabeled real datasets rather than
+/// raw Kronecker output).
+///
+/// # Panics
+///
+/// Panics if the quadrant probabilities are invalid.
+///
+/// # Examples
+///
+/// ```
+/// use flexi_graph::gen::{rmat, RmatParams};
+///
+/// let g = rmat(8, 1024, RmatParams::SOCIAL, 42);
+/// assert_eq!(g.num_nodes(), 256);
+/// assert_eq!(g.num_edges(), 1024);
+/// ```
+pub fn rmat(scale: u32, edges: usize, params: RmatParams, seed: u64) -> Csr {
+    params.validate();
+    assert!(scale <= 31, "scale {scale} too large for u32 node ids");
+    let n = 1usize << scale;
+    let mut rng = SplitMix64::new(seed);
+    // A fixed random permutation of node ids, realised as an xor mask plus a
+    // multiplicative shuffle — cheap and bijective over [0, 2^scale).
+    let xor_mask = (rng.next() as usize) & (n - 1);
+
+    let mut b = CsrBuilder::with_capacity(n, edges);
+    let thresh_a = params.a;
+    let thresh_ab = params.a + params.b;
+    let thresh_abc = params.a + params.b + params.c;
+    for _ in 0..edges {
+        let mut src = 0usize;
+        let mut dst = 0usize;
+        for _ in 0..scale {
+            src <<= 1;
+            dst <<= 1;
+            // Perturb quadrant probabilities slightly per level, a common
+            // smoothing that avoids exact-degree staircases.
+            let u = (rng.next() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
+            if u < thresh_a {
+                // (0, 0): nothing to add.
+            } else if u < thresh_ab {
+                dst |= 1;
+            } else if u < thresh_abc {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        b.push_edge((src ^ xor_mask) as u32, (dst ^ xor_mask) as u32);
+    }
+    b.build().expect("generated ids are in range by construction")
+}
+
+/// Generates a uniform Erdős–Rényi G(n, m) multigraph.
+pub fn erdos_renyi(n: usize, edges: usize, seed: u64) -> Csr {
+    assert!(n > 0 || edges == 0, "edges on an empty node set");
+    let mut rng = SplitMix64::new(seed);
+    let mut b = CsrBuilder::with_capacity(n, edges);
+    for _ in 0..edges {
+        let src = rng.bounded(n as u64) as u32;
+        let dst = rng.bounded(n as u64) as u32;
+        b.push_edge(src, dst);
+    }
+    b.build().expect("bounded ids are in range")
+}
+
+/// Generates a graph whose out-degrees follow a Zipf(`exponent`) law.
+///
+/// Each node `v` receives `max(1, round(n_max / (rank+1)^exponent))`
+/// out-edges with uniformly random targets. Useful for controlled
+/// degree-skew unit tests.
+pub fn zipf_degree(n: usize, max_degree: usize, exponent: f64, seed: u64) -> Csr {
+    assert!(n > 0, "zipf_degree requires at least one node");
+    assert!(exponent >= 0.0, "exponent must be non-negative");
+    let mut rng = SplitMix64::new(seed);
+    // Random rank assignment so degree is uncorrelated with node id.
+    let mut ranks: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut ranks);
+    let mut b = CsrBuilder::new(n);
+    for (v, &rank) in ranks.iter().enumerate() {
+        let rank = rank as f64;
+        let deg = ((max_degree as f64) / (rank + 1.0).powf(exponent))
+            .round()
+            .max(1.0) as usize;
+        for _ in 0..deg {
+            b.push_edge(v as u32, rng.bounded(n as u64) as u32);
+        }
+    }
+    b.build().expect("ids in range")
+}
+
+/// A complete directed graph on `n` nodes (no self-loops); tiny-scale tests.
+pub fn complete(n: usize) -> Csr {
+    let mut b = CsrBuilder::new(n);
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                b.push_edge(s as u32, d as u32);
+            }
+        }
+    }
+    b.build().expect("ids in range")
+}
+
+/// A directed cycle on `n` nodes; the simplest strongly connected graph.
+pub fn cycle(n: usize) -> Csr {
+    let mut b = CsrBuilder::new(n);
+    for v in 0..n {
+        b.push_edge(v as u32, ((v + 1) % n) as u32);
+    }
+    b.build().expect("ids in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_stats;
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = rmat(8, 2000, RmatParams::SOCIAL, 5);
+        let b = rmat(8, 2000, RmatParams::SOCIAL, 5);
+        assert_eq!(a.col_idx(), b.col_idx());
+        assert_eq!(a.row_ptr(), b.row_ptr());
+    }
+
+    #[test]
+    fn rmat_seed_changes_output() {
+        let a = rmat(8, 2000, RmatParams::SOCIAL, 5);
+        let b = rmat(8, 2000, RmatParams::SOCIAL, 6);
+        assert_ne!(a.col_idx(), b.col_idx());
+    }
+
+    #[test]
+    fn rmat_social_is_more_skewed_than_er() {
+        let r = rmat(10, 16_384, RmatParams::SOCIAL, 1);
+        let e = erdos_renyi(1024, 16_384, 1);
+        let rs = degree_stats(&r);
+        let es = degree_stats(&e);
+        assert!(
+            rs.max > 3 * es.max,
+            "R-MAT max degree {} not ≫ ER max degree {}",
+            rs.max,
+            es.max
+        );
+    }
+
+    #[test]
+    fn rmat_web_is_more_skewed_than_social() {
+        let web = rmat(11, 40_000, RmatParams::WEB, 9);
+        let soc = rmat(11, 40_000, RmatParams::SOCIAL, 9);
+        assert!(degree_stats(&web).max >= degree_stats(&soc).max);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rmat_rejects_bad_params() {
+        rmat(
+            4,
+            16,
+            RmatParams {
+                a: 0.5,
+                b: 0.5,
+                c: 0.5,
+                d: 0.5,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_has_requested_counts() {
+        let g = erdos_renyi(100, 1234, 3);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 1234);
+    }
+
+    #[test]
+    fn zipf_degrees_follow_rank_law() {
+        let g = zipf_degree(64, 256, 1.0, 7);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 256);
+        assert!(s.min >= 1);
+    }
+
+    #[test]
+    fn complete_graph_has_full_degrees() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 20);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 4);
+            assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn cycle_graph_walks_forward() {
+        let g = cycle(4);
+        for v in 0..4u32 {
+            assert_eq!(g.neighbors(v), &[(v + 1) % 4]);
+        }
+    }
+}

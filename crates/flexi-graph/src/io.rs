@@ -1,0 +1,355 @@
+//! Graph serialisation: plain-text edge lists and a compact binary format.
+//!
+//! The text format is the SNAP-style `src dst [weight [label]]` one-per-line
+//! layout, with `#` comments. The binary format is a little-endian dump of
+//! the CSR arrays with a magic header, suitable for caching generated
+//! proxies between benchmark runs.
+
+use crate::builder::CsrBuilder;
+use crate::csr::Csr;
+use crate::props::EdgeProps;
+use crate::GraphError;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parses a text edge list.
+///
+/// Lines starting with `#` are comments. Each data line is
+/// `src dst [weight [label]]` separated by whitespace. The node count is
+/// `max id + 1` unless `num_nodes` is given.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines.
+pub fn read_edge_list<R: Read>(reader: R, num_nodes: Option<usize>) -> Result<Csr, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32, Option<f32>, Option<u8>)> = Vec::new();
+    let mut max_id = 0u32;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let src: u32 = parse_field(parts.next(), "src", lineno)?;
+        let dst: u32 = parse_field(parts.next(), "dst", lineno)?;
+        let weight = match parts.next() {
+            Some(tok) => Some(tok.parse::<f32>().map_err(|_| {
+                GraphError::Parse(format!("line {}: bad weight {tok:?}", lineno + 1))
+            })?),
+            None => None,
+        };
+        let label = match parts.next() {
+            Some(tok) => Some(tok.parse::<u8>().map_err(|_| {
+                GraphError::Parse(format!("line {}: bad label {tok:?}", lineno + 1))
+            })?),
+            None => None,
+        };
+        max_id = max_id.max(src).max(dst);
+        edges.push((src, dst, weight, label));
+    }
+    let n = num_nodes.unwrap_or(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
+    let any_weight = edges.iter().any(|e| e.2.is_some());
+    let any_label = edges.iter().any(|e| e.3.is_some());
+    let mut b = CsrBuilder::with_capacity(n, edges.len());
+    for (s, d, w, l) in edges {
+        match (any_weight, any_label) {
+            (false, false) => b.push_edge(s, d),
+            (true, false) => b.push_weighted(s, d, w.unwrap_or(1.0)),
+            (_, true) => b.push_full(s, d, w.unwrap_or(1.0), l.unwrap_or(0)),
+        }
+    }
+    b.build()
+}
+
+fn parse_field(tok: Option<&str>, what: &str, lineno: usize) -> Result<u32, GraphError> {
+    let tok =
+        tok.ok_or_else(|| GraphError::Parse(format!("line {}: missing {what}", lineno + 1)))?;
+    tok.parse::<u32>()
+        .map_err(|_| GraphError::Parse(format!("line {}: bad {what} {tok:?}", lineno + 1)))
+}
+
+/// Writes `g` as a text edge list (weights/labels included when present).
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`GraphError::Io`].
+pub fn write_edge_list<W: Write>(g: &Csr, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for v in 0..g.num_nodes() as u32 {
+        for e in g.edge_range(v) {
+            let u = g.edge_target(e);
+            match (g.is_weighted(), g.has_labels()) {
+                (false, false) => writeln!(w, "{v} {u}")?,
+                (true, false) => writeln!(w, "{v} {u} {}", g.prop(e))?,
+                (_, true) => writeln!(w, "{v} {u} {} {}", g.prop(e), g.label(e))?,
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"FXWGRPH1";
+
+/// Writes `g` in the compact binary format.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`GraphError::Io`].
+pub fn write_binary<W: Write>(g: &Csr, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BINARY_MAGIC)?;
+    let n = g.num_nodes() as u64;
+    let m = g.num_edges() as u64;
+    w.write_all(&n.to_le_bytes())?;
+    w.write_all(&m.to_le_bytes())?;
+    let flags: u8 = match (g.props(), g.has_labels()) {
+        (EdgeProps::Unweighted, false) => 0,
+        (EdgeProps::Unweighted, true) => 2,
+        (EdgeProps::F32(_), false) => 1,
+        (EdgeProps::F32(_), true) => 3,
+        (EdgeProps::Int8 { .. }, false) => 4,
+        (EdgeProps::Int8 { .. }, true) => 6,
+    };
+    w.write_all(&[flags])?;
+    for rp in g.row_ptr() {
+        w.write_all(&rp.to_le_bytes())?;
+    }
+    for ci in g.col_idx() {
+        w.write_all(&ci.to_le_bytes())?;
+    }
+    match g.props() {
+        EdgeProps::Unweighted => {}
+        EdgeProps::F32(ws) => {
+            for x in ws {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        EdgeProps::Int8 {
+            data,
+            scale,
+            offset,
+        } => {
+            w.write_all(&scale.to_le_bytes())?;
+            w.write_all(&offset.to_le_bytes())?;
+            w.write_all(data)?;
+        }
+    }
+    if g.has_labels() {
+        for e in 0..g.num_edges() {
+            w.write_all(&[g.label(e)])?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph from the compact binary format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on bad magic or truncated data.
+pub fn read_binary<R: Read>(reader: R) -> Result<Csr, GraphError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(GraphError::Parse("bad magic header".into()));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let mut flags = [0u8; 1];
+    r.read_exact(&mut flags)?;
+    let flags = flags[0];
+
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        row_ptr.push(read_u64(&mut r)?);
+    }
+    let mut col_idx = Vec::with_capacity(m);
+    for _ in 0..m {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        col_idx.push(u32::from_le_bytes(b));
+    }
+    let props = if flags & 1 != 0 {
+        let mut ws = Vec::with_capacity(m);
+        for _ in 0..m {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            ws.push(f32::from_le_bytes(b));
+        }
+        EdgeProps::F32(ws)
+    } else if flags & 4 != 0 {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        let scale = f32::from_le_bytes(b);
+        r.read_exact(&mut b)?;
+        let offset = f32::from_le_bytes(b);
+        let mut data = vec![0u8; m];
+        r.read_exact(&mut data)?;
+        EdgeProps::Int8 {
+            data,
+            scale,
+            offset,
+        }
+    } else {
+        EdgeProps::Unweighted
+    };
+    let labels = if flags & 2 != 0 {
+        let mut l = vec![0u8; m];
+        r.read_exact(&mut l)?;
+        Some(l)
+    } else {
+        None
+    };
+    Ok(Csr {
+        row_ptr,
+        col_idx,
+        props,
+        labels,
+    })
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Convenience wrapper: writes the binary format to `path`.
+pub fn save_binary(g: &Csr, path: &Path) -> Result<(), GraphError> {
+    write_binary(g, std::fs::File::create(path)?)
+}
+
+/// Convenience wrapper: reads the binary format from `path`.
+pub fn load_binary(path: &Path) -> Result<Csr, GraphError> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::props::{assign_uniform_labels, WeightModel};
+
+    fn sample() -> Csr {
+        let g = gen::rmat(7, 400, gen::RmatParams::SOCIAL, 3);
+        let g = WeightModel::UniformReal.apply(g, 3);
+        assign_uniform_labels(g, 5, 3)
+    }
+
+    fn csr_eq(a: &Csr, b: &Csr) {
+        assert_eq!(a.row_ptr(), b.row_ptr());
+        assert_eq!(a.col_idx(), b.col_idx());
+        for e in 0..a.num_edges() {
+            assert_eq!(a.prop(e), b.prop(e), "prop mismatch at {e}");
+            assert_eq!(a.label(e), b.label(e), "label mismatch at {e}");
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_graph() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], Some(g.num_nodes())).unwrap();
+        csr_eq(&g, &g2);
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_graph() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        csr_eq(&g, &g2);
+    }
+
+    #[test]
+    fn binary_roundtrip_unweighted() {
+        let g = gen::cycle(10);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        csr_eq(&g, &g2);
+        assert!(!g2.is_weighted());
+    }
+
+    #[test]
+    fn binary_roundtrip_int8() {
+        let g = sample();
+        let q = g.props().quantize_int8();
+        let g = g.with_props(q).unwrap();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        csr_eq(&g, &g2);
+        assert!(matches!(g2.props(), EdgeProps::Int8 { .. }));
+    }
+
+    #[test]
+    fn text_reader_handles_comments_and_blank_lines() {
+        let text = "# a comment\n\n0 1\n1 0\n";
+        let g = read_edge_list(text.as_bytes(), None).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn text_reader_infers_node_count() {
+        let g = read_edge_list("0 9\n".as_bytes(), None).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+    }
+
+    #[test]
+    fn text_reader_rejects_garbage() {
+        assert!(matches!(
+            read_edge_list("0 x\n".as_bytes(), None),
+            Err(GraphError::Parse(_))
+        ));
+        assert!(matches!(
+            read_edge_list("0\n".as_bytes(), None),
+            Err(GraphError::Parse(_))
+        ));
+        assert!(matches!(
+            read_edge_list("0 1 notaweight\n".as_bytes(), None),
+            Err(GraphError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn binary_reader_rejects_bad_magic() {
+        let buf = b"NOTMAGIC________".to_vec();
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn binary_reader_rejects_truncation() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = crate::builder::CsrBuilder::new(0).build().unwrap();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g2.num_nodes(), 0);
+        assert_eq!(g2.num_edges(), 0);
+    }
+}

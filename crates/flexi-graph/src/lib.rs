@@ -1,0 +1,76 @@
+//! Graph substrate for FlexiWalker.
+//!
+//! Provides the compressed-sparse-row graph that every sampling kernel and
+//! walk engine operates on, together with:
+//!
+//! - [`builder::CsrBuilder`] — edge-list ingestion with sorting, optional
+//!   deduplication and validation;
+//! - [`gen`] — seeded synthetic generators (R-MAT/Kronecker, Erdős–Rényi,
+//!   Zipf-degree) used to stand in for the paper's real-world datasets;
+//! - [`datasets`] — the ten named dataset *proxies* of Table 1 (YT … FS),
+//!   parameterised to match each graph's degree-skew profile at laptop scale;
+//! - [`props`] — edge property weight models: unweighted, uniform `[1, 5)`,
+//!   Pareto power-law, degree-based, and quantised INT8 (paper §6.1, §7.2),
+//!   plus edge labels `{0..4}` for MetaPath;
+//! - [`io`] — plain-text edge-list and compact binary round-trip formats;
+//! - [`stats`] — degree/weight statistics used by the evaluation harness.
+
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod dynamic;
+pub mod gen;
+pub mod io;
+pub mod props;
+pub mod stats;
+
+pub use builder::CsrBuilder;
+pub use csr::{Csr, EdgeId, NodeId};
+pub use datasets::{proxy, DatasetSpec, ALL_DATASETS};
+pub use props::{EdgeProps, WeightModel};
+
+/// Errors produced by graph construction and I/O.
+#[derive(Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node id outside `[0, num_nodes)`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u64,
+        /// The declared node count.
+        num_nodes: u64,
+    },
+    /// A property/label array length did not match the edge count.
+    PropLengthMismatch {
+        /// Number of property entries supplied.
+        got: usize,
+        /// Number of edges in the graph.
+        expected: usize,
+    },
+    /// Input file or stream was malformed.
+    Parse(String),
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node id {node} out of range (num_nodes = {num_nodes})")
+            }
+            Self::PropLengthMismatch { got, expected } => {
+                write!(f, "property array has {got} entries, expected {expected}")
+            }
+            Self::Parse(msg) => write!(f, "parse error: {msg}"),
+            Self::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}

@@ -1,0 +1,281 @@
+//! Edge property weights, labels and the weight models of the evaluation.
+//!
+//! The paper evaluates four property-weight regimes (§6.1, §6.2, §7.2):
+//!
+//! - **Unweighted** — `h ≡ 1`; only workload weights `w` matter.
+//! - **Uniform** — `h ~ U[1, 5)` reals, the default "weighted" setting.
+//! - **Pareto(α)** — `h ~ 1 + pareto(α)` power-law for the skew sweeps.
+//! - **Degree-based** — `h(v, u) = d(u)`, the hardest case of Fig. 10.
+//! - **Quantised INT8** — §7.2's low-precision extension.
+//!
+//! Labels for MetaPath are uniform integers in `{0..4}`.
+
+use crate::csr::Csr;
+use flexi_rng::{Pareto, SplitMix64, UniformRange};
+
+/// Storage for per-edge property weights.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EdgeProps {
+    /// No stored weights; every edge has property weight 1.
+    Unweighted,
+    /// Full-precision weights.
+    F32(Vec<f32>),
+    /// Quantised weights: `w = data[e] as f32 * scale + offset` (§7.2).
+    Int8 {
+        /// Quantised codes.
+        data: Vec<u8>,
+        /// Dequantisation scale.
+        scale: f32,
+        /// Dequantisation offset.
+        offset: f32,
+    },
+}
+
+impl EdgeProps {
+    /// Property weight of edge `e`.
+    #[inline]
+    pub fn get(&self, e: usize) -> f32 {
+        match self {
+            Self::Unweighted => 1.0,
+            Self::F32(w) => w[e],
+            Self::Int8 {
+                data,
+                scale,
+                offset,
+            } => f32::from(data[e]) * scale + offset,
+        }
+    }
+
+    /// Stored length, or `None` for the implicit unweighted form.
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            Self::Unweighted => None,
+            Self::F32(w) => Some(w.len()),
+            Self::Int8 { data, .. } => Some(data.len()),
+        }
+    }
+
+    /// Whether this is the implicit unweighted form.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Self::Unweighted)
+    }
+
+    /// Bytes of memory traffic a single weight read costs (4 for f32, 1 for
+    /// int8) — drives the §7.2 bandwidth experiment.
+    pub fn bytes_per_weight(&self) -> usize {
+        match self {
+            Self::Unweighted => 0,
+            Self::F32(_) => 4,
+            Self::Int8 { .. } => 1,
+        }
+    }
+
+    /// Quantises full-precision weights to INT8 over their value range.
+    ///
+    /// Returns `Unweighted` unchanged.
+    pub fn quantize_int8(&self) -> Self {
+        match self {
+            Self::F32(w) if !w.is_empty() => {
+                let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+                for &x in w {
+                    lo = lo.min(x);
+                    hi = hi.max(x);
+                }
+                let scale = if hi > lo { (hi - lo) / 255.0 } else { 1.0 };
+                let data = w
+                    .iter()
+                    .map(|&x| (((x - lo) / scale).round() as i64).clamp(0, 255) as u8)
+                    .collect();
+                Self::Int8 {
+                    data,
+                    scale,
+                    offset: lo,
+                }
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+/// How to synthesise per-edge property weights for a graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightModel {
+    /// `h ≡ 1` (unweighted workloads).
+    Unweighted,
+    /// `h ~ U[1, 5)` — the paper's default weighted initialisation.
+    UniformReal,
+    /// `h ~ 1 + pareto(alpha)` power-law (skew sweeps; lower α = heavier).
+    Pareto {
+        /// Pareto shape parameter.
+        alpha: f64,
+    },
+    /// `h(v, u) = out-degree(u)` (Fig. 10's degree-based distribution).
+    DegreeBased,
+}
+
+impl WeightModel {
+    /// Materialises this model's weights for `g`, deterministically from
+    /// `seed`, and returns the re-weighted graph.
+    pub fn apply(self, g: Csr, seed: u64) -> Csr {
+        let m = g.num_edges();
+        match self {
+            Self::Unweighted => Csr {
+                props: EdgeProps::Unweighted,
+                ..g
+            },
+            Self::UniformReal => {
+                let mut rng = SplitMix64::new(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+                let dist = UniformRange::new(1.0, 5.0);
+                let w = (0..m).map(|_| dist.sample(&mut rng) as f32).collect();
+                Csr {
+                    props: EdgeProps::F32(w),
+                    ..g
+                }
+            }
+            Self::Pareto { alpha } => {
+                let mut rng = SplitMix64::new(seed ^ 0x1234_5678_9ABC_DEF0);
+                let dist = Pareto::new(alpha);
+                // Shift by 1 so weights are >= 1 (zero weights would make
+                // nodes unreachable and ruin transition-probability tests).
+                let w = (0..m)
+                    .map(|_| (1.0 + dist.sample(&mut rng)) as f32)
+                    .collect();
+                Csr {
+                    props: EdgeProps::F32(w),
+                    ..g
+                }
+            }
+            Self::DegreeBased => {
+                let w = g
+                    .col_idx()
+                    .iter()
+                    .map(|&u| (g.degree(u) as f32).max(1.0))
+                    .collect();
+                Csr {
+                    props: EdgeProps::F32(w),
+                    ..g
+                }
+            }
+        }
+    }
+}
+
+/// Attaches uniform labels from `{0..num_labels}` for MetaPath workloads.
+pub fn assign_uniform_labels(g: Csr, num_labels: u8, seed: u64) -> Csr {
+    assert!(num_labels > 0, "need at least one label class");
+    let mut rng = SplitMix64::new(seed ^ 0x0F0F_F0F0_1357_9BDF);
+    let labels = (0..g.num_edges())
+        .map(|_| rng.bounded(u64::from(num_labels)) as u8)
+        .collect();
+    Csr {
+        labels: Some(labels),
+        ..g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CsrBuilder;
+
+    fn star() -> Csr {
+        // 0 -> 1..=4; 1 -> 0 (so node 1 has degree 1, node 0 degree 4).
+        let mut b = CsrBuilder::new(5);
+        for i in 1..5 {
+            b.push_edge(0, i);
+        }
+        b.push_edge(1, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unweighted_model_strips_weights() {
+        let g = WeightModel::Unweighted.apply(star(), 1);
+        assert!(!g.is_weighted());
+        assert_eq!(g.prop(0), 1.0);
+    }
+
+    #[test]
+    fn uniform_real_weights_are_in_range() {
+        let g = WeightModel::UniformReal.apply(star(), 7);
+        for e in 0..g.num_edges() {
+            let w = g.prop(e);
+            assert!((1.0..5.0).contains(&w), "w = {w}");
+        }
+    }
+
+    #[test]
+    fn uniform_real_is_deterministic_per_seed() {
+        let a = WeightModel::UniformReal.apply(star(), 7);
+        let b = WeightModel::UniformReal.apply(star(), 7);
+        let c = WeightModel::UniformReal.apply(star(), 8);
+        let collect = |g: &Csr| (0..g.num_edges()).map(|e| g.prop(e)).collect::<Vec<_>>();
+        assert_eq!(collect(&a), collect(&b));
+        assert_ne!(collect(&a), collect(&c));
+    }
+
+    #[test]
+    fn pareto_weights_are_at_least_one() {
+        let g = WeightModel::Pareto { alpha: 1.0 }.apply(star(), 11);
+        for e in 0..g.num_edges() {
+            assert!(g.prop(e) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn degree_based_weight_equals_target_degree() {
+        let g = WeightModel::DegreeBased.apply(star(), 0);
+        // Edge 0->1: target 1 has degree 1. Edge 1->0: target 0 has degree 4.
+        let e01 = g.edge_range(0).start; // targets sorted: 1,2,3,4
+        assert_eq!(g.prop(e01), 1.0);
+        let e10 = g.edge_range(1).start;
+        assert_eq!(g.prop(e10), 4.0);
+        // Zero-degree targets clamp to 1.
+        let e02 = e01 + 1; // target 2 has degree 0
+        assert_eq!(g.prop(e02), 1.0);
+    }
+
+    #[test]
+    fn labels_are_uniform_and_in_range() {
+        let mut b = CsrBuilder::new(2);
+        for _ in 0..5000 {
+            b.push_edge(0, 1);
+        }
+        let g = assign_uniform_labels(b.build().unwrap(), 5, 3);
+        let mut counts = [0usize; 5];
+        for e in 0..g.num_edges() {
+            counts[g.label(e) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 700, "label {i} count {c} too low for uniform");
+        }
+    }
+
+    #[test]
+    fn int8_quantization_roundtrips_within_step() {
+        let w = vec![1.0f32, 2.0, 3.0, 4.9];
+        let q = EdgeProps::F32(w.clone()).quantize_int8();
+        let step = (4.9 - 1.0) / 255.0;
+        for (e, &orig) in w.iter().enumerate() {
+            assert!(
+                (q.get(e) - orig).abs() <= step,
+                "edge {e}: {} vs {orig}",
+                q.get(e)
+            );
+        }
+        assert_eq!(q.bytes_per_weight(), 1);
+    }
+
+    #[test]
+    fn int8_quantization_of_constant_weights() {
+        let q = EdgeProps::F32(vec![2.0; 3]).quantize_int8();
+        for e in 0..3 {
+            assert_eq!(q.get(e), 2.0);
+        }
+    }
+
+    #[test]
+    fn quantize_unweighted_is_noop() {
+        assert_eq!(EdgeProps::Unweighted.quantize_int8(), EdgeProps::Unweighted);
+    }
+}

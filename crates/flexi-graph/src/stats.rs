@@ -1,0 +1,240 @@
+//! Degree and weight statistics used throughout the evaluation harness.
+
+use crate::csr::Csr;
+
+/// Summary of a graph's out-degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest out-degree.
+    pub min: usize,
+    /// Largest out-degree.
+    pub max: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Standard deviation of out-degree.
+    pub std: f64,
+    /// Number of zero-out-degree (sink) nodes.
+    pub sinks: usize,
+}
+
+/// Computes [`DegreeStats`] for `g`.
+///
+/// Returns zeros for an empty graph.
+pub fn degree_stats(g: &Csr) -> DegreeStats {
+    let n = g.num_nodes();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            std: 0.0,
+            sinks: 0,
+        };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0f64;
+    let mut sinks = 0usize;
+    for v in 0..n {
+        let d = g.degree(v as u32);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d as f64;
+        if d == 0 {
+            sinks += 1;
+        }
+    }
+    let mean = sum / n as f64;
+    let var = (0..n)
+        .map(|v| {
+            let d = g.degree(v as u32) as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n as f64;
+    DegreeStats {
+        min,
+        max,
+        mean,
+        std: var.sqrt(),
+        sinks,
+    }
+}
+
+/// Per-node aggregates over edge property weights.
+///
+/// These are exactly the `h_MAX[]` / `h_SUM[]` arrays the paper's generated
+/// `preprocess()` computes (Fig. 9d): for each node, the maximum and the sum
+/// of its out-edges' property weights. The eRJS bound estimator reads
+/// `h_MAX`; the cost model's Σw̃ estimator reads `h_SUM`.
+#[derive(Clone, Debug)]
+pub struct NodePropAggregates {
+    /// `h_MAX[v]` — max property weight over `v`'s out-edges (1 for sinks).
+    pub h_max: Vec<f32>,
+    /// `h_SUM[v]` — sum of property weights over `v`'s out-edges.
+    pub h_sum: Vec<f32>,
+}
+
+impl NodePropAggregates {
+    /// Computes the aggregates with a single pass over the edge array.
+    pub fn compute(g: &Csr) -> Self {
+        let n = g.num_nodes();
+        let mut h_max = vec![1.0f32; n];
+        let mut h_sum = vec![0.0f32; n];
+        for v in 0..n {
+            let r = g.edge_range(v as u32);
+            if r.is_empty() {
+                continue;
+            }
+            let mut mx = f32::NEG_INFINITY;
+            let mut sm = 0.0f32;
+            for e in r {
+                let h = g.prop(e);
+                mx = mx.max(h);
+                sm += h;
+            }
+            h_max[v] = mx;
+            h_sum[v] = sm;
+        }
+        Self { h_max, h_sum }
+    }
+
+    /// Mean property weight of `v`'s out-edges (`E[h]` in Eq. 12).
+    #[inline]
+    pub fn h_mean(&self, v: u32, degree: usize) -> f32 {
+        if degree == 0 {
+            1.0
+        } else {
+            self.h_sum[v as usize] / degree as f32
+        }
+    }
+}
+
+/// Coefficient of variation (`std/mean * 100`) of a sample, as used by the
+/// Fig. 7b runtime-weight-variation histogram.
+///
+/// Returns `None` for empty samples or zero mean.
+pub fn coefficient_of_variation(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return None;
+    }
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    Some(var.sqrt() / mean * 100.0)
+}
+
+/// Builds a fixed-width histogram of values, returning per-bin counts.
+///
+/// Values below `lo` clamp into the first bin; values at or above `hi` clamp
+/// into the last.
+pub fn histogram(values: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "need at least one bin");
+    assert!(hi > lo, "need hi > lo");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &v in values {
+        let idx = (((v - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CsrBuilder;
+    use crate::props::EdgeProps;
+
+    #[test]
+    fn degree_stats_on_simple_graph() {
+        let g = CsrBuilder::new(3)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(1, 2)
+            .build()
+            .unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 1.0).abs() < 1e-12);
+        assert_eq!(s.sinks, 1);
+    }
+
+    #[test]
+    fn degree_stats_on_empty_graph() {
+        let g = CsrBuilder::new(0).build().unwrap();
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.sinks, 0);
+    }
+
+    #[test]
+    fn node_aggregates_match_manual_computation() {
+        let g = CsrBuilder::new(2)
+            .weighted_edge(0, 0, 3.0)
+            .weighted_edge(0, 1, 5.0)
+            .build()
+            .unwrap();
+        let agg = NodePropAggregates::compute(&g);
+        assert_eq!(agg.h_max[0], 5.0);
+        assert_eq!(agg.h_sum[0], 8.0);
+        // Sink node keeps defaults.
+        assert_eq!(agg.h_max[1], 1.0);
+        assert_eq!(agg.h_sum[1], 0.0);
+        assert_eq!(agg.h_mean(0, 2), 4.0);
+        assert_eq!(agg.h_mean(1, 0), 1.0);
+    }
+
+    #[test]
+    fn node_aggregates_unweighted_are_ones() {
+        let g = CsrBuilder::new(2).edge(0, 1).edge(0, 1).build().unwrap();
+        let agg = NodePropAggregates::compute(&g);
+        assert_eq!(agg.h_max[0], 1.0);
+        assert_eq!(agg.h_sum[0], 2.0);
+    }
+
+    #[test]
+    fn node_aggregates_int8_use_dequantized_values() {
+        let g = CsrBuilder::new(1)
+            .weighted_edge(0, 0, 1.0)
+            .weighted_edge(0, 0, 5.0)
+            .build()
+            .unwrap();
+        let q = g.props().quantize_int8();
+        let g = g.with_props(q).unwrap();
+        let agg = NodePropAggregates::compute(&g);
+        assert!((agg.h_max[0] - 5.0).abs() < 0.05);
+        assert!((agg.h_sum[0] - 6.0).abs() < 0.05);
+        assert_eq!(g.props(), &g.props().clone());
+        assert!(!matches!(g.props(), EdgeProps::F32(_)));
+    }
+
+    #[test]
+    fn cv_of_constant_sample_is_zero() {
+        let cv = coefficient_of_variation(&[2.0, 2.0, 2.0]).unwrap();
+        assert!(cv.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_matches_hand_computation() {
+        // Sample {1, 3}: mean 2, std 1 → CV = 50%.
+        let cv = coefficient_of_variation(&[1.0, 3.0]).unwrap();
+        assert!((cv - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cv_rejects_empty_and_zero_mean() {
+        assert!(coefficient_of_variation(&[]).is_none());
+        assert!(coefficient_of_variation(&[-1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let h = histogram(&[-5.0, 0.1, 0.9, 1.5, 99.0], 0.0, 2.0, 2);
+        assert_eq!(h, vec![3, 2]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Sampling distributions built on [`RandomSource`].
+//!
+//! These cover everything the paper's evaluation needs: uniform property
+//! weights drawn from `[1, 5)` and labels from `{0..4}` (paper §6.1), the
+//! Pareto power-law weights of Figs. 7/10/11/14 (`np.random.pareto(α)`
+//! equivalent), and the exponential draws behind eRVS key generation.
+
+use crate::RandomSource;
+
+/// Uniform distribution on `(0, 1]`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Uniform01;
+
+impl Uniform01 {
+    /// Samples a uniform `f64` in `(0, 1]`.
+    pub fn sample<R: RandomSource>(&self, rng: &mut R) -> f64 {
+        rng.uniform_f64()
+    }
+}
+
+/// Uniform distribution on a half-open real interval `[lo, hi)`.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformRange {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "require lo < hi, got [{lo}, {hi})");
+        Self { lo, hi }
+    }
+
+    /// Samples a value in `[lo, hi)`.
+    pub fn sample<R: RandomSource>(&self, rng: &mut R) -> f64 {
+        // uniform_f64 is (0, 1]; flip to [0, 1) so `lo` is attainable and
+        // `hi` is not, matching numpy's convention used by the paper.
+        let u = 1.0 - rng.uniform_f64();
+        self.lo + u * (self.hi - self.lo)
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+///
+/// Used by the statistical identity behind eRVS: `u^(1/w)` keys are
+/// equivalent to `Exp(w)`-distributed arrival times (Efraimidis–Spirakis).
+#[derive(Clone, Copy, Debug)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda <= 0` or `lambda` is non-finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "rate must be positive and finite, got {lambda}"
+        );
+        Self { lambda }
+    }
+
+    /// Samples by inversion: `-ln(u) / λ`.
+    pub fn sample<R: RandomSource>(&self, rng: &mut R) -> f64 {
+        -rng.uniform_f64().ln() / self.lambda
+    }
+}
+
+/// Pareto (power-law) distribution, matching `numpy.random.pareto(alpha)`.
+///
+/// numpy's `pareto(α)` returns `X - 1` where `X` is classical Pareto with
+/// scale 1, i.e. samples live on `[0, ∞)` with density `α / (1+x)^(α+1)`.
+/// The paper initialises skewed edge-property weights this way with
+/// `α ∈ [1, 4]`; lower `α` means heavier tail.
+#[derive(Clone, Copy, Debug)]
+pub struct Pareto {
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with shape `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 0` or `alpha` is non-finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "shape must be positive and finite, got {alpha}"
+        );
+        Self { alpha }
+    }
+
+    /// Samples `u^(-1/α) - 1` (inverse-CDF method, numpy-compatible).
+    pub fn sample<R: RandomSource>(&self, rng: &mut R) -> f64 {
+        rng.uniform_f64().powf(-1.0 / self.alpha) - 1.0
+    }
+
+    /// The distribution's shape parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// Samples a uniform integer from `[0, bound)`.
+///
+/// # Panics
+///
+/// Panics if `bound == 0`.
+pub fn uniform_index<R: RandomSource>(rng: &mut R, bound: usize) -> usize {
+    assert!(bound > 0, "uniform_index bound must be positive");
+    // Rejection-free multiply-shift; bias is negligible for bound << 2^64
+    // but we use 128-bit multiply to keep it exact for graph-scale bounds.
+    let x = rng.next_u64();
+    ((u128::from(x) * bound as u128) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Philox4x32;
+
+    fn rng() -> Philox4x32 {
+        Philox4x32::new(0xFEED, 0)
+    }
+
+    #[test]
+    fn uniform_range_stays_in_bounds() {
+        let d = UniformRange::new(1.0, 5.0);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = d.sample(&mut r);
+            assert!((1.0..5.0).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn uniform_range_mean_is_midpoint() {
+        let d = UniformRange::new(1.0, 5.0);
+        let mut r = rng();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / f64::from(n);
+        assert!((mean - 3.0).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_range_rejects_inverted_bounds() {
+        UniformRange::new(5.0, 1.0);
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let d = Exponential::new(2.0);
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let d = Exponential::new(0.1);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        Exponential::new(0.0);
+    }
+
+    #[test]
+    fn pareto_is_nonnegative_and_heavy_tailed() {
+        let d = Pareto::new(1.0);
+        let mut r = rng();
+        let mut max = 0.0f64;
+        for _ in 0..100_000 {
+            let x = d.sample(&mut r);
+            assert!(x >= 0.0);
+            max = max.max(x);
+        }
+        // α = 1 has infinite mean; over 1e5 draws the max should be huge.
+        assert!(max > 100.0, "max = {max}: tail looks too light for α=1");
+    }
+
+    #[test]
+    fn pareto_mean_matches_theory_for_alpha_3() {
+        // numpy pareto(α) has mean 1/(α-1) for α > 1; α=3 → 0.5.
+        let d = Pareto::new(3.0);
+        let mut r = rng();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn pareto_higher_alpha_is_less_skewed() {
+        let mut r = rng();
+        let p99 = |alpha: f64, r: &mut Philox4x32| {
+            let d = Pareto::new(alpha);
+            let mut v: Vec<f64> = (0..20_000).map(|_| d.sample(r)).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            v[(v.len() as f64 * 0.99) as usize]
+        };
+        let tail_1 = p99(1.0, &mut r);
+        let tail_4 = p99(4.0, &mut r);
+        assert!(
+            tail_1 > 10.0 * tail_4,
+            "α=1 p99 {tail_1} not ≫ α=4 p99 {tail_4}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn pareto_rejects_negative_alpha() {
+        Pareto::new(-1.0);
+    }
+
+    #[test]
+    fn uniform_index_covers_range() {
+        let mut r = rng();
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[uniform_index(&mut r, 7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn uniform_index_rejects_zero() {
+        uniform_index(&mut rng(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Pseudo-random number generation for FlexiWalker.
+//!
+//! GPU random-walk kernels need three properties from their generator that
+//! ordinary sequential PRNGs do not provide out of the box:
+//!
+//! 1. **Independent per-lane streams** — every SIMT lane draws from its own
+//!    statistically independent stream so that concurrent sampling trials do
+//!    not correlate.
+//! 2. **O(1) jump-ahead** — the eRVS *jump* optimisation (paper §3.2) skips a
+//!    computed number of random draws; a counter-based generator makes the
+//!    skip a constant-time counter addition instead of a loop.
+//! 3. **Reproducibility** — a (seed, stream, counter) triple fully determines
+//!    every draw, which the test-suite and the deterministic simulator rely
+//!    on.
+//!
+//! The primary generator is [`Philox4x32`], the counter-based generator
+//! family used by cuRAND (which the paper uses on real hardware). A cheap
+//! [`SplitMix64`] is provided for seeding and auxiliary shuffling, and
+//! [`Xoshiro256pp`] offers a fast shift-register alternative with a
+//! polynomial `jump()` for coarse stream separation.
+
+pub mod dist;
+pub mod philox;
+pub mod splitmix;
+pub mod xoshiro;
+
+pub use dist::{Exponential, Pareto, Uniform01, UniformRange};
+pub use philox::{Philox4x32, PhiloxStream};
+pub use splitmix::SplitMix64;
+pub use xoshiro::Xoshiro256pp;
+
+/// Minimal uniform-source trait implemented by every generator in this crate.
+///
+/// All higher-level distributions ([`dist`]) are defined against this trait so
+/// samplers can be written once and tested against multiple generators.
+pub trait RandomSource {
+    /// Returns the next 32 uniformly distributed random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 uniformly distributed random bits.
+    ///
+    /// The default combines two `next_u32` draws.
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Returns a uniform `f32` in the half-open interval `(0, 1]`.
+    ///
+    /// The open-at-zero convention matters: eRVS computes `u^(1/w)` and
+    /// `ln(u)`, both of which are undefined at `u = 0`.
+    fn uniform_f32(&mut self) -> f32 {
+        // 24 mantissa bits; add 1 so the result is in (0, 1].
+        let bits = self.next_u32() >> 8;
+        (bits as f32 + 1.0) * (1.0 / 16_777_216.0)
+    }
+
+    /// Returns a uniform `f64` in the half-open interval `(0, 1]`.
+    fn uniform_f64(&mut self) -> f64 {
+        let bits = self.next_u64() >> 11;
+        (bits as f64 + 1.0) * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// Skips the next `n` 32-bit draws.
+    ///
+    /// Counter-based generators override this with O(1) counter arithmetic;
+    /// the default falls back to drawing and discarding.
+    fn skip(&mut self, n: u64) {
+        for _ in 0..n {
+            self.next_u32();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic sawtooth source for exercising trait defaults.
+    struct Saw(u32);
+
+    impl RandomSource for Saw {
+        fn next_u32(&mut self) -> u32 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9);
+            self.0
+        }
+    }
+
+    #[test]
+    fn uniform_f32_is_in_unit_interval() {
+        let mut s = Saw(0);
+        for _ in 0..10_000 {
+            let u = s.uniform_f32();
+            assert!(u > 0.0 && u <= 1.0, "u = {u} outside (0, 1]");
+        }
+    }
+
+    #[test]
+    fn uniform_f64_is_in_unit_interval() {
+        let mut s = Saw(7);
+        for _ in 0..10_000 {
+            let u = s.uniform_f64();
+            assert!(u > 0.0 && u <= 1.0, "u = {u} outside (0, 1]");
+        }
+    }
+
+    #[test]
+    fn default_skip_matches_manual_draws() {
+        let mut a = Saw(42);
+        let mut b = Saw(42);
+        a.skip(17);
+        for _ in 0..17 {
+            b.next_u32();
+        }
+        assert_eq!(a.next_u32(), b.next_u32());
+    }
+
+    #[test]
+    fn next_u64_combines_two_u32() {
+        let mut a = Saw(1);
+        let mut b = Saw(1);
+        let hi = b.next_u32() as u64;
+        let lo = b.next_u32() as u64;
+        assert_eq!(a.next_u64(), (hi << 32) | lo);
+    }
+}

@@ -1,0 +1,281 @@
+//! Philox4x32-10 counter-based pseudo-random generator.
+//!
+//! Philox (Salmon et al., SC'11, "Parallel random numbers: as easy as
+//! 1, 2, 3") is the default generator of cuRAND, which FlexiWalker uses on
+//! real GPUs. Instead of evolving hidden state, Philox applies a 10-round
+//! bijective mixing function to a 128-bit *counter* under a 64-bit *key*:
+//!
+//! ```text
+//! output_block = philox10(key, counter); counter += 1
+//! ```
+//!
+//! Two properties make it ideal for SIMT sampling kernels:
+//!
+//! - **Streams**: every (seed, stream-id) pair keys an independent sequence,
+//!   so each simulated lane owns a private stream with zero shared state.
+//! - **O(1) skip-ahead**: advancing `n` draws is a counter addition, which is
+//!   what makes the eRVS jump technique (paper §3.2) essentially free.
+
+use crate::RandomSource;
+
+const PHILOX_M0: u32 = 0xD251_1F53;
+const PHILOX_M1: u32 = 0xCD9E_8D57;
+const PHILOX_W0: u32 = 0x9E37_79B9;
+const PHILOX_W1: u32 = 0xBB67_AE85;
+const ROUNDS: usize = 10;
+
+/// One 128-bit output block of the Philox4x32-10 bijection.
+#[inline]
+fn philox_block(key: [u32; 2], counter: [u32; 4]) -> [u32; 4] {
+    let mut c = counter;
+    let mut k = key;
+    for _ in 0..ROUNDS {
+        let p0 = u64::from(PHILOX_M0) * u64::from(c[0]);
+        let p1 = u64::from(PHILOX_M1) * u64::from(c[2]);
+        let hi0 = (p0 >> 32) as u32;
+        let lo0 = p0 as u32;
+        let hi1 = (p1 >> 32) as u32;
+        let lo1 = p1 as u32;
+        c = [hi1 ^ c[1] ^ k[0], lo1, hi0 ^ c[3] ^ k[1], lo0];
+        k[0] = k[0].wrapping_add(PHILOX_W0);
+        k[1] = k[1].wrapping_add(PHILOX_W1);
+    }
+    c
+}
+
+/// Philox4x32-10 generator with a (seed, stream) key and 128-bit counter.
+///
+/// Each call to [`RandomSource::next_u32`] consumes one of the four words of
+/// the current block, generating a new block every fourth call. Skip-ahead is
+/// exact: word-level positions are tracked so `skip(n)` lands on precisely
+/// the same draw as `n` sequential calls.
+///
+/// # Examples
+///
+/// ```
+/// use flexi_rng::{Philox4x32, RandomSource};
+///
+/// let mut a = Philox4x32::new(1234, 0);
+/// let mut b = Philox4x32::new(1234, 0);
+/// b.skip(1000);
+/// for _ in 0..1000 {
+///     a.next_u32();
+/// }
+/// assert_eq!(a.next_u32(), b.next_u32());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Philox4x32 {
+    key: [u32; 2],
+    /// Block counter (counts 128-bit blocks, little-endian limbs).
+    counter: [u32; 4],
+    /// Current block contents.
+    block: [u32; 4],
+    /// Next word index within `block`; 4 means "block exhausted".
+    word: usize,
+}
+
+impl Philox4x32 {
+    /// Creates a generator keyed by `(seed, stream)`.
+    ///
+    /// Distinct `(seed, stream)` pairs produce statistically independent
+    /// sequences; this is how per-lane streams are provisioned.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        // Mix the stream id into the high counter limbs so that even
+        // identical seeds with adjacent stream ids decorrelate immediately.
+        let key = [seed as u32, (seed >> 32) as u32];
+        let counter = [0, 0, stream as u32, (stream >> 32) as u32];
+        let mut g = Self {
+            key,
+            counter,
+            block: [0; 4],
+            word: 4,
+        };
+        g.refill();
+        g
+    }
+
+    /// Total number of 32-bit words consumed so far.
+    pub fn position(&self) -> u64 {
+        let blocks = (u64::from(self.counter[1]) << 32) | u64::from(self.counter[0]);
+        // `refill` advances the counter eagerly, so the live block is
+        // `blocks - 1` and `word` words of it have been consumed.
+        blocks
+            .wrapping_sub(1)
+            .wrapping_mul(4)
+            .wrapping_add(self.word as u64)
+    }
+
+    fn refill(&mut self) {
+        self.block = philox_block(self.key, self.counter);
+        // 128-bit increment over the low two limbs (the stream id occupies
+        // the high limbs and is never carried into).
+        let (lo, carry) = self.counter[0].overflowing_add(1);
+        self.counter[0] = lo;
+        if carry {
+            self.counter[1] = self.counter[1].wrapping_add(1);
+        }
+        self.word = 0;
+    }
+
+    /// Repositions the generator to absolute word offset `pos`.
+    pub fn seek(&mut self, pos: u64) {
+        let block = pos / 4;
+        let word = (pos % 4) as usize;
+        self.counter[0] = block as u32;
+        self.counter[1] = (block >> 32) as u32;
+        self.refill();
+        self.word = word;
+    }
+}
+
+impl RandomSource for Philox4x32 {
+    fn next_u32(&mut self) -> u32 {
+        if self.word == 4 {
+            self.refill();
+        }
+        let v = self.block[self.word];
+        self.word += 1;
+        v
+    }
+
+    fn skip(&mut self, n: u64) {
+        let pos = self.position().wrapping_add(n);
+        self.seek(pos);
+    }
+}
+
+/// A factory for per-lane Philox streams sharing one experiment seed.
+///
+/// GPU kernels index this by global lane id; the CPU reference paths index it
+/// by walker id. Both obtain reproducible independent generators.
+#[derive(Clone, Copy, Debug)]
+pub struct PhiloxStream {
+    seed: u64,
+}
+
+impl PhiloxStream {
+    /// Creates a stream factory for the experiment `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Returns the generator for `stream` (lane id, walker id, ...).
+    pub fn stream(&self, stream: u64) -> Philox4x32 {
+        Philox4x32::new(self.seed, stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_function_is_deterministic() {
+        let a = philox_block([1, 2], [3, 4, 5, 6]);
+        let b = philox_block([1, 2], [3, 4, 5, 6]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn block_function_depends_on_key_and_counter() {
+        let base = philox_block([1, 2], [3, 4, 5, 6]);
+        assert_ne!(base, philox_block([1, 3], [3, 4, 5, 6]));
+        assert_ne!(base, philox_block([1, 2], [3, 4, 5, 7]));
+    }
+
+    #[test]
+    fn sequences_are_reproducible() {
+        let mut a = Philox4x32::new(99, 7);
+        let mut b = Philox4x32::new(99, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = Philox4x32::new(99, 0);
+        let mut b = Philox4x32::new(99, 1);
+        let va: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        let vb: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Philox4x32::new(1, 0);
+        let mut b = Philox4x32::new(2, 0);
+        let va: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        let vb: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn skip_matches_sequential_draws_across_block_boundaries() {
+        for n in [0u64, 1, 2, 3, 4, 5, 7, 8, 9, 100, 1023] {
+            let mut seq = Philox4x32::new(2024, 3);
+            let mut jmp = Philox4x32::new(2024, 3);
+            for _ in 0..n {
+                seq.next_u32();
+            }
+            jmp.skip(n);
+            assert_eq!(seq.next_u32(), jmp.next_u32(), "skip({n}) diverged");
+        }
+    }
+
+    #[test]
+    fn seek_is_absolute() {
+        let mut g = Philox4x32::new(5, 5);
+        let mut h = Philox4x32::new(5, 5);
+        for _ in 0..37 {
+            g.next_u32();
+        }
+        h.seek(37);
+        assert_eq!(g.next_u32(), h.next_u32());
+        // Seeking backwards replays earlier output.
+        let mut i = Philox4x32::new(5, 5);
+        let first = i.next_u32();
+        i.seek(0);
+        assert_eq!(i.next_u32(), first);
+    }
+
+    #[test]
+    fn position_tracks_draws() {
+        let mut g = Philox4x32::new(11, 0);
+        assert_eq!(g.position(), 0);
+        for expect in 1..=10 {
+            g.next_u32();
+            assert_eq!(g.position(), expect);
+        }
+    }
+
+    #[test]
+    fn output_is_roughly_balanced() {
+        // Sanity check: mean of uniform f64 draws is near 0.5.
+        let mut g = Philox4x32::new(123, 456);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| g.uniform_f64()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn monobit_balance() {
+        // Count set bits over many words; expect ~50%.
+        let mut g = Philox4x32::new(777, 0);
+        let mut ones = 0u64;
+        let words = 10_000u64;
+        for _ in 0..words {
+            ones += u64::from(g.next_u32().count_ones());
+        }
+        let frac = ones as f64 / (words as f64 * 32.0);
+        assert!((frac - 0.5).abs() < 0.01, "bit fraction = {frac}");
+    }
+
+    #[test]
+    fn stream_factory_reproduces() {
+        let f = PhiloxStream::new(42);
+        let mut a = f.stream(9);
+        let mut b = f.stream(9);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,142 @@
+//! SplitMix64: a tiny, fast mixing generator used for seeding and shuffles.
+//!
+//! SplitMix64 (Steele et al., OOPSLA'14) passes BigCrush and is the standard
+//! seed-expansion function for xoshiro-family generators. It is *not* used
+//! inside sampling kernels (Philox owns that role) but drives graph
+//! generation, permutation shuffles, and seed derivation.
+
+use crate::RandomSource;
+
+/// SplitMix64 generator.
+///
+/// # Examples
+///
+/// ```
+/// use flexi_rng::{RandomSource, SplitMix64};
+///
+/// let mut g = SplitMix64::new(7);
+/// let x = g.next_u64();
+/// let y = g.next_u64();
+/// assert_ne!(x, y);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Advances the state and returns the next 64-bit output.
+    ///
+    /// Named after the canonical C reference implementation.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform integer in `[0, bound)` using Lemire rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bounded(0) is meaningless");
+        // Lemire's multiply-shift with rejection to remove modulo bias.
+        loop {
+            let x = self.next();
+            let m = u128::from(x) * u128::from(bound);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffles `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl RandomSource for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // Reference values for seed 0 from the canonical C implementation.
+        let mut g = SplitMix64::new(0);
+        assert_eq!(g.next(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(g.next(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(g.next(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn bounded_respects_bound() {
+        let mut g = SplitMix64::new(3);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX / 2] {
+            for _ in 0..100 {
+                assert!(g.bounded(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bounded(0)")]
+    fn bounded_zero_panics() {
+        SplitMix64::new(1).bounded(0);
+    }
+
+    #[test]
+    fn bounded_covers_small_range() {
+        let mut g = SplitMix64::new(9);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[g.bounded(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all values of [0,5) produced");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut g = SplitMix64::new(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        g.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn shuffle_empty_and_singleton_are_noops() {
+        let mut g = SplitMix64::new(1);
+        let mut empty: Vec<u8> = vec![];
+        g.shuffle(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![42];
+        g.shuffle(&mut one);
+        assert_eq!(one, vec![42]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Alias-method tables (Walker 1977), as used by Skywalker.
+//!
+//! An alias table answers weighted-sampling queries in O(1) after an O(n)
+//! build. For *static* walks the build is amortised across all steps; for
+//! *dynamic* walks the table must be rebuilt at every step because the
+//! transition weights depend on walker history — this per-step rebuild is
+//! exactly the overhead the paper's Fig. 3 shows sinking ALS-based systems.
+
+use flexi_rng::RandomSource;
+
+/// A Walker alias table over `n` outcomes.
+///
+/// # Examples
+///
+/// ```
+/// use flexi_sampling::AliasTable;
+/// use flexi_rng::Philox4x32;
+///
+/// let t = AliasTable::build(&[1.0, 3.0]).unwrap();
+/// let mut rng = Philox4x32::new(7, 0);
+/// let mut hits = [0u32; 2];
+/// for _ in 0..10_000 {
+///     hits[t.sample(&mut rng)] += 1;
+/// }
+/// assert!(hits[1] > 2 * hits[0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table with Vose's O(n) two-stack algorithm.
+    ///
+    /// Returns `None` if `weights` is empty, sums to zero, or contains a
+    /// negative or non-finite entry.
+    pub fn build(weights: &[f32]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 {
+            return None;
+        }
+        let mut sum = 0.0f64;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return None;
+            }
+            sum += f64::from(w);
+        }
+        if sum <= 0.0 {
+            return None;
+        }
+        let scale = n as f64 / sum;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| f64::from(w) * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // Donate the large bucket's excess to fill the small bucket.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Remaining buckets are numerically ~1.
+        for i in large.into_iter().chain(small) {
+            prob[i as usize] = 1.0;
+        }
+        Some(Self { prob, alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a built table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Samples an outcome with two uniform draws and one table probe.
+    pub fn sample<R: RandomSource>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let col = ((u128::from(rng.next_u64()) * n as u128) >> 64) as usize;
+        let u = rng.uniform_f64();
+        if u <= self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+
+    /// The stay-probability of bucket `col` (the alias method's `prob[]`).
+    pub fn bucket_prob(&self, col: usize) -> f64 {
+        self.prob[col]
+    }
+
+    /// The alias target of bucket `col` (the alias method's `alias[]`).
+    pub fn bucket_alias(&self, col: usize) -> usize {
+        self.alias[col] as usize
+    }
+
+    /// The exact probability this table assigns to outcome `i`.
+    ///
+    /// Used by tests to confirm the build preserved the input distribution.
+    pub fn outcome_probability(&self, i: usize) -> f64 {
+        let n = self.prob.len() as f64;
+        let mut p = self.prob[i] / n;
+        for (j, &a) in self.alias.iter().enumerate() {
+            if a as usize == i {
+                p += (1.0 - self.prob[j]) / n;
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stat;
+    use flexi_rng::Philox4x32;
+
+    #[test]
+    fn build_rejects_degenerate_inputs() {
+        assert!(AliasTable::build(&[]).is_none());
+        assert!(AliasTable::build(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::build(&[1.0, -1.0]).is_none());
+        assert!(AliasTable::build(&[f32::NAN]).is_none());
+        assert!(AliasTable::build(&[f32::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn table_probabilities_match_weights_exactly() {
+        let weights = [3.0f32, 2.0, 4.0, 1.0];
+        let t = AliasTable::build(&weights).unwrap();
+        let probs = stat::normalize(&weights);
+        for (i, &p) in probs.iter().enumerate() {
+            assert!(
+                (t.outcome_probability(i) - p).abs() < 1e-12,
+                "outcome {i}: table {} vs exact {p}",
+                t.outcome_probability(i)
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let weights = [3.0f32, 2.0, 4.0, 1.0];
+        let t = AliasTable::build(&weights).unwrap();
+        let mut rng = Philox4x32::new(123, 0);
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..100_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        stat::assert_matches_distribution(&counts, &stat::normalize(&weights), "alias");
+    }
+
+    #[test]
+    fn single_outcome_always_wins() {
+        let t = AliasTable::build(&[5.0]).unwrap();
+        let mut rng = Philox4x32::new(1, 0);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_are_never_sampled() {
+        let t = AliasTable::build(&[0.0, 1.0, 0.0, 1.0]).unwrap();
+        let mut rng = Philox4x32::new(5, 0);
+        for _ in 0..10_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 3, "sampled zero-weight outcome {s}");
+        }
+    }
+
+    #[test]
+    fn highly_skewed_weights_build_correctly() {
+        let mut weights = vec![1e-6f32; 100];
+        weights[42] = 1e6;
+        let t = AliasTable::build(&weights).unwrap();
+        let p = t.outcome_probability(42);
+        assert!(p > 0.999, "p = {p}");
+    }
+
+    #[test]
+    fn uniform_weights_give_uniform_table() {
+        let t = AliasTable::build(&[2.0; 8]).unwrap();
+        for i in 0..8 {
+            assert!((t.outcome_probability(i) - 0.125).abs() < 1e-12);
+        }
+    }
+}

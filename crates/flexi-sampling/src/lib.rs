@@ -1,0 +1,42 @@
+//! Weighted neighbor-sampling algorithms for dynamic random walks.
+//!
+//! Implements the four base sampling strategies the paper surveys (Fig. 2)
+//! and the two optimised kernels it contributes (§3):
+//!
+//! | Method | Module | Used by |
+//! |---|---|---|
+//! | Alias sampling (ALS) | [`alias`] | Skywalker |
+//! | Inverse-transform (ITS) | [`scalar::sample_its`] | C-SAW, ThunderRW |
+//! | Rejection (RJS) | [`scalar::sample_rejection`] | NextDoor, KnightKing |
+//! | Reservoir (RVS, prefix-sum) | [`scalar::sample_reservoir_prefix`] | FlowWalker |
+//! | **eRVS** (exp-keys + jump) | [`scalar::sample_ervs_exp`], [`scalar::sample_ervs_jump`] | FlexiWalker |
+//! | **eRJS** (bound estimation) | [`scalar::sample_rejection`] with estimated bound | FlexiWalker |
+//!
+//! Every method exists in two forms:
+//!
+//! - **scalar** ([`scalar`]) — straight-line reference implementations used
+//!   by the CPU baseline engines and by the statistical test-suite;
+//! - **warp kernels** ([`kernels`]) — SIMT implementations on
+//!   [`flexi_gpu_sim::WarpCtx`] that additionally charge the memory
+//!   transactions, RNG draws and warp-intrinsic steps each strategy costs,
+//!   reproducing the paper's performance hierarchy.
+//!
+//! The [`stat`] module provides the chi-square goodness-of-fit helper the
+//! correctness tests use to verify every sampler draws from the exact
+//! target distribution `p(i) = w̃_i / Σ w̃`.
+
+pub mod alias;
+pub mod kernels;
+pub mod scalar;
+pub mod stat;
+
+pub use alias::AliasTable;
+pub use scalar::ScalarCost;
+
+/// Maximum rejection-sampling trials before falling back to a linear scan.
+///
+/// A pathological bound (or an adversarial weight distribution) could make
+/// pure rejection loop for a very long time; all rejection paths in this
+/// repository bail out to an exact linear-CDF sample after this many trials,
+/// preserving the output distribution while bounding worst-case work.
+pub const MAX_REJECTION_TRIALS: u32 = 4096;

@@ -1,0 +1,497 @@
+//! Scalar (single-threaded) reference implementations of every sampler.
+//!
+//! These are the ground truth for the statistical test-suite and the inner
+//! loops of the CPU baseline engines. Each function returns the sampled
+//! index together with a [`ScalarCost`] describing the abstract work done,
+//! which the CPU engines convert into simulated time.
+
+use crate::alias::AliasTable;
+use crate::MAX_REJECTION_TRIALS;
+use flexi_rng::RandomSource;
+
+/// Abstract operation counts of one scalar sampling call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScalarCost {
+    /// Transition-weight evaluations (each implies touching `h` and the
+    /// adjacency entry of that neighbor).
+    pub weight_evals: u64,
+    /// Uniform random draws.
+    pub rng_draws: u64,
+    /// Auxiliary-structure element operations (prefix-sum adds, alias-table
+    /// bucket moves).
+    pub aux_ops: u64,
+    /// Random probes into memory (rejection trials, binary-search steps,
+    /// alias-table lookups).
+    pub probe_reads: u64,
+}
+
+impl ScalarCost {
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &ScalarCost) {
+        self.weight_evals += other.weight_evals;
+        self.rng_draws += other.rng_draws;
+        self.aux_ops += other.aux_ops;
+        self.probe_reads += other.probe_reads;
+    }
+}
+
+/// Draws a uniform `f64` strictly inside `(0, 1)`.
+///
+/// `RandomSource::uniform_f64` is `(0, 1]`; the exponential-key and jump
+/// computations take logarithms of both `u` and the keys, so the endpoints
+/// must be excluded.
+fn open01<R: RandomSource>(rng: &mut R, cost: &mut ScalarCost) -> f64 {
+    loop {
+        cost.rng_draws += 1;
+        let u = rng.uniform_f64();
+        if u < 1.0 {
+            return u;
+        }
+    }
+}
+
+/// Exact weighted sample by linear CDF scan — the ground-truth sampler.
+///
+/// Returns `None` if `weights` is empty or sums to zero.
+pub fn sample_linear_cdf<R: RandomSource>(
+    weights: &[f32],
+    rng: &mut R,
+) -> (Option<usize>, ScalarCost) {
+    let mut cost = ScalarCost {
+        weight_evals: weights.len() as u64,
+        ..Default::default()
+    };
+    let total: f64 = weights.iter().map(|&w| f64::from(w)).sum();
+    if total <= 0.0 {
+        return (None, cost);
+    }
+    cost.rng_draws += 1;
+    let target = rng.uniform_f64() * total;
+    let mut acc = 0.0f64;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += f64::from(w);
+        if target <= acc && w > 0.0 {
+            return (Some(i), cost);
+        }
+    }
+    // Numerical slack: return the last positive-weight index.
+    let last = weights.iter().rposition(|&w| w > 0.0);
+    (last, cost)
+}
+
+/// Inverse-transform sampling (ITS): prefix sum + binary search (C-SAW).
+pub fn sample_its<R: RandomSource>(weights: &[f32], rng: &mut R) -> (Option<usize>, ScalarCost) {
+    let n = weights.len();
+    let mut cost = ScalarCost {
+        weight_evals: n as u64,
+        aux_ops: n as u64,
+        ..Default::default()
+    };
+    if n == 0 {
+        return (None, cost);
+    }
+    let mut prefix = Vec::with_capacity(n);
+    let mut acc = 0.0f64;
+    for &w in weights {
+        acc += f64::from(w);
+        prefix.push(acc);
+    }
+    if acc <= 0.0 {
+        return (None, cost);
+    }
+    cost.rng_draws += 1;
+    let target = rng.uniform_f64() * acc;
+    // Binary search for the first prefix >= target.
+    let (mut lo, mut hi) = (0usize, n - 1);
+    while lo < hi {
+        cost.probe_reads += 1;
+        let mid = (lo + hi) / 2;
+        if prefix[mid] < target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    // Skip any zero-weight run the search may have landed on.
+    let mut i = lo;
+    while i < n && weights[i] <= 0.0 {
+        i += 1;
+    }
+    if i == n {
+        i = weights.iter().rposition(|&w| w > 0.0).unwrap_or(lo);
+    }
+    (Some(i), cost)
+}
+
+/// Alias sampling (ALS): per-call table build + O(1) lookup (Skywalker).
+///
+/// For dynamic walks the table cannot be cached, so the O(n) build is paid
+/// on every step — the overhead Fig. 3 attributes to ALS systems.
+pub fn sample_alias<R: RandomSource>(weights: &[f32], rng: &mut R) -> (Option<usize>, ScalarCost) {
+    let n = weights.len();
+    let mut cost = ScalarCost {
+        weight_evals: n as u64,
+        // Mean reduce + bucket classification + redistribution ≈ 3 passes.
+        aux_ops: 3 * n as u64,
+        ..Default::default()
+    };
+    let Some(table) = AliasTable::build(weights) else {
+        return (None, cost);
+    };
+    cost.rng_draws += 2;
+    cost.probe_reads += 1;
+    (Some(table.sample(rng)), cost)
+}
+
+/// Rejection sampling (RJS) against an upper bound on the max weight.
+///
+/// `bound` must satisfy `bound >= max(weights)`; any such bound leaves the
+/// output distribution exact (paper §3.3, Eqs. 5–8) — looser bounds only
+/// increase the expected number of trials. After
+/// [`MAX_REJECTION_TRIALS`] failed trials the sampler falls back to an
+/// exact linear-CDF scan so adversarial bounds cannot hang a walk.
+///
+/// Weights are evaluated lazily through `weight_of`, matching how dynamic
+/// walks compute transition weights only for probed neighbors — this is
+/// the entire memory-traffic advantage of RJS.
+pub fn sample_rejection_fn<R: RandomSource>(
+    weight_of: impl Fn(usize) -> f32,
+    n: usize,
+    bound: f32,
+    rng: &mut R,
+) -> (Option<usize>, ScalarCost) {
+    let mut cost = ScalarCost::default();
+    // NaN-rejecting guard (see `lane_rejection`).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if n == 0 || !(bound > 0.0) {
+        return (None, cost);
+    }
+    for _ in 0..MAX_REJECTION_TRIALS {
+        cost.rng_draws += 2;
+        cost.probe_reads += 1;
+        cost.weight_evals += 1;
+        let x = ((u128::from(rng.next_u64()) * n as u128) >> 64) as usize;
+        let y = rng.uniform_f64() * f64::from(bound);
+        let w = weight_of(x);
+        debug_assert!(
+            f64::from(w) <= f64::from(bound) * (1.0 + 1e-5),
+            "rejection bound {bound} below weight {w}"
+        );
+        if y <= f64::from(w) && w > 0.0 {
+            return (Some(x), cost);
+        }
+    }
+    // Fallback: exact scan (cost of one full pass).
+    let weights: Vec<f32> = (0..n).map(weight_of).collect();
+    let (idx, scan_cost) = sample_linear_cdf(&weights, rng);
+    cost.add(&scan_cost);
+    (idx, cost)
+}
+
+/// Slice-based convenience wrapper around [`sample_rejection_fn`].
+pub fn sample_rejection<R: RandomSource>(
+    weights: &[f32],
+    bound: f32,
+    rng: &mut R,
+) -> (Option<usize>, ScalarCost) {
+    sample_rejection_fn(|i| weights[i], weights.len(), bound, rng)
+}
+
+/// Baseline reservoir sampling with prefix sums (FlowWalker's RVS).
+///
+/// Visits neighbors in order, replacing the candidate `i` with probability
+/// `w_i / W_i` where `W_i` is the running prefix sum. Requires the full
+/// weight list *and* the prefix sums — the double memory traffic eRVS
+/// removes — plus one RNG draw per neighbor.
+pub fn sample_reservoir_prefix<R: RandomSource>(
+    weights: &[f32],
+    rng: &mut R,
+) -> (Option<usize>, ScalarCost) {
+    let n = weights.len();
+    let cost = ScalarCost {
+        weight_evals: n as u64,
+        aux_ops: n as u64, // Prefix-sum construction.
+        rng_draws: n as u64,
+        ..Default::default()
+    };
+    let mut candidate = None;
+    let mut running = 0.0f64;
+    for (i, &w) in weights.iter().enumerate() {
+        let u = rng.uniform_f64();
+        if w <= 0.0 {
+            continue;
+        }
+        running += f64::from(w);
+        if u <= f64::from(w) / running {
+            candidate = Some(i);
+        }
+    }
+    (candidate, cost)
+}
+
+/// eRVS without the jump: Efraimidis–Spirakis exponential keys.
+///
+/// Assigns each neighbor the key `u_i^(1/w_i)` and returns the argmax
+/// (paper Algorithm 1). One pass over the weights (no prefix sums) but
+/// still one RNG draw per neighbor — this is the `+EXP` stage of the
+/// Fig. 12a ablation.
+pub fn sample_ervs_exp<R: RandomSource>(
+    weights: &[f32],
+    rng: &mut R,
+) -> (Option<usize>, ScalarCost) {
+    let n = weights.len();
+    let cost = ScalarCost {
+        weight_evals: n as u64,
+        rng_draws: n as u64,
+        ..Default::default()
+    };
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &w) in weights.iter().enumerate() {
+        let u = rng.uniform_f64();
+        if w <= 0.0 {
+            continue;
+        }
+        let key = u.powf(1.0 / f64::from(w));
+        if best.is_none_or(|(_, k)| key >= k) {
+            best = Some((i, key));
+        }
+    }
+    (best.map(|(i, _)| i), cost)
+}
+
+/// Full eRVS: exponential keys with the exponential-jump skip (A-ExpJ).
+///
+/// Instead of drawing a key per neighbor, the sampler draws the *skip
+/// distance* `X = ln(u) / ln(k_g)` and jumps directly to the neighbor whose
+/// running weight crosses it (paper Eq. 4), replacing the key with a draw
+/// truncated to `(k_g, 1)`. RNG draws drop from `O(n)` to
+/// `O(#record-updates)` ≈ `O(log n)` — the `+JUMP` stage of Fig. 12a.
+/// Weight reads remain one pass (the running sum still needs every weight).
+pub fn sample_ervs_jump<R: RandomSource>(
+    weights: &[f32],
+    rng: &mut R,
+) -> (Option<usize>, ScalarCost) {
+    let n = weights.len();
+    let mut cost = ScalarCost {
+        weight_evals: n as u64,
+        ..Default::default()
+    };
+    // Find the first positive weight to seed the reservoir.
+    let Some(first) = weights.iter().position(|&w| w > 0.0) else {
+        return (None, cost);
+    };
+    let u = open01(rng, &mut cost);
+    let mut k_g = u.powf(1.0 / f64::from(weights[first]));
+    let mut best = first;
+    // Skip threshold: amount of *weight* to consume before the next update.
+    let mut x_w = open01(rng, &mut cost).ln() / k_g.ln();
+    for (i, &w) in weights.iter().enumerate().skip(first + 1) {
+        if w <= 0.0 {
+            continue;
+        }
+        let w = f64::from(w);
+        if x_w > w {
+            x_w -= w;
+            continue;
+        }
+        // This neighbor breaks the record. Its key, conditioned on beating
+        // k_g, is Uniform(k_g^w, 1)^(1/w).
+        let t = k_g.powf(w);
+        let u2 = t + (1.0 - t) * open01(rng, &mut cost);
+        k_g = u2.powf(1.0 / w);
+        best = i;
+        x_w = open01(rng, &mut cost).ln() / k_g.ln();
+    }
+    (Some(best), cost)
+}
+
+/// Computes `max(weights)` by full scan — the reduction eRJS eliminates.
+pub fn exact_max(weights: &[f32]) -> (f32, ScalarCost) {
+    let cost = ScalarCost {
+        weight_evals: weights.len() as u64,
+        aux_ops: weights.len() as u64,
+        ..Default::default()
+    };
+    let m = weights.iter().copied().fold(0.0f32, f32::max);
+    (m, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stat;
+    use flexi_rng::Philox4x32;
+
+    const TRIALS: usize = 60_000;
+    const WEIGHTS: [f32; 5] = [3.0, 2.0, 4.0, 1.0, 0.5];
+
+    fn run<F>(mut sampler: F) -> Vec<u64>
+    where
+        F: FnMut(&mut Philox4x32) -> Option<usize>,
+    {
+        let mut rng = Philox4x32::new(0xC0FFEE, 0);
+        let mut counts = vec![0u64; WEIGHTS.len()];
+        for _ in 0..TRIALS {
+            let i = sampler(&mut rng).expect("positive-total weights");
+            counts[i] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn linear_cdf_matches_distribution() {
+        let counts = run(|rng| sample_linear_cdf(&WEIGHTS, rng).0);
+        stat::assert_matches_distribution(&counts, &stat::normalize(&WEIGHTS), "linear_cdf");
+    }
+
+    #[test]
+    fn its_matches_distribution() {
+        let counts = run(|rng| sample_its(&WEIGHTS, rng).0);
+        stat::assert_matches_distribution(&counts, &stat::normalize(&WEIGHTS), "its");
+    }
+
+    #[test]
+    fn alias_matches_distribution() {
+        let counts = run(|rng| sample_alias(&WEIGHTS, rng).0);
+        stat::assert_matches_distribution(&counts, &stat::normalize(&WEIGHTS), "alias");
+    }
+
+    #[test]
+    fn rejection_with_exact_bound_matches_distribution() {
+        let counts = run(|rng| sample_rejection(&WEIGHTS, 4.0, rng).0);
+        stat::assert_matches_distribution(&counts, &stat::normalize(&WEIGHTS), "rjs exact");
+    }
+
+    #[test]
+    fn rejection_with_loose_bound_matches_distribution() {
+        // The core eRJS claim (Eqs. 5-8): any bound >= max preserves the
+        // distribution exactly.
+        let counts = run(|rng| sample_rejection(&WEIGHTS, 40.0, rng).0);
+        stat::assert_matches_distribution(&counts, &stat::normalize(&WEIGHTS), "rjs loose");
+    }
+
+    #[test]
+    fn rejection_loose_bound_costs_more_trials() {
+        let mut rng = Philox4x32::new(7, 0);
+        let mut tight = ScalarCost::default();
+        let mut loose = ScalarCost::default();
+        for _ in 0..2000 {
+            tight.add(&sample_rejection(&WEIGHTS, 4.0, &mut rng).1);
+            loose.add(&sample_rejection(&WEIGHTS, 40.0, &mut rng).1);
+        }
+        assert!(
+            loose.probe_reads > 3 * tight.probe_reads,
+            "loose {} vs tight {}",
+            loose.probe_reads,
+            tight.probe_reads
+        );
+    }
+
+    #[test]
+    fn reservoir_prefix_matches_distribution() {
+        let counts = run(|rng| sample_reservoir_prefix(&WEIGHTS, rng).0);
+        stat::assert_matches_distribution(&counts, &stat::normalize(&WEIGHTS), "rvs prefix");
+    }
+
+    #[test]
+    fn ervs_exp_matches_distribution() {
+        let counts = run(|rng| sample_ervs_exp(&WEIGHTS, rng).0);
+        stat::assert_matches_distribution(&counts, &stat::normalize(&WEIGHTS), "ervs exp");
+    }
+
+    #[test]
+    fn ervs_jump_matches_distribution() {
+        let counts = run(|rng| sample_ervs_jump(&WEIGHTS, rng).0);
+        stat::assert_matches_distribution(&counts, &stat::normalize(&WEIGHTS), "ervs jump");
+    }
+
+    #[test]
+    fn ervs_jump_uses_far_fewer_rng_draws() {
+        let long: Vec<f32> = (0..1000).map(|i| 1.0 + (i % 7) as f32).collect();
+        let mut rng = Philox4x32::new(3, 0);
+        let (_, exp_cost) = sample_ervs_exp(&long, &mut rng);
+        let (_, jump_cost) = sample_ervs_jump(&long, &mut rng);
+        assert_eq!(exp_cost.rng_draws, 1000);
+        assert!(
+            jump_cost.rng_draws < 200,
+            "jump drew {} times",
+            jump_cost.rng_draws
+        );
+    }
+
+    #[test]
+    fn zero_weight_entries_are_never_selected() {
+        let weights = [0.0f32, 2.0, 0.0, 3.0, 0.0];
+        let mut rng = Philox4x32::new(11, 0);
+        for _ in 0..2000 {
+            for idx in [
+                sample_linear_cdf(&weights, &mut rng).0,
+                sample_its(&weights, &mut rng).0,
+                sample_rejection(&weights, 3.0, &mut rng).0,
+                sample_reservoir_prefix(&weights, &mut rng).0,
+                sample_ervs_exp(&weights, &mut rng).0,
+                sample_ervs_jump(&weights, &mut rng).0,
+            ] {
+                let i = idx.expect("total weight positive");
+                assert!(i == 1 || i == 3, "selected zero-weight index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_all_zero_inputs_return_none() {
+        let mut rng = Philox4x32::new(1, 0);
+        let empty: [f32; 0] = [];
+        let zeros = [0.0f32; 4];
+        assert_eq!(sample_linear_cdf(&empty, &mut rng).0, None);
+        assert_eq!(sample_linear_cdf(&zeros, &mut rng).0, None);
+        assert_eq!(sample_its(&empty, &mut rng).0, None);
+        assert_eq!(sample_its(&zeros, &mut rng).0, None);
+        assert_eq!(sample_alias(&zeros, &mut rng).0, None);
+        assert_eq!(sample_rejection(&empty, 1.0, &mut rng).0, None);
+        assert_eq!(sample_reservoir_prefix(&zeros, &mut rng).0, None);
+        assert_eq!(sample_ervs_exp(&zeros, &mut rng).0, None);
+        assert_eq!(sample_ervs_jump(&zeros, &mut rng).0, None);
+    }
+
+    #[test]
+    fn single_entry_is_always_selected() {
+        let mut rng = Philox4x32::new(2, 0);
+        let w = [7.0f32];
+        assert_eq!(sample_linear_cdf(&w, &mut rng).0, Some(0));
+        assert_eq!(sample_its(&w, &mut rng).0, Some(0));
+        assert_eq!(sample_alias(&w, &mut rng).0, Some(0));
+        assert_eq!(sample_rejection(&w, 7.0, &mut rng).0, Some(0));
+        assert_eq!(sample_reservoir_prefix(&w, &mut rng).0, Some(0));
+        assert_eq!(sample_ervs_exp(&w, &mut rng).0, Some(0));
+        assert_eq!(sample_ervs_jump(&w, &mut rng).0, Some(0));
+    }
+
+    #[test]
+    fn rejection_invalid_bound_returns_none() {
+        let mut rng = Philox4x32::new(2, 0);
+        assert_eq!(sample_rejection(&WEIGHTS, 0.0, &mut rng).0, None);
+        assert_eq!(sample_rejection(&WEIGHTS, -1.0, &mut rng).0, None);
+        assert_eq!(sample_rejection(&WEIGHTS, f32::NAN, &mut rng).0, None);
+    }
+
+    #[test]
+    fn exact_max_scans_all() {
+        let (m, c) = exact_max(&WEIGHTS);
+        assert_eq!(m, 4.0);
+        assert_eq!(c.weight_evals, 5);
+    }
+
+    #[test]
+    fn costs_reflect_algorithm_structure() {
+        let mut rng = Philox4x32::new(9, 0);
+        let (_, its) = sample_its(&WEIGHTS, &mut rng);
+        assert_eq!(its.weight_evals, 5);
+        assert_eq!(its.aux_ops, 5);
+        let (_, rvs) = sample_reservoir_prefix(&WEIGHTS, &mut rng);
+        assert_eq!(rvs.rng_draws, 5);
+        let (_, exp) = sample_ervs_exp(&WEIGHTS, &mut rng);
+        assert_eq!(exp.rng_draws, 5);
+        assert_eq!(exp.aux_ops, 0, "eRVS needs no auxiliary structure");
+    }
+}

@@ -1,0 +1,141 @@
+//! Statistical helpers for verifying sampler correctness.
+
+/// Pearson chi-square goodness-of-fit statistic.
+///
+/// Compares observed `counts` against `probs` (which must sum to ~1) over
+/// `n = counts.sum()` trials. Bins with expected count below 1e-9 are
+/// skipped (zero-probability outcomes must have zero observations, which is
+/// asserted).
+///
+/// # Panics
+///
+/// Panics if lengths differ, or if a zero-probability bin has observations.
+pub fn chi_square_statistic(counts: &[u64], probs: &[f64]) -> f64 {
+    assert_eq!(counts.len(), probs.len(), "bin count mismatch");
+    let n: u64 = counts.iter().sum();
+    let mut stat = 0.0;
+    for (&c, &p) in counts.iter().zip(probs) {
+        let expected = n as f64 * p;
+        if expected < 1e-9 {
+            assert_eq!(c, 0, "observed samples in a zero-probability bin");
+            continue;
+        }
+        let d = c as f64 - expected;
+        stat += d * d / expected;
+    }
+    stat
+}
+
+/// Conservative chi-square critical value at significance ~0.001.
+///
+/// Uses the Wilson–Hilferty cube-root approximation of the chi-square
+/// quantile, which is accurate to well under 1% for `df >= 3`; for tiny
+/// `df` a lookup covers the exact values.
+pub fn chi_square_critical_001(df: usize) -> f64 {
+    // Exact 0.001 upper-tail critical values for small df.
+    const SMALL: [f64; 6] = [0.0, 10.828, 13.816, 16.266, 18.467, 20.515];
+    if df < SMALL.len() {
+        return SMALL[df];
+    }
+    // Wilson–Hilferty: X ≈ df * (1 - 2/(9 df) + z * sqrt(2/(9 df)))^3,
+    // with z = 3.0902 for the 0.999 quantile.
+    let d = df as f64;
+    let z = 3.0902;
+    let t = 1.0 - 2.0 / (9.0 * d) + z * (2.0 / (9.0 * d)).sqrt();
+    d * t * t * t
+}
+
+/// Asserts that `counts` is consistent with `probs` at significance 0.001.
+///
+/// The degrees of freedom are `(#bins with nonzero probability) - 1`.
+///
+/// # Panics
+///
+/// Panics (test failure) if the hypothesis is rejected.
+pub fn assert_matches_distribution(counts: &[u64], probs: &[f64], context: &str) {
+    let stat = chi_square_statistic(counts, probs);
+    let df = probs.iter().filter(|&&p| p > 1e-9).count().saturating_sub(1);
+    if df == 0 {
+        return;
+    }
+    let crit = chi_square_critical_001(df);
+    assert!(
+        stat < crit,
+        "{context}: chi-square {stat:.2} >= critical {crit:.2} (df {df}); counts {counts:?}"
+    );
+}
+
+/// Normalises weights into a probability vector.
+///
+/// # Panics
+///
+/// Panics if the weights sum to zero or contain negatives.
+pub fn normalize(weights: &[f32]) -> Vec<f64> {
+    let sum: f64 = weights.iter().map(|&w| f64::from(w)).sum();
+    assert!(sum > 0.0, "weights must have positive sum");
+    weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0, "negative weight {w}");
+            f64::from(w) / sum
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistic_is_zero_for_perfect_fit() {
+        let stat = chi_square_statistic(&[50, 50], &[0.5, 0.5]);
+        assert!(stat.abs() < 1e-12);
+    }
+
+    #[test]
+    fn statistic_grows_with_misfit() {
+        let near = chi_square_statistic(&[55, 45], &[0.5, 0.5]);
+        let far = chi_square_statistic(&[90, 10], &[0.5, 0.5]);
+        assert!(far > near);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-probability bin")]
+    fn zero_probability_bin_with_counts_panics() {
+        chi_square_statistic(&[1, 99], &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn critical_values_match_tables() {
+        // Published 0.001 critical values: df=1 → 10.83, df=10 → 29.59,
+        // df=30 → 59.70.
+        assert!((chi_square_critical_001(1) - 10.828).abs() < 0.01);
+        assert!((chi_square_critical_001(10) - 29.588).abs() < 0.3);
+        assert!((chi_square_critical_001(30) - 59.703).abs() < 0.5);
+    }
+
+    #[test]
+    fn assert_matches_accepts_true_distribution() {
+        // 10_000 fair-coin flips split 5040/4960 — clearly consistent.
+        assert_matches_distribution(&[5040, 4960], &[0.5, 0.5], "coin");
+    }
+
+    #[test]
+    #[should_panic(expected = "chi-square")]
+    fn assert_matches_rejects_biased_sample() {
+        assert_matches_distribution(&[9000, 1000], &[0.5, 0.5], "rigged");
+    }
+
+    #[test]
+    fn normalize_produces_probabilities() {
+        let p = normalize(&[1.0, 3.0]);
+        assert!((p[0] - 0.25).abs() < 1e-12);
+        assert!((p[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn normalize_rejects_all_zero() {
+        normalize(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the sampling algorithms: for *any* weight
+//! vector, every sampler must return a valid index with positive weight,
+//! and the eRJS bound property must hold for any bound ≥ max.
+
+use flexi_rng::Philox4x32;
+use flexi_sampling::scalar::{
+    exact_max, sample_ervs_exp, sample_ervs_jump, sample_its, sample_linear_cdf,
+    sample_rejection, sample_reservoir_prefix,
+};
+use flexi_sampling::AliasTable;
+use proptest::prelude::*;
+
+fn weights() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(0.0f32..50.0, 1..200)
+}
+
+fn check_valid(idx: Option<usize>, ws: &[f32]) -> Result<(), TestCaseError> {
+    let total: f64 = ws.iter().map(|&w| f64::from(w)).sum();
+    match idx {
+        Some(i) => {
+            prop_assert!(i < ws.len(), "index {i} out of range");
+            prop_assert!(ws[i] > 0.0, "picked zero-weight index {i}");
+        }
+        None => prop_assert!(total <= 0.0, "None despite positive total {total}"),
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Every scan-based sampler returns a valid positive-weight index.
+    #[test]
+    fn scan_samplers_return_valid_indices(ws in weights(), seed: u64) {
+        let mut rng = Philox4x32::new(seed, 0);
+        check_valid(sample_linear_cdf(&ws, &mut rng).0, &ws)?;
+        check_valid(sample_its(&ws, &mut rng).0, &ws)?;
+        check_valid(sample_reservoir_prefix(&ws, &mut rng).0, &ws)?;
+        check_valid(sample_ervs_exp(&ws, &mut rng).0, &ws)?;
+        check_valid(sample_ervs_jump(&ws, &mut rng).0, &ws)?;
+    }
+
+    /// Rejection sampling with any bound ≥ max returns valid indices.
+    #[test]
+    fn rejection_valid_for_any_dominating_bound(ws in weights(), seed: u64, slack in 1.0f32..50.0) {
+        let (mx, _) = exact_max(&ws);
+        prop_assume!(mx > 0.0);
+        let mut rng = Philox4x32::new(seed, 1);
+        let (idx, _) = sample_rejection(&ws, mx * slack, &mut rng);
+        check_valid(idx, &ws)?;
+    }
+
+    /// Looser bounds can only increase (never decrease) expected trials.
+    #[test]
+    fn rejection_trials_monotone_in_bound(ws in weights(), seed: u64) {
+        let (mx, _) = exact_max(&ws);
+        prop_assume!(mx > 0.0);
+        let runs = 64;
+        let count = |bound: f32| {
+            let mut rng = Philox4x32::new(seed, 2);
+            let mut probes = 0u64;
+            for _ in 0..runs {
+                probes += sample_rejection(&ws, bound, &mut rng).1.probe_reads;
+            }
+            probes
+        };
+        let tight = count(mx);
+        let loose = count(mx * 16.0);
+        prop_assert!(loose >= tight, "loose {loose} < tight {tight}");
+    }
+
+    /// The alias table is a faithful encoding: per-outcome probabilities
+    /// reconstruct the normalised weights and sum to one.
+    #[test]
+    fn alias_table_encodes_distribution(ws in weights()) {
+        let total: f64 = ws.iter().map(|&w| f64::from(w)).sum();
+        prop_assume!(total > 0.0);
+        let Some(t) = AliasTable::build(&ws) else {
+            return Err(TestCaseError::fail("build failed on positive total"));
+        };
+        let mut sum = 0.0;
+        for (i, &w) in ws.iter().enumerate() {
+            let p = t.outcome_probability(i);
+            let expect = f64::from(w) / total;
+            prop_assert!((p - expect).abs() < 1e-6, "outcome {i}: {p} vs {expect}");
+            sum += p;
+        }
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    /// eRVS jump RNG usage is bounded by 2 + 2 draws per record update,
+    /// which can never exceed 2 + 2n (adversarially ascending weights make
+    /// every element a record; typical inputs see ~ln n updates).
+    #[test]
+    fn jump_rng_draws_bounded_by_updates(ws in weights(), seed: u64) {
+        let mut rng = Philox4x32::new(seed, 3);
+        let (_, jump) = sample_ervs_jump(&ws, &mut rng);
+        prop_assert!(
+            jump.rng_draws <= 2 + 2 * ws.len() as u64,
+            "jump drew {} times for {} weights", jump.rng_draws, ws.len()
+        );
+    }
+
+    /// On long flat-ish weight lists the jump saves most draws vs exp keys
+    /// (the Fig. 12a claim), regardless of seed.
+    #[test]
+    fn jump_saves_rng_on_long_flat_lists(seed: u64, jitter in 0.0f32..0.5) {
+        let ws: Vec<f32> = (0..512).map(|i| 1.0 + jitter * ((i % 7) as f32)).collect();
+        let mut r1 = Philox4x32::new(seed, 3);
+        let mut r2 = Philox4x32::new(seed, 3);
+        let (_, exp) = sample_ervs_exp(&ws, &mut r1);
+        let (_, jump) = sample_ervs_jump(&ws, &mut r2);
+        prop_assert!(
+            jump.rng_draws * 4 < exp.rng_draws,
+            "jump {} not ≪ exp {}", jump.rng_draws, exp.rng_draws
+        );
+    }
+
+    /// Reservoir-style samplers read each weight exactly once.
+    #[test]
+    fn ervs_reads_weights_once(ws in weights(), seed: u64) {
+        let mut rng = Philox4x32::new(seed, 4);
+        let (_, exp) = sample_ervs_exp(&ws, &mut rng);
+        prop_assert_eq!(exp.weight_evals, ws.len() as u64);
+        prop_assert_eq!(exp.aux_ops, 0);
+        let (_, jump) = sample_ervs_jump(&ws, &mut rng);
+        prop_assert_eq!(jump.weight_evals, ws.len() as u64);
+    }
+
+    /// All-zero inputs uniformly return None from every sampler.
+    #[test]
+    fn zero_weights_return_none(len in 1usize..100, seed: u64) {
+        let ws = vec![0.0f32; len];
+        let mut rng = Philox4x32::new(seed, 5);
+        prop_assert_eq!(sample_linear_cdf(&ws, &mut rng).0, None);
+        prop_assert_eq!(sample_its(&ws, &mut rng).0, None);
+        prop_assert_eq!(sample_reservoir_prefix(&ws, &mut rng).0, None);
+        prop_assert_eq!(sample_ervs_exp(&ws, &mut rng).0, None);
+        prop_assert_eq!(sample_ervs_jump(&ws, &mut rng).0, None);
+        prop_assert_eq!(sample_rejection(&ws, 1.0, &mut rng).0, None);
+    }
+}

@@ -1,0 +1,49 @@
+//! Multi-GPU scaling with hash- vs range-partitioned queries (paper §6.6).
+//!
+//! Duplicates the graph on 1–4 simulated devices, distributes walk queries
+//! by each policy, and reports the saturated-time speedup. Hash mapping
+//! balances hub-heavy query sets; contiguous ranges concentrate hot nodes
+//! on one device, which is why the paper rejects range mapping.
+//!
+//! ```text
+//! cargo run --release --example multi_gpu_scaling
+//! ```
+
+use flexiwalker::core::multi_device::{MultiDeviceEngine, Partitioning};
+use flexiwalker::prelude::*;
+
+fn main() {
+    let graph = gen::rmat(12, 131_072, gen::RmatParams::SOCIAL, 3);
+    let graph = WeightModel::UniformReal.apply(graph, 3);
+    let workload = Node2Vec::paper(true);
+    let queries: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
+    let config = WalkConfig {
+        steps: 20,
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ..WalkConfig::default()
+    };
+
+    for partitioning in [Partitioning::Hash, Partitioning::Range] {
+        println!("{partitioning:?} partitioning:");
+        let mut base = None;
+        for devices in 1..=4usize {
+            let mut engine = MultiDeviceEngine::new(DeviceSpec::a6000(), devices);
+            engine.partitioning = partitioning;
+            let report = engine
+                .run(&graph, &workload, &queries, &config)
+                .expect("run failed");
+            let secs = report.saturated_seconds;
+            let base_secs = *base.get_or_insert(secs);
+            println!(
+                "  {devices} device(s): {:>8.3} ms  speedup {:>4.2}x  ({} steps)",
+                secs * 1e3,
+                base_secs / secs,
+                report.steps_taken
+            );
+        }
+    }
+    println!();
+    println!("hash mapping spreads hub-adjacent queries across devices and");
+    println!("scales near-linearly; range mapping leaves one device with the");
+    println!("heaviest contiguous id block and trails it.");
+}

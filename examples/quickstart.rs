@@ -1,0 +1,57 @@
+//! Quickstart: run adaptive dynamic random walks on a synthetic graph.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use flexiwalker::prelude::*;
+
+fn main() {
+    // 1. Build a graph. Here: a scale-free R-MAT graph with 1024 nodes and
+    //    uniform [1, 5) edge property weights — the paper's default
+    //    weighted setting.
+    let graph = gen::rmat(10, 16_384, gen::RmatParams::SOCIAL, 42);
+    let graph = WeightModel::UniformReal.apply(graph, 42);
+    println!(
+        "graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    // 2. Pick a workload. Weighted Node2Vec with the paper's a=2, b=0.5.
+    let workload = Node2Vec::paper(true);
+
+    // 3. Create the engine on a simulated A6000 and launch one walk per
+    //    node, 80 steps each.
+    let engine = FlexiWalkerEngine::new(DeviceSpec::a6000());
+    let queries: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
+    let config = WalkConfig {
+        steps: 80,
+        record_paths: true,
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ..WalkConfig::default()
+    };
+    let report = engine
+        .run(&graph, &workload, &queries, &config)
+        .expect("walk run failed");
+
+    // 4. Inspect the results.
+    println!(
+        "simulated kernel time: {:.3} ms ({} steps total)",
+        report.sim_seconds * 1e3,
+        report.steps_taken
+    );
+    println!(
+        "runtime adaptation: {} steps ran eRJS, {} ran eRVS",
+        report.chosen_rjs, report.chosen_rvs
+    );
+    println!(
+        "overheads: profile {:.3} ms, preprocess {:.3} ms",
+        report.profile_seconds * 1e3,
+        report.preprocess_seconds * 1e3
+    );
+    let paths = report.paths.as_ref().expect("recorded");
+    let avg_len = paths.iter().map(Vec::len).sum::<usize>() as f64 / paths.len() as f64;
+    println!("first walk: {:?}", &paths[0][..paths[0].len().min(10)]);
+    println!("average path length: {avg_len:.1} nodes");
+}

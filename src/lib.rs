@@ -1,0 +1,76 @@
+//! # FlexiWalker
+//!
+//! An extensible framework for efficient **dynamic random walks** with
+//! runtime adaptation — a Rust reproduction of the EuroSys '26 paper
+//! *"FlexiWalker: Extensible GPU Framework for Efficient Dynamic Random
+//! Walks with Runtime Adaptation"* (Park et al.).
+//!
+//! Dynamic random walks (Node2Vec, MetaPath, second-order PageRank)
+//! recompute transition probabilities from walker history at every step,
+//! which defeats the precompute-and-cache strategy of static-walk systems.
+//! FlexiWalker answers with three tightly integrated components:
+//!
+//! - **Flexi-Kernel** — two optimised sampling kernels: *eRVS* (reservoir
+//!   sampling via Efraimidis–Spirakis exponential keys plus the
+//!   exponential-jump trick, eliminating prefix sums and most RNG draws)
+//!   and *eRJS* (rejection sampling against an analytically derived upper
+//!   bound, eliminating per-step max reductions);
+//! - **Flexi-Runtime** — a profiled first-order cost model that picks the
+//!   cheaper kernel *per node, per step*;
+//! - **Flexi-Compiler** — static analysis of the user's `get_weight`
+//!   source that derives the bound estimators automatically, with a sound
+//!   eRVS-only fallback for unanalyzable code.
+//!
+//! This crate is a facade re-exporting the workspace's components. See the
+//! README for a tour and `DESIGN.md` for the architecture and the
+//! hardware-substitution rationale (the GPU is a deterministic SIMT
+//! simulator).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flexiwalker::prelude::*;
+//!
+//! // A small scale-free graph with uniform edge property weights.
+//! let graph = gen::rmat(10, 8192, gen::RmatParams::SOCIAL, 42);
+//! let graph = WeightModel::UniformReal.apply(graph, 42);
+//!
+//! // Weighted Node2Vec with the paper's hyperparameters (a=2, b=0.5).
+//! let workload = Node2Vec::paper(true);
+//!
+//! // Run 128 walks of 20 steps on a simulated A6000.
+//! let engine = FlexiWalkerEngine::new(DeviceSpec::a6000());
+//! let queries: Vec<u32> = (0..128).collect();
+//! let config = WalkConfig {
+//!     steps: 20,
+//!     record_paths: true,
+//!     ..WalkConfig::default()
+//! };
+//! let report = engine.run(&graph, &workload, &queries, &config).unwrap();
+//! assert_eq!(report.paths.as_ref().unwrap().len(), 128);
+//! println!(
+//!     "simulated {:.3} ms, eRJS steps {}, eRVS steps {}",
+//!     report.sim_seconds * 1e3,
+//!     report.chosen_rjs,
+//!     report.chosen_rvs
+//! );
+//! ```
+
+pub use flexi_baselines as baselines;
+pub use flexi_compiler as compiler;
+pub use flexi_core as core;
+pub use flexi_gpu_sim as gpu_sim;
+pub use flexi_graph as graph;
+pub use flexi_rng as rng;
+pub use flexi_sampling as sampling;
+
+/// Commonly used items for a one-line import.
+pub mod prelude {
+    pub use flexi_core::{
+        DynamicWalk, EngineError, FlexiWalkerEngine, MetaPath, Node2Vec, RunReport,
+        SecondOrderPr, SelectionStrategy, UniformWalk, WalkConfig, WalkEngine, WalkState,
+    };
+    pub use flexi_gpu_sim::DeviceSpec;
+    pub use flexi_graph::{gen, proxy, Csr, CsrBuilder, NodeId, WeightModel};
+    pub use flexi_rng::{Philox4x32, RandomSource};
+}

@@ -1,0 +1,157 @@
+//! Integration of Flexi-Compiler with the runtime: generated estimators
+//! must soundly bound the weights the engine actually computes, and the
+//! fallback path must stay correct.
+
+use flexiwalker::compiler::{compile, BoundGranularity, CompileOutcome, WalkSpec};
+use flexiwalker::core::preprocess::Aggregates;
+use flexiwalker::core::runtime::RuntimeEnv;
+use flexiwalker::prelude::*;
+use flexiwalker::sampling::stat;
+
+fn graph() -> Csr {
+    let g = gen::rmat(9, 4096, gen::RmatParams::WEB, 31);
+    WeightModel::Pareto { alpha: 1.5 }.apply(g, 31)
+}
+
+fn compiled_for(w: &dyn DynamicWalk) -> flexiwalker::compiler::CompiledWalk {
+    match compile(&w.spec()).expect("parses") {
+        CompileOutcome::Supported(c) => *c,
+        CompileOutcome::Fallback { warnings } => panic!("unexpected fallback: {warnings:?}"),
+    }
+}
+
+#[test]
+fn bound_estimators_dominate_actual_weights_for_all_workloads() {
+    let g = flexiwalker::graph::props::assign_uniform_labels(graph(), 5, 31);
+    let workloads: Vec<Box<dyn DynamicWalk>> = vec![
+        Box::new(Node2Vec::paper(true)),
+        Box::new(Node2Vec::paper(false)),
+        Box::new(MetaPath::paper(true)),
+        Box::new(SecondOrderPr::paper()),
+    ];
+    for w in &workloads {
+        let compiled = compiled_for(w.as_ref());
+        let agg = Aggregates::compute(&g, &compiled.preprocess, &DeviceSpec::a6000());
+        let mut checked = 0usize;
+        for cur in (0..g.num_nodes() as u32).step_by(7) {
+            if g.degree(cur) == 0 {
+                continue;
+            }
+            for prev in [None, Some((cur + 1) % g.num_nodes() as u32)] {
+                for step in [0usize, 1, 3] {
+                    let state = WalkState { cur, prev, step };
+                    let env = RuntimeEnv {
+                        graph: &g,
+                        aggregates: &agg,
+                        workload: w.as_ref(),
+                        state,
+                    };
+                    let Some(bound) = compiled.max_estimator.eval(&env) else {
+                        panic!("{}: estimator unavailable", w.name());
+                    };
+                    for e in g.edge_range(cur) {
+                        let actual = f64::from(w.weight(&g, &state, e));
+                        // Relative tolerance: estimator math is f64 over
+                        // f32 inputs; the engine adds the same slack to the
+                        // kernel bound (`rjs_bound`'s SLACK).
+                        assert!(
+                            bound * (1.0 + 1e-5) >= actual,
+                            "{}: bound {bound} < weight {actual} at node {cur}",
+                            w.name()
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked > 1000, "{}: too few checks ({checked})", w.name());
+    }
+}
+
+#[test]
+fn granularity_flags_match_paper_classification() {
+    assert_eq!(
+        compiled_for(&Node2Vec::paper(false)).flag,
+        BoundGranularity::PerKernel,
+        "unweighted Node2Vec needs a single estimation (paper §3.3)"
+    );
+    for w in [
+        Box::new(Node2Vec::paper(true)) as Box<dyn DynamicWalk>,
+        Box::new(MetaPath::paper(true)),
+        Box::new(SecondOrderPr::paper()),
+    ] {
+        assert_eq!(
+            compiled_for(w.as_ref()).flag,
+            BoundGranularity::PerStep,
+            "{} must re-estimate per step",
+            w.name()
+        );
+    }
+}
+
+/// A workload whose DSL source Flexi-Compiler must reject (data-dependent
+/// loop), exercising the engine's eRVS-only fallback end to end.
+#[derive(Clone, Copy)]
+struct HostileWorkload;
+
+impl DynamicWalk for HostileWorkload {
+    fn name(&self) -> &'static str {
+        "hostile"
+    }
+
+    fn weight(&self, g: &Csr, _st: &WalkState, edge: usize) -> f32 {
+        g.prop(edge)
+    }
+
+    fn spec(&self) -> WalkSpec {
+        WalkSpec {
+            source: "get_weight(edge) { x = 0; while (x < h[edge]) { x = x + 1; } return x; }"
+                .to_string(),
+            hyperparams: vec![],
+        }
+    }
+}
+
+#[test]
+fn compiler_fallback_runs_ervs_only_and_stays_exact() {
+    // Star with known weights (integer-valued so the hostile DSL loop and
+    // the Rust weight agree): distribution must still be exact.
+    let weights = [2.0f32, 4.0, 1.0, 3.0];
+    let mut b = CsrBuilder::new(5);
+    for (i, &w) in weights.iter().enumerate() {
+        b.push_weighted(0, (i + 1) as u32, w);
+    }
+    let g = b.build().unwrap();
+    let engine = FlexiWalkerEngine::new(DeviceSpec::a6000());
+    let mut counts = vec![0u64; weights.len()];
+    let mut saw_fallback_warning = false;
+    for seed in 0..4000u64 {
+        let cfg = WalkConfig {
+            steps: 1,
+            record_paths: true,
+            seed,
+            ..WalkConfig::default()
+        };
+        let report = engine.run(&g, &HostileWorkload, &[0], &cfg).expect("run");
+        saw_fallback_warning |= report
+            .warnings
+            .iter()
+            .any(|w| w.contains("eRVS-only"));
+        assert_eq!(report.chosen_rjs, 0, "fallback must never select eRJS");
+        let path = &report.paths.as_ref().unwrap()[0];
+        counts[(path[1] - 1) as usize] += 1;
+    }
+    assert!(saw_fallback_warning, "fallback warning not surfaced");
+    stat::assert_matches_distribution(&counts, &stat::normalize(&weights), "fallback");
+}
+
+#[test]
+fn generated_helpers_render_like_fig9d() {
+    let c = compiled_for(&Node2Vec::paper(true));
+    let src = &c.generated_source;
+    assert!(src.contains("preprocess"), "missing preprocess(): {src}");
+    assert!(src.contains("h_MAX"), "missing h_MAX rebinding: {src}");
+    assert!(src.contains("h_SUM"), "missing h_SUM rebinding: {src}");
+    assert!(src.contains("get_weight_max"), "missing max helper: {src}");
+    assert!(src.contains("get_weight_sum"), "missing sum helper: {src}");
+}

@@ -1,0 +1,117 @@
+//! Determinism and multi-device consistency guarantees.
+
+use flexiwalker::core::multi_device::{MultiDeviceEngine, Partitioning};
+use flexiwalker::prelude::*;
+
+fn graph() -> Csr {
+    let g = gen::rmat(9, 4096, gen::RmatParams::SOCIAL, 5);
+    WeightModel::UniformReal.apply(g, 5)
+}
+
+#[test]
+fn same_seed_single_thread_is_bit_identical() {
+    let g = graph();
+    let queries: Vec<NodeId> = (0..64).collect();
+    let cfg = WalkConfig {
+        steps: 15,
+        record_paths: true,
+        host_threads: 1,
+        seed: 1234,
+        ..WalkConfig::default()
+    };
+    let engine = FlexiWalkerEngine::new(DeviceSpec::a6000());
+    let a = engine.run(&g, &Node2Vec::paper(true), &queries, &cfg).unwrap();
+    let b = engine.run(&g, &Node2Vec::paper(true), &queries, &cfg).unwrap();
+    assert_eq!(a.paths, b.paths);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.sim_seconds, b.sim_seconds);
+    assert_eq!(a.chosen_rjs, b.chosen_rjs);
+}
+
+#[test]
+fn different_seeds_produce_different_walks() {
+    let g = graph();
+    let queries: Vec<NodeId> = (0..64).collect();
+    let mk = |seed| WalkConfig {
+        steps: 15,
+        record_paths: true,
+        host_threads: 1,
+        seed,
+        ..WalkConfig::default()
+    };
+    let engine = FlexiWalkerEngine::new(DeviceSpec::a6000());
+    let a = engine
+        .run(&g, &Node2Vec::paper(true), &queries, &mk(1))
+        .unwrap();
+    let b = engine
+        .run(&g, &Node2Vec::paper(true), &queries, &mk(2))
+        .unwrap();
+    assert_ne!(a.paths, b.paths);
+}
+
+#[test]
+fn parallel_execution_preserves_aggregate_work() {
+    // Thread count must not change how much work exists — only who does it.
+    let g = graph();
+    let queries: Vec<NodeId> = (0..256).collect();
+    let mk = |threads| WalkConfig {
+        steps: 10,
+        host_threads: threads,
+        seed: 7,
+        ..WalkConfig::default()
+    };
+    let engine = FlexiWalkerEngine::new(DeviceSpec::a6000());
+    let seq = engine
+        .run(&g, &SecondOrderPr::paper(), &queries, &mk(1))
+        .unwrap();
+    let par = engine
+        .run(&g, &SecondOrderPr::paper(), &queries, &mk(8))
+        .unwrap();
+    assert_eq!(seq.queries, par.queries);
+    // Dynamic queue assignment shifts which lane walks which query, so
+    // exact paths differ, but total steps should be close (sink-limited).
+    let lo = seq.steps_taken.min(par.steps_taken) as f64;
+    let hi = seq.steps_taken.max(par.steps_taken) as f64;
+    assert!(hi / lo < 1.05, "step totals diverged: {lo} vs {hi}");
+}
+
+#[test]
+fn multi_device_covers_every_query_exactly_once() {
+    let _g = graph();
+    let queries: Vec<NodeId> = (0..200).collect();
+    for partitioning in [Partitioning::Hash, Partitioning::Range] {
+        for devices in 1..=4 {
+            let mut engine = MultiDeviceEngine::new(DeviceSpec::a6000(), devices);
+            engine.partitioning = partitioning;
+            let parts = engine.partition(&queries);
+            let mut all: Vec<NodeId> = parts.into_iter().flatten().collect();
+            all.sort_unstable();
+            let mut expect = queries.clone();
+            expect.sort_unstable();
+            assert_eq!(all, expect, "{partitioning:?} x{devices} lost queries");
+        }
+    }
+}
+
+#[test]
+fn multi_device_runs_match_single_device_semantics() {
+    let g = graph();
+    let queries: Vec<NodeId> = (0..128).collect();
+    let cfg = WalkConfig {
+        steps: 10,
+        record_paths: false,
+        host_threads: 1,
+        ..WalkConfig::default()
+    };
+    let single = MultiDeviceEngine::new(DeviceSpec::a6000(), 1)
+        .run(&g, &Node2Vec::paper(true), &queries, &cfg)
+        .unwrap();
+    let quad = MultiDeviceEngine::new(DeviceSpec::a6000(), 4)
+        .run(&g, &Node2Vec::paper(true), &queries, &cfg)
+        .unwrap();
+    assert_eq!(single.queries, quad.queries);
+    let lo = single.steps_taken.min(quad.steps_taken) as f64;
+    let hi = single.steps_taken.max(quad.steps_taken) as f64;
+    assert!(hi / lo < 1.05, "multi-device changed walk volume");
+    assert!(quad.saturated_seconds < single.saturated_seconds);
+}

@@ -1,0 +1,138 @@
+//! End-to-end dynamic-graph support (§7.2 extension): walk → mutate →
+//! refresh aggregates → walk again, with the eRJS bound staying sound
+//! throughout.
+
+use flexiwalker::compiler::{compile, CompileOutcome};
+use flexiwalker::core::preprocess::Aggregates;
+use flexiwalker::core::runtime::RuntimeEnv;
+use flexiwalker::graph::dynamic::{DynamicGraph, GraphUpdate};
+use flexiwalker::prelude::*;
+use flexiwalker::sampling::stat;
+
+#[test]
+fn bound_stays_sound_across_updates_and_refreshes() {
+    let g = gen::rmat(8, 2048, gen::RmatParams::SOCIAL, 17);
+    let g = WeightModel::UniformReal.apply(g, 17);
+    let w = Node2Vec::paper(true);
+    let compiled = match compile(&w.spec()).unwrap() {
+        CompileOutcome::Supported(c) => c,
+        _ => panic!("node2vec compiles"),
+    };
+    let mut agg = Aggregates::compute(&g, &compiled.preprocess, &DeviceSpec::a6000());
+    let mut dg = DynamicGraph::new(g);
+
+    let mut rng = flexiwalker::rng::SplitMix64::new(99);
+    for round in 0..20 {
+        // Mutate: crank random edge weights up hard (the exact case §7.1
+        // says breaks stale preprocessed maxima).
+        for _ in 0..5 {
+            let e = rng.bounded(dg.graph().num_edges() as u64) as usize;
+            dg.set_weight(e, 5.0 + (round as f32) * 10.0);
+        }
+        // Structural churn too.
+        let src = rng.bounded(dg.graph().num_nodes() as u64) as u32;
+        let dst = rng.bounded(dg.graph().num_nodes() as u64) as u32;
+        dg.queue(GraphUpdate::AddEdge {
+            src,
+            dst,
+            weight: 100.0 + round as f32,
+            label: 0,
+        });
+        dg.commit().unwrap();
+
+        // Refresh exactly the dirty nodes.
+        let dirty = dg.take_dirty_nodes();
+        assert!(!dirty.is_empty());
+        agg.refresh_nodes(dg.graph(), &dirty);
+
+        // Soundness: the estimator bound dominates every actual weight.
+        let g = dg.graph();
+        for cur in (0..g.num_nodes() as u32).step_by(13) {
+            if g.degree(cur) == 0 {
+                continue;
+            }
+            let state = WalkState {
+                cur,
+                prev: Some((cur + 1) % g.num_nodes() as u32),
+                step: 1,
+            };
+            let env = RuntimeEnv {
+                graph: g,
+                aggregates: &agg,
+                workload: &w,
+                state,
+            };
+            let bound = compiled.max_estimator.eval(&env).expect("estimable");
+            for e in g.edge_range(cur) {
+                let actual = f64::from(w.weight(g, &state, e));
+                assert!(
+                    bound * (1.0 + 1e-5) >= actual,
+                    "round {round}: stale bound {bound} < {actual} at {cur}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stale_aggregates_are_actually_stale_without_refresh() {
+    // Negative control: skipping the refresh must leave a violated bound,
+    // proving the refresh test above is load-bearing.
+    let g = CsrBuilder::new(2)
+        .weighted_edge(0, 1, 1.0)
+        .weighted_edge(1, 0, 1.0)
+        .build()
+        .unwrap();
+    let w = Node2Vec::paper(true);
+    let compiled = match compile(&w.spec()).unwrap() {
+        CompileOutcome::Supported(c) => c,
+        _ => panic!("compiles"),
+    };
+    let agg = Aggregates::compute(&g, &compiled.preprocess, &DeviceSpec::a6000());
+    let mut dg = DynamicGraph::new(g);
+    dg.set_weight(0, 1000.0);
+    let state = WalkState {
+        cur: 0,
+        prev: Some(1),
+        step: 1,
+    };
+    let env = RuntimeEnv {
+        graph: dg.graph(),
+        aggregates: &agg,
+        workload: &w,
+        state,
+    };
+    let stale_bound = compiled.max_estimator.eval(&env).unwrap();
+    let actual = f64::from(w.weight(dg.graph(), &state, 0));
+    assert!(
+        stale_bound < actual,
+        "expected staleness: bound {stale_bound} vs {actual}"
+    );
+}
+
+#[test]
+fn walks_on_updated_graph_follow_new_distribution() {
+    // Star 0 -> {1, 2}: start with equal weights, then boost edge 0->2 to
+    // 9x and verify walks redistribute accordingly after refresh.
+    let g = CsrBuilder::new(3)
+        .weighted_edge(0, 1, 1.0)
+        .weighted_edge(0, 2, 1.0)
+        .build()
+        .unwrap();
+    let mut dg = DynamicGraph::new(g);
+    dg.set_weight(1, 9.0); // Edge 0 -> 2.
+    let g = dg.graph();
+    let engine = FlexiWalkerEngine::new(DeviceSpec::a6000());
+    let mut counts = [0u64; 2];
+    for seed in 0..3000u64 {
+        let cfg = WalkConfig {
+            steps: 1,
+            record_paths: true,
+            seed,
+            ..WalkConfig::default()
+        };
+        let r = engine.run(g, &UniformWalk, &[0], &cfg).unwrap();
+        counts[(r.paths.as_ref().unwrap()[0][1] - 1) as usize] += 1;
+    }
+    stat::assert_matches_distribution(&counts, &[0.1, 0.9], "post-update walks");
+}
