@@ -7,14 +7,13 @@
 
 use flexi_core::energy::{CPU_LOAD_WATTS, CPU_OOC_WATTS};
 use flexi_core::{
-    DynamicWalk, EngineError, RunReport, WalkConfig, WalkEngine, WalkState,
+    DynamicWalk, EngineError, RunReport, SamplerTally, WalkEngine, WalkRequest, WalkState,
 };
 use flexi_gpu_sim::CostStats;
-use flexi_graph::{Csr, NodeId};
+use flexi_graph::Csr;
 use flexi_rng::Xoshiro256pp;
-use flexi_sampling::scalar::{
-    exact_max, sample_its, sample_rejection, ScalarCost,
-};
+use flexi_sampling::ids;
+use flexi_sampling::scalar::{exact_max, sample_its, sample_rejection, ScalarCost};
 
 /// Abstract cycle costs of a server CPU (per-core).
 #[derive(Clone, Copy, Debug)]
@@ -88,19 +87,29 @@ fn sampler_for(w: &dyn DynamicWalk, rjs_capable: bool) -> CpuSampler {
 
 use flexi_core::static_max_bound as const_bound;
 
+impl CpuSampler {
+    /// Report key of the scalar strategy this CPU system runs.
+    fn sampler_id(self) -> flexi_sampling::SamplerId {
+        match self {
+            Self::Its => ids::ITS,
+            Self::RjsConstBound(_) | Self::RjsExactMax => ids::RJS,
+        }
+    }
+}
+
 /// Shared walk loop of all CPU engines.
-#[allow(clippy::too_many_arguments)]
 fn cpu_run(
     engine_name: &'static str,
     spec: &CpuSpec,
     sampler: CpuSampler,
     io_model: Option<&IoModel>,
-    g: &Csr,
-    w: &dyn DynamicWalk,
-    queries: &[NodeId],
-    cfg: &WalkConfig,
+    req: &WalkRequest<'_>,
     watts: f64,
 ) -> Result<RunReport, EngineError> {
+    let g = req.graph;
+    let w = req.workload;
+    let queries = req.queries;
+    let cfg = &req.config;
     let steps = w.preferred_steps().unwrap_or(cfg.steps);
     let mut total = ScalarCost::default();
     let mut io_cycles: u64 = 0;
@@ -198,8 +207,11 @@ fn cpu_run(
         queries: queries.len(),
         steps_taken,
         paths,
-        chosen_rjs: 0,
-        chosen_rvs: 0,
+        sampler_steps: {
+            let mut t = SamplerTally::new();
+            t.record(sampler.sampler_id(), steps_taken);
+            t
+        },
         profile_seconds: 0.0,
         preprocess_seconds: 0.0,
         warnings: Vec::new(),
@@ -250,25 +262,9 @@ impl WalkEngine for ThunderRwCpu {
         "ThunderRW"
     }
 
-    fn run(
-        &self,
-        g: &Csr,
-        w: &dyn DynamicWalk,
-        queries: &[NodeId],
-        cfg: &WalkConfig,
-    ) -> Result<RunReport, EngineError> {
-        let sampler = sampler_for(w, true);
-        cpu_run(
-            self.name(),
-            &self.spec,
-            sampler,
-            None,
-            g,
-            w,
-            queries,
-            cfg,
-            self.spec.watts,
-        )
+    fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
+        let sampler = sampler_for(req.workload, true);
+        cpu_run(self.name(), &self.spec, sampler, None, req, self.spec.watts)
     }
 }
 
@@ -297,14 +293,8 @@ impl WalkEngine for SoWalkerCpu {
         "SOWalker"
     }
 
-    fn run(
-        &self,
-        g: &Csr,
-        w: &dyn DynamicWalk,
-        queries: &[NodeId],
-        cfg: &WalkConfig,
-    ) -> Result<RunReport, EngineError> {
-        let sampler = sampler_for(w, true);
+    fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
+        let sampler = sampler_for(req.workload, true);
         let io = IoModel {
             miss_ppm: self.miss_ppm,
             // ~20 µs NVMe block read at 3 GHz.
@@ -315,10 +305,7 @@ impl WalkEngine for SoWalkerCpu {
             &self.spec,
             sampler,
             Some(&io),
-            g,
-            w,
-            queries,
-            cfg,
+            req,
             CPU_OOC_WATTS,
         )
     }
@@ -343,38 +330,22 @@ impl WalkEngine for KnightKingCpu {
         "KnightKing"
     }
 
-    fn run(
-        &self,
-        g: &Csr,
-        w: &dyn DynamicWalk,
-        queries: &[NodeId],
-        cfg: &WalkConfig,
-    ) -> Result<RunReport, EngineError> {
+    fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
         // KnightKing's dynamic path uses rejection; the bound is exact when
         // statically known, otherwise an exact max scan per step.
-        let sampler = match const_bound(w) {
+        let sampler = match const_bound(req.workload) {
             Some(b) => CpuSampler::RjsConstBound(b),
             None => CpuSampler::RjsExactMax,
         };
-        cpu_run(
-            self.name(),
-            &self.spec,
-            sampler,
-            None,
-            g,
-            w,
-            queries,
-            cfg,
-            self.spec.watts,
-        )
+        cpu_run(self.name(), &self.spec, sampler, None, req, self.spec.watts)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexi_core::{MetaPath, Node2Vec, SecondOrderPr};
-    use flexi_graph::{gen, props, CsrBuilder, WeightModel};
+    use flexi_core::{MetaPath, Node2Vec, SecondOrderPr, WalkConfig};
+    use flexi_graph::{gen, props, CsrBuilder, NodeId, WeightModel};
     use flexi_sampling::stat;
 
     fn graph() -> Csr {
@@ -390,6 +361,16 @@ mod tests {
         }
     }
 
+    fn run(
+        engine: &dyn WalkEngine,
+        g: &Csr,
+        w: &dyn DynamicWalk,
+        queries: &[NodeId],
+        c: &WalkConfig,
+    ) -> Result<RunReport, EngineError> {
+        engine.run(&WalkRequest::new(g, w, queries).with_config(c.clone()))
+    }
+
     #[test]
     fn all_cpu_engines_produce_valid_walks() {
         let g = graph();
@@ -401,7 +382,7 @@ mod tests {
             Box::new(KnightKingCpu::new(CpuSpec::epyc_9124p())),
         ];
         for e in &engines {
-            let r = e.run(&g, &w, &queries, &cfg()).unwrap();
+            let r = run(e.as_ref(), &g, &w, &queries, &cfg()).unwrap();
             assert!(r.sim_seconds > 0.0, "{}", e.name());
             for path in r.paths.as_ref().unwrap() {
                 for pair in path.windows(2) {
@@ -437,7 +418,7 @@ mod tests {
             let mut c = cfg();
             c.steps = 1;
             c.seed = seed;
-            let r = engine.run(&g, &w, &[0], &c).unwrap();
+            let r = run(&engine, &g, &w, &[0], &c).unwrap();
             let path = &r.paths.as_ref().unwrap()[0];
             counts[(path[1] - 1) as usize] += 1;
         }
@@ -449,12 +430,22 @@ mod tests {
         let g = graph();
         let queries: Vec<NodeId> = (0..64).collect();
         let w = SecondOrderPr::paper();
-        let t = ThunderRwCpu::new(CpuSpec::epyc_9124p())
-            .run(&g, &w, &queries, &cfg())
-            .unwrap();
-        let s = SoWalkerCpu::new(CpuSpec::epyc_9124p())
-            .run(&g, &w, &queries, &cfg())
-            .unwrap();
+        let t = run(
+            &ThunderRwCpu::new(CpuSpec::epyc_9124p()),
+            &g,
+            &w,
+            &queries,
+            &cfg(),
+        )
+        .unwrap();
+        let s = run(
+            &SoWalkerCpu::new(CpuSpec::epyc_9124p()),
+            &g,
+            &w,
+            &queries,
+            &cfg(),
+        )
+        .unwrap();
         assert!(
             s.sim_seconds > t.sim_seconds,
             "out-of-core must be slower: {} vs {}",
@@ -468,12 +459,22 @@ mod tests {
         let g = graph();
         let queries: Vec<NodeId> = (0..64).collect();
         let w = Node2Vec::paper(true);
-        let kk = KnightKingCpu::new(CpuSpec::epyc_9124p())
-            .run(&g, &w, &queries, &cfg())
-            .unwrap();
-        let t = ThunderRwCpu::new(CpuSpec::epyc_9124p())
-            .run(&g, &w, &queries, &cfg())
-            .unwrap();
+        let kk = run(
+            &KnightKingCpu::new(CpuSpec::epyc_9124p()),
+            &g,
+            &w,
+            &queries,
+            &cfg(),
+        )
+        .unwrap();
+        let t = run(
+            &ThunderRwCpu::new(CpuSpec::epyc_9124p()),
+            &g,
+            &w,
+            &queries,
+            &cfg(),
+        )
+        .unwrap();
         assert!(kk.sim_seconds > 0.0 && t.sim_seconds > 0.0);
     }
 
@@ -481,9 +482,14 @@ mod tests {
     fn metapath_walks_respect_schema() {
         let g = props::assign_uniform_labels(graph(), 5, 3);
         let w = MetaPath::paper(true);
-        let r = ThunderRwCpu::new(CpuSpec::epyc_9124p())
-            .run(&g, &w, &(0..32).collect::<Vec<_>>(), &cfg())
-            .unwrap();
+        let r = run(
+            &ThunderRwCpu::new(CpuSpec::epyc_9124p()),
+            &g,
+            &w,
+            &(0..32).collect::<Vec<_>>(),
+            &cfg(),
+        )
+        .unwrap();
         for path in r.paths.as_ref().unwrap() {
             assert!(path.len() <= 6);
         }
@@ -495,9 +501,14 @@ mod tests {
         let queries: Vec<NodeId> = (0..256).collect();
         let mut c = cfg();
         c.time_budget = 1e-15;
-        let err = ThunderRwCpu::new(CpuSpec::epyc_9124p())
-            .run(&g, &Node2Vec::paper(true), &queries, &c)
-            .unwrap_err();
+        let err = run(
+            &ThunderRwCpu::new(CpuSpec::epyc_9124p()),
+            &g,
+            &Node2Vec::paper(true),
+            &queries,
+            &c,
+        )
+        .unwrap_err();
         assert!(matches!(err, EngineError::OutOfTime { .. }));
     }
 

@@ -9,13 +9,15 @@
 //! report the paper's OOM entries.
 
 use flexi_core::{
-    DynamicWalk, EngineError, QueryQueue, RunReport, WalkConfig, WalkEngine, WalkState,
+    DynamicWalk, EngineError, QueryQueue, RunReport, SamplerTally, WalkEngine, WalkRequest,
+    WalkState,
 };
 use flexi_gpu_sim::{Device, DeviceSpec, SimError, WarpCtx, WARP_SIZE};
 use flexi_graph::{Csr, NodeId};
-use flexi_sampling::kernels::{
-    lane_rejection, warp_alias, warp_its, warp_max_reduce_scattered, warp_reservoir_prefix,
-    NeighborView,
+use flexi_sampling::kernels::NeighborView;
+use flexi_sampling::{
+    AliasSampler, ExactMaxRjsSampler, Granularity, ItsSampler, ReservoirPrefixSampler, Sampler,
+    SamplerId,
 };
 
 /// Which fixed kernel a GPU baseline runs.
@@ -29,6 +31,25 @@ pub enum GpuBaselineKind {
     Alias,
     /// Prefix-sum reservoir (FlowWalker).
     RvsPrefix,
+}
+
+impl GpuBaselineKind {
+    /// The registry strategy implementing this baseline's kernel — the
+    /// same [`Sampler`] objects FlexiWalker can register, reused here with
+    /// a fixed choice instead of runtime adaptation.
+    fn sampler(self) -> &'static dyn Sampler {
+        match self {
+            Self::Its => &ItsSampler,
+            Self::RjsExactMax => &ExactMaxRjsSampler,
+            Self::Alias => &AliasSampler,
+            Self::RvsPrefix => &ReservoirPrefixSampler,
+        }
+    }
+
+    /// Report key for the fixed kernel.
+    fn sampler_id(self) -> SamplerId {
+        self.sampler().id()
+    }
 }
 
 /// Shared implementation of all four GPU baselines.
@@ -64,13 +85,11 @@ impl GpuBaseline {
         }
     }
 
-    fn run_impl(
-        &self,
-        g: &Csr,
-        w: &dyn DynamicWalk,
-        queries: &[NodeId],
-        cfg: &WalkConfig,
-    ) -> Result<RunReport, EngineError> {
+    fn run_impl(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
+        let g = req.graph;
+        let w = req.workload;
+        let queries = req.queries;
+        let cfg = &req.config;
         let device = Device::new(self.spec.clone());
         let need = g.memory_bytes() + self.aux_bytes(g, queries.len());
         device.pool().try_alloc(need).map_err(|e| match e {
@@ -131,6 +150,8 @@ impl GpuBaseline {
             .spec
             .saturated_seconds(&launch.stats)
             .min(launch.sim_seconds);
+        let mut sampler_steps = SamplerTally::new();
+        sampler_steps.record(self.kind.sampler_id(), steps_taken);
         Ok(RunReport {
             engine: self.name,
             sim_seconds: launch.sim_seconds,
@@ -139,8 +160,7 @@ impl GpuBaseline {
             queries: queries.len(),
             steps_taken,
             paths,
-            chosen_rjs: 0,
-            chosen_rvs: 0,
+            sampler_steps,
             profile_seconds: 0.0,
             preprocess_seconds: 0.0,
             warnings: Vec::new(),
@@ -212,23 +232,15 @@ fn baseline_warp(
             let range = g.edge_range(state.cur);
             let wf = |i: usize| w.weight(g, &state, range.start + i);
             let view = NeighborView::new(&wf, deg, bytes_per_weight);
-            let picked = match kind {
-                GpuBaselineKind::Its => warp_its(ctx, &view),
-                GpuBaselineKind::Alias => warp_alias(ctx, &view),
-                GpuBaselineKind::RvsPrefix => warp_reservoir_prefix(ctx, &view),
-                GpuBaselineKind::RjsExactMax => {
-                    // NextDoor skips the reduction only when the bound is a
-                    // static hyperparameter constant (unweighted Node2Vec /
-                    // MetaPath — its "partial" dynamic support).
-                    let bound = match flexi_core::static_max_bound(w) {
-                        Some(b) => b,
-                        None => warp_max_reduce_scattered(ctx, &view),
-                    };
-                    if bound > 0.0 {
-                        lane_rejection(ctx, l, &view, bound).0
-                    } else {
-                        None
-                    }
+            let sampler = kind.sampler();
+            let picked = match sampler.granularity() {
+                Granularity::Warp => sampler.sample_warp(ctx, &view),
+                // NextDoor skips its max reduction only when the bound is a
+                // static hyperparameter constant (unweighted Node2Vec /
+                // MetaPath — its "partial" dynamic support); a `None` bound
+                // makes the sampler pay the transit-scattered exact max.
+                Granularity::Lane => {
+                    sampler.sample_lane(ctx, l, &view, flexi_core::static_max_bound(w))
                 }
             };
             let lane = lanes[l].as_mut().expect("still Some");
@@ -277,14 +289,8 @@ macro_rules! baseline_engine {
                 $name
             }
 
-            fn run(
-                &self,
-                g: &Csr,
-                w: &dyn DynamicWalk,
-                queries: &[NodeId],
-                cfg: &WalkConfig,
-            ) -> Result<RunReport, EngineError> {
-                self.inner.run_impl(g, w, queries, cfg)
+            fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
+                self.inner.run_impl(req)
             }
         }
     };
@@ -325,7 +331,7 @@ baseline_engine!(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexi_core::{FlexiWalkerEngine, Node2Vec, UniformWalk};
+    use flexi_core::{FlexiWalkerEngine, Node2Vec, UniformWalk, WalkConfig};
     use flexi_graph::{gen, CsrBuilder, WeightModel};
     use flexi_sampling::stat;
 
@@ -342,15 +348,31 @@ mod tests {
         }
     }
 
+    fn run(
+        engine: &dyn WalkEngine,
+        g: &Csr,
+        w: &dyn DynamicWalk,
+        queries: &[NodeId],
+        c: &WalkConfig,
+    ) -> Result<RunReport, EngineError> {
+        engine.run(&WalkRequest::new(g, w, queries).with_config(c.clone()))
+    }
+
     #[test]
     fn all_gpu_baselines_produce_valid_walks() {
         let g = graph();
         let queries: Vec<NodeId> = (0..64).collect();
         let w = Node2Vec::paper(true);
         for e in crate::gpu_baselines(DeviceSpec::tiny()) {
-            let r = e.run(&g, &w, &queries, &cfg()).unwrap();
+            let r = run(e.as_ref(), &g, &w, &queries, &cfg()).unwrap();
             assert!(r.sim_seconds > 0.0, "{}", e.name());
             assert_eq!(r.queries, 64);
+            assert_eq!(
+                r.sampler_steps.total(),
+                r.steps_taken,
+                "{} must report its fixed kernel's steps",
+                e.name()
+            );
             for path in r.paths.as_ref().unwrap() {
                 for pair in path.windows(2) {
                     assert!(
@@ -378,15 +400,11 @@ mod tests {
                 let mut c = cfg();
                 c.steps = 1;
                 c.seed = seed;
-                let r = engine.run(&g, &w, &[0], &c).unwrap();
+                let r = run(engine.as_ref(), &g, &w, &[0], &c).unwrap();
                 let path = &r.paths.as_ref().unwrap()[0];
                 counts[(path[1] - 1) as usize] += 1;
             }
-            stat::assert_matches_distribution(
-                &counts,
-                &stat::normalize(&weights),
-                engine.name(),
-            );
+            stat::assert_matches_distribution(&counts, &stat::normalize(&weights), engine.name());
         }
     }
 
@@ -398,11 +416,16 @@ mod tests {
         let w = Node2Vec::paper(true);
         let mut c = cfg();
         c.record_paths = false;
-        let flexi = FlexiWalkerEngine::new(DeviceSpec::a6000())
-            .run(&g, &w, &queries, &c)
-            .unwrap();
+        let flexi = run(
+            &FlexiWalkerEngine::new(DeviceSpec::a6000()),
+            &g,
+            &w,
+            &queries,
+            &c,
+        )
+        .unwrap();
         for e in crate::gpu_baselines(DeviceSpec::a6000()) {
-            let r = e.run(&g, &w, &queries, &c).unwrap();
+            let r = run(e.as_ref(), &g, &w, &queries, &c).unwrap();
             assert!(
                 flexi.sim_seconds < r.sim_seconds,
                 "FlexiWalker ({}) not faster than {} ({})",
@@ -421,15 +444,16 @@ mod tests {
         let w = Node2Vec::paper(true);
         let mut c = cfg();
         c.record_paths = false;
-        let its = CSawGpu::new(DeviceSpec::tiny())
-            .run(&g, &w, &queries, &c)
-            .unwrap();
-        let als = SkywalkerGpu::new(DeviceSpec::tiny())
-            .run(&g, &w, &queries, &c)
-            .unwrap();
-        let rvs = FlowWalkerGpu::new(DeviceSpec::tiny())
-            .run(&g, &w, &queries, &c)
-            .unwrap();
+        let its = run(&CSawGpu::new(DeviceSpec::tiny()), &g, &w, &queries, &c).unwrap();
+        let als = run(&SkywalkerGpu::new(DeviceSpec::tiny()), &g, &w, &queries, &c).unwrap();
+        let rvs = run(
+            &FlowWalkerGpu::new(DeviceSpec::tiny()),
+            &g,
+            &w,
+            &queries,
+            &c,
+        )
+        .unwrap();
         assert!(its.sim_seconds > rvs.sim_seconds);
         assert!(als.sim_seconds > rvs.sim_seconds);
     }
@@ -440,14 +464,24 @@ mod tests {
         let mut spec = DeviceSpec::tiny();
         // Graph fits, NextDoor's sort buffers (16 B/edge) do not.
         spec.vram_bytes = g.memory_bytes() + 8 * g.num_edges();
-        let err = NextDoorGpu::new(spec.clone())
-            .run(&g, &Node2Vec::paper(true), &[0, 1], &cfg())
-            .unwrap_err();
+        let err = run(
+            &NextDoorGpu::new(spec.clone()),
+            &g,
+            &Node2Vec::paper(true),
+            &[0, 1],
+            &cfg(),
+        )
+        .unwrap_err();
         assert!(matches!(err, EngineError::OutOfMemory { .. }));
         // FlowWalker fits in the same VRAM.
-        assert!(FlowWalkerGpu::new(spec)
-            .run(&g, &Node2Vec::paper(true), &[0, 1], &cfg())
-            .is_ok());
+        assert!(run(
+            &FlowWalkerGpu::new(spec),
+            &g,
+            &Node2Vec::paper(true),
+            &[0, 1],
+            &cfg()
+        )
+        .is_ok());
     }
 
     #[test]
@@ -456,9 +490,14 @@ mod tests {
         let queries: Vec<NodeId> = (0..128).collect();
         let mut c = cfg();
         c.time_budget = 1e-12;
-        let err = CSawGpu::new(DeviceSpec::tiny())
-            .run(&g, &Node2Vec::paper(true), &queries, &c)
-            .unwrap_err();
+        let err = run(
+            &CSawGpu::new(DeviceSpec::tiny()),
+            &g,
+            &Node2Vec::paper(true),
+            &queries,
+            &c,
+        )
+        .unwrap_err();
         assert!(matches!(err, EngineError::OutOfTime { .. }));
     }
 }

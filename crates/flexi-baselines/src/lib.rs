@@ -26,9 +26,7 @@ pub use cpu::{CpuSpec, KnightKingCpu, SoWalkerCpu, ThunderRwCpu};
 pub use gpu::{CSawGpu, FlowWalkerGpu, GpuBaselineKind, NextDoorGpu, SkywalkerGpu};
 
 /// All GPU baselines, boxed behind the engine trait.
-pub fn gpu_baselines(
-    spec: flexi_gpu_sim::DeviceSpec,
-) -> Vec<Box<dyn flexi_core::WalkEngine>> {
+pub fn gpu_baselines(spec: flexi_gpu_sim::DeviceSpec) -> Vec<Box<dyn flexi_core::WalkEngine>> {
     vec![
         Box::new(CSawGpu::new(spec.clone())),
         Box::new(NextDoorGpu::new(spec.clone())),

@@ -1,15 +1,14 @@
 //! Fig. 10 wall-clock bench: power-law and degree-based weights.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flexi_baselines::{FlowWalkerGpu, NextDoorGpu};
 use flexi_bench::harness::{config_for, dataset, device_for, queries, Profile, WeightSetup};
-use flexi_core::{FlexiWalkerEngine, Node2Vec, WalkEngine};
+use flexi_bench::microbench::BenchGroup;
+use flexi_core::{FlexiWalkerEngine, Node2Vec, WalkEngine, WalkRequest};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let p = Profile::test();
     let w = Node2Vec::paper(true);
-    let mut group = c.benchmark_group("fig10");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("fig10").sample_size(10);
     for (label, setup) in [
         ("pareto1", WeightSetup::Pareto(1.0)),
         ("degree", WeightSetup::DegreeBased),
@@ -19,19 +18,17 @@ fn bench(c: &mut Criterion) {
         let mut cfg = config_for(&p, "YT", &g, qs.len());
         cfg.time_budget = f64::MAX;
         let spec = device_for("YT", &g);
+        let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
         let engines: Vec<Box<dyn WalkEngine>> = vec![
             Box::new(NextDoorGpu::new(spec.clone())),
             Box::new(FlowWalkerGpu::new(spec.clone())),
             Box::new(FlexiWalkerEngine::new(spec)),
         ];
         for e in &engines {
-            group.bench_function(format!("{}/{label}", e.name()), |b| {
-                b.iter(|| e.run(&g, &w, &qs, &cfg).expect("run"));
+            group.bench_function(format!("{}/{label}", e.name()), || {
+                e.run(&req).expect("run");
             });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Fig. 11 wall-clock bench: runtime-component ablation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flexi_baselines::FlowWalkerGpu;
 use flexi_bench::harness::{config_for, dataset, device_for, queries, Profile, WeightSetup};
-use flexi_core::{FlexiWalkerEngine, Node2Vec, SelectionStrategy, WalkEngine};
+use flexi_bench::microbench::BenchGroup;
+use flexi_core::{FlexiWalkerEngine, Node2Vec, SelectionStrategy, WalkEngine, WalkRequest};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let p = Profile::test();
     let g = dataset(&p, "YT", WeightSetup::Uniform, false);
     let qs = queries(&g, &p);
@@ -13,24 +13,21 @@ fn bench(c: &mut Criterion) {
     cfg.time_budget = f64::MAX;
     let spec = device_for("YT", &g);
     let w = Node2Vec::paper(true);
-    let mut group = c.benchmark_group("fig11");
-    group.sample_size(10);
+    let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
+    let mut group = BenchGroup::new("fig11").sample_size(10);
     let fw = FlowWalkerGpu::new(spec.clone());
-    group.bench_function("FlowWalker", |b| {
-        b.iter(|| fw.run(&g, &w, &qs, &cfg).expect("run"));
+    group.bench_function("FlowWalker", || {
+        fw.run(&req).expect("run");
     });
     for (label, strategy) in [
-        ("eRVS-only", SelectionStrategy::RvsOnly),
-        ("eRJS-only", SelectionStrategy::RjsOnly),
+        ("eRVS-only", SelectionStrategy::RVS_ONLY),
+        ("eRJS-only", SelectionStrategy::RJS_ONLY),
         ("adaptive", SelectionStrategy::CostModel),
     ] {
         let engine = FlexiWalkerEngine::with_strategy(spec.clone(), strategy);
-        group.bench_function(label, |b| {
-            b.iter(|| engine.run(&g, &w, &qs, &cfg).expect("run"));
+        group.bench_function(label, || {
+            engine.run(&req).expect("run");
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,12 +1,12 @@
 //! Fig. 12 wall-clock bench: kernel-stage ablations (EXP/JUMP, Est.Max).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flexi_baselines::{FlowWalkerGpu, NextDoorGpu};
 use flexi_bench::harness::{config_for, dataset, device_for, queries, Profile, WeightSetup};
-use flexi_core::{FlexiWalkerEngine, Node2Vec, SelectionStrategy, WalkEngine};
+use flexi_bench::microbench::BenchGroup;
+use flexi_core::{FlexiWalkerEngine, Node2Vec, SelectionStrategy, WalkEngine, WalkRequest};
 use flexi_sampling::kernels::ErvsMode;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let p = Profile::test();
     let g = dataset(&p, "YT", WeightSetup::Uniform, false);
     let qs = queries(&g, &p);
@@ -14,35 +14,32 @@ fn bench(c: &mut Criterion) {
     cfg.time_budget = f64::MAX;
     let spec = device_for("YT", &g);
     let w = Node2Vec::paper(true);
-    let mut group = c.benchmark_group("fig12");
-    group.sample_size(10);
+    let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
+    let mut group = BenchGroup::new("fig12").sample_size(10);
 
     // (a) Reservoir stages.
     let fw = FlowWalkerGpu::new(spec.clone());
-    group.bench_function("rvs/FlowWalker", |b| {
-        b.iter(|| fw.run(&g, &w, &qs, &cfg).expect("run"));
+    group.bench_function("rvs/FlowWalker", || {
+        fw.run(&req).expect("run");
     });
-    let mut exp = FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RvsOnly);
-    exp.ervs_mode = ErvsMode::Exp;
-    group.bench_function("rvs/+EXP", |b| {
-        b.iter(|| exp.run(&g, &w, &qs, &cfg).expect("run"));
+    let exp = FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RVS_ONLY)
+        .with_ervs_mode(ErvsMode::Exp);
+    group.bench_function("rvs/+EXP", || {
+        exp.run(&req).expect("run");
     });
-    let jump = FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RvsOnly);
-    group.bench_function("rvs/+JUMP", |b| {
-        b.iter(|| jump.run(&g, &w, &qs, &cfg).expect("run"));
+    let jump = FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RVS_ONLY);
+    group.bench_function("rvs/+JUMP", || {
+        jump.run(&req).expect("run");
     });
 
     // (b) Rejection bound estimation.
     let nd = NextDoorGpu::new(spec.clone());
-    group.bench_function("rjs/NextDoor", |b| {
-        b.iter(|| nd.run(&g, &w, &qs, &cfg).expect("run"));
+    group.bench_function("rjs/NextDoor", || {
+        nd.run(&req).expect("run");
     });
-    let est = FlexiWalkerEngine::with_strategy(spec, SelectionStrategy::RjsOnly);
-    group.bench_function("rjs/+EstMax", |b| {
-        b.iter(|| est.run(&g, &w, &qs, &cfg).expect("run"));
+    let est = FlexiWalkerEngine::with_strategy(spec, SelectionStrategy::RJS_ONLY);
+    group.bench_function("rjs/+EstMax", || {
+        est.run(&req).expect("run");
     });
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
 //! Fig. 13 wall-clock bench: sampler-selection strategies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flexi_bench::harness::{config_for, dataset, device_for, queries, Profile, WeightSetup};
-use flexi_core::{FlexiWalkerEngine, Node2Vec, SelectionStrategy, WalkEngine};
+use flexi_bench::microbench::BenchGroup;
+use flexi_core::{FlexiWalkerEngine, Node2Vec, SelectionStrategy, WalkEngine, WalkRequest};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let p = Profile::test();
     let g = dataset(&p, "CP", WeightSetup::Uniform, false);
     let qs = queries(&g, &p);
@@ -12,20 +12,17 @@ fn bench(c: &mut Criterion) {
     cfg.time_budget = f64::MAX;
     let spec = device_for("CP", &g);
     let w = Node2Vec::paper(true);
-    let mut group = c.benchmark_group("fig13");
-    group.sample_size(10);
+    let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
+    let mut group = BenchGroup::new("fig13").sample_size(10);
     for (label, strategy) in [
         ("random", SelectionStrategy::Random),
         ("degree", SelectionStrategy::paper_degree_baseline()),
         ("cost-model", SelectionStrategy::CostModel),
     ] {
         let engine = FlexiWalkerEngine::with_strategy(spec.clone(), strategy);
-        group.bench_function(label, |b| {
-            b.iter(|| engine.run(&g, &w, &qs, &cfg).expect("run"));
+        group.bench_function(label, || {
+            engine.run(&req).expect("run");
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Fig. 15 wall-clock bench: multi-device execution, 1 vs 4 devices.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flexi_bench::harness::{config_for, dataset, device_for, queries, Profile, WeightSetup};
+use flexi_bench::microbench::BenchGroup;
 use flexi_core::multi_device::MultiDeviceEngine;
-use flexi_core::{Node2Vec, WalkEngine};
+use flexi_core::{Node2Vec, WalkEngine, WalkRequest};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let p = Profile::test();
     let g = dataset(&p, "EU", WeightSetup::Uniform, false);
     let qs = queries(&g, &p);
@@ -13,16 +13,13 @@ fn bench(c: &mut Criterion) {
     cfg.time_budget = f64::MAX;
     let spec = device_for("EU", &g);
     let w = Node2Vec::paper(true);
-    let mut group = c.benchmark_group("fig15");
-    group.sample_size(10);
+    let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
+    let mut group = BenchGroup::new("fig15").sample_size(10);
     for devices in [1usize, 4] {
         let engine = MultiDeviceEngine::new(spec.clone(), devices);
-        group.bench_function(format!("{devices}gpu"), |b| {
-            b.iter(|| engine.run(&g, &w, &qs, &cfg).expect("run"));
+        group.bench_function(format!("{devices}gpu"), || {
+            engine.run(&req).expect("run");
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

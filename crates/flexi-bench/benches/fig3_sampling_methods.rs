@@ -1,33 +1,30 @@
 //! Fig. 3 wall-clock bench: the four base sampling engines on weighted
 //! Node2Vec over the YT proxy.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flexi_baselines::{CSawGpu, FlowWalkerGpu, NextDoorGpu, SkywalkerGpu};
 use flexi_bench::harness::{config_for, dataset, device_for, queries, Profile, WeightSetup};
-use flexi_core::{Node2Vec, WalkEngine};
+use flexi_bench::microbench::BenchGroup;
+use flexi_core::{Node2Vec, WalkEngine, WalkRequest};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let p = Profile::test();
     let g = dataset(&p, "YT", WeightSetup::Uniform, false);
     let qs = queries(&g, &p);
     let cfg = config_for(&p, "YT", &g, qs.len());
     let spec = device_for("YT", &g);
     let w = Node2Vec::paper(true);
+    let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
     let engines: Vec<Box<dyn WalkEngine>> = vec![
         Box::new(CSawGpu::new(spec.clone())),
         Box::new(SkywalkerGpu::new(spec.clone())),
         Box::new(FlowWalkerGpu::new(spec.clone())),
         Box::new(NextDoorGpu::new(spec)),
     ];
-    let mut group = c.benchmark_group("fig3");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("fig3").sample_size(10);
     for e in &engines {
-        group.bench_function(e.name(), |b| {
-            b.iter(|| e.run(&g, &w, &qs, &cfg).expect("run"));
+        group.bench_function(e.name(), || {
+            e.run(&req).expect("run");
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

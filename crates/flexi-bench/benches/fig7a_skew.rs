@@ -1,32 +1,29 @@
 //! Fig. 7a wall-clock bench: eRVS vs eRJS under mild and heavy weight skew.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flexi_bench::harness::{config_for, dataset, device_for, queries, Profile, WeightSetup};
-use flexi_core::{FlexiWalkerEngine, Node2Vec, SelectionStrategy, WalkEngine};
+use flexi_bench::microbench::BenchGroup;
+use flexi_core::{FlexiWalkerEngine, Node2Vec, SelectionStrategy, WalkEngine, WalkRequest};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let p = Profile::test();
     let w = Node2Vec::paper(true);
-    let mut group = c.benchmark_group("fig7a");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("fig7a").sample_size(10);
     for alpha in [1.0, 4.0] {
         let g = dataset(&p, "EU", WeightSetup::Pareto(alpha), false);
         let qs = queries(&g, &p);
         let mut cfg = config_for(&p, "EU", &g, qs.len());
         cfg.time_budget = f64::MAX;
         let spec = device_for("EU", &g);
+        let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
         for (label, strategy) in [
-            ("eRVS", SelectionStrategy::RvsOnly),
-            ("eRJS", SelectionStrategy::RjsOnly),
+            ("eRVS", SelectionStrategy::RVS_ONLY),
+            ("eRJS", SelectionStrategy::RJS_ONLY),
         ] {
             let engine = FlexiWalkerEngine::with_strategy(spec.clone(), strategy);
-            group.bench_function(format!("{label}/alpha{alpha}"), |b| {
-                b.iter(|| engine.run(&g, &w, &qs, &cfg).expect("run"));
+            group.bench_function(format!("{label}/alpha{alpha}"), || {
+                engine.run(&req).expect("run");
             });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,13 +1,13 @@
 //! Table 2 wall-clock bench: the full engine roster on weighted Node2Vec.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flexi_baselines::{
     CSawGpu, CpuSpec, FlowWalkerGpu, NextDoorGpu, SkywalkerGpu, SoWalkerCpu, ThunderRwCpu,
 };
 use flexi_bench::harness::{config_for, dataset, device_for, queries, Profile, WeightSetup};
-use flexi_core::{FlexiWalkerEngine, Node2Vec, WalkEngine};
+use flexi_bench::microbench::BenchGroup;
+use flexi_core::{FlexiWalkerEngine, Node2Vec, WalkEngine, WalkRequest};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let p = Profile::test();
     let g = dataset(&p, "CP", WeightSetup::Uniform, false);
     let qs = queries(&g, &p);
@@ -15,6 +15,7 @@ fn bench(c: &mut Criterion) {
     cfg.time_budget = f64::MAX;
     let spec = device_for("CP", &g);
     let w = Node2Vec::paper(true);
+    let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
     let engines: Vec<Box<dyn WalkEngine>> = vec![
         Box::new(SoWalkerCpu::new(CpuSpec::epyc_9124p())),
         Box::new(ThunderRwCpu::new(CpuSpec::epyc_9124p())),
@@ -24,15 +25,11 @@ fn bench(c: &mut Criterion) {
         Box::new(FlowWalkerGpu::new(spec.clone())),
         Box::new(FlexiWalkerEngine::new(spec)),
     ];
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("table2").sample_size(10);
     for e in &engines {
-        group.bench_function(e.name(), |b| {
-            b.iter(|| e.run(&g, &w, &qs, &cfg).expect("run"));
+        group.bench_function(e.name(), || {
+            e.run(&req).expect("run");
         });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

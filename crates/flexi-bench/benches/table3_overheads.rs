@@ -1,14 +1,14 @@
 //! Table 3 wall-clock bench: profiling and preprocessing overhead.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flexi_bench::harness::{dataset, device_for, Profile, WeightSetup};
+use flexi_bench::microbench::BenchGroup;
 use flexi_compiler::{compile, CompileOutcome};
 use flexi_core::preprocess::Aggregates;
 use flexi_core::profile::run_profile;
 use flexi_core::{DynamicWalk, Node2Vec};
 use flexi_gpu_sim::Device;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let p = Profile::test();
     let g = dataset(&p, "EU", WeightSetup::Uniform, false);
     let spec = device_for("EU", &g);
@@ -17,20 +17,16 @@ fn bench(c: &mut Criterion) {
         CompileOutcome::Supported(c) => c,
         _ => panic!("node2vec compiles"),
     };
-    let mut group = c.benchmark_group("table3");
-    group.sample_size(20);
-    group.bench_function("compile", |b| {
-        b.iter(|| compile(&w.spec()).expect("compiles"));
+    let mut group = BenchGroup::new("table3").sample_size(20);
+    group.bench_function("compile", || {
+        compile(&w.spec()).expect("compiles");
     });
-    group.bench_function("preprocess", |b| {
-        b.iter(|| Aggregates::compute(&g, &compiled.preprocess, &spec));
+    group.bench_function("preprocess", || {
+        Aggregates::compute(&g, &compiled.preprocess, &spec);
     });
     let device = Device::new(spec.clone());
-    group.bench_function("profile", |b| {
-        b.iter(|| run_profile(&device, &g, w.bytes_per_weight(&g), 42));
+    group.bench_function("profile", || {
+        run_profile(&device, &g, w.bytes_per_weight(&g), 42);
     });
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -81,12 +81,10 @@ fn main() {
 }
 
 fn parse_num<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
-    args.get(i)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("{flag} requires a numeric argument");
-            std::process::exit(2);
-        })
+    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} requires a numeric argument");
+        std::process::exit(2);
+    })
 }
 
 fn print_usage() {

@@ -16,8 +16,8 @@ use flexi_baselines::{
 use flexi_core::energy::energy_of;
 use flexi_core::multi_device::MultiDeviceEngine;
 use flexi_core::{
-    DynamicWalk, FlexiWalkerEngine, MetaPath, Node2Vec, SecondOrderPr, SelectionStrategy,
-    WalkEngine, WalkState,
+    sampler_ids, DynamicWalk, FlexiWalkerEngine, MetaPath, Node2Vec, SecondOrderPr,
+    SelectionStrategy, WalkEngine, WalkRequest, WalkState,
 };
 use flexi_graph::stats::{coefficient_of_variation, histogram};
 use flexi_sampling::kernels::ErvsMode;
@@ -126,8 +126,8 @@ pub fn fig7a(p: &Profile) -> Table {
         let mut cfg = config_for(p, "EU", &g, qs.len());
         cfg.time_budget = f64::MAX;
         let spec = device_for("EU", &g);
-        let rvs = FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RvsOnly);
-        let rjs = FlexiWalkerEngine::with_strategy(spec, SelectionStrategy::RjsOnly);
+        let rvs = FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RVS_ONLY);
+        let rjs = FlexiWalkerEngine::with_strategy(spec, SelectionStrategy::RJS_ONLY);
         t.push_row(vec![
             alpha_label(alpha),
             run(&rvs, &g, &w, &qs, &cfg).to_string(),
@@ -148,7 +148,9 @@ pub fn fig7b(p: &Profile) -> Table {
     cfg.record_paths = true;
     cfg.time_budget = f64::MAX;
     let engine = FlexiWalkerEngine::new(device_for("EU", &g));
-    let report = engine.run(&g, &w, &qs, &cfg).expect("walk succeeds");
+    let report = engine
+        .run(&WalkRequest::new(&g, &w, &qs).with_config(cfg))
+        .expect("walk succeeds");
     // For every visited (node, prev) instance, record the node's dynamic
     // weight sum; CV per node across instances.
     let mut sums: std::collections::HashMap<u32, Vec<f64>> = std::collections::HashMap::new();
@@ -334,7 +336,7 @@ pub fn fig11(p: &Profile) -> Table {
                 format!("{name} {label}"),
                 run(&FlowWalkerGpu::new(spec.clone()), &g, &w, &qs, &cfg).to_string(),
                 run(
-                    &FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RvsOnly),
+                    &FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RVS_ONLY),
                     &g,
                     &w,
                     &qs,
@@ -342,7 +344,7 @@ pub fn fig11(p: &Profile) -> Table {
                 )
                 .to_string(),
                 run(
-                    &FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RjsOnly),
+                    &FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RJS_ONLY),
                     &g,
                     &w,
                     &qs,
@@ -394,12 +396,12 @@ pub fn fig12(p: &Profile) -> Vec<Table> {
 
             // (a) FlowWalker → +EXP → +JUMP.
             let fw = run(&FlowWalkerGpu::new(spec.clone()), &g, &w, &qs, &cfg);
-            let mut exp_engine =
-                FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RvsOnly);
-            exp_engine.ervs_mode = ErvsMode::Exp;
+            let exp_engine =
+                FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RVS_ONLY)
+                    .with_ervs_mode(ErvsMode::Exp);
             let exp = run(&exp_engine, &g, &w, &qs, &cfg);
             let jump_engine =
-                FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RvsOnly);
+                FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RVS_ONLY);
             let jump = run(&jump_engine, &g, &w, &qs, &cfg);
             let base = fw.ms().unwrap_or(f64::NAN);
             a.push_row(vec![
@@ -412,7 +414,7 @@ pub fn fig12(p: &Profile) -> Vec<Table> {
             // (b) NextDoor (exact max, transit-scattered) vs eRJS bound.
             let nd = run(&NextDoorGpu::new(spec.clone()), &g, &w, &qs, &cfg);
             let est = run(
-                &FlexiWalkerEngine::with_strategy(spec, SelectionStrategy::RjsOnly),
+                &FlexiWalkerEngine::with_strategy(spec, SelectionStrategy::RJS_ONLY),
                 &g,
                 &w,
                 &qs,
@@ -489,11 +491,7 @@ pub fn fig14(p: &Profile) -> Table {
     let mut t = Table::new(
         "fig14",
         "chosen sampling method ratio (% of steps)",
-        vec![
-            "dataset/dist".into(),
-            "eRVS %".into(),
-            "eRJS %".into(),
-        ],
+        vec!["dataset/dist".into(), "eRVS %".into(), "eRJS %".into()],
     );
     let w = Node2Vec::paper(true);
     for name in ["YT", "EU", "SK"] {
@@ -503,12 +501,16 @@ pub fn fig14(p: &Profile) -> Table {
             let mut cfg = config_for(p, name, &g, qs.len());
             cfg.time_budget = f64::MAX;
             let engine = FlexiWalkerEngine::new(device_for(name, &g));
-            let report = engine.run(&g, &w, &qs, &cfg).expect("run succeeds");
-            let total = (report.chosen_rjs + report.chosen_rvs).max(1) as f64;
+            let report = engine
+                .run(&WalkRequest::new(&g, &w, &qs).with_config(cfg))
+                .expect("run succeeds");
+            let rjs = report.sampler_steps.get(sampler_ids::ERJS);
+            let rvs = report.sampler_steps.get(sampler_ids::ERVS);
+            let total = (rjs + rvs).max(1) as f64;
             t.push_row(vec![
                 format!("{name} {}", alpha_label(alpha)),
-                format!("{:.1}", report.chosen_rvs as f64 / total * 100.0),
-                format!("{:.1}", report.chosen_rjs as f64 / total * 100.0),
+                format!("{:.1}", rvs as f64 / total * 100.0),
+                format!("{:.1}", rjs as f64 / total * 100.0),
             ]);
         }
     }
@@ -536,7 +538,9 @@ pub fn table3(p: &Profile) -> Table {
         let mut cfg = config_for(p, ds.name, &g, qs.len());
         cfg.time_budget = f64::MAX;
         let engine = FlexiWalkerEngine::new(device_for(ds.name, &g));
-        let report = engine.run(&g, &w, &qs, &cfg).expect("run succeeds");
+        let report = engine
+            .run(&WalkRequest::new(&g, &w, &qs).with_config(cfg))
+            .expect("run succeeds");
         let profile_ms = report.profile_seconds * 1e3;
         let preproc_ms = report.preprocess_seconds * 1e3;
         let exec_ms = extrapolate_ms(&report, &g, qs.len());
@@ -572,14 +576,15 @@ pub fn fig15(p: &Profile) -> Table {
         let mut cfg = config_for(p, name, &g, qs.len());
         cfg.time_budget = f64::MAX;
         let spec = device_for(name, &g);
+        let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
         let base = MultiDeviceEngine::new(spec.clone(), 1)
-            .run(&g, &w, &qs, &cfg)
+            .run(&req)
             .expect("run succeeds")
             .saturated_seconds;
         let mut row = vec![name.to_string()];
         for d in 1..=4usize {
             let secs = MultiDeviceEngine::new(spec.clone(), d)
-                .run(&g, &w, &qs, &cfg)
+                .run(&req)
                 .expect("run succeeds")
                 .saturated_seconds;
             row.push(format!("{:.2}", base / secs));
@@ -631,7 +636,7 @@ pub fn fig16(p: &Profile) -> Vec<Table> {
         let mut row_j = vec![name.to_string()];
         let mut row_w = vec![name.to_string()];
         for e in &engines {
-            match e.run(&g, &w, &qs, &cfg) {
+            match e.run(&WalkRequest::new(&g, &w, &qs).with_config(cfg.clone())) {
                 Ok(report) => {
                     let energy = energy_of(&report);
                     row_j.push(format!("{:.3e}", energy.joules_per_query));
@@ -708,11 +713,7 @@ pub fn ablation(p: &Profile) -> Vec<Table> {
     let mut a = Table::new(
         "ablation",
         "(a) cost-model ratio sensitivity on EU (ms; profiled value marked)",
-        vec![
-            "ratio".into(),
-            "uniform".into(),
-            "a=1.5".into(),
-        ],
+        vec!["ratio".into(), "uniform".into(), "a=1.5".into()],
     );
     let profiled = {
         let g = dataset(p, "EU", WeightSetup::Uniform, false);
@@ -746,11 +747,7 @@ pub fn ablation(p: &Profile) -> Vec<Table> {
     let mut b = Table::new(
         "ablation",
         "(b) profiling kernels on/off (ms)",
-        vec![
-            "dataset".into(),
-            "profiled".into(),
-            "default ratio".into(),
-        ],
+        vec!["dataset".into(), "profiled".into(), "default ratio".into()],
     );
     for name in ["YT", "EU", "SK"] {
         let g = dataset(p, name, WeightSetup::Uniform, false);

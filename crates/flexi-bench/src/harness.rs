@@ -1,11 +1,10 @@
 //! Shared machinery for the reproduction experiments.
 
-use flexi_core::{DynamicWalk, EngineError, RunReport, WalkConfig, WalkEngine};
+use flexi_core::{DynamicWalk, EngineError, RunReport, WalkConfig, WalkEngine, WalkRequest};
 use flexi_gpu_sim::DeviceSpec;
 use flexi_graph::{datasets, props, Csr, NodeId, WeightModel};
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Experiment scale knobs.
 #[derive(Clone, Copy, Debug)]
@@ -186,7 +185,7 @@ type TopologyCache = HashMap<(String, u32), Arc<Csr>>;
 static TOPOLOGY_CACHE: Mutex<Option<TopologyCache>> = Mutex::new(None);
 
 fn base_topology(name: &str, shrink: u32, seed: u64) -> Arc<Csr> {
-    let mut guard = TOPOLOGY_CACHE.lock();
+    let mut guard = TOPOLOGY_CACHE.lock().expect("topology cache lock");
     let cache = guard.get_or_insert_with(HashMap::new);
     let key = (name.to_string(), shrink);
     if let Some(g) = cache.get(&key) {
@@ -273,7 +272,7 @@ pub fn run(
     qs: &[NodeId],
     cfg: &WalkConfig,
 ) -> Outcome {
-    match engine.run(g, w, qs, cfg) {
+    match engine.run(&WalkRequest::new(g, w, qs).with_config(cfg.clone())) {
         Ok(report) => Outcome::Millis(extrapolate_ms(&report, g, qs.len())),
         Err(EngineError::OutOfMemory { .. }) => Outcome::Oom,
         Err(EngineError::OutOfTime { .. }) => Outcome::Oot,
@@ -361,11 +360,7 @@ mod tests {
 
     #[test]
     fn table_renders_and_parses() {
-        let mut t = Table::new(
-            "t",
-            "demo",
-            vec!["ds".into(), "a".into(), "b".into()],
-        );
+        let mut t = Table::new("t", "demo", vec!["ds".into(), "a".into(), "b".into()]);
         t.push_row(vec!["YT".into(), "1.25".into(), "OOM".into()]);
         let s = t.render();
         assert!(s.contains("demo"));

@@ -4,8 +4,8 @@
 //!
 //! - the `repro` binary (`cargo run -p flexi-bench --release --bin repro --
 //!   <experiment>`) prints each table/figure's rows;
-//! - the criterion benches (`cargo bench`) measure wall-clock time of the
-//!   same engine configurations at reduced scale.
+//! - the micro-benches (`cargo bench`, built on [`microbench`]) measure
+//!   wall-clock time of the same engine configurations at reduced scale.
 //!
 //! [`harness`] holds the shared machinery: run profiles, the dataset
 //! cache, VRAM/time-budget scaling (so OOM/OOT reproduce at proxy scale),
@@ -14,5 +14,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod microbench;
 
 pub use harness::{Outcome, Profile, Table};

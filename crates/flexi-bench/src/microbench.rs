@@ -1,0 +1,94 @@
+//! Dependency-free wall-clock micro-benchmark harness.
+//!
+//! The bench targets in `benches/` are plain binaries (`harness = false`)
+//! built on this module: each benchmark runs a warm-up iteration, then a
+//! fixed number of timed samples, and prints mean/min/max wall time. The
+//! goal is regression visibility (`cargo bench` works offline with no
+//! external harness), not statistics-grade measurement.
+
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks, mirroring the usual group API.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchGroup {
+    /// Starts a group; prints its header immediately.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        println!("# bench group: {name}");
+        Self { name, samples: 10 }
+    }
+
+    /// Sets the number of timed samples per benchmark (default 10).
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Times `f`: one untimed warm-up, then `samples` timed runs.
+    pub fn bench_function(&mut self, label: impl AsRef<str>, mut f: impl FnMut()) {
+        f(); // Warm-up (fills caches, first-touch allocations).
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            f();
+            times.push(start.elapsed());
+        }
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        let min = times.iter().min().expect("samples >= 1");
+        let max = times.iter().max().expect("samples >= 1");
+        println!(
+            "{}/{:<28} mean {:>10}  min {:>10}  max {:>10}  ({} samples)",
+            self.name,
+            label.as_ref(),
+            fmt_duration(mean),
+            fmt_duration(*min),
+            fmt_duration(*max),
+            times.len(),
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_warmup_plus_samples() {
+        let mut calls = 0usize;
+        let mut group = BenchGroup::new("test").sample_size(3);
+        group.bench_function("counter", || calls += 1);
+        group.finish();
+        assert_eq!(calls, 4, "1 warm-up + 3 samples");
+    }
+
+    #[test]
+    fn duration_formatting_covers_magnitudes() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.000 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(5)), "5.000 s");
+    }
+}

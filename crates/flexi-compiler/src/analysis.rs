@@ -307,14 +307,12 @@ fn bool_to_f(b: bool) -> f64 {
 fn collect_deps(e: &Expr) -> Vec<String> {
     let mut deps = Vec::new();
     e.visit(&mut |node| match node {
-        Expr::Var(v)
-            if !deps.contains(v) => {
-                deps.push(v.clone());
-            }
-        Expr::Index { array, .. }
-            if !deps.contains(array) => {
-                deps.push(array.clone());
-            }
+        Expr::Var(v) if !deps.contains(v) => {
+            deps.push(v.clone());
+        }
+        Expr::Index { array, .. } if !deps.contains(array) => {
+            deps.push(array.clone());
+        }
         _ => {}
     });
     deps
@@ -490,6 +488,9 @@ mod tests {
     fn deps_include_arrays_and_vars_once() {
         use crate::parser::parse_expr;
         let e = parse_expr("h[edge] + h[edge] * x + x").unwrap();
-        assert_eq!(collect_deps(&e), vec!["h".to_string(), "edge".into(), "x".into()]);
+        assert_eq!(
+            collect_deps(&e),
+            vec!["h".to_string(), "edge".into(), "x".into()]
+        );
     }
 }

@@ -110,7 +110,10 @@ impl Estimator {
             }
         }
         if self.combine == Combine::Mean && self.exprs.len() > 1 {
-            s.push_str(&format!("    sum_val = sum_val / {}.0;\n", self.exprs.len()));
+            s.push_str(&format!(
+                "    sum_val = sum_val / {}.0;\n",
+                self.exprs.len()
+            ));
         }
         if self.multiply_by_degree {
             s.push_str(&format!("    {acc} = {acc} * deg[cur];\n"));
@@ -121,7 +124,7 @@ impl Estimator {
 }
 
 /// A fully compiled walk: analysis table plus generated helpers.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CompiledWalk {
     /// The enumerated analysis result table.
     pub paths: Vec<PathInfo>,
@@ -319,10 +322,7 @@ fn render_source(
             AggKind::Max => "MAX",
             AggKind::Sum => "SUM",
         };
-        s.push_str(&format!(
-            "    allocate_and_reduce({}_{suffix});\n",
-            r.array
-        ));
+        s.push_str(&format!("    allocate_and_reduce({}_{suffix});\n", r.array));
     }
     s.push_str("}\n\n");
     s.push_str(&max_est.to_source("get_weight_max"));

@@ -80,11 +80,7 @@ fn exec_block(
     Ok(None)
 }
 
-fn eval(
-    e: &Expr,
-    locals: &HashMap<String, f64>,
-    env: &dyn InterpEnv,
-) -> Result<f64, String> {
+fn eval(e: &Expr, locals: &HashMap<String, f64>, env: &dyn InterpEnv) -> Result<f64, String> {
     match e {
         Expr::Num(n) => Ok(*n),
         Expr::Var(name) => locals
@@ -200,7 +196,7 @@ mod tests {
         // Branch 1: post == prev.
         env.arrays.insert("adj".into(), vec![7.0]);
         assert_eq!(interpret(&p, &env).unwrap(), 3.0); // 6 / a
-        // Branch 2: linked(prev, post).
+                                                       // Branch 2: linked(prev, post).
         env.arrays.insert("adj".into(), vec![9.0]);
         env.linked = |_, _| true;
         assert_eq!(interpret(&p, &env).unwrap(), 6.0);
@@ -250,8 +246,8 @@ mod tests {
     #[test]
     fn short_circuit_evaluation() {
         // Division by zero on the right of && must not be reached.
-        let p = parse_program("f() { if (0 != 0 && boom[9] > 0) return 1; else return 2; }")
-            .unwrap();
+        let p =
+            parse_program("f() { if (0 != 0 && boom[9] > 0) return 1; else return 2; }").unwrap();
         assert_eq!(interpret(&p, &MapEnv::new()).unwrap(), 2.0);
     }
 

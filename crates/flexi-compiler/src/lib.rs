@@ -106,11 +106,9 @@ pub fn compile(spec: &WalkSpec) -> Result<CompileOutcome, CompileError> {
             Ok(CompileOutcome::Supported(Box::new(compiled)))
         }
         None => Ok(CompileOutcome::Fallback {
-            warnings: vec![
-                "return expressions are not amenable to bound estimation; \
+            warnings: vec!["return expressions are not amenable to bound estimation; \
                  falling back to eRVS-only mode"
-                    .to_string(),
-            ],
+                .to_string()],
         }),
     }
 }

@@ -28,7 +28,9 @@ pub fn parse_expr(src: &str) -> Result<Expr, CompileError> {
     let mut p = Parser { toks, pos: 0 };
     let e = p.expr()?;
     if p.pos != p.toks.len() {
-        return Err(CompileError::Parse("trailing tokens after expression".into()));
+        return Err(CompileError::Parse(
+            "trailing tokens after expression".into(),
+        ));
     }
     Ok(e)
 }

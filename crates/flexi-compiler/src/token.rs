@@ -159,9 +159,7 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, CompileError> {
             }
             c if c.is_ascii_digit() || c == '.' => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     i += 1;
                 }
                 let text = &src[start..i];

@@ -1,12 +1,22 @@
-//! Property-based tests for Flexi-Compiler: randomly generated weight
-//! programs must (a) survive parse → analysis → codegen, and (b) produce
-//! max estimators that soundly dominate every interpreted weight.
+//! Property-style tests for Flexi-Compiler, driven by seeded sweeps:
+//! randomly generated weight programs must (a) survive parse → analysis →
+//! codegen, and (b) produce max estimators that soundly dominate every
+//! interpreted weight.
+//!
+//! The original suite used an external property-testing harness; the
+//! cases here are generated from a seeded [`SplitMix64`] so the workspace
+//! builds offline with zero external dependencies.
 
 use flexi_compiler::{
-    compile, interpret, parse_program, AggKind, CompileOutcome, EstimatorEnv, InterpEnv,
-    WalkSpec,
+    compile, interpret, parse_program, AggKind, CompileOutcome, EstimatorEnv, InterpEnv, WalkSpec,
 };
-use proptest::prelude::*;
+use flexi_rng::SplitMix64;
+
+const CASES: usize = 128;
+
+fn rng() -> SplitMix64 {
+    SplitMix64::new(0xC0DE_0000_0000_0011)
+}
 
 /// A randomly generated branchy `get_weight` whose returns are affine in
 /// `h[edge]` — the analyzable fragment every real workload lives in.
@@ -17,6 +27,19 @@ struct RandomProgram {
 }
 
 impl RandomProgram {
+    fn random(g: &mut SplitMix64) -> Self {
+        let count = 1 + g.bounded(5) as usize;
+        let paths = (0..count)
+            .map(|_| {
+                (
+                    0.01 + (g.bounded(9990) as f64) / 1000.0,
+                    (g.bounded(20_000) as f64) / 1000.0,
+                )
+            })
+            .collect();
+        Self { paths }
+    }
+
     fn source(&self) -> String {
         let mut s = String::from("get_weight(edge) {\n    h_e = h[edge];\n");
         for (i, (scale, offset)) in self.paths.iter().enumerate() {
@@ -38,9 +61,11 @@ impl RandomProgram {
     }
 }
 
-fn programs() -> impl Strategy<Value = RandomProgram> {
-    proptest::collection::vec((0.01f64..10.0, 0.0f64..20.0), 1..6)
-        .prop_map(|paths| RandomProgram { paths })
+fn random_h(g: &mut SplitMix64) -> Vec<f64> {
+    let len = 1 + g.bounded(39) as usize;
+    (0..len)
+        .map(|_| (g.bounded(100_000) as f64) / 1000.0)
+        .collect()
 }
 
 struct Env {
@@ -58,7 +83,9 @@ impl InterpEnv for Env {
         }
     }
     fn index(&self, array: &str, index: f64) -> Option<f64> {
-        (array == "h").then(|| self.h.get(index as usize).copied()).flatten()
+        (array == "h")
+            .then(|| self.h.get(index as usize).copied())
+            .flatten()
     }
     fn call(&self, _: &str, _: &[f64]) -> Option<f64> {
         None
@@ -86,56 +113,74 @@ impl EstimatorEnv for AggEnv {
     }
 }
 
-proptest! {
-    /// Soundness: the generated `get_weight_max` with `h → h_MAX` dominates
-    /// the interpreted weight of every edge under every branch condition.
-    #[test]
-    fn derived_bound_dominates_interpreted_weights(
-        prog in programs(),
-        h in proptest::collection::vec(0.0f64..100.0, 1..40),
-    ) {
-        let spec = WalkSpec { source: prog.source(), hyperparams: vec![] };
+/// Soundness: the generated `get_weight_max` with `h → h_MAX` dominates
+/// the interpreted weight of every edge under every branch condition.
+#[test]
+fn derived_bound_dominates_interpreted_weights() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let prog = RandomProgram::random(&mut r);
+        let h = random_h(&mut r);
+        let spec = WalkSpec {
+            source: prog.source(),
+            hyperparams: vec![],
+        };
         let compiled = match compile(&spec).unwrap() {
             CompileOutcome::Supported(c) => c,
-            CompileOutcome::Fallback { warnings } => {
-                return Err(TestCaseError::fail(format!("fallback: {warnings:?}")));
-            }
+            CompileOutcome::Fallback { warnings } => panic!("fallback: {warnings:?}"),
         };
         let h_max = h.iter().copied().fold(0.0f64, f64::max);
         let h_sum: f64 = h.iter().sum();
-        let agg = AggEnv { h_max, h_sum, deg: h.len() as f64 };
+        let agg = AggEnv {
+            h_max,
+            h_sum,
+            deg: h.len() as f64,
+        };
         let bound = compiled.max_estimator.eval(&agg).expect("estimable");
 
         let parsed = parse_program(&spec.source).unwrap();
         for edge in 0..h.len() {
             for cond in 0..prog.paths.len() {
-                let env = Env { h: h.clone(), edge, cond: cond as f64 };
+                let env = Env {
+                    h: h.clone(),
+                    edge,
+                    cond: cond as f64,
+                };
                 let w = interpret(&parsed, &env).unwrap();
-                prop_assert!(
+                assert!(
                     bound * (1.0 + 1e-9) >= w,
                     "bound {bound} < weight {w} (edge {edge}, cond {cond})"
                 );
             }
         }
     }
+}
 
-    /// The analysis enumerates exactly one path per return branch.
-    #[test]
-    fn path_enumeration_counts_branches(prog in programs()) {
-        let spec = WalkSpec { source: prog.source(), hyperparams: vec![] };
+/// The analysis enumerates exactly one path per return branch.
+#[test]
+fn path_enumeration_counts_branches() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let prog = RandomProgram::random(&mut r);
+        let spec = WalkSpec {
+            source: prog.source(),
+            hyperparams: vec![],
+        };
         match compile(&spec).unwrap() {
             CompileOutcome::Supported(c) => {
-                prop_assert_eq!(c.paths.len(), prog.paths.len());
+                assert_eq!(c.paths.len(), prog.paths.len());
             }
-            CompileOutcome::Fallback { .. } => {
-                return Err(TestCaseError::fail("unexpected fallback"));
-            }
+            CompileOutcome::Fallback { .. } => panic!("unexpected fallback"),
         }
     }
+}
 
-    /// Pretty-printed source re-parses to the same AST (printer fidelity).
-    #[test]
-    fn expression_printing_roundtrips(prog in programs()) {
+/// Pretty-printed source re-parses to the same AST (printer fidelity).
+#[test]
+fn expression_printing_roundtrips() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let prog = RandomProgram::random(&mut r);
         let parsed = parse_program(&prog.source()).unwrap();
         // Re-parse every pretty-printed return expression.
         let hyper: Vec<(String, f64)> = vec![];
@@ -143,14 +188,19 @@ proptest! {
         for p in &paths {
             let printed = p.return_expr.to_source();
             let reparsed = flexi_compiler::parser::parse_expr(&printed).unwrap();
-            prop_assert_eq!(&reparsed, &p.return_expr, "printed: {}", printed);
+            assert_eq!(&reparsed, &p.return_expr, "printed: {printed}");
         }
     }
+}
 
-    /// Hyperparameter folding: binding the scale as a hyperparameter and
-    /// writing it symbolically yields the same estimator value.
-    #[test]
-    fn hyperparameter_folding_is_transparent(scale in 0.01f64..10.0, h_max in 0.1f64..50.0) {
+/// Hyperparameter folding: binding the scale as a hyperparameter and
+/// writing it symbolically yields the same estimator value.
+#[test]
+fn hyperparameter_folding_is_transparent() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let scale = 0.01 + (r.bounded(9990) as f64) / 1000.0;
+        let h_max = 0.1 + (r.bounded(49_900) as f64) / 1000.0;
         let symbolic = WalkSpec {
             source: "get_weight(edge) { return h[edge] * k; }".into(),
             hyperparams: vec![("k".into(), scale)],
@@ -161,13 +211,17 @@ proptest! {
         };
         let eval = |spec: &WalkSpec| match compile(spec).unwrap() {
             CompileOutcome::Supported(c) => {
-                let agg = AggEnv { h_max, h_sum: h_max, deg: 1.0 };
+                let agg = AggEnv {
+                    h_max,
+                    h_sum: h_max,
+                    deg: 1.0,
+                };
                 c.max_estimator.eval(&agg).unwrap()
             }
             CompileOutcome::Fallback { .. } => panic!("fallback"),
         };
         let a = eval(&symbolic);
         let b = eval(&literal);
-        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+        assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
     }
 }

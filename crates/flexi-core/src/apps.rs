@@ -10,7 +10,7 @@
 //! - [`walk_corpus`] — a skip-gram training corpus (one walk per line),
 //!   the standard input format for DeepWalk/Node2Vec embedding trainers.
 
-use crate::engine::{EngineError, WalkConfig, WalkEngine};
+use crate::engine::{EngineError, WalkConfig, WalkEngine, WalkRequest};
 use crate::workload::DynamicWalk;
 use flexi_graph::{Csr, NodeId};
 use std::io::Write;
@@ -44,8 +44,10 @@ pub fn personalized_pagerank(
     for round in 0..walks_per_source {
         let mut round_cfg = cfg.clone();
         round_cfg.record_paths = true;
-        round_cfg.seed = cfg.seed.wrapping_add(0x9E37_79B9u64.wrapping_mul(round as u64 + 1));
-        let report = engine.run(g, w, sources, &round_cfg)?;
+        round_cfg.seed = cfg
+            .seed
+            .wrapping_add(0x9E37_79B9u64.wrapping_mul(round as u64 + 1));
+        let report = engine.run(&WalkRequest::new(g, w, sources).with_config(round_cfg))?;
         for path in report.paths.as_ref().expect("recorded") {
             let mut survive = 1.0f64;
             for &v in path {
@@ -84,7 +86,7 @@ pub fn walk_corpus<W: Write>(
 ) -> Result<usize, CorpusError> {
     let mut run_cfg = cfg.clone();
     run_cfg.record_paths = true;
-    let report = engine.run(g, w, queries, &run_cfg)?;
+    let report = engine.run(&WalkRequest::new(g, w, queries).with_config(run_cfg))?;
     let mut lines = 0usize;
     for path in report.paths.as_ref().expect("recorded") {
         if path.len() < 2 {
@@ -217,8 +219,7 @@ mod tests {
             ..WalkConfig::default()
         };
         let mut buf = Vec::new();
-        let lines =
-            walk_corpus(&engine(), &g, &UniformWalk, &queries, &cfg, &mut buf).unwrap();
+        let lines = walk_corpus(&engine(), &g, &UniformWalk, &queries, &cfg, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), lines);
         for line in text.lines() {

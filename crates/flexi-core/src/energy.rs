@@ -51,8 +51,7 @@ mod tests {
             queries,
             steps_taken: 0,
             paths: None,
-            chosen_rjs: 0,
-            chosen_rvs: 0,
+            sampler_steps: crate::SamplerTally::new(),
             profile_seconds: 0.0,
             preprocess_seconds: 0.0,
             warnings: vec![],

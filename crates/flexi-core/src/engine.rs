@@ -1,25 +1,39 @@
 //! The FlexiWalker execution engine (paper §5).
 //!
-//! One persistent warp kernel interleaves the two optimised samplers:
-//! every lane owns a walk query (thread-granular eRJS trials), and when a
-//! ballot finds lanes that chose reservoir sampling the whole warp executes
-//! eRVS for those lanes one at a time (warp-granular), sharing query
-//! parameters through shuffles — the §5.2 design. Queries are pulled from
-//! the §5.3 atomic queue, and every step consults Flexi-Runtime for the
-//! sampler choice.
+//! One persistent warp kernel interleaves the registered samplers: every
+//! lane owns a walk query, thread-granular strategies (eRJS trials) run
+//! per lane, and when a ballot finds lanes that chose a warp-granular
+//! strategy (eRVS) the whole warp executes it for those lanes one at a
+//! time, sharing query parameters through shuffles — the §5.2 design
+//! generalised over the pluggable [`SamplerRegistry`]. Queries are pulled
+//! from the §5.3 atomic queue, and every step consults Flexi-Runtime for
+//! the sampler choice.
+//!
+//! Work is described by a [`WalkRequest`] job struct; engines implement
+//! [`WalkEngine::run`] over it. Every walk query draws from its own
+//! Philox stream keyed by the request's [`WalkRequest::query_offset`], so
+//! paths are identical regardless of warp placement, host-thread count,
+//! or how a query set is split across requests — the foundation of the
+//! session API's batching guarantee.
 
 use crate::preprocess::Aggregates;
-use crate::profile::run_profile;
+use crate::profile::{run_profile, ProfileResult};
 use crate::queue::QueryQueue;
-use crate::runtime::{CostModel, RuntimeEnv, SamplerChoice, SelectionStrategy};
+use crate::runtime::{CostModel, RuntimeEnv, SelectionStrategy};
 use crate::workload::{DynamicWalk, WalkState};
 use flexi_compiler::{compile, CompileOutcome, CompiledWalk};
 use flexi_gpu_sim::{CostStats, Device, DeviceSpec, WarpCtx, WARP_SIZE};
 use flexi_graph::{Csr, NodeId};
-use flexi_sampling::kernels::{lane_rejection, warp_ervs, warp_max_reduce, ErvsMode, NeighborView};
+use flexi_rng::Philox4x32;
+use flexi_sampling::kernels::{warp_max_reduce, ErvsMode, NeighborView};
+use flexi_sampling::{ids, ErvsSampler, Granularity, Sampler, SamplerId, SamplerRegistry};
+use std::sync::Arc;
 
 /// Default simulated-time budget (the paper's 12-hour OOT cutoff).
 pub const DEFAULT_TIME_BUDGET: f64 = 12.0 * 3600.0;
+
+/// Seed salt separating per-query streams from per-lane warp streams.
+const QUERY_STREAM_SALT: u64 = 0x51E5_7A1C_0FFE_E75D;
 
 /// Run configuration shared by every engine.
 #[derive(Clone, Debug)]
@@ -31,7 +45,8 @@ pub struct WalkConfig {
     pub record_paths: bool,
     /// Simulated-seconds budget; exceeding it is an OOT (paper §6.1).
     pub time_budget: f64,
-    /// Host threads for warp execution (1 = deterministic).
+    /// Host threads for warp execution (walk paths are identical at any
+    /// thread count thanks to per-query RNG streams).
     pub host_threads: usize,
     /// Experiment seed.
     pub seed: u64,
@@ -46,6 +61,97 @@ impl Default for WalkConfig {
             host_threads: 1,
             seed: 0x5EED,
         }
+    }
+}
+
+/// One walk job: the graph to walk, the workload, the query set, and the
+/// run configuration — the unit both [`WalkEngine::run`] and the session
+/// API operate on.
+#[derive(Clone)]
+pub struct WalkRequest<'a> {
+    /// Graph being walked.
+    pub graph: &'a Csr,
+    /// Dynamic-walk workload.
+    pub workload: &'a dyn DynamicWalk,
+    /// Starting nodes, one walk each.
+    pub queries: &'a [NodeId],
+    /// Run configuration.
+    pub config: WalkConfig,
+    /// Global index of `queries[0]` in the submitter's cumulative query
+    /// stream.
+    ///
+    /// [`FlexiWalkerEngine`] (and therefore the session API built on it)
+    /// draws query `i`'s randomness from Philox stream `query_offset + i`,
+    /// so two requests covering the same global indices (with the same
+    /// seed) produce identical paths regardless of how the set is batched.
+    /// Baseline engines seed their RNG from the config seed alone and
+    /// ignore this field — the batch-split guarantee is FlexiWalker's.
+    pub query_offset: u64,
+}
+
+impl<'a> WalkRequest<'a> {
+    /// A request with the default [`WalkConfig`] and offset 0.
+    pub fn new(graph: &'a Csr, workload: &'a dyn DynamicWalk, queries: &'a [NodeId]) -> Self {
+        Self {
+            graph,
+            workload,
+            queries,
+            config: WalkConfig::default(),
+            query_offset: 0,
+        }
+    }
+
+    /// Replaces the run configuration.
+    pub fn with_config(mut self, config: WalkConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the walk length.
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.config.steps = steps;
+        self
+    }
+
+    /// Sets the experiment seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Enables or disables path recording.
+    pub fn record_paths(mut self, record: bool) -> Self {
+        self.config.record_paths = record;
+        self
+    }
+
+    /// Sets the host-thread count for warp execution.
+    pub fn host_threads(mut self, threads: usize) -> Self {
+        self.config.host_threads = threads;
+        self
+    }
+
+    /// Sets the simulated-time budget.
+    pub fn time_budget(mut self, seconds: f64) -> Self {
+        self.config.time_budget = seconds;
+        self
+    }
+
+    /// Sets the global query-stream offset (see [`WalkRequest::query_offset`]).
+    pub fn query_offset(mut self, offset: u64) -> Self {
+        self.query_offset = offset;
+        self
+    }
+}
+
+impl std::fmt::Debug for WalkRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalkRequest")
+            .field("workload", &self.workload.name())
+            .field("queries", &self.queries.len())
+            .field("config", &self.config)
+            .field("query_offset", &self.query_offset)
+            .finish()
     }
 }
 
@@ -84,6 +190,90 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Per-sampler step counts, keyed by [`SamplerId`].
+///
+/// Replaces the former hardcoded `chosen_rjs` / `chosen_rvs` report
+/// fields: any registered strategy — including third-party ones — shows up
+/// here under its own id.
+#[derive(Clone, Debug, Default)]
+pub struct SamplerTally {
+    counts: Vec<(SamplerId, u64)>,
+}
+
+/// Equality is by per-sampler counts, independent of recording order —
+/// warp-output order varies with host-thread scheduling and device merge
+/// order, and must not make otherwise-identical reports compare unequal.
+impl PartialEq for SamplerTally {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts.iter().all(|(id, n)| other.get(id) == *n)
+            && other.counts.iter().all(|(id, n)| self.get(id) == *n)
+    }
+}
+
+impl Eq for SamplerTally {}
+
+impl SamplerTally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `steps` sampling steps under `id`.
+    pub fn record(&mut self, id: SamplerId, steps: u64) {
+        if steps == 0 {
+            return;
+        }
+        match self.counts.iter_mut().find(|(k, _)| *k == id) {
+            Some((_, n)) => *n += steps,
+            None => self.counts.push((id, steps)),
+        }
+    }
+
+    /// Steps sampled by `id` (0 if the strategy never ran).
+    pub fn get(&self, id: &str) -> u64 {
+        self.counts
+            .iter()
+            .find(|(k, _)| *k == id)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// Iterates `(id, steps)` pairs in first-recorded order.
+    pub fn iter(&self) -> impl Iterator<Item = (SamplerId, u64)> + '_ {
+        self.counts.iter().copied()
+    }
+
+    /// Total steps across all strategies.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &SamplerTally) {
+        for (id, n) in other.iter() {
+            self.record(id, n);
+        }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+impl std::fmt::Display for SamplerTally {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (id, n) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{id}: {n}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
 /// Result of one engine run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -106,13 +296,11 @@ pub struct RunReport {
     pub steps_taken: u64,
     /// Full paths (only when [`WalkConfig::record_paths`]).
     pub paths: Option<Vec<Vec<NodeId>>>,
-    /// Steps that ran eRJS.
-    pub chosen_rjs: u64,
-    /// Steps that ran eRVS.
-    pub chosen_rvs: u64,
-    /// Profiling time (Table 3).
+    /// Sampling steps per strategy, keyed by sampler id.
+    pub sampler_steps: SamplerTally,
+    /// Profiling time (Table 3); zero when served from a session cache.
     pub profile_seconds: f64,
-    /// Preprocessing time (Table 3).
+    /// Preprocessing time (Table 3); zero when served from a session cache.
     pub preprocess_seconds: f64,
     /// Compiler / runtime warnings.
     pub warnings: Vec<String>,
@@ -136,6 +324,18 @@ impl RunReport {
             self.joules() / self.queries as f64
         }
     }
+
+    /// Steps that ran eRJS.
+    #[deprecated(note = "read `sampler_steps.get(flexi_sampling::ids::ERJS)`")]
+    pub fn chosen_rjs(&self) -> u64 {
+        self.sampler_steps.get(ids::ERJS)
+    }
+
+    /// Steps that ran eRVS.
+    #[deprecated(note = "read `sampler_steps.get(flexi_sampling::ids::ERVS)`")]
+    pub fn chosen_rvs(&self) -> u64 {
+        self.sampler_steps.get(ids::ERVS)
+    }
 }
 
 /// Uniform interface over FlexiWalker and every baseline system.
@@ -143,20 +343,69 @@ pub trait WalkEngine: Sync {
     /// Engine name as used in the paper's tables.
     fn name(&self) -> &'static str;
 
-    /// Runs `queries` walks of workload `w` over `g`.
+    /// Runs the walk job described by `req`.
     ///
     /// # Errors
     ///
     /// [`EngineError::OutOfMemory`] / [`EngineError::OutOfTime`] /
     /// [`EngineError::Unsupported`] mirror the paper's OOM/OOT/`-` table
     /// entries.
-    fn run(
+    fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError>;
+
+    /// Positional-argument shim for pre-[`WalkRequest`] callers.
+    #[deprecated(note = "build a `WalkRequest` and call `run`")]
+    fn run_positional(
         &self,
         g: &Csr,
         w: &dyn DynamicWalk,
         queries: &[NodeId],
         cfg: &WalkConfig,
-    ) -> Result<RunReport, EngineError>;
+    ) -> Result<RunReport, EngineError> {
+        self.run(&WalkRequest::new(g, w, queries).with_config(cfg.clone()))
+    }
+}
+
+/// Compile outcome for one workload — the estimator artifacts a session
+/// caches across submissions.
+#[derive(Clone, Debug, Default)]
+pub struct CompiledArtifacts {
+    /// The generated estimators, or `None` when the compiler fell back.
+    pub compiled: Option<CompiledWalk>,
+    /// Compiler warnings to surface in the run report.
+    pub warnings: Vec<String>,
+}
+
+/// Runs Flexi-Compiler over the workload's `get_weight` spec.
+pub fn compile_workload(w: &dyn DynamicWalk) -> CompiledArtifacts {
+    match compile(&w.spec()) {
+        Ok(CompileOutcome::Supported(c)) => CompiledArtifacts {
+            warnings: c.warnings.clone(),
+            compiled: Some(*c),
+        },
+        Ok(CompileOutcome::Fallback { warnings }) => CompiledArtifacts {
+            compiled: None,
+            warnings,
+        },
+        Err(e) => CompiledArtifacts {
+            compiled: None,
+            warnings: vec![format!(
+                "compile error: {e}; falling back to reservoir-only"
+            )],
+        },
+    }
+}
+
+/// Reusable per-(graph, workload) state: compiled estimators, preprocessed
+/// aggregates, and the profiled cost model. Produced by
+/// [`FlexiWalkerEngine::prepare`] and cached by the session API.
+#[derive(Clone, Debug)]
+pub struct PreparedState {
+    /// Compile outcome.
+    pub artifacts: CompiledArtifacts,
+    /// Preprocessed `_MAX`/`_SUM` aggregates.
+    pub aggregates: Arc<Aggregates>,
+    /// Profiling outcome (`None` when profiling is disabled).
+    pub profile: Option<ProfileResult>,
 }
 
 /// The FlexiWalker engine: compile → preprocess → profile → adaptive walk.
@@ -170,21 +419,14 @@ pub struct FlexiWalkerEngine {
     /// Pin the cost model's `EdgeCost_RJS / EdgeCost_RVS` ratio instead of
     /// profiling it (ratio-sensitivity ablations).
     pub cost_ratio_override: Option<f64>,
-    /// eRVS optimisation stage (the Fig. 12a ablation axis; `ExpJump` is
-    /// the full kernel).
-    pub ervs_mode: ErvsMode,
+    registry: SamplerRegistry,
 }
 
 impl FlexiWalkerEngine {
-    /// FlexiWalker with the paper's cost-model selection.
+    /// FlexiWalker with the paper's cost-model selection over the built-in
+    /// eRVS/eRJS pair.
     pub fn new(spec: DeviceSpec) -> Self {
-        Self {
-            spec,
-            strategy: SelectionStrategy::CostModel,
-            skip_profile: false,
-            cost_ratio_override: None,
-            ervs_mode: ErvsMode::ExpJump,
-        }
+        Self::with_strategy(spec, SelectionStrategy::CostModel)
     }
 
     /// FlexiWalker with an explicit selection strategy (ablations).
@@ -194,69 +436,145 @@ impl FlexiWalkerEngine {
             strategy,
             skip_profile: false,
             cost_ratio_override: None,
-            ervs_mode: ErvsMode::ExpJump,
+            registry: SamplerRegistry::builtin(),
         }
+    }
+
+    /// Replaces the sampler registry wholesale.
+    pub fn with_registry(mut self, registry: SamplerRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Registers an additional (or replacement) sampling strategy.
+    pub fn register_sampler(&mut self, sampler: Arc<dyn Sampler>) {
+        self.registry.register(sampler);
+    }
+
+    /// Re-registers eRVS at the given optimisation stage (the Fig. 12a
+    /// ablation axis).
+    pub fn with_ervs_mode(mut self, mode: ErvsMode) -> Self {
+        self.registry
+            .register(Arc::new(ErvsSampler::with_mode(mode)));
+        self
+    }
+
+    /// The registered sampling strategies.
+    pub fn registry(&self) -> &SamplerRegistry {
+        &self.registry
     }
 
     /// The device specification in use.
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec
     }
-}
 
-#[derive(Debug)]
-struct Lane {
-    query: usize,
-    state: WalkState,
-    path: Vec<NodeId>,
-    steps_taken: u64,
-}
-
-/// Per-warp kernel output.
-#[derive(Debug, Default)]
-struct WarpOut {
-    finished: Vec<(usize, Vec<NodeId>, u64)>,
-    rjs: u64,
-    rvs: u64,
-}
-
-impl WalkEngine for FlexiWalkerEngine {
-    fn name(&self) -> &'static str {
-        "FlexiWalker"
+    /// Computes the preprocessed aggregates the compiled estimators need.
+    pub fn aggregates_for(&self, g: &Csr, artifacts: &CompiledArtifacts) -> Aggregates {
+        match &artifacts.compiled {
+            Some(c) if !c.preprocess.is_empty() => {
+                Aggregates::compute(g, &c.preprocess, &self.spec)
+            }
+            _ => Aggregates::default(),
+        }
     }
 
-    fn run(
-        &self,
-        g: &Csr,
-        w: &dyn DynamicWalk,
-        queries: &[NodeId],
-        cfg: &WalkConfig,
-    ) -> Result<RunReport, EngineError> {
-        let mut warnings = Vec::new();
-
-        // Compile-time workflow (Flexi-Compiler).
-        let compiled: Option<CompiledWalk> = match compile(&w.spec()) {
-            Ok(CompileOutcome::Supported(c)) => {
-                warnings.extend(c.warnings.clone());
-                Some(*c)
-            }
-            Ok(CompileOutcome::Fallback {
-                warnings: fallback_warnings,
-            }) => {
-                warnings.extend(fallback_warnings);
-                None
-            }
-            Err(e) => {
-                warnings.push(format!("compile error: {e}; running eRVS-only"));
-                None
-            }
-        };
-
-        // Effective strategy: compiler fallback forces eRVS-only (§7.1).
-        let strategy = if compiled.is_none() {
-            SelectionStrategy::RvsOnly
+    /// Runs the §5.1 profiling kernels, unless disabled on this engine.
+    pub fn profile_for(&self, g: &Csr, w: &dyn DynamicWalk, seed: u64) -> Option<ProfileResult> {
+        if self.skip_profile || self.cost_ratio_override.is_some() {
+            None
         } else {
+            let device = Device::new(self.spec.clone());
+            Some(run_profile(&device, g, w.bytes_per_weight(g), seed))
+        }
+    }
+
+    /// Full preparation pass: compile + preprocess + profile. The result is
+    /// reusable across every run over the same `(graph, workload)` pair —
+    /// the session API caches each piece independently.
+    pub fn prepare(&self, g: &Csr, w: &dyn DynamicWalk, seed: u64) -> PreparedState {
+        let artifacts = compile_workload(w);
+        let aggregates = Arc::new(self.aggregates_for(g, &artifacts));
+        let profile = self.profile_for(g, w, seed);
+        PreparedState {
+            artifacts,
+            aggregates,
+            profile,
+        }
+    }
+
+    /// The cost model for a run, honouring the ratio override.
+    fn cost_model(&self, profile: Option<&ProfileResult>) -> CostModel {
+        match self.cost_ratio_override {
+            Some(edge_cost_ratio) => CostModel { edge_cost_ratio },
+            None => profile.map_or(CostModel::default_ratio(), ProfileResult::cost_model),
+        }
+    }
+
+    /// Runs `req` against previously prepared state (the session fast
+    /// path).
+    ///
+    /// # Errors
+    ///
+    /// As [`WalkEngine::run`].
+    pub fn run_with(
+        &self,
+        req: &WalkRequest<'_>,
+        prepared: &PreparedState,
+    ) -> Result<RunReport, EngineError> {
+        let g = req.graph;
+        let w = req.workload;
+        let cfg = &req.config;
+        let mut warnings = prepared.artifacts.warnings.clone();
+
+        if self.registry.is_empty() {
+            return Err(EngineError::Unsupported("empty sampler registry"));
+        }
+        // An explicitly named strategy must exist, in every mode.
+        if let SelectionStrategy::Only(id) = self.strategy {
+            if !self.registry.contains(id) {
+                return Err(EngineError::Unsupported("selected sampler not registered"));
+            }
+        }
+
+        // Effective strategy: without compiled estimators, strategies that
+        // need a bound estimate lose their estimator (the §7.1 fallback).
+        // An explicit `Only` of a bound-free strategy — custom or built-in
+        // — is honoured untouched; an `Only` of a bound-needing strategy
+        // degrades to the highest-priority bound-free one. CostModel,
+        // Random and DegreeThreshold keep selecting, restricted to
+        // bound-free candidates (for the built-in registry that is exactly
+        // "running eRVS-only").
+        let bounds_available = prepared.artifacts.compiled.is_some();
+        let strategy = if bounds_available {
             self.strategy
+        } else {
+            let any_bounded = self.registry.iter().any(|s| s.needs_bound());
+            match self.strategy {
+                SelectionStrategy::Only(id)
+                    if self.registry.get(id).is_some_and(|s| !s.needs_bound()) =>
+                {
+                    SelectionStrategy::Only(id)
+                }
+                other => {
+                    let fallback = self.registry.iter().find(|s| !s.needs_bound()).ok_or(
+                        EngineError::Unsupported(
+                            "no bound-free sampler registered for the compiler-fallback mode",
+                        ),
+                    )?;
+                    if any_bounded {
+                        warnings.push(format!(
+                            "no usable bound estimator; bound-requiring samplers disabled \
+                             (running {}-class only)",
+                            fallback.id()
+                        ));
+                    }
+                    match other {
+                        SelectionStrategy::Only(_) => SelectionStrategy::Only(fallback.id()),
+                        keep => keep,
+                    }
+                }
+            }
         };
 
         let device = Device::new(self.spec.clone());
@@ -273,47 +591,36 @@ impl WalkEngine for FlexiWalkerEngine {
                 },
             })?;
 
-        // Runtime workflow: preprocess + profile.
-        let aggregates = match &compiled {
-            Some(c) if !c.preprocess.is_empty() => {
-                Aggregates::compute(g, &c.preprocess, &self.spec)
-            }
-            _ => Aggregates::default(),
-        };
-        let profile = if self.skip_profile || self.cost_ratio_override.is_some() {
-            None
-        } else {
-            Some(run_profile(&device, g, w.bytes_per_weight(g), cfg.seed))
-        };
-        let cost_model = match self.cost_ratio_override {
-            Some(edge_cost_ratio) => CostModel { edge_cost_ratio },
-            None => profile
-                .as_ref()
-                .map_or(CostModel::default_ratio(), |p| p.cost_model()),
-        };
-
+        let cost_model = self.cost_model(prepared.profile.as_ref());
         let steps = w.preferred_steps().unwrap_or(cfg.steps);
-        let queue = QueryQueue::new(queries.len());
+        let queue = QueryQueue::new(req.queries.len());
         let slots = self.spec.total_warp_slots();
-        let num_warps = queries.len().div_ceil(WARP_SIZE).min(slots).max(1);
+        let num_warps = req.queries.len().div_ceil(WARP_SIZE).min(slots).max(1);
 
-        let ervs_mode = self.ervs_mode;
-        let kernel = |ctx: &mut WarpCtx| {
-            walk_warp(
-                ctx,
-                g,
-                w,
-                compiled.as_ref(),
-                &aggregates,
-                &queue,
-                queries,
-                steps,
-                cfg.record_paths,
-                strategy,
-                cost_model,
-                ervs_mode,
-            )
+        // Launch-invariant candidate set: every registered strategy, minus
+        // the bound-needing ones when no estimator exists. Computed once so
+        // per-step selection never allocates.
+        let candidates: Vec<usize> = self
+            .registry
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| bounds_available || !s.needs_bound())
+            .map(|(i, _)| i)
+            .collect();
+
+        let kernel_cfg = WarpKernelCfg {
+            compiled: prepared.artifacts.compiled.as_ref(),
+            aggregates: &prepared.aggregates,
+            registry: &self.registry,
+            candidates,
+            strategy,
+            cost_model,
+            steps,
+            record_paths: cfg.record_paths,
+            seed: cfg.seed,
+            query_offset: req.query_offset,
         };
+        let kernel = |ctx: &mut WarpCtx| walk_warp(ctx, g, w, &queue, req.queries, &kernel_cfg);
         let launch = if cfg.host_threads > 1 {
             device.launch_parallel(num_warps, cfg.host_threads, cfg.seed, kernel)
         } else {
@@ -326,15 +633,17 @@ impl WalkEngine for FlexiWalkerEngine {
             });
         }
 
-        let mut chosen_rjs = 0;
-        let mut chosen_rvs = 0;
+        let mut sampler_steps = SamplerTally::new();
         let mut steps_taken = 0;
         let mut paths = cfg
             .record_paths
-            .then(|| vec![Vec::new(); queries.len()]);
+            .then(|| vec![Vec::new(); req.queries.len()]);
         for out in &launch.outputs {
-            chosen_rjs += out.rjs;
-            chosen_rvs += out.rvs;
+            for (idx, n) in out.tallies.iter().enumerate() {
+                if let Some(s) = self.registry.at(idx) {
+                    sampler_steps.record(s.id(), *n);
+                }
+            }
             for (q, path, s) in &out.finished {
                 steps_taken += s;
                 if let Some(paths) = &mut paths {
@@ -348,49 +657,89 @@ impl WalkEngine for FlexiWalkerEngine {
             .saturated_seconds(&launch.stats)
             .min(launch.sim_seconds);
         Ok(RunReport {
-            engine: self.name(),
+            engine: "FlexiWalker",
             sim_seconds: launch.sim_seconds,
             saturated_seconds,
             stats: launch.stats,
-            queries: queries.len(),
+            queries: req.queries.len(),
             steps_taken,
             paths,
-            chosen_rjs,
-            chosen_rvs,
-            profile_seconds: profile.as_ref().map_or(0.0, |p| p.sim_seconds),
-            preprocess_seconds: aggregates.sim_seconds,
+            sampler_steps,
+            profile_seconds: prepared.profile.as_ref().map_or(0.0, |p| p.sim_seconds),
+            preprocess_seconds: prepared.aggregates.sim_seconds,
             warnings,
             watts: self.spec.load_watts,
         })
     }
 }
 
+impl WalkEngine for FlexiWalkerEngine {
+    fn name(&self) -> &'static str {
+        "FlexiWalker"
+    }
+
+    fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
+        let prepared = self.prepare(req.graph, req.workload, req.config.seed);
+        self.run_with(req, &prepared)
+    }
+}
+
+#[derive(Debug)]
+struct Lane {
+    query: usize,
+    state: WalkState,
+    path: Vec<NodeId>,
+    steps_taken: u64,
+    /// This query's private RNG stream (placement-independent randomness).
+    rng: Philox4x32,
+}
+
+/// Per-warp kernel output.
+#[derive(Debug, Default)]
+struct WarpOut {
+    finished: Vec<(usize, Vec<NodeId>, u64)>,
+    /// Steps per registry position.
+    tallies: Vec<u64>,
+}
+
+/// Launch-invariant parameters of the §5.2 warp kernel.
+struct WarpKernelCfg<'a> {
+    compiled: Option<&'a CompiledWalk>,
+    aggregates: &'a Aggregates,
+    registry: &'a SamplerRegistry,
+    /// Registry positions selectable this run, in priority order
+    /// (bound-needing strategies are excluded when no estimator exists).
+    candidates: Vec<usize>,
+    strategy: SelectionStrategy,
+    cost_model: CostModel,
+    steps: usize,
+    record_paths: bool,
+    seed: u64,
+    query_offset: u64,
+}
+
 /// The §5.2 concurrent kernel body for one warp.
-#[allow(clippy::too_many_arguments)]
 fn walk_warp(
     ctx: &mut WarpCtx,
     g: &Csr,
     w: &dyn DynamicWalk,
-    compiled: Option<&CompiledWalk>,
-    aggregates: &Aggregates,
     queue: &QueryQueue,
     queries: &[NodeId],
-    steps: usize,
-    record_paths: bool,
-    strategy: SelectionStrategy,
-    cost_model: CostModel,
-    ervs_mode: ErvsMode,
+    kc: &WarpKernelCfg<'_>,
 ) -> WarpOut {
-    let mut out = WarpOut::default();
+    let mut out = WarpOut {
+        finished: Vec::new(),
+        tallies: vec![0; kc.registry.len()],
+    };
     let bytes_per_weight = w.bytes_per_weight(g);
     let mut lanes: [Option<Lane>; WARP_SIZE] = std::array::from_fn(|_| None);
 
     // PER_KERNEL bounds are estimated once (§4.2 flag semantics).
-    let per_kernel_bound: Option<f64> = compiled.and_then(|c| {
+    let per_kernel_bound: Option<f64> = kc.compiled.and_then(|c| {
         if c.flag == flexi_compiler::BoundGranularity::PerKernel {
             let env = RuntimeEnv {
                 graph: g,
-                aggregates,
+                aggregates: kc.aggregates,
                 workload: w,
                 state: WalkState::start(0),
             };
@@ -410,7 +759,7 @@ fn walk_warp(
                 if let Some(q) = queue.pop() {
                     let start = queries[q];
                     let mut path = Vec::new();
-                    if record_paths {
+                    if kc.record_paths {
                         path.push(start);
                     }
                     *lane_slot = Some(Lane {
@@ -418,6 +767,10 @@ fn walk_warp(
                         state: WalkState::start(start),
                         path,
                         steps_taken: 0,
+                        rng: Philox4x32::new(
+                            kc.seed ^ QUERY_STREAM_SALT,
+                            kc.query_offset + q as u64,
+                        ),
                     });
                 }
             }
@@ -428,72 +781,89 @@ fn walk_warp(
         }
 
         // Retire finished walks and pick a sampler for the rest.
-        let mut choice: [Option<SamplerChoice>; WARP_SIZE] = [None; WARP_SIZE];
+        let mut choice: [Option<usize>; WARP_SIZE] = [None; WARP_SIZE];
         for (l, lane_slot) in lanes.iter_mut().enumerate() {
             let Some(lane) = lane_slot else { continue };
             let deg = g.degree(lane.state.cur);
-            if lane.state.step >= steps || deg == 0 {
+            if lane.state.step >= kc.steps || deg == 0 {
                 let lane = lane_slot.take().expect("checked Some");
                 out.finished.push((lane.query, lane.path, lane.steps_taken));
                 continue;
             }
-            choice[l] = Some(select_sampler(
-                ctx,
-                l,
-                g,
-                w,
-                compiled,
-                aggregates,
-                &lane.state,
-                strategy,
-                cost_model,
-            ));
+            let state = lane.state;
+            ctx.bind_stream(lane.rng.clone());
+            choice[l] = select_sampler(ctx, l, g, w, kc, &state);
+            lane.rng = ctx.unbind_stream();
+            if choice[l].is_none() {
+                // No runnable strategy at this node (e.g. every candidate
+                // unpriceable): the walk must terminate, not spin — a lane
+                // left active but never advanced would loop forever.
+                let lane = lane_slot.take().expect("checked Some");
+                out.finished.push((lane.query, lane.path, lane.steps_taken));
+            }
         }
 
-        // Phase 1: rejection lanes run thread-granular trials.
+        // Phase 1: thread-granular lanes run their trials independently.
         for l in 0..WARP_SIZE {
-            if choice[l] != Some(SamplerChoice::Rjs) {
+            let Some(idx) = choice[l] else { continue };
+            let sampler = kc.registry.at(idx).expect("choice is a registry index");
+            if sampler.granularity() != Granularity::Lane {
                 continue;
             }
-            let lane = lanes[l].as_mut().expect("choice implies lane");
-            let state = lane.state;
-            let bound = rjs_bound(ctx, g, w, compiled, aggregates, &state, per_kernel_bound);
+            let (state, rng) = {
+                let lane = lanes[l].as_ref().expect("choice implies lane");
+                (lane.state, lane.rng.clone())
+            };
+            let bound = if sampler.needs_bound() {
+                rjs_bound(ctx, g, w, kc, &state, per_kernel_bound)
+            } else {
+                None
+            };
             let range = g.edge_range(state.cur);
             let wf = |i: usize| w.weight(g, &state, range.start + i);
             let view = NeighborView::new(&wf, range.len(), bytes_per_weight);
-            let picked = match bound {
-                Some(b) => lane_rejection(ctx, l, &view, b).0,
-                None => None,
-            };
-            out.rjs += 1;
-            advance_lane(&mut lanes[l], picked, g, record_paths, &mut out);
+            ctx.bind_stream(rng);
+            let picked = sampler.sample_lane(ctx, l, &view, bound);
+            lanes[l].as_mut().expect("still Some").rng = ctx.unbind_stream();
+            out.tallies[idx] += 1;
+            advance_lane(&mut lanes[l], picked, g, kc.record_paths, &mut out);
         }
 
-        // Ballot: does any lane need warp-granular reservoir sampling?
+        // Ballot: does any lane need a warp-granular strategy?
         let mut preds = [false; WARP_SIZE];
         for (l, p) in preds.iter_mut().enumerate() {
-            *p = choice[l] == Some(SamplerChoice::Rvs);
+            *p = choice[l].is_some_and(|idx| {
+                kc.registry
+                    .at(idx)
+                    .is_some_and(|s| s.granularity() == Granularity::Warp)
+            });
         }
         let mask = ctx.ballot(&preds);
         if mask != 0 {
-            // Phase 2: the whole warp cooperates on each RVS lane in turn,
+            // Phase 2: the whole warp cooperates on each such lane in turn,
             // sharing the query parameters via shuffles (§5.2).
             #[allow(clippy::needless_range_loop)]
             for l in 0..WARP_SIZE {
                 if mask & (1 << l) == 0 {
                     continue;
                 }
-                let lane = lanes[l].as_mut().expect("mask implies lane");
-                let state = lane.state;
+                let idx = choice[l].expect("mask implies choice");
+                let sampler = kc.registry.at(idx).expect("choice is a registry index");
+                let (state, rng) = {
+                    let lane = lanes[l].as_ref().expect("mask implies lane");
+                    (lane.state, lane.rng.clone())
+                };
                 let dummy = [0u32; WARP_SIZE];
                 ctx.shfl(&dummy, l); // Broadcast target node.
                 ctx.shfl(&dummy, l); // Broadcast step/query id.
                 let range = g.edge_range(state.cur);
                 let wf = |i: usize| w.weight(g, &state, range.start + i);
                 let view = NeighborView::new(&wf, range.len(), bytes_per_weight);
-                let picked = warp_ervs(ctx, &view, ervs_mode);
-                out.rvs += 1;
-                advance_lane(&mut lanes[l], picked, g, record_paths, &mut out);
+                ctx.bind_stream(rng);
+                let picked = sampler.sample_warp(ctx, &view);
+                lanes[l].as_mut().expect("still Some").rng = ctx.unbind_stream();
+                out.tallies[idx] += 1;
+                advance_lane(&mut lanes[l], picked, g, kc.record_paths, &mut out);
             }
         }
     }
@@ -526,57 +896,64 @@ fn advance_lane(
     }
 }
 
-/// Flexi-Runtime's per-step selection, with cost accounting.
-#[allow(clippy::too_many_arguments)]
+/// Flexi-Runtime's per-step selection, with cost accounting. Returns the
+/// registry position of the chosen strategy.
 fn select_sampler(
     ctx: &mut WarpCtx,
     lane: usize,
     g: &Csr,
     w: &dyn DynamicWalk,
-    compiled: Option<&CompiledWalk>,
-    aggregates: &Aggregates,
+    kc: &WarpKernelCfg<'_>,
     state: &WalkState,
-    strategy: SelectionStrategy,
-    cost_model: CostModel,
-) -> SamplerChoice {
-    match strategy {
-        SelectionStrategy::RvsOnly => SamplerChoice::Rvs,
-        SelectionStrategy::RjsOnly => SamplerChoice::Rjs,
+) -> Option<usize> {
+    match kc.strategy {
+        SelectionStrategy::Only(id) => kc.registry.position(id),
         SelectionStrategy::Random => {
-            if ctx.draw_u32(lane) & 1 == 0 {
-                SamplerChoice::Rjs
-            } else {
-                SamplerChoice::Rvs
+            // Uniform over the run's precomputed candidate set.
+            if kc.candidates.is_empty() {
+                return None;
             }
+            let pick = ctx.draw_u32(lane) as usize % kc.candidates.len();
+            Some(kc.candidates[pick])
         }
         SelectionStrategy::DegreeThreshold(t) => {
-            if g.degree(state.cur) >= t {
-                SamplerChoice::Rjs
+            let wanted = if g.degree(state.cur) >= t {
+                Granularity::Lane
             } else {
-                SamplerChoice::Rvs
-            }
+                Granularity::Warp
+            };
+            kc.candidates
+                .iter()
+                .copied()
+                .find(|&i| kc.registry.at(i).is_some_and(|s| s.granularity() == wanted))
+                .or_else(|| kc.candidates.first().copied())
         }
         SelectionStrategy::CostModel => {
-            let Some(c) = compiled else {
-                return SamplerChoice::Rvs;
+            let deg = g.degree(state.cur) as f64;
+            let (max_est, sum_est) = match kc.compiled {
+                Some(c) => {
+                    let env = RuntimeEnv {
+                        graph: g,
+                        aggregates: kc.aggregates,
+                        workload: w,
+                        state: *state,
+                    };
+                    // PER_STEP estimators read the per-node aggregates
+                    // (h_MAX, h_SUM); PER_KERNEL estimators are
+                    // register-resident constants plus the degree, which
+                    // the lane already holds (§4.2).
+                    if c.flag == flexi_compiler::BoundGranularity::PerStep {
+                        ctx.read_random(4);
+                        ctx.read_random(4);
+                    }
+                    (c.max_estimator.eval(&env), c.sum_estimator.eval(&env))
+                }
+                None => (None, None),
             };
-            let env = RuntimeEnv {
-                graph: g,
-                aggregates,
-                workload: w,
-                state: *state,
-            };
-            // PER_STEP estimators read the per-node aggregates (h_MAX,
-            // h_SUM); PER_KERNEL estimators are register-resident constants
-            // plus the degree, which the lane already holds (§4.2).
-            if c.flag == flexi_compiler::BoundGranularity::PerStep {
-                ctx.read_random(4);
-                ctx.read_random(4);
-            }
-            ctx.alu(6);
-            let max_est = c.max_estimator.eval(&env);
-            let sum_est = c.sum_estimator.eval(&env);
-            cost_model.choose(max_est, sum_est)
+            ctx.alu(3 * kc.candidates.len().max(1) as u64);
+            kc.cost_model
+                .select_among(kc.registry, &kc.candidates, deg, max_est, sum_est)
+                .map(|(i, _)| i)
         }
     }
 }
@@ -586,8 +963,7 @@ fn rjs_bound(
     ctx: &mut WarpCtx,
     g: &Csr,
     w: &dyn DynamicWalk,
-    compiled: Option<&CompiledWalk>,
-    aggregates: &Aggregates,
+    kc: &WarpKernelCfg<'_>,
     state: &WalkState,
     per_kernel_bound: Option<f64>,
 ) -> Option<f32> {
@@ -597,10 +973,10 @@ fn rjs_bound(
     if let Some(b) = per_kernel_bound {
         return Some((b * SLACK) as f32);
     }
-    if let Some(c) = compiled {
+    if let Some(c) = kc.compiled {
         let env = RuntimeEnv {
             graph: g,
-            aggregates,
+            aggregates: kc.aggregates,
             workload: w,
             state: *state,
         };
@@ -642,13 +1018,26 @@ mod tests {
         }
     }
 
+    fn run(
+        engine: &FlexiWalkerEngine,
+        g: &Csr,
+        w: &dyn DynamicWalk,
+        queries: &[NodeId],
+        c: &WalkConfig,
+    ) -> Result<RunReport, EngineError> {
+        WalkEngine::run(
+            engine,
+            &WalkRequest::new(g, w, queries).with_config(c.clone()),
+        )
+    }
+
     #[test]
     fn walks_have_requested_length_and_valid_edges() {
         let g = small_graph();
         let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
         let queries: Vec<NodeId> = (0..64).collect();
         let w = Node2Vec::paper(true);
-        let report = engine.run(&g, &w, &queries, &cfg(10)).unwrap();
+        let report = run(&engine, &g, &w, &queries, &cfg(10)).unwrap();
         let paths = report.paths.as_ref().unwrap();
         assert_eq!(paths.len(), 64);
         for (q, path) in paths.iter().enumerate() {
@@ -666,6 +1055,7 @@ mod tests {
         assert_eq!(report.queries, 64);
         assert!(report.steps_taken > 0);
         assert!(report.sim_seconds > 0.0);
+        assert_eq!(report.sampler_steps.total(), report.steps_taken);
     }
 
     #[test]
@@ -674,12 +1064,12 @@ mod tests {
         let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
         let queries: Vec<NodeId> = (0..128u32).collect();
         let w = Node2Vec::paper(true);
-        let report = engine.run(&g, &w, &queries, &cfg(20)).unwrap();
+        let report = run(&engine, &g, &w, &queries, &cfg(20)).unwrap();
+        let rjs = report.sampler_steps.get(ids::ERJS);
+        let rvs = report.sampler_steps.get(ids::ERVS);
         assert!(
-            report.chosen_rjs > 0 && report.chosen_rvs > 0,
-            "expected both kernels on an R-MAT graph: rjs {} rvs {}",
-            report.chosen_rjs,
-            report.chosen_rvs
+            rjs > 0 && rvs > 0,
+            "expected both kernels on an R-MAT graph: rjs {rjs} rvs {rvs}"
         );
     }
 
@@ -688,16 +1078,16 @@ mod tests {
         let g = small_graph();
         let queries: Vec<NodeId> = (0..32u32).collect();
         let w = Node2Vec::paper(true);
-        let rvs = FlexiWalkerEngine::with_strategy(DeviceSpec::tiny(), SelectionStrategy::RvsOnly)
-            .run(&g, &w, &queries, &cfg(10))
-            .unwrap();
-        assert_eq!(rvs.chosen_rjs, 0);
-        assert!(rvs.chosen_rvs > 0);
-        let rjs = FlexiWalkerEngine::with_strategy(DeviceSpec::tiny(), SelectionStrategy::RjsOnly)
-            .run(&g, &w, &queries, &cfg(10))
-            .unwrap();
-        assert_eq!(rjs.chosen_rvs, 0);
-        assert!(rjs.chosen_rjs > 0);
+        let rvs_engine =
+            FlexiWalkerEngine::with_strategy(DeviceSpec::tiny(), SelectionStrategy::RVS_ONLY);
+        let rvs = run(&rvs_engine, &g, &w, &queries, &cfg(10)).unwrap();
+        assert_eq!(rvs.sampler_steps.get(ids::ERJS), 0);
+        assert!(rvs.sampler_steps.get(ids::ERVS) > 0);
+        let rjs_engine =
+            FlexiWalkerEngine::with_strategy(DeviceSpec::tiny(), SelectionStrategy::RJS_ONLY);
+        let rjs = run(&rjs_engine, &g, &w, &queries, &cfg(10)).unwrap();
+        assert_eq!(rjs.sampler_steps.get(ids::ERVS), 0);
+        assert!(rjs.sampler_steps.get(ids::ERJS) > 0);
     }
 
     #[test]
@@ -716,7 +1106,7 @@ mod tests {
             let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
             let mut c = cfg(1);
             c.seed = seed;
-            let report = engine.run(&g, &w, &[0], &c).unwrap();
+            let report = run(&engine, &g, &w, &[0], &c).unwrap();
             let path = &report.paths.as_ref().unwrap()[0];
             assert_eq!(path.len(), 2);
             counts[(path[1] - 1) as usize] += 1;
@@ -735,13 +1125,13 @@ mod tests {
         }
         let g = b.build().unwrap();
         let w = UniformWalk;
-        for strategy in [SelectionStrategy::RjsOnly, SelectionStrategy::RvsOnly] {
+        for strategy in [SelectionStrategy::RJS_ONLY, SelectionStrategy::RVS_ONLY] {
             let mut counts = vec![0u64; 4];
             for seed in 0..5000u64 {
                 let engine = FlexiWalkerEngine::with_strategy(DeviceSpec::tiny(), strategy);
                 let mut c = cfg(1);
                 c.seed = seed;
-                let report = engine.run(&g, &w, &[0], &c).unwrap();
+                let report = run(&engine, &g, &w, &[0], &c).unwrap();
                 let path = &report.paths.as_ref().unwrap()[0];
                 counts[(path[1] - 1) as usize] += 1;
             }
@@ -762,15 +1152,19 @@ mod tests {
         let w = MetaPath::paper(true);
         let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
         let queries: Vec<NodeId> = (0..128u32).collect();
-        let report = engine.run(&g, &w, &queries, &cfg(5)).unwrap();
+        let report = run(&engine, &g, &w, &queries, &cfg(5)).unwrap();
         for path in report.paths.as_ref().unwrap() {
             for (step, pair) in path.windows(2).enumerate() {
                 // The traversed edge must carry the schema label.
                 let r = g.edge_range(pair[0]);
-                let found = r.clone().any(|e| {
-                    g.edge_target(e) == pair[1] && g.label(e) == w.wanted_label(step)
-                });
-                assert!(found, "step {step} violated schema: {} -> {}", pair[0], pair[1]);
+                let found = r
+                    .clone()
+                    .any(|e| g.edge_target(e) == pair[1] && g.label(e) == w.wanted_label(step));
+                assert!(
+                    found,
+                    "step {step} violated schema: {} -> {}",
+                    pair[0], pair[1]
+                );
             }
         }
     }
@@ -780,7 +1174,7 @@ mod tests {
         let g = props::assign_uniform_labels(small_graph(), 5, 3);
         let w = MetaPath::paper(false);
         let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
-        let report = engine.run(&g, &w, &[0, 1, 2], &cfg(80)).unwrap();
+        let report = run(&engine, &g, &w, &[0, 1, 2], &cfg(80)).unwrap();
         for path in report.paths.as_ref().unwrap() {
             assert!(path.len() <= 6, "MetaPath must stop at schema depth");
         }
@@ -791,7 +1185,7 @@ mod tests {
         let g = CsrBuilder::new(2).edge(0, 1).build().unwrap();
         let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
         let w = UniformWalk;
-        let report = engine.run(&g, &w, &[1], &cfg(10)).unwrap();
+        let report = run(&engine, &g, &w, &[1], &cfg(10)).unwrap();
         assert_eq!(report.paths.as_ref().unwrap()[0], vec![1]);
         assert_eq!(report.steps_taken, 0);
     }
@@ -800,9 +1194,7 @@ mod tests {
     fn empty_query_set_is_ok() {
         let g = small_graph();
         let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
-        let report = engine
-            .run(&g, &Node2Vec::paper(true), &[], &cfg(10))
-            .unwrap();
+        let report = run(&engine, &g, &Node2Vec::paper(true), &[], &cfg(10)).unwrap();
         assert_eq!(report.queries, 0);
         assert_eq!(report.steps_taken, 0);
     }
@@ -813,9 +1205,7 @@ mod tests {
         let mut spec = DeviceSpec::tiny();
         spec.vram_bytes = 16; // Absurdly small.
         let engine = FlexiWalkerEngine::new(spec);
-        let err = engine
-            .run(&g, &Node2Vec::paper(true), &[0], &cfg(1))
-            .unwrap_err();
+        let err = run(&engine, &g, &Node2Vec::paper(true), &[0], &cfg(1)).unwrap_err();
         assert!(matches!(err, EngineError::OutOfMemory { .. }));
     }
 
@@ -826,31 +1216,334 @@ mod tests {
         let mut c = cfg(80);
         c.time_budget = 1e-12;
         let queries: Vec<NodeId> = (0..64u32).collect();
-        let err = engine
-            .run(&g, &Node2Vec::paper(true), &queries, &c)
-            .unwrap_err();
+        let err = run(&engine, &g, &Node2Vec::paper(true), &queries, &c).unwrap_err();
         assert!(matches!(err, EngineError::OutOfTime { .. }));
     }
 
     #[test]
-    fn parallel_hosts_match_sequential_aggregates() {
+    fn parallel_hosts_produce_identical_paths() {
+        // Per-query RNG streams make paths placement-independent: the same
+        // request at 1 and 4 host threads is bit-identical.
         let g = small_graph();
         let queries: Vec<NodeId> = (0..96u32).collect();
         let w = SecondOrderPr::paper();
         let mut c1 = cfg(10);
-        c1.record_paths = false;
-        let seq = FlexiWalkerEngine::new(DeviceSpec::tiny())
-            .run(&g, &w, &queries, &c1)
-            .unwrap();
+        c1.record_paths = true;
+        let seq = run(
+            &FlexiWalkerEngine::new(DeviceSpec::tiny()),
+            &g,
+            &w,
+            &queries,
+            &c1,
+        )
+        .unwrap();
         let mut c2 = c1.clone();
         c2.host_threads = 4;
-        let par = FlexiWalkerEngine::new(DeviceSpec::tiny())
-            .run(&g, &w, &queries, &c2)
-            .unwrap();
-        // Dynamic queue assignment differs, but every query must complete
-        // with the full number of steps on a sink-light graph.
+        let par = run(
+            &FlexiWalkerEngine::new(DeviceSpec::tiny()),
+            &g,
+            &w,
+            &queries,
+            &c2,
+        )
+        .unwrap();
         assert_eq!(seq.queries, par.queries);
-        assert!(par.steps_taken > 0);
+        assert_eq!(seq.paths, par.paths);
+        assert_eq!(seq.steps_taken, par.steps_taken);
+    }
+
+    #[test]
+    fn batch_split_produces_identical_paths() {
+        // The engine-level half of the session guarantee: running queries
+        // [0, N) in one request equals two requests of [0, N/2) and
+        // [N/2, N) with matching offsets.
+        let g = small_graph();
+        let queries: Vec<NodeId> = (0..64u32).collect();
+        let w = Node2Vec::paper(true);
+        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+        let c = cfg(12);
+        let whole = WalkEngine::run(
+            &engine,
+            &WalkRequest::new(&g, &w, &queries).with_config(c.clone()),
+        )
+        .unwrap();
+        let first = WalkEngine::run(
+            &engine,
+            &WalkRequest::new(&g, &w, &queries[..32]).with_config(c.clone()),
+        )
+        .unwrap();
+        let second = WalkEngine::run(
+            &engine,
+            &WalkRequest::new(&g, &w, &queries[32..])
+                .with_config(c.clone())
+                .query_offset(32),
+        )
+        .unwrap();
+        let whole_paths = whole.paths.as_ref().unwrap();
+        let mut split_paths = first.paths.clone().unwrap();
+        split_paths.extend(second.paths.clone().unwrap());
+        assert_eq!(whole_paths, &split_paths);
+    }
+
+    #[test]
+    fn prepared_state_reuse_matches_fresh_runs() {
+        let g = small_graph();
+        let queries: Vec<NodeId> = (0..48u32).collect();
+        let w = Node2Vec::paper(true);
+        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+        let c = cfg(10);
+        let prepared = engine.prepare(&g, &w, c.seed);
+        let req = WalkRequest::new(&g, &w, &queries).with_config(c.clone());
+        let cached = engine.run_with(&req, &prepared).unwrap();
+        let fresh = WalkEngine::run(&engine, &req).unwrap();
+        assert_eq!(cached.paths, fresh.paths);
+        assert_eq!(cached.sampler_steps, fresh.sampler_steps);
+    }
+
+    #[test]
+    fn custom_sampler_is_selectable_and_reported() {
+        // A third-party strategy registered via the registry must win the
+        // cost-model selection and appear in the report under its own id.
+        use flexi_sampling::{CostInputs, ScalarCost};
+        #[derive(Debug)]
+        struct ToySampler;
+        impl Sampler for ToySampler {
+            fn id(&self) -> SamplerId {
+                "toy"
+            }
+            fn granularity(&self) -> Granularity {
+                Granularity::Warp
+            }
+            fn step_cost(&self, inp: &CostInputs) -> Option<f64> {
+                Some(inp.deg * 1e-3) // Undercut everything.
+            }
+            fn sample_warp(&self, ctx: &mut WarpCtx, view: &NeighborView<'_>) -> Option<usize> {
+                // Exact linear-CDF sample, charged as one coalesced pass.
+                ctx.read_coalesced(view.deg * view.bytes_per_weight);
+                let total: f64 = (0..view.deg)
+                    .map(|i| f64::from((view.weight)(i).max(0.0)))
+                    .sum();
+                if total <= 0.0 {
+                    return None;
+                }
+                let mut target = ctx.draw_f64(0) * total;
+                for i in 0..view.deg {
+                    let wi = f64::from((view.weight)(i).max(0.0));
+                    if wi <= 0.0 {
+                        continue;
+                    }
+                    target -= wi;
+                    if target <= 0.0 {
+                        return Some(i);
+                    }
+                }
+                (0..view.deg).rev().find(|&i| (view.weight)(i) > 0.0)
+            }
+            fn sample_scalar(
+                &self,
+                weights: &[f32],
+                _bound: Option<f32>,
+                rng: &mut dyn flexi_rng::RandomSource,
+            ) -> (Option<usize>, ScalarCost) {
+                flexi_sampling::scalar::sample_linear_cdf(weights, &mut { rng })
+            }
+        }
+
+        let g = small_graph();
+        let mut engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+        engine.register_sampler(Arc::new(ToySampler));
+        let queries: Vec<NodeId> = (0..64u32).collect();
+        let report = run(&engine, &g, &Node2Vec::paper(true), &queries, &cfg(10)).unwrap();
+        assert!(
+            report.sampler_steps.get("toy") > 0,
+            "toy sampler never selected: {}",
+            report.sampler_steps
+        );
+        assert_eq!(report.sampler_steps.total(), report.steps_taken);
+        for path in report.paths.as_ref().unwrap() {
+            for pair in path.windows(2) {
+                assert!(g.has_edge(pair[0], pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn wholly_unpriceable_registry_terminates_instead_of_spinning() {
+        // A registry whose only strategy can never be priced must not hang
+        // the warp loop: walks terminate with zero steps.
+        use flexi_sampling::{CostInputs, ScalarCost};
+        #[derive(Debug)]
+        struct Unpriceable;
+        impl Sampler for Unpriceable {
+            fn id(&self) -> SamplerId {
+                "unpriceable"
+            }
+            fn granularity(&self) -> Granularity {
+                Granularity::Warp
+            }
+            fn step_cost(&self, _inp: &CostInputs) -> Option<f64> {
+                None
+            }
+            fn sample_warp(&self, _ctx: &mut WarpCtx, _view: &NeighborView<'_>) -> Option<usize> {
+                unreachable!("never selected")
+            }
+            fn sample_scalar(
+                &self,
+                _w: &[f32],
+                _b: Option<f32>,
+                _r: &mut dyn flexi_rng::RandomSource,
+            ) -> (Option<usize>, ScalarCost) {
+                (None, ScalarCost::default())
+            }
+        }
+        let g = small_graph();
+        let mut registry = SamplerRegistry::empty();
+        registry.register(Arc::new(Unpriceable));
+        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny()).with_registry(registry);
+        let queries: Vec<NodeId> = (0..8u32).collect();
+        let report = run(&engine, &g, &Node2Vec::paper(true), &queries, &cfg(5)).unwrap();
+        assert_eq!(report.queries, 8);
+        assert_eq!(report.steps_taken, 0, "no strategy was runnable");
+        for (q, path) in report.paths.as_ref().unwrap().iter().enumerate() {
+            assert_eq!(path, &vec![queries[q]]);
+        }
+    }
+
+    #[test]
+    fn sampler_tally_equality_ignores_recording_order() {
+        let mut a = SamplerTally::new();
+        a.record(ids::ERVS, 5);
+        a.record(ids::ERJS, 2);
+        let mut b = SamplerTally::new();
+        b.record(ids::ERJS, 2);
+        b.record(ids::ERVS, 5);
+        assert_eq!(a, b);
+        b.record("toy", 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unknown_forced_sampler_is_unsupported() {
+        let g = small_graph();
+        let engine = FlexiWalkerEngine::with_strategy(
+            DeviceSpec::tiny(),
+            SelectionStrategy::Only("no-such-sampler"),
+        );
+        let err = run(&engine, &g, &Node2Vec::paper(true), &[0], &cfg(1)).unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)));
+    }
+
+    #[test]
+    fn fallback_mode_honours_bound_free_custom_only_strategy() {
+        // An unanalyzable workload must NOT override an explicit Only() of
+        // a strategy that never needed a bound estimator.
+        use crate::workload::UniformWalk;
+        use flexi_compiler::WalkSpec;
+        use flexi_graph::EdgeId;
+        use flexi_sampling::{CostInputs, ScalarCost};
+
+        // UniformWalk semantics with a DSL source the compiler rejects.
+        #[derive(Clone, Copy)]
+        struct Hostile;
+        impl DynamicWalk for Hostile {
+            fn name(&self) -> &'static str {
+                "hostile"
+            }
+            fn weight(&self, g: &Csr, st: &WalkState, edge: EdgeId) -> f32 {
+                UniformWalk.weight(g, st, edge)
+            }
+            fn spec(&self) -> WalkSpec {
+                WalkSpec {
+                    source: "get_weight(edge) { x = 0; while (x < h[edge]) { x = x + 1; } \
+                             return x; }"
+                        .to_string(),
+                    hyperparams: vec![],
+                }
+            }
+        }
+
+        #[derive(Debug)]
+        struct Cdf;
+        impl Sampler for Cdf {
+            fn id(&self) -> SamplerId {
+                "cdf"
+            }
+            fn granularity(&self) -> Granularity {
+                Granularity::Warp
+            }
+            fn step_cost(&self, inp: &CostInputs) -> Option<f64> {
+                Some(inp.deg)
+            }
+            fn sample_warp(&self, ctx: &mut WarpCtx, view: &NeighborView<'_>) -> Option<usize> {
+                ctx.read_coalesced(view.deg * view.bytes_per_weight);
+                let total: f64 = (0..view.deg)
+                    .map(|i| f64::from((view.weight)(i).max(0.0)))
+                    .sum();
+                if total <= 0.0 {
+                    return None;
+                }
+                let mut target = ctx.draw_f64(0) * total;
+                for i in 0..view.deg {
+                    target -= f64::from((view.weight)(i).max(0.0));
+                    if target <= 0.0 && (view.weight)(i) > 0.0 {
+                        return Some(i);
+                    }
+                }
+                (0..view.deg).rev().find(|&i| (view.weight)(i) > 0.0)
+            }
+            fn sample_scalar(
+                &self,
+                weights: &[f32],
+                _bound: Option<f32>,
+                rng: &mut dyn flexi_rng::RandomSource,
+            ) -> (Option<usize>, ScalarCost) {
+                flexi_sampling::scalar::sample_linear_cdf(weights, &mut { rng })
+            }
+        }
+
+        let g = small_graph();
+        let mut engine =
+            FlexiWalkerEngine::with_strategy(DeviceSpec::tiny(), SelectionStrategy::Only("cdf"));
+        engine.register_sampler(Arc::new(Cdf));
+        let queries: Vec<NodeId> = (0..16u32).collect();
+        let report = run(&engine, &g, &Hostile, &queries, &cfg(5)).unwrap();
+        assert_eq!(
+            report.sampler_steps.get("cdf"),
+            report.sampler_steps.total(),
+            "compiler fallback overrode a bound-free Only strategy: {}",
+            report.sampler_steps
+        );
+        assert!(report.sampler_steps.get("cdf") > 0);
+    }
+
+    #[test]
+    fn sampler_tally_merge_and_display() {
+        let mut a = SamplerTally::new();
+        a.record(ids::ERVS, 5);
+        a.record(ids::ERJS, 2);
+        let mut b = SamplerTally::new();
+        b.record(ids::ERVS, 1);
+        b.record("toy", 3);
+        a.merge(&b);
+        assert_eq!(a.get(ids::ERVS), 6);
+        assert_eq!(a.get(ids::ERJS), 2);
+        assert_eq!(a.get("toy"), 3);
+        assert_eq!(a.get("absent"), 0);
+        assert_eq!(a.total(), 11);
+        assert_eq!(a.to_string(), "ervs: 6, erjs: 2, toy: 3");
+    }
+
+    #[test]
+    fn deprecated_positional_shim_matches_request_run() {
+        let g = small_graph();
+        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+        let w = Node2Vec::paper(true);
+        let queries: Vec<NodeId> = (0..16u32).collect();
+        let c = cfg(5);
+        #[allow(deprecated)]
+        let via_shim = engine.run_positional(&g, &w, &queries, &c).unwrap();
+        let via_request = run(&engine, &g, &w, &queries, &c).unwrap();
+        assert_eq!(via_shim.paths, via_request.paths);
     }
 
     #[test]
@@ -863,8 +1556,7 @@ mod tests {
             queries: 4,
             steps_taken: 0,
             paths: None,
-            chosen_rjs: 0,
-            chosen_rvs: 0,
+            sampler_steps: SamplerTally::new(),
             profile_seconds: 0.0,
             preprocess_seconds: 0.0,
             warnings: vec![],
@@ -879,9 +1571,7 @@ mod tests {
         let g = small_graph();
         let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
         let queries: Vec<NodeId> = (0..32u32).collect();
-        let report = engine
-            .run(&g, &Node2Vec::paper(true), &queries, &cfg(10))
-            .unwrap();
+        let report = run(&engine, &g, &Node2Vec::paper(true), &queries, &cfg(10)).unwrap();
         assert!(report.profile_seconds > 0.0, "profiling ran");
         assert!(report.preprocess_seconds > 0.0, "preprocess ran");
         // Overheads stay well below the main walk (Table 3's claim).

@@ -33,12 +33,16 @@ pub mod runtime;
 pub mod workload;
 
 pub use engine::{
-    EngineError, FlexiWalkerEngine, RunReport, WalkConfig, WalkEngine, DEFAULT_TIME_BUDGET,
+    compile_workload, CompiledArtifacts, EngineError, FlexiWalkerEngine, PreparedState, RunReport,
+    SamplerTally, WalkConfig, WalkEngine, WalkRequest, DEFAULT_TIME_BUDGET,
 };
 pub use preprocess::Aggregates;
 pub use profile::ProfileResult;
 pub use queue::QueryQueue;
-pub use runtime::{CostModel, SamplerChoice, SelectionStrategy};
+pub use runtime::{CostModel, RuntimeEnv, SelectionStrategy};
+// Re-export the sampling seam so engine users can register strategies
+// without naming `flexi-sampling` directly.
+pub use flexi_sampling::{ids as sampler_ids, Sampler, SamplerId, SamplerRegistry};
 pub use workload::{
     static_max_bound, DynamicWalk, MetaPath, Node2Vec, SecondOrderPr, UniformWalk, WalkState,
 };

@@ -6,12 +6,11 @@
 //! both mappings are implemented so Fig. 15's observation is testable).
 //! Simulated kernel time of the ensemble is the maximum over devices.
 
-use crate::engine::{EngineError, RunReport, WalkConfig, WalkEngine};
+use crate::engine::{EngineError, RunReport, SamplerTally, WalkEngine, WalkRequest};
 use crate::runtime::SelectionStrategy;
 use crate::FlexiWalkerEngine;
-use crate::workload::DynamicWalk;
 use flexi_gpu_sim::{CostStats, DeviceSpec};
-use flexi_graph::{Csr, NodeId};
+use flexi_graph::NodeId;
 
 /// Query-to-device mapping policies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -79,14 +78,9 @@ impl WalkEngine for MultiDeviceEngine {
         "FlexiWalker-MultiGPU"
     }
 
-    fn run(
-        &self,
-        g: &Csr,
-        w: &dyn DynamicWalk,
-        queries: &[NodeId],
-        cfg: &WalkConfig,
-    ) -> Result<RunReport, EngineError> {
-        let parts = self.partition(queries);
+    fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
+        let cfg = &req.config;
+        let parts = self.partition(req.queries);
         let mut device_seconds: Vec<f64> = Vec::with_capacity(self.num_devices);
         let mut saturated_max = 0.0f64;
         let mut stats = CostStats::default();
@@ -95,11 +89,10 @@ impl WalkEngine for MultiDeviceEngine {
             sim_seconds: 0.0,
             saturated_seconds: 0.0,
             stats,
-            queries: queries.len(),
+            queries: req.queries.len(),
             steps_taken: 0,
             paths: None,
-            chosen_rjs: 0,
-            chosen_rvs: 0,
+            sampler_steps: SamplerTally::new(),
             profile_seconds: 0.0,
             preprocess_seconds: 0.0,
             warnings: Vec::new(),
@@ -109,16 +102,15 @@ impl WalkEngine for MultiDeviceEngine {
             let engine = FlexiWalkerEngine::with_strategy(self.spec.clone(), self.strategy);
             let mut dev_cfg = cfg.clone();
             dev_cfg.seed = cfg.seed.wrapping_add(d as u64).wrapping_mul(0x9E37) ^ cfg.seed;
-            let report = engine.run(g, w, part, &dev_cfg)?;
+            let report = engine
+                .run(&WalkRequest::new(req.graph, req.workload, part).with_config(dev_cfg))?;
             saturated_max = saturated_max.max(report.saturated_seconds);
             device_seconds.push(report.sim_seconds);
             stats.add(&report.stats);
             merged.steps_taken += report.steps_taken;
-            merged.chosen_rjs += report.chosen_rjs;
-            merged.chosen_rvs += report.chosen_rvs;
+            merged.sampler_steps.merge(&report.sampler_steps);
             merged.profile_seconds = merged.profile_seconds.max(report.profile_seconds);
-            merged.preprocess_seconds =
-                merged.preprocess_seconds.max(report.preprocess_seconds);
+            merged.preprocess_seconds = merged.preprocess_seconds.max(report.preprocess_seconds);
         }
         // Devices run concurrently: ensemble time is the slowest device.
         merged.sim_seconds = device_seconds.iter().copied().fold(0.0, f64::max);
@@ -134,8 +126,9 @@ impl WalkEngine for MultiDeviceEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::WalkConfig;
     use crate::workload::Node2Vec;
-    use flexi_graph::{gen, WeightModel};
+    use flexi_graph::{gen, Csr, WeightModel};
 
     fn graph() -> Csr {
         let g = gen::rmat(9, 8192, gen::RmatParams::SOCIAL, 21);
@@ -179,12 +172,13 @@ mod tests {
             steps: 10,
             ..WalkConfig::default()
         };
+        let req = WalkRequest::new(&g, &w, &queries).with_config(cfg);
         let t1 = MultiDeviceEngine::new(DeviceSpec::tiny(), 1)
-            .run(&g, &w, &queries, &cfg)
+            .run(&req)
             .unwrap()
             .sim_seconds;
         let t4 = MultiDeviceEngine::new(DeviceSpec::tiny(), 4)
-            .run(&g, &w, &queries, &cfg)
+            .run(&req)
             .unwrap()
             .sim_seconds;
         assert!(
@@ -203,7 +197,7 @@ mod tests {
             ..WalkConfig::default()
         };
         let report = MultiDeviceEngine::new(DeviceSpec::tiny(), 3)
-            .run(&g, &w, &queries, &cfg)
+            .run(&WalkRequest::new(&g, &w, &queries).with_config(cfg))
             .unwrap();
         assert_eq!(report.queries, 200);
         // Walks may end early at sinks; on aggregate most should advance.

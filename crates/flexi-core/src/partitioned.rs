@@ -15,11 +15,12 @@
 //! single device, *and* pays a heavy migration toll relative to the
 //! duplicated-graph mode.
 
-use crate::engine::{EngineError, RunReport, WalkConfig, WalkEngine};
-use crate::workload::{DynamicWalk, WalkState};
+use crate::engine::{EngineError, RunReport, SamplerTally, WalkEngine, WalkRequest};
+use crate::workload::WalkState;
 use flexi_gpu_sim::{CostStats, DeviceSpec};
 use flexi_graph::{Csr, NodeId};
 use flexi_rng::{RandomSource, Xoshiro256pp};
+use flexi_sampling::ids;
 use flexi_sampling::scalar::sample_ervs_jump;
 
 /// An NVLink-like inter-GPU interconnect.
@@ -84,9 +85,7 @@ impl PartitionedEngine {
     /// Bytes of `g` resident on each device: the partition's edges plus
     /// the full row-pointer array (needed to route remote lookups).
     pub fn partition_bytes(&self, g: &Csr) -> Vec<usize> {
-        let bytes_per_edge = 4
-            + g.props().bytes_per_weight()
-            + usize::from(g.has_labels());
+        let bytes_per_edge = 4 + g.props().bytes_per_weight() + usize::from(g.has_labels());
         let mut out = vec![g.row_ptr().len() * 8; self.num_devices];
         for v in 0..g.num_nodes() as NodeId {
             out[self.owner(v)] += g.degree(v) * bytes_per_edge;
@@ -100,21 +99,20 @@ impl WalkEngine for PartitionedEngine {
         "FlexiWalker-Partitioned"
     }
 
-    fn run(
-        &self,
-        g: &Csr,
-        w: &dyn DynamicWalk,
-        queries: &[NodeId],
-        cfg: &WalkConfig,
-    ) -> Result<RunReport, EngineError> {
+    fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
+        let g = req.graph;
+        let w = req.workload;
+        let queries = req.queries;
+        let cfg = &req.config;
         // VRAM check per partition (the whole point of this mode).
         for (d, bytes) in self.partition_bytes(g).iter().enumerate() {
             if *bytes > self.spec.vram_bytes {
                 return Err(EngineError::OutOfMemory {
                     requested: *bytes,
-                    available: self.spec.vram_bytes.saturating_sub(
-                        self.partition_bytes(g)[d].min(self.spec.vram_bytes),
-                    ),
+                    available: self
+                        .spec
+                        .vram_bytes
+                        .saturating_sub(self.partition_bytes(g)[d].min(self.spec.vram_bytes)),
                 });
             }
         }
@@ -192,8 +190,11 @@ impl WalkEngine for PartitionedEngine {
             queries: queries.len(),
             steps_taken,
             paths,
-            chosen_rjs: 0,
-            chosen_rvs: steps_taken,
+            sampler_steps: {
+                let mut t = SamplerTally::new();
+                t.record(ids::ERVS, steps_taken);
+                t
+            },
             profile_seconds: 0.0,
             preprocess_seconds: 0.0,
             warnings: vec![format!(
@@ -209,8 +210,9 @@ impl WalkEngine for PartitionedEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::WalkConfig;
     use crate::multi_device::MultiDeviceEngine;
-    use crate::workload::Node2Vec;
+    use crate::workload::{DynamicWalk, Node2Vec};
     use flexi_graph::{gen, WeightModel};
 
     fn graph() -> Csr {
@@ -226,14 +228,22 @@ mod tests {
         }
     }
 
+    fn run(
+        engine: &dyn WalkEngine,
+        g: &Csr,
+        w: &dyn DynamicWalk,
+        queries: &[NodeId],
+        c: &WalkConfig,
+    ) -> Result<RunReport, EngineError> {
+        engine.run(&WalkRequest::new(g, w, queries).with_config(c.clone()))
+    }
+
     #[test]
     fn walks_are_valid_and_complete() {
         let g = graph();
         let engine = PartitionedEngine::new(DeviceSpec::tiny(), 4);
         let queries: Vec<NodeId> = (0..64).collect();
-        let report = engine
-            .run(&g, &Node2Vec::paper(true), &queries, &cfg())
-            .unwrap();
+        let report = run(&engine, &g, &Node2Vec::paper(true), &queries, &cfg()).unwrap();
         assert_eq!(report.queries, 64);
         for path in report.paths.as_ref().unwrap() {
             for pair in path.windows(2) {
@@ -247,9 +257,7 @@ mod tests {
         let g = graph();
         let engine = PartitionedEngine::new(DeviceSpec::tiny(), 4);
         let queries: Vec<NodeId> = (0..64).collect();
-        let report = engine
-            .run(&g, &Node2Vec::paper(true), &queries, &cfg())
-            .unwrap();
+        let report = run(&engine, &g, &Node2Vec::paper(true), &queries, &cfg()).unwrap();
         // With 4 hash partitions, ~3/4 of steps cross devices.
         assert!(report.warnings[0].contains("migrations"));
         let pct: f64 = report.warnings[0]
@@ -270,14 +278,10 @@ mod tests {
         spec.vram_bytes = g.memory_bytes() * 2 / 5 + g.row_ptr().len() * 8;
         let duplicated = MultiDeviceEngine::new(spec.clone(), 4);
         let queries: Vec<NodeId> = (0..32).collect();
-        let err = duplicated
-            .run(&g, &Node2Vec::paper(true), &queries, &cfg())
-            .unwrap_err();
+        let err = run(&duplicated, &g, &Node2Vec::paper(true), &queries, &cfg()).unwrap_err();
         assert!(matches!(err, EngineError::OutOfMemory { .. }));
         let partitioned = PartitionedEngine::new(spec, 4);
-        let report = partitioned
-            .run(&g, &Node2Vec::paper(true), &queries, &cfg())
-            .unwrap();
+        let report = run(&partitioned, &g, &Node2Vec::paper(true), &queries, &cfg()).unwrap();
         assert!(report.steps_taken > 0);
     }
 
@@ -293,12 +297,22 @@ mod tests {
             ..WalkConfig::default()
         };
         let w = Node2Vec::paper(true);
-        let dup = MultiDeviceEngine::new(DeviceSpec::a6000(), 4)
-            .run(&g, &w, &queries, &c)
-            .unwrap();
-        let part = PartitionedEngine::new(DeviceSpec::a6000(), 4)
-            .run(&g, &w, &queries, &c)
-            .unwrap();
+        let dup = run(
+            &MultiDeviceEngine::new(DeviceSpec::a6000(), 4),
+            &g,
+            &w,
+            &queries,
+            &c,
+        )
+        .unwrap();
+        let part = run(
+            &PartitionedEngine::new(DeviceSpec::a6000(), 4),
+            &g,
+            &w,
+            &queries,
+            &c,
+        )
+        .unwrap();
         assert!(
             part.sim_seconds > 2.0 * dup.saturated_seconds,
             "partitioned {} not ≫ duplicated {}",
@@ -314,10 +328,7 @@ mod tests {
         let parts = engine.partition_bytes(&g);
         assert_eq!(parts.len(), 3);
         let bytes_per_edge = 4 + g.props().bytes_per_weight();
-        let edge_bytes: usize = parts
-            .iter()
-            .map(|b| b - g.row_ptr().len() * 8)
-            .sum();
+        let edge_bytes: usize = parts.iter().map(|b| b - g.row_ptr().len() * 8).sum();
         assert_eq!(edge_bytes, g.num_edges() * bytes_per_edge);
     }
 
@@ -325,9 +336,7 @@ mod tests {
     fn single_device_partitioning_never_migrates() {
         let g = graph();
         let engine = PartitionedEngine::new(DeviceSpec::tiny(), 1);
-        let report = engine
-            .run(&g, &Node2Vec::paper(true), &[0, 1, 2], &cfg())
-            .unwrap();
+        let report = run(&engine, &g, &Node2Vec::paper(true), &[0, 1, 2], &cfg()).unwrap();
         assert!(report.warnings[0].contains("0 walker migrations"));
     }
 

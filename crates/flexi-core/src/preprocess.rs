@@ -73,8 +73,7 @@ impl Aggregates {
             stats.coalesced_transactions +=
                 ((g.num_edges() * bytes).div_ceil(spec.transaction_bytes)) as u64;
             stats.alu_ops += g.num_edges() as u64;
-            stats.coalesced_transactions +=
-                ((2 * n * 4).div_ceil(spec.transaction_bytes)) as u64;
+            stats.coalesced_transactions += ((2 * n * 4).div_ceil(spec.transaction_bytes)) as u64;
             tables.insert(name.to_string(), AggTable { max, sum });
         }
         // The reduction parallelises across the whole device.
@@ -227,7 +226,7 @@ mod tests {
         let mut agg = Aggregates::compute(&g, &requests(), &DeviceSpec::tiny());
         let mut dg = DynamicGraph::new(g);
         dg.set_weight(1, 50.0); // Edge 0 -> 1 now dominates.
-        // Stale until refreshed.
+                                // Stale until refreshed.
         assert_eq!(agg.get("h", AggKind::Max, 0), Some(5.0));
         let dirty = dg.take_dirty_nodes();
         agg.refresh_nodes(dg.graph(), &dirty);

@@ -1,7 +1,8 @@
-//! Flexi-Runtime: per-node, per-step sampler selection (paper §4.1).
+//! Flexi-Runtime: per-node, per-step sampler selection (paper §4.1),
+//! generalised over the pluggable [`SamplerRegistry`].
 //!
-//! The first-order cost model compares the expected memory cost of the two
-//! optimised kernels at the current node (Eqs. 9–11):
+//! The paper's first-order cost model compares the expected memory cost of
+//! the two optimised kernels at the current node (Eqs. 9–11):
 //!
 //! ```text
 //! Cost_RVS = EdgeCost_RVS · degree
@@ -9,41 +10,44 @@
 //! prefer RJS  ⇔  (EdgeCost_RJS / EdgeCost_RVS) · max(w̃) < Σw̃
 //! ```
 //!
-//! `max(w̃)` comes from the compiler-generated bound estimator (also used
-//! as the eRJS bound) and `Σw̃` from the sum estimator (Eq. 12); the edge
-//! cost ratio is measured by the profiling kernels (§5.1, [`crate::profile`]).
+//! Here the comparison runs over *every registered strategy*: each
+//! [`Sampler`] prices one step through [`Sampler::step_cost`] (eRVS and
+//! eRJS reproduce Eqs. 9 and 10 exactly) and the cheapest priceable
+//! strategy wins, with registration order breaking ties. `max(w̃)` comes
+//! from the compiler-generated bound estimator (also used as the eRJS
+//! bound) and `Σw̃` from the sum estimator (Eq. 12); the edge cost ratio is
+//! measured by the profiling kernels (§5.1, [`crate::profile`]).
 
 use crate::preprocess::Aggregates;
 use crate::workload::{DynamicWalk, WalkState};
 use flexi_compiler::{AggKind, EstimatorEnv};
 use flexi_graph::Csr;
-
-/// Which optimised kernel to run for one sampling step.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SamplerChoice {
-    /// eRJS: thread-granular rejection with estimated bound.
-    Rjs,
-    /// eRVS: warp-granular reservoir with exponential keys + jump.
-    Rvs,
-}
+use flexi_sampling::{ids, CostInputs, Sampler, SamplerId, SamplerRegistry};
+use std::sync::Arc;
 
 /// Sampler-selection strategies evaluated in Fig. 13.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SelectionStrategy {
-    /// The paper's first-order cost model (Eq. 11).
+    /// The paper's first-order cost model (Eq. 11), generalised to argmin
+    /// over the registry.
     CostModel,
-    /// Uniformly random choice (Fig. 13 baseline).
-    Random,
-    /// Degree threshold: RVS below `1K` neighbors, RJS above (Fig. 13
+    /// Uniformly random choice among runnable strategies (Fig. 13
     /// baseline).
+    Random,
+    /// Degree threshold: reservoir-class below the threshold,
+    /// rejection-class above (Fig. 13 baseline).
     DegreeThreshold(usize),
-    /// Always eRJS (Fig. 11 ablation).
-    RjsOnly,
-    /// Always eRVS (Fig. 11 ablation; also the compiler fallback mode).
-    RvsOnly,
+    /// Always the named strategy (Fig. 11 ablations; also the compiler
+    /// fallback mode with [`ids::ERVS`]).
+    Only(SamplerId),
 }
 
 impl SelectionStrategy {
+    /// Always eRJS (Fig. 11 ablation).
+    pub const RJS_ONLY: Self = Self::Only(ids::ERJS);
+    /// Always eRVS (Fig. 11 ablation; the compiler-fallback mode).
+    pub const RVS_ONLY: Self = Self::Only(ids::ERVS);
+
     /// The degree-based baseline with the paper's 1K threshold.
     pub fn paper_degree_baseline() -> Self {
         Self::DegreeThreshold(1000)
@@ -67,20 +71,62 @@ impl CostModel {
         }
     }
 
-    /// Eq. 11: prefer eRJS iff `ratio · max(w̃) < Σw̃`.
-    ///
-    /// `None` estimates (estimator fallback) select eRVS for soundness.
-    pub fn choose(&self, max_est: Option<f64>, sum_est: Option<f64>) -> SamplerChoice {
-        match (max_est, sum_est) {
-            (Some(mx), Some(sm)) if mx.is_finite() && sm.is_finite() && mx > 0.0 => {
-                if self.edge_cost_ratio * mx < sm {
-                    SamplerChoice::Rjs
-                } else {
-                    SamplerChoice::Rvs
-                }
-            }
-            _ => SamplerChoice::Rvs,
+    /// The cost inputs for one candidate step.
+    pub fn inputs(&self, deg: f64, max_est: Option<f64>, sum_est: Option<f64>) -> CostInputs {
+        CostInputs {
+            deg,
+            max_est,
+            sum_est,
+            edge_cost_ratio: self.edge_cost_ratio,
         }
+    }
+
+    /// Generalised Eq. 11: the cheapest priceable strategy in `registry`
+    /// for a node with the given degree and estimates. Ties keep the
+    /// earlier registration, so the built-in `[eRVS, eRJS]` registry
+    /// reproduces the paper's strict `ratio · max < sum` comparison
+    /// exactly. Returns the registry position alongside the strategy;
+    /// `None` only for an empty (or wholly unpriceable) registry.
+    pub fn select<'r>(
+        &self,
+        registry: &'r SamplerRegistry,
+        deg: f64,
+        max_est: Option<f64>,
+        sum_est: Option<f64>,
+    ) -> Option<(usize, &'r Arc<dyn Sampler>)> {
+        let all: Vec<usize> = (0..registry.len()).collect();
+        self.select_among(registry, &all, deg, max_est, sum_est)
+    }
+
+    /// [`CostModel::select`] restricted to the given registry positions —
+    /// the single argmin implementation the engine's per-step selection
+    /// also uses (candidates exclude bound-needing strategies when no
+    /// estimator exists).
+    pub fn select_among<'r>(
+        &self,
+        registry: &'r SamplerRegistry,
+        candidates: &[usize],
+        deg: f64,
+        max_est: Option<f64>,
+        sum_est: Option<f64>,
+    ) -> Option<(usize, &'r Arc<dyn Sampler>)> {
+        let inp = self.inputs(deg, max_est, sum_est);
+        let mut best: Option<(usize, &'r Arc<dyn Sampler>, f64)> = None;
+        for &i in candidates {
+            let Some(s) = registry.at(i) else {
+                continue;
+            };
+            let Some(cost) = s.step_cost(&inp) else {
+                continue;
+            };
+            if !cost.is_finite() {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
+                best = Some((i, s, cost));
+            }
+        }
+        best.map(|(i, s, _)| (i, s))
     }
 }
 
@@ -123,36 +169,90 @@ mod tests {
     use flexi_compiler::PreprocessRequest;
     use flexi_gpu_sim::DeviceSpec;
     use flexi_graph::CsrBuilder;
+    use flexi_sampling::Granularity;
+
+    fn selected(m: &CostModel, max_est: Option<f64>, sum_est: Option<f64>) -> &'static str {
+        let reg = SamplerRegistry::builtin();
+        m.select(&reg, 100.0, max_est, sum_est)
+            .expect("builtin registry always selects")
+            .1
+            .id()
+    }
 
     #[test]
     fn cost_model_prefers_rjs_for_flat_weights() {
         // 100 neighbors of weight ~1: max = 1, sum = 100, ratio 8 → RJS.
-        let m = CostModel { edge_cost_ratio: 8.0 };
-        assert_eq!(m.choose(Some(1.0), Some(100.0)), SamplerChoice::Rjs);
+        let m = CostModel {
+            edge_cost_ratio: 8.0,
+        };
+        assert_eq!(selected(&m, Some(1.0), Some(100.0)), ids::ERJS);
     }
 
     #[test]
     fn cost_model_prefers_rvs_for_skewed_weights() {
         // One huge outlier: max = 90, sum = 100 → 8·90 > 100 → RVS.
-        let m = CostModel { edge_cost_ratio: 8.0 };
-        assert_eq!(m.choose(Some(90.0), Some(100.0)), SamplerChoice::Rvs);
+        let m = CostModel {
+            edge_cost_ratio: 8.0,
+        };
+        assert_eq!(selected(&m, Some(90.0), Some(100.0)), ids::ERVS);
     }
 
     #[test]
     fn cost_model_threshold_is_eq11() {
-        let m = CostModel { edge_cost_ratio: 2.0 };
+        let m = CostModel {
+            edge_cost_ratio: 2.0,
+        };
         // 2 * 10 = 20: strictly-less comparison → RVS at equality.
-        assert_eq!(m.choose(Some(10.0), Some(20.0)), SamplerChoice::Rvs);
-        assert_eq!(m.choose(Some(10.0), Some(20.1)), SamplerChoice::Rjs);
+        assert_eq!(selected(&m, Some(10.0), Some(20.0)), ids::ERVS);
+        assert_eq!(selected(&m, Some(10.0), Some(20.1)), ids::ERJS);
     }
 
     #[test]
     fn missing_estimates_fall_back_to_rvs() {
         let m = CostModel::default_ratio();
-        assert_eq!(m.choose(None, Some(5.0)), SamplerChoice::Rvs);
-        assert_eq!(m.choose(Some(5.0), None), SamplerChoice::Rvs);
-        assert_eq!(m.choose(Some(f64::NAN), Some(5.0)), SamplerChoice::Rvs);
-        assert_eq!(m.choose(Some(0.0), Some(5.0)), SamplerChoice::Rvs);
+        assert_eq!(selected(&m, None, Some(5.0)), ids::ERVS);
+        assert_eq!(selected(&m, Some(5.0), None), ids::ERVS);
+        assert_eq!(selected(&m, Some(f64::NAN), Some(5.0)), ids::ERVS);
+        assert_eq!(selected(&m, Some(0.0), Some(5.0)), ids::ERVS);
+    }
+
+    #[test]
+    fn empty_registry_selects_nothing() {
+        let m = CostModel::default_ratio();
+        let reg = SamplerRegistry::empty();
+        assert!(m.select(&reg, 10.0, Some(1.0), Some(10.0)).is_none());
+    }
+
+    #[test]
+    fn third_party_sampler_wins_when_cheaper() {
+        // A custom strategy undercutting both built-ins must be selected —
+        // the registry seam the engine's extensibility rests on.
+        struct Cheap;
+        impl Sampler for Cheap {
+            fn id(&self) -> SamplerId {
+                "cheap"
+            }
+            fn granularity(&self) -> Granularity {
+                Granularity::Warp
+            }
+            fn step_cost(&self, inp: &CostInputs) -> Option<f64> {
+                Some(inp.deg * 0.01)
+            }
+            fn sample_scalar(
+                &self,
+                _w: &[f32],
+                _b: Option<f32>,
+                _r: &mut dyn flexi_rng::RandomSource,
+            ) -> (Option<usize>, flexi_sampling::ScalarCost) {
+                (None, flexi_sampling::ScalarCost::default())
+            }
+        }
+        let mut reg = SamplerRegistry::builtin();
+        reg.register(Arc::new(Cheap));
+        let m = CostModel::default_ratio();
+        let (pos, s) = m.select(&reg, 100.0, Some(1.0), Some(100.0)).unwrap();
+        assert_eq!(s.id(), "cheap");
+        assert_eq!(pos, 2, "registered after the builtin pair");
     }
 
     #[test]

@@ -519,11 +519,7 @@ mod tests {
                     "prev" => Some(f64::from(self.st.prev.unwrap_or(self.st.cur))),
                     "cur" => Some(f64::from(self.st.cur)),
                     "step" => Some(self.st.step as f64),
-                    _ => self
-                        .hyper
-                        .iter()
-                        .find(|(k, _)| *k == name)
-                        .map(|(_, v)| *v),
+                    _ => self.hyper.iter().find(|(k, _)| *k == name).map(|(_, v)| *v),
                 }
             }
             fn index(&self, array: &str, index: f64) -> Option<f64> {
@@ -539,9 +535,7 @@ mod tests {
             }
             fn call(&self, name: &str, args: &[f64]) -> Option<f64> {
                 match (name, args) {
-                    ("linked", [a, b]) => {
-                        Some(f64::from(self.g.has_edge(*a as u32, *b as u32)))
-                    }
+                    ("linked", [a, b]) => Some(f64::from(self.g.has_edge(*a as u32, *b as u32))),
                     _ => None,
                 }
             }
@@ -554,14 +548,8 @@ mod tests {
                 Box::new(Node2Vec::paper(true)),
                 vec![("a", 2.0), ("b", 0.5)],
             ),
-            (
-                Box::new(MetaPath::paper(true)),
-                vec![],
-            ),
-            (
-                Box::new(SecondOrderPr::paper()),
-                vec![("gamma", 0.2)],
-            ),
+            (Box::new(MetaPath::paper(true)), vec![]),
+            (Box::new(SecondOrderPr::paper()), vec![("gamma", 0.2)]),
         ];
         for (w, hyper) in &workloads {
             let program = parse_program(&w.spec().source).unwrap();

@@ -1,88 +1,128 @@
-//! Property-based tests for runtime selection and engine invariants.
+//! Property-style tests for runtime selection and engine invariants,
+//! driven by seeded sweeps.
+//!
+//! The original suite used an external property-testing harness; the
+//! cases here are generated from a seeded [`SplitMix64`] so the workspace
+//! builds offline with zero external dependencies.
 
 use flexi_core::{
-    CostModel, FlexiWalkerEngine, Node2Vec, QueryQueue, SamplerChoice, SelectionStrategy,
-    WalkConfig, WalkEngine, WalkState,
+    sampler_ids, CostModel, FlexiWalkerEngine, Node2Vec, QueryQueue, SamplerRegistry,
+    SelectionStrategy, WalkConfig, WalkEngine, WalkRequest, WalkState,
 };
 use flexi_gpu_sim::DeviceSpec;
 use flexi_graph::{gen, WeightModel};
-use proptest::prelude::*;
+use flexi_rng::{RandomSource, SplitMix64};
 
-proptest! {
-    /// Eq. 11 monotonicity: raising the max estimate (more skew) can only
-    /// move the choice toward reservoir sampling, never toward rejection.
-    #[test]
-    fn cost_model_monotone_in_skew(
-        ratio in 1.0f64..64.0,
-        sum in 0.1f64..1e6,
-        max_lo in 0.01f64..1e3,
-        bump in 1.0f64..1e3,
-    ) {
-        let m = CostModel { edge_cost_ratio: ratio };
-        let lo = m.choose(Some(max_lo), Some(sum));
-        let hi = m.choose(Some(max_lo + bump), Some(sum));
-        // Rjs -> Rvs transitions are allowed; Rvs -> Rjs is not.
-        prop_assert!(
-            !(lo == SamplerChoice::Rvs && hi == SamplerChoice::Rjs),
-            "raising max flipped Rvs -> Rjs"
+const CASES: usize = 256;
+
+fn rng() -> SplitMix64 {
+    SplitMix64::new(0xC04E_0000_0000_0003)
+}
+
+fn pick(registry: &SamplerRegistry, m: &CostModel, max: f64, sum: f64) -> &'static str {
+    m.select(registry, 100.0, Some(max), Some(sum))
+        .expect("builtin registry selects")
+        .1
+        .id()
+}
+
+/// Eq. 11 monotonicity: raising the max estimate (more skew) can only
+/// move the choice toward reservoir sampling, never toward rejection.
+#[test]
+fn cost_model_monotone_in_skew() {
+    let registry = SamplerRegistry::builtin();
+    let mut r = rng();
+    for _ in 0..CASES {
+        let ratio = 1.0 + (r.bounded(63_000) as f64) / 1000.0;
+        let sum = 0.1 + (r.bounded(1_000_000) as f64);
+        let max_lo = 0.01 + (r.bounded(1_000_000) as f64) / 1000.0;
+        let bump = 1.0 + (r.bounded(999_000) as f64) / 1000.0;
+        let m = CostModel {
+            edge_cost_ratio: ratio,
+        };
+        let lo = pick(&registry, &m, max_lo, sum);
+        let hi = pick(&registry, &m, max_lo + bump, sum);
+        // erjs -> ervs transitions are allowed; ervs -> erjs is not.
+        assert!(
+            !(lo == sampler_ids::ERVS && hi == sampler_ids::ERJS),
+            "raising max flipped ervs -> erjs (ratio {ratio}, sum {sum})"
         );
     }
+}
 
-    /// Eq. 11 monotonicity in the sum: a larger Σw̃ never flips toward
-    /// reservoir sampling.
-    #[test]
-    fn cost_model_monotone_in_sum(
-        ratio in 1.0f64..64.0,
-        max in 0.01f64..1e3,
-        sum_lo in 0.1f64..1e6,
-        bump in 1.0f64..1e6,
-    ) {
-        let m = CostModel { edge_cost_ratio: ratio };
-        let lo = m.choose(Some(max), Some(sum_lo));
-        let hi = m.choose(Some(max), Some(sum_lo + bump));
-        prop_assert!(
-            !(lo == SamplerChoice::Rjs && hi == SamplerChoice::Rvs),
-            "raising sum flipped Rjs -> Rvs"
+/// Eq. 11 monotonicity in the sum: a larger Σw̃ never flips toward
+/// reservoir sampling.
+#[test]
+fn cost_model_monotone_in_sum() {
+    let registry = SamplerRegistry::builtin();
+    let mut r = rng();
+    for _ in 0..CASES {
+        let ratio = 1.0 + (r.bounded(63_000) as f64) / 1000.0;
+        let max = 0.01 + (r.bounded(1_000_000) as f64) / 1000.0;
+        let sum_lo = 0.1 + (r.bounded(1_000_000) as f64);
+        let bump = 1.0 + (r.bounded(1_000_000) as f64);
+        let m = CostModel {
+            edge_cost_ratio: ratio,
+        };
+        let lo = pick(&registry, &m, max, sum_lo);
+        let hi = pick(&registry, &m, max, sum_lo + bump);
+        assert!(
+            !(lo == sampler_ids::ERJS && hi == sampler_ids::ERVS),
+            "raising sum flipped erjs -> ervs (ratio {ratio}, max {max})"
         );
     }
+}
 
-    /// The queue hands out exactly 0..len, once each, in order.
-    #[test]
-    fn queue_hands_out_every_index_once(len in 0usize..500) {
+/// The queue hands out exactly 0..len, once each, in order.
+#[test]
+fn queue_hands_out_every_index_once() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let len = r.bounded(500) as usize;
         let q = QueryQueue::new(len);
         let mut seen = Vec::new();
         while let Some(i) = q.pop() {
             seen.push(i);
         }
-        prop_assert_eq!(seen, (0..len).collect::<Vec<_>>());
+        assert_eq!(seen, (0..len).collect::<Vec<_>>());
     }
+}
 
-    /// Walk state advance is a pure shift register.
-    #[test]
-    fn walk_state_advance_shifts(start: u32, hops in proptest::collection::vec(any::<u32>(), 1..20)) {
+/// Walk state advance is a pure shift register.
+#[test]
+fn walk_state_advance_shifts() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let start = r.next_u32();
+        let hops: Vec<u32> = (0..1 + r.bounded(19)).map(|_| r.next_u32()).collect();
         let mut st = WalkState::start(start);
         let mut prev = start;
         for (i, &h) in hops.iter().enumerate() {
             st.advance(h);
-            prop_assert_eq!(st.cur, h);
-            prop_assert_eq!(st.prev, Some(prev));
-            prop_assert_eq!(st.step, i + 1);
+            assert_eq!(st.cur, h);
+            assert_eq!(st.prev, Some(prev));
+            assert_eq!(st.step, i + 1);
             prev = h;
         }
     }
+}
 
-    /// Engine invariant: for any seed and strategy, paths start at their
-    /// query node, never exceed the step limit, and only traverse edges.
-    #[test]
-    fn engine_paths_always_valid(seed in 0u64..1000, strat_idx in 0usize..4) {
-        let g = gen::rmat(7, 512, gen::RmatParams::SOCIAL, 13);
-        let g = WeightModel::UniformReal.apply(g, 13);
-        let strategy = [
-            SelectionStrategy::CostModel,
-            SelectionStrategy::Random,
-            SelectionStrategy::RjsOnly,
-            SelectionStrategy::RvsOnly,
-        ][strat_idx];
+/// Engine invariant: for any seed and strategy, paths start at their
+/// query node, never exceed the step limit, and only traverse edges.
+#[test]
+fn engine_paths_always_valid() {
+    let g = gen::rmat(7, 512, gen::RmatParams::SOCIAL, 13);
+    let g = WeightModel::UniformReal.apply(g, 13);
+    let strategies = [
+        SelectionStrategy::CostModel,
+        SelectionStrategy::Random,
+        SelectionStrategy::RJS_ONLY,
+        SelectionStrategy::RVS_ONLY,
+    ];
+    let mut r = rng();
+    for _ in 0..64 {
+        let seed = r.bounded(1000);
+        let strategy = strategies[r.bounded(4) as usize];
         let engine = FlexiWalkerEngine::with_strategy(DeviceSpec::tiny(), strategy);
         let cfg = WalkConfig {
             steps: 6,
@@ -91,13 +131,15 @@ proptest! {
             ..WalkConfig::default()
         };
         let queries = [0u32, 17, 63, 101];
-        let report = engine.run(&g, &Node2Vec::paper(true), &queries, &cfg).unwrap();
+        let report = engine
+            .run(&WalkRequest::new(&g, &Node2Vec::paper(true), &queries).with_config(cfg))
+            .unwrap();
         let paths = report.paths.as_ref().unwrap();
         for (q, path) in paths.iter().enumerate() {
-            prop_assert_eq!(path[0], queries[q]);
-            prop_assert!(path.len() <= 7);
+            assert_eq!(path[0], queries[q]);
+            assert!(path.len() <= 7);
             for pair in path.windows(2) {
-                prop_assert!(g.has_edge(pair[0], pair[1]));
+                assert!(g.has_edge(pair[0], pair[1]));
             }
         }
     }

@@ -45,8 +45,7 @@ impl CostStats {
     /// memory system the same way).
     pub fn cycles(&self, spec: &DeviceSpec) -> u64 {
         let mem = self.coalesced_transactions * spec.cycles_per_transaction
-            + self.random_transactions
-                * (spec.cycles_per_transaction + spec.random_access_penalty)
+            + self.random_transactions * (spec.cycles_per_transaction + spec.random_access_penalty)
             + self.atomic_ops * (spec.cycles_per_transaction + spec.random_access_penalty);
         let compute = self.alu_ops * spec.cycles_per_alu
             + self.rng_draws * spec.cycles_per_rng

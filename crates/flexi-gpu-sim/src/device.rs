@@ -3,10 +3,10 @@
 use crate::cost::CostStats;
 use crate::spec::DeviceSpec;
 use crate::warp::WarpCtx;
-use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Errors raised by the simulated device.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -168,8 +168,7 @@ impl Device {
         let mut per_warp_cycles = Vec::with_capacity(num_warps);
         let mut stats = CostStats::default();
         for w in 0..num_warps {
-            let mut ctx =
-                WarpCtx::with_transaction_bytes(w, seed, self.spec.transaction_bytes);
+            let mut ctx = WarpCtx::with_transaction_bytes(w, seed, self.spec.transaction_bytes);
             outputs.push(kernel(&mut ctx));
             let s = ctx.into_stats();
             per_warp_cycles.push(s.cycles(&self.spec));
@@ -199,9 +198,9 @@ impl Device {
         let next_warp = AtomicUsize::new(0);
         let results: Mutex<Vec<Option<(T, u64, CostStats)>>> =
             Mutex::new((0..num_warps).map(|_| None).collect());
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..host_threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let w = next_warp.fetch_add(1, Ordering::Relaxed);
                     if w >= num_warps {
                         break;
@@ -211,15 +210,14 @@ impl Device {
                     let out = kernel(&mut ctx);
                     let s = ctx.into_stats();
                     let cycles = s.cycles(&self.spec);
-                    results.lock()[w] = Some((out, cycles, s));
+                    results.lock().expect("warp result lock")[w] = Some((out, cycles, s));
                 });
             }
-        })
-        .expect("warp worker panicked");
+        });
         let mut outputs = Vec::with_capacity(num_warps);
         let mut per_warp_cycles = Vec::with_capacity(num_warps);
         let mut stats = CostStats::default();
-        for slot in results.into_inner() {
+        for slot in results.into_inner().expect("warp result lock") {
             let (out, cycles, s) = slot.expect("all warps executed");
             outputs.push(out);
             per_warp_cycles.push(cycles);
@@ -236,8 +234,7 @@ impl Device {
     ) -> LaunchReport<T> {
         let makespan = schedule_makespan(&per_warp_cycles, self.spec.total_warp_slots());
         // DRAM bandwidth bounds the whole kernel regardless of slot count.
-        let bw_cycles =
-            (self.spec.bandwidth_seconds(&stats) * self.spec.clock_ghz * 1e9) as u64;
+        let bw_cycles = (self.spec.bandwidth_seconds(&stats) * self.spec.clock_ghz * 1e9) as u64;
         let cycles = makespan.max(bw_cycles);
         let sim_seconds = self.spec.cycles_to_seconds(cycles);
         LaunchReport {

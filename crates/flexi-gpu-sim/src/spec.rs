@@ -142,8 +142,8 @@ impl DeviceSpec {
 
     /// Time the DRAM system needs to serve all of `stats`' transactions.
     pub fn bandwidth_seconds(&self, stats: &crate::CostStats) -> f64 {
-        let bytes = (stats.total_transactions() + stats.atomic_ops) as f64
-            * self.transaction_bytes as f64;
+        let bytes =
+            (stats.total_transactions() + stats.atomic_ops) as f64 * self.transaction_bytes as f64;
         bytes / (self.dram_gbps * 1e9)
     }
 
@@ -230,9 +230,8 @@ mod tests {
         assert!(spec.compute_seconds(&rng) > spec.bandwidth_seconds(&rng));
         assert_eq!(
             spec.saturated_seconds(&rng),
-            spec.compute_seconds(&rng).max(
-                spec.cycles_to_seconds(rng.cycles(&spec) / spec.total_warp_slots() as u64)
-            )
+            spec.compute_seconds(&rng)
+                .max(spec.cycles_to_seconds(rng.cycles(&spec) / spec.total_warp_slots() as u64))
         );
     }
 }

@@ -36,6 +36,9 @@ pub struct WarpCtx {
     stats: CostStats,
     lanes: Vec<Philox4x32>,
     transaction_bytes: usize,
+    /// When bound, all lanes draw from this stream instead of their own
+    /// per-lane streams (see [`WarpCtx::bind_stream`]).
+    bound_stream: Option<Philox4x32>,
 }
 
 impl WarpCtx {
@@ -58,6 +61,49 @@ impl WarpCtx {
             stats: CostStats::default(),
             lanes,
             transaction_bytes,
+            bound_stream: None,
+        }
+    }
+
+    /// Redirects **all** lanes' draws to `stream` until
+    /// [`WarpCtx::unbind_stream`] is called.
+    ///
+    /// This models a kernel whose randomness is keyed to the *work item*
+    /// (walk query) rather than the executing lane: the FlexiWalker engine
+    /// binds each query's private Philox stream around its sampling step,
+    /// which makes walk paths independent of warp placement, host-thread
+    /// count, and batch splits (the session-API determinism guarantee).
+    /// Draw *costs* are charged exactly as before; only the stream the
+    /// values come from changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stream is already bound (bindings must not nest).
+    pub fn bind_stream(&mut self, stream: Philox4x32) {
+        assert!(
+            self.bound_stream.is_none(),
+            "bind_stream while a stream is already bound"
+        );
+        self.bound_stream = Some(stream);
+    }
+
+    /// Removes the bound stream and returns it (with its advanced
+    /// position), restoring per-lane draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no stream is bound.
+    pub fn unbind_stream(&mut self) -> Philox4x32 {
+        self.bound_stream
+            .take()
+            .expect("unbind_stream without a bound stream")
+    }
+
+    #[inline]
+    fn stream(&mut self, lane: usize) -> &mut Philox4x32 {
+        match self.bound_stream.as_mut() {
+            Some(s) => s,
+            None => &mut self.lanes[lane],
         }
     }
 
@@ -81,19 +127,19 @@ impl WarpCtx {
     /// Draws 32 random bits on `lane` (counted).
     pub fn draw_u32(&mut self, lane: usize) -> u32 {
         self.stats.rng_draws += 1;
-        self.lanes[lane].next_u32()
+        self.stream(lane).next_u32()
     }
 
     /// Draws a uniform `f32` in `(0, 1]` on `lane` (counted).
     pub fn draw_f32(&mut self, lane: usize) -> f32 {
         self.stats.rng_draws += 1;
-        self.lanes[lane].uniform_f32()
+        self.stream(lane).uniform_f32()
     }
 
     /// Draws a uniform `f64` in `(0, 1]` on `lane` (counted as two draws).
     pub fn draw_f64(&mut self, lane: usize) -> f64 {
         self.stats.rng_draws += 2;
-        self.lanes[lane].uniform_f64()
+        self.stream(lane).uniform_f64()
     }
 
     /// Draws a uniform index in `[0, bound)` on `lane` (counted).
@@ -104,7 +150,7 @@ impl WarpCtx {
     pub fn draw_index(&mut self, lane: usize, bound: usize) -> usize {
         assert!(bound > 0, "draw_index bound must be positive");
         self.stats.rng_draws += 1;
-        let x = self.lanes[lane].next_u32();
+        let x = self.stream(lane).next_u32();
         ((u64::from(x) * bound as u64) >> 32) as usize
     }
 
@@ -115,7 +161,7 @@ impl WarpCtx {
     /// cost model (charge an [`WarpCtx::alu`] op at the call site for the
     /// threshold arithmetic instead).
     pub fn skip_rng(&mut self, lane: usize, n: u64) {
-        self.lanes[lane].skip(n);
+        self.stream(lane).skip(n);
     }
 
     // ---- Memory accounting ------------------------------------------------
@@ -224,6 +270,36 @@ mod tests {
         assert_ne!(a.draw_u32(1), a.draw_u32(2));
         let mut c = WarpCtx::new(4, 9);
         assert_ne!(a.draw_u32(0), c.draw_u32(0));
+    }
+
+    #[test]
+    fn bound_stream_overrides_every_lane_and_returns_advanced() {
+        let mut ctx = WarpCtx::new(0, 1);
+        let stream = Philox4x32::new(77, 5);
+        let mut reference = stream.clone();
+        ctx.bind_stream(stream);
+        // Draws on different lanes all pull from the bound stream, in order.
+        let a = ctx.draw_u32(0);
+        let b = ctx.draw_u32(13);
+        let c = ctx.draw_u32(31);
+        assert_eq!(a, reference.next_u32());
+        assert_eq!(b, reference.next_u32());
+        assert_eq!(c, reference.next_u32());
+        let back = ctx.unbind_stream();
+        assert_eq!(back.position(), reference.position());
+        // Costs were charged normally.
+        assert_eq!(ctx.stats().rng_draws, 3);
+        // After unbinding, lane streams resume untouched.
+        let mut fresh = WarpCtx::new(0, 1);
+        assert_eq!(ctx.draw_u32(4), fresh.draw_u32(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn nested_stream_bindings_are_rejected() {
+        let mut ctx = WarpCtx::new(0, 1);
+        ctx.bind_stream(Philox4x32::new(1, 1));
+        ctx.bind_stream(Philox4x32::new(2, 2));
     }
 
     #[test]

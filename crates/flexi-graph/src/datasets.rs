@@ -45,7 +45,12 @@ impl DatasetSpec {
 
     /// Materialises the proxy graph (unweighted, unlabeled).
     pub fn build(&self, seed: u64) -> Csr {
-        rmat(self.scale, self.num_edges(), self.params, seed ^ hash(self.name))
+        rmat(
+            self.scale,
+            self.num_edges(),
+            self.params,
+            seed ^ hash(self.name),
+        )
     }
 
     /// Materialises a shrunken proxy, `shrink` powers of two smaller, for
@@ -218,7 +223,11 @@ mod tests {
         let g = d.build_scaled(4, 1);
         assert_eq!(g.num_nodes(), 1 << 11);
         let s = degree_stats(&g);
-        assert!((s.mean - d.avg_degree).abs() < 1.0, "mean degree {}", s.mean);
+        assert!(
+            (s.mean - d.avg_degree).abs() < 1.0,
+            "mean degree {}",
+            s.mean
+        );
     }
 
     #[test]

@@ -117,7 +117,8 @@ pub fn rmat(scale: u32, edges: usize, params: RmatParams, seed: u64) -> Csr {
         }
         b.push_edge((src ^ xor_mask) as u32, (dst ^ xor_mask) as u32);
     }
-    b.build().expect("generated ids are in range by construction")
+    b.build()
+        .expect("generated ids are in range by construction")
 }
 
 /// Generates a uniform Erdős–Rényi G(n, m) multigraph.

@@ -328,10 +328,7 @@ mod tests {
     #[test]
     fn binary_reader_rejects_bad_magic() {
         let buf = b"NOTMAGIC________".to_vec();
-        assert!(matches!(
-            read_binary(&buf[..]),
-            Err(GraphError::Parse(_))
-        ));
+        assert!(matches!(read_binary(&buf[..]), Err(GraphError::Parse(_))));
     }
 
     #[test]

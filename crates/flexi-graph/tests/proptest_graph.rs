@@ -1,42 +1,69 @@
-//! Property-based tests for graph construction, I/O and weights.
+//! Property-style tests for graph construction, I/O and weights, driven
+//! by seeded sweeps.
+//!
+//! The original suite used an external property-testing harness; the
+//! cases here are generated from a seeded [`SplitMix64`] so the workspace
+//! builds offline with zero external dependencies.
 
 use flexi_graph::{gen, io, CsrBuilder, EdgeProps, WeightModel};
-use proptest::prelude::*;
+use flexi_rng::{RandomSource, SplitMix64};
 
-/// Strategy: a random edge list over up to 32 nodes.
-fn edges() -> impl Strategy<Value = (usize, Vec<(u32, u32, f32, u8)>)> {
-    (2usize..32).prop_flat_map(|n| {
-        let edge = (0..n as u32, 0..n as u32, 0.0f32..100.0, 0u8..5);
-        (Just(n), proptest::collection::vec(edge, 0..200))
-    })
+const CASES: usize = 128;
+
+fn rng() -> SplitMix64 {
+    SplitMix64::new(0x6EA9_0000_0000_0007)
 }
 
-proptest! {
-    /// CSR preserves the edge multiset: per-source degree counts match and
-    /// adjacency is sorted.
-    #[test]
-    fn builder_preserves_edges((n, list) in edges()) {
+/// A random edge list over up to 32 nodes: `(n, edges)` with edges
+/// `(src, dst, weight in [0, 100), label in 0..5)`.
+fn random_edges(g: &mut SplitMix64) -> (usize, Vec<(u32, u32, f32, u8)>) {
+    let n = 2 + g.bounded(30) as usize;
+    let count = g.bounded(200) as usize;
+    let list = (0..count)
+        .map(|_| {
+            (
+                g.bounded(n as u64) as u32,
+                g.bounded(n as u64) as u32,
+                (g.bounded(100_000) as f32) / 1000.0,
+                g.bounded(5) as u8,
+            )
+        })
+        .collect();
+    (n, list)
+}
+
+/// CSR preserves the edge multiset: per-source degree counts match and
+/// adjacency is sorted.
+#[test]
+fn builder_preserves_edges() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let (n, list) = random_edges(&mut r);
         let mut b = CsrBuilder::new(n);
         for &(s, d, w, l) in &list {
             b.push_full(s, d, w, l);
         }
         let g = b.build().unwrap();
-        prop_assert_eq!(g.num_edges(), list.len());
+        assert_eq!(g.num_edges(), list.len());
         for v in 0..n as u32 {
             let expect = list.iter().filter(|e| e.0 == v).count();
-            prop_assert_eq!(g.degree(v), expect);
+            assert_eq!(g.degree(v), expect);
             let neigh = g.neighbors(v);
-            prop_assert!(neigh.windows(2).all(|w| w[0] <= w[1]), "unsorted adjacency");
+            assert!(neigh.windows(2).all(|w| w[0] <= w[1]), "unsorted adjacency");
         }
         // has_edge agrees with the raw list.
         for &(s, d, _, _) in &list {
-            prop_assert!(g.has_edge(s, d));
+            assert!(g.has_edge(s, d));
         }
     }
+}
 
-    /// Total weight mass survives construction (payload permuted, not lost).
-    #[test]
-    fn builder_preserves_weight_mass((n, list) in edges()) {
+/// Total weight mass survives construction (payload permuted, not lost).
+#[test]
+fn builder_preserves_weight_mass() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let (n, list) = random_edges(&mut r);
         let mut b = CsrBuilder::new(n);
         for &(s, d, w, _) in &list {
             b.push_weighted(s, d, w);
@@ -44,12 +71,16 @@ proptest! {
         let g = b.build().unwrap();
         let total_in: f64 = list.iter().map(|e| f64::from(e.2)).sum();
         let total_out: f64 = (0..g.num_edges()).map(|e| f64::from(g.prop(e))).sum();
-        prop_assert!((total_in - total_out).abs() < 1e-3 * (1.0 + total_in.abs()));
+        assert!((total_in - total_out).abs() < 1e-3 * (1.0 + total_in.abs()));
     }
+}
 
-    /// Binary serialisation round-trips any graph exactly.
-    #[test]
-    fn binary_io_roundtrips((n, list) in edges()) {
+/// Binary serialisation round-trips any graph exactly.
+#[test]
+fn binary_io_roundtrips() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let (n, list) = random_edges(&mut r);
         let mut b = CsrBuilder::new(n);
         for &(s, d, w, l) in &list {
             b.push_full(s, d, w, l);
@@ -58,17 +89,21 @@ proptest! {
         let mut buf = Vec::new();
         io::write_binary(&g, &mut buf).unwrap();
         let g2 = io::read_binary(&buf[..]).unwrap();
-        prop_assert_eq!(g.row_ptr(), g2.row_ptr());
-        prop_assert_eq!(g.col_idx(), g2.col_idx());
+        assert_eq!(g.row_ptr(), g2.row_ptr());
+        assert_eq!(g.col_idx(), g2.col_idx());
         for e in 0..g.num_edges() {
-            prop_assert_eq!(g.prop(e), g2.prop(e));
-            prop_assert_eq!(g.label(e), g2.label(e));
+            assert_eq!(g.prop(e), g2.prop(e));
+            assert_eq!(g.label(e), g2.label(e));
         }
     }
+}
 
-    /// Text serialisation round-trips (weights within f32 print precision).
-    #[test]
-    fn text_io_roundtrips((n, list) in edges()) {
+/// Text serialisation round-trips (weights within f32 print precision).
+#[test]
+fn text_io_roundtrips() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let (n, list) = random_edges(&mut r);
         let mut b = CsrBuilder::new(n);
         for &(s, d, _, _) in &list {
             b.push_edge(s, d);
@@ -77,36 +112,54 @@ proptest! {
         let mut buf = Vec::new();
         io::write_edge_list(&g, &mut buf).unwrap();
         let g2 = io::read_edge_list(&buf[..], Some(n)).unwrap();
-        prop_assert_eq!(g.col_idx(), g2.col_idx());
-        prop_assert_eq!(g.row_ptr(), g2.row_ptr());
+        assert_eq!(g.col_idx(), g2.col_idx());
+        assert_eq!(g.row_ptr(), g2.row_ptr());
     }
+}
 
-    /// INT8 quantisation error is bounded by one step of the value range.
-    #[test]
-    fn int8_quantization_error_bounded(ws in proptest::collection::vec(0.0f32..1000.0, 1..300)) {
+/// INT8 quantisation error is bounded by one step of the value range.
+#[test]
+fn int8_quantization_error_bounded() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let len = 1 + r.bounded(299) as usize;
+        let ws: Vec<f32> = (0..len)
+            .map(|_| (r.bounded(1_000_000) as f32) / 1000.0)
+            .collect();
         let lo = ws.iter().copied().fold(f32::INFINITY, f32::min);
         let hi = ws.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let step = ((hi - lo) / 255.0).max(f32::EPSILON);
         let q = EdgeProps::F32(ws.clone()).quantize_int8();
         for (e, &orig) in ws.iter().enumerate() {
-            prop_assert!((q.get(e) - orig).abs() <= step * 1.01);
+            assert!((q.get(e) - orig).abs() <= step * 1.01);
         }
     }
+}
 
-    /// R-MAT generates exactly the requested shape with in-range ids.
-    #[test]
-    fn rmat_shape_is_exact(scale in 4u32..10, edges in 1usize..2000, seed: u64) {
+/// R-MAT generates exactly the requested shape with in-range ids.
+#[test]
+fn rmat_shape_is_exact() {
+    let mut r = rng();
+    for _ in 0..CASES {
+        let scale = 4 + r.bounded(6) as u32;
+        let edges = 1 + r.bounded(1999) as usize;
+        let seed = r.next_u64();
         let g = gen::rmat(scale, edges, gen::RmatParams::SOCIAL, seed);
-        prop_assert_eq!(g.num_nodes(), 1 << scale);
-        prop_assert_eq!(g.num_edges(), edges);
+        assert_eq!(g.num_nodes(), 1 << scale);
+        assert_eq!(g.num_edges(), edges);
         for &t in g.col_idx() {
-            prop_assert!((t as usize) < g.num_nodes());
+            assert!((t as usize) < g.num_nodes());
         }
     }
+}
 
-    /// Weight models never produce non-finite or negative weights.
-    #[test]
-    fn weight_models_produce_finite_positive(seed: u64, alpha in 0.5f64..5.0) {
+/// Weight models never produce non-finite or negative weights.
+#[test]
+fn weight_models_produce_finite_positive() {
+    let mut r = rng();
+    for _ in 0..64 {
+        let seed = r.next_u64();
+        let alpha = 0.5 + (r.bounded(4500) as f64) / 1000.0;
         let g = gen::rmat(6, 256, gen::RmatParams::SOCIAL, seed);
         for model in [
             WeightModel::UniformReal,
@@ -116,7 +169,7 @@ proptest! {
             let wg = model.apply(g.clone(), seed);
             for e in 0..wg.num_edges() {
                 let w = wg.prop(e);
-                prop_assert!(w.is_finite() && w > 0.0, "{model:?} produced {w}");
+                assert!(w.is_finite() && w > 0.0, "{model:?} produced {w}");
             }
         }
     }

@@ -71,6 +71,28 @@ pub trait RandomSource {
     }
 }
 
+impl<R: RandomSource + ?Sized> RandomSource for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn uniform_f32(&mut self) -> f32 {
+        (**self).uniform_f32()
+    }
+
+    fn uniform_f64(&mut self) -> f64 {
+        (**self).uniform_f64()
+    }
+
+    fn skip(&mut self, n: u64) {
+        (**self).skip(n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,94 +1,148 @@
-//! Property-based tests for the RNG crate.
+//! Property-style tests for the RNG crate, driven by seeded sweeps.
+//!
+//! The original suite used an external property-testing harness; these
+//! tests keep the same properties but generate their cases from a seeded
+//! [`SplitMix64`] so the whole workspace builds offline with zero external
+//! dependencies. Each property is exercised over a few hundred random
+//! cases; failures print the offending case.
 
 use flexi_rng::{Philox4x32, RandomSource, SplitMix64, Xoshiro256pp};
-use proptest::prelude::*;
 
-proptest! {
-    /// O(1) skip must land exactly where sequential draws do, for any
-    /// seed, stream and distance.
-    #[test]
-    fn philox_skip_equals_sequential(seed: u64, stream: u64, n in 0u64..4096) {
+const CASES: usize = 256;
+
+/// Deterministic case generator shared by every property below.
+fn gen() -> SplitMix64 {
+    SplitMix64::new(0xF1E7_7E57_CA5E_5EED)
+}
+
+/// O(1) skip must land exactly where sequential draws do, for any seed,
+/// stream and distance.
+#[test]
+fn philox_skip_equals_sequential() {
+    let mut g = gen();
+    for _ in 0..CASES {
+        let (seed, stream, n) = (g.next_u64(), g.next_u64(), g.bounded(4096));
         let mut seq = Philox4x32::new(seed, stream);
         let mut jmp = Philox4x32::new(seed, stream);
         for _ in 0..n {
             seq.next_u32();
         }
         jmp.skip(n);
-        prop_assert_eq!(seq.next_u32(), jmp.next_u32());
+        assert_eq!(
+            seq.next_u32(),
+            jmp.next_u32(),
+            "seed {seed} stream {stream} n {n}"
+        );
     }
+}
 
-    /// Seek is absolute: two different routes to a position agree.
-    #[test]
-    fn philox_seek_is_absolute(seed: u64, a in 0u64..2048, b in 0u64..2048) {
+/// Seek is absolute: two different routes to a position agree.
+#[test]
+fn philox_seek_is_absolute() {
+    let mut g = gen();
+    for _ in 0..CASES {
+        let (seed, a, b) = (g.next_u64(), g.bounded(2048), g.bounded(2048));
         let mut x = Philox4x32::new(seed, 0);
         let mut y = Philox4x32::new(seed, 0);
         x.seek(a);
         x.seek(b);
         y.seek(b);
-        prop_assert_eq!(x.next_u32(), y.next_u32());
+        assert_eq!(x.next_u32(), y.next_u32(), "seed {seed} a {a} b {b}");
     }
+}
 
-    /// Position tracks every draw.
-    #[test]
-    fn philox_position_counts_draws(seed: u64, n in 0u64..512) {
-        let mut g = Philox4x32::new(seed, 3);
+/// Position tracks every draw.
+#[test]
+fn philox_position_counts_draws() {
+    let mut g = gen();
+    for _ in 0..CASES {
+        let (seed, n) = (g.next_u64(), g.bounded(512));
+        let mut p = Philox4x32::new(seed, 3);
         for _ in 0..n {
-            g.next_u32();
+            p.next_u32();
         }
-        prop_assert_eq!(g.position(), n);
+        assert_eq!(p.position(), n, "seed {seed} n {n}");
     }
+}
 
-    /// Distinct streams of the same seed never produce identical prefixes.
-    #[test]
-    fn philox_streams_differ(seed: u64, s1: u64, s2: u64) {
-        prop_assume!(s1 != s2);
+/// Distinct streams of the same seed never produce identical prefixes.
+#[test]
+fn philox_streams_differ() {
+    let mut g = gen();
+    for _ in 0..CASES {
+        let (seed, s1, s2) = (g.next_u64(), g.next_u64(), g.next_u64());
+        if s1 == s2 {
+            continue;
+        }
         let mut a = Philox4x32::new(seed, s1);
         let mut b = Philox4x32::new(seed, s2);
         let pa: Vec<u32> = (0..4).map(|_| a.next_u32()).collect();
         let pb: Vec<u32> = (0..4).map(|_| b.next_u32()).collect();
-        prop_assert_ne!(pa, pb);
+        assert_ne!(pa, pb, "seed {seed} streams {s1} vs {s2}");
     }
+}
 
-    /// Uniform draws stay inside their documented intervals.
-    #[test]
-    fn uniform_draws_in_range(seed: u64) {
-        let mut g = Philox4x32::new(seed, 0);
+/// Uniform draws stay inside their documented intervals.
+#[test]
+fn uniform_draws_in_range() {
+    let mut g = gen();
+    for _ in 0..CASES {
+        let seed = g.next_u64();
+        let mut p = Philox4x32::new(seed, 0);
         for _ in 0..64 {
-            let f = g.uniform_f32();
-            prop_assert!(f > 0.0 && f <= 1.0);
-            let d = g.uniform_f64();
-            prop_assert!(d > 0.0 && d <= 1.0);
+            let f = p.uniform_f32();
+            assert!(f > 0.0 && f <= 1.0, "seed {seed}: f32 {f}");
+            let d = p.uniform_f64();
+            assert!(d > 0.0 && d <= 1.0, "seed {seed}: f64 {d}");
         }
     }
+}
 
-    /// Lemire bounded sampling respects its bound for any positive bound.
-    #[test]
-    fn splitmix_bounded_in_range(seed: u64, bound in 1u64..u64::MAX) {
-        let mut g = SplitMix64::new(seed);
+/// Lemire bounded sampling respects its bound for any positive bound.
+#[test]
+fn splitmix_bounded_in_range() {
+    let mut g = gen();
+    for _ in 0..CASES {
+        let seed = g.next_u64();
+        let bound = 1 + g.next_u64() % (u64::MAX - 1);
+        let mut s = SplitMix64::new(seed);
         for _ in 0..32 {
-            prop_assert!(g.bounded(bound) < bound);
+            let v = s.bounded(bound);
+            assert!(v < bound, "seed {seed} bound {bound} drew {v}");
         }
     }
+}
 
-    /// Shuffle is always a permutation.
-    #[test]
-    fn splitmix_shuffle_permutes(seed: u64, len in 0usize..200) {
-        let mut g = SplitMix64::new(seed);
+/// Shuffle is always a permutation.
+#[test]
+fn splitmix_shuffle_permutes() {
+    let mut g = gen();
+    for _ in 0..CASES {
+        let (seed, len) = (g.next_u64(), g.bounded(200) as usize);
+        let mut s = SplitMix64::new(seed);
         let mut v: Vec<usize> = (0..len).collect();
-        g.shuffle(&mut v);
+        s.shuffle(&mut v);
         let mut sorted = v.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+        assert_eq!(
+            sorted,
+            (0..len).collect::<Vec<_>>(),
+            "seed {seed} len {len}"
+        );
     }
+}
 
-    /// Xoshiro jumps produce pairwise distinct stream prefixes.
-    #[test]
-    fn xoshiro_jumps_disjoint(seed: u64) {
+/// Xoshiro jumps produce pairwise distinct stream prefixes.
+#[test]
+fn xoshiro_jumps_disjoint() {
+    let mut g = gen();
+    for _ in 0..CASES {
+        let seed = g.next_u64();
         let base = Xoshiro256pp::new(seed);
         let mut s0 = base.clone();
         let mut s1 = base.nth_jump(1);
         let p0: Vec<u64> = (0..8).map(|_| s0.next_u64()).collect();
         let p1: Vec<u64> = (0..8).map(|_| s1.next_u64()).collect();
-        prop_assert_ne!(p0, p1);
+        assert_ne!(p0, p1, "seed {seed}");
     }
 }

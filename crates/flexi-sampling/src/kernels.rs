@@ -215,10 +215,7 @@ pub fn lane_rejection(
             return (Some(i), MAX_REJECTION_TRIALS);
         }
     }
-    (
-        weights.iter().rposition(|&w| w > 0.0),
-        MAX_REJECTION_TRIALS,
-    )
+    (weights.iter().rposition(|&w| w > 0.0), MAX_REJECTION_TRIALS)
 }
 
 /// NextDoor's per-step exact max-weight reduction (the cost eRJS removes).

@@ -21,16 +21,26 @@
 //!   transactions, RNG draws and warp-intrinsic steps each strategy costs,
 //!   reproducing the paper's performance hierarchy.
 //!
+//! Both forms meet in the [`sampler`] module: the [`Sampler`] trait wraps a
+//! strategy's identity, kernel entry points and cost-model coefficients,
+//! and the [`SamplerRegistry`] is the pluggable set Flexi-Runtime selects
+//! over — third-party strategies register there without engine changes.
+//!
 //! The [`stat`] module provides the chi-square goodness-of-fit helper the
 //! correctness tests use to verify every sampler draws from the exact
 //! target distribution `p(i) = w̃_i / Σ w̃`.
 
 pub mod alias;
 pub mod kernels;
+pub mod sampler;
 pub mod scalar;
 pub mod stat;
 
 pub use alias::AliasTable;
+pub use sampler::{
+    ids, AliasSampler, CostInputs, ErjsSampler, ErvsSampler, ExactMaxRjsSampler, Granularity,
+    ItsSampler, ReservoirPrefixSampler, Sampler, SamplerId, SamplerRegistry,
+};
 pub use scalar::ScalarCost;
 
 /// Maximum rejection-sampling trials before falling back to a linear scan.

@@ -54,7 +54,11 @@ pub fn chi_square_critical_001(df: usize) -> f64 {
 /// Panics (test failure) if the hypothesis is rejected.
 pub fn assert_matches_distribution(counts: &[u64], probs: &[f64], context: &str) {
     let stat = chi_square_statistic(counts, probs);
-    let df = probs.iter().filter(|&&p| p > 1e-9).count().saturating_sub(1);
+    let df = probs
+        .iter()
+        .filter(|&&p| p > 1e-9)
+        .count()
+        .saturating_sub(1);
     if df == 0 {
         return;
     }

@@ -1,58 +1,91 @@
-//! Property-based tests for the sampling algorithms: for *any* weight
-//! vector, every sampler must return a valid index with positive weight,
-//! and the eRJS bound property must hold for any bound ≥ max.
+//! Property-style tests for the sampling algorithms, driven by seeded
+//! sweeps: for *any* weight vector, every sampler must return a valid
+//! index with positive weight, and the eRJS bound property must hold for
+//! any bound ≥ max.
+//!
+//! The original suite used an external property-testing harness; the
+//! cases here are generated from a seeded [`SplitMix64`] so the workspace
+//! builds offline with zero external dependencies.
 
-use flexi_rng::Philox4x32;
+use flexi_rng::{Philox4x32, RandomSource, SplitMix64};
 use flexi_sampling::scalar::{
-    exact_max, sample_ervs_exp, sample_ervs_jump, sample_its, sample_linear_cdf,
-    sample_rejection, sample_reservoir_prefix,
+    exact_max, sample_ervs_exp, sample_ervs_jump, sample_its, sample_linear_cdf, sample_rejection,
+    sample_reservoir_prefix,
 };
 use flexi_sampling::AliasTable;
-use proptest::prelude::*;
 
-fn weights() -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(0.0f32..50.0, 1..200)
+const CASES: usize = 200;
+
+fn gen() -> SplitMix64 {
+    SplitMix64::new(0x5A3D_7E57_0000_0001)
 }
 
-fn check_valid(idx: Option<usize>, ws: &[f32]) -> Result<(), TestCaseError> {
+/// A random weight vector: 1..200 entries in `[0, 50)`.
+fn random_weights(g: &mut SplitMix64) -> Vec<f32> {
+    let len = 1 + g.bounded(199) as usize;
+    (0..len)
+        .map(|_| (g.bounded(50_000) as f32) / 1000.0)
+        .collect()
+}
+
+fn check_valid(idx: Option<usize>, ws: &[f32], context: &str) {
     let total: f64 = ws.iter().map(|&w| f64::from(w)).sum();
     match idx {
         Some(i) => {
-            prop_assert!(i < ws.len(), "index {i} out of range");
-            prop_assert!(ws[i] > 0.0, "picked zero-weight index {i}");
+            assert!(i < ws.len(), "{context}: index {i} out of range");
+            assert!(ws[i] > 0.0, "{context}: picked zero-weight index {i}");
         }
-        None => prop_assert!(total <= 0.0, "None despite positive total {total}"),
+        None => assert!(
+            total <= 0.0,
+            "{context}: None despite positive total {total}"
+        ),
     }
-    Ok(())
 }
 
-proptest! {
-    /// Every scan-based sampler returns a valid positive-weight index.
-    #[test]
-    fn scan_samplers_return_valid_indices(ws in weights(), seed: u64) {
-        let mut rng = Philox4x32::new(seed, 0);
-        check_valid(sample_linear_cdf(&ws, &mut rng).0, &ws)?;
-        check_valid(sample_its(&ws, &mut rng).0, &ws)?;
-        check_valid(sample_reservoir_prefix(&ws, &mut rng).0, &ws)?;
-        check_valid(sample_ervs_exp(&ws, &mut rng).0, &ws)?;
-        check_valid(sample_ervs_jump(&ws, &mut rng).0, &ws)?;
+/// Every scan-based sampler returns a valid positive-weight index.
+#[test]
+fn scan_samplers_return_valid_indices() {
+    let mut g = gen();
+    for case in 0..CASES {
+        let ws = random_weights(&mut g);
+        let mut rng = Philox4x32::new(g.next_u64(), 0);
+        check_valid(sample_linear_cdf(&ws, &mut rng).0, &ws, "linear");
+        check_valid(sample_its(&ws, &mut rng).0, &ws, "its");
+        check_valid(sample_reservoir_prefix(&ws, &mut rng).0, &ws, "rvs");
+        check_valid(sample_ervs_exp(&ws, &mut rng).0, &ws, "ervs-exp");
+        check_valid(sample_ervs_jump(&ws, &mut rng).0, &ws, "ervs-jump");
+        let _ = case;
     }
+}
 
-    /// Rejection sampling with any bound ≥ max returns valid indices.
-    #[test]
-    fn rejection_valid_for_any_dominating_bound(ws in weights(), seed: u64, slack in 1.0f32..50.0) {
+/// Rejection sampling with any bound ≥ max returns valid indices.
+#[test]
+fn rejection_valid_for_any_dominating_bound() {
+    let mut g = gen();
+    for _ in 0..CASES {
+        let ws = random_weights(&mut g);
         let (mx, _) = exact_max(&ws);
-        prop_assume!(mx > 0.0);
-        let mut rng = Philox4x32::new(seed, 1);
+        if mx <= 0.0 {
+            continue;
+        }
+        let slack = 1.0 + (g.bounded(49_000) as f32) / 1000.0;
+        let mut rng = Philox4x32::new(g.next_u64(), 1);
         let (idx, _) = sample_rejection(&ws, mx * slack, &mut rng);
-        check_valid(idx, &ws)?;
+        check_valid(idx, &ws, "rejection");
     }
+}
 
-    /// Looser bounds can only increase (never decrease) expected trials.
-    #[test]
-    fn rejection_trials_monotone_in_bound(ws in weights(), seed: u64) {
+/// Looser bounds can only increase (never decrease) expected trials.
+#[test]
+fn rejection_trials_monotone_in_bound() {
+    let mut g = gen();
+    for _ in 0..CASES {
+        let ws = random_weights(&mut g);
         let (mx, _) = exact_max(&ws);
-        prop_assume!(mx > 0.0);
+        if mx <= 0.0 {
+            continue;
+        }
+        let seed = g.next_u64();
         let runs = 64;
         let count = |bound: f32| {
             let mut rng = Philox4x32::new(seed, 2);
@@ -64,77 +97,102 @@ proptest! {
         };
         let tight = count(mx);
         let loose = count(mx * 16.0);
-        prop_assert!(loose >= tight, "loose {loose} < tight {tight}");
+        assert!(loose >= tight, "loose {loose} < tight {tight}");
     }
+}
 
-    /// The alias table is a faithful encoding: per-outcome probabilities
-    /// reconstruct the normalised weights and sum to one.
-    #[test]
-    fn alias_table_encodes_distribution(ws in weights()) {
+/// The alias table is a faithful encoding: per-outcome probabilities
+/// reconstruct the normalised weights and sum to one.
+#[test]
+fn alias_table_encodes_distribution() {
+    let mut g = gen();
+    for _ in 0..CASES {
+        let ws = random_weights(&mut g);
         let total: f64 = ws.iter().map(|&w| f64::from(w)).sum();
-        prop_assume!(total > 0.0);
-        let Some(t) = AliasTable::build(&ws) else {
-            return Err(TestCaseError::fail("build failed on positive total"));
-        };
+        if total <= 0.0 {
+            continue;
+        }
+        let t = AliasTable::build(&ws).expect("build succeeds on positive total");
         let mut sum = 0.0;
         for (i, &w) in ws.iter().enumerate() {
             let p = t.outcome_probability(i);
             let expect = f64::from(w) / total;
-            prop_assert!((p - expect).abs() < 1e-6, "outcome {i}: {p} vs {expect}");
+            assert!((p - expect).abs() < 1e-6, "outcome {i}: {p} vs {expect}");
             sum += p;
         }
-        prop_assert!((sum - 1.0).abs() < 1e-9);
+        assert!((sum - 1.0).abs() < 1e-9);
     }
+}
 
-    /// eRVS jump RNG usage is bounded by 2 + 2 draws per record update,
-    /// which can never exceed 2 + 2n (adversarially ascending weights make
-    /// every element a record; typical inputs see ~ln n updates).
-    #[test]
-    fn jump_rng_draws_bounded_by_updates(ws in weights(), seed: u64) {
-        let mut rng = Philox4x32::new(seed, 3);
+/// eRVS jump RNG usage is bounded by 2 + 2 draws per record update, which
+/// can never exceed 2 + 2n (adversarially ascending weights make every
+/// element a record; typical inputs see ~ln n updates).
+#[test]
+fn jump_rng_draws_bounded_by_updates() {
+    let mut g = gen();
+    for _ in 0..CASES {
+        let ws = random_weights(&mut g);
+        let mut rng = Philox4x32::new(g.next_u64(), 3);
         let (_, jump) = sample_ervs_jump(&ws, &mut rng);
-        prop_assert!(
+        assert!(
             jump.rng_draws <= 2 + 2 * ws.len() as u64,
-            "jump drew {} times for {} weights", jump.rng_draws, ws.len()
+            "jump drew {} times for {} weights",
+            jump.rng_draws,
+            ws.len()
         );
     }
+}
 
-    /// On long flat-ish weight lists the jump saves most draws vs exp keys
-    /// (the Fig. 12a claim), regardless of seed.
-    #[test]
-    fn jump_saves_rng_on_long_flat_lists(seed: u64, jitter in 0.0f32..0.5) {
+/// On long flat-ish weight lists the jump saves most draws vs exp keys
+/// (the Fig. 12a claim), regardless of seed.
+#[test]
+fn jump_saves_rng_on_long_flat_lists() {
+    let mut g = gen();
+    for _ in 0..CASES {
+        let seed = g.next_u64();
+        let jitter = (g.bounded(500) as f32) / 1000.0;
         let ws: Vec<f32> = (0..512).map(|i| 1.0 + jitter * ((i % 7) as f32)).collect();
         let mut r1 = Philox4x32::new(seed, 3);
         let mut r2 = Philox4x32::new(seed, 3);
         let (_, exp) = sample_ervs_exp(&ws, &mut r1);
         let (_, jump) = sample_ervs_jump(&ws, &mut r2);
-        prop_assert!(
+        assert!(
             jump.rng_draws * 4 < exp.rng_draws,
-            "jump {} not ≪ exp {}", jump.rng_draws, exp.rng_draws
+            "jump {} not ≪ exp {}",
+            jump.rng_draws,
+            exp.rng_draws
         );
     }
+}
 
-    /// Reservoir-style samplers read each weight exactly once.
-    #[test]
-    fn ervs_reads_weights_once(ws in weights(), seed: u64) {
-        let mut rng = Philox4x32::new(seed, 4);
+/// Reservoir-style samplers read each weight exactly once.
+#[test]
+fn ervs_reads_weights_once() {
+    let mut g = gen();
+    for _ in 0..CASES {
+        let ws = random_weights(&mut g);
+        let mut rng = Philox4x32::new(g.next_u64(), 4);
         let (_, exp) = sample_ervs_exp(&ws, &mut rng);
-        prop_assert_eq!(exp.weight_evals, ws.len() as u64);
-        prop_assert_eq!(exp.aux_ops, 0);
+        assert_eq!(exp.weight_evals, ws.len() as u64);
+        assert_eq!(exp.aux_ops, 0);
         let (_, jump) = sample_ervs_jump(&ws, &mut rng);
-        prop_assert_eq!(jump.weight_evals, ws.len() as u64);
+        assert_eq!(jump.weight_evals, ws.len() as u64);
     }
+}
 
-    /// All-zero inputs uniformly return None from every sampler.
-    #[test]
-    fn zero_weights_return_none(len in 1usize..100, seed: u64) {
+/// All-zero inputs uniformly return None from every sampler.
+#[test]
+fn zero_weights_return_none() {
+    let mut g = gen();
+    for _ in 0..CASES {
+        let len = 1 + g.bounded(99) as usize;
         let ws = vec![0.0f32; len];
-        let mut rng = Philox4x32::new(seed, 5);
-        prop_assert_eq!(sample_linear_cdf(&ws, &mut rng).0, None);
-        prop_assert_eq!(sample_its(&ws, &mut rng).0, None);
-        prop_assert_eq!(sample_reservoir_prefix(&ws, &mut rng).0, None);
-        prop_assert_eq!(sample_ervs_exp(&ws, &mut rng).0, None);
-        prop_assert_eq!(sample_ervs_jump(&ws, &mut rng).0, None);
-        prop_assert_eq!(sample_rejection(&ws, 1.0, &mut rng).0, None);
+        let mut rng = Philox4x32::new(g.next_u64(), 5);
+        assert_eq!(sample_linear_cdf(&ws, &mut rng).0, None);
+        assert_eq!(sample_its(&ws, &mut rng).0, None);
+        assert_eq!(sample_reservoir_prefix(&ws, &mut rng).0, None);
+        assert_eq!(sample_ervs_exp(&ws, &mut rng).0, None);
+        assert_eq!(sample_ervs_jump(&ws, &mut rng).0, None);
+        assert_eq!(sample_rejection(&ws, 1.0, &mut rng).0, None);
     }
 }

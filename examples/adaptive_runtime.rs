@@ -15,27 +15,31 @@ fn main() {
     let base = gen::rmat(11, 65_536, gen::RmatParams::WEB, 5);
     let workload = Node2Vec::paper(true);
     let queries: Vec<NodeId> = (0..512u32).collect();
-    let config = WalkConfig {
-        steps: 80,
-        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        ..WalkConfig::default()
-    };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     println!("alpha | eRVS-only(ms) | eRJS-only(ms) | adaptive(ms) | eRJS share");
     println!("------+---------------+---------------+--------------+-----------");
     for alpha in [1.0, 1.5, 2.0, 2.5, 3.0, 4.0] {
         let graph = WeightModel::Pareto { alpha }.apply(base.clone(), 5);
         let time_of = |strategy: SelectionStrategy| {
-            let engine = FlexiWalkerEngine::with_strategy(DeviceSpec::a6000(), strategy);
-            let report = engine
-                .run(&graph, &workload, &queries, &config)
+            let mut session = FlexiWalker::builder()
+                .device(DeviceSpec::a6000())
+                .strategy(strategy)
+                .build();
+            let report = session
+                .run(
+                    WalkRequest::new(&graph, &workload, &queries)
+                        .steps(80)
+                        .host_threads(threads),
+                )
                 .expect("run failed");
             (report.sim_seconds * 1e3, report)
         };
-        let (rvs_ms, _) = time_of(SelectionStrategy::RvsOnly);
-        let (rjs_ms, _) = time_of(SelectionStrategy::RjsOnly);
+        let (rvs_ms, _) = time_of(SelectionStrategy::RVS_ONLY);
+        let (rjs_ms, _) = time_of(SelectionStrategy::RJS_ONLY);
         let (ada_ms, ada) = time_of(SelectionStrategy::CostModel);
-        let share = ada.chosen_rjs as f64 / (ada.chosen_rjs + ada.chosen_rvs).max(1) as f64;
+        let rjs_steps = ada.sampler_steps.get(sampler_ids::ERJS);
+        let share = rjs_steps as f64 / ada.sampler_steps.total().max(1) as f64;
         println!(
             " {alpha:<4} | {rvs_ms:>13.3} | {rjs_ms:>13.3} | {ada_ms:>12.3} | {:>8.1}%",
             share * 100.0

@@ -57,14 +57,10 @@ fn main() {
         weighted: false,
     };
 
-    let engine = FlexiWalkerEngine::new(DeviceSpec::a6000());
+    let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
     let queries: Vec<NodeId> = (0..authors).collect();
-    let config = WalkConfig {
-        record_paths: true,
-        ..WalkConfig::default()
-    };
-    let report = engine
-        .run(&graph, &workload, &queries, &config)
+    let report = session
+        .run(WalkRequest::new(&graph, &workload, &queries).record_paths(true))
         .expect("walk run failed");
 
     let paths = report.paths.as_ref().expect("recorded");

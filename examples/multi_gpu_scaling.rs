@@ -17,11 +17,9 @@ fn main() {
     let graph = WeightModel::UniformReal.apply(graph, 3);
     let workload = Node2Vec::paper(true);
     let queries: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
-    let config = WalkConfig {
-        steps: 20,
-        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        ..WalkConfig::default()
-    };
+    let request = WalkRequest::new(&graph, &workload, &queries)
+        .steps(20)
+        .host_threads(std::thread::available_parallelism().map_or(1, |n| n.get()));
 
     for partitioning in [Partitioning::Hash, Partitioning::Range] {
         println!("{partitioning:?} partitioning:");
@@ -29,9 +27,7 @@ fn main() {
         for devices in 1..=4usize {
             let mut engine = MultiDeviceEngine::new(DeviceSpec::a6000(), devices);
             engine.partitioning = partitioning;
-            let report = engine
-                .run(&graph, &workload, &queries, &config)
-                .expect("run failed");
+            let report = engine.run(&request).expect("run failed");
             let secs = report.saturated_seconds;
             let base_secs = *base.get_or_insert(secs);
             println!(

@@ -1,4 +1,4 @@
-//! Quickstart: run adaptive dynamic random walks on a synthetic graph.
+//! Quickstart: run adaptive dynamic random walks through the session API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -21,18 +21,18 @@ fn main() {
     // 2. Pick a workload. Weighted Node2Vec with the paper's a=2, b=0.5.
     let workload = Node2Vec::paper(true);
 
-    // 3. Create the engine on a simulated A6000 and launch one walk per
-    //    node, 80 steps each.
-    let engine = FlexiWalkerEngine::new(DeviceSpec::a6000());
+    // 3. Open a session on a simulated A6000 and launch one walk per node,
+    //    80 steps each. The session compiles the workload, preprocesses
+    //    the graph and profiles the device once, then caches all three.
+    let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
     let queries: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
-    let config = WalkConfig {
-        steps: 80,
-        record_paths: true,
-        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        ..WalkConfig::default()
-    };
-    let report = engine
-        .run(&graph, &workload, &queries, &config)
+    let report = session
+        .run(
+            WalkRequest::new(&graph, &workload, &queries)
+                .steps(80)
+                .record_paths(true)
+                .host_threads(std::thread::available_parallelism().map_or(1, |n| n.get())),
+        )
         .expect("walk run failed");
 
     // 4. Inspect the results.
@@ -41,10 +41,7 @@ fn main() {
         report.sim_seconds * 1e3,
         report.steps_taken
     );
-    println!(
-        "runtime adaptation: {} steps ran eRJS, {} ran eRVS",
-        report.chosen_rjs, report.chosen_rvs
-    );
+    println!("runtime adaptation per sampler: {}", report.sampler_steps);
     println!(
         "overheads: profile {:.3} ms, preprocess {:.3} ms",
         report.profile_seconds * 1e3,
@@ -54,4 +51,14 @@ fn main() {
     let avg_len = paths.iter().map(Vec::len).sum::<usize>() as f64 / paths.len() as f64;
     println!("first walk: {:?}", &paths[0][..paths[0].len().min(10)]);
     println!("average path length: {avg_len:.1} nodes");
+
+    // 5. Submit again: the cached preparation makes the overheads vanish.
+    let again = session
+        .run(WalkRequest::new(&graph, &workload, &queries).steps(80))
+        .expect("second run failed");
+    println!(
+        "second submission overheads: profile {:.3} ms, preprocess {:.3} ms (cached)",
+        again.profile_seconds * 1e3,
+        again.preprocess_seconds * 1e3
+    );
 }

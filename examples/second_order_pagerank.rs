@@ -4,6 +4,7 @@
 //! PageRank transition rule (Eq. 3 of the paper), which biases transitions
 //! by the previous node's connectivity. Compares the resulting ranking
 //! against plain (first-order) walk visits to show the history effect.
+//! One session serves both workloads; the graph profile is shared.
 //!
 //! ```text
 //! cargo run --release --example second_order_pagerank
@@ -38,22 +39,29 @@ fn main() {
         graph.num_edges()
     );
 
-    let engine = FlexiWalkerEngine::new(DeviceSpec::a6000());
+    let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
     let queries: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
-    let config = WalkConfig {
-        steps: 40,
-        record_paths: true,
-        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        ..WalkConfig::default()
-    };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     // Second-order PageRank walks (γ = 0.2).
-    let second = engine
-        .run(&graph, &SecondOrderPr::paper(), &queries, &config)
+    let second_order = SecondOrderPr::paper();
+    let second = session
+        .run(
+            WalkRequest::new(&graph, &second_order, &queries)
+                .steps(40)
+                .record_paths(true)
+                .host_threads(threads),
+        )
         .expect("2nd-order run failed");
     // First-order baseline: property-weighted uniform walks.
-    let first = engine
-        .run(&graph, &UniformWalk, &queries, &config)
+    let uniform = UniformWalk;
+    let first = session
+        .run(
+            WalkRequest::new(&graph, &uniform, &queries)
+                .steps(40)
+                .record_paths(true)
+                .host_threads(threads),
+        )
         .expect("1st-order run failed");
 
     let second_counts = visit_counts(&second);
@@ -68,8 +76,8 @@ fn main() {
         );
     }
     println!(
-        "\nkernel mix for the 2nd-order run: {} eRJS / {} eRVS steps",
-        second.chosen_rjs, second.chosen_rvs
+        "\nkernel mix for the 2nd-order run: {}",
+        second.sampler_steps
     );
     println!(
         "simulated time: {:.2} ms (2nd-order) vs {:.2} ms (1st-order)",

@@ -16,15 +16,19 @@
 //!   and *eRJS* (rejection sampling against an analytically derived upper
 //!   bound, eliminating per-step max reductions);
 //! - **Flexi-Runtime** — a profiled first-order cost model that picks the
-//!   cheaper kernel *per node, per step*;
+//!   cheapest strategy *per node, per step* — over a pluggable
+//!   [`SamplerRegistry`](prelude::SamplerRegistry), so third-party
+//!   strategies compete on equal footing with the built-ins;
 //! - **Flexi-Compiler** — static analysis of the user's `get_weight`
 //!   source that derives the bound estimators automatically, with a sound
-//!   eRVS-only fallback for unanalyzable code.
+//!   reservoir-only fallback for unanalyzable code.
 //!
-//! This crate is a facade re-exporting the workspace's components. See the
-//! README for a tour and `DESIGN.md` for the architecture and the
-//! hardware-substitution rationale (the GPU is a deterministic SIMT
-//! simulator).
+//! This crate is the workspace façade: the [`FlexiWalker`](prelude::FlexiWalker)
+//! builder produces a [`Session`](prelude::Session) that caches
+//! preprocessing, profiling and compiled estimators across submissions and
+//! batches walk jobs deterministically. See the `README.md` for a tour and
+//! `DESIGN.md` for the architecture and the hardware-substitution
+//! rationale (the GPU is a deterministic SIMT simulator).
 //!
 //! ## Quickstart
 //!
@@ -38,23 +42,34 @@
 //! // Weighted Node2Vec with the paper's hyperparameters (a=2, b=0.5).
 //! let workload = Node2Vec::paper(true);
 //!
-//! // Run 128 walks of 20 steps on a simulated A6000.
-//! let engine = FlexiWalkerEngine::new(DeviceSpec::a6000());
-//! let queries: Vec<u32> = (0..128).collect();
-//! let config = WalkConfig {
-//!     steps: 20,
-//!     record_paths: true,
-//!     ..WalkConfig::default()
-//! };
-//! let report = engine.run(&graph, &workload, &queries, &config).unwrap();
+//! // A session on a simulated A6000: preprocessing, profiling and
+//! // compiled estimators are cached across submissions.
+//! let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
+//!
+//! // Run 128 walks of 20 steps.
+//! let queries: Vec<NodeId> = (0..128).collect();
+//! let report = session
+//!     .run(WalkRequest::new(&graph, &workload, &queries)
+//!         .steps(20)
+//!         .record_paths(true))
+//!     .unwrap();
 //! assert_eq!(report.paths.as_ref().unwrap().len(), 128);
 //! println!(
-//!     "simulated {:.3} ms, eRJS steps {}, eRVS steps {}",
+//!     "simulated {:.3} ms; per-sampler steps: {}",
 //!     report.sim_seconds * 1e3,
-//!     report.chosen_rjs,
-//!     report.chosen_rvs
+//!     report.sampler_steps
 //! );
+//!
+//! // A second submission over the same graph+workload reuses the cached
+//! // preparation: its Table-3 overheads are zero.
+//! let report2 = session
+//!     .run(WalkRequest::new(&graph, &workload, &queries).steps(20))
+//!     .unwrap();
+//! assert_eq!(report2.profile_seconds, 0.0);
+//! assert_eq!(report2.preprocess_seconds, 0.0);
 //! ```
+
+pub mod session;
 
 pub use flexi_baselines as baselines;
 pub use flexi_compiler as compiler;
@@ -66,11 +81,16 @@ pub use flexi_sampling as sampling;
 
 /// Commonly used items for a one-line import.
 pub mod prelude {
+    pub use crate::session::{FlexiWalker, Session, SessionBuilder, Ticket};
     pub use flexi_core::{
-        DynamicWalk, EngineError, FlexiWalkerEngine, MetaPath, Node2Vec, RunReport,
-        SecondOrderPr, SelectionStrategy, UniformWalk, WalkConfig, WalkEngine, WalkState,
+        DynamicWalk, EngineError, FlexiWalkerEngine, MetaPath, Node2Vec, RunReport, SamplerTally,
+        SecondOrderPr, SelectionStrategy, UniformWalk, WalkConfig, WalkEngine, WalkRequest,
+        WalkState,
     };
     pub use flexi_gpu_sim::DeviceSpec;
     pub use flexi_graph::{gen, proxy, Csr, CsrBuilder, NodeId, WeightModel};
     pub use flexi_rng::{Philox4x32, RandomSource};
+    pub use flexi_sampling::{
+        ids as sampler_ids, Granularity, Sampler, SamplerId, SamplerRegistry,
+    };
 }

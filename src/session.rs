@@ -1,0 +1,356 @@
+//! The session façade: FlexiWalker as a long-lived walk service.
+//!
+//! [`FlexiWalker::builder`] configures a device, a selection strategy and a
+//! [`SamplerRegistry`], and produces a [`Session`] — the entry point for
+//! heavy query traffic. A session:
+//!
+//! - **caches** compiled estimators (per workload), preprocessed
+//!   `_MAX`/`_SUM` aggregates (per graph × workload) and profiled cost
+//!   models (per graph) across submissions, so only the first request over
+//!   a `(graph, workload)` pair pays the Table-3 overheads;
+//! - **batches** walk jobs: [`Session::submit`] enqueues a
+//!   [`WalkRequest`] and returns a [`Ticket`]; [`Session::drain`] executes
+//!   everything pending. Each query is assigned a global index in the
+//!   session's cumulative stream, which seeds its private RNG stream —
+//!   with the same seed, one submission of N queries and two submissions
+//!   of N/2 produce bit-identical paths.
+
+use flexi_core::{
+    CompiledArtifacts, EngineError, FlexiWalkerEngine, PreparedState, ProfileResult, RunReport,
+    SelectionStrategy, WalkRequest,
+};
+use flexi_gpu_sim::DeviceSpec;
+use flexi_graph::Csr;
+use flexi_sampling::{Sampler, SamplerRegistry};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Namespace for the builder entry point: `FlexiWalker::builder()`.
+#[derive(Clone, Copy, Debug)]
+pub struct FlexiWalker;
+
+impl FlexiWalker {
+    /// Starts configuring a walk session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+}
+
+/// Builder for [`Session`].
+#[derive(Clone, Debug)]
+pub struct SessionBuilder {
+    spec: DeviceSpec,
+    strategy: SelectionStrategy,
+    registry: SamplerRegistry,
+    skip_profile: bool,
+    cost_ratio_override: Option<f64>,
+}
+
+impl SessionBuilder {
+    /// A builder with the paper's defaults: simulated A6000, cost-model
+    /// selection, the built-in eRVS/eRJS registry.
+    pub fn new() -> Self {
+        Self {
+            spec: DeviceSpec::a6000(),
+            strategy: SelectionStrategy::CostModel,
+            registry: SamplerRegistry::builtin(),
+            skip_profile: false,
+            cost_ratio_override: None,
+        }
+    }
+
+    /// Sets the simulated device.
+    pub fn device(mut self, spec: DeviceSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Sets the sampler-selection strategy.
+    pub fn strategy(mut self, strategy: SelectionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the sampler registry wholesale.
+    pub fn registry(mut self, registry: SamplerRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Registers an additional (or replacement) sampling strategy.
+    pub fn register_sampler(mut self, sampler: Arc<dyn Sampler>) -> Self {
+        self.registry.register(sampler);
+        self
+    }
+
+    /// Disables the §5.1 profiling kernels (default cost ratio).
+    pub fn skip_profile(mut self, skip: bool) -> Self {
+        self.skip_profile = skip;
+        self
+    }
+
+    /// Pins the cost model's edge-cost ratio instead of profiling it.
+    pub fn cost_ratio(mut self, ratio: f64) -> Self {
+        self.cost_ratio_override = Some(ratio);
+        self
+    }
+
+    /// Finishes configuration.
+    ///
+    /// The `'job` lifetime bounds the graph/workload/query borrows of the
+    /// requests this session will accept; it is inferred at the first
+    /// [`Session::submit`].
+    pub fn build<'job>(self) -> Session<'job> {
+        let mut engine =
+            FlexiWalkerEngine::with_strategy(self.spec, self.strategy).with_registry(self.registry);
+        engine.skip_profile = self.skip_profile;
+        engine.cost_ratio_override = self.cost_ratio_override;
+        Session {
+            engine,
+            compiled: HashMap::new(),
+            aggregates: HashMap::new(),
+            profiles: HashMap::new(),
+            pending: Vec::new(),
+            next_ticket: 0,
+            query_cursor: 0,
+        }
+    }
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Handle identifying one submitted request in [`Session::drain`] output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ticket(usize);
+
+impl Ticket {
+    /// Submission index within the session (0-based).
+    pub fn id(self) -> usize {
+        self.0
+    }
+}
+
+/// Key of the per-graph caches: a 128-bit *full* content digest (two
+/// independently salted passes over every array the walk reads).
+type GraphFp = (u64, u64);
+
+/// Computes the cache key for `g`.
+///
+/// Full content rather than a pointer or a sample, so the cache survives
+/// graph clones, cannot alias a freed allocation, and two graphs that
+/// differ in any edge, weight or label get different keys — a sampled or
+/// identity-based key could silently serve stale `_MAX`/`_SUM` aggregates
+/// and break the eRJS bound's soundness. The 128-bit digest makes an
+/// accidental collision astronomically unlikely (this is an in-process
+/// cache, not an adversarial boundary). Cost is one O(V + E) pass,
+/// comparable to the preprocessing pass it guards and far below a walk;
+/// [`Session::drain`] memoizes it per batch so multi-request drains over
+/// the same graph hash once. (Memoizing *across* drains by pointer
+/// identity would be unsound: `DynamicGraph` mutates weights in place
+/// between borrows without changing addresses.)
+fn graph_fingerprint(g: &Csr) -> GraphFp {
+    let mut h1 = DefaultHasher::new();
+    let mut h2 = DefaultHasher::new();
+    0x517E_u64.hash(&mut h1);
+    0xFACE_u64.hash(&mut h2);
+    for h in [&mut h1, &mut h2] {
+        g.num_nodes().hash(h);
+        g.num_edges().hash(h);
+        g.props().bytes_per_weight().hash(h);
+        g.has_labels().hash(h);
+        g.row_ptr().hash(h);
+        g.col_idx().hash(h);
+    }
+    for e in 0..g.num_edges() {
+        let bits = g.prop(e).to_bits();
+        bits.hash(&mut h1);
+        bits.hash(&mut h2);
+    }
+    if g.has_labels() {
+        for e in 0..g.num_edges() {
+            let l = g.label(e);
+            l.hash(&mut h1);
+            l.hash(&mut h2);
+        }
+    }
+    (h1.finish(), h2.finish())
+}
+
+/// Per-drain fingerprint memo: within one batch every request holds a live
+/// shared borrow of its graph, so no in-place mutation can occur between
+/// them and buffer identity is a sound memo key.
+type FingerprintMemo = HashMap<(usize, usize, usize), GraphFp>;
+
+fn memoized_fingerprint(memo: &mut FingerprintMemo, g: &Csr) -> GraphFp {
+    let identity = (
+        g.row_ptr().as_ptr() as usize,
+        g.col_idx().as_ptr() as usize,
+        g.num_edges(),
+    );
+    *memo.entry(identity).or_insert_with(|| graph_fingerprint(g))
+}
+
+/// Fingerprint of a workload's compiled identity: its DSL source and
+/// hyperparameters.
+fn workload_fingerprint(w: &dyn flexi_core::DynamicWalk) -> u64 {
+    let spec = w.spec();
+    let mut h = DefaultHasher::new();
+    spec.source.hash(&mut h);
+    for (name, value) in &spec.hyperparams {
+        name.hash(&mut h);
+        value.to_bits().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A long-lived walk service over one engine configuration.
+///
+/// See the [module docs](self) for the caching and batching guarantees.
+pub struct Session<'job> {
+    engine: FlexiWalkerEngine,
+    /// Compiled estimators per workload fingerprint.
+    compiled: HashMap<u64, CompiledArtifacts>,
+    /// Preprocessed aggregates per (graph, workload) fingerprint pair.
+    aggregates: HashMap<(GraphFp, u64), Arc<flexi_core::Aggregates>>,
+    /// Profiled cost models per (graph, bytes-per-weight, seed).
+    profiles: HashMap<(GraphFp, usize, u64), ProfileResult>,
+    pending: Vec<(Ticket, WalkRequest<'job>)>,
+    next_ticket: usize,
+    query_cursor: u64,
+}
+
+impl<'job> Session<'job> {
+    /// The underlying engine (registry, strategy, device).
+    pub fn engine(&self) -> &FlexiWalkerEngine {
+        &self.engine
+    }
+
+    /// Number of submitted-but-undrained requests.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Enqueues a walk job and returns its ticket.
+    ///
+    /// The request's [`WalkRequest::query_offset`] is overwritten with the
+    /// session's cumulative query cursor — that is what makes results
+    /// independent of how a query set is split across submissions.
+    pub fn submit(&mut self, req: WalkRequest<'job>) -> Ticket {
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        let offset = self.query_cursor;
+        self.query_cursor += req.queries.len() as u64;
+        self.pending.push((ticket, req.query_offset(offset)));
+        ticket
+    }
+
+    /// Executes every pending request, in submission order.
+    pub fn drain(&mut self) -> Vec<(Ticket, Result<RunReport, EngineError>)> {
+        let pending = std::mem::take(&mut self.pending);
+        let mut memo = FingerprintMemo::new();
+        pending
+            .into_iter()
+            .map(|(ticket, req)| {
+                let outcome = self.execute(&req, &mut memo);
+                (ticket, outcome)
+            })
+            .collect()
+    }
+
+    /// Convenience: submit one job and drain immediately.
+    ///
+    /// # Errors
+    ///
+    /// As [`flexi_core::WalkEngine::run`]. Any previously pending submissions are
+    /// executed first and their reports discarded — drain explicitly when
+    /// batching.
+    pub fn run(&mut self, req: WalkRequest<'job>) -> Result<RunReport, EngineError> {
+        let ticket = self.submit(req);
+        self.drain()
+            .into_iter()
+            .find(|(t, _)| *t == ticket)
+            .expect("drained batch contains the submitted ticket")
+            .1
+    }
+
+    /// Runs one request through the caches.
+    fn execute(
+        &mut self,
+        req: &WalkRequest<'_>,
+        memo: &mut FingerprintMemo,
+    ) -> Result<RunReport, EngineError> {
+        let gfp = memoized_fingerprint(memo, req.graph);
+        let wfp = workload_fingerprint(req.workload);
+
+        let artifacts = self
+            .compiled
+            .entry(wfp)
+            .or_insert_with(|| flexi_core::compile_workload(req.workload))
+            .clone();
+
+        let mut preprocess_hit = true;
+        let aggregates = match self.aggregates.get(&(gfp, wfp)) {
+            Some(agg) => Arc::clone(agg),
+            None => {
+                preprocess_hit = false;
+                let agg = Arc::new(self.engine.aggregates_for(req.graph, &artifacts));
+                self.aggregates.insert((gfp, wfp), Arc::clone(&agg));
+                agg
+            }
+        };
+
+        let profile_key = (
+            gfp,
+            req.workload.bytes_per_weight(req.graph),
+            req.config.seed,
+        );
+        let mut profile_hit = true;
+        let profile = match self.profiles.get(&profile_key) {
+            Some(p) => Some(*p),
+            None => {
+                let fresh = self
+                    .engine
+                    .profile_for(req.graph, req.workload, req.config.seed);
+                if let Some(p) = fresh {
+                    profile_hit = false;
+                    self.profiles.insert(profile_key, p);
+                }
+                fresh
+            }
+        };
+
+        let prepared = PreparedState {
+            artifacts,
+            aggregates,
+            profile,
+        };
+        let mut report = self.engine.run_with(req, &prepared)?;
+        // Cached preparation costs nothing at run time; only the first
+        // request over a (graph, workload) pair reports Table-3 overheads.
+        if preprocess_hit {
+            report.preprocess_seconds = 0.0;
+        }
+        if profile_hit {
+            report.profile_seconds = 0.0;
+        }
+        Ok(report)
+    }
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("engine", &self.engine)
+            .field("pending", &self.pending.len())
+            .field("cached_workloads", &self.compiled.len())
+            .field("cached_aggregates", &self.aggregates.len())
+            .field("cached_profiles", &self.profiles.len())
+            .finish()
+    }
+}

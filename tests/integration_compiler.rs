@@ -132,12 +132,18 @@ fn compiler_fallback_runs_ervs_only_and_stays_exact() {
             seed,
             ..WalkConfig::default()
         };
-        let report = engine.run(&g, &HostileWorkload, &[0], &cfg).expect("run");
+        let report = engine
+            .run(&WalkRequest::new(&g, &HostileWorkload, &[0]).with_config(cfg))
+            .expect("run");
         saw_fallback_warning |= report
             .warnings
             .iter()
-            .any(|w| w.contains("eRVS-only"));
-        assert_eq!(report.chosen_rjs, 0, "fallback must never select eRJS");
+            .any(|w| w.contains("no usable bound estimator"));
+        assert_eq!(
+            report.sampler_steps.get(sampler_ids::ERJS),
+            0,
+            "fallback must never select eRJS"
+        );
         let path = &report.paths.as_ref().unwrap()[0];
         counts[(path[1] - 1) as usize] += 1;
     }

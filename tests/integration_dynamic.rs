@@ -131,7 +131,9 @@ fn walks_on_updated_graph_follow_new_distribution() {
             seed,
             ..WalkConfig::default()
         };
-        let r = engine.run(g, &UniformWalk, &[0], &cfg).unwrap();
+        let r = engine
+            .run(&WalkRequest::new(g, &UniformWalk, &[0]).with_config(cfg))
+            .unwrap();
         counts[(r.paths.as_ref().unwrap()[0][1] - 1) as usize] += 1;
     }
     stat::assert_matches_distribution(&counts, &[0.1, 0.9], "post-update walks");

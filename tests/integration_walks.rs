@@ -1,5 +1,5 @@
 //! Cross-crate integration: every engine × every workload produces valid,
-//! correctly distributed walks.
+//! correctly distributed walks, all through the `WalkRequest` API.
 
 use flexiwalker::baselines::{
     CSawGpu, CpuSpec, FlowWalkerGpu, KnightKingCpu, NextDoorGpu, SkywalkerGpu, SoWalkerCpu,
@@ -39,6 +39,16 @@ fn test_graph() -> Csr {
     flexiwalker::graph::props::assign_uniform_labels(g, 5, 77)
 }
 
+fn run(
+    engine: &dyn WalkEngine,
+    g: &Csr,
+    w: &dyn DynamicWalk,
+    queries: &[NodeId],
+    cfg: &WalkConfig,
+) -> Result<RunReport, EngineError> {
+    engine.run(&WalkRequest::new(g, w, queries).with_config(cfg.clone()))
+}
+
 #[test]
 fn every_engine_runs_every_workload_with_valid_edges() {
     let g = test_graph();
@@ -50,10 +60,19 @@ fn every_engine_runs_every_workload_with_valid_edges() {
     };
     for engine in all_engines() {
         for w in workloads() {
-            let report = engine
-                .run(&g, w.as_ref(), &queries, &cfg)
+            let report = run(engine.as_ref(), &g, w.as_ref(), &queries, &cfg)
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", engine.name(), w.name()));
             assert_eq!(report.queries, 64, "{} {}", engine.name(), w.name());
+            // Tallies count sampling attempts: every advancing step plus at
+            // most one dead-end attempt per query.
+            let tally = report.sampler_steps.total();
+            assert!(
+                tally >= report.steps_taken && tally <= report.steps_taken + 64,
+                "{} {}: tallies {tally} inconsistent with {} steps",
+                engine.name(),
+                w.name(),
+                report.steps_taken
+            );
             let paths = report.paths.as_ref().expect("recorded");
             for path in paths {
                 for pair in path.windows(2) {
@@ -94,7 +113,7 @@ fn engines_agree_on_single_step_distribution() {
         for seed in 0..4000u64 {
             let mut cfg = cfg_base.clone();
             cfg.seed = seed;
-            let report = engine.run(&g, &UniformWalk, &[0], &cfg).expect("run");
+            let report = run(engine.as_ref(), &g, &UniformWalk, &[0], &cfg).expect("run");
             let path = &report.paths.as_ref().unwrap()[0];
             assert_eq!(path.len(), 2, "{}", engine.name());
             counts[(path[1] - 1) as usize] += 1;
@@ -128,7 +147,7 @@ fn node2vec_respects_return_parameter() {
             seed,
             ..WalkConfig::default()
         };
-        let report = engine.run(&g, &w, &[0], &cfg).expect("run");
+        let report = run(&engine, &g, &w, &[0], &cfg).expect("run");
         let path = &report.paths.as_ref().unwrap()[0];
         // Step 1: 0 -> 1 (only option). Step 2: 1 -> {0 (return), 2}.
         if path.len() == 3 {
@@ -163,7 +182,7 @@ fn metapath_dead_ends_terminate_cleanly_everywhere() {
         ..WalkConfig::default()
     };
     for engine in all_engines() {
-        let report = engine.run(&g, &w, &queries, &cfg).expect("run");
+        let report = run(engine.as_ref(), &g, &w, &queries, &cfg).expect("run");
         for path in report.paths.as_ref().unwrap() {
             assert_eq!(path.len(), 1, "{} advanced into a dead end", engine.name());
         }
@@ -182,15 +201,20 @@ fn flexiwalker_beats_gpu_baselines_on_weighted_workloads() {
     };
     let w = Node2Vec::paper(true);
     let spec = DeviceSpec::a6000();
-    let flexi = FlexiWalkerEngine::new(spec.clone())
-        .run(&g, &w, &queries, &cfg)
-        .unwrap();
+    let flexi = run(
+        &FlexiWalkerEngine::new(spec.clone()),
+        &g,
+        &w,
+        &queries,
+        &cfg,
+    )
+    .unwrap();
     for engine in [
         Box::new(CSawGpu::new(spec.clone())) as Box<dyn WalkEngine>,
         Box::new(SkywalkerGpu::new(spec.clone())),
         Box::new(FlowWalkerGpu::new(spec)),
     ] {
-        let r = engine.run(&g, &w, &queries, &cfg).unwrap();
+        let r = run(engine.as_ref(), &g, &w, &queries, &cfg).unwrap();
         assert!(
             flexi.saturated_seconds < r.saturated_seconds,
             "FlexiWalker ({}) not faster than {} ({})",
