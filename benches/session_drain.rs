@@ -1,0 +1,52 @@
+//! Microbench: session drains on a cached graph must not scale with E.
+//!
+//! The pre-handle session re-hashed the entire edge list (an O(E) digest)
+//! on every drain to key its caches. With epoch-versioned handles the
+//! digest is computed once at `load_graph` and evolved from the epoch
+//! counter, so the per-drain cost of a cached graph is the walk itself.
+//! This bench drains a fixed query set over graphs of growing edge count
+//! at constant average degree: near-flat times demonstrate the fix (the
+//! old design grew linearly in E here).
+//!
+//! ```text
+//! cargo bench --bench session_drain
+//! ```
+
+use flexi_bench::microbench::BenchGroup;
+use flexiwalker::prelude::*;
+
+fn main() {
+    let mut group = BenchGroup::new("session_drain_cached").sample_size(10);
+    let workload = Node2Vec::paper(true);
+    let queries: Vec<NodeId> = (0..64).collect();
+
+    // Constant average degree (8): edge count grows 16x while per-walk
+    // work stays put.
+    for (scale, edges) in [(12u32, 32_768usize), (14, 131_072), (16, 524_288)] {
+        let csr = gen::rmat(scale, edges, gen::RmatParams::SOCIAL, 99);
+        let csr = WeightModel::UniformReal.apply(csr, 99);
+        let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
+        let graph = session.load_graph(csr);
+        // Warm: the one digest, the one preprocess, the one profile.
+        session
+            .run(WalkRequest::new(&graph, &workload, &queries).steps(10))
+            .expect("warm-up run");
+
+        group.bench_function(format!("drain_64q_{edges}e"), || {
+            session
+                .run(WalkRequest::new(&graph, &workload, &queries).steps(10))
+                .expect("cached drain");
+        });
+
+        let stats = session.stats();
+        assert_eq!(
+            stats.digests_computed, 1,
+            "cached drains must never re-hash the graph"
+        );
+        println!(
+            "  [{edges} edges] digests computed: {} (once, at load_graph)",
+            stats.digests_computed
+        );
+    }
+    group.finish();
+}

@@ -103,12 +103,13 @@ fn cpu_run(
     spec: &CpuSpec,
     sampler: CpuSampler,
     io_model: Option<&IoModel>,
-    req: &WalkRequest<'_>,
+    req: &WalkRequest,
     watts: f64,
 ) -> Result<RunReport, EngineError> {
-    let g = req.graph;
-    let w = req.workload;
-    let queries = req.queries;
+    let snap = req.snapshot();
+    let g: &flexi_graph::Csr = &snap.graph;
+    let w = req.workload.as_ref();
+    let queries: &[flexi_graph::NodeId] = &req.queries;
     let cfg = &req.config;
     let steps = w.preferred_steps().unwrap_or(cfg.steps);
     let mut total = ScalarCost::default();
@@ -196,6 +197,7 @@ fn cpu_run(
     }
     Ok(RunReport {
         engine: engine_name,
+        graph_version: snap.version,
         sim_seconds,
         saturated_seconds: sim_seconds,
         stats: CostStats {
@@ -262,8 +264,8 @@ impl WalkEngine for ThunderRwCpu {
         "ThunderRW"
     }
 
-    fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
-        let sampler = sampler_for(req.workload, true);
+    fn run(&self, req: &WalkRequest) -> Result<RunReport, EngineError> {
+        let sampler = sampler_for(req.workload.as_ref(), true);
         cpu_run(self.name(), &self.spec, sampler, None, req, self.spec.watts)
     }
 }
@@ -293,8 +295,8 @@ impl WalkEngine for SoWalkerCpu {
         "SOWalker"
     }
 
-    fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
-        let sampler = sampler_for(req.workload, true);
+    fn run(&self, req: &WalkRequest) -> Result<RunReport, EngineError> {
+        let sampler = sampler_for(req.workload.as_ref(), true);
         let io = IoModel {
             miss_ppm: self.miss_ppm,
             // ~20 µs NVMe block read at 3 GHz.
@@ -330,10 +332,10 @@ impl WalkEngine for KnightKingCpu {
         "KnightKing"
     }
 
-    fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
+    fn run(&self, req: &WalkRequest) -> Result<RunReport, EngineError> {
         // KnightKing's dynamic path uses rejection; the bound is exact when
         // statically known, otherwise an exact max scan per step.
-        let sampler = match const_bound(req.workload) {
+        let sampler = match const_bound(req.workload.as_ref()) {
             Some(b) => CpuSampler::RjsConstBound(b),
             None => CpuSampler::RjsExactMax,
         };
@@ -364,11 +366,11 @@ mod tests {
     fn run(
         engine: &dyn WalkEngine,
         g: &Csr,
-        w: &dyn DynamicWalk,
+        w: impl flexi_core::IntoWorkload,
         queries: &[NodeId],
         c: &WalkConfig,
     ) -> Result<RunReport, EngineError> {
-        engine.run(&WalkRequest::new(g, w, queries).with_config(c.clone()))
+        engine.run(&WalkRequest::new(g.clone(), w, queries).with_config(c.clone()))
     }
 
     #[test]

@@ -85,10 +85,11 @@ impl GpuBaseline {
         }
     }
 
-    fn run_impl(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
-        let g = req.graph;
-        let w = req.workload;
-        let queries = req.queries;
+    fn run_impl(&self, req: &WalkRequest) -> Result<RunReport, EngineError> {
+        let snap = req.snapshot();
+        let g: &Csr = &snap.graph;
+        let w = req.workload.as_ref();
+        let queries: &[NodeId] = &req.queries;
         let cfg = &req.config;
         let device = Device::new(self.spec.clone());
         let need = g.memory_bytes() + self.aux_bytes(g, queries.len());
@@ -154,6 +155,7 @@ impl GpuBaseline {
         sampler_steps.record(self.kind.sampler_id(), steps_taken);
         Ok(RunReport {
             engine: self.name,
+            graph_version: snap.version,
             sim_seconds: launch.sim_seconds,
             saturated_seconds,
             stats: launch.stats,
@@ -289,7 +291,7 @@ macro_rules! baseline_engine {
                 $name
             }
 
-            fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
+            fn run(&self, req: &WalkRequest) -> Result<RunReport, EngineError> {
                 self.inner.run_impl(req)
             }
         }
@@ -351,11 +353,11 @@ mod tests {
     fn run(
         engine: &dyn WalkEngine,
         g: &Csr,
-        w: &dyn DynamicWalk,
+        w: impl flexi_core::IntoWorkload,
         queries: &[NodeId],
         c: &WalkConfig,
     ) -> Result<RunReport, EngineError> {
-        engine.run(&WalkRequest::new(g, w, queries).with_config(c.clone()))
+        engine.run(&WalkRequest::new(g.clone(), w, queries).with_config(c.clone()))
     }
 
     #[test]

@@ -18,7 +18,7 @@ fn main() {
         let mut cfg = config_for(&p, "YT", &g, qs.len());
         cfg.time_budget = f64::MAX;
         let spec = device_for("YT", &g);
-        let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
+        let req = WalkRequest::new(g.clone(), &w, &qs).with_config(cfg);
         let engines: Vec<Box<dyn WalkEngine>> = vec![
             Box::new(NextDoorGpu::new(spec.clone())),
             Box::new(FlowWalkerGpu::new(spec.clone())),

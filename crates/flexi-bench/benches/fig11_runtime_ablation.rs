@@ -13,7 +13,7 @@ fn main() {
     cfg.time_budget = f64::MAX;
     let spec = device_for("YT", &g);
     let w = Node2Vec::paper(true);
-    let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
+    let req = WalkRequest::new(g.clone(), &w, &qs).with_config(cfg);
     let mut group = BenchGroup::new("fig11").sample_size(10);
     let fw = FlowWalkerGpu::new(spec.clone());
     group.bench_function("FlowWalker", || {

@@ -14,7 +14,7 @@ fn main() {
     cfg.time_budget = f64::MAX;
     let spec = device_for("YT", &g);
     let w = Node2Vec::paper(true);
-    let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
+    let req = WalkRequest::new(g.clone(), &w, &qs).with_config(cfg);
     let mut group = BenchGroup::new("fig12").sample_size(10);
 
     // (a) Reservoir stages.

@@ -12,7 +12,7 @@ fn main() {
     cfg.time_budget = f64::MAX;
     let spec = device_for("CP", &g);
     let w = Node2Vec::paper(true);
-    let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
+    let req = WalkRequest::new(g.clone(), &w, &qs).with_config(cfg);
     let mut group = BenchGroup::new("fig13").sample_size(10);
     for (label, strategy) in [
         ("random", SelectionStrategy::Random),

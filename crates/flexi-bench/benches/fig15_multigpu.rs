@@ -13,7 +13,7 @@ fn main() {
     cfg.time_budget = f64::MAX;
     let spec = device_for("EU", &g);
     let w = Node2Vec::paper(true);
-    let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
+    let req = WalkRequest::new(g.clone(), &w, &qs).with_config(cfg);
     let mut group = BenchGroup::new("fig15").sample_size(10);
     for devices in [1usize, 4] {
         let engine = MultiDeviceEngine::new(spec.clone(), devices);

@@ -13,7 +13,7 @@ fn main() {
     let cfg = config_for(&p, "YT", &g, qs.len());
     let spec = device_for("YT", &g);
     let w = Node2Vec::paper(true);
-    let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
+    let req = WalkRequest::new(g.clone(), &w, &qs).with_config(cfg);
     let engines: Vec<Box<dyn WalkEngine>> = vec![
         Box::new(CSawGpu::new(spec.clone())),
         Box::new(SkywalkerGpu::new(spec.clone())),

@@ -14,7 +14,7 @@ fn main() {
         let mut cfg = config_for(&p, "EU", &g, qs.len());
         cfg.time_budget = f64::MAX;
         let spec = device_for("EU", &g);
-        let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
+        let req = WalkRequest::new(g.clone(), &w, &qs).with_config(cfg);
         for (label, strategy) in [
             ("eRVS", SelectionStrategy::RVS_ONLY),
             ("eRJS", SelectionStrategy::RJS_ONLY),

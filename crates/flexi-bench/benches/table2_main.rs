@@ -15,7 +15,7 @@ fn main() {
     cfg.time_budget = f64::MAX;
     let spec = device_for("CP", &g);
     let w = Node2Vec::paper(true);
-    let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
+    let req = WalkRequest::new(g.clone(), &w, &qs).with_config(cfg);
     let engines: Vec<Box<dyn WalkEngine>> = vec![
         Box::new(SoWalkerCpu::new(CpuSpec::epyc_9124p())),
         Box::new(ThunderRwCpu::new(CpuSpec::epyc_9124p())),

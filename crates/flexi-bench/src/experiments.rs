@@ -20,7 +20,9 @@ use flexi_core::{
     SelectionStrategy, WalkEngine, WalkRequest, WalkState,
 };
 use flexi_graph::stats::{coefficient_of_variation, histogram};
+use flexi_graph::GraphHandle;
 use flexi_sampling::kernels::ErvsMode;
+use std::sync::Arc;
 
 /// All experiment ids `repro` accepts.
 pub const ALL_IDS: [&str; 14] = [
@@ -87,6 +89,7 @@ pub fn fig3(p: &Profile) -> Vec<Table> {
             let mut cfg = config_for(p, name, &g, qs.len());
             cfg.time_budget = f64::MAX; // Fig. 3 reports all methods.
             let spec = device_for(name, &g);
+            let g = GraphHandle::new(g);
             let outcomes: Vec<Outcome> = [
                 Box::new(CSawGpu::new(spec.clone())) as Box<dyn WalkEngine>,
                 Box::new(SkywalkerGpu::new(spec.clone())),
@@ -126,6 +129,7 @@ pub fn fig7a(p: &Profile) -> Table {
         let mut cfg = config_for(p, "EU", &g, qs.len());
         cfg.time_budget = f64::MAX;
         let spec = device_for("EU", &g);
+        let g = GraphHandle::new(g);
         let rvs = FlexiWalkerEngine::with_strategy(spec.clone(), SelectionStrategy::RVS_ONLY);
         let rjs = FlexiWalkerEngine::with_strategy(spec, SelectionStrategy::RJS_ONLY);
         t.push_row(vec![
@@ -149,7 +153,7 @@ pub fn fig7b(p: &Profile) -> Table {
     cfg.time_budget = f64::MAX;
     let engine = FlexiWalkerEngine::new(device_for("EU", &g));
     let report = engine
-        .run(&WalkRequest::new(&g, &w, &qs).with_config(cfg))
+        .run(&WalkRequest::new(g.clone(), &w, &qs).with_config(cfg))
         .expect("walk succeeds");
     // For every visited (node, prev) instance, record the node's dynamic
     // weight sum; CV per node across instances.
@@ -202,34 +206,34 @@ fn table2_engines(spec: &flexi_gpu_sim::DeviceSpec) -> Vec<Box<dyn WalkEngine>> 
 /// uniform property weights. Expected shape: FlexiWalker wins nearly
 /// everywhere; ITS/ALS systems hit OOT on weighted workloads at scale.
 pub fn table2(p: &Profile) -> Vec<Table> {
-    let workloads: Vec<(&str, Box<dyn DynamicWalk>, WeightSetup, bool)> = vec![
+    let workloads: Vec<(&str, Arc<dyn DynamicWalk>, WeightSetup, bool)> = vec![
         (
             "unweighted Node2Vec",
-            Box::new(Node2Vec::paper(false)),
+            Arc::new(Node2Vec::paper(false)),
             WeightSetup::Unweighted,
             false,
         ),
         (
             "weighted Node2Vec",
-            Box::new(Node2Vec::paper(true)),
+            Arc::new(Node2Vec::paper(true)),
             WeightSetup::Uniform,
             false,
         ),
         (
             "unweighted MetaPath",
-            Box::new(MetaPath::paper(false)),
+            Arc::new(MetaPath::paper(false)),
             WeightSetup::Unweighted,
             true,
         ),
         (
             "weighted MetaPath",
-            Box::new(MetaPath::paper(true)),
+            Arc::new(MetaPath::paper(true)),
             WeightSetup::Uniform,
             true,
         ),
         (
             "2nd-order PageRank",
-            Box::new(SecondOrderPr::paper()),
+            Arc::new(SecondOrderPr::paper()),
             WeightSetup::Uniform,
             false,
         ),
@@ -255,9 +259,10 @@ pub fn table2(p: &Profile) -> Vec<Table> {
             let qs = queries(&g, p);
             let cfg = config_for(p, ds.name, &g, qs.len());
             let spec = device_for(ds.name, &g);
+            let g = GraphHandle::new(g);
             let mut row = vec![ds.name.to_string()];
             for engine in table2_engines(&spec) {
-                row.push(run(engine.as_ref(), &g, w.as_ref(), &qs, &cfg).to_string());
+                row.push(run(engine.as_ref(), &g, Arc::clone(w), &qs, &cfg).to_string());
             }
             t.push_row(row);
         }
@@ -291,6 +296,7 @@ pub fn fig10(p: &Profile) -> Table {
             let qs = queries(&g, p);
             let cfg = config_for(p, name, &g, qs.len());
             let spec = device_for(name, &g);
+            let g = GraphHandle::new(g);
             let w = Node2Vec::paper(true);
             t.push_row(vec![
                 format!("{name} {label}"),
@@ -331,6 +337,7 @@ pub fn fig11(p: &Profile) -> Table {
             let mut cfg = config_for(p, name, &g, qs.len());
             cfg.time_budget = f64::MAX;
             let spec = device_for(name, &g);
+            let g = GraphHandle::new(g);
             let w = Node2Vec::paper(true);
             t.push_row(vec![
                 format!("{name} {label}"),
@@ -393,6 +400,7 @@ pub fn fig12(p: &Profile) -> Vec<Table> {
             let mut cfg = config_for(p, name, &g, qs.len());
             cfg.time_budget = f64::MAX;
             let spec = device_for(name, &g);
+            let g = GraphHandle::new(g);
 
             // (a) FlowWalker → +EXP → +JUMP.
             let fw = run(&FlowWalkerGpu::new(spec.clone()), &g, &w, &qs, &cfg);
@@ -456,6 +464,7 @@ pub fn fig13(p: &Profile) -> Table {
         let mut cfg = config_for(p, ds.name, &g, qs.len());
         cfg.time_budget = f64::MAX;
         let spec = device_for(ds.name, &g);
+        let g = GraphHandle::new(g);
         let strategies = [
             SelectionStrategy::Random,
             SelectionStrategy::paper_degree_baseline(),
@@ -502,7 +511,7 @@ pub fn fig14(p: &Profile) -> Table {
             cfg.time_budget = f64::MAX;
             let engine = FlexiWalkerEngine::new(device_for(name, &g));
             let report = engine
-                .run(&WalkRequest::new(&g, &w, &qs).with_config(cfg))
+                .run(&WalkRequest::new(g.clone(), &w, &qs).with_config(cfg))
                 .expect("run succeeds");
             let rjs = report.sampler_steps.get(sampler_ids::ERJS);
             let rvs = report.sampler_steps.get(sampler_ids::ERVS);
@@ -539,7 +548,7 @@ pub fn table3(p: &Profile) -> Table {
         cfg.time_budget = f64::MAX;
         let engine = FlexiWalkerEngine::new(device_for(ds.name, &g));
         let report = engine
-            .run(&WalkRequest::new(&g, &w, &qs).with_config(cfg))
+            .run(&WalkRequest::new(g.clone(), &w, &qs).with_config(cfg))
             .expect("run succeeds");
         let profile_ms = report.profile_seconds * 1e3;
         let preproc_ms = report.preprocess_seconds * 1e3;
@@ -576,7 +585,7 @@ pub fn fig15(p: &Profile) -> Table {
         let mut cfg = config_for(p, name, &g, qs.len());
         cfg.time_budget = f64::MAX;
         let spec = device_for(name, &g);
-        let req = WalkRequest::new(&g, &w, &qs).with_config(cfg);
+        let req = WalkRequest::new(g.clone(), &w, &qs).with_config(cfg);
         let base = MultiDeviceEngine::new(spec.clone(), 1)
             .run(&req)
             .expect("run succeeds")
@@ -636,7 +645,7 @@ pub fn fig16(p: &Profile) -> Vec<Table> {
         let mut row_j = vec![name.to_string()];
         let mut row_w = vec![name.to_string()];
         for e in &engines {
-            match e.run(&WalkRequest::new(&g, &w, &qs).with_config(cfg.clone())) {
+            match e.run(&WalkRequest::new(g.clone(), &w, &qs).with_config(cfg.clone())) {
                 Ok(report) => {
                     let energy = energy_of(&report);
                     row_j.push(format!("{:.3e}", energy.joules_per_query));
@@ -675,6 +684,7 @@ pub fn int8(p: &Profile) -> Table {
         let mut cfg = config_for(p, ds.name, &g, qs.len());
         cfg.time_budget = f64::MAX;
         let spec = device_for(ds.name, &g);
+        let g = GraphHandle::new(g);
         let fw = run(&FlowWalkerGpu::new(spec.clone()), &g, &w, &qs, &cfg);
         let fx = run(&FlexiWalkerEngine::new(spec), &g, &w, &qs, &cfg);
         let speedup = match (fw.ms(), fx.ms()) {
@@ -734,6 +744,7 @@ pub fn ablation(p: &Profile) -> Vec<Table> {
             cfg.time_budget = f64::MAX;
             let mut engine = FlexiWalkerEngine::new(device_for("EU", &g));
             engine.skip_profile = true;
+            let g = GraphHandle::new(g);
             // Force the swept ratio by bypassing profiling: strategy stays
             // CostModel with the default ratio replaced through a custom
             // engine run per ratio.
@@ -757,6 +768,7 @@ pub fn ablation(p: &Profile) -> Vec<Table> {
         let on = FlexiWalkerEngine::new(device_for(name, &g));
         let mut off = FlexiWalkerEngine::new(device_for(name, &g));
         off.skip_profile = true;
+        let g = GraphHandle::new(g);
         b.push_row(vec![
             name.to_string(),
             run(&on, &g, &w, &qs, &cfg).to_string(),
@@ -770,8 +782,8 @@ pub fn ablation(p: &Profile) -> Vec<Table> {
 fn run_with_ratio(
     engine: &FlexiWalkerEngine,
     ratio: f64,
-    g: &flexi_graph::Csr,
-    w: &dyn DynamicWalk,
+    g: &GraphHandle,
+    w: impl flexi_core::IntoWorkload,
     qs: &[flexi_graph::NodeId],
     cfg: &flexi_core::WalkConfig,
 ) -> Outcome {

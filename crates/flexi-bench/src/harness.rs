@@ -1,8 +1,8 @@
 //! Shared machinery for the reproduction experiments.
 
-use flexi_core::{DynamicWalk, EngineError, RunReport, WalkConfig, WalkEngine, WalkRequest};
+use flexi_core::{EngineError, IntoWorkload, RunReport, WalkConfig, WalkEngine, WalkRequest};
 use flexi_gpu_sim::DeviceSpec;
-use flexi_graph::{datasets, props, Csr, NodeId, WeightModel};
+use flexi_graph::{datasets, props, Csr, GraphHandle, NodeId, WeightModel};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -267,13 +267,13 @@ pub fn config_for(p: &Profile, name: &str, g: &Csr, queries_len: usize) -> WalkC
 /// and scale the simulated time linearly (walks are query-parallel).
 pub fn run(
     engine: &dyn WalkEngine,
-    g: &Csr,
-    w: &dyn DynamicWalk,
+    g: &GraphHandle,
+    w: impl IntoWorkload,
     qs: &[NodeId],
     cfg: &WalkConfig,
 ) -> Outcome {
     match engine.run(&WalkRequest::new(g, w, qs).with_config(cfg.clone())) {
-        Ok(report) => Outcome::Millis(extrapolate_ms(&report, g, qs.len())),
+        Ok(report) => Outcome::Millis(extrapolate_ms(&report, &g.graph(), qs.len())),
         Err(EngineError::OutOfMemory { .. }) => Outcome::Oom,
         Err(EngineError::OutOfTime { .. }) => Outcome::Oot,
         Err(EngineError::Unsupported(_)) => Outcome::Unsupported,
@@ -354,6 +354,7 @@ mod tests {
         let qs = queries(&g, &p);
         let cfg = config_for(&p, "YT", &g, qs.len());
         let engine = FlexiWalkerEngine::new(device_for("YT", &g));
+        let g = GraphHandle::new(g);
         let out = run(&engine, &g, &Node2Vec::paper(true), &qs, &cfg);
         assert!(out.ms().expect("completed") > 0.0, "{out}");
     }

@@ -10,10 +10,10 @@
 //! - [`walk_corpus`] — a skip-gram training corpus (one walk per line),
 //!   the standard input format for DeepWalk/Node2Vec embedding trainers.
 
-use crate::engine::{EngineError, WalkConfig, WalkEngine, WalkRequest};
-use crate::workload::DynamicWalk;
-use flexi_graph::{Csr, NodeId};
+use crate::engine::{EngineError, IntoWorkload, WalkConfig, WalkEngine, WalkRequest};
+use flexi_graph::{GraphHandle, NodeId};
 use std::io::Write;
+use std::sync::Arc;
 
 /// Estimates personalized PageRank by walk-visit frequency.
 ///
@@ -28,8 +28,8 @@ use std::io::Write;
 /// Propagates the engine's errors.
 pub fn personalized_pagerank(
     engine: &dyn WalkEngine,
-    g: &Csr,
-    w: &dyn DynamicWalk,
+    graph: &GraphHandle,
+    w: impl IntoWorkload,
     sources: &[NodeId],
     walks_per_source: usize,
     restart: f64,
@@ -39,7 +39,8 @@ pub fn personalized_pagerank(
         (0.0..1.0).contains(&restart),
         "restart probability must be in [0, 1)"
     );
-    let mut scores = vec![0.0f64; g.num_nodes()];
+    let w = w.into_workload();
+    let mut scores = vec![0.0f64; graph.graph().num_nodes()];
     let mut mass = 0.0f64;
     for round in 0..walks_per_source {
         let mut round_cfg = cfg.clone();
@@ -47,7 +48,8 @@ pub fn personalized_pagerank(
         round_cfg.seed = cfg
             .seed
             .wrapping_add(0x9E37_79B9u64.wrapping_mul(round as u64 + 1));
-        let report = engine.run(&WalkRequest::new(g, w, sources).with_config(round_cfg))?;
+        let report =
+            engine.run(&WalkRequest::new(graph, Arc::clone(&w), sources).with_config(round_cfg))?;
         for path in report.paths.as_ref().expect("recorded") {
             let mut survive = 1.0f64;
             for &v in path {
@@ -78,15 +80,15 @@ pub fn personalized_pagerank(
 /// failures panic-free bubble via `std::io::Error`).
 pub fn walk_corpus<W: Write>(
     engine: &dyn WalkEngine,
-    g: &Csr,
-    w: &dyn DynamicWalk,
+    graph: &GraphHandle,
+    w: impl IntoWorkload,
     queries: &[NodeId],
     cfg: &WalkConfig,
     out: &mut W,
 ) -> Result<usize, CorpusError> {
     let mut run_cfg = cfg.clone();
     run_cfg.record_paths = true;
-    let report = engine.run(&WalkRequest::new(g, w, queries).with_config(run_cfg))?;
+    let report = engine.run(&WalkRequest::new(graph, w, queries).with_config(run_cfg))?;
     let mut lines = 0usize;
     for path in report.paths.as_ref().expect("recorded") {
         if path.len() < 2 {
@@ -144,6 +146,7 @@ mod tests {
     use crate::engine::FlexiWalkerEngine;
     use crate::workload::UniformWalk;
     use flexi_gpu_sim::DeviceSpec;
+    use flexi_graph::GraphHandle;
     use flexi_graph::{gen, CsrBuilder, WeightModel};
 
     fn engine() -> FlexiWalkerEngine {
@@ -171,7 +174,7 @@ mod tests {
         }
         b.push_weighted(3, 4, 0.05);
         b.push_weighted(4, 3, 0.05);
-        let g = b.build().unwrap();
+        let g = GraphHandle::new(b.build().unwrap());
         let cfg = WalkConfig {
             steps: 8,
             ..WalkConfig::default()
@@ -186,7 +189,7 @@ mod tests {
 
     #[test]
     fn ppr_on_sink_only_graph_is_all_source_mass() {
-        let g = CsrBuilder::new(2).build().unwrap();
+        let g = GraphHandle::new(CsrBuilder::new(2).build().unwrap());
         let cfg = WalkConfig::default();
         let scores =
             personalized_pagerank(&engine(), &g, &UniformWalk, &[1], 4, 0.5, &cfg).unwrap();
@@ -197,7 +200,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "restart probability")]
     fn ppr_rejects_bad_restart() {
-        let g = CsrBuilder::new(1).build().unwrap();
+        let g = GraphHandle::new(CsrBuilder::new(1).build().unwrap());
         let _ = personalized_pagerank(
             &engine(),
             &g,
@@ -212,7 +215,8 @@ mod tests {
     #[test]
     fn corpus_emits_one_line_per_surviving_walk() {
         let g = gen::rmat(7, 1024, gen::RmatParams::SOCIAL, 3);
-        let g = WeightModel::UniformReal.apply(g, 3);
+        let g = GraphHandle::new(WeightModel::UniformReal.apply(g, 3));
+        let csr = g.graph();
         let queries: Vec<u32> = (0..32).collect();
         let cfg = WalkConfig {
             steps: 5,
@@ -229,14 +233,14 @@ mod tests {
                 .collect();
             assert!(ids.len() >= 2);
             for pair in ids.windows(2) {
-                assert!(g.has_edge(pair[0], pair[1]));
+                assert!(csr.has_edge(pair[0], pair[1]));
             }
         }
     }
 
     #[test]
     fn corpus_skips_instant_dead_ends() {
-        let g = CsrBuilder::new(2).edge(0, 1).build().unwrap();
+        let g = GraphHandle::new(CsrBuilder::new(2).edge(0, 1).build().unwrap());
         let mut buf = Vec::new();
         // Node 1 is a sink: its walk has length 1 and is skipped.
         let lines = walk_corpus(

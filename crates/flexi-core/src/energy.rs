@@ -45,6 +45,7 @@ mod tests {
     fn report(watts: f64, secs: f64, queries: usize) -> RunReport {
         RunReport {
             engine: "test",
+            graph_version: flexi_graph::GraphVersion::default(),
             sim_seconds: secs,
             saturated_seconds: secs,
             stats: CostStats::default(),

@@ -9,12 +9,16 @@
 //! from the §5.3 atomic queue, and every step consults Flexi-Runtime for
 //! the sampler choice.
 //!
-//! Work is described by a [`WalkRequest`] job struct; engines implement
-//! [`WalkEngine::run`] over it. Every walk query draws from its own
-//! Philox stream keyed by the request's [`WalkRequest::query_offset`], so
-//! paths are identical regardless of warp placement, host-thread count,
-//! or how a query set is split across requests — the foundation of the
-//! session API's batching guarantee.
+//! Work is described by a [`WalkRequest`] job struct — an *owned* job
+//! with no borrow lifetimes: the graph is an epoch-versioned
+//! [`GraphHandle`], the workload and query set are shared `Arc`s. Engines
+//! implement [`WalkEngine::run`] over it, pinning one [`GraphSnapshot`]
+//! per launch so a run sees a consistent graph version even while updates
+//! land on the handle. Every walk query draws from its own Philox stream
+//! keyed by the request's [`WalkRequest::query_offset`], so paths are
+//! identical regardless of warp placement, host-thread count, or how a
+//! query set is split across requests — the foundation of the session
+//! API's batching guarantee.
 
 use crate::preprocess::Aggregates;
 use crate::profile::{run_profile, ProfileResult};
@@ -23,10 +27,10 @@ use crate::runtime::{CostModel, RuntimeEnv, SelectionStrategy};
 use crate::workload::{DynamicWalk, WalkState};
 use flexi_compiler::{compile, CompileOutcome, CompiledWalk};
 use flexi_gpu_sim::{CostStats, Device, DeviceSpec, WarpCtx, WARP_SIZE};
-use flexi_graph::{Csr, NodeId};
+use flexi_graph::{Csr, GraphHandle, GraphSnapshot, GraphVersion, NodeId};
 use flexi_rng::Philox4x32;
 use flexi_sampling::kernels::{warp_max_reduce, ErvsMode, NeighborView};
-use flexi_sampling::{ids, ErvsSampler, Granularity, Sampler, SamplerId, SamplerRegistry};
+use flexi_sampling::{ErvsSampler, Granularity, Sampler, SamplerId, SamplerRegistry};
 use std::sync::Arc;
 
 /// Default simulated-time budget (the paper's 12-hour OOT cutoff).
@@ -64,17 +68,79 @@ impl Default for WalkConfig {
     }
 }
 
-/// One walk job: the graph to walk, the workload, the query set, and the
-/// run configuration — the unit both [`WalkEngine::run`] and the session
-/// API operate on.
+/// Conversion into the shared workload a [`WalkRequest`] owns.
+///
+/// Lets request construction accept `&SomeWorkload` (cloned into a fresh
+/// `Arc`) as well as an already-shared `Arc<dyn DynamicWalk>`.
+pub trait IntoWorkload {
+    /// Produces the request's shared workload.
+    fn into_workload(self) -> Arc<dyn DynamicWalk>;
+}
+
+impl IntoWorkload for Arc<dyn DynamicWalk> {
+    fn into_workload(self) -> Arc<dyn DynamicWalk> {
+        self
+    }
+}
+
+impl<W: DynamicWalk + Clone + 'static> IntoWorkload for &W {
+    fn into_workload(self) -> Arc<dyn DynamicWalk> {
+        Arc::new(self.clone())
+    }
+}
+
+/// Conversion into the shared query set a [`WalkRequest`] owns.
+pub trait IntoQueries {
+    /// Produces the request's shared query set.
+    fn into_queries(self) -> Arc<[NodeId]>;
+}
+
+impl IntoQueries for Arc<[NodeId]> {
+    fn into_queries(self) -> Arc<[NodeId]> {
+        self
+    }
+}
+
+impl IntoQueries for Vec<NodeId> {
+    fn into_queries(self) -> Arc<[NodeId]> {
+        self.into()
+    }
+}
+
+impl IntoQueries for &Vec<NodeId> {
+    fn into_queries(self) -> Arc<[NodeId]> {
+        self.as_slice().into()
+    }
+}
+
+impl IntoQueries for &[NodeId] {
+    fn into_queries(self) -> Arc<[NodeId]> {
+        self.into()
+    }
+}
+
+impl<const N: usize> IntoQueries for &[NodeId; N] {
+    fn into_queries(self) -> Arc<[NodeId]> {
+        self.as_slice().into()
+    }
+}
+
+/// One walk job: the graph handle to walk, the workload, the query set,
+/// and the run configuration — the unit both [`WalkEngine::run`] and the
+/// session API operate on.
+///
+/// The request is fully owned (no borrow lifetimes): the graph travels as
+/// an epoch-versioned [`GraphHandle`], so a request can outlive the scope
+/// that built it, cross threads, and keep serving after runtime updates —
+/// engines resolve the handle to a pinned [`GraphSnapshot`] at launch.
 #[derive(Clone)]
-pub struct WalkRequest<'a> {
-    /// Graph being walked.
-    pub graph: &'a Csr,
+pub struct WalkRequest {
+    /// Versioned handle of the graph being walked.
+    pub graph: GraphHandle,
     /// Dynamic-walk workload.
-    pub workload: &'a dyn DynamicWalk,
+    pub workload: Arc<dyn DynamicWalk>,
     /// Starting nodes, one walk each.
-    pub queries: &'a [NodeId],
+    pub queries: Arc<[NodeId]>,
     /// Run configuration.
     pub config: WalkConfig,
     /// Global index of `queries[0]` in the submitter's cumulative query
@@ -89,16 +155,31 @@ pub struct WalkRequest<'a> {
     pub query_offset: u64,
 }
 
-impl<'a> WalkRequest<'a> {
+impl WalkRequest {
     /// A request with the default [`WalkConfig`] and offset 0.
-    pub fn new(graph: &'a Csr, workload: &'a dyn DynamicWalk, queries: &'a [NodeId]) -> Self {
+    ///
+    /// `graph` accepts a `&GraphHandle` (cheap clone of the same versioned
+    /// graph), an owned [`GraphHandle`], or a bare [`Csr`] / `Arc<Csr>`
+    /// (wrapped in a fresh handle). `workload` accepts `&W` or
+    /// `Arc<dyn DynamicWalk>`; `queries` accepts slices, vectors or a
+    /// shared `Arc<[NodeId]>`.
+    pub fn new(
+        graph: impl Into<GraphHandle>,
+        workload: impl IntoWorkload,
+        queries: impl IntoQueries,
+    ) -> Self {
         Self {
-            graph,
-            workload,
-            queries,
+            graph: graph.into(),
+            workload: workload.into_workload(),
+            queries: queries.into_queries(),
             config: WalkConfig::default(),
             query_offset: 0,
         }
+    }
+
+    /// Pins the request's current graph version for one launch.
+    pub fn snapshot(&self) -> GraphSnapshot {
+        self.graph.snapshot()
     }
 
     /// Replaces the run configuration.
@@ -144,9 +225,10 @@ impl<'a> WalkRequest<'a> {
     }
 }
 
-impl std::fmt::Debug for WalkRequest<'_> {
+impl std::fmt::Debug for WalkRequest {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WalkRequest")
+            .field("graph", &self.graph.version())
             .field("workload", &self.workload.name())
             .field("queries", &self.queries.len())
             .field("config", &self.config)
@@ -279,6 +361,10 @@ impl std::fmt::Display for SamplerTally {
 pub struct RunReport {
     /// Engine name.
     pub engine: &'static str,
+    /// The graph version the run was served from (which epoch of which
+    /// handle) — lets callers correlate walk output with the update
+    /// stream that produced the topology it traversed.
+    pub graph_version: GraphVersion,
     /// Main walk time in simulated seconds (excludes profile/preprocess,
     /// which the paper reports separately in Table 3).
     pub sim_seconds: f64,
@@ -324,18 +410,6 @@ impl RunReport {
             self.joules() / self.queries as f64
         }
     }
-
-    /// Steps that ran eRJS.
-    #[deprecated(note = "read `sampler_steps.get(flexi_sampling::ids::ERJS)`")]
-    pub fn chosen_rjs(&self) -> u64 {
-        self.sampler_steps.get(ids::ERJS)
-    }
-
-    /// Steps that ran eRVS.
-    #[deprecated(note = "read `sampler_steps.get(flexi_sampling::ids::ERVS)`")]
-    pub fn chosen_rvs(&self) -> u64 {
-        self.sampler_steps.get(ids::ERVS)
-    }
 }
 
 /// Uniform interface over FlexiWalker and every baseline system.
@@ -350,19 +424,7 @@ pub trait WalkEngine: Sync {
     /// [`EngineError::OutOfMemory`] / [`EngineError::OutOfTime`] /
     /// [`EngineError::Unsupported`] mirror the paper's OOM/OOT/`-` table
     /// entries.
-    fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError>;
-
-    /// Positional-argument shim for pre-[`WalkRequest`] callers.
-    #[deprecated(note = "build a `WalkRequest` and call `run`")]
-    fn run_positional(
-        &self,
-        g: &Csr,
-        w: &dyn DynamicWalk,
-        queries: &[NodeId],
-        cfg: &WalkConfig,
-    ) -> Result<RunReport, EngineError> {
-        self.run(&WalkRequest::new(g, w, queries).with_config(cfg.clone()))
-    }
+    fn run(&self, req: &WalkRequest) -> Result<RunReport, EngineError>;
 }
 
 /// Compile outcome for one workload — the estimator artifacts a session
@@ -512,18 +574,39 @@ impl FlexiWalkerEngine {
     }
 
     /// Runs `req` against previously prepared state (the session fast
-    /// path).
+    /// path), pinning the handle's current version.
     ///
     /// # Errors
     ///
     /// As [`WalkEngine::run`].
     pub fn run_with(
         &self,
-        req: &WalkRequest<'_>,
+        req: &WalkRequest,
         prepared: &PreparedState,
     ) -> Result<RunReport, EngineError> {
-        let g = req.graph;
-        let w = req.workload;
+        let snap = req.snapshot();
+        self.run_on(&snap, req, prepared)
+    }
+
+    /// Runs `req` against an explicitly pinned graph snapshot.
+    ///
+    /// The session API uses this to guarantee the walk executes over
+    /// exactly the version its caches were prepared for — resolving the
+    /// handle twice could interleave with a concurrent
+    /// `apply_updates` and pair fresh topology with stale aggregates.
+    ///
+    /// # Errors
+    ///
+    /// As [`WalkEngine::run`].
+    pub fn run_on(
+        &self,
+        snap: &GraphSnapshot,
+        req: &WalkRequest,
+        prepared: &PreparedState,
+    ) -> Result<RunReport, EngineError> {
+        let g: &Csr = &snap.graph;
+        let w: &dyn DynamicWalk = req.workload.as_ref();
+        let queries: &[NodeId] = &req.queries;
         let cfg = &req.config;
         let mut warnings = prepared.artifacts.warnings.clone();
 
@@ -593,9 +676,9 @@ impl FlexiWalkerEngine {
 
         let cost_model = self.cost_model(prepared.profile.as_ref());
         let steps = w.preferred_steps().unwrap_or(cfg.steps);
-        let queue = QueryQueue::new(req.queries.len());
+        let queue = QueryQueue::new(queries.len());
         let slots = self.spec.total_warp_slots();
-        let num_warps = req.queries.len().div_ceil(WARP_SIZE).min(slots).max(1);
+        let num_warps = queries.len().div_ceil(WARP_SIZE).min(slots).max(1);
 
         // Launch-invariant candidate set: every registered strategy, minus
         // the bound-needing ones when no estimator exists. Computed once so
@@ -620,7 +703,7 @@ impl FlexiWalkerEngine {
             seed: cfg.seed,
             query_offset: req.query_offset,
         };
-        let kernel = |ctx: &mut WarpCtx| walk_warp(ctx, g, w, &queue, req.queries, &kernel_cfg);
+        let kernel = |ctx: &mut WarpCtx| walk_warp(ctx, g, w, &queue, queries, &kernel_cfg);
         let launch = if cfg.host_threads > 1 {
             device.launch_parallel(num_warps, cfg.host_threads, cfg.seed, kernel)
         } else {
@@ -635,9 +718,7 @@ impl FlexiWalkerEngine {
 
         let mut sampler_steps = SamplerTally::new();
         let mut steps_taken = 0;
-        let mut paths = cfg
-            .record_paths
-            .then(|| vec![Vec::new(); req.queries.len()]);
+        let mut paths = cfg.record_paths.then(|| vec![Vec::new(); queries.len()]);
         for out in &launch.outputs {
             for (idx, n) in out.tallies.iter().enumerate() {
                 if let Some(s) = self.registry.at(idx) {
@@ -658,10 +739,11 @@ impl FlexiWalkerEngine {
             .min(launch.sim_seconds);
         Ok(RunReport {
             engine: "FlexiWalker",
+            graph_version: snap.version,
             sim_seconds: launch.sim_seconds,
             saturated_seconds,
             stats: launch.stats,
-            queries: req.queries.len(),
+            queries: queries.len(),
             steps_taken,
             paths,
             sampler_steps,
@@ -678,9 +760,10 @@ impl WalkEngine for FlexiWalkerEngine {
         "FlexiWalker"
     }
 
-    fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
-        let prepared = self.prepare(req.graph, req.workload, req.config.seed);
-        self.run_with(req, &prepared)
+    fn run(&self, req: &WalkRequest) -> Result<RunReport, EngineError> {
+        let snap = req.snapshot();
+        let prepared = self.prepare(&snap.graph, req.workload.as_ref(), req.config.seed);
+        self.run_on(&snap, req, &prepared)
     }
 }
 
@@ -1003,6 +1086,7 @@ mod tests {
     use super::*;
     use crate::workload::{MetaPath, Node2Vec, SecondOrderPr, UniformWalk};
     use flexi_graph::{gen, props, CsrBuilder, WeightModel};
+    use flexi_sampling::ids;
     use flexi_sampling::stat;
 
     fn small_graph() -> Csr {
@@ -1021,13 +1105,13 @@ mod tests {
     fn run(
         engine: &FlexiWalkerEngine,
         g: &Csr,
-        w: &dyn DynamicWalk,
+        w: impl IntoWorkload,
         queries: &[NodeId],
         c: &WalkConfig,
     ) -> Result<RunReport, EngineError> {
         WalkEngine::run(
             engine,
-            &WalkRequest::new(g, w, queries).with_config(c.clone()),
+            &WalkRequest::new(g.clone(), w, queries).with_config(c.clone()),
         )
     }
 
@@ -1264,17 +1348,17 @@ mod tests {
         let c = cfg(12);
         let whole = WalkEngine::run(
             &engine,
-            &WalkRequest::new(&g, &w, &queries).with_config(c.clone()),
+            &WalkRequest::new(g.clone(), &w, &queries).with_config(c.clone()),
         )
         .unwrap();
         let first = WalkEngine::run(
             &engine,
-            &WalkRequest::new(&g, &w, &queries[..32]).with_config(c.clone()),
+            &WalkRequest::new(g.clone(), &w, &queries[..32]).with_config(c.clone()),
         )
         .unwrap();
         let second = WalkEngine::run(
             &engine,
-            &WalkRequest::new(&g, &w, &queries[32..])
+            &WalkRequest::new(g.clone(), &w, &queries[32..])
                 .with_config(c.clone())
                 .query_offset(32),
         )
@@ -1293,7 +1377,7 @@ mod tests {
         let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
         let c = cfg(10);
         let prepared = engine.prepare(&g, &w, c.seed);
-        let req = WalkRequest::new(&g, &w, &queries).with_config(c.clone());
+        let req = WalkRequest::new(g.clone(), &w, &queries).with_config(c.clone());
         let cached = engine.run_with(&req, &prepared).unwrap();
         let fresh = WalkEngine::run(&engine, &req).unwrap();
         assert_eq!(cached.paths, fresh.paths);
@@ -1534,22 +1618,10 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_positional_shim_matches_request_run() {
-        let g = small_graph();
-        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
-        let w = Node2Vec::paper(true);
-        let queries: Vec<NodeId> = (0..16u32).collect();
-        let c = cfg(5);
-        #[allow(deprecated)]
-        let via_shim = engine.run_positional(&g, &w, &queries, &c).unwrap();
-        let via_request = run(&engine, &g, &w, &queries, &c).unwrap();
-        assert_eq!(via_shim.paths, via_request.paths);
-    }
-
-    #[test]
     fn report_energy_math() {
         let r = RunReport {
             engine: "x",
+            graph_version: GraphVersion::default(),
             sim_seconds: 2.0,
             saturated_seconds: 2.0,
             stats: CostStats::default(),

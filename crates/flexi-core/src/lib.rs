@@ -33,9 +33,13 @@ pub mod runtime;
 pub mod workload;
 
 pub use engine::{
-    compile_workload, CompiledArtifacts, EngineError, FlexiWalkerEngine, PreparedState, RunReport,
-    SamplerTally, WalkConfig, WalkEngine, WalkRequest, DEFAULT_TIME_BUDGET,
+    compile_workload, CompiledArtifacts, EngineError, FlexiWalkerEngine, IntoQueries, IntoWorkload,
+    PreparedState, RunReport, SamplerTally, WalkConfig, WalkEngine, WalkRequest,
+    DEFAULT_TIME_BUDGET,
 };
+// Re-export the graph-handle seam: requests are built over these, so
+// engine users should not have to name `flexi-graph` directly.
+pub use flexi_graph::{GraphHandle, GraphSnapshot, GraphUpdate, GraphVersion, UpdateOutcome};
 pub use preprocess::Aggregates;
 pub use profile::ProfileResult;
 pub use queue::QueryQueue;

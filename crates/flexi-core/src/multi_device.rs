@@ -11,6 +11,7 @@ use crate::runtime::SelectionStrategy;
 use crate::FlexiWalkerEngine;
 use flexi_gpu_sim::{CostStats, DeviceSpec};
 use flexi_graph::NodeId;
+use std::sync::Arc;
 
 /// Query-to-device mapping policies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,14 +79,18 @@ impl WalkEngine for MultiDeviceEngine {
         "FlexiWalker-MultiGPU"
     }
 
-    fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
+    fn run(&self, req: &WalkRequest) -> Result<RunReport, EngineError> {
         let cfg = &req.config;
-        let parts = self.partition(req.queries);
+        // One snapshot for the whole ensemble: updates landing on the
+        // handle mid-run must not split the fleet across graph versions.
+        let snap = req.snapshot();
+        let parts = self.partition(&req.queries);
         let mut device_seconds: Vec<f64> = Vec::with_capacity(self.num_devices);
         let mut saturated_max = 0.0f64;
         let mut stats = CostStats::default();
         let mut merged = RunReport {
             engine: self.name(),
+            graph_version: snap.version,
             sim_seconds: 0.0,
             saturated_seconds: 0.0,
             stats,
@@ -102,8 +107,10 @@ impl WalkEngine for MultiDeviceEngine {
             let engine = FlexiWalkerEngine::with_strategy(self.spec.clone(), self.strategy);
             let mut dev_cfg = cfg.clone();
             dev_cfg.seed = cfg.seed.wrapping_add(d as u64).wrapping_mul(0x9E37) ^ cfg.seed;
-            let report = engine
-                .run(&WalkRequest::new(req.graph, req.workload, part).with_config(dev_cfg))?;
+            let dev_req = WalkRequest::new(&req.graph, Arc::clone(&req.workload), part.as_slice())
+                .with_config(dev_cfg);
+            let prepared = engine.prepare(&snap.graph, req.workload.as_ref(), dev_req.config.seed);
+            let report = engine.run_on(&snap, &dev_req, &prepared)?;
             saturated_max = saturated_max.max(report.saturated_seconds);
             device_seconds.push(report.sim_seconds);
             stats.add(&report.stats);
@@ -172,7 +179,7 @@ mod tests {
             steps: 10,
             ..WalkConfig::default()
         };
-        let req = WalkRequest::new(&g, &w, &queries).with_config(cfg);
+        let req = WalkRequest::new(g, &w, &queries).with_config(cfg);
         let t1 = MultiDeviceEngine::new(DeviceSpec::tiny(), 1)
             .run(&req)
             .unwrap()
@@ -197,7 +204,7 @@ mod tests {
             ..WalkConfig::default()
         };
         let report = MultiDeviceEngine::new(DeviceSpec::tiny(), 3)
-            .run(&WalkRequest::new(&g, &w, &queries).with_config(cfg))
+            .run(&WalkRequest::new(g, &w, &queries).with_config(cfg))
             .unwrap();
         assert_eq!(report.queries, 200);
         // Walks may end early at sinks; on aggregate most should advance.

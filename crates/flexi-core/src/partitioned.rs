@@ -99,10 +99,11 @@ impl WalkEngine for PartitionedEngine {
         "FlexiWalker-Partitioned"
     }
 
-    fn run(&self, req: &WalkRequest<'_>) -> Result<RunReport, EngineError> {
-        let g = req.graph;
-        let w = req.workload;
-        let queries = req.queries;
+    fn run(&self, req: &WalkRequest) -> Result<RunReport, EngineError> {
+        let snap = req.snapshot();
+        let g: &Csr = &snap.graph;
+        let w = req.workload.as_ref();
+        let queries: &[NodeId] = &req.queries;
         let cfg = &req.config;
         // VRAM check per partition (the whole point of this mode).
         for (d, bytes) in self.partition_bytes(g).iter().enumerate() {
@@ -184,6 +185,7 @@ impl WalkEngine for PartitionedEngine {
         }
         Ok(RunReport {
             engine: self.name(),
+            graph_version: snap.version,
             sim_seconds,
             saturated_seconds: sim_seconds,
             stats,
@@ -212,7 +214,7 @@ mod tests {
     use super::*;
     use crate::engine::WalkConfig;
     use crate::multi_device::MultiDeviceEngine;
-    use crate::workload::{DynamicWalk, Node2Vec};
+    use crate::workload::Node2Vec;
     use flexi_graph::{gen, WeightModel};
 
     fn graph() -> Csr {
@@ -231,11 +233,11 @@ mod tests {
     fn run(
         engine: &dyn WalkEngine,
         g: &Csr,
-        w: &dyn DynamicWalk,
+        w: impl crate::engine::IntoWorkload,
         queries: &[NodeId],
         c: &WalkConfig,
     ) -> Result<RunReport, EngineError> {
-        engine.run(&WalkRequest::new(g, w, queries).with_config(c.clone()))
+        engine.run(&WalkRequest::new(g.clone(), w, queries).with_config(c.clone()))
     }
 
     #[test]

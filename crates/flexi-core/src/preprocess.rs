@@ -88,9 +88,21 @@ impl Aggregates {
     /// update (the §7.2 dynamic-graph extension).
     ///
     /// Only the listed nodes' edge ranges are re-scanned, so the cost is
-    /// proportional to the dirty frontier rather than the whole graph.
-    /// Pair with `flexi_graph::dynamic::DynamicGraph::take_dirty_nodes`.
-    pub fn refresh_nodes(&mut self, g: &Csr, nodes: &[u32]) {
+    /// proportional to the dirty frontier rather than the whole graph,
+    /// and the per-node recomputation is bit-identical to what
+    /// [`Aggregates::compute`] produces from scratch. Pair with the
+    /// dirty-node set from `flexi_graph::GraphHandle::apply_updates` (or
+    /// `DynamicGraph::take_dirty_nodes`).
+    ///
+    /// Returns the number of in-range nodes refreshed — the session API
+    /// surfaces this so callers can assert updates stay proportional to
+    /// the dirty frontier.
+    pub fn refresh_nodes(&mut self, g: &Csr, nodes: &[u32]) -> usize {
+        if self.tables.is_empty() {
+            return 0;
+        }
+        let n = g.num_nodes();
+        let refreshed = nodes.iter().filter(|&&v| (v as usize) < n).count();
         for (name, table) in &mut self.tables {
             for &v in nodes {
                 let vu = v as usize;
@@ -118,6 +130,27 @@ impl Aggregates {
                 table.sum[vu] = sm;
             }
         }
+        refreshed
+    }
+
+    /// Whether two aggregate sets hold bit-identical tables.
+    ///
+    /// Compares every per-node value by its bit pattern (simulated timing
+    /// is ignored) — the check the incremental-refresh tests use to prove
+    /// `refresh_nodes` equals a from-scratch rebuild.
+    pub fn content_eq(&self, other: &Self) -> bool {
+        self.tables.len() == other.tables.len()
+            && self.tables.iter().all(|(name, t)| {
+                other.tables.get(name).is_some_and(|o| {
+                    fn bits(v: &[f32]) -> impl Iterator<Item = u32> + '_ {
+                        v.iter().map(|x| x.to_bits())
+                    }
+                    t.max.len() == o.max.len()
+                        && t.sum.len() == o.sum.len()
+                        && bits(&t.max).eq(bits(&o.max))
+                        && bits(&t.sum).eq(bits(&o.sum))
+                })
+            })
     }
 
     /// Aggregate lookup for node `v`.

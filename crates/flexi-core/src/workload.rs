@@ -45,7 +45,13 @@ impl WalkState {
 
 /// A dynamic random-walk workload: the paper's gather-move-update model
 /// reduced to its `get_weight` core plus metadata.
-pub trait DynamicWalk: Sync {
+///
+/// `Send + Sync` because workloads travel inside owned [`WalkRequest`]s
+/// (shared `Arc`s that may cross threads) and are read concurrently by
+/// host-parallel warp execution.
+///
+/// [`WalkRequest`]: crate::engine::WalkRequest
+pub trait DynamicWalk: Send + Sync {
     /// Short name used in reports.
     fn name(&self) -> &'static str;
 

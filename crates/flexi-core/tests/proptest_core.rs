@@ -6,7 +6,7 @@
 //! builds offline with zero external dependencies.
 
 use flexi_core::{
-    sampler_ids, CostModel, FlexiWalkerEngine, Node2Vec, QueryQueue, SamplerRegistry,
+    sampler_ids, CostModel, FlexiWalkerEngine, GraphHandle, Node2Vec, QueryQueue, SamplerRegistry,
     SelectionStrategy, WalkConfig, WalkEngine, WalkRequest, WalkState,
 };
 use flexi_gpu_sim::DeviceSpec;
@@ -112,7 +112,8 @@ fn walk_state_advance_shifts() {
 #[test]
 fn engine_paths_always_valid() {
     let g = gen::rmat(7, 512, gen::RmatParams::SOCIAL, 13);
-    let g = WeightModel::UniformReal.apply(g, 13);
+    let g = GraphHandle::new(WeightModel::UniformReal.apply(g, 13));
+    let csr = g.graph();
     let strategies = [
         SelectionStrategy::CostModel,
         SelectionStrategy::Random,
@@ -139,8 +140,84 @@ fn engine_paths_always_valid() {
             assert_eq!(path[0], queries[q]);
             assert!(path.len() <= 7);
             for pair in path.windows(2) {
-                assert!(g.has_edge(pair[0], pair[1]));
+                assert!(csr.has_edge(pair[0], pair[1]));
             }
+        }
+    }
+}
+
+/// Incremental-refresh correctness sweep: for random mixed update batches
+/// (weight-only and structural), `GraphHandle::apply_updates` followed by
+/// `Aggregates::refresh_nodes` over the reported dirty set must be
+/// *bit-identical* to a from-scratch `Aggregates::compute` on the updated
+/// graph — the invariant that lets the session serve walks over live
+/// updates without ever rebuilding unchanged aggregates.
+#[test]
+fn incremental_refresh_matches_full_rebuild() {
+    use flexi_core::{compile_workload, Aggregates, GraphUpdate};
+
+    let w = Node2Vec::paper(true);
+    let artifacts = compile_workload(&w);
+    let requests = &artifacts
+        .compiled
+        .as_ref()
+        .expect("weighted Node2Vec compiles")
+        .preprocess;
+    let spec = DeviceSpec::tiny();
+    let mut r = rng();
+
+    for case in 0..16u64 {
+        let base = gen::rmat(7, 768, gen::RmatParams::SOCIAL, 100 + case);
+        let base = WeightModel::UniformReal.apply(base, 100 + case);
+        let handle = GraphHandle::new(base);
+        let mut agg = Aggregates::compute(&handle.graph(), requests, &spec);
+
+        for round in 0..6 {
+            let g = handle.graph();
+            let n = g.num_nodes() as u32;
+            let m = g.num_edges();
+            let mut batch = Vec::new();
+            // Weight-only rounds and structural rounds alternate; structural
+            // rounds mix all three update kinds.
+            let structural = round % 2 == 1;
+            for _ in 0..4 {
+                batch.push(GraphUpdate::SetWeight {
+                    edge: r.bounded(m as u64) as usize,
+                    weight: 0.25 + (r.bounded(4000) as f32) / 100.0,
+                });
+            }
+            if structural {
+                for _ in 0..3 {
+                    batch.push(GraphUpdate::AddEdge {
+                        src: r.bounded(u64::from(n)) as u32,
+                        dst: r.bounded(u64::from(n)) as u32,
+                        weight: 0.5 + (r.bounded(2000) as f32) / 100.0,
+                        label: 0,
+                    });
+                }
+                let victim = r.bounded(u64::from(n)) as u32;
+                if g.degree(victim) > 0 {
+                    batch.push(GraphUpdate::RemoveEdge {
+                        src: victim,
+                        dst: g.neighbors(victim)[0],
+                    });
+                }
+            }
+
+            let outcome = handle.apply_updates(&batch).unwrap();
+            assert_eq!(outcome.structural, structural, "case {case} round {round}");
+            let refreshed = agg.refresh_nodes(&handle.graph(), &outcome.dirty_nodes);
+            assert_eq!(
+                refreshed,
+                outcome.dirty_nodes.len(),
+                "refresh count must equal the dirty frontier"
+            );
+
+            let fresh = Aggregates::compute(&handle.graph(), requests, &spec);
+            assert!(
+                agg.content_eq(&fresh),
+                "case {case} round {round}: incremental refresh diverged from full rebuild"
+            );
         }
     }
 }

@@ -5,11 +5,15 @@
 //! "can compromise the accuracy of preprocessed values". This module
 //! provides the update layer the paper sketches as future work:
 //!
-//! - **in-place weight updates** are applied immediately and tracked per
-//!   source node, so the runtime can refresh exactly the dirty aggregates;
-//! - **structural updates** (edge insertions/removals) are buffered and
-//!   applied in batches by a CSR rebuild, again yielding the dirty-node
-//!   set.
+//! - [`apply_batch`] applies one validated batch of [`GraphUpdate`]s —
+//!   weight overwrites in place, edge insertions/removals by one CSR
+//!   rebuild — and reports the dirty-node set plus whether the topology
+//!   changed. It is the engine room of
+//!   [`GraphHandle::apply_updates`](crate::handle::GraphHandle::apply_updates),
+//!   the versioned-handle surface the session API serves walks over.
+//! - [`DynamicGraph`] is the lower-level buffered wrapper: immediate
+//!   weight updates, queued structural updates, and an accumulated dirty
+//!   set, for callers managing their own graph storage.
 //!
 //! The aggregate refresh itself lives in `flexi-core::preprocess`
 //! (`Aggregates::refresh_nodes`), keeping this crate engine-agnostic.
@@ -20,7 +24,8 @@ use crate::props::EdgeProps;
 use crate::GraphError;
 use std::collections::BTreeSet;
 
-/// A structural update awaiting [`DynamicGraph::commit`].
+/// One graph mutation, applied in batches by [`apply_batch`] (and by
+/// [`DynamicGraph::commit`] / `GraphHandle::apply_updates`).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum GraphUpdate {
     /// Insert a directed edge.
@@ -41,6 +46,162 @@ pub enum GraphUpdate {
         /// Target node.
         dst: NodeId,
     },
+    /// Overwrite one edge's property weight in place.
+    ///
+    /// Within a batch, `edge` always refers to the edge ids of the graph
+    /// *as of the batch start*: weight updates are applied before any
+    /// structural rebuild, so they compose predictably with `AddEdge` /
+    /// `RemoveEdge` entries in the same batch.
+    SetWeight {
+        /// Edge id in the pre-batch graph.
+        edge: EdgeId,
+        /// New property weight.
+        weight: f32,
+    },
+}
+
+/// The effect of one committed update batch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Source nodes whose preprocessed aggregates are now stale, sorted
+    /// and deduplicated.
+    pub dirty_nodes: Vec<NodeId>,
+    /// Whether the batch changed the topology (edge ids may have shifted),
+    /// as opposed to weights only.
+    pub structural: bool,
+}
+
+/// Applies a batch of updates to `csr` in place.
+///
+/// The whole batch is validated up front: on error the graph is left
+/// untouched. Weight updates ([`GraphUpdate::SetWeight`]) are applied
+/// first, against the pre-batch edge ids; structural updates are then
+/// applied together by one CSR rebuild.
+///
+/// # Errors
+///
+/// [`GraphError::NodeOutOfRange`] if an insertion or removal references an
+/// unknown node; [`GraphError::EdgeOutOfRange`] if a weight update
+/// references an edge id past the pre-batch edge count.
+pub fn apply_batch(csr: &mut Csr, batch: &[GraphUpdate]) -> Result<BatchOutcome, GraphError> {
+    let n = csr.num_nodes();
+    let m = csr.num_edges();
+    for u in batch {
+        match u {
+            GraphUpdate::AddEdge { src, dst, .. } | GraphUpdate::RemoveEdge { src, dst } => {
+                if *src as usize >= n || *dst as usize >= n {
+                    return Err(GraphError::NodeOutOfRange {
+                        node: u64::from((*src).max(*dst)),
+                        num_nodes: n as u64,
+                    });
+                }
+            }
+            GraphUpdate::SetWeight { edge, .. } => {
+                if *edge >= m {
+                    return Err(GraphError::EdgeOutOfRange {
+                        edge: *edge,
+                        num_edges: m,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut dirty: BTreeSet<NodeId> = BTreeSet::new();
+    // Phase 1: in-place weight updates (validated, cannot fail).
+    for u in batch {
+        if let GraphUpdate::SetWeight { edge, weight } = u {
+            dirty.insert(set_weight_in(csr, *edge, *weight));
+        }
+    }
+
+    // Phase 2: one rebuild covering every structural update.
+    let structural = batch
+        .iter()
+        .any(|u| !matches!(u, GraphUpdate::SetWeight { .. }));
+    if structural {
+        // Removal multiset: (src, dst) -> count.
+        let mut removals: std::collections::HashMap<(NodeId, NodeId), usize> =
+            std::collections::HashMap::new();
+        for u in batch {
+            if let GraphUpdate::RemoveEdge { src, dst } = u {
+                *removals.entry((*src, *dst)).or_insert(0) += 1;
+            }
+        }
+        let mut b = CsrBuilder::with_capacity(n, csr.num_edges() + batch.len());
+        for v in 0..n as NodeId {
+            for e in csr.edge_range(v) {
+                let t = csr.edge_target(e);
+                if let Some(count) = removals.get_mut(&(v, t)) {
+                    if *count > 0 {
+                        *count -= 1;
+                        dirty.insert(v);
+                        continue;
+                    }
+                }
+                b.push_full(v, t, csr.prop(e), csr.label(e));
+            }
+        }
+        for u in batch {
+            if let GraphUpdate::AddEdge {
+                src,
+                dst,
+                weight,
+                label,
+            } = u
+            {
+                b.push_full(*src, *dst, *weight, *label);
+                dirty.insert(*src);
+            }
+        }
+        *csr = b.build()?;
+    }
+    Ok(BatchOutcome {
+        dirty_nodes: dirty.into_iter().collect(),
+        structural,
+    })
+}
+
+/// Overwrites one edge weight in place, returning the edge's source node.
+/// Unweighted graphs are promoted to weighted form; INT8 graphs are
+/// dequantised (INT8 cannot represent arbitrary updates).
+fn set_weight_in(csr: &mut Csr, edge: EdgeId, weight: f32) -> NodeId {
+    assert!(edge < csr.num_edges(), "edge id {edge} out of range");
+    let src = source_of(csr, edge);
+    let m = csr.num_edges();
+    let props = match std::mem::replace(&mut csr.props, EdgeProps::Unweighted) {
+        EdgeProps::F32(mut w) => {
+            w[edge] = weight;
+            EdgeProps::F32(w)
+        }
+        EdgeProps::Unweighted => {
+            let mut w = vec![1.0f32; m];
+            w[edge] = weight;
+            EdgeProps::F32(w)
+        }
+        EdgeProps::Int8 {
+            data,
+            scale,
+            offset,
+        } => {
+            let mut w: Vec<f32> = (0..m)
+                .map(|e| f32::from(data[e]) * scale + offset)
+                .collect();
+            w[edge] = weight;
+            EdgeProps::F32(w)
+        }
+    };
+    csr.props = props;
+    src
+}
+
+/// Binary-searches the row pointer for an edge's source node.
+fn source_of(csr: &Csr, edge: EdgeId) -> NodeId {
+    let rp = csr.row_ptr();
+    let e = edge as u64;
+    // partition_point: first node whose range starts after `edge`.
+    let idx = rp.partition_point(|&start| start <= e);
+    (idx - 1) as NodeId
 }
 
 /// A CSR graph with batched structural updates and immediate weight
@@ -90,43 +251,8 @@ impl DynamicGraph {
     ///
     /// Panics if `edge` is out of range.
     pub fn set_weight(&mut self, edge: EdgeId, weight: f32) {
-        assert!(edge < self.csr.num_edges(), "edge id {edge} out of range");
-        let src = self.source_of(edge);
-        let m = self.csr.num_edges();
-        let props = match std::mem::replace(&mut self.csr.props, EdgeProps::Unweighted) {
-            EdgeProps::F32(mut w) => {
-                w[edge] = weight;
-                EdgeProps::F32(w)
-            }
-            EdgeProps::Unweighted => {
-                let mut w = vec![1.0f32; m];
-                w[edge] = weight;
-                EdgeProps::F32(w)
-            }
-            EdgeProps::Int8 {
-                data,
-                scale,
-                offset,
-            } => {
-                // Dequantise fully; INT8 cannot represent arbitrary updates.
-                let mut w: Vec<f32> = (0..m)
-                    .map(|e| f32::from(data[e]) * scale + offset)
-                    .collect();
-                w[edge] = weight;
-                EdgeProps::F32(w)
-            }
-        };
-        self.csr.props = props;
+        let src = set_weight_in(&mut self.csr, edge, weight);
         self.dirty.insert(src);
-    }
-
-    /// Binary-searches the row pointer for an edge's source node.
-    fn source_of(&self, edge: EdgeId) -> NodeId {
-        let rp = self.csr.row_ptr();
-        let e = edge as u64;
-        // partition_point: first node whose range starts after `edge`.
-        let idx = rp.partition_point(|&start| start <= e);
-        (idx - 1) as NodeId
     }
 
     /// Queues a structural update for the next [`DynamicGraph::commit`].
@@ -149,58 +275,17 @@ impl DynamicGraph {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let n = self.csr.num_nodes();
-        for u in &self.pending {
-            let (src, dst) = match u {
-                GraphUpdate::AddEdge { src, dst, .. } => (*src, *dst),
-                GraphUpdate::RemoveEdge { src, dst } => (*src, *dst),
-            };
-            if src as usize >= n || dst as usize >= n {
-                return Err(GraphError::NodeOutOfRange {
-                    node: u64::from(src.max(dst)),
-                    num_nodes: n as u64,
-                });
+        let batch = std::mem::take(&mut self.pending);
+        match apply_batch(&mut self.csr, &batch) {
+            Ok(outcome) => {
+                self.dirty.extend(outcome.dirty_nodes);
+                Ok(())
+            }
+            Err(e) => {
+                self.pending = batch;
+                Err(e)
             }
         }
-        // Removal multiset: (src, dst) -> count.
-        let mut removals: std::collections::HashMap<(NodeId, NodeId), usize> =
-            std::collections::HashMap::new();
-        for u in &self.pending {
-            if let GraphUpdate::RemoveEdge { src, dst } = u {
-                *removals.entry((*src, *dst)).or_insert(0) += 1;
-            }
-        }
-        let mut b = CsrBuilder::with_capacity(n, self.csr.num_edges() + self.pending.len());
-        let mut dirty: BTreeSet<NodeId> = BTreeSet::new();
-        for v in 0..n as NodeId {
-            for e in self.csr.edge_range(v) {
-                let t = self.csr.edge_target(e);
-                if let Some(count) = removals.get_mut(&(v, t)) {
-                    if *count > 0 {
-                        *count -= 1;
-                        dirty.insert(v);
-                        continue;
-                    }
-                }
-                b.push_full(v, t, self.csr.prop(e), self.csr.label(e));
-            }
-        }
-        for u in &self.pending {
-            if let GraphUpdate::AddEdge {
-                src,
-                dst,
-                weight,
-                label,
-            } = u
-            {
-                b.push_full(*src, *dst, *weight, *label);
-                dirty.insert(*src);
-            }
-        }
-        self.csr = b.build()?;
-        self.pending.clear();
-        self.dirty.extend(dirty);
-        Ok(())
     }
 
     /// Returns and clears the set of nodes whose aggregates are stale.
@@ -266,10 +351,105 @@ mod tests {
 
     #[test]
     fn source_of_resolves_across_rows() {
-        let dg = DynamicGraph::new(base());
-        assert_eq!(dg.source_of(0), 0);
-        assert_eq!(dg.source_of(1), 0);
-        assert_eq!(dg.source_of(2), 1);
+        let g = base();
+        assert_eq!(source_of(&g, 0), 0);
+        assert_eq!(source_of(&g, 1), 0);
+        assert_eq!(source_of(&g, 2), 1);
+    }
+
+    #[test]
+    fn apply_batch_mixes_weight_and_structural_updates() {
+        let mut g = base();
+        let outcome = apply_batch(
+            &mut g,
+            &[
+                GraphUpdate::SetWeight {
+                    edge: 2,
+                    weight: 7.0,
+                }, // 1 -> 2, pre-batch id
+                GraphUpdate::AddEdge {
+                    src: 3,
+                    dst: 0,
+                    weight: 4.0,
+                    label: 1,
+                },
+                GraphUpdate::RemoveEdge { src: 0, dst: 1 },
+            ],
+        )
+        .unwrap();
+        assert!(outcome.structural);
+        assert_eq!(outcome.dirty_nodes, vec![0, 1, 3]);
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(3, 0));
+        // The weight update targeted the pre-batch edge id of 1 -> 2.
+        let e12 = g.edge_range(1).start;
+        assert_eq!(g.prop(e12), 7.0);
+    }
+
+    #[test]
+    fn apply_batch_weight_only_is_not_structural() {
+        let mut g = base();
+        let outcome = apply_batch(
+            &mut g,
+            &[GraphUpdate::SetWeight {
+                edge: 0,
+                weight: 9.0,
+            }],
+        )
+        .unwrap();
+        assert!(!outcome.structural);
+        assert_eq!(outcome.dirty_nodes, vec![0]);
+        assert_eq!(g.prop(0), 9.0);
+    }
+
+    #[test]
+    fn apply_batch_validates_before_mutating() {
+        let mut g = base();
+        let err = apply_batch(
+            &mut g,
+            &[
+                GraphUpdate::SetWeight {
+                    edge: 0,
+                    weight: 9.0,
+                },
+                GraphUpdate::SetWeight {
+                    edge: 99,
+                    weight: 1.0,
+                },
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::EdgeOutOfRange {
+                edge: 99,
+                num_edges: 3
+            }
+        );
+        assert_eq!(g.prop(0), 2.0, "graph untouched on invalid batch");
+    }
+
+    #[test]
+    fn queued_set_weight_commits_against_pre_batch_ids() {
+        let mut dg = DynamicGraph::new(base());
+        dg.queue(GraphUpdate::AddEdge {
+            src: 0,
+            dst: 0,
+            weight: 1.0,
+            label: 0,
+        });
+        // Pre-batch edge 0 is 0 -> 1; the insertion of 0 -> 0 sorts ahead
+        // of it, so a post-commit id-0 write would hit the wrong edge.
+        dg.queue(GraphUpdate::SetWeight {
+            edge: 0,
+            weight: 6.5,
+        });
+        dg.commit().unwrap();
+        let g = dg.graph();
+        let e01 = g.edge_range(0).start + 1; // after inserted 0 -> 0
+        assert_eq!(g.edge_target(e01), 1);
+        assert_eq!(g.prop(e01), 6.5);
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! Owned, epoch-versioned graph handles — the unit of graph identity the
+//! walk engines and the session API operate on.
+//!
+//! A [`GraphHandle`] owns its graph behind an `Arc` and carries a
+//! process-unique id plus an epoch counter that advances on every
+//! committed update batch. This replaces the borrowed-`&Csr` request
+//! model: requests hold a cheap handle clone instead of a lifetime-bound
+//! borrow, engines pin a consistent [`GraphSnapshot`] at launch, and
+//! caches key their entries by [`GraphVersion`] — `(graph_id, epoch)` —
+//! so a runtime update invalidates exactly the state it must.
+//!
+//! Mutation goes through [`GraphHandle::apply_updates`], which
+//! clones-on-write (readers holding an older snapshot keep walking the
+//! old version), bumps the epoch, and reports the dirty-node set for
+//! incremental aggregate refresh (`Aggregates::refresh_nodes` in
+//! `flexi-core`).
+
+use crate::csr::{Csr, NodeId};
+use crate::dynamic::{apply_batch, GraphUpdate};
+use crate::GraphError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Process-wide handle id allocator.
+static NEXT_GRAPH_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One version of one graph: a process-unique graph id plus the epoch the
+/// graph was at. Two equal `GraphVersion`s always denote bit-identical
+/// graph content, which is what makes them sound cache keys — every
+/// mutation path bumps the epoch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraphVersion {
+    /// Process-unique id of the [`GraphHandle`].
+    pub graph_id: u64,
+    /// Number of update batches applied since the graph was loaded.
+    pub epoch: u64,
+}
+
+impl std::fmt::Display for GraphVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}@e{}", self.graph_id, self.epoch)
+    }
+}
+
+/// A consistent view of one graph version, pinned by an engine for the
+/// duration of one launch. Updates applied after the snapshot was taken
+/// do not affect it.
+#[derive(Clone, Debug)]
+pub struct GraphSnapshot {
+    /// The graph at the snapshot's version.
+    pub graph: Arc<Csr>,
+    /// The version the snapshot pinned.
+    pub version: GraphVersion,
+}
+
+/// The result of one [`GraphHandle::apply_updates`] batch.
+#[derive(Clone, Debug)]
+pub struct UpdateOutcome {
+    /// The version after the batch (epoch advanced by one).
+    pub version: GraphVersion,
+    /// The graph exactly as of [`UpdateOutcome::version`] — callers
+    /// refreshing derived state (aggregates) against the dirty set must
+    /// use this, not a later re-read of the handle, or a concurrent batch
+    /// could slip in between.
+    pub graph: Arc<Csr>,
+    /// Source nodes whose preprocessed aggregates are now stale, sorted
+    /// and deduplicated.
+    pub dirty_nodes: Vec<NodeId>,
+    /// Whether the topology changed (edge ids may have shifted), as
+    /// opposed to weights only.
+    pub structural: bool,
+}
+
+#[derive(Debug)]
+struct Versioned {
+    graph: Arc<Csr>,
+    epoch: u64,
+}
+
+/// An owned, shareable, epoch-versioned graph.
+///
+/// Cloning a handle is cheap and yields another name for the *same*
+/// graph: updates applied through any clone are visible to all of them
+/// (and bump the shared epoch). Use [`GraphHandle::snapshot`] to pin a
+/// consistent version for reading.
+///
+/// # Examples
+///
+/// ```
+/// use flexi_graph::{CsrBuilder, GraphHandle, GraphUpdate};
+///
+/// let g = CsrBuilder::new(3).weighted_edge(0, 1, 2.0).build().unwrap();
+/// let handle = GraphHandle::new(g);
+/// assert_eq!(handle.epoch(), 0);
+///
+/// let before = handle.snapshot();
+/// let outcome = handle
+///     .apply_updates(&[GraphUpdate::AddEdge { src: 0, dst: 2, weight: 5.0, label: 0 }])
+///     .unwrap();
+/// assert_eq!(outcome.version.epoch, 1);
+/// assert_eq!(outcome.dirty_nodes, vec![0]);
+///
+/// // The live handle serves the new topology; the old snapshot is
+/// // unaffected (readers mid-walk keep a consistent view).
+/// assert!(handle.graph().has_edge(0, 2));
+/// assert!(!before.graph.has_edge(0, 2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphHandle {
+    id: u64,
+    shared: Arc<RwLock<Versioned>>,
+}
+
+impl GraphHandle {
+    /// Takes ownership of `csr` under a fresh handle at epoch 0.
+    pub fn new(csr: Csr) -> Self {
+        Self::from_arc(Arc::new(csr))
+    }
+
+    /// Wraps an already-shared graph under a fresh handle at epoch 0.
+    pub fn from_arc(graph: Arc<Csr>) -> Self {
+        Self {
+            id: NEXT_GRAPH_ID.fetch_add(1, Ordering::Relaxed),
+            shared: Arc::new(RwLock::new(Versioned { graph, epoch: 0 })),
+        }
+    }
+
+    /// The handle's process-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The current epoch (number of applied update batches).
+    pub fn epoch(&self) -> u64 {
+        self.read().epoch
+    }
+
+    /// The current version: `(id, epoch)`.
+    pub fn version(&self) -> GraphVersion {
+        let v = self.read();
+        GraphVersion {
+            graph_id: self.id,
+            epoch: v.epoch,
+        }
+    }
+
+    /// The current graph (cheap `Arc` clone). Prefer
+    /// [`GraphHandle::snapshot`] when the version matters too.
+    pub fn graph(&self) -> Arc<Csr> {
+        Arc::clone(&self.read().graph)
+    }
+
+    /// Pins the current `(graph, version)` pair atomically.
+    pub fn snapshot(&self) -> GraphSnapshot {
+        let v = self.read();
+        GraphSnapshot {
+            graph: Arc::clone(&v.graph),
+            version: GraphVersion {
+                graph_id: self.id,
+                epoch: v.epoch,
+            },
+        }
+    }
+
+    /// Applies one batch of updates and advances the epoch.
+    ///
+    /// The batch is validated up front and applied copy-on-write: when
+    /// other snapshots of the current version are live, they keep the old
+    /// graph; the handle itself serves the new version from here on. An
+    /// empty batch is a no-op that does *not* advance the epoch.
+    ///
+    /// # Errors
+    ///
+    /// As [`apply_batch`]; on error the graph and epoch are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's lock was poisoned by a panic in another
+    /// thread mid-update.
+    pub fn apply_updates(&self, batch: &[GraphUpdate]) -> Result<UpdateOutcome, GraphError> {
+        let mut guard = self.shared.write().expect("graph handle lock poisoned");
+        if batch.is_empty() {
+            return Ok(UpdateOutcome {
+                version: GraphVersion {
+                    graph_id: self.id,
+                    epoch: guard.epoch,
+                },
+                graph: Arc::clone(&guard.graph),
+                dirty_nodes: Vec::new(),
+                structural: false,
+            });
+        }
+        // make_mut clones only when snapshots of the current version are
+        // still live; apply_batch validates before mutating, so a rejected
+        // batch leaves even that clone content-identical to the original.
+        let outcome = apply_batch(Arc::make_mut(&mut guard.graph), batch)?;
+        guard.epoch += 1;
+        Ok(UpdateOutcome {
+            version: GraphVersion {
+                graph_id: self.id,
+                epoch: guard.epoch,
+            },
+            graph: Arc::clone(&guard.graph),
+            dirty_nodes: outcome.dirty_nodes,
+            structural: outcome.structural,
+        })
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Versioned> {
+        self.shared.read().expect("graph handle lock poisoned")
+    }
+}
+
+impl From<Csr> for GraphHandle {
+    fn from(csr: Csr) -> Self {
+        Self::new(csr)
+    }
+}
+
+/// Another cheap name for the same versioned graph (not a new graph).
+impl From<&GraphHandle> for GraphHandle {
+    fn from(handle: &GraphHandle) -> Self {
+        handle.clone()
+    }
+}
+
+impl From<Arc<Csr>> for GraphHandle {
+    fn from(graph: Arc<Csr>) -> Self {
+        Self::from_arc(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CsrBuilder;
+
+    fn base() -> Csr {
+        CsrBuilder::new(4)
+            .weighted_edge(0, 1, 2.0)
+            .weighted_edge(0, 2, 3.0)
+            .weighted_edge(1, 2, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ids_are_unique_and_epochs_start_at_zero() {
+        let a = GraphHandle::new(base());
+        let b = GraphHandle::new(base());
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.epoch(), 0);
+        assert_eq!(
+            a.version(),
+            GraphVersion {
+                graph_id: a.id(),
+                epoch: 0
+            }
+        );
+    }
+
+    #[test]
+    fn clones_share_updates_and_epoch() {
+        let a = GraphHandle::new(base());
+        let b = a.clone();
+        a.apply_updates(&[GraphUpdate::SetWeight {
+            edge: 0,
+            weight: 8.0,
+        }])
+        .unwrap();
+        assert_eq!(b.epoch(), 1);
+        assert_eq!(b.graph().prop(0), 8.0);
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn snapshots_pin_the_old_version_across_updates() {
+        let h = GraphHandle::new(base());
+        let snap = h.snapshot();
+        h.apply_updates(&[GraphUpdate::RemoveEdge { src: 0, dst: 1 }])
+            .unwrap();
+        assert!(snap.graph.has_edge(0, 1), "snapshot sees the old topology");
+        assert_eq!(snap.version.epoch, 0);
+        assert!(!h.graph().has_edge(0, 1));
+        assert_eq!(h.epoch(), 1);
+    }
+
+    #[test]
+    fn empty_batch_keeps_the_epoch() {
+        let h = GraphHandle::new(base());
+        let out = h.apply_updates(&[]).unwrap();
+        assert_eq!(out.version.epoch, 0);
+        assert!(out.dirty_nodes.is_empty());
+        assert_eq!(h.epoch(), 0);
+    }
+
+    #[test]
+    fn failed_batch_keeps_graph_and_epoch() {
+        let h = GraphHandle::new(base());
+        let err = h.apply_updates(&[GraphUpdate::AddEdge {
+            src: 0,
+            dst: 99,
+            weight: 1.0,
+            label: 0,
+        }]);
+        assert!(err.is_err());
+        assert_eq!(h.epoch(), 0);
+        assert_eq!(h.graph().num_edges(), 3);
+    }
+
+    #[test]
+    fn update_outcome_reports_structural_flag() {
+        let h = GraphHandle::new(base());
+        let weight_only = h
+            .apply_updates(&[GraphUpdate::SetWeight {
+                edge: 1,
+                weight: 4.0,
+            }])
+            .unwrap();
+        assert!(!weight_only.structural);
+        let structural = h
+            .apply_updates(&[GraphUpdate::AddEdge {
+                src: 2,
+                dst: 3,
+                weight: 1.0,
+                label: 0,
+            }])
+            .unwrap();
+        assert!(structural.structural);
+        assert_eq!(h.epoch(), 2);
+    }
+
+    #[test]
+    fn version_display_is_compact() {
+        let v = GraphVersion {
+            graph_id: 7,
+            epoch: 3,
+        };
+        assert_eq!(v.to_string(), "g7@e3");
+    }
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphHandle>();
+        assert_send_sync::<GraphSnapshot>();
+    }
+}

@@ -20,6 +20,7 @@ pub mod csr;
 pub mod datasets;
 pub mod dynamic;
 pub mod gen;
+pub mod handle;
 pub mod io;
 pub mod props;
 pub mod stats;
@@ -27,6 +28,8 @@ pub mod stats;
 pub use builder::CsrBuilder;
 pub use csr::{Csr, EdgeId, NodeId};
 pub use datasets::{proxy, DatasetSpec, ALL_DATASETS};
+pub use dynamic::GraphUpdate;
+pub use handle::{GraphHandle, GraphSnapshot, GraphVersion, UpdateOutcome};
 pub use props::{EdgeProps, WeightModel};
 
 /// Errors produced by graph construction and I/O.
@@ -38,6 +41,13 @@ pub enum GraphError {
         node: u64,
         /// The declared node count.
         num_nodes: u64,
+    },
+    /// An update referenced an edge id outside `[0, num_edges)`.
+    EdgeOutOfRange {
+        /// The offending edge id.
+        edge: usize,
+        /// The number of edges in the graph.
+        num_edges: usize,
     },
     /// A property/label array length did not match the edge count.
     PropLengthMismatch {
@@ -57,6 +67,9 @@ impl std::fmt::Display for GraphError {
         match self {
             Self::NodeOutOfRange { node, num_nodes } => {
                 write!(f, "node id {node} out of range (num_nodes = {num_nodes})")
+            }
+            Self::EdgeOutOfRange { edge, num_edges } => {
+                write!(f, "edge id {edge} out of range (num_edges = {num_edges})")
             }
             Self::PropLengthMismatch { got, expected } => {
                 write!(f, "property array has {got} entries, expected {expected}")

@@ -20,7 +20,7 @@ fn main() {
     println!("alpha | eRVS-only(ms) | eRJS-only(ms) | adaptive(ms) | eRJS share");
     println!("------+---------------+---------------+--------------+-----------");
     for alpha in [1.0, 1.5, 2.0, 2.5, 3.0, 4.0] {
-        let graph = WeightModel::Pareto { alpha }.apply(base.clone(), 5);
+        let graph = GraphHandle::new(WeightModel::Pareto { alpha }.apply(base.clone(), 5));
         let time_of = |strategy: SelectionStrategy| {
             let mut session = FlexiWalker::builder()
                 .device(DeviceSpec::a6000())

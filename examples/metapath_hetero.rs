@@ -58,6 +58,7 @@ fn main() {
     };
 
     let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
+    let graph = session.load_graph(graph);
     let queries: Vec<NodeId> = (0..authors).collect();
     let report = session
         .run(WalkRequest::new(&graph, &workload, &queries).record_paths(true))

@@ -14,9 +14,9 @@ use flexiwalker::prelude::*;
 
 fn main() {
     let graph = gen::rmat(12, 131_072, gen::RmatParams::SOCIAL, 3);
-    let graph = WeightModel::UniformReal.apply(graph, 3);
+    let graph = GraphHandle::new(WeightModel::UniformReal.apply(graph, 3));
     let workload = Node2Vec::paper(true);
-    let queries: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
+    let queries: Vec<NodeId> = (0..graph.graph().num_nodes() as NodeId).collect();
     let request = WalkRequest::new(&graph, &workload, &queries)
         .steps(20)
         .host_threads(std::thread::available_parallelism().map_or(1, |n| n.get()));

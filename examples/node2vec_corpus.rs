@@ -36,6 +36,7 @@ fn main() {
     let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
     let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
     let n = graph.num_nodes() as NodeId;
+    let graph = session.load_graph(graph);
     let queries: Vec<NodeId> = (0..n).collect();
     let mut corpus_lines = 0usize;
     let mut overhead_ms = 0.0f64;

@@ -1,4 +1,5 @@
-//! Quickstart: run adaptive dynamic random walks through the session API.
+//! Quickstart: the graph-handle lifecycle of the session API —
+//! `load_graph` → `submit` → `apply_updates` → `drain`.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -10,55 +11,96 @@ fn main() {
     // 1. Build a graph. Here: a scale-free R-MAT graph with 1024 nodes and
     //    uniform [1, 5) edge property weights — the paper's default
     //    weighted setting.
-    let graph = gen::rmat(10, 16_384, gen::RmatParams::SOCIAL, 42);
-    let graph = WeightModel::UniformReal.apply(graph, 42);
+    let csr = gen::rmat(10, 16_384, gen::RmatParams::SOCIAL, 42);
+    let csr = WeightModel::UniformReal.apply(csr, 42);
     println!(
         "graph: {} nodes, {} edges",
-        graph.num_nodes(),
-        graph.num_edges()
+        csr.num_nodes(),
+        csr.num_edges()
     );
 
     // 2. Pick a workload. Weighted Node2Vec with the paper's a=2, b=0.5.
     let workload = Node2Vec::paper(true);
 
-    // 3. Open a session on a simulated A6000 and launch one walk per node,
-    //    80 steps each. The session compiles the workload, preprocesses
-    //    the graph and profiles the device once, then caches all three.
+    // 3. Open a session on a simulated A6000 and register the graph. The
+    //    session owns it under an epoch-versioned handle; the content
+    //    digest — the cache-key seed — is computed here, once.
     let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
-    let queries: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
+    let graph = session.load_graph(csr);
+    let n = graph.graph().num_nodes() as NodeId;
+
+    // 4. Launch one walk per node, 80 steps each. The session compiles the
+    //    workload, preprocesses the graph and profiles the device once,
+    //    then caches all three under the graph's current version.
+    let queries: Vec<NodeId> = (0..n).collect();
     let report = session
         .run(
             WalkRequest::new(&graph, &workload, &queries)
                 .steps(80)
                 .record_paths(true)
-                .host_threads(std::thread::available_parallelism().map_or(1, |n| n.get())),
+                .host_threads(std::thread::available_parallelism().map_or(1, |t| t.get())),
         )
         .expect("walk run failed");
-
-    // 4. Inspect the results.
     println!(
-        "simulated kernel time: {:.3} ms ({} steps total)",
+        "epoch {}: simulated {:.3} ms ({} steps; per-sampler: {})",
+        report.graph_version.epoch,
         report.sim_seconds * 1e3,
-        report.steps_taken
+        report.steps_taken,
+        report.sampler_steps
     );
-    println!("runtime adaptation per sampler: {}", report.sampler_steps);
     println!(
-        "overheads: profile {:.3} ms, preprocess {:.3} ms",
+        "first-run overheads: profile {:.3} ms, preprocess {:.3} ms",
         report.profile_seconds * 1e3,
         report.preprocess_seconds * 1e3
     );
-    let paths = report.paths.as_ref().expect("recorded");
-    let avg_len = paths.iter().map(Vec::len).sum::<usize>() as f64 / paths.len() as f64;
-    println!("first walk: {:?}", &paths[0][..paths[0].len().min(10)]);
-    println!("average path length: {avg_len:.1} nodes");
 
-    // 5. Submit again: the cached preparation makes the overheads vanish.
+    // 5. Submit again: cached preparation, zero overheads.
     let again = session
         .run(WalkRequest::new(&graph, &workload, &queries).steps(80))
         .expect("second run failed");
     println!(
-        "second submission overheads: profile {:.3} ms, preprocess {:.3} ms (cached)",
+        "cached-run overheads: profile {:.3} ms, preprocess {:.3} ms",
         again.profile_seconds * 1e3,
         again.preprocess_seconds * 1e3
+    );
+
+    // 6. Live update: crank a few edge weights and insert an edge. The
+    //    epoch advances and only the dirty nodes' aggregates refresh.
+    let outcome = session
+        .apply_updates(
+            &graph,
+            &[
+                GraphUpdate::SetWeight {
+                    edge: 0,
+                    weight: 50.0,
+                },
+                GraphUpdate::AddEdge {
+                    src: 0,
+                    dst: n - 1,
+                    weight: 25.0,
+                    label: 0,
+                },
+            ],
+        )
+        .expect("update failed");
+    println!(
+        "applied update batch: now {}, {} dirty node(s) refreshed",
+        outcome.version,
+        outcome.dirty_nodes.len()
+    );
+
+    // 7. Walks keep serving — over the new topology, from the
+    //    incrementally refreshed caches. No re-hash, no full preprocess.
+    let after = session
+        .run(WalkRequest::new(&graph, &workload, &queries).steps(80))
+        .expect("post-update run failed");
+    let stats = session.stats();
+    println!(
+        "epoch {}: simulated {:.3} ms (digests computed in session: {}, \
+         nodes incrementally refreshed: {})",
+        after.graph_version.epoch,
+        after.sim_seconds * 1e3,
+        stats.digests_computed,
+        stats.aggregate_nodes_refreshed
     );
 }

@@ -31,16 +31,18 @@ fn top_k(counts: &HashMap<u32, usize>, k: usize) -> Vec<(u32, usize)> {
 }
 
 fn main() {
-    let graph = gen::rmat(11, 32_768, gen::RmatParams::WEB, 9);
-    let graph = WeightModel::UniformReal.apply(graph, 9);
+    let csr = gen::rmat(11, 32_768, gen::RmatParams::WEB, 9);
+    let csr = WeightModel::UniformReal.apply(csr, 9);
     println!(
         "web-like graph: {} nodes, {} edges",
-        graph.num_nodes(),
-        graph.num_edges()
+        csr.num_nodes(),
+        csr.num_edges()
     );
 
     let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
-    let queries: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
+    let graph = session.load_graph(csr);
+    let csr = graph.graph();
+    let queries: Vec<NodeId> = (0..csr.num_nodes() as NodeId).collect();
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     // Second-order PageRank walks (γ = 0.2).
@@ -72,7 +74,7 @@ fn main() {
         let first_visits = first_counts.get(&node).copied().unwrap_or(0);
         println!(
             "  node {node:>5}  out-degree {:>5}  2nd-order visits {visits:>6}  1st-order {first_visits:>6}",
-            graph.degree(node)
+            csr.degree(node)
         );
     }
     println!(

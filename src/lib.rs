@@ -24,27 +24,35 @@
 //!   reservoir-only fallback for unanalyzable code.
 //!
 //! This crate is the workspace façade: the [`FlexiWalker`](prelude::FlexiWalker)
-//! builder produces a [`Session`](prelude::Session) that caches
-//! preprocessing, profiling and compiled estimators across submissions and
-//! batches walk jobs deterministically. See the `README.md` for a tour and
-//! `DESIGN.md` for the architecture and the hardware-substitution
-//! rationale (the GPU is a deterministic SIMT simulator).
+//! builder produces a [`Session`](prelude::Session) that *owns* its graphs
+//! behind epoch-versioned [`GraphHandle`](prelude::GraphHandle)s, serves
+//! walks over live topology/weight updates, and caches preprocessing,
+//! profiling and compiled estimators across submissions — keyed by graph
+//! version, so an update invalidates exactly what it must. See the
+//! `README.md` for a tour and `DESIGN.md` for the architecture and the
+//! hardware-substitution rationale (the GPU is a deterministic SIMT
+//! simulator).
 //!
 //! ## Quickstart
+//!
+//! The handle lifecycle is `load_graph` → `submit` → `apply_updates` →
+//! `drain`:
 //!
 //! ```
 //! use flexiwalker::prelude::*;
 //!
 //! // A small scale-free graph with uniform edge property weights.
-//! let graph = gen::rmat(10, 8192, gen::RmatParams::SOCIAL, 42);
-//! let graph = WeightModel::UniformReal.apply(graph, 42);
+//! let csr = gen::rmat(10, 8192, gen::RmatParams::SOCIAL, 42);
+//! let csr = WeightModel::UniformReal.apply(csr, 42);
 //!
 //! // Weighted Node2Vec with the paper's hyperparameters (a=2, b=0.5).
 //! let workload = Node2Vec::paper(true);
 //!
-//! // A session on a simulated A6000: preprocessing, profiling and
-//! // compiled estimators are cached across submissions.
+//! // A session on a simulated A6000 owns the graph under a versioned
+//! // handle; the content digest is computed once, here.
 //! let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
+//! let graph = session.load_graph(csr);
+//! assert_eq!(graph.epoch(), 0);
 //!
 //! // Run 128 walks of 20 steps.
 //! let queries: Vec<NodeId> = (0..128).collect();
@@ -54,11 +62,7 @@
 //!         .record_paths(true))
 //!     .unwrap();
 //! assert_eq!(report.paths.as_ref().unwrap().len(), 128);
-//! println!(
-//!     "simulated {:.3} ms; per-sampler steps: {}",
-//!     report.sim_seconds * 1e3,
-//!     report.sampler_steps
-//! );
+//! assert_eq!(report.graph_version, graph.version());
 //!
 //! // A second submission over the same graph+workload reuses the cached
 //! // preparation: its Table-3 overheads are zero.
@@ -67,6 +71,20 @@
 //!     .unwrap();
 //! assert_eq!(report2.profile_seconds, 0.0);
 //! assert_eq!(report2.preprocess_seconds, 0.0);
+//!
+//! // Live update: insert an edge. The epoch advances and only the dirty
+//! // node's aggregates are recomputed — walks keep serving.
+//! let outcome = session
+//!     .apply_updates(&graph, &[GraphUpdate::AddEdge {
+//!         src: 0, dst: 9, weight: 5.0, label: 0,
+//!     }])
+//!     .unwrap();
+//! assert_eq!(outcome.version.epoch, 1);
+//! assert_eq!(outcome.dirty_nodes, vec![0]);
+//! let report3 = session
+//!     .run(WalkRequest::new(&graph, &workload, &queries).steps(20))
+//!     .unwrap();
+//! assert_eq!(report3.graph_version.epoch, 1);
 //! ```
 
 pub mod session;
@@ -81,14 +99,17 @@ pub use flexi_sampling as sampling;
 
 /// Commonly used items for a one-line import.
 pub mod prelude {
-    pub use crate::session::{FlexiWalker, Session, SessionBuilder, Ticket};
+    pub use crate::session::{FlexiWalker, Session, SessionBuilder, SessionStats, Ticket};
     pub use flexi_core::{
-        DynamicWalk, EngineError, FlexiWalkerEngine, MetaPath, Node2Vec, RunReport, SamplerTally,
-        SecondOrderPr, SelectionStrategy, UniformWalk, WalkConfig, WalkEngine, WalkRequest,
-        WalkState,
+        DynamicWalk, EngineError, FlexiWalkerEngine, IntoQueries, IntoWorkload, MetaPath, Node2Vec,
+        RunReport, SamplerTally, SecondOrderPr, SelectionStrategy, UniformWalk, WalkConfig,
+        WalkEngine, WalkRequest, WalkState,
     };
     pub use flexi_gpu_sim::DeviceSpec;
-    pub use flexi_graph::{gen, proxy, Csr, CsrBuilder, NodeId, WeightModel};
+    pub use flexi_graph::{
+        gen, proxy, Csr, CsrBuilder, GraphError, GraphHandle, GraphSnapshot, GraphUpdate,
+        GraphVersion, NodeId, UpdateOutcome, WeightModel,
+    };
     pub use flexi_rng::{Philox4x32, RandomSource};
     pub use flexi_sampling::{
         ids as sampler_ids, Granularity, Sampler, SamplerId, SamplerRegistry,

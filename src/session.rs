@@ -1,26 +1,47 @@
-//! The session façade: FlexiWalker as a long-lived walk service.
+//! The session façade: FlexiWalker as a long-lived walk service over
+//! live, updatable graphs.
 //!
 //! [`FlexiWalker::builder`] configures a device, a selection strategy and a
 //! [`SamplerRegistry`], and produces a [`Session`] — the entry point for
 //! heavy query traffic. A session:
 //!
+//! - **owns its graphs**: [`Session::load_graph`] registers a graph under
+//!   an epoch-versioned [`GraphHandle`]; requests reference the handle, so
+//!   neither the session nor its requests carry borrow lifetimes;
+//! - **serves walks over live updates**: [`Session::apply_updates`] routes
+//!   a batch of [`GraphUpdate`]s through the handle, bumps its epoch, and
+//!   *incrementally* refreshes exactly the dirty-node aggregates
+//!   (`Aggregates::refresh_nodes`) — an update invalidates precisely the
+//!   cached state it must and nothing else;
 //! - **caches** compiled estimators (per workload), preprocessed
-//!   `_MAX`/`_SUM` aggregates (per graph × workload) and profiled cost
-//!   models (per graph) across submissions, so only the first request over
-//!   a `(graph, workload)` pair pays the Table-3 overheads;
+//!   `_MAX`/`_SUM` aggregates (per graph version × workload) and profiled
+//!   cost models (per graph version), keyed by epoch-aware fingerprints.
+//!   The graph content digest is computed **once** at load; subsequent
+//!   cache keys derive from `(digest, graph id, epoch)`, so drains never
+//!   re-hash an unchanged graph;
 //! - **batches** walk jobs: [`Session::submit`] enqueues a
 //!   [`WalkRequest`] and returns a [`Ticket`]; [`Session::drain`] executes
 //!   everything pending. Each query is assigned a global index in the
 //!   session's cumulative stream, which seeds its private RNG stream —
 //!   with the same seed, one submission of N queries and two submissions
 //!   of N/2 produce bit-identical paths.
+//!
+//! ## Cache invalidation
+//!
+//! | cached state | keyed by | weight-only batch | structural batch |
+//! |---|---|---|---|
+//! | compiled estimators | workload | kept | kept |
+//! | aggregates | graph version × workload | migrated via dirty-node refresh | migrated via dirty-node refresh |
+//! | cost-model profile | graph version | carried to the new epoch | evicted (re-profiled on next drain) |
+//!
+//! [`GraphUpdate`]: flexi_graph::GraphUpdate
 
 use flexi_core::{
     CompiledArtifacts, EngineError, FlexiWalkerEngine, PreparedState, ProfileResult, RunReport,
     SelectionStrategy, WalkRequest,
 };
 use flexi_gpu_sim::DeviceSpec;
-use flexi_graph::Csr;
+use flexi_graph::{Csr, GraphError, GraphHandle, GraphUpdate, GraphVersion, UpdateOutcome};
 use flexi_sampling::{Sampler, SamplerRegistry};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -97,12 +118,10 @@ impl SessionBuilder {
         self
     }
 
-    /// Finishes configuration.
-    ///
-    /// The `'job` lifetime bounds the graph/workload/query borrows of the
-    /// requests this session will accept; it is inferred at the first
-    /// [`Session::submit`].
-    pub fn build<'job>(self) -> Session<'job> {
+    /// Finishes configuration. The session is fully owned — no borrow
+    /// lifetime: graphs are registered via [`Session::load_graph`] and
+    /// travel in requests as [`GraphHandle`]s.
+    pub fn build(self) -> Session {
         let mut engine =
             FlexiWalkerEngine::with_strategy(self.spec, self.strategy).with_registry(self.registry);
         engine.skip_profile = self.skip_profile;
@@ -112,9 +131,11 @@ impl SessionBuilder {
             compiled: HashMap::new(),
             aggregates: HashMap::new(),
             profiles: HashMap::new(),
+            graphs: HashMap::new(),
             pending: Vec::new(),
             next_ticket: 0,
             query_cursor: 0,
+            stats: SessionStats::default(),
         }
     }
 }
@@ -136,25 +157,20 @@ impl Ticket {
     }
 }
 
-/// Key of the per-graph caches: a 128-bit *full* content digest (two
-/// independently salted passes over every array the walk reads).
+/// Key of the per-graph caches: a 128-bit fingerprint (two independently
+/// salted hashes).
+///
+/// At epoch 0 this is the *full content digest* computed once at
+/// [`Session::load_graph`] — so two handles loaded from identical content
+/// share their epoch-0 caches. After an update batch it becomes a cheap
+/// mix of `(content digest, graph id, epoch)`: sound because every
+/// mutation path bumps the epoch, and O(1) where the old design re-hashed
+/// the whole edge list on every drain.
 type GraphFp = (u64, u64);
 
-/// Computes the cache key for `g`.
-///
-/// Full content rather than a pointer or a sample, so the cache survives
-/// graph clones, cannot alias a freed allocation, and two graphs that
-/// differ in any edge, weight or label get different keys — a sampled or
-/// identity-based key could silently serve stale `_MAX`/`_SUM` aggregates
-/// and break the eRJS bound's soundness. The 128-bit digest makes an
-/// accidental collision astronomically unlikely (this is an in-process
-/// cache, not an adversarial boundary). Cost is one O(V + E) pass,
-/// comparable to the preprocessing pass it guards and far below a walk;
-/// [`Session::drain`] memoizes it per batch so multi-request drains over
-/// the same graph hash once. (Memoizing *across* drains by pointer
-/// identity would be unsound: `DynamicGraph` mutates weights in place
-/// between borrows without changing addresses.)
-fn graph_fingerprint(g: &Csr) -> GraphFp {
+/// Computes the load-time content digest of `g` — the one O(V + E) hashing
+/// pass a graph ever pays in a session.
+fn content_digest(g: &Csr) -> GraphFp {
     let mut h1 = DefaultHasher::new();
     let mut h2 = DefaultHasher::new();
     0x517E_u64.hash(&mut h1);
@@ -182,18 +198,22 @@ fn graph_fingerprint(g: &Csr) -> GraphFp {
     (h1.finish(), h2.finish())
 }
 
-/// Per-drain fingerprint memo: within one batch every request holds a live
-/// shared borrow of its graph, so no in-place mutation can occur between
-/// them and buffer identity is a sound memo key.
-type FingerprintMemo = HashMap<(usize, usize, usize), GraphFp>;
-
-fn memoized_fingerprint(memo: &mut FingerprintMemo, g: &Csr) -> GraphFp {
-    let identity = (
-        g.row_ptr().as_ptr() as usize,
-        g.col_idx().as_ptr() as usize,
-        g.num_edges(),
-    );
-    *memo.entry(identity).or_insert_with(|| graph_fingerprint(g))
+/// Evolves a graph's cache fingerprint to a later epoch without touching
+/// the edge list. Unique per `(graph id, epoch)`, which is what keeps the
+/// key sound: graph content only changes through `apply_updates`, and
+/// every batch bumps the epoch.
+fn epoch_fp(content: GraphFp, graph_id: u64, epoch: u64) -> GraphFp {
+    let mut h1 = DefaultHasher::new();
+    let mut h2 = DefaultHasher::new();
+    0xE90C_u64.hash(&mut h1);
+    0x0C9E_u64.hash(&mut h2);
+    for h in [&mut h1, &mut h2] {
+        content.0.hash(h);
+        content.1.hash(h);
+        graph_id.hash(h);
+        epoch.hash(h);
+    }
+    (h1.finish(), h2.finish())
 }
 
 /// Fingerprint of a workload's compiled identity: its DSL source and
@@ -209,23 +229,76 @@ fn workload_fingerprint(w: &dyn flexi_core::DynamicWalk) -> u64 {
     h.finish()
 }
 
+/// Session bookkeeping for one registered graph handle.
+#[derive(Clone, Copy, Debug)]
+struct GraphEntry {
+    /// Content digest computed once at registration, never recomputed.
+    content: GraphFp,
+    /// The epoch the digest was taken at (0 unless the handle saw updates
+    /// before registration).
+    digest_epoch: u64,
+    /// Latest epoch whose cache rows this session holds — the garbage
+    /// collector's cursor. Epochs only advance, so once a newer epoch is
+    /// served or migrated to, the rows keyed at this one are unreachable
+    /// and can be dropped (this also bounds the cache when updates land
+    /// on the handle outside the session).
+    live_epoch: u64,
+}
+
+impl GraphEntry {
+    /// The cache key for `epoch`: the raw content digest at the digest
+    /// epoch (so identically-loaded graphs share their initial caches),
+    /// a cheap `(digest, id, epoch)` mix afterwards.
+    fn fp_at(&self, graph_id: u64, epoch: u64) -> GraphFp {
+        if epoch == self.digest_epoch {
+            self.content
+        } else {
+            epoch_fp(self.content, graph_id, epoch)
+        }
+    }
+}
+
+/// Counters exposing the session's cache behaviour — what the
+/// no-rehash-on-drain and incremental-refresh guarantees are asserted
+/// against in tests and benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Full O(V + E) content digests computed (once per loaded graph).
+    pub digests_computed: u64,
+    /// Aggregate sets built from scratch.
+    pub aggregates_built: u64,
+    /// Aggregate sets migrated across an epoch by incremental refresh.
+    pub aggregates_refreshed: u64,
+    /// Total dirty nodes recomputed by incremental refreshes.
+    pub aggregate_nodes_refreshed: u64,
+    /// Profiling kernel runs.
+    pub profiles_run: u64,
+    /// Profiles carried across a weight-only epoch without re-running.
+    pub profiles_carried: u64,
+}
+
 /// A long-lived walk service over one engine configuration.
 ///
-/// See the [module docs](self) for the caching and batching guarantees.
-pub struct Session<'job> {
+/// See the [module docs](self) for the graph-handle lifecycle
+/// (`load_graph` → `submit` → `apply_updates` → `drain`) and the caching
+/// and batching guarantees.
+pub struct Session {
     engine: FlexiWalkerEngine,
     /// Compiled estimators per workload fingerprint.
     compiled: HashMap<u64, CompiledArtifacts>,
-    /// Preprocessed aggregates per (graph, workload) fingerprint pair.
+    /// Preprocessed aggregates per (graph fingerprint, workload) pair.
     aggregates: HashMap<(GraphFp, u64), Arc<flexi_core::Aggregates>>,
-    /// Profiled cost models per (graph, bytes-per-weight, seed).
+    /// Profiled cost models per (graph fingerprint, bytes-per-weight, seed).
     profiles: HashMap<(GraphFp, usize, u64), ProfileResult>,
-    pending: Vec<(Ticket, WalkRequest<'job>)>,
+    /// Registered graphs by handle id.
+    graphs: HashMap<u64, GraphEntry>,
+    pending: Vec<(Ticket, WalkRequest)>,
     next_ticket: usize,
     query_cursor: u64,
+    stats: SessionStats,
 }
 
-impl<'job> Session<'job> {
+impl Session {
     /// The underlying engine (registry, strategy, device).
     pub fn engine(&self) -> &FlexiWalkerEngine {
         &self.engine
@@ -236,12 +309,153 @@ impl<'job> Session<'job> {
         self.pending.len()
     }
 
+    /// Cache-behaviour counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Number of resident aggregate sets — bounded by live graph versions
+    /// × workloads (superseded epochs are garbage-collected).
+    pub fn cached_aggregates(&self) -> usize {
+        self.aggregates.len()
+    }
+
+    /// Number of resident cost-model profiles.
+    pub fn cached_profiles(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Registers a graph with the session and returns its handle.
+    ///
+    /// Accepts a bare [`Csr`] / `Arc<Csr>` (wrapped in a fresh handle) or
+    /// an existing [`GraphHandle`]. The full content digest — the cache
+    /// key seed — is computed here, exactly once; drains and updates never
+    /// re-hash the graph.
+    pub fn load_graph(&mut self, graph: impl Into<GraphHandle>) -> GraphHandle {
+        let handle = graph.into();
+        self.entry_for(&handle);
+        handle
+    }
+
+    /// The live version of a graph registered with this session.
+    pub fn graph_version(&self, handle: &GraphHandle) -> Option<GraphVersion> {
+        self.graphs.get(&handle.id()).map(|_| handle.version())
+    }
+
+    /// Applies one update batch to a registered graph and migrates the
+    /// session's caches to the new epoch.
+    ///
+    /// Weight-only and structural batches both refresh cached aggregates
+    /// *incrementally* — only the dirty nodes reported by the handle are
+    /// recomputed. Cost-model profiles survive weight-only batches (the
+    /// profiled memory-cost ratio does not depend on weight values) but
+    /// are evicted by structural ones, whose degree redistribution they
+    /// measured. An unregistered handle is registered first.
+    ///
+    /// # Errors
+    ///
+    /// As [`GraphHandle::apply_updates`]; on error the graph, its epoch
+    /// and all caches are unchanged.
+    pub fn apply_updates(
+        &mut self,
+        handle: &GraphHandle,
+        batch: &[GraphUpdate],
+    ) -> Result<UpdateOutcome, GraphError> {
+        let entry = *self.entry_for(handle);
+        let id = handle.id();
+
+        // The profile carry below is only sound while the edge-property
+        // representation (and so every profile key's bytes-per-weight
+        // component) is unchanged — a SetWeight batch on an unweighted or
+        // INT8 graph promotes the props to F32.
+        let pre_weight_bytes = handle.graph().props().bytes_per_weight();
+
+        let outcome = handle.apply_updates(batch)?;
+        if outcome.dirty_nodes.is_empty() && !outcome.structural {
+            // Empty batch: nothing changed, nothing to migrate.
+            return Ok(outcome);
+        }
+        let new_epoch = outcome.version.epoch;
+        let old_epoch = new_epoch - 1;
+        let old_fp = entry.fp_at(id, old_epoch);
+        let new_fp = entry.fp_at(id, new_epoch);
+
+        // Out-of-band epoch advances (handle updated without the session)
+        // may have left rows at an even older epoch; drop them first.
+        if entry.live_epoch < old_epoch {
+            self.evict_epoch(id, &entry, entry.live_epoch);
+        }
+
+        // Migrate aggregates by incremental dirty-node refresh, against
+        // the exact post-batch graph the outcome pins.
+        let agg_keys: Vec<(GraphFp, u64)> = self
+            .aggregates
+            .keys()
+            .filter(|(fp, _)| *fp == old_fp)
+            .copied()
+            .collect();
+        for (fp, wfp) in agg_keys {
+            let mut refreshed = (*self.aggregates[&(fp, wfp)]).clone();
+            let nodes = refreshed.refresh_nodes(&outcome.graph, &outcome.dirty_nodes);
+            self.stats.aggregates_refreshed += 1;
+            self.stats.aggregate_nodes_refreshed += nodes as u64;
+            self.aggregates.insert((new_fp, wfp), Arc::new(refreshed));
+        }
+
+        // Profiles: carry across weight-only epochs (profiling reads
+        // degrees and weight *width*, not values), evict on structural
+        // batches or a weight-representation change.
+        let repr_unchanged = outcome.graph.props().bytes_per_weight() == pre_weight_bytes;
+        if !outcome.structural && repr_unchanged {
+            let prof_keys: Vec<(GraphFp, usize, u64)> = self
+                .profiles
+                .keys()
+                .filter(|(fp, _, _)| *fp == old_fp)
+                .copied()
+                .collect();
+            for (fp, bytes, seed) in prof_keys {
+                let p = self.profiles[&(fp, bytes, seed)];
+                self.profiles.insert((new_fp, bytes, seed), p);
+                self.stats.profiles_carried += 1;
+            }
+        }
+
+        self.evict_epoch(id, &entry, old_epoch);
+        self.graphs
+            .get_mut(&id)
+            .expect("registered above")
+            .live_epoch = new_epoch;
+        Ok(outcome)
+    }
+
+    /// Drops the cache rows keyed at one superseded epoch of `id`.
+    ///
+    /// Epoch-mixed keys belong to this graph alone; the raw digest key
+    /// may be shared by another handle loaded from identical content, in
+    /// which case it stays.
+    fn evict_epoch(&mut self, id: u64, entry: &GraphEntry, epoch: u64) {
+        let fp = entry.fp_at(id, epoch);
+        let digest_key = epoch == entry.digest_epoch;
+        let shared = digest_key
+            && self
+                .graphs
+                .iter()
+                .any(|(gid, e)| *gid != id && e.content == fp);
+        if !shared {
+            self.aggregates.retain(|(k, _), _| *k != fp);
+            self.profiles.retain(|(k, _, _), _| *k != fp);
+        }
+    }
+
     /// Enqueues a walk job and returns its ticket.
     ///
     /// The request's [`WalkRequest::query_offset`] is overwritten with the
     /// session's cumulative query cursor — that is what makes results
-    /// independent of how a query set is split across submissions.
-    pub fn submit(&mut self, req: WalkRequest<'job>) -> Ticket {
+    /// independent of how a query set is split across submissions. The
+    /// request's graph handle is registered if it was not loaded through
+    /// this session.
+    pub fn submit(&mut self, req: WalkRequest) -> Ticket {
+        self.entry_for(&req.graph);
         let ticket = Ticket(self.next_ticket);
         self.next_ticket += 1;
         let offset = self.query_cursor;
@@ -251,13 +465,16 @@ impl<'job> Session<'job> {
     }
 
     /// Executes every pending request, in submission order.
+    ///
+    /// Each request resolves its graph handle at execution time, so a
+    /// drain after [`Session::apply_updates`] walks the updated topology
+    /// (served from the incrementally refreshed caches).
     pub fn drain(&mut self) -> Vec<(Ticket, Result<RunReport, EngineError>)> {
         let pending = std::mem::take(&mut self.pending);
-        let mut memo = FingerprintMemo::new();
         pending
             .into_iter()
             .map(|(ticket, req)| {
-                let outcome = self.execute(&req, &mut memo);
+                let outcome = self.execute(&req);
                 (ticket, outcome)
             })
             .collect()
@@ -270,7 +487,7 @@ impl<'job> Session<'job> {
     /// As [`flexi_core::WalkEngine::run`]. Any previously pending submissions are
     /// executed first and their reports discarded — drain explicitly when
     /// batching.
-    pub fn run(&mut self, req: WalkRequest<'job>) -> Result<RunReport, EngineError> {
+    pub fn run(&mut self, req: WalkRequest) -> Result<RunReport, EngineError> {
         let ticket = self.submit(req);
         self.drain()
             .into_iter()
@@ -279,19 +496,53 @@ impl<'job> Session<'job> {
             .1
     }
 
+    /// Returns the entry for `handle`, registering it (one content digest,
+    /// the only O(E) hashing pass the graph ever pays) on first sight.
+    ///
+    /// Cache keys derive deterministically from the entry and an epoch,
+    /// so updates applied to the handle outside the session need no
+    /// re-sync: unseen epochs simply key fresh cache rows, which rebuild
+    /// from scratch on their first drain.
+    fn entry_for(&mut self, handle: &GraphHandle) -> &GraphEntry {
+        let id = handle.id();
+        self.graphs.entry(id).or_insert_with(|| {
+            self.stats.digests_computed += 1;
+            let snap = handle.snapshot();
+            GraphEntry {
+                content: content_digest(&snap.graph),
+                digest_epoch: snap.version.epoch,
+                live_epoch: snap.version.epoch,
+            }
+        })
+    }
+
     /// Runs one request through the caches.
-    fn execute(
-        &mut self,
-        req: &WalkRequest<'_>,
-        memo: &mut FingerprintMemo,
-    ) -> Result<RunReport, EngineError> {
-        let gfp = memoized_fingerprint(memo, req.graph);
-        let wfp = workload_fingerprint(req.workload);
+    fn execute(&mut self, req: &WalkRequest) -> Result<RunReport, EngineError> {
+        // Pin the snapshot first, then key the caches for its epoch: the
+        // walk must run over exactly the version the prepared state
+        // describes.
+        let snap = req.snapshot();
+        let id = req.graph.id();
+        let entry = *self.entry_for(&req.graph);
+        let gfp = entry.fp_at(id, snap.version.epoch);
+        // Serving a newer epoch than the GC cursor means the handle was
+        // updated outside the session: the old epoch's rows are now
+        // unreachable (epochs only advance) — drop them so out-of-band
+        // update streams cannot grow the caches without bound.
+        if entry.live_epoch < snap.version.epoch {
+            self.evict_epoch(id, &entry, entry.live_epoch);
+            self.graphs
+                .get_mut(&id)
+                .expect("registered above")
+                .live_epoch = snap.version.epoch;
+        }
+        let workload = req.workload.as_ref();
+        let wfp = workload_fingerprint(workload);
 
         let artifacts = self
             .compiled
             .entry(wfp)
-            .or_insert_with(|| flexi_core::compile_workload(req.workload))
+            .or_insert_with(|| flexi_core::compile_workload(workload))
             .clone();
 
         let mut preprocess_hit = true;
@@ -299,26 +550,24 @@ impl<'job> Session<'job> {
             Some(agg) => Arc::clone(agg),
             None => {
                 preprocess_hit = false;
-                let agg = Arc::new(self.engine.aggregates_for(req.graph, &artifacts));
+                self.stats.aggregates_built += 1;
+                let agg = Arc::new(self.engine.aggregates_for(&snap.graph, &artifacts));
                 self.aggregates.insert((gfp, wfp), Arc::clone(&agg));
                 agg
             }
         };
 
-        let profile_key = (
-            gfp,
-            req.workload.bytes_per_weight(req.graph),
-            req.config.seed,
-        );
+        let profile_key = (gfp, workload.bytes_per_weight(&snap.graph), req.config.seed);
         let mut profile_hit = true;
         let profile = match self.profiles.get(&profile_key) {
             Some(p) => Some(*p),
             None => {
                 let fresh = self
                     .engine
-                    .profile_for(req.graph, req.workload, req.config.seed);
+                    .profile_for(&snap.graph, workload, req.config.seed);
                 if let Some(p) = fresh {
                     profile_hit = false;
+                    self.stats.profiles_run += 1;
                     self.profiles.insert(profile_key, p);
                 }
                 fresh
@@ -330,9 +579,10 @@ impl<'job> Session<'job> {
             aggregates,
             profile,
         };
-        let mut report = self.engine.run_with(req, &prepared)?;
+        let mut report = self.engine.run_on(&snap, req, &prepared)?;
         // Cached preparation costs nothing at run time; only the first
-        // request over a (graph, workload) pair reports Table-3 overheads.
+        // request over a (graph version, workload) pair reports Table-3
+        // overheads.
         if preprocess_hit {
             report.preprocess_seconds = 0.0;
         }
@@ -343,14 +593,16 @@ impl<'job> Session<'job> {
     }
 }
 
-impl std::fmt::Debug for Session<'_> {
+impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
             .field("engine", &self.engine)
+            .field("graphs", &self.graphs.len())
             .field("pending", &self.pending.len())
             .field("cached_workloads", &self.compiled.len())
             .field("cached_aggregates", &self.aggregates.len())
             .field("cached_profiles", &self.profiles.len())
+            .field("stats", &self.stats)
             .finish()
     }
 }

@@ -133,7 +133,7 @@ fn compiler_fallback_runs_ervs_only_and_stays_exact() {
             ..WalkConfig::default()
         };
         let report = engine
-            .run(&WalkRequest::new(&g, &HostileWorkload, &[0]).with_config(cfg))
+            .run(&WalkRequest::new(g.clone(), &HostileWorkload, &[0]).with_config(cfg))
             .expect("run");
         saw_fallback_warning |= report
             .warnings

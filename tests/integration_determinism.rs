@@ -11,12 +11,12 @@ fn graph() -> Csr {
 fn run(
     engine: &dyn WalkEngine,
     g: &Csr,
-    w: &dyn DynamicWalk,
+    w: impl IntoWorkload,
     queries: &[NodeId],
     cfg: &WalkConfig,
 ) -> RunReport {
     engine
-        .run(&WalkRequest::new(g, w, queries).with_config(cfg.clone()))
+        .run(&WalkRequest::new(g.clone(), w, queries).with_config(cfg.clone()))
         .expect("run")
 }
 

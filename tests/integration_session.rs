@@ -23,12 +23,13 @@ fn all_paths(batches: Vec<(Ticket, Result<RunReport, EngineError>)>) -> Vec<Vec<
 #[test]
 fn one_submit_equals_two_submits_with_same_seed() {
     // The headline batching guarantee: same seed ⇒ identical paths
-    // regardless of how the query set is split across submissions.
-    let g = graph();
+    // regardless of how the query set is split across submissions (and
+    // regardless of handle identity — only content and seed matter).
     let w = Node2Vec::paper(true);
     let queries: Vec<NodeId> = (0..96).collect();
 
     let mut whole_session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
+    let g = whole_session.load_graph(graph());
     whole_session.submit(
         WalkRequest::new(&g, &w, &queries)
             .steps(12)
@@ -37,6 +38,7 @@ fn one_submit_equals_two_submits_with_same_seed() {
     let whole = all_paths(whole_session.drain());
 
     let mut split_session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
+    let g = split_session.load_graph(graph());
     split_session.submit(
         WalkRequest::new(&g, &w, &queries[..32])
             .steps(12)
@@ -56,11 +58,11 @@ fn one_submit_equals_two_submits_with_same_seed() {
 fn submits_can_interleave_with_drains() {
     // Draining between submissions must not change the cumulative query
     // stream either.
-    let g = graph();
     let w = SecondOrderPr::paper();
     let queries: Vec<NodeId> = (0..48).collect();
 
     let mut batched = FlexiWalker::builder().build();
+    let g = batched.load_graph(graph());
     batched.submit(
         WalkRequest::new(&g, &w, &queries)
             .steps(8)
@@ -69,6 +71,7 @@ fn submits_can_interleave_with_drains() {
     let together = all_paths(batched.drain());
 
     let mut interleaved = FlexiWalker::builder().build();
+    let g = interleaved.load_graph(graph());
     let mut collected = Vec::new();
     for chunk in queries.chunks(16) {
         interleaved.submit(WalkRequest::new(&g, &w, chunk).steps(8).record_paths(true));
@@ -79,10 +82,10 @@ fn submits_can_interleave_with_drains() {
 
 #[test]
 fn session_caches_preparation_across_submissions() {
-    let g = graph();
     let w = Node2Vec::paper(true);
     let queries: Vec<NodeId> = (0..32).collect();
     let mut session = FlexiWalker::builder().build();
+    let g = session.load_graph(graph());
 
     let first = session
         .run(WalkRequest::new(&g, &w, &queries).steps(6))
@@ -100,11 +103,14 @@ fn session_caches_preparation_across_submissions() {
     );
 
     // A different graph misses the cache again.
-    let g2 = WeightModel::UniformReal.apply(gen::rmat(8, 2048, gen::RmatParams::WEB, 9), 9);
+    let g2 = session
+        .load_graph(WeightModel::UniformReal.apply(gen::rmat(8, 2048, gen::RmatParams::WEB, 9), 9));
     let third = session
         .run(WalkRequest::new(&g2, &w, &queries).steps(6))
         .unwrap();
     assert!(third.profile_seconds > 0.0, "new graph re-profiles");
+    // Exactly one digest per loaded graph, however many drains ran.
+    assert_eq!(session.stats().digests_computed, 2);
 }
 
 /// A deterministic linear-CDF strategy under a made-up id, priced to win
@@ -163,13 +169,14 @@ impl Sampler for TeleportSampler {
 
 #[test]
 fn registered_custom_sampler_is_selected_and_reported() {
-    let g = graph();
     let w = Node2Vec::paper(true);
     let queries: Vec<NodeId> = (0..64).collect();
     let mut session = FlexiWalker::builder()
         .device(DeviceSpec::a6000())
         .register_sampler(Arc::new(TeleportSampler))
         .build();
+    let g = session.load_graph(graph());
+    let csr = g.graph();
     assert!(session.engine().registry().contains("teleport"));
 
     let report = session
@@ -190,20 +197,20 @@ fn registered_custom_sampler_is_selected_and_reported() {
     // And the walks it produced are real walks.
     for path in report.paths.as_ref().unwrap() {
         for pair in path.windows(2) {
-            assert!(g.has_edge(pair[0], pair[1]));
+            assert!(csr.has_edge(pair[0], pair[1]));
         }
     }
 }
 
 #[test]
 fn forced_custom_sampler_strategy_works_too() {
-    let g = graph();
     let w = Node2Vec::paper(true);
     let queries: Vec<NodeId> = (0..32).collect();
     let mut session = FlexiWalker::builder()
         .strategy(SelectionStrategy::Only("teleport"))
         .register_sampler(Arc::new(TeleportSampler))
         .build();
+    let g = session.load_graph(graph());
     let report = session
         .run(WalkRequest::new(&g, &w, &queries).steps(8))
         .unwrap();
@@ -216,11 +223,11 @@ fn forced_custom_sampler_strategy_works_too() {
 
 #[test]
 fn tickets_are_stable_handles() {
-    let g = graph();
     let w = UniformWalk;
     let q1: Vec<NodeId> = (0..8).collect();
     let q2: Vec<NodeId> = (8..24).collect();
     let mut session = FlexiWalker::builder().build();
+    let g = session.load_graph(graph());
     let t1 = session.submit(WalkRequest::new(&g, &w, &q1).steps(4));
     let t2 = session.submit(WalkRequest::new(&g, &w, &q2).steps(4));
     assert_ne!(t1, t2);

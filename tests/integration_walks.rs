@@ -22,14 +22,14 @@ fn all_engines() -> Vec<Box<dyn WalkEngine>> {
     ]
 }
 
-fn workloads() -> Vec<Box<dyn DynamicWalk>> {
+fn workloads() -> Vec<std::sync::Arc<dyn DynamicWalk>> {
     vec![
-        Box::new(Node2Vec::paper(true)),
-        Box::new(Node2Vec::paper(false)),
-        Box::new(MetaPath::paper(true)),
-        Box::new(MetaPath::paper(false)),
-        Box::new(SecondOrderPr::paper()),
-        Box::new(UniformWalk),
+        std::sync::Arc::new(Node2Vec::paper(true)),
+        std::sync::Arc::new(Node2Vec::paper(false)),
+        std::sync::Arc::new(MetaPath::paper(true)),
+        std::sync::Arc::new(MetaPath::paper(false)),
+        std::sync::Arc::new(SecondOrderPr::paper()),
+        std::sync::Arc::new(UniformWalk),
     ]
 }
 
@@ -42,11 +42,11 @@ fn test_graph() -> Csr {
 fn run(
     engine: &dyn WalkEngine,
     g: &Csr,
-    w: &dyn DynamicWalk,
+    w: impl IntoWorkload,
     queries: &[NodeId],
     cfg: &WalkConfig,
 ) -> Result<RunReport, EngineError> {
-    engine.run(&WalkRequest::new(g, w, queries).with_config(cfg.clone()))
+    engine.run(&WalkRequest::new(g.clone(), w, queries).with_config(cfg.clone()))
 }
 
 #[test]
@@ -60,7 +60,7 @@ fn every_engine_runs_every_workload_with_valid_edges() {
     };
     for engine in all_engines() {
         for w in workloads() {
-            let report = run(engine.as_ref(), &g, w.as_ref(), &queries, &cfg)
+            let report = run(engine.as_ref(), &g, w.clone(), &queries, &cfg)
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", engine.name(), w.name()));
             assert_eq!(report.queries, 64, "{} {}", engine.name(), w.name());
             // Tallies count sampling attempts: every advancing step plus at
