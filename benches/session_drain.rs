@@ -9,20 +9,29 @@
 //! old design grew linearly in E here).
 //!
 //! ```text
-//! cargo bench --bench session_drain
+//! cargo bench --bench session_drain [-- --smoke]
 //! ```
+//!
+//! `--smoke` runs the smallest scale only with fewer samples — the mode
+//! the `bench-gate` CI job uses for regression visibility.
 
 use flexi_bench::microbench::BenchGroup;
 use flexiwalker::prelude::*;
 
 fn main() {
-    let mut group = BenchGroup::new("session_drain_cached").sample_size(10);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut group = BenchGroup::new("session_drain_cached").sample_size(if smoke { 3 } else { 10 });
     let workload = Node2Vec::paper(true);
     let queries: Vec<NodeId> = (0..64).collect();
 
     // Constant average degree (8): edge count grows 16x while per-walk
     // work stays put.
-    for (scale, edges) in [(12u32, 32_768usize), (14, 131_072), (16, 524_288)] {
+    let scales: &[(u32, usize)] = if smoke {
+        &[(12u32, 32_768usize)]
+    } else {
+        &[(12, 32_768), (14, 131_072), (16, 524_288)]
+    };
+    for &(scale, edges) in scales {
         let csr = gen::rmat(scale, edges, gen::RmatParams::SOCIAL, 99);
         let csr = WeightModel::UniformReal.apply(csr, 99);
         let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();

@@ -1,13 +1,20 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment>... [--full] [--quick] [--shrink N] [--queries N]
+//! repro <experiment>... [--full] [--quick] [--shrink N] [--queries N] [--json DIR]
 //! repro all [--full]
 //! repro list
 //! ```
+//!
+//! With `--json DIR`, every experiment additionally writes a
+//! machine-readable `DIR/BENCH_<experiment>.json` artifact: the tables as
+//! structured rows plus a throughput / kernel-time / sampler-tally summary
+//! probe — the format CI uploads and the bench trajectory is built from.
 
 use flexi_bench::experiments::{run_experiment, ALL_IDS};
-use flexi_bench::Profile;
+use flexi_bench::json::Json;
+use flexi_bench::{Profile, RunSummary, Table};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 fn main() {
@@ -18,6 +25,7 @@ fn main() {
     }
     let mut profile = Profile::quick();
     let mut ids: Vec<String> = Vec::new();
+    let mut json_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -34,6 +42,16 @@ fn main() {
             "--steps" => {
                 i += 1;
                 profile.steps = parse_num(&args, i, "--steps");
+            }
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => json_dir = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--json requires a directory argument");
+                        std::process::exit(2);
+                    }
+                }
             }
             "list" => {
                 for id in ALL_IDS {
@@ -60,17 +78,32 @@ fn main() {
         "# FlexiWalker reproduction (shrink {}, {} queries, {} steps, {} host threads)\n",
         profile.shrink, profile.query_budget, profile.steps, profile.host_threads
     );
+    // Validate ids up front: the summary probe below is a real walk run,
+    // too expensive to spend on a typo.
+    if let Some(bad) = ids.iter().find(|id| !ALL_IDS.contains(&id.as_str())) {
+        eprintln!("unknown experiment {bad:?}; `repro list` shows valid ids");
+        std::process::exit(2);
+    }
+    // One summary probe shared by every artifact of this invocation.
+    let summary = json_dir.as_ref().map(|dir| {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create --json directory {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        RunSummary::probe(&profile)
+    });
     for id in &ids {
         let start = Instant::now();
         match run_experiment(id, &profile) {
             Some(tables) => {
-                for t in tables {
+                for t in &tables {
                     println!("{}", t.render());
                 }
-                println!(
-                    "({id} regenerated in {:.1}s wall time)\n",
-                    start.elapsed().as_secs_f64()
-                );
+                let wall = start.elapsed().as_secs_f64();
+                println!("({id} regenerated in {wall:.1}s wall time)\n");
+                if let (Some(dir), Some(summary)) = (&json_dir, &summary) {
+                    write_artifact(dir, id, &profile, wall, summary, &tables);
+                }
             }
             None => {
                 eprintln!("unknown experiment {id:?}; `repro list` shows valid ids");
@@ -78,6 +111,39 @@ fn main() {
             }
         }
     }
+}
+
+/// Writes `DIR/BENCH_<id>.json` for one regenerated experiment.
+fn write_artifact(
+    dir: &Path,
+    id: &str,
+    profile: &Profile,
+    wall_seconds: f64,
+    summary: &RunSummary,
+    tables: &[Table],
+) {
+    let doc = Json::obj([
+        ("experiment", Json::from(id)),
+        (
+            "profile",
+            Json::obj([
+                ("shrink", Json::from(u64::from(profile.shrink))),
+                ("query_budget", Json::from(profile.query_budget)),
+                ("steps", Json::from(profile.steps)),
+                ("host_threads", Json::from(profile.host_threads)),
+                ("seed", Json::from(profile.seed)),
+            ]),
+        ),
+        ("wall_seconds", Json::from(wall_seconds)),
+        ("summary", summary.to_json()),
+        ("tables", Json::arr(tables.iter().map(Table::to_json))),
+    ]);
+    let path = dir.join(format!("BENCH_{id}.json"));
+    if let Err(e) = std::fs::write(&path, doc.render()) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    println!("(artifact written to {})\n", path.display());
 }
 
 fn parse_num<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
@@ -89,7 +155,8 @@ fn parse_num<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <experiment>... [--full|--quick] [--shrink N] [--queries N] [--steps N]\n\
+        "usage: repro <experiment>... [--full|--quick] [--shrink N] [--queries N] [--steps N] \
+         [--json DIR]\n\
          experiments: {} | all | list",
         ALL_IDS.join(" | ")
     );

@@ -1,10 +1,15 @@
 //! Shared machinery for the reproduction experiments.
 
-use flexi_core::{EngineError, IntoWorkload, RunReport, WalkConfig, WalkEngine, WalkRequest};
+use crate::json::Json;
+use flexi_core::{
+    EngineError, FlexiWalkerEngine, IntoWorkload, Node2Vec, RunReport, WalkConfig, WalkEngine,
+    WalkRequest,
+};
 use flexi_gpu_sim::DeviceSpec;
 use flexi_graph::{datasets, props, Csr, GraphHandle, NodeId, WeightModel};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Experiment scale knobs.
 #[derive(Clone, Copy, Debug)]
@@ -130,6 +135,29 @@ impl Table {
     /// Parses a numeric cell back out (for assertions in tests).
     pub fn cell_f64(&self, row: usize, col: usize) -> Option<f64> {
         self.rows.get(row)?.get(col)?.parse().ok()
+    }
+
+    /// The table as a JSON value (for the `BENCH_<id>.json` artifacts).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::from(self.id)),
+            ("title", Json::from(self.title.clone())),
+            (
+                "header",
+                Json::arr(self.header.iter().map(|h| Json::from(h.clone()))),
+            ),
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|row| {
+                    Json::arr(row.iter().map(|cell| match cell.parse::<f64>() {
+                        // Numeric cells round-trip as numbers so consumers
+                        // need no re-parsing; OOM/OOT/labels stay strings.
+                        Ok(v) if v.is_finite() => Json::Num(v),
+                        _ => Json::from(cell.clone()),
+                    }))
+                })),
+            ),
+        ])
     }
 
     /// Renders the table with aligned columns.
@@ -289,6 +317,78 @@ pub fn extrapolate_ms(report: &RunReport, g: &Csr, queries_run: usize) -> f64 {
     report.saturated_seconds * factor * 1e3
 }
 
+/// Machine-readable summary of one representative FlexiWalker run at the
+/// given profile — the throughput / kernel-time / sampler-tally block
+/// `repro --json` records in every `BENCH_<id>.json` artifact so the
+/// bench trajectory has comparable scalars even for table-shaped
+/// experiments.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Dataset the probe ran on.
+    pub dataset: &'static str,
+    /// Walk queries executed.
+    pub queries: usize,
+    /// Steps per walk.
+    pub steps: usize,
+    /// Host wall time of the probe run in seconds.
+    pub wall_seconds: f64,
+    /// Queries per wall second.
+    pub throughput_qps: f64,
+    /// Simulated kernel time of the main walk in seconds.
+    pub kernel_seconds: f64,
+    /// Sampling steps per strategy, keyed by sampler id.
+    pub sampler_steps: Vec<(String, u64)>,
+}
+
+impl RunSummary {
+    /// Runs the probe: weighted Node2Vec on the YT proxy under `p`.
+    pub fn probe(p: &Profile) -> Self {
+        let name = "YT";
+        let g = dataset(p, name, WeightSetup::Uniform, false);
+        let qs = queries(&g, p);
+        let mut cfg = config_for(p, name, &g, qs.len());
+        cfg.time_budget = f64::MAX;
+        let engine = FlexiWalkerEngine::new(device_for(name, &g));
+        let req = WalkRequest::new(g, &Node2Vec::paper(true), qs.as_slice()).with_config(cfg);
+        let start = Instant::now();
+        let report = engine.run(&req).expect("probe run succeeds");
+        let wall_seconds = start.elapsed().as_secs_f64().max(1e-9);
+        Self {
+            dataset: name,
+            queries: qs.len(),
+            steps: p.steps,
+            wall_seconds,
+            throughput_qps: qs.len() as f64 / wall_seconds,
+            kernel_seconds: report.sim_seconds,
+            sampler_steps: report
+                .sampler_steps
+                .iter()
+                .map(|(id, n)| (id.to_string(), n))
+                .collect(),
+        }
+    }
+
+    /// The summary as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", Json::from(self.dataset)),
+            ("queries", Json::from(self.queries)),
+            ("steps", Json::from(self.steps)),
+            ("wall_seconds", Json::from(self.wall_seconds)),
+            ("throughput_qps", Json::from(self.throughput_qps)),
+            ("kernel_seconds", Json::from(self.kernel_seconds)),
+            (
+                "sampler_steps",
+                Json::obj(
+                    self.sampler_steps
+                        .iter()
+                        .map(|(id, n)| (id.clone(), Json::from(*n))),
+                ),
+            ),
+        ])
+    }
+}
+
 /// Geometric mean of positive values; `None` if empty.
 pub fn geomean(values: &[f64]) -> Option<f64> {
     if values.is_empty() {
@@ -368,6 +468,29 @@ mod tests {
         assert!(s.contains("OOM"));
         assert_eq!(t.cell_f64(0, 1), Some(1.25));
         assert_eq!(t.cell_f64(0, 2), None);
+    }
+
+    #[test]
+    fn table_to_json_keeps_numbers_and_labels() {
+        let mut t = Table::new("t", "demo", vec!["ds".into(), "a".into(), "b".into()]);
+        t.push_row(vec!["YT".into(), "1.25".into(), "OOM".into()]);
+        let s = t.to_json().render();
+        assert!(s.contains("\"id\": \"t\""));
+        assert!(s.contains("1.25"));
+        assert!(s.contains("\"OOM\""));
+        assert!(s.contains("\"YT\""));
+    }
+
+    #[test]
+    fn run_summary_probe_reports_throughput_and_tallies() {
+        let p = Profile::test();
+        let s = RunSummary::probe(&p);
+        assert!(s.throughput_qps > 0.0);
+        assert!(s.kernel_seconds > 0.0);
+        assert!(s.queries > 0);
+        assert!(!s.sampler_steps.is_empty());
+        let doc = s.to_json().render();
+        assert!(crate::json::extract_number(&doc, "throughput_qps").unwrap() > 0.0);
     }
 
     #[test]

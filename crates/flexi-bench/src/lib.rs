@@ -11,9 +11,12 @@
 //! cache, VRAM/time-budget scaling (so OOM/OOT reproduce at proxy scale),
 //! and outcome formatting. [`experiments`] implements one function per
 //! paper artifact (`fig3`, `table2`, …) as indexed in `DESIGN.md` §4.
+//! [`json`] is the std-only emitter behind the `BENCH_<id>.json` artifact
+//! pipeline (`repro --json`, the `bench-gate` CI job).
 
 pub mod experiments;
 pub mod harness;
+pub mod json;
 pub mod microbench;
 
-pub use harness::{Outcome, Profile, Table};
+pub use harness::{Outcome, Profile, RunSummary, Table};

@@ -755,6 +755,19 @@ impl FlexiWalkerEngine {
     }
 }
 
+// The drain executor and the multi-device fleet fan these types across
+// host threads; pin the thread-safety contract at compile time so a
+// future field (a Cell, an Rc) cannot silently take parallel drains away.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<WalkRequest>();
+    assert_send_sync::<RunReport>();
+    assert_send_sync::<PreparedState>();
+    assert_send_sync::<FlexiWalkerEngine>();
+    assert_send_sync::<GraphSnapshot>();
+    assert_send_sync::<EngineError>();
+};
+
 impl WalkEngine for FlexiWalkerEngine {
     fn name(&self) -> &'static str {
         "FlexiWalker"

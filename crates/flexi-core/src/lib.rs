@@ -16,7 +16,9 @@
 //!   agree.
 //!
 //! Cross-cutting pieces: the dynamic query queue of §5.3 ([`queue`]),
-//! multi-device execution of §6.6 ([`multi_device`]), and the energy model
+//! the host-side worker pool that fans independent jobs across threads
+//! with a deterministic index-ordered merge ([`pool`]), multi-device
+//! execution of §6.6 ([`multi_device`]), and the energy model
 //! of §6.7 ([`energy`]). The [`engine::WalkEngine`] trait is the uniform
 //! interface every baseline in `flexi-baselines` also implements, which is
 //! what lets the benchmark harness iterate Table 2 over all systems.
@@ -26,6 +28,7 @@ pub mod energy;
 pub mod engine;
 pub mod multi_device;
 pub mod partitioned;
+pub mod pool;
 pub mod preprocess;
 pub mod profile;
 pub mod queue;
@@ -40,6 +43,7 @@ pub use engine::{
 // Re-export the graph-handle seam: requests are built over these, so
 // engine users should not have to name `flexi-graph` directly.
 pub use flexi_graph::{GraphHandle, GraphSnapshot, GraphUpdate, GraphVersion, UpdateOutcome};
+pub use pool::{PoolRun, WorkerPool};
 pub use preprocess::Aggregates;
 pub use profile::ProfileResult;
 pub use queue::QueryQueue;

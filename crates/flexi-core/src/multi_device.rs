@@ -5,8 +5,14 @@
 //! starting node (range-based mapping scaled worse due to load imbalance —
 //! both mappings are implemented so Fig. 15's observation is testable).
 //! Simulated kernel time of the ensemble is the maximum over devices.
+//!
+//! Device launches execute on the shared host [`WorkerPool`] — the same
+//! pool the session drain executor uses — instead of a serial per-device
+//! loop; reports merge in device-index order, so the ensemble result is
+//! bit-identical at any host-thread count.
 
 use crate::engine::{EngineError, RunReport, SamplerTally, WalkEngine, WalkRequest};
+use crate::pool::WorkerPool;
 use crate::runtime::SelectionStrategy;
 use crate::FlexiWalkerEngine;
 use flexi_gpu_sim::{CostStats, DeviceSpec};
@@ -33,6 +39,10 @@ pub struct MultiDeviceEngine {
     pub partitioning: Partitioning,
     /// Selection strategy forwarded to each device engine.
     pub strategy: SelectionStrategy,
+    /// Host worker pool driving the per-device launches concurrently.
+    /// Defaults to one thread per device, capped at host parallelism;
+    /// results are identical at any width.
+    pub pool: WorkerPool,
 }
 
 impl MultiDeviceEngine {
@@ -44,7 +54,14 @@ impl MultiDeviceEngine {
             num_devices,
             partitioning: Partitioning::Hash,
             strategy: SelectionStrategy::CostModel,
+            pool: WorkerPool::new(num_devices.min(WorkerPool::available())),
         }
+    }
+
+    /// Replaces the host pool (e.g. to share a session's configured width).
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Splits queries by the configured policy; returns per-device batches.
@@ -103,14 +120,23 @@ impl WalkEngine for MultiDeviceEngine {
             warnings: Vec::new(),
             watts: self.spec.load_watts * self.num_devices as f64,
         };
-        for (d, part) in parts.iter().enumerate() {
+        // Fan the per-device launches across the host pool: each device
+        // prepares and runs independently over the shared snapshot. The
+        // pool returns reports in device-index order, so the merge below —
+        // and any error propagation — is identical to the old serial loop.
+        // (One trade-off: every device runs to completion before an error
+        // surfaces, where the serial loop stopped at the first failure.)
+        let launches = self.pool.run_indexed(&parts, 1, |d, part| {
             let engine = FlexiWalkerEngine::with_strategy(self.spec.clone(), self.strategy);
             let mut dev_cfg = cfg.clone();
             dev_cfg.seed = cfg.seed.wrapping_add(d as u64).wrapping_mul(0x9E37) ^ cfg.seed;
             let dev_req = WalkRequest::new(&req.graph, Arc::clone(&req.workload), part.as_slice())
                 .with_config(dev_cfg);
             let prepared = engine.prepare(&snap.graph, req.workload.as_ref(), dev_req.config.seed);
-            let report = engine.run_on(&snap, &dev_req, &prepared)?;
+            engine.run_on(&snap, &dev_req, &prepared)
+        });
+        for launch in launches.results {
+            let report = launch?;
             saturated_max = saturated_max.max(report.saturated_seconds);
             device_seconds.push(report.sim_seconds);
             stats.add(&report.stats);
@@ -216,5 +242,36 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn zero_devices_rejected() {
         MultiDeviceEngine::new(DeviceSpec::tiny(), 0);
+    }
+
+    #[test]
+    fn ensemble_report_is_identical_at_any_pool_width() {
+        // The pool's index-ordered merge makes the ensemble bit-identical
+        // whether devices launch serially or across host threads.
+        let g = graph();
+        let queries: Vec<NodeId> = (0..300u32).collect();
+        let w = Node2Vec::paper(true);
+        let cfg = WalkConfig {
+            steps: 8,
+            record_paths: true,
+            ..WalkConfig::default()
+        };
+        let req = WalkRequest::new(g, &w, &queries).with_config(cfg);
+        let reports: Vec<RunReport> = [1, 2, 8]
+            .into_iter()
+            .map(|width| {
+                MultiDeviceEngine::new(DeviceSpec::tiny(), 3)
+                    .with_pool(WorkerPool::new(width))
+                    .run(&req)
+                    .unwrap()
+            })
+            .collect();
+        for r in &reports[1..] {
+            assert_eq!(r.sim_seconds, reports[0].sim_seconds);
+            assert_eq!(r.saturated_seconds, reports[0].saturated_seconds);
+            assert_eq!(r.steps_taken, reports[0].steps_taken);
+            assert_eq!(r.sampler_steps, reports[0].sampler_steps);
+            assert_eq!(r.stats, reports[0].stats);
+        }
     }
 }

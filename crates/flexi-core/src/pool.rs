@@ -1,0 +1,183 @@
+//! A std-only host-side worker pool for fanning independent walk jobs
+//! across threads.
+//!
+//! The paper scales by *query parallelism* (§6.6): independent batches run
+//! concurrently and results merge deterministically. This module is the
+//! host-side half of that story — a scoped-thread pool that executes an
+//! indexed job list and hands results back **in index order**, so callers
+//! (the session drain executor, [`crate::multi_device::MultiDeviceEngine`])
+//! get output that is bit-identical to a sequential loop no matter how
+//! many threads ran.
+//!
+//! Work distribution reuses the §5.3 scheme one level up: a single
+//! [`QueryQueue`] over job indices, popped in chunks
+//! ([`QueryQueue::pop_chunk`]) so the shared counter is touched once per
+//! chunk rather than once per job. There is no channel, no deque, and no
+//! dependency — `std::thread::scope` plus one atomic.
+
+use crate::queue::QueryQueue;
+
+/// Outcome of one [`WorkerPool::run_indexed`] call.
+#[derive(Debug)]
+pub struct PoolRun<R> {
+    /// Per-job results, in job-index order (independent of which worker
+    /// ran what).
+    pub results: Vec<R>,
+    /// Jobs executed by each worker, indexed by worker slot. The split is
+    /// scheduling-dependent; the merged `results` are not.
+    pub per_worker: Vec<u64>,
+}
+
+/// A fixed-width pool of host worker threads.
+///
+/// Threads are scoped per call: `run_indexed` spawns, drains the job list,
+/// and joins before returning, so the pool itself is just a width and is
+/// trivially `Clone`/`Send`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool of `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool as wide as the host allows.
+    pub fn host() -> Self {
+        Self::new(Self::available())
+    }
+
+    /// The host's available parallelism (1 if it cannot be queried).
+    pub fn available() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
+    /// The pool width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f(index, &items[index])` for every job, fanning across the
+    /// pool, and returns the results in index order.
+    ///
+    /// `chunk` is the number of job indices a worker claims per atomic pop
+    /// (clamped to at least 1); larger chunks cost less contention but
+    /// balance worse. With one worker — or one job — everything runs
+    /// inline on the calling thread and no thread is spawned, which is the
+    /// sequential path the parallel results are guaranteed to match.
+    pub fn run_indexed<T, R, F>(&self, items: &[T], chunk: usize, f: F) -> PoolRun<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.workers.min(items.len()).max(1);
+        if workers == 1 {
+            return PoolRun {
+                results: items.iter().enumerate().map(|(i, t)| f(i, t)).collect(),
+                per_worker: vec![items.len() as u64],
+            };
+        }
+        let queue = QueryQueue::new(items.len());
+        let chunk = chunk.max(1);
+        let mut harvested: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut got: Vec<(usize, R)> = Vec::new();
+                        while let Some(range) = queue.pop_chunk(chunk) {
+                            for i in range {
+                                got.push((i, f(i, &items[i])));
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        });
+        let per_worker: Vec<u64> = harvested.iter().map(|v| v.len() as u64).collect();
+        // Deterministic merge: place every result at its job index.
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for worker in &mut harvested {
+            for (i, r) in worker.drain(..) {
+                debug_assert!(slots[i].is_none(), "job {i} executed twice");
+                slots[i] = Some(r);
+            }
+        }
+        PoolRun {
+            results: slots
+                .into_iter()
+                .map(|s| s.expect("every job index claimed exactly once"))
+                .collect(),
+            per_worker,
+        }
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::host()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for workers in [1, 2, 4, 8] {
+            let run = WorkerPool::new(workers).run_indexed(&items, 3, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(run.results, (0..257).map(|x| x * 2).collect::<Vec<_>>());
+            assert_eq!(run.per_worker.iter().sum::<u64>(), 257);
+            assert!(run.per_worker.len() <= workers.max(1));
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_inline_without_spawning() {
+        // An inline run executes strictly in index order.
+        let order = AtomicU64::new(0);
+        let items = [10u64, 20, 30];
+        let run = WorkerPool::new(1).run_indexed(&items, 1, |i, &x| {
+            assert_eq!(order.fetch_add(1, Ordering::SeqCst), i as u64);
+            x
+        });
+        assert_eq!(run.results, vec![10, 20, 30]);
+        assert_eq!(run.per_worker, vec![3]);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let run = WorkerPool::new(4).run_indexed(&[] as &[u8], 1, |_, &x| x);
+        assert!(run.results.is_empty());
+        assert_eq!(run.per_worker.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn pool_never_spawns_more_workers_than_jobs() {
+        let items = [1u8, 2];
+        let run = WorkerPool::new(16).run_indexed(&items, 1, |_, &x| x);
+        assert_eq!(run.results, vec![1, 2]);
+        assert!(run.per_worker.len() <= 2);
+    }
+
+    #[test]
+    fn width_is_clamped_to_one() {
+        assert_eq!(WorkerPool::new(0).workers(), 1);
+        assert!(WorkerPool::available() >= 1);
+    }
+}

@@ -34,6 +34,19 @@ impl QueryQueue {
         (i < self.len).then_some(i)
     }
 
+    /// Pops up to `n` consecutive indices in one atomic, or `None` when
+    /// the batch is drained.
+    ///
+    /// Host-side consumers (the drain executor's worker pool) use this to
+    /// amortise contention on the shared counter: one `fetch_add` claims a
+    /// whole chunk. The returned range is clamped to the queue length, so
+    /// the final chunk may be shorter than `n`.
+    pub fn pop_chunk(&self, n: usize) -> Option<std::ops::Range<usize>> {
+        let n = n.max(1);
+        let start = self.next.fetch_add(n, Ordering::Relaxed);
+        (start < self.len).then(|| start..(start + n).min(self.len))
+    }
+
     /// Number of queries in the batch.
     pub fn len(&self) -> usize {
         self.len
@@ -44,7 +57,8 @@ impl QueryQueue {
         self.len == 0
     }
 
-    /// Queries handed out so far (may exceed `len` due to overshoot).
+    /// Queries handed out so far, clamped to `len` (the internal counter
+    /// may overshoot past the end; the overshoot is never reported).
     pub fn popped(&self) -> usize {
         self.next.load(Ordering::Relaxed).min(self.len)
     }
@@ -72,6 +86,33 @@ mod tests {
         let q = QueryQueue::new(0);
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn chunked_pops_cover_the_queue_without_overlap() {
+        let q = QueryQueue::new(10);
+        assert_eq!(q.pop_chunk(4), Some(0..4));
+        assert_eq!(q.pop_chunk(4), Some(4..8));
+        // Final chunk is clamped to the queue length.
+        assert_eq!(q.pop_chunk(4), Some(8..10));
+        assert_eq!(q.pop_chunk(4), None);
+        assert_eq!(q.popped(), 10);
+        // A zero-sized request still makes progress (clamped to 1).
+        let q = QueryQueue::new(2);
+        assert_eq!(q.pop_chunk(0), Some(0..1));
+        assert_eq!(q.pop_chunk(0), Some(1..2));
+        assert_eq!(q.pop_chunk(0), None);
+    }
+
+    #[test]
+    fn chunked_and_single_pops_interleave_disjointly() {
+        let q = QueryQueue::new(7);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop_chunk(3), Some(1..4));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop_chunk(8), Some(5..7));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop_chunk(2), None);
     }
 
     #[test]

@@ -24,7 +24,10 @@ fn main() {
 
     // 3. Open a session on a simulated A6000 and register the graph. The
     //    session owns it under an epoch-versioned handle; the content
-    //    digest — the cache-key seed — is computed here, once.
+    //    digest — the cache-key seed — is computed here, once. Drains fan
+    //    pending requests across host worker threads (one per core by
+    //    default; tune with `.workers(n)`) with bit-identical output at
+    //    any width — see the parallel_service example.
     let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
     let graph = session.load_graph(csr);
     let n = graph.graph().num_nodes() as NodeId;

@@ -1,0 +1,134 @@
+//! The parallel drain executor: fans a session's pending walk requests
+//! across a host worker pool with a deterministic, submission-ordered
+//! merge.
+//!
+//! [`Session::drain`](crate::session::Session::drain) runs in two phases:
+//!
+//! 1. **Prepare** (sequential, on the calling thread): each pending
+//!    request resolves its graph handle, pins a [`GraphSnapshot`] — one
+//!    per graph per drain, shared by every request in the same batch
+//!    group — and pulls its compiled estimators, aggregates and profile
+//!    out of the session caches (building them on a miss). This is the
+//!    only phase that mutates the session, so the caches need no locks.
+//! 2. **Execute** (parallel): the prepared jobs are grouped by
+//!    `(graph id, epoch, device)` and fanned across the
+//!    [`WorkerPool`]. Each job is a pure call into
+//!    [`FlexiWalkerEngine::run_on`] over its pinned snapshot; nothing
+//!    here touches shared mutable state.
+//!
+//! Reports merge back **in submission order**, and per-query Philox
+//! streams make every walk's randomness independent of warp placement and
+//! host-thread count — together that is what makes `drain()` output
+//! bit-identical at any worker count, which `tests/integration_executor.rs`
+//! pins across `workers ∈ {1, 2, 4, 8}` and across epoch splits.
+
+use crate::session::Ticket;
+use flexi_core::{
+    EngineError, FlexiWalkerEngine, PreparedState, RunReport, WalkRequest, WorkerPool,
+};
+use flexi_graph::GraphSnapshot;
+use std::collections::HashMap;
+
+/// Batch grouping key: requests over the same graph version on the same
+/// device form one group and share a pinned snapshot.
+pub type GroupKey = (u64, u64, &'static str);
+
+/// One pending request after the session's sequential preparation pass:
+/// everything [`FlexiWalkerEngine::run_on`] needs, with no remaining
+/// dependency on the session's mutable caches.
+#[derive(Debug)]
+pub struct PreparedJob {
+    /// The submission ticket the report merges back under.
+    pub ticket: Ticket,
+    /// The owned walk request.
+    pub req: WalkRequest,
+    /// The graph version pinned for this job's launch.
+    pub snap: GraphSnapshot,
+    /// Cached (or freshly built) estimators, aggregates and profile.
+    pub prepared: PreparedState,
+    /// Whether the aggregates came from the session cache (Table-3
+    /// preprocess overhead reports as zero).
+    pub preprocess_hit: bool,
+    /// Whether the profile came from the session cache.
+    pub profile_hit: bool,
+}
+
+impl PreparedJob {
+    /// The job's batch group.
+    pub fn group(&self, engine: &FlexiWalkerEngine) -> GroupKey {
+        (
+            self.snap.version.graph_id,
+            self.snap.version.epoch,
+            engine.spec().name,
+        )
+    }
+}
+
+/// Outcome of one drain through the executor.
+#[derive(Debug)]
+pub struct DrainRun {
+    /// Per-request outcomes, in submission order.
+    pub results: Vec<(Ticket, Result<RunReport, EngineError>)>,
+    /// Requests executed by each worker slot (scheduling-dependent; the
+    /// merged results are not).
+    pub per_worker: Vec<u64>,
+    /// Distinct `(graph id, epoch, device)` batch groups in this drain.
+    pub groups: usize,
+}
+
+/// Executes prepared jobs across `workers` host threads and merges the
+/// reports in submission order.
+///
+/// Jobs are scheduled group-by-group (requests over the same graph
+/// version run adjacently, for cache locality) but each job lands back at
+/// its own submission index, so the output is independent of both the
+/// grouping and the worker count. `workers == 1` runs inline on the
+/// calling thread — exactly the sequential path.
+pub fn execute(engine: &FlexiWalkerEngine, jobs: Vec<PreparedJob>, workers: usize) -> DrainRun {
+    // Group by first appearance: stable within a group, groups in
+    // submission order of their first member.
+    let mut first_seen: HashMap<GroupKey, usize> = HashMap::new();
+    for (i, job) in jobs.iter().enumerate() {
+        first_seen.entry(job.group(engine)).or_insert(i);
+    }
+    let groups = first_seen.len();
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (first_seen[&jobs[i].group(engine)], i));
+
+    let pool = WorkerPool::new(workers);
+    // Chunk of 1: drain jobs are whole walk batches, heavyweight enough
+    // that per-job popping balances better than it contends.
+    let run = pool.run_indexed(&order, 1, |_, &i| run_job(engine, &jobs[i]));
+
+    // Scatter back from execution order to submission order.
+    let mut slots: Vec<Option<Result<RunReport, EngineError>>> =
+        (0..jobs.len()).map(|_| None).collect();
+    for (pos, outcome) in run.results.into_iter().enumerate() {
+        slots[order[pos]] = Some(outcome);
+    }
+    let results = jobs
+        .iter()
+        .zip(slots)
+        .map(|(job, slot)| (job.ticket, slot.expect("every job executed")))
+        .collect();
+    DrainRun {
+        results,
+        per_worker: run.per_worker,
+        groups,
+    }
+}
+
+/// Runs one prepared job — a pure function of the job and the engine.
+fn run_job(engine: &FlexiWalkerEngine, job: &PreparedJob) -> Result<RunReport, EngineError> {
+    let mut report = engine.run_on(&job.snap, &job.req, &job.prepared)?;
+    // Cached preparation costs nothing at run time; only the first
+    // request over a (graph version, workload) pair reports Table-3
+    // overheads.
+    if job.preprocess_hit {
+        report.preprocess_seconds = 0.0;
+    }
+    if job.profile_hit {
+        report.profile_seconds = 0.0;
+    }
+    Ok(report)
+}

@@ -87,6 +87,7 @@
 //! assert_eq!(report3.graph_version.epoch, 1);
 //! ```
 
+pub mod executor;
 pub mod session;
 
 pub use flexi_baselines as baselines;

@@ -24,7 +24,12 @@
 //!   everything pending. Each query is assigned a global index in the
 //!   session's cumulative stream, which seeds its private RNG stream —
 //!   with the same seed, one submission of N queries and two submissions
-//!   of N/2 produce bit-identical paths.
+//!   of N/2 produce bit-identical paths;
+//! - **parallelises** drains: pending requests are grouped by
+//!   `(graph id, epoch, device)` and fanned across
+//!   [`SessionBuilder::workers`] host threads, with reports merged back in
+//!   submission order — output is bit-identical at every worker count
+//!   (see [`crate::executor`]).
 //!
 //! ## Cache invalidation
 //!
@@ -36,12 +41,15 @@
 //!
 //! [`GraphUpdate`]: flexi_graph::GraphUpdate
 
+use crate::executor::{self, PreparedJob};
 use flexi_core::{
     CompiledArtifacts, EngineError, FlexiWalkerEngine, PreparedState, ProfileResult, RunReport,
-    SelectionStrategy, WalkRequest,
+    SelectionStrategy, WalkRequest, WorkerPool,
 };
 use flexi_gpu_sim::DeviceSpec;
-use flexi_graph::{Csr, GraphError, GraphHandle, GraphUpdate, GraphVersion, UpdateOutcome};
+use flexi_graph::{
+    Csr, GraphError, GraphHandle, GraphSnapshot, GraphUpdate, GraphVersion, UpdateOutcome,
+};
 use flexi_sampling::{Sampler, SamplerRegistry};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -67,11 +75,13 @@ pub struct SessionBuilder {
     registry: SamplerRegistry,
     skip_profile: bool,
     cost_ratio_override: Option<f64>,
+    workers: usize,
 }
 
 impl SessionBuilder {
     /// A builder with the paper's defaults: simulated A6000, cost-model
-    /// selection, the built-in eRVS/eRJS registry.
+    /// selection, the built-in eRVS/eRJS registry, one drain worker per
+    /// host core.
     pub fn new() -> Self {
         Self {
             spec: DeviceSpec::a6000(),
@@ -79,6 +89,7 @@ impl SessionBuilder {
             registry: SamplerRegistry::builtin(),
             skip_profile: false,
             cost_ratio_override: None,
+            workers: WorkerPool::available(),
         }
     }
 
@@ -118,6 +129,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets how many host worker threads [`Session::drain`] fans pending
+    /// requests across (clamped to at least 1).
+    ///
+    /// The default is the host's available parallelism; `1` is the fully
+    /// sequential path. Drain output is **bit-identical at every worker
+    /// count**: requests are prepared sequentially, grouped by
+    /// `(graph id, epoch, device)`, executed as pure jobs over pinned
+    /// snapshots, and merged back in submission order (see
+    /// [`crate::executor`]).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
     /// Finishes configuration. The session is fully owned — no borrow
     /// lifetime: graphs are registered via [`Session::load_graph`] and
     /// travel in requests as [`GraphHandle`]s.
@@ -135,6 +160,7 @@ impl SessionBuilder {
             pending: Vec::new(),
             next_ticket: 0,
             query_cursor: 0,
+            workers: self.workers,
             stats: SessionStats::default(),
         }
     }
@@ -258,10 +284,10 @@ impl GraphEntry {
     }
 }
 
-/// Counters exposing the session's cache behaviour — what the
-/// no-rehash-on-drain and incremental-refresh guarantees are asserted
-/// against in tests and benchmarks.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Counters exposing the session's cache and executor behaviour — what
+/// the no-rehash-on-drain, incremental-refresh and parallel-drain
+/// guarantees are asserted against in tests and benchmarks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Full O(V + E) content digests computed (once per loaded graph).
     pub digests_computed: u64,
@@ -275,6 +301,16 @@ pub struct SessionStats {
     pub profiles_run: u64,
     /// Profiles carried across a weight-only epoch without re-running.
     pub profiles_carried: u64,
+    /// Drains fanned across more than one worker slot (the slot split
+    /// itself is scheduling-dependent — a fast worker may still claim
+    /// every job).
+    pub parallel_drains: u64,
+    /// `(graph id, epoch, device)` batch groups formed across all drains.
+    pub drain_groups: u64,
+    /// Requests executed per worker slot, cumulative across drains. The
+    /// split between slots is scheduling-dependent; the sum always equals
+    /// the number of drained requests.
+    pub worker_requests: Vec<u64>,
 }
 
 /// A long-lived walk service over one engine configuration.
@@ -295,6 +331,8 @@ pub struct Session {
     pending: Vec<(Ticket, WalkRequest)>,
     next_ticket: usize,
     query_cursor: u64,
+    /// Host threads [`Session::drain`] fans requests across.
+    workers: usize,
     stats: SessionStats,
 }
 
@@ -309,9 +347,14 @@ impl Session {
         self.pending.len()
     }
 
-    /// Cache-behaviour counters.
+    /// Cache- and executor-behaviour counters.
     pub fn stats(&self) -> SessionStats {
-        self.stats
+        self.stats.clone()
+    }
+
+    /// Host worker threads [`Session::drain`] fans requests across.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Number of resident aggregate sets — bounded by live graph versions
@@ -464,20 +507,42 @@ impl Session {
         ticket
     }
 
-    /// Executes every pending request, in submission order.
+    /// Executes every pending request and returns the reports in
+    /// submission order.
     ///
-    /// Each request resolves its graph handle at execution time, so a
-    /// drain after [`Session::apply_updates`] walks the updated topology
-    /// (served from the incrementally refreshed caches).
+    /// Each request resolves its graph handle at drain time — one pinned
+    /// snapshot per graph per drain — so a drain after
+    /// [`Session::apply_updates`] walks the updated topology (served from
+    /// the incrementally refreshed caches). Requests are prepared
+    /// sequentially against the session caches, then fanned across the
+    /// configured [`SessionBuilder::workers`] grouped by
+    /// `(graph id, epoch, device)`; per-query Philox streams and the
+    /// submission-ordered merge make the output **bit-identical at every
+    /// worker count** (see [`crate::executor`]).
     pub fn drain(&mut self) -> Vec<(Ticket, Result<RunReport, EngineError>)> {
         let pending = std::mem::take(&mut self.pending);
-        pending
+        if pending.is_empty() {
+            return Vec::new();
+        }
+        // Phase 1 (sequential): pin snapshots and resolve caches.
+        let mut snapshots: HashMap<u64, GraphSnapshot> = HashMap::new();
+        let jobs: Vec<PreparedJob> = pending
             .into_iter()
-            .map(|(ticket, req)| {
-                let outcome = self.execute(&req);
-                (ticket, outcome)
-            })
-            .collect()
+            .map(|(ticket, req)| self.prepare_job(ticket, req, &mut snapshots))
+            .collect();
+        // Phase 2 (parallel): pure engine runs, merged in submission order.
+        let run = executor::execute(&self.engine, jobs, self.workers);
+        self.stats.drain_groups += run.groups as u64;
+        if run.per_worker.len() > 1 {
+            self.stats.parallel_drains += 1;
+        }
+        if self.stats.worker_requests.len() < run.per_worker.len() {
+            self.stats.worker_requests.resize(run.per_worker.len(), 0);
+        }
+        for (slot, n) in run.per_worker.iter().enumerate() {
+            self.stats.worker_requests[slot] += n;
+        }
+        run.results
     }
 
     /// Convenience: submit one job and drain immediately.
@@ -516,13 +581,24 @@ impl Session {
         })
     }
 
-    /// Runs one request through the caches.
-    fn execute(&mut self, req: &WalkRequest) -> Result<RunReport, EngineError> {
+    /// Resolves one request through the caches into a [`PreparedJob`] —
+    /// the sequential half of a drain. The returned job carries everything
+    /// the engine needs, so its execution no longer touches the session.
+    fn prepare_job(
+        &mut self,
+        ticket: Ticket,
+        req: WalkRequest,
+        snapshots: &mut HashMap<u64, GraphSnapshot>,
+    ) -> PreparedJob {
         // Pin the snapshot first, then key the caches for its epoch: the
         // walk must run over exactly the version the prepared state
-        // describes.
-        let snap = req.snapshot();
+        // describes. One snapshot per graph per drain — every request in a
+        // batch group shares it.
         let id = req.graph.id();
+        let snap = snapshots
+            .entry(id)
+            .or_insert_with(|| req.snapshot())
+            .clone();
         let entry = *self.entry_for(&req.graph);
         let gfp = entry.fp_at(id, snap.version.epoch);
         // Serving a newer epoch than the GC cursor means the handle was
@@ -574,22 +650,18 @@ impl Session {
             }
         };
 
-        let prepared = PreparedState {
-            artifacts,
-            aggregates,
-            profile,
-        };
-        let mut report = self.engine.run_on(&snap, req, &prepared)?;
-        // Cached preparation costs nothing at run time; only the first
-        // request over a (graph version, workload) pair reports Table-3
-        // overheads.
-        if preprocess_hit {
-            report.preprocess_seconds = 0.0;
+        PreparedJob {
+            ticket,
+            req,
+            snap,
+            prepared: PreparedState {
+                artifacts,
+                aggregates,
+                profile,
+            },
+            preprocess_hit,
+            profile_hit,
         }
-        if profile_hit {
-            report.profile_seconds = 0.0;
-        }
-        Ok(report)
     }
 }
 
@@ -602,6 +674,7 @@ impl std::fmt::Debug for Session {
             .field("cached_workloads", &self.compiled.len())
             .field("cached_aggregates", &self.aggregates.len())
             .field("cached_profiles", &self.profiles.len())
+            .field("workers", &self.workers)
             .field("stats", &self.stats)
             .finish()
     }

@@ -1,0 +1,241 @@
+//! Executor determinism: `Session::drain` output is bit-identical at
+//! every worker count — including when a drain covers several graphs at
+//! different epochs, and when `apply_updates` lands mid-stream between
+//! submissions.
+//!
+//! Proptest-style: a seeded sweep generates scripted sessions (random
+//! submission sizes, workload mix, update batches) and replays each
+//! script at `workers ∈ {1, 2, 4, 8}`, comparing full per-ticket
+//! transcripts bit-for-bit.
+
+use flexiwalker::prelude::*;
+use std::sync::Arc;
+
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn graph(seed: u64) -> Csr {
+    let g = gen::rmat(8, 2048, gen::RmatParams::SOCIAL, seed);
+    WeightModel::UniformReal.apply(g, seed)
+}
+
+/// Deterministic per-seed script randomness (splitmix64 step).
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Everything observable about one drained ticket, with floats as bits so
+/// equality is exact.
+#[derive(Debug, PartialEq)]
+struct TicketRecord {
+    ticket: usize,
+    /// `(dense graph index, epoch)`: graph ids are a process-global
+    /// counter, so two sessions in one test process never see the same
+    /// raw ids — they are normalised to first-appearance order, which is
+    /// deterministic because the transcript is in submission order.
+    graph_version: (u64, u64),
+    sim_seconds: u64,
+    saturated_seconds: u64,
+    profile_seconds: u64,
+    preprocess_seconds: u64,
+    queries: usize,
+    steps_taken: u64,
+    paths: Option<Vec<Vec<NodeId>>>,
+    sampler_steps: Vec<(String, u64)>,
+}
+
+fn record(ticket: Ticket, report: &RunReport) -> TicketRecord {
+    TicketRecord {
+        ticket: ticket.id(),
+        graph_version: (report.graph_version.graph_id, report.graph_version.epoch),
+        sim_seconds: report.sim_seconds.to_bits(),
+        saturated_seconds: report.saturated_seconds.to_bits(),
+        profile_seconds: report.profile_seconds.to_bits(),
+        preprocess_seconds: report.preprocess_seconds.to_bits(),
+        queries: report.queries,
+        steps_taken: report.steps_taken,
+        paths: report.paths.clone(),
+        sampler_steps: report
+            .sampler_steps
+            .iter()
+            .map(|(id, n)| (id.to_string(), n))
+            .collect(),
+    }
+}
+
+fn drain_records(session: &mut Session) -> Vec<TicketRecord> {
+    session
+        .drain()
+        .into_iter()
+        .map(|(t, r)| record(t, &r.expect("drain succeeds")))
+        .collect()
+}
+
+/// One update batch derived from the script stream: a new edge plus a
+/// reweighted existing one.
+fn update_batch(rng: &mut u64, g: &GraphHandle) -> Vec<GraphUpdate> {
+    let csr = g.graph();
+    let n = csr.num_nodes() as u64;
+    vec![
+        GraphUpdate::AddEdge {
+            src: (mix(rng) % n) as NodeId,
+            dst: (mix(rng) % n) as NodeId,
+            weight: 1.0 + (mix(rng) % 8) as f32,
+            label: 0,
+        },
+        GraphUpdate::SetWeight {
+            edge: (mix(rng) % csr.num_edges() as u64) as usize,
+            weight: 0.5 + (mix(rng) % 4) as f32,
+        },
+    ]
+}
+
+/// Replays one scripted session at `workers` and returns the transcript:
+/// two graphs, randomised submissions, a mid-stream update between the
+/// two drains, and a second update that splits epochs *within* the final
+/// drain (graph A advances, graph B stays put).
+fn run_script(script_seed: u64, workers: usize) -> (Vec<TicketRecord>, SessionStats) {
+    let mut rng = script_seed;
+    let workloads: [Arc<dyn flexiwalker::core::DynamicWalk>; 3] = [
+        Arc::new(Node2Vec::paper(true)),
+        Arc::new(SecondOrderPr::paper()),
+        Arc::new(UniformWalk),
+    ];
+    let mut session = FlexiWalker::builder()
+        .device(DeviceSpec::tiny())
+        .workers(workers)
+        .build();
+    let a = session.load_graph(graph(script_seed));
+    let b = session.load_graph(graph(script_seed + 101));
+    let mut transcript = Vec::new();
+
+    let submit = |session: &mut Session, rng: &mut u64, g: &GraphHandle| {
+        let csr = g.graph();
+        let count = 8 + (mix(rng) % 25) as usize;
+        let start = mix(rng) % csr.num_nodes() as u64;
+        let queries: Vec<NodeId> = (0..count)
+            .map(|i| ((start + i as u64) % csr.num_nodes() as u64) as NodeId)
+            .collect();
+        let w = Arc::clone(&workloads[(mix(rng) % 3) as usize]);
+        let steps = 4 + (mix(rng) % 5) as usize;
+        session.submit(
+            WalkRequest::new(g, w, queries)
+                .steps(steps)
+                .record_paths(true),
+        );
+    };
+
+    // Drain 1: both graphs at epoch 0.
+    for _ in 0..2 + (mix(&mut rng) % 3) {
+        let g = if mix(&mut rng) % 2 == 0 { &a } else { &b };
+        submit(&mut session, &mut rng, g);
+    }
+    transcript.extend(drain_records(&mut session));
+
+    // Mid-stream update: both graphs advance to epoch 1.
+    for g in [&a, &b] {
+        let batch = update_batch(&mut rng, g);
+        session.apply_updates(g, &batch).expect("update applies");
+    }
+
+    // Drain 2: submissions straddle one more update to A only, so the
+    // drain covers A@e2 and B@e1 concurrently — two batch groups, no
+    // cross-talk.
+    submit(&mut session, &mut rng, &a);
+    submit(&mut session, &mut rng, &b);
+    let batch = update_batch(&mut rng, &a);
+    session.apply_updates(&a, &batch).expect("update applies");
+    submit(&mut session, &mut rng, &a);
+    submit(&mut session, &mut rng, &b);
+    transcript.extend(drain_records(&mut session));
+
+    // Normalise the process-global graph ids to first-appearance order.
+    let mut dense: Vec<u64> = Vec::new();
+    for r in &mut transcript {
+        let idx = match dense.iter().position(|&id| id == r.graph_version.0) {
+            Some(i) => i,
+            None => {
+                dense.push(r.graph_version.0);
+                dense.len() - 1
+            }
+        };
+        r.graph_version.0 = idx as u64;
+    }
+    (transcript, session.stats())
+}
+
+#[test]
+fn drain_is_bit_identical_across_worker_counts() {
+    for script_seed in [3u64, 17, 29, 42] {
+        let (reference, ref_stats) = run_script(script_seed, 1);
+        assert!(!reference.is_empty());
+        // The final drain mixes two graphs at different epochs.
+        assert!(ref_stats.drain_groups >= 3, "stats: {ref_stats:?}");
+        for workers in &WORKER_SWEEP[1..] {
+            let (transcript, stats) = run_script(script_seed, *workers);
+            assert_eq!(
+                transcript, reference,
+                "seed {script_seed}: workers {workers} diverged from sequential drain"
+            );
+            // Cache behaviour is also scheduling-independent: the prepare
+            // pass is sequential at every worker count.
+            assert_eq!(stats.digests_computed, ref_stats.digests_computed);
+            assert_eq!(stats.aggregates_built, ref_stats.aggregates_built);
+            assert_eq!(stats.profiles_run, ref_stats.profiles_run);
+            assert_eq!(stats.drain_groups, ref_stats.drain_groups);
+            // Every request was executed by exactly one worker slot.
+            assert_eq!(
+                stats.worker_requests.iter().sum::<u64>(),
+                ref_stats.worker_requests.iter().sum::<u64>(),
+                "request count must not depend on worker count"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_worker_drain_reports_parallel_stats() {
+    let w = Node2Vec::paper(true);
+    let mut session = FlexiWalker::builder()
+        .device(DeviceSpec::tiny())
+        .workers(4)
+        .build();
+    assert_eq!(session.workers(), 4);
+    let g = session.load_graph(graph(7));
+    for chunk in (0..64u32).collect::<Vec<_>>().chunks(16) {
+        session.submit(WalkRequest::new(&g, &w, chunk).steps(5));
+    }
+    let results = session.drain();
+    assert_eq!(results.len(), 4);
+    let stats = session.stats();
+    assert_eq!(stats.parallel_drains, 1, "4 jobs across 4 workers");
+    assert_eq!(stats.drain_groups, 1, "one graph, one epoch, one device");
+    assert_eq!(stats.worker_requests.iter().sum::<u64>(), 4);
+    assert!(stats.worker_requests.len() > 1);
+}
+
+#[test]
+fn single_worker_session_never_goes_parallel() {
+    let w = UniformWalk;
+    let mut session = FlexiWalker::builder()
+        .device(DeviceSpec::tiny())
+        .workers(1)
+        .build();
+    let g = session.load_graph(graph(11));
+    for chunk in (0..32u32).collect::<Vec<_>>().chunks(8) {
+        session.submit(WalkRequest::new(&g, &w, chunk).steps(4));
+    }
+    session.drain();
+    let stats = session.stats();
+    assert_eq!(stats.parallel_drains, 0);
+    assert_eq!(stats.worker_requests, vec![4]);
+}
+
+#[test]
+fn workers_zero_is_clamped_to_sequential() {
+    let session = FlexiWalker::builder().workers(0).build();
+    assert_eq!(session.workers(), 1);
+}
