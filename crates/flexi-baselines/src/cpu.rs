@@ -7,7 +7,8 @@
 
 use flexi_core::energy::{CPU_LOAD_WATTS, CPU_OOC_WATTS};
 use flexi_core::{
-    DynamicWalk, EngineError, RunReport, SamplerTally, WalkEngine, WalkRequest, WalkState,
+    CompiledWalker, DynamicWalk, EngineError, RunReport, SamplerTally, WalkEngine, WalkRequest,
+    WalkState,
 };
 use flexi_gpu_sim::CostStats;
 use flexi_graph::Csr;
@@ -74,18 +75,17 @@ enum CpuSampler {
     RjsExactMax,
 }
 
-/// Picks the sampler a CPU system uses for `w` — RJS only when the bound is
-/// statically known (unweighted Node2Vec / MetaPath), ITS otherwise.
-fn sampler_for(w: &dyn DynamicWalk, rjs_capable: bool) -> CpuSampler {
+/// Picks the sampler a CPU system uses for a lowered walker — RJS only
+/// when the compiled bound is a kernel-wide constant (unweighted Node2Vec
+/// / MetaPath), ITS otherwise.
+fn sampler_for(walker: &CompiledWalker, rjs_capable: bool) -> CpuSampler {
     if rjs_capable {
-        if let Some(bound) = const_bound(w) {
+        if let Some(bound) = walker.static_bound() {
             return CpuSampler::RjsConstBound(bound);
         }
     }
     CpuSampler::Its
 }
-
-use flexi_core::static_max_bound as const_bound;
 
 impl CpuSampler {
     /// Report key of the scalar strategy this CPU system runs.
@@ -108,7 +108,7 @@ fn cpu_run(
 ) -> Result<RunReport, EngineError> {
     let snap = req.snapshot();
     let g: &flexi_graph::Csr = &snap.graph;
-    let w = req.workload.as_ref();
+    let w = req.walker.get()?.walk_dyn();
     let queries: &[flexi_graph::NodeId] = &req.queries;
     let cfg = &req.config;
     let steps = w.preferred_steps().unwrap_or(cfg.steps);
@@ -265,7 +265,7 @@ impl WalkEngine for ThunderRwCpu {
     }
 
     fn run(&self, req: &WalkRequest) -> Result<RunReport, EngineError> {
-        let sampler = sampler_for(req.workload.as_ref(), true);
+        let sampler = sampler_for(req.walker.get()?, true);
         cpu_run(self.name(), &self.spec, sampler, None, req, self.spec.watts)
     }
 }
@@ -296,7 +296,7 @@ impl WalkEngine for SoWalkerCpu {
     }
 
     fn run(&self, req: &WalkRequest) -> Result<RunReport, EngineError> {
-        let sampler = sampler_for(req.workload.as_ref(), true);
+        let sampler = sampler_for(req.walker.get()?, true);
         let io = IoModel {
             miss_ppm: self.miss_ppm,
             // ~20 µs NVMe block read at 3 GHz.
@@ -335,7 +335,7 @@ impl WalkEngine for KnightKingCpu {
     fn run(&self, req: &WalkRequest) -> Result<RunReport, EngineError> {
         // KnightKing's dynamic path uses rejection; the bound is exact when
         // statically known, otherwise an exact max scan per step.
-        let sampler = match const_bound(req.workload.as_ref()) {
+        let sampler = match req.walker.get()?.static_bound() {
             Some(b) => CpuSampler::RjsConstBound(b),
             None => CpuSampler::RjsExactMax,
         };
@@ -366,7 +366,7 @@ mod tests {
     fn run(
         engine: &dyn WalkEngine,
         g: &Csr,
-        w: impl flexi_core::IntoWorkload,
+        w: impl flexi_core::IntoWalker,
         queries: &[NodeId],
         c: &WalkConfig,
     ) -> Result<RunReport, EngineError> {
@@ -396,13 +396,19 @@ mod tests {
 
     #[test]
     fn unweighted_node2vec_selects_constant_bound_rjs() {
-        let w = Node2Vec::paper(false);
-        match sampler_for(&w, true) {
+        let lower = |w: Node2Vec| {
+            flexi_core::WalkerDef::native(w.name().to_string(), w)
+                .lower()
+                .unwrap()
+        };
+        match sampler_for(&lower(Node2Vec::paper(false)), true) {
             CpuSampler::RjsConstBound(b) => assert_eq!(b, 2.0), // 1/b = 2.
             other => panic!("expected const-bound RJS, got {other:?}"),
         }
-        let wt = Node2Vec::paper(true);
-        assert_eq!(sampler_for(&wt, true), CpuSampler::Its);
+        assert_eq!(
+            sampler_for(&lower(Node2Vec::paper(true)), true),
+            CpuSampler::Its
+        );
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl GpuBaseline {
     fn run_impl(&self, req: &WalkRequest) -> Result<RunReport, EngineError> {
         let snap = req.snapshot();
         let g: &Csr = &snap.graph;
-        let w = req.workload.as_ref();
+        let walker = req.walker.get()?;
+        let w = walker.walk_dyn();
+        // NextDoor-class engines skip their max reduction only when the
+        // compiled bound is a kernel-wide constant; derived once per run.
+        let const_bound = walker.static_bound();
         let queries: &[NodeId] = &req.queries;
         let cfg = &req.config;
         let device = Device::new(self.spec.clone());
@@ -125,6 +129,7 @@ impl GpuBaseline {
                 record,
                 kind,
                 bytes_per_weight,
+                const_bound,
             )
         };
         let launch = if cfg.host_threads > 1 {
@@ -186,6 +191,7 @@ fn baseline_warp(
     record: bool,
     kind: GpuBaselineKind,
     bytes_per_weight: usize,
+    const_bound: Option<f32>,
 ) -> WarpFinished {
     struct Lane {
         query: usize,
@@ -241,9 +247,7 @@ fn baseline_warp(
                 // static hyperparameter constant (unweighted Node2Vec /
                 // MetaPath — its "partial" dynamic support); a `None` bound
                 // makes the sampler pay the transit-scattered exact max.
-                Granularity::Lane => {
-                    sampler.sample_lane(ctx, l, &view, flexi_core::static_max_bound(w))
-                }
+                Granularity::Lane => sampler.sample_lane(ctx, l, &view, const_bound),
             };
             let lane = lanes[l].as_mut().expect("still Some");
             match picked {
@@ -353,7 +357,7 @@ mod tests {
     fn run(
         engine: &dyn WalkEngine,
         g: &Csr,
-        w: impl flexi_core::IntoWorkload,
+        w: impl flexi_core::IntoWalker,
         queries: &[NodeId],
         c: &WalkConfig,
     ) -> Result<RunReport, EngineError> {

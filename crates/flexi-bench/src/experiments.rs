@@ -783,7 +783,7 @@ fn run_with_ratio(
     engine: &FlexiWalkerEngine,
     ratio: f64,
     g: &GraphHandle,
-    w: impl flexi_core::IntoWorkload,
+    w: impl flexi_core::IntoWalker,
     qs: &[flexi_graph::NodeId],
     cfg: &flexi_core::WalkConfig,
 ) -> Outcome {

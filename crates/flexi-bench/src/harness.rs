@@ -2,7 +2,7 @@
 
 use crate::json::Json;
 use flexi_core::{
-    EngineError, FlexiWalkerEngine, IntoWorkload, Node2Vec, RunReport, WalkConfig, WalkEngine,
+    EngineError, FlexiWalkerEngine, IntoWalker, Node2Vec, RunReport, WalkConfig, WalkEngine,
     WalkRequest,
 };
 use flexi_gpu_sim::DeviceSpec;
@@ -296,7 +296,7 @@ pub fn config_for(p: &Profile, name: &str, g: &Csr, queries_len: usize) -> WalkC
 pub fn run(
     engine: &dyn WalkEngine,
     g: &GraphHandle,
-    w: impl IntoWorkload,
+    w: impl IntoWalker,
     qs: &[NodeId],
     cfg: &WalkConfig,
 ) -> Outcome {
@@ -304,7 +304,11 @@ pub fn run(
         Ok(report) => Outcome::Millis(extrapolate_ms(&report, &g.graph(), qs.len())),
         Err(EngineError::OutOfMemory { .. }) => Outcome::Oom,
         Err(EngineError::OutOfTime { .. }) => Outcome::Oot,
-        Err(EngineError::Unsupported(_)) => Outcome::Unsupported,
+        Err(
+            EngineError::Unsupported(_)
+            | EngineError::UnknownWalker { .. }
+            | EngineError::WalkerCompile { .. },
+        ) => Outcome::Unsupported,
     }
 }
 

@@ -3,7 +3,7 @@
 
 use crate::ast::{BinOp, Expr, Program, Stmt};
 use crate::CompileError;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How often the eRJS upper bound must be re-estimated (Fig. 9c flags).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +26,99 @@ pub struct PathInfo {
     pub dependencies: Vec<String>,
     /// Per-path flag from the flag allocator.
     pub granularity: BoundGranularity,
+}
+
+/// Everything a `get_weight` program reads from its environment — the
+/// dependency surface the walker-lowering pipeline derives label needs,
+/// walk order and per-weight memory traffic from.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefInfo {
+    /// Indexed arrays read (`h`, `adj`, `label`, `deg`, `schema`, …).
+    pub arrays: BTreeSet<String>,
+    /// Functions called, excluding the `max`/`min`/`abs` builtins
+    /// (`linked`, …).
+    pub calls: BTreeSet<String>,
+    /// Free variables read (`edge`, `prev`, `cur`, `step`, hyperparameters,
+    /// …); locals assigned before use are excluded.
+    pub frees: BTreeSet<String>,
+}
+
+impl RefInfo {
+    /// Whether the program consults walk history (`prev`, `has_prev`, or
+    /// the `linked` membership probe) — i.e. is second-order.
+    pub fn second_order(&self) -> bool {
+        self.frees.contains("prev")
+            || self.frees.contains("has_prev")
+            || self.calls.contains("linked")
+    }
+}
+
+/// Collects every environment reference of `p` (arrays, calls, free
+/// variables), skipping locals that were assigned earlier in the program.
+pub fn references(p: &Program) -> RefInfo {
+    let mut info = RefInfo::default();
+    let mut locals = BTreeSet::new();
+    ref_stmts(&p.body, &mut locals, &mut info);
+    info
+}
+
+fn ref_stmts(stmts: &[Stmt], locals: &mut BTreeSet<String>, info: &mut RefInfo) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { name, value } => {
+                ref_expr(value, locals, info);
+                locals.insert(name.clone());
+            }
+            Stmt::Return(e) => ref_expr(e, locals, info),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                ref_expr(cond, locals, info);
+                // Locals assigned in one branch may be undefined in the
+                // other; track them per branch, conservatively keeping the
+                // outer set untouched.
+                let mut then_locals = locals.clone();
+                ref_stmts(then_branch, &mut then_locals, info);
+                let mut else_locals = locals.clone();
+                ref_stmts(else_branch, &mut else_locals, info);
+            }
+            Stmt::While { cond, body } => {
+                ref_expr(cond, locals, info);
+                let mut body_locals = locals.clone();
+                ref_stmts(body, &mut body_locals, info);
+            }
+        }
+    }
+}
+
+fn ref_expr(e: &Expr, locals: &BTreeSet<String>, info: &mut RefInfo) {
+    match e {
+        Expr::Num(_) => {}
+        Expr::Var(name) => {
+            if !locals.contains(name) {
+                info.frees.insert(name.clone());
+            }
+        }
+        Expr::Index { array, index } => {
+            info.arrays.insert(array.clone());
+            ref_expr(index, locals, info);
+        }
+        Expr::Call { name, args } => {
+            if !matches!(name.as_str(), "max" | "min" | "abs") {
+                info.calls.insert(name.clone());
+            }
+            for a in args {
+                ref_expr(a, locals, info);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            ref_expr(lhs, locals, info);
+            ref_expr(rhs, locals, info);
+        }
+        Expr::Unary { expr, .. } => ref_expr(expr, locals, info),
+    }
 }
 
 /// Soundness verdict for a parsed program (§5.2 / §7.1 checks).
@@ -482,6 +575,45 @@ mod tests {
             fold(&parse_expr("x + (1 + 1)").unwrap()).to_source(),
             "(x + 2.0)"
         );
+    }
+
+    #[test]
+    fn references_collect_arrays_calls_and_frees() {
+        let p = parse_program(crate::workloads::NODE2VEC_WEIGHTED).unwrap();
+        let info = references(&p);
+        assert!(info.arrays.contains("h"));
+        assert!(info.arrays.contains("adj"));
+        assert!(!info.arrays.contains("label"));
+        assert!(info.calls.contains("linked"));
+        // Locals (h_e, post) are excluded; builtins are excluded.
+        assert!(!info.frees.contains("h_e"));
+        assert!(!info.frees.contains("post"));
+        assert!(info.frees.contains("prev"));
+        assert!(info.frees.contains("a"));
+        assert!(info.second_order());
+    }
+
+    #[test]
+    fn references_first_order_walk_is_not_second_order() {
+        let p = parse_program("get_weight(edge) { return h[edge]; }").unwrap();
+        let info = references(&p);
+        assert!(!info.second_order());
+        assert_eq!(
+            info.arrays.iter().collect::<Vec<_>>(),
+            vec![&"h".to_string()]
+        );
+        assert!(info.calls.is_empty());
+    }
+
+    #[test]
+    fn references_branch_locals_do_not_leak() {
+        // `y` assigned only in the then-branch must still count as local
+        // within it, and `z` read before assignment is free.
+        let p = parse_program("f() { if (x == 1) { y = z; } return 1.0; }").unwrap();
+        let info = references(&p);
+        assert!(info.frees.contains("x"));
+        assert!(info.frees.contains("z"));
+        assert!(!info.frees.contains("y"));
     }
 
     #[test]

@@ -33,10 +33,12 @@ pub mod parser;
 pub mod token;
 pub mod workloads;
 
-pub use analysis::{enumerate_paths, validate, BoundGranularity, PathInfo, Validation};
+pub use analysis::{
+    enumerate_paths, references, validate, BoundGranularity, PathInfo, RefInfo, Validation,
+};
 pub use ast::{BinOp, Expr, Program, Stmt, UnOp};
 pub use codegen::{AggKind, CompiledWalk, Estimator, EstimatorEnv, PreprocessRequest};
-pub use interp::{interpret, InterpEnv};
+pub use interp::{interpret, interpret_f32, interpret_with, InterpEnv, Precision};
 pub use parser::parse_program;
 
 /// Errors raised while compiling a walk specification.

@@ -1,10 +1,21 @@
-//! The paper's five evaluation workloads as mini-language sources (§2.1).
+//! The paper's five evaluation workloads as mini-language sources (§2.1),
+//! plus the **canonical spec table** every other layer builds on: the
+//! native workload structs in `flexi-core` and the `WalkerRegistry`
+//! built-ins both derive their [`WalkSpec`]s from [`builtin_spec`], so a
+//! built-in walk algorithm is defined in exactly one place.
 //!
 //! The runtime environment provides: `edge` (edge id being scored), `prev`
-//! (previously visited node), `cur` (current node), `step` (walk step
-//! index), arrays `h` (edge property weight), `adj` (edge target), `label`
-//! (edge label), `deg` (node out-degree), `schema` (MetaPath label
-//! schedule), and the predicate `linked(a, b)` (directed edge a→b exists).
+//! (previously visited node), `has_prev` (1 after the first step, 0 on it),
+//! `cur` (current node), `step` (walk step index), arrays `h` (edge
+//! property weight), `adj` (edge target), `label` (edge label), `deg`
+//! (node out-degree), `schema` (MetaPath label schedule), and the
+//! predicate `linked(a, b)` (directed edge a→b exists).
+//!
+//! First steps are guarded with `has_prev`: a dynamic walk has no history
+//! on its first step, so the canonical sources return the static property
+//! weight there — exactly what the hand-written Rust twins do.
+
+use crate::WalkSpec;
 
 /// Weighted Node2Vec (Eq. 2 times the property weight `h`).
 ///
@@ -12,6 +23,7 @@
 pub const NODE2VEC_WEIGHTED: &str = r#"
 get_weight(edge) {
     h_e = h[edge];
+    if (has_prev == 0) return h_e;
     post = adj[edge];
     if (post == prev) return h_e / a;
     else if (linked(prev, post)) return h_e;
@@ -23,6 +35,7 @@ get_weight(edge) {
 /// the flag allocator classifies it `PER_KERNEL` (§3.3).
 pub const NODE2VEC_UNWEIGHTED: &str = r#"
 get_weight(edge) {
+    if (has_prev == 0) return 1.0;
     post = adj[edge];
     if (post == prev) return 1.0 / a;
     else if (linked(prev, post)) return 1.0;
@@ -31,7 +44,8 @@ get_weight(edge) {
 "#;
 
 /// Weighted MetaPath: an edge is admissible iff its label matches the
-/// schema entry for the current step.
+/// schema entry for the current step (history enters through `step`, so no
+/// `has_prev` guard is needed).
 pub const METAPATH_WEIGHTED: &str = r#"
 get_weight(edge) {
     h_e = h[edge];
@@ -54,6 +68,7 @@ get_weight(edge) {
 pub const PAGERANK_2ND: &str = r#"
 get_weight(edge) {
     h_e = h[edge];
+    if (has_prev == 0) return h_e;
     post = adj[edge];
     maxd = max(deg[cur], deg[prev]);
     if (linked(prev, post)) {
@@ -64,48 +79,49 @@ get_weight(edge) {
 }
 "#;
 
-/// All five sources with their default hyperparameters (paper §6.1:
-/// `a = 2.0`, `b = 0.5`, `gamma = 0.2`).
-pub fn all_specs() -> Vec<(&'static str, crate::WalkSpec)> {
-    let n2v = vec![("a".to_string(), 2.0), ("b".to_string(), 0.5)];
-    let pr = vec![("gamma".to_string(), 0.2)];
-    vec![
-        (
-            "node2vec_weighted",
-            crate::WalkSpec {
-                source: NODE2VEC_WEIGHTED.to_string(),
-                hyperparams: n2v.clone(),
-            },
-        ),
-        (
-            "node2vec_unweighted",
-            crate::WalkSpec {
-                source: NODE2VEC_UNWEIGHTED.to_string(),
-                hyperparams: n2v,
-            },
-        ),
-        (
-            "metapath_weighted",
-            crate::WalkSpec {
-                source: METAPATH_WEIGHTED.to_string(),
-                hyperparams: vec![],
-            },
-        ),
-        (
-            "metapath_unweighted",
-            crate::WalkSpec {
-                source: METAPATH_UNWEIGHTED.to_string(),
-                hyperparams: vec![],
-            },
-        ),
-        (
-            "pagerank_2nd",
-            crate::WalkSpec {
-                source: PAGERANK_2ND.to_string(),
-                hyperparams: pr,
-            },
-        ),
-    ]
+/// Names of the canonical built-in specs, in the paper's Table 2 order.
+pub const BUILTIN_SPEC_NAMES: [&str; 5] = [
+    "node2vec_weighted",
+    "node2vec_unweighted",
+    "metapath_weighted",
+    "metapath_unweighted",
+    "pagerank_2nd",
+];
+
+/// The canonical [`WalkSpec`] of one built-in workload, with the paper's
+/// default hyperparameters (§6.1: `a = 2.0`, `b = 0.5`, `gamma = 0.2`).
+///
+/// This is the single source of truth for every built-in definition: the
+/// native `DynamicWalk` structs in `flexi-core`, the `WalkerRegistry`
+/// built-ins, and [`all_specs`] all derive from this table.
+pub fn builtin_spec(name: &str) -> Option<WalkSpec> {
+    let n2v = || vec![("a".to_string(), 2.0), ("b".to_string(), 0.5)];
+    let (source, hyperparams) = match name {
+        "node2vec_weighted" => (NODE2VEC_WEIGHTED, n2v()),
+        "node2vec_unweighted" => (NODE2VEC_UNWEIGHTED, n2v()),
+        "metapath_weighted" => (METAPATH_WEIGHTED, vec![]),
+        "metapath_unweighted" => (METAPATH_UNWEIGHTED, vec![]),
+        "pagerank_2nd" => (PAGERANK_2ND, vec![("gamma".to_string(), 0.2)]),
+        _ => return None,
+    };
+    Some(WalkSpec {
+        source: source.to_string(),
+        hyperparams,
+    })
+}
+
+/// All five canonical sources with their default hyperparameters, in
+/// [`BUILTIN_SPEC_NAMES`] order.
+pub fn all_specs() -> Vec<(&'static str, WalkSpec)> {
+    BUILTIN_SPEC_NAMES
+        .iter()
+        .map(|name| {
+            (
+                *name,
+                builtin_spec(name).expect("every listed name has a canonical spec"),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -131,11 +147,24 @@ mod tests {
     }
 
     #[test]
+    fn all_specs_mirrors_the_canonical_table() {
+        assert_eq!(super::all_specs().len(), super::BUILTIN_SPEC_NAMES.len());
+        for (name, spec) in super::all_specs() {
+            let canonical = super::builtin_spec(name).unwrap();
+            assert_eq!(spec.source, canonical.source, "{name}: source drifted");
+            assert_eq!(
+                spec.hyperparams, canonical.hyperparams,
+                "{name}: hyperparams drifted"
+            );
+        }
+        assert!(super::builtin_spec("nonsense").is_none());
+    }
+
+    #[test]
     fn unweighted_node2vec_is_per_kernel_weighted_is_per_step() {
-        let specs = super::all_specs();
         let get = |name: &str| {
-            let spec = &specs.iter().find(|(n, _)| *n == name).unwrap().1;
-            match compile(spec).unwrap() {
+            let spec = super::builtin_spec(name).unwrap();
+            match compile(&spec).unwrap() {
                 CompileOutcome::Supported(c) => c.flag,
                 _ => panic!("fallback"),
             }
@@ -149,15 +178,23 @@ mod tests {
     #[test]
     fn metapath_unweighted_is_per_kernel() {
         // Both returns are constants (1 and 0), so a single bound suffices.
-        let specs = super::all_specs();
-        let spec = &specs
-            .iter()
-            .find(|(n, _)| *n == "metapath_unweighted")
-            .unwrap()
-            .1;
-        match compile(spec).unwrap() {
+        let spec = super::builtin_spec("metapath_unweighted").unwrap();
+        match compile(&spec).unwrap() {
             CompileOutcome::Supported(c) => {
                 assert_eq!(c.flag, BoundGranularity::PerKernel);
+            }
+            _ => panic!("fallback"),
+        }
+    }
+
+    #[test]
+    fn first_step_guard_keeps_static_bounds_sound() {
+        // The has_prev path returns the static weight; the max estimator
+        // must cover it (1.0 for unweighted Node2Vec alongside 1/a, 1/b).
+        let spec = super::builtin_spec("node2vec_unweighted").unwrap();
+        match compile(&spec).unwrap() {
+            CompileOutcome::Supported(c) => {
+                assert_eq!(c.paths.len(), 4, "has_prev guard adds a path");
             }
             _ => panic!("fallback"),
         }

@@ -10,10 +10,10 @@
 //! - [`walk_corpus`] — a skip-gram training corpus (one walk per line),
 //!   the standard input format for DeepWalk/Node2Vec embedding trainers.
 
-use crate::engine::{EngineError, IntoWorkload, WalkConfig, WalkEngine, WalkRequest};
+use crate::engine::{EngineError, WalkConfig, WalkEngine, WalkRequest};
+use crate::walker::IntoWalker;
 use flexi_graph::{GraphHandle, NodeId};
 use std::io::Write;
-use std::sync::Arc;
 
 /// Estimates personalized PageRank by walk-visit frequency.
 ///
@@ -29,7 +29,7 @@ use std::sync::Arc;
 pub fn personalized_pagerank(
     engine: &dyn WalkEngine,
     graph: &GraphHandle,
-    w: impl IntoWorkload,
+    w: impl IntoWalker,
     sources: &[NodeId],
     walks_per_source: usize,
     restart: f64,
@@ -39,7 +39,7 @@ pub fn personalized_pagerank(
         (0.0..1.0).contains(&restart),
         "restart probability must be in [0, 1)"
     );
-    let w = w.into_workload();
+    let w = w.into_walker();
     let mut scores = vec![0.0f64; graph.graph().num_nodes()];
     let mut mass = 0.0f64;
     for round in 0..walks_per_source {
@@ -49,7 +49,7 @@ pub fn personalized_pagerank(
             .seed
             .wrapping_add(0x9E37_79B9u64.wrapping_mul(round as u64 + 1));
         let report =
-            engine.run(&WalkRequest::new(graph, Arc::clone(&w), sources).with_config(round_cfg))?;
+            engine.run(&WalkRequest::new(graph, w.clone(), sources).with_config(round_cfg))?;
         for path in report.paths.as_ref().expect("recorded") {
             let mut survive = 1.0f64;
             for &v in path {
@@ -81,7 +81,7 @@ pub fn personalized_pagerank(
 pub fn walk_corpus<W: Write>(
     engine: &dyn WalkEngine,
     graph: &GraphHandle,
-    w: impl IntoWorkload,
+    w: impl IntoWalker,
     queries: &[NodeId],
     cfg: &WalkConfig,
     out: &mut W,

@@ -24,8 +24,9 @@ use crate::preprocess::Aggregates;
 use crate::profile::{run_profile, ProfileResult};
 use crate::queue::QueryQueue;
 use crate::runtime::{CostModel, RuntimeEnv, SelectionStrategy};
+use crate::walker::{CompiledWalker, IntoWalker, WalkerHandle, WalkerRegistry};
 use crate::workload::{DynamicWalk, WalkState};
-use flexi_compiler::{compile, CompileOutcome, CompiledWalk};
+use flexi_compiler::CompiledWalk;
 use flexi_gpu_sim::{CostStats, Device, DeviceSpec, WarpCtx, WARP_SIZE};
 use flexi_graph::{Csr, GraphHandle, GraphSnapshot, GraphVersion, NodeId};
 use flexi_rng::Philox4x32;
@@ -68,27 +69,6 @@ impl Default for WalkConfig {
     }
 }
 
-/// Conversion into the shared workload a [`WalkRequest`] owns.
-///
-/// Lets request construction accept `&SomeWorkload` (cloned into a fresh
-/// `Arc`) as well as an already-shared `Arc<dyn DynamicWalk>`.
-pub trait IntoWorkload {
-    /// Produces the request's shared workload.
-    fn into_workload(self) -> Arc<dyn DynamicWalk>;
-}
-
-impl IntoWorkload for Arc<dyn DynamicWalk> {
-    fn into_workload(self) -> Arc<dyn DynamicWalk> {
-        self
-    }
-}
-
-impl<W: DynamicWalk + Clone + 'static> IntoWorkload for &W {
-    fn into_workload(self) -> Arc<dyn DynamicWalk> {
-        Arc::new(self.clone())
-    }
-}
-
 /// Conversion into the shared query set a [`WalkRequest`] owns.
 pub trait IntoQueries {
     /// Produces the request's shared query set.
@@ -125,20 +105,23 @@ impl<const N: usize> IntoQueries for &[NodeId; N] {
     }
 }
 
-/// One walk job: the graph handle to walk, the workload, the query set,
+/// One walk job: the graph handle to walk, the walker, the query set,
 /// and the run configuration — the unit both [`WalkEngine::run`] and the
 /// session API operate on.
 ///
 /// The request is fully owned (no borrow lifetimes): the graph travels as
-/// an epoch-versioned [`GraphHandle`], so a request can outlive the scope
-/// that built it, cross threads, and keep serving after runtime updates —
-/// engines resolve the handle to a pinned [`GraphSnapshot`] at launch.
+/// an epoch-versioned [`GraphHandle`] and the walk algorithm as a
+/// [`WalkerHandle`] — either already lowered, or a registry name the
+/// serving session/engine resolves at run time. A request can outlive the
+/// scope that built it, cross threads, and keep serving after runtime
+/// updates — engines resolve the graph handle to a pinned
+/// [`GraphSnapshot`] at launch.
 #[derive(Clone)]
 pub struct WalkRequest {
     /// Versioned handle of the graph being walked.
     pub graph: GraphHandle,
-    /// Dynamic-walk workload.
-    pub workload: Arc<dyn DynamicWalk>,
+    /// The walk algorithm, addressed by handle.
+    pub walker: WalkerHandle,
     /// Starting nodes, one walk each.
     pub queries: Arc<[NodeId]>,
     /// Run configuration.
@@ -160,17 +143,18 @@ impl WalkRequest {
     ///
     /// `graph` accepts a `&GraphHandle` (cheap clone of the same versioned
     /// graph), an owned [`GraphHandle`], or a bare [`Csr`] / `Arc<Csr>`
-    /// (wrapped in a fresh handle). `workload` accepts `&W` or
-    /// `Arc<dyn DynamicWalk>`; `queries` accepts slices, vectors or a
-    /// shared `Arc<[NodeId]>`.
+    /// (wrapped in a fresh handle). `walker` accepts a registry name
+    /// (`"node2vec"`), a `&W` workload struct, an `Arc<dyn DynamicWalk>`,
+    /// a lowered [`CompiledWalker`] or an existing [`WalkerHandle`];
+    /// `queries` accepts slices, vectors or a shared `Arc<[NodeId]>`.
     pub fn new(
         graph: impl Into<GraphHandle>,
-        workload: impl IntoWorkload,
+        walker: impl IntoWalker,
         queries: impl IntoQueries,
     ) -> Self {
         Self {
             graph: graph.into(),
-            workload: workload.into_workload(),
+            walker: walker.into_walker(),
             queries: queries.into_queries(),
             config: WalkConfig::default(),
             query_offset: 0,
@@ -180,6 +164,12 @@ impl WalkRequest {
     /// Pins the request's current graph version for one launch.
     pub fn snapshot(&self) -> GraphSnapshot {
         self.graph.snapshot()
+    }
+
+    /// Replaces the walker handle (e.g. with a registry-resolved one).
+    pub fn with_walker(mut self, walker: WalkerHandle) -> Self {
+        self.walker = walker;
+        self
     }
 
     /// Replaces the run configuration.
@@ -229,7 +219,7 @@ impl std::fmt::Debug for WalkRequest {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WalkRequest")
             .field("graph", &self.graph.version())
-            .field("workload", &self.workload.name())
+            .field("walker", &self.walker)
             .field("queries", &self.queries.len())
             .field("config", &self.config)
             .field("query_offset", &self.query_offset)
@@ -255,6 +245,19 @@ pub enum EngineError {
     },
     /// The engine cannot run this workload at all.
     Unsupported(&'static str),
+    /// The request addressed a walker name no registry resolves.
+    UnknownWalker {
+        /// The unresolved walker name.
+        name: String,
+    },
+    /// A walker definition failed to lower (malformed DSL, unresolvable
+    /// references, invalid overrides).
+    WalkerCompile {
+        /// The walker's registry name.
+        name: String,
+        /// The compiler's diagnostic.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -266,6 +269,10 @@ impl std::fmt::Display for EngineError {
             } => write!(f, "OOM (requested {requested} B, available {available} B)"),
             Self::OutOfTime { budget_secs } => write!(f, "OOT (budget {budget_secs} s)"),
             Self::Unsupported(what) => write!(f, "unsupported: {what}"),
+            Self::UnknownWalker { name } => write!(f, "unknown walker {name:?}"),
+            Self::WalkerCompile { name, message } => {
+                write!(f, "walker {name:?} failed to compile: {message}")
+            }
         }
     }
 }
@@ -437,24 +444,11 @@ pub struct CompiledArtifacts {
     pub warnings: Vec<String>,
 }
 
-/// Runs Flexi-Compiler over the workload's `get_weight` spec.
+/// Runs Flexi-Compiler over the workload's `get_weight` spec — the same
+/// lowering [`crate::walker::WalkerDef::lower`] performs, exposed for
+/// callers holding a bare workload.
 pub fn compile_workload(w: &dyn DynamicWalk) -> CompiledArtifacts {
-    match compile(&w.spec()) {
-        Ok(CompileOutcome::Supported(c)) => CompiledArtifacts {
-            warnings: c.warnings.clone(),
-            compiled: Some(*c),
-        },
-        Ok(CompileOutcome::Fallback { warnings }) => CompiledArtifacts {
-            compiled: None,
-            warnings,
-        },
-        Err(e) => CompiledArtifacts {
-            compiled: None,
-            warnings: vec![format!(
-                "compile error: {e}; falling back to reservoir-only"
-            )],
-        },
-    }
+    crate::walker::compile_spec(&w.spec())
 }
 
 /// Reusable per-(graph, workload) state: compiled estimators, preprocessed
@@ -482,6 +476,7 @@ pub struct FlexiWalkerEngine {
     /// profiling it (ratio-sensitivity ablations).
     pub cost_ratio_override: Option<f64>,
     registry: SamplerRegistry,
+    walkers: WalkerRegistry,
 }
 
 impl FlexiWalkerEngine {
@@ -499,6 +494,7 @@ impl FlexiWalkerEngine {
             skip_profile: false,
             cost_ratio_override: None,
             registry: SamplerRegistry::builtin(),
+            walkers: WalkerRegistry::builtin(),
         }
     }
 
@@ -508,9 +504,43 @@ impl FlexiWalkerEngine {
         self
     }
 
+    /// Replaces the walker registry wholesale.
+    pub fn with_walkers(mut self, walkers: WalkerRegistry) -> Self {
+        self.walkers = walkers;
+        self
+    }
+
     /// Registers an additional (or replacement) sampling strategy.
     pub fn register_sampler(&mut self, sampler: Arc<dyn Sampler>) {
         self.registry.register(sampler);
+    }
+
+    /// Registers an additional (or replacement) walker definition.
+    pub fn register_walker(&mut self, def: crate::walker::WalkerDef) {
+        self.walkers.register(def);
+    }
+
+    /// The registered walker definitions.
+    pub fn walkers(&self) -> &WalkerRegistry {
+        &self.walkers
+    }
+
+    /// Resolves a request's walker against this engine's registry,
+    /// returning a request whose handle owns the lowered walker. Already
+    /// resolved requests pass through unchanged (cheap `Arc` clones).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownWalker`] / [`EngineError::WalkerCompile`] as
+    /// [`WalkerRegistry::resolve`].
+    pub fn resolve_request(&self, req: &WalkRequest) -> Result<WalkRequest, EngineError> {
+        if req.walker.is_resolved() {
+            return Ok(req.clone());
+        }
+        let cw = self.walkers.resolve(req.walker.name())?;
+        Ok(req
+            .clone()
+            .with_walker(WalkerHandle::resolved(Arc::new(cw))))
     }
 
     /// Re-registers eRVS at the given optimisation stage (the Fig. 12a
@@ -551,13 +581,14 @@ impl FlexiWalkerEngine {
         }
     }
 
-    /// Full preparation pass: compile + preprocess + profile. The result is
-    /// reusable across every run over the same `(graph, workload)` pair —
-    /// the session API caches each piece independently.
-    pub fn prepare(&self, g: &Csr, w: &dyn DynamicWalk, seed: u64) -> PreparedState {
-        let artifacts = compile_workload(w);
+    /// Full preparation pass over a lowered walker: reuse its compiled
+    /// artifacts, then preprocess + profile. The result is reusable across
+    /// every run over the same `(graph, walker)` pair — the session API
+    /// caches each piece independently.
+    pub fn prepare(&self, g: &Csr, walker: &CompiledWalker, seed: u64) -> PreparedState {
+        let artifacts = walker.artifacts().clone();
         let aggregates = Arc::new(self.aggregates_for(g, &artifacts));
-        let profile = self.profile_for(g, w, seed);
+        let profile = self.profile_for(g, walker.walk_dyn(), seed);
         PreparedState {
             artifacts,
             aggregates,
@@ -605,7 +636,7 @@ impl FlexiWalkerEngine {
         prepared: &PreparedState,
     ) -> Result<RunReport, EngineError> {
         let g: &Csr = &snap.graph;
-        let w: &dyn DynamicWalk = req.workload.as_ref();
+        let w: &dyn DynamicWalk = req.walker.get()?.walk_dyn();
         let queries: &[NodeId] = &req.queries;
         let cfg = &req.config;
         let mut warnings = prepared.artifacts.warnings.clone();
@@ -774,9 +805,11 @@ impl WalkEngine for FlexiWalkerEngine {
     }
 
     fn run(&self, req: &WalkRequest) -> Result<RunReport, EngineError> {
+        let req = self.resolve_request(req)?;
+        let walker = Arc::clone(req.walker.get()?);
         let snap = req.snapshot();
-        let prepared = self.prepare(&snap.graph, req.workload.as_ref(), req.config.seed);
-        self.run_on(&snap, req, &prepared)
+        let prepared = self.prepare(&snap.graph, &walker, req.config.seed);
+        self.run_on(&snap, &req, &prepared)
     }
 }
 
@@ -1118,7 +1151,7 @@ mod tests {
     fn run(
         engine: &FlexiWalkerEngine,
         g: &Csr,
-        w: impl IntoWorkload,
+        w: impl IntoWalker,
         queries: &[NodeId],
         c: &WalkConfig,
     ) -> Result<RunReport, EngineError> {
@@ -1389,12 +1422,29 @@ mod tests {
         let w = Node2Vec::paper(true);
         let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
         let c = cfg(10);
-        let prepared = engine.prepare(&g, &w, c.seed);
         let req = WalkRequest::new(g.clone(), &w, &queries).with_config(c.clone());
+        let walker = Arc::clone(req.walker.get().unwrap());
+        let prepared = engine.prepare(&g, &walker, c.seed);
         let cached = engine.run_with(&req, &prepared).unwrap();
         let fresh = WalkEngine::run(&engine, &req).unwrap();
         assert_eq!(cached.paths, fresh.paths);
         assert_eq!(cached.sampler_steps, fresh.sampler_steps);
+    }
+
+    #[test]
+    fn named_requests_resolve_through_the_engine_registry() {
+        // The four built-ins are ordinary registry entries; a request can
+        // address them by name and must match the struct-built run bitwise.
+        let g = small_graph();
+        let queries: Vec<NodeId> = (0..32u32).collect();
+        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+        let by_name = run(&engine, &g, "node2vec", &queries, &cfg(8)).unwrap();
+        let by_struct = run(&engine, &g, &Node2Vec::paper(true), &queries, &cfg(8)).unwrap();
+        assert_eq!(by_name.paths, by_struct.paths);
+        assert_eq!(by_name.sampler_steps, by_struct.sampler_steps);
+        // Unknown names are typed run errors, not panics.
+        let err = run(&engine, &g, "no-such-walker", &queries, &cfg(2)).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownWalker { .. }));
     }
 
     #[test]
@@ -1543,7 +1593,7 @@ mod tests {
         #[derive(Clone, Copy)]
         struct Hostile;
         impl DynamicWalk for Hostile {
-            fn name(&self) -> &'static str {
+            fn name(&self) -> &str {
                 "hostile"
             }
             fn weight(&self, g: &Csr, st: &WalkState, edge: EdgeId) -> f32 {

@@ -33,12 +33,18 @@ pub mod preprocess;
 pub mod profile;
 pub mod queue;
 pub mod runtime;
+pub mod walker;
 pub mod workload;
 
 pub use engine::{
-    compile_workload, CompiledArtifacts, EngineError, FlexiWalkerEngine, IntoQueries, IntoWorkload,
+    compile_workload, CompiledArtifacts, EngineError, FlexiWalkerEngine, IntoQueries,
     PreparedState, RunReport, SamplerTally, WalkConfig, WalkEngine, WalkRequest,
     DEFAULT_TIME_BUDGET,
+};
+// The unified walker surface: definitions, the registry, handles, and the
+// lowered artifact every source kind compiles into.
+pub use walker::{
+    CompiledWalker, IntoWalker, WalkerDef, WalkerHandle, WalkerRegistry, WalkerSource,
 };
 // Re-export the graph-handle seam: requests are built over these, so
 // engine users should not have to name `flexi-graph` directly.

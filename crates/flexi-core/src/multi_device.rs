@@ -98,6 +98,17 @@ impl WalkEngine for MultiDeviceEngine {
 
     fn run(&self, req: &WalkRequest) -> Result<RunReport, EngineError> {
         let cfg = &req.config;
+        // One walker resolution for the whole ensemble; named handles
+        // resolve against the built-in registry (the fleet carries no
+        // custom walker registrations).
+        let req = &if req.walker.is_resolved() {
+            req.clone()
+        } else {
+            let cw = crate::walker::WalkerRegistry::builtin().resolve(req.walker.name())?;
+            req.clone()
+                .with_walker(crate::walker::WalkerHandle::resolved(Arc::new(cw)))
+        };
+        let walker = Arc::clone(req.walker.get()?);
         // One snapshot for the whole ensemble: updates landing on the
         // handle mid-run must not split the fleet across graph versions.
         let snap = req.snapshot();
@@ -130,9 +141,9 @@ impl WalkEngine for MultiDeviceEngine {
             let engine = FlexiWalkerEngine::with_strategy(self.spec.clone(), self.strategy);
             let mut dev_cfg = cfg.clone();
             dev_cfg.seed = cfg.seed.wrapping_add(d as u64).wrapping_mul(0x9E37) ^ cfg.seed;
-            let dev_req = WalkRequest::new(&req.graph, Arc::clone(&req.workload), part.as_slice())
+            let dev_req = WalkRequest::new(&req.graph, req.walker.clone(), part.as_slice())
                 .with_config(dev_cfg);
-            let prepared = engine.prepare(&snap.graph, req.workload.as_ref(), dev_req.config.seed);
+            let prepared = engine.prepare(&snap.graph, &walker, dev_req.config.seed);
             engine.run_on(&snap, &dev_req, &prepared)
         });
         for launch in launches.results {

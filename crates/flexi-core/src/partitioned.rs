@@ -102,7 +102,7 @@ impl WalkEngine for PartitionedEngine {
     fn run(&self, req: &WalkRequest) -> Result<RunReport, EngineError> {
         let snap = req.snapshot();
         let g: &Csr = &snap.graph;
-        let w = req.workload.as_ref();
+        let w = req.walker.get()?.walk_dyn();
         let queries: &[NodeId] = &req.queries;
         let cfg = &req.config;
         // VRAM check per partition (the whole point of this mode).
@@ -233,7 +233,7 @@ mod tests {
     fn run(
         engine: &dyn WalkEngine,
         g: &Csr,
-        w: impl crate::engine::IntoWorkload,
+        w: impl crate::walker::IntoWalker,
         queries: &[NodeId],
         c: &WalkConfig,
     ) -> Result<RunReport, EngineError> {

@@ -52,8 +52,8 @@ impl WalkState {
 ///
 /// [`WalkRequest`]: crate::engine::WalkRequest
 pub trait DynamicWalk: Send + Sync {
-    /// Short name used in reports.
-    fn name(&self) -> &'static str;
+    /// Short name used in reports and for anonymous walker handles.
+    fn name(&self) -> &str;
 
     /// Transition weight `w̃(cur, target(edge))` for an out-edge of
     /// `st.cur`.
@@ -118,7 +118,7 @@ impl Node2Vec {
 }
 
 impl DynamicWalk for Node2Vec {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         if self.weighted {
             "node2vec_weighted"
         } else {
@@ -151,17 +151,19 @@ impl DynamicWalk for Node2Vec {
     }
 
     fn spec(&self) -> WalkSpec {
-        WalkSpec {
-            source: if self.weighted {
-                dsl::NODE2VEC_WEIGHTED.to_string()
-            } else {
-                dsl::NODE2VEC_UNWEIGHTED.to_string()
-            },
-            hyperparams: vec![
-                ("a".to_string(), f64::from(self.a)),
-                ("b".to_string(), f64::from(self.b)),
-            ],
-        }
+        // One canonical definition per built-in: the source comes from the
+        // compiler's spec table; only the hyperparameters are ours.
+        let mut spec = dsl::builtin_spec(if self.weighted {
+            "node2vec_weighted"
+        } else {
+            "node2vec_unweighted"
+        })
+        .expect("canonical spec exists");
+        spec.hyperparams = vec![
+            ("a".to_string(), f64::from(self.a)),
+            ("b".to_string(), f64::from(self.b)),
+        ];
+        spec
     }
 
     fn hyperparam(&self, name: &str) -> Option<f64> {
@@ -199,7 +201,7 @@ impl MetaPath {
 }
 
 impl DynamicWalk for MetaPath {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         if self.weighted {
             "metapath_weighted"
         } else {
@@ -229,14 +231,12 @@ impl DynamicWalk for MetaPath {
     }
 
     fn spec(&self) -> WalkSpec {
-        WalkSpec {
-            source: if self.weighted {
-                dsl::METAPATH_WEIGHTED.to_string()
-            } else {
-                dsl::METAPATH_UNWEIGHTED.to_string()
-            },
-            hyperparams: vec![],
-        }
+        dsl::builtin_spec(if self.weighted {
+            "metapath_weighted"
+        } else {
+            "metapath_unweighted"
+        })
+        .expect("canonical spec exists")
     }
 
     fn preferred_steps(&self) -> Option<usize> {
@@ -270,7 +270,7 @@ impl SecondOrderPr {
 }
 
 impl DynamicWalk for SecondOrderPr {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "pagerank_2nd"
     }
 
@@ -296,10 +296,9 @@ impl DynamicWalk for SecondOrderPr {
     }
 
     fn spec(&self) -> WalkSpec {
-        WalkSpec {
-            source: dsl::PAGERANK_2ND.to_string(),
-            hyperparams: vec![("gamma".to_string(), f64::from(self.gamma))],
-        }
+        let mut spec = dsl::builtin_spec("pagerank_2nd").expect("canonical spec exists");
+        spec.hyperparams = vec![("gamma".to_string(), f64::from(self.gamma))];
+        spec
     }
 
     fn hyperparam(&self, name: &str) -> Option<f64> {
@@ -312,17 +311,14 @@ impl DynamicWalk for SecondOrderPr {
 ///
 /// Systems without bound estimation (NextDoor, KnightKing, ThunderRW) can
 /// run rejection sampling only when this is `Some` — the paper's
-/// "partially supports dynamic random walk" caveat for NextDoor.
+/// "partially supports dynamic random walk" caveat for NextDoor. The bound
+/// is *derived* by compiling the workload's spec and evaluating its
+/// `PER_KERNEL` max estimator (no privileged per-workload table); engines
+/// on the hot path should read the precomputed
+/// [`CompiledWalker::static_bound`](crate::walker::CompiledWalker::static_bound)
+/// instead of re-deriving it per call.
 pub fn static_max_bound(w: &dyn DynamicWalk) -> Option<f32> {
-    match w.name() {
-        "node2vec_unweighted" => {
-            let a = w.hyperparam("a")? as f32;
-            let b = w.hyperparam("b")? as f32;
-            Some((1.0 / a).max(1.0).max(1.0 / b))
-        }
-        "metapath_unweighted" => Some(1.0),
-        _ => None,
-    }
+    crate::walker::spec_static_bound(&w.spec())
 }
 
 /// A static first-order walk (DeepWalk-style): `w̃ = h`. Used as the
@@ -331,7 +327,7 @@ pub fn static_max_bound(w: &dyn DynamicWalk) -> Option<f32> {
 pub struct UniformWalk;
 
 impl DynamicWalk for UniformWalk {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "uniform_walk"
     }
 
@@ -523,6 +519,7 @@ mod tests {
                 match name {
                     "edge" => Some(self.edge as f64),
                     "prev" => Some(f64::from(self.st.prev.unwrap_or(self.st.cur))),
+                    "has_prev" => Some(if self.st.prev.is_some() { 1.0 } else { 0.0 }),
                     "cur" => Some(f64::from(self.st.cur)),
                     "step" => Some(self.st.step as f64),
                     _ => self.hyper.iter().find(|(k, _)| *k == name).map(|(_, v)| *v),

@@ -19,10 +19,7 @@ fn main() {
         csr.num_edges()
     );
 
-    // 2. Pick a workload. Weighted Node2Vec with the paper's a=2, b=0.5.
-    let workload = Node2Vec::paper(true);
-
-    // 3. Open a session on a simulated A6000 and register the graph. The
+    // 2. Open a session on a simulated A6000 and register the graph. The
     //    session owns it under an epoch-versioned handle; the content
     //    digest — the cache-key seed — is computed here, once. Drains fan
     //    pending requests across host worker threads (one per core by
@@ -31,6 +28,13 @@ fn main() {
     let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
     let graph = session.load_graph(csr);
     let n = graph.graph().num_nodes() as NodeId;
+
+    // 3. Pick a walker. The built-ins are ordinary registry entries
+    //    ("node2vec" here is weighted Node2Vec with the paper's a=2,
+    //    b=0.5); your own DSL or native walkers register the same way —
+    //    see the custom_walker example. A request could also just say
+    //    `"node2vec"` and let the session resolve the name at drain time.
+    let workload = session.load_walker("node2vec").expect("built-in resolves");
 
     // 4. Launch one walk per node, 80 steps each. The session compiles the
     //    workload, preprocesses the graph and profiles the device once,

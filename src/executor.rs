@@ -40,12 +40,15 @@ pub type GroupKey = (u64, u64, &'static str);
 pub struct PreparedJob {
     /// The submission ticket the report merges back under.
     pub ticket: Ticket,
-    /// The owned walk request.
+    /// The owned walk request (walker handle resolved when preparation
+    /// succeeded).
     pub req: WalkRequest,
     /// The graph version pinned for this job's launch.
     pub snap: GraphSnapshot,
-    /// Cached (or freshly built) estimators, aggregates and profile.
-    pub prepared: PreparedState,
+    /// Cached (or freshly built) estimators, aggregates and profile — or
+    /// the typed preparation failure (unknown walker name, walker compile
+    /// error) the job reports instead of running.
+    pub prepared: Result<PreparedState, EngineError>,
     /// Whether the aggregates came from the session cache (Table-3
     /// preprocess overhead reports as zero).
     pub preprocess_hit: bool,
@@ -120,7 +123,8 @@ pub fn execute(engine: &FlexiWalkerEngine, jobs: Vec<PreparedJob>, workers: usiz
 
 /// Runs one prepared job — a pure function of the job and the engine.
 fn run_job(engine: &FlexiWalkerEngine, job: &PreparedJob) -> Result<RunReport, EngineError> {
-    let mut report = engine.run_on(&job.snap, &job.req, &job.prepared)?;
+    let prepared = job.prepared.as_ref().map_err(Clone::clone)?;
+    let mut report = engine.run_on(&job.snap, &job.req, prepared)?;
     // Cached preparation costs nothing at run time; only the first
     // request over a (graph version, workload) pair reports Table-3
     // overheads.

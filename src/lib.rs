@@ -26,17 +26,20 @@
 //! This crate is the workspace façade: the [`FlexiWalker`](prelude::FlexiWalker)
 //! builder produces a [`Session`](prelude::Session) that *owns* its graphs
 //! behind epoch-versioned [`GraphHandle`](prelude::GraphHandle)s, serves
-//! walks over live topology/weight updates, and caches preprocessing,
-//! profiling and compiled estimators across submissions — keyed by graph
-//! version, so an update invalidates exactly what it must. See the
-//! `README.md` for a tour and `DESIGN.md` for the architecture and the
-//! hardware-substitution rationale (the GPU is a deterministic SIMT
-//! simulator).
+//! any walker registered in its [`WalkerRegistry`](prelude::WalkerRegistry)
+//! — the built-ins (`"node2vec"`, `"metapath"`, `"sopr"`, `"uniform"`),
+//! user DSL sources, or native [`DynamicWalk`](prelude::DynamicWalk)
+//! implementations, all lowered through one compiler pipeline — over live
+//! topology/weight updates, and caches lowering, preprocessing and
+//! profiling across submissions — keyed by graph version, so an update
+//! invalidates exactly what it must. See the `README.md` for a tour and
+//! `DESIGN.md` for the architecture and the hardware-substitution
+//! rationale (the GPU is a deterministic SIMT simulator).
 //!
 //! ## Quickstart
 //!
-//! The handle lifecycle is `load_graph` → `submit` → `apply_updates` →
-//! `drain`:
+//! The handle lifecycle is `load_graph` → `load_walker` → `submit` →
+//! `apply_updates` → `drain`:
 //!
 //! ```
 //! use flexiwalker::prelude::*;
@@ -45,14 +48,17 @@
 //! let csr = gen::rmat(10, 8192, gen::RmatParams::SOCIAL, 42);
 //! let csr = WeightModel::UniformReal.apply(csr, 42);
 //!
-//! // Weighted Node2Vec with the paper's hyperparameters (a=2, b=0.5).
-//! let workload = Node2Vec::paper(true);
-//!
 //! // A session on a simulated A6000 owns the graph under a versioned
 //! // handle; the content digest is computed once, here.
 //! let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
 //! let graph = session.load_graph(csr);
 //! assert_eq!(graph.epoch(), 0);
+//!
+//! // Weighted Node2Vec with the paper's hyperparameters (a=2, b=0.5) —
+//! // a built-in walker-registry entry. Your own walkers register the
+//! // same way (`SessionBuilder::register_walker` with a DSL source or a
+//! // native impl) and serve through the identical pipeline.
+//! let workload = session.load_walker("node2vec").unwrap();
 //!
 //! // Run 128 walks of 20 steps.
 //! let queries: Vec<NodeId> = (0..128).collect();
@@ -102,9 +108,10 @@ pub use flexi_sampling as sampling;
 pub mod prelude {
     pub use crate::session::{FlexiWalker, Session, SessionBuilder, SessionStats, Ticket};
     pub use flexi_core::{
-        DynamicWalk, EngineError, FlexiWalkerEngine, IntoQueries, IntoWorkload, MetaPath, Node2Vec,
-        RunReport, SamplerTally, SecondOrderPr, SelectionStrategy, UniformWalk, WalkConfig,
-        WalkEngine, WalkRequest, WalkState,
+        CompiledWalker, DynamicWalk, EngineError, FlexiWalkerEngine, IntoQueries, IntoWalker,
+        MetaPath, Node2Vec, RunReport, SamplerTally, SecondOrderPr, SelectionStrategy, UniformWalk,
+        WalkConfig, WalkEngine, WalkRequest, WalkState, WalkerDef, WalkerHandle, WalkerRegistry,
+        WalkerSource,
     };
     pub use flexi_gpu_sim::DeviceSpec;
     pub use flexi_graph::{

@@ -1,21 +1,29 @@
 //! The session façade: FlexiWalker as a long-lived walk service over
 //! live, updatable graphs.
 //!
-//! [`FlexiWalker::builder`] configures a device, a selection strategy and a
-//! [`SamplerRegistry`], and produces a [`Session`] — the entry point for
-//! heavy query traffic. A session:
+//! [`FlexiWalker::builder`] configures a device, a selection strategy, a
+//! [`SamplerRegistry`] and a [`WalkerRegistry`], and produces a
+//! [`Session`] — the entry point for heavy query traffic. A session:
 //!
 //! - **owns its graphs**: [`Session::load_graph`] registers a graph under
 //!   an epoch-versioned [`GraphHandle`]; requests reference the handle, so
 //!   neither the session nor its requests carry borrow lifetimes;
+//! - **serves any registered walker**: the built-ins (`"node2vec"`,
+//!   `"metapath"`, `"sopr"`, `"uniform"`) and user definitions
+//!   ([`SessionBuilder::register_walker`] — DSL source, pre-built spec or
+//!   native implementation) all lower through one compiler pipeline;
+//!   [`Session::load_walker`] resolves a name to a [`WalkerHandle`]
+//!   (surfacing compile errors typed, up front) and requests may also
+//!   address walkers by bare name, resolved at drain time;
 //! - **serves walks over live updates**: [`Session::apply_updates`] routes
 //!   a batch of [`GraphUpdate`]s through the handle, bumps its epoch, and
 //!   *incrementally* refreshes exactly the dirty-node aggregates
 //!   (`Aggregates::refresh_nodes`) — an update invalidates precisely the
 //!   cached state it must and nothing else;
-//! - **caches** compiled estimators (per workload), preprocessed
-//!   `_MAX`/`_SUM` aggregates (per graph version × workload) and profiled
-//!   cost models (per graph version), keyed by epoch-aware fingerprints.
+//! - **caches** lowered walkers (per definition fingerprint),
+//!   preprocessed `_MAX`/`_SUM` aggregates (per graph version × walker)
+//!   and profiled cost models (per graph version), keyed by epoch-aware
+//!   fingerprints.
 //!   The graph content digest is computed **once** at load; subsequent
 //!   cache keys derive from `(digest, graph id, epoch)`, so drains never
 //!   re-hash an unchanged graph;
@@ -35,16 +43,16 @@
 //!
 //! | cached state | keyed by | weight-only batch | structural batch |
 //! |---|---|---|---|
-//! | compiled estimators | workload | kept | kept |
-//! | aggregates | graph version × workload | migrated via dirty-node refresh | migrated via dirty-node refresh |
+//! | lowered walkers | walker fingerprint | kept | kept |
+//! | aggregates | graph version × walker | migrated via dirty-node refresh | migrated via dirty-node refresh |
 //! | cost-model profile | graph version | carried to the new epoch | evicted (re-profiled on next drain) |
 //!
 //! [`GraphUpdate`]: flexi_graph::GraphUpdate
 
 use crate::executor::{self, PreparedJob};
 use flexi_core::{
-    CompiledArtifacts, EngineError, FlexiWalkerEngine, PreparedState, ProfileResult, RunReport,
-    SelectionStrategy, WalkRequest, WorkerPool,
+    CompiledWalker, EngineError, FlexiWalkerEngine, PreparedState, ProfileResult, RunReport,
+    SelectionStrategy, WalkRequest, WalkerDef, WalkerHandle, WalkerRegistry, WorkerPool,
 };
 use flexi_gpu_sim::DeviceSpec;
 use flexi_graph::{
@@ -73,6 +81,7 @@ pub struct SessionBuilder {
     spec: DeviceSpec,
     strategy: SelectionStrategy,
     registry: SamplerRegistry,
+    walkers: WalkerRegistry,
     skip_profile: bool,
     cost_ratio_override: Option<f64>,
     workers: usize,
@@ -80,13 +89,15 @@ pub struct SessionBuilder {
 
 impl SessionBuilder {
     /// A builder with the paper's defaults: simulated A6000, cost-model
-    /// selection, the built-in eRVS/eRJS registry, one drain worker per
-    /// host core.
+    /// selection, the built-in eRVS/eRJS sampler registry, the built-in
+    /// walker registry (`"node2vec"`, `"metapath"`, `"sopr"`,
+    /// `"uniform"`), one drain worker per host core.
     pub fn new() -> Self {
         Self {
             spec: DeviceSpec::a6000(),
             strategy: SelectionStrategy::CostModel,
             registry: SamplerRegistry::builtin(),
+            walkers: WalkerRegistry::builtin(),
             skip_profile: false,
             cost_ratio_override: None,
             workers: WorkerPool::available(),
@@ -114,6 +125,24 @@ impl SessionBuilder {
     /// Registers an additional (or replacement) sampling strategy.
     pub fn register_sampler(mut self, sampler: Arc<dyn Sampler>) -> Self {
         self.registry.register(sampler);
+        self
+    }
+
+    /// Replaces the walker registry wholesale.
+    pub fn walker_registry(mut self, walkers: WalkerRegistry) -> Self {
+        self.walkers = walkers;
+        self
+    }
+
+    /// Registers an additional (or replacement) walker definition — a DSL
+    /// source, a pre-built spec, or a native [`DynamicWalk`]
+    /// implementation. Compile errors surface later, typed, through
+    /// [`Session::load_walker`] or the drain result of a request that
+    /// names the walker.
+    ///
+    /// [`DynamicWalk`]: flexi_core::DynamicWalk
+    pub fn register_walker(mut self, def: WalkerDef) -> Self {
+        self.walkers.register(def);
         self
     }
 
@@ -147,13 +176,14 @@ impl SessionBuilder {
     /// lifetime: graphs are registered via [`Session::load_graph`] and
     /// travel in requests as [`GraphHandle`]s.
     pub fn build(self) -> Session {
-        let mut engine =
-            FlexiWalkerEngine::with_strategy(self.spec, self.strategy).with_registry(self.registry);
+        let mut engine = FlexiWalkerEngine::with_strategy(self.spec, self.strategy)
+            .with_registry(self.registry)
+            .with_walkers(self.walkers);
         engine.skip_profile = self.skip_profile;
         engine.cost_ratio_override = self.cost_ratio_override;
         Session {
             engine,
-            compiled: HashMap::new(),
+            walkers: HashMap::new(),
             aggregates: HashMap::new(),
             profiles: HashMap::new(),
             graphs: HashMap::new(),
@@ -242,19 +272,6 @@ fn epoch_fp(content: GraphFp, graph_id: u64, epoch: u64) -> GraphFp {
     (h1.finish(), h2.finish())
 }
 
-/// Fingerprint of a workload's compiled identity: its DSL source and
-/// hyperparameters.
-fn workload_fingerprint(w: &dyn flexi_core::DynamicWalk) -> u64 {
-    let spec = w.spec();
-    let mut h = DefaultHasher::new();
-    spec.source.hash(&mut h);
-    for (name, value) in &spec.hyperparams {
-        name.hash(&mut h);
-        value.to_bits().hash(&mut h);
-    }
-    h.finish()
-}
-
 /// Session bookkeeping for one registered graph handle.
 #[derive(Clone, Copy, Debug)]
 struct GraphEntry {
@@ -320,9 +337,10 @@ pub struct SessionStats {
 /// and batching guarantees.
 pub struct Session {
     engine: FlexiWalkerEngine,
-    /// Compiled estimators per workload fingerprint.
-    compiled: HashMap<u64, CompiledArtifacts>,
-    /// Preprocessed aggregates per (graph fingerprint, workload) pair.
+    /// Lowered walkers per definition fingerprint — one compile per
+    /// distinct definition, shared by every handle and named request.
+    walkers: HashMap<u64, Arc<CompiledWalker>>,
+    /// Preprocessed aggregates per (graph fingerprint, walker) pair.
     aggregates: HashMap<(GraphFp, u64), Arc<flexi_core::Aggregates>>,
     /// Profiled cost models per (graph fingerprint, bytes-per-weight, seed).
     profiles: HashMap<(GraphFp, usize, u64), ProfileResult>,
@@ -366,6 +384,70 @@ impl Session {
     /// Number of resident cost-model profiles.
     pub fn cached_profiles(&self) -> usize {
         self.profiles.len()
+    }
+
+    /// The registered walker definitions.
+    pub fn walkers(&self) -> &WalkerRegistry {
+        self.engine.walkers()
+    }
+
+    /// Number of distinct lowered walker definitions resident in the
+    /// session cache.
+    pub fn cached_walkers(&self) -> usize {
+        self.walkers.len()
+    }
+
+    /// Resolves a registered walker name into a ready-to-use
+    /// [`WalkerHandle`], lowering the definition through the compiler
+    /// pipeline (once per distinct definition — repeat loads share the
+    /// cached artifact).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnknownWalker`] for unregistered names;
+    /// [`EngineError::WalkerCompile`] when the definition fails to lower
+    /// (malformed DSL, unresolvable references).
+    pub fn load_walker(&mut self, name: &str) -> Result<WalkerHandle, EngineError> {
+        let def = self
+            .engine
+            .walkers()
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownWalker {
+                name: name.to_string(),
+            })?
+            .clone();
+        self.lower_cached(&def).map(WalkerHandle::resolved)
+    }
+
+    /// Lowers a definition through the session cache (one compile per
+    /// distinct definition fingerprint).
+    fn lower_cached(&mut self, def: &WalkerDef) -> Result<Arc<CompiledWalker>, EngineError> {
+        let fp = def.fingerprint();
+        if let Some(cw) = self.walkers.get(&fp) {
+            return Ok(Arc::clone(cw));
+        }
+        let cw = Arc::new(def.lower()?);
+        self.walkers.insert(fp, Arc::clone(&cw));
+        Ok(cw)
+    }
+
+    /// Resolves a request's walker handle: resolved handles pass through,
+    /// named ones go through the registry + lowering cache.
+    fn resolve_walker(
+        &mut self,
+        handle: &WalkerHandle,
+    ) -> Result<Arc<CompiledWalker>, EngineError> {
+        if let Some(cw) = handle.compiled() {
+            return Ok(Arc::clone(cw));
+        }
+        let name = handle.name().to_string();
+        let def = self
+            .engine
+            .walkers()
+            .get(&name)
+            .ok_or(EngineError::UnknownWalker { name })?
+            .clone();
+        self.lower_cached(&def)
     }
 
     /// Registers a graph with the session and returns its handle.
@@ -612,14 +694,27 @@ impl Session {
                 .expect("registered above")
                 .live_epoch = snap.version.epoch;
         }
-        let workload = req.workload.as_ref();
-        let wfp = workload_fingerprint(workload);
-
-        let artifacts = self
-            .compiled
-            .entry(wfp)
-            .or_insert_with(|| flexi_core::compile_workload(workload))
-            .clone();
+        // Resolve the walker through the registry + lowering cache; a
+        // failure (unknown name, compile error) becomes the job's typed
+        // drain result instead of a panic.
+        let walker = match self.resolve_walker(&req.walker) {
+            Ok(cw) => cw,
+            Err(e) => {
+                return PreparedJob {
+                    ticket,
+                    req,
+                    snap,
+                    prepared: Err(e),
+                    preprocess_hit: true,
+                    profile_hit: true,
+                }
+            }
+        };
+        // The job's request carries the resolved handle so the engine run
+        // never consults the registry again.
+        let req = req.with_walker(WalkerHandle::resolved(Arc::clone(&walker)));
+        let wfp = walker.fingerprint();
+        let artifacts = walker.artifacts().clone();
 
         let mut preprocess_hit = true;
         let aggregates = match self.aggregates.get(&(gfp, wfp)) {
@@ -633,14 +728,18 @@ impl Session {
             }
         };
 
-        let profile_key = (gfp, workload.bytes_per_weight(&snap.graph), req.config.seed);
+        let profile_key = (
+            gfp,
+            walker.walk_dyn().bytes_per_weight(&snap.graph),
+            req.config.seed,
+        );
         let mut profile_hit = true;
         let profile = match self.profiles.get(&profile_key) {
             Some(p) => Some(*p),
             None => {
-                let fresh = self
-                    .engine
-                    .profile_for(&snap.graph, workload, req.config.seed);
+                let fresh =
+                    self.engine
+                        .profile_for(&snap.graph, walker.walk_dyn(), req.config.seed);
                 if let Some(p) = fresh {
                     profile_hit = false;
                     self.stats.profiles_run += 1;
@@ -654,11 +753,11 @@ impl Session {
             ticket,
             req,
             snap,
-            prepared: PreparedState {
+            prepared: Ok(PreparedState {
                 artifacts,
                 aggregates,
                 profile,
-            },
+            }),
             preprocess_hit,
             profile_hit,
         }
@@ -671,7 +770,7 @@ impl std::fmt::Debug for Session {
             .field("engine", &self.engine)
             .field("graphs", &self.graphs.len())
             .field("pending", &self.pending.len())
-            .field("cached_workloads", &self.compiled.len())
+            .field("cached_walkers", &self.walkers.len())
             .field("cached_aggregates", &self.aggregates.len())
             .field("cached_profiles", &self.profiles.len())
             .field("workers", &self.workers)

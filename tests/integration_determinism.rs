@@ -11,7 +11,7 @@ fn graph() -> Csr {
 fn run(
     engine: &dyn WalkEngine,
     g: &Csr,
-    w: impl IntoWorkload,
+    w: impl IntoWalker,
     queries: &[NodeId],
     cfg: &WalkConfig,
 ) -> RunReport {

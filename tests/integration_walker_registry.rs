@@ -1,0 +1,301 @@
+//! The unified walker surface: DSL, native and spec-defined walkers
+//! through one registry, one lowering pipeline, one request type.
+//!
+//! Pins the API-redesign guarantees:
+//!
+//! - DSL-compiled built-ins produce **bit-identical paths** to their
+//!   native `DynamicWalk` twins under a seeded sweep (the round-trip that
+//!   proves the lowering pipeline preserves walk semantics);
+//! - a DSL walker registered at session build time runs through
+//!   `submit`/`drain` with runtime sampler selection, deterministically
+//!   across `workers ∈ {1, 2, 4, 8}`;
+//! - registry edge cases are typed, not panics: duplicate names replace
+//!   in place, unknown walker names surface as
+//!   [`EngineError::UnknownWalker`] drain results, and malformed DSL
+//!   surfaces as [`EngineError::WalkerCompile`] through
+//!   [`Session::load_walker`].
+
+use flexiwalker::prelude::*;
+
+fn labeled_graph(seed: u64) -> Csr {
+    let g = gen::rmat(9, 4096, gen::RmatParams::SOCIAL, seed);
+    let g = WeightModel::UniformReal.apply(g, seed);
+    flexiwalker::graph::props::assign_uniform_labels(g, 5, seed)
+}
+
+fn session_with(walkers: WalkerRegistry, workers: usize) -> Session {
+    FlexiWalker::builder()
+        .device(DeviceSpec::a6000())
+        .walker_registry(walkers)
+        .workers(workers)
+        .build()
+}
+
+/// Satellite: seeded round-trip — every built-in served from its
+/// canonical DSL spec must walk bit-identically to the native struct.
+#[test]
+fn dsl_compiled_builtins_match_native_twins_bitwise() {
+    let queries: Vec<NodeId> = (0..96).collect();
+    for seed in [7u64, 1234, 0xFEED] {
+        for name in ["node2vec", "metapath", "sopr", "uniform"] {
+            let mut native = session_with(WalkerRegistry::builtin(), 2);
+            let mut dsl = session_with(WalkerRegistry::builtin_dsl(), 2);
+            let run = |s: &mut Session| {
+                let g = s.load_graph(labeled_graph(seed));
+                let w = s.load_walker(name).expect("builtin resolves");
+                s.run(
+                    WalkRequest::new(&g, &w, &queries)
+                        .steps(10)
+                        .seed(seed)
+                        .record_paths(true),
+                )
+                .expect("run succeeds")
+            };
+            let native_report = run(&mut native);
+            let dsl_report = run(&mut dsl);
+            assert_eq!(
+                native_report.paths, dsl_report.paths,
+                "{name} (seed {seed}): DSL twin diverged from native walk"
+            );
+            assert_eq!(
+                native_report.sampler_steps, dsl_report.sampler_steps,
+                "{name} (seed {seed}): sampler selection diverged"
+            );
+            assert_eq!(native_report.steps_taken, dsl_report.steps_taken);
+        }
+    }
+}
+
+/// Acceptance: a user-registered DSL walker drains with runtime sampler
+/// selection and is deterministic at every worker count.
+#[test]
+fn registered_dsl_walker_is_deterministic_across_worker_counts() {
+    let decay = WalkerDef::dsl(
+        "decay",
+        "get_weight(edge) {
+             h_e = h[edge];
+             if (has_prev == 0) return h_e;
+             if (adj[edge] == prev) return h_e * lambda;
+             return h_e;
+         }",
+    )
+    .hyperparam("lambda", 0.25);
+
+    let queries: Vec<NodeId> = (0..128).collect();
+    let mut baseline: Option<(Vec<Vec<NodeId>>, SamplerTally)> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let mut session = FlexiWalker::builder()
+            .device(DeviceSpec::a6000())
+            .register_walker(decay.clone())
+            .workers(workers)
+            .build();
+        let g = session.load_graph(labeled_graph(42));
+        // Split across two submissions to exercise the drain executor.
+        session.submit(
+            WalkRequest::new(&g, "decay", &queries[..64])
+                .steps(12)
+                .record_paths(true),
+        );
+        session.submit(
+            WalkRequest::new(&g, "decay", &queries[64..])
+                .steps(12)
+                .record_paths(true),
+        );
+        let mut paths = Vec::new();
+        let mut tally = SamplerTally::new();
+        for (_, r) in session.drain() {
+            let report = r.expect("drain succeeds");
+            paths.extend(report.paths.expect("recorded"));
+            tally.merge(&report.sampler_steps);
+        }
+        // Runtime adaptation is live: the compiled bound estimators let
+        // the cost model pick the non-trivial eRJS kernel.
+        assert!(
+            tally.get(sampler_ids::ERJS) > 0,
+            "workers={workers}: eRJS never selected ({tally})"
+        );
+        assert!(tally.get(sampler_ids::ERVS) > 0);
+        match &baseline {
+            None => baseline = Some((paths, tally)),
+            Some((base_paths, base_tally)) => {
+                assert_eq!(base_paths, &paths, "workers={workers} diverged");
+                assert_eq!(base_tally, &tally);
+            }
+        }
+    }
+}
+
+/// Satellite: duplicate walker names replace in place (sampler-registry
+/// semantics), and the replacement is what resolves.
+#[test]
+fn duplicate_walker_names_replace_in_place() {
+    let mut session = FlexiWalker::builder()
+        .register_walker(WalkerDef::dsl(
+            "node2vec",
+            "get_weight(edge) { return 1.0; }",
+        ))
+        .build();
+    assert_eq!(
+        session.walkers().names(),
+        vec!["node2vec", "metapath", "sopr", "uniform"],
+        "replacement kept the registry position"
+    );
+    let w = session.load_walker("node2vec").unwrap();
+    let cw = w.get().unwrap();
+    assert_eq!(
+        cw.static_bound(),
+        Some(1.0),
+        "the flat replacement, not the built-in, resolved"
+    );
+}
+
+/// Satellite: an unknown walker name in a request is a typed drain error.
+#[test]
+fn unknown_walker_in_request_is_typed_error_not_panic() {
+    let mut session = FlexiWalker::builder().build();
+    let g = session.load_graph(labeled_graph(5));
+    let ok = session.submit(WalkRequest::new(&g, "uniform", &[0u32, 1]).steps(2));
+    let bad = session.submit(WalkRequest::new(&g, "no-such-walker", &[2u32, 3]).steps(2));
+    let results = session.drain();
+    assert_eq!(results.len(), 2);
+    for (ticket, result) in results {
+        if ticket == ok {
+            assert!(result.is_ok(), "healthy request unaffected");
+        } else {
+            assert_eq!(ticket, bad);
+            match result.unwrap_err() {
+                EngineError::UnknownWalker { name } => assert_eq!(name, "no-such-walker"),
+                other => panic!("expected UnknownWalker, got {other:?}"),
+            }
+        }
+    }
+    // load_walker reports the same typed error up front.
+    assert!(matches!(
+        session.load_walker("no-such-walker"),
+        Err(EngineError::UnknownWalker { .. })
+    ));
+}
+
+/// Satellite: compile errors surface through `Session::load_walker`.
+#[test]
+fn compile_errors_surface_through_load_walker() {
+    let mut session = FlexiWalker::builder()
+        .register_walker(WalkerDef::dsl("broken", "get_weight() { return ; }"))
+        .register_walker(WalkerDef::dsl(
+            "dangling",
+            "get_weight(edge) { return mystery_bias * h[edge]; }",
+        ))
+        .build();
+    match session.load_walker("broken").unwrap_err() {
+        EngineError::WalkerCompile { name, message } => {
+            assert_eq!(name, "broken");
+            assert!(message.contains("parse"), "diagnostic carried: {message}");
+        }
+        other => panic!("expected WalkerCompile, got {other:?}"),
+    }
+    match session.load_walker("dangling").unwrap_err() {
+        EngineError::WalkerCompile { message, .. } => {
+            assert!(message.contains("mystery_bias"), "{message}");
+        }
+        other => panic!("expected WalkerCompile, got {other:?}"),
+    }
+    // A drain addressing the broken walker gets the same typed error.
+    let g = session.load_graph(labeled_graph(6));
+    let t = session.submit(WalkRequest::new(&g, "broken", &[0u32]).steps(1));
+    let results = session.drain();
+    assert_eq!(results[0].0, t);
+    assert!(matches!(
+        results[0].1,
+        Err(EngineError::WalkerCompile { .. })
+    ));
+}
+
+/// Lowering is cached per definition: two handles of the same walker and
+/// repeated named requests share one compile, and identical definitions
+/// under different names share session aggregates.
+#[test]
+fn walker_lowering_and_preparation_are_cached() {
+    let flat = "get_weight(edge) { return h[edge]; }";
+    let mut session = FlexiWalker::builder()
+        .register_walker(WalkerDef::dsl("flat_a", flat))
+        .register_walker(WalkerDef::dsl("flat_b", flat))
+        .build();
+    let g = session.load_graph(labeled_graph(8));
+    let a = session.load_walker("flat_a").unwrap();
+    let _again = session.load_walker("flat_a").unwrap();
+    let b = session.load_walker("flat_b").unwrap();
+    assert_eq!(session.cached_walkers(), 1, "identical definitions share");
+    assert_eq!(
+        a.get().unwrap().fingerprint(),
+        b.get().unwrap().fingerprint()
+    );
+
+    let queries: Vec<NodeId> = (0..16).collect();
+    let first = session
+        .run(WalkRequest::new(&g, &a, &queries).steps(4))
+        .unwrap();
+    assert!(first.preprocess_seconds > 0.0);
+    // The sibling name hits the same aggregates row.
+    let second = session
+        .run(WalkRequest::new(&g, &b, &queries).steps(4))
+        .unwrap();
+    assert_eq!(second.preprocess_seconds, 0.0, "shared by fingerprint");
+    assert_eq!(session.cached_aggregates(), 1);
+}
+
+/// Two native walkers whose struct state differs invisibly to their
+/// `spec()` (MetaPath schemas) must never substitute for each other in
+/// the session's lowering cache.
+#[test]
+fn native_walkers_with_equal_specs_resolve_independently() {
+    let mut session = FlexiWalker::builder()
+        .register_walker(WalkerDef::native(
+            "mp_long",
+            MetaPath {
+                schema: vec![0, 1, 2, 3, 4],
+                weighted: true,
+            },
+        ))
+        .register_walker(WalkerDef::native(
+            "mp_short",
+            MetaPath {
+                schema: vec![2, 2],
+                weighted: true,
+            },
+        ))
+        .build();
+    let long = session.load_walker("mp_long").unwrap();
+    let short = session.load_walker("mp_short").unwrap();
+    assert_eq!(long.get().unwrap().walk_dyn().preferred_steps(), Some(5));
+    assert_eq!(short.get().unwrap().walk_dyn().preferred_steps(), Some(2));
+    assert_eq!(session.cached_walkers(), 2, "no lowering-key collision");
+}
+
+/// The compiler fallback still composes with the registry: an
+/// unanalyzable DSL walker lowers (with warnings), runs reservoir-only,
+/// and never selects a bound-requiring sampler.
+#[test]
+fn unanalyzable_dsl_walker_falls_back_to_reservoir_only() {
+    let mut session = FlexiWalker::builder()
+        .register_walker(WalkerDef::dsl(
+            "looped",
+            "get_weight(edge) { x = 0; while (x < h[edge]) { x = x + 1; } return x; }",
+        ))
+        .build();
+    let g = session.load_graph(labeled_graph(9));
+    let w = session
+        .load_walker("looped")
+        .expect("fallback is not an error");
+    assert!(
+        w.get().unwrap().artifacts().compiled.is_none(),
+        "no estimators for a data-dependent loop"
+    );
+    let report = session
+        .run(WalkRequest::new(&g, &w, &[0u32, 1, 2]).steps(4))
+        .unwrap();
+    assert_eq!(report.sampler_steps.get(sampler_ids::ERJS), 0);
+    assert!(report
+        .warnings
+        .iter()
+        .any(|w| w.contains("no usable bound estimator")));
+}

@@ -42,7 +42,7 @@ fn test_graph() -> Csr {
 fn run(
     engine: &dyn WalkEngine,
     g: &Csr,
-    w: impl IntoWorkload,
+    w: impl IntoWalker,
     queries: &[NodeId],
     cfg: &WalkConfig,
 ) -> Result<RunReport, EngineError> {
