@@ -1,0 +1,305 @@
+//! Microbench + gate: partitioned (graph-sharded) session drains.
+//!
+//! The scenario the topology exists for: a device whose VRAM holds only
+//! ~40% of the graph. A `Topology::Single` session must OOM; a
+//! `Topology::partitioned(4)` session — each device holding its ~25%
+//! shard plus the row pointers — must serve, with walk output
+//! bit-identical to a single-device run on an unconstrained device and
+//! at every worker count. The bench asserts all three, measures drain
+//! throughput and migration accounting, and records everything in
+//! `BENCH_partitioned.json`.
+//!
+//! ```text
+//! cargo bench --bench partitioned_drain [-- --smoke] [--workers N]
+//!                                       [--json PATH] [--gate BASELINE]
+//! ```
+//!
+//! - `--smoke`: reduced scale for CI.
+//! - `--json PATH`: write the result artifact to PATH.
+//! - `--gate BASELINE`: compare against a checked-in baseline JSON and
+//!   exit non-zero if partitioned throughput regressed more than 2x
+//!   (host-normalised). The OOM/fit/bit-identity assertions always gate.
+
+use flexi_bench::json::{extract_number, Json};
+use flexiwalker::prelude::*;
+use std::time::Instant;
+
+struct Scale {
+    mode: &'static str,
+    graph_scale: u32,
+    edges: usize,
+    requests: usize,
+    queries_per_request: usize,
+    steps: usize,
+    samples: usize,
+}
+
+const FULL: Scale = Scale {
+    mode: "full",
+    graph_scale: 13,
+    edges: 65_536,
+    requests: 12,
+    queries_per_request: 192,
+    steps: 16,
+    samples: 5,
+};
+
+const SMOKE: Scale = Scale {
+    mode: "smoke",
+    graph_scale: 11,
+    edges: 16_384,
+    requests: 8,
+    queries_per_request: 96,
+    steps: 10,
+    samples: 3,
+};
+
+const DEVICES: usize = 4;
+
+/// The comparable walk-content footprint of one drained ticket (timing is
+/// topology-dependent by design and deliberately absent).
+type Record = (usize, Option<Vec<Vec<NodeId>>>, u64, Vec<(String, u64)>);
+
+fn records(drained: Vec<(Ticket, Result<RunReport, EngineError>)>) -> Vec<Record> {
+    drained
+        .into_iter()
+        .map(|(t, r)| {
+            let r = r.expect("drain succeeds");
+            let tally = r
+                .sampler_steps
+                .iter()
+                .map(|(id, n)| (id.to_string(), n))
+                .collect();
+            (t.id(), r.paths, r.steps_taken, tally)
+        })
+        .collect()
+}
+
+/// One measured configuration: replays `samples + 1` identical submission
+/// streams (first drain warms the caches) and returns the last drain's
+/// records, the best drain throughput, and the final session stats.
+fn measure(
+    scale: &Scale,
+    spec: &DeviceSpec,
+    topology: Topology,
+    workers: usize,
+    csr: &Csr,
+) -> (Vec<Record>, f64, SessionStats) {
+    let mut session = FlexiWalker::builder()
+        .device(spec.clone())
+        .topology(topology)
+        .workers(workers)
+        .build();
+    let graph = session.load_graph(csr.clone());
+    let total_queries = (scale.requests * scale.queries_per_request) as f64;
+    let mut best_qps = 0.0f64;
+    let mut last = Vec::new();
+    for sample in 0..=scale.samples {
+        for r in 0..scale.requests {
+            let base = (r * scale.queries_per_request) % csr.num_nodes();
+            let queries: Vec<NodeId> = (0..scale.queries_per_request)
+                .map(|i| ((base + i) % csr.num_nodes()) as NodeId)
+                .collect();
+            session.submit(
+                WalkRequest::new(&graph, "node2vec", queries)
+                    .steps(scale.steps)
+                    .record_paths(true),
+            );
+        }
+        let start = Instant::now();
+        let drained = session.drain();
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        if sample > 0 {
+            best_qps = best_qps.max(total_queries / secs);
+        }
+        last = records(drained);
+    }
+    (last, best_qps, session.stats())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = &FULL;
+    let mut json_path: Option<String> = None;
+    let mut gate_path: Option<String> = None;
+    let mut workers_flag: Option<usize> = None;
+    let value_of = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires an argument");
+            std::process::exit(2);
+        })
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => scale = &SMOKE,
+            "--json" => {
+                i += 1;
+                json_path = Some(value_of(&args, i, "--json"));
+            }
+            "--gate" => {
+                i += 1;
+                gate_path = Some(value_of(&args, i, "--gate"));
+            }
+            "--workers" => {
+                i += 1;
+                match value_of(&args, i, "--workers").parse() {
+                    Ok(n) => workers_flag = Some(n),
+                    Err(_) => {
+                        eprintln!("--workers requires a numeric argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            // `cargo bench` forwards its own flags (e.g. --bench); ignore.
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = workers_flag.unwrap_or_else(|| host.max(2));
+    let csr = gen::rmat(scale.graph_scale, scale.edges, gen::RmatParams::SOCIAL, 41);
+    let csr = WeightModel::UniformReal.apply(csr, 41);
+    // The constrained device: VRAM holds ~40% of the graph, so a single
+    // (or duplicated-graph) resident copy cannot fit, while each of the
+    // DEVICES hash partitions (~1/DEVICES of the edges + row pointers)
+    // can.
+    let mut small = DeviceSpec::a6000();
+    small.vram_bytes = csr.memory_bytes() * 2 / 5 + csr.row_ptr().len() * 8;
+    let graph_mb = csr.memory_bytes() as f64 / 1e6;
+    println!(
+        "# partitioned_drain [{}]: {} requests x {} queries, {} steps, \
+         graph {graph_mb:.1} MB vs {:.1} MB VRAM, {DEVICES} devices, host parallelism {host}",
+        scale.mode,
+        scale.requests,
+        scale.queries_per_request,
+        scale.steps,
+        small.vram_bytes as f64 / 1e6,
+    );
+
+    let mut failed = false;
+
+    // 1. The footprint really exceeds one constrained device.
+    let mut single = FlexiWalker::builder().device(small.clone()).build();
+    let g = single.load_graph(csr.clone());
+    let oom_single = matches!(
+        single.run(WalkRequest::new(&g, "node2vec", &[0u32, 1][..]).steps(2)),
+        Err(EngineError::OutOfMemory { .. })
+    );
+    if !oom_single {
+        eprintln!("GATE FAIL: the single-device run should OOM on the constrained device");
+        failed = true;
+    }
+
+    // 2. Partitioned drains serve that graph — at 1 and N workers,
+    //    bit-identically.
+    let topology = Topology::partitioned(DEVICES);
+    let (seq, qps_1w, _) = measure(scale, &small, topology, 1, &csr);
+    let (par, qps_nw, stats) = measure(scale, &small, topology, workers, &csr);
+    let identical_workers = seq == par;
+    if !identical_workers {
+        eprintln!("GATE FAIL: workers(1) and workers({workers}) partitioned drains diverged");
+        failed = true;
+    }
+
+    // 3. ... and the walk output matches a single unconstrained device.
+    let (reference, _, _) = measure(scale, &DeviceSpec::a6000(), Topology::Single, 1, &csr);
+    let identical_topology = reference == par;
+    if !identical_topology {
+        eprintln!("GATE FAIL: partitioned walk output diverged from the single-device run");
+        failed = true;
+    }
+
+    let speedup = qps_nw / qps_1w.max(1e-9);
+    let migration_share = stats.migrations as f64
+        / par.iter().map(|(_, _, s, _)| *s).sum::<u64>().max(1) as f64
+        / (scale.samples + 1) as f64;
+    println!("  single device:       OOM as expected ({oom_single})");
+    println!("  partitioned 1w:     {qps_1w:>12.0} queries/s");
+    println!("  partitioned {workers}w:     {qps_nw:>12.0} queries/s  (speedup {speedup:.2}x)");
+    println!(
+        "  migrations:         {:>12}  ({:.1}% of steps), {:.3e}s on the link",
+        stats.migrations,
+        migration_share * 100.0,
+        stats.link_seconds
+    );
+    println!(
+        "  plan cache:         {} build(s), {} hits, {} refreshes",
+        stats.plan_builds, stats.plan_hits, stats.plan_refreshes
+    );
+    println!("  identical reports:  workers {identical_workers}, topology {identical_topology}");
+
+    let doc = Json::obj([
+        ("bench", Json::from("partitioned_drain")),
+        ("mode", Json::from(scale.mode)),
+        ("host_parallelism", Json::from(host)),
+        ("workers", Json::from(workers)),
+        ("devices", Json::from(DEVICES)),
+        ("requests", Json::from(scale.requests)),
+        ("queries_per_request", Json::from(scale.queries_per_request)),
+        ("steps", Json::from(scale.steps)),
+        ("graph_bytes", Json::from(csr.memory_bytes())),
+        ("vram_bytes", Json::from(small.vram_bytes)),
+        ("oom_single", Json::from(oom_single)),
+        ("identical_workers", Json::from(identical_workers)),
+        ("identical_topology", Json::from(identical_topology)),
+        ("migrations", Json::from(stats.migrations)),
+        ("link_seconds", Json::from(stats.link_seconds)),
+        ("plan_builds", Json::from(stats.plan_builds)),
+        ("throughput_1w_qps", Json::from(qps_1w)),
+        ("throughput_nw_qps", Json::from(qps_nw)),
+        ("speedup", Json::from(speedup)),
+    ]);
+    if let Some(path) = &json_path {
+        std::fs::write(path, doc.render()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("  (result recorded in {path})");
+    }
+
+    if stats.plan_builds != 1 {
+        eprintln!(
+            "GATE FAIL: expected exactly one partition-plan build, saw {}",
+            stats.plan_builds
+        );
+        failed = true;
+    }
+    if let Some(path) = &gate_path {
+        let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read gate baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        match (
+            extract_number(&baseline, "throughput_nw_qps"),
+            extract_number(&baseline, "throughput_1w_qps"),
+        ) {
+            (Some(base_nw), Some(base_1w)) => {
+                // Normalise the baseline to this host's sequential speed
+                // (see parallel_drain): a slower runner scales the
+                // expectation down; a faster one keeps the raw baseline.
+                let host_factor = (qps_1w / base_1w.max(1e-9)).min(1.0);
+                let expected = base_nw * host_factor;
+                if qps_nw < expected / 2.0 {
+                    eprintln!(
+                        "GATE FAIL: partitioned throughput regressed more than 2x \
+                         ({qps_nw:.0} qps vs host-normalised baseline {expected:.0} qps)"
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "  gate: within 2x of host-normalised baseline ({expected:.0} qps) — ok"
+                    );
+                }
+            }
+            _ => {
+                eprintln!("GATE FAIL: baseline {path} lacks throughput_nw_qps/throughput_1w_qps");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

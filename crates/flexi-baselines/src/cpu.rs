@@ -218,6 +218,7 @@ fn cpu_run(
         preprocess_seconds: 0.0,
         warnings: Vec::new(),
         watts,
+        shards: None,
     })
 }
 

@@ -172,6 +172,7 @@ impl GpuBaseline {
             preprocess_seconds: 0.0,
             warnings: Vec::new(),
             watts: self.spec.load_watts,
+            shards: None,
         })
     }
 }

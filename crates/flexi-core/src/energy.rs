@@ -57,6 +57,7 @@ mod tests {
             preprocess_seconds: 0.0,
             warnings: vec![],
             watts,
+            shards: None,
         }
     }
 

@@ -363,6 +363,24 @@ impl std::fmt::Display for SamplerTally {
     }
 }
 
+/// Scale-out accounting for a run executed under a multi-device
+/// [`Topology`](crate::topology::Topology): where steps executed and what
+/// walker migration cost.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardStats {
+    /// Number of shards (devices) the run spanned.
+    pub shards: usize,
+    /// Steps executed by each shard. Under a partitioned topology a step
+    /// is attributed to the device owning the walker's *current* node;
+    /// under a duplicated-graph topology, to the device serving the query.
+    pub per_shard_steps: Vec<u64>,
+    /// Walker migrations across the interconnect (partitioned topologies;
+    /// zero when the graph is duplicated and walkers never move).
+    pub migrations: u64,
+    /// Simulated seconds the migrations spent on the link.
+    pub link_seconds: f64,
+}
+
 /// Result of one engine run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -399,6 +417,9 @@ pub struct RunReport {
     pub warnings: Vec<String>,
     /// Board power under load (energy model input, Fig. 16).
     pub watts: f64,
+    /// Scale-out accounting, when the run spanned a multi-device
+    /// topology (`None` for plain single-device runs).
+    pub shards: Option<ShardStats>,
 }
 
 impl RunReport {
@@ -635,6 +656,30 @@ impl FlexiWalkerEngine {
         req: &WalkRequest,
         prepared: &PreparedState,
     ) -> Result<RunReport, EngineError> {
+        self.run_on_resident(snap, req, prepared, snap.graph.memory_bytes())
+    }
+
+    /// [`FlexiWalkerEngine::run_on`] with an explicit device-resident
+    /// footprint for the OOM check.
+    ///
+    /// A single-device (or duplicated-graph) launch must fit the whole
+    /// graph — which is what [`FlexiWalkerEngine::run_on`] passes. A
+    /// *partitioned* shard holds only its partition's edges plus the
+    /// row-pointer array, so the session shard executor passes the
+    /// [`PartitionPlan`](flexi_graph::PartitionPlan) footprint instead:
+    /// that is precisely what lets partitioned topologies serve graphs
+    /// that overflow one device's VRAM.
+    ///
+    /// # Errors
+    ///
+    /// As [`WalkEngine::run`].
+    pub fn run_on_resident(
+        &self,
+        snap: &GraphSnapshot,
+        req: &WalkRequest,
+        prepared: &PreparedState,
+        resident_bytes: usize,
+    ) -> Result<RunReport, EngineError> {
         let g: &Csr = &snap.graph;
         let w: &dyn DynamicWalk = req.walker.get()?.walk_dyn();
         let queries: &[NodeId] = &req.queries;
@@ -694,7 +739,7 @@ impl FlexiWalkerEngine {
         let device = Device::new(self.spec.clone());
         device
             .pool()
-            .try_alloc(g.memory_bytes())
+            .try_alloc(resident_bytes)
             .map_err(|e| match e {
                 flexi_gpu_sim::SimError::OutOfMemory {
                     requested,
@@ -782,6 +827,7 @@ impl FlexiWalkerEngine {
             preprocess_seconds: prepared.aggregates.sim_seconds,
             warnings,
             watts: self.spec.load_watts,
+            shards: None,
         })
     }
 }
@@ -1696,6 +1742,7 @@ mod tests {
             preprocess_seconds: 0.0,
             warnings: vec![],
             watts: 100.0,
+            shards: None,
         };
         assert_eq!(r.joules(), 200.0);
         assert_eq!(r.joules_per_query(), 50.0);

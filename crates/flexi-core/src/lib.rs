@@ -33,14 +33,18 @@ pub mod preprocess;
 pub mod profile;
 pub mod queue;
 pub mod runtime;
+pub mod topology;
 pub mod walker;
 pub mod workload;
 
 pub use engine::{
     compile_workload, CompiledArtifacts, EngineError, FlexiWalkerEngine, IntoQueries,
-    PreparedState, RunReport, SamplerTally, WalkConfig, WalkEngine, WalkRequest,
+    PreparedState, RunReport, SamplerTally, ShardStats, WalkConfig, WalkEngine, WalkRequest,
     DEFAULT_TIME_BUDGET,
 };
+// The scale-out seam: topologies, the interconnect model, and the
+// migration census the shard executor accounts with.
+pub use topology::{migration_census, LinkSpec, Topology};
 // The unified walker surface: definitions, the registry, handles, and the
 // lowered artifact every source kind compiles into.
 pub use walker::{
@@ -48,7 +52,10 @@ pub use walker::{
 };
 // Re-export the graph-handle seam: requests are built over these, so
 // engine users should not have to name `flexi-graph` directly.
-pub use flexi_graph::{GraphHandle, GraphSnapshot, GraphUpdate, GraphVersion, UpdateOutcome};
+pub use flexi_graph::{
+    shard_of, GraphHandle, GraphSnapshot, GraphUpdate, GraphVersion, PartitionPlan, PlanFetch,
+    UpdateOutcome,
+};
 pub use pool::{PoolRun, WorkerPool};
 pub use preprocess::Aggregates;
 pub use profile::ProfileResult;

@@ -11,12 +11,12 @@
 //! loop; reports merge in device-index order, so the ensemble result is
 //! bit-identical at any host-thread count.
 
-use crate::engine::{EngineError, RunReport, SamplerTally, WalkEngine, WalkRequest};
+use crate::engine::{EngineError, RunReport, SamplerTally, ShardStats, WalkEngine, WalkRequest};
 use crate::pool::WorkerPool;
 use crate::runtime::SelectionStrategy;
 use crate::FlexiWalkerEngine;
 use flexi_gpu_sim::{CostStats, DeviceSpec};
-use flexi_graph::NodeId;
+use flexi_graph::{shard_of, NodeId};
 use std::sync::Arc;
 
 /// Query-to-device mapping policies.
@@ -71,7 +71,7 @@ impl MultiDeviceEngine {
         match self.partitioning {
             Partitioning::Hash => {
                 for &q in queries {
-                    parts[hash_node(q) % d].push(q);
+                    parts[shard_of(q, d)].push(q);
                 }
             }
             Partitioning::Range => {
@@ -83,12 +83,6 @@ impl MultiDeviceEngine {
         }
         parts
     }
-}
-
-/// Fibonacci hashing of node ids (avalanches better than `id % d` for the
-/// clustered id ranges R-MAT emits).
-fn hash_node(v: NodeId) -> usize {
-    (u64::from(v).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
 }
 
 impl WalkEngine for MultiDeviceEngine {
@@ -130,6 +124,7 @@ impl WalkEngine for MultiDeviceEngine {
             preprocess_seconds: 0.0,
             warnings: Vec::new(),
             watts: self.spec.load_watts * self.num_devices as f64,
+            shards: None,
         };
         // Fan the per-device launches across the host pool: each device
         // prepares and runs independently over the shared snapshot. The
@@ -146,10 +141,12 @@ impl WalkEngine for MultiDeviceEngine {
             let prepared = engine.prepare(&snap.graph, &walker, dev_req.config.seed);
             engine.run_on(&snap, &dev_req, &prepared)
         });
+        let mut per_device_steps = Vec::with_capacity(self.num_devices);
         for launch in launches.results {
             let report = launch?;
             saturated_max = saturated_max.max(report.saturated_seconds);
             device_seconds.push(report.sim_seconds);
+            per_device_steps.push(report.steps_taken);
             stats.add(&report.stats);
             merged.steps_taken += report.steps_taken;
             merged.sampler_steps.merge(&report.sampler_steps);
@@ -163,6 +160,14 @@ impl WalkEngine for MultiDeviceEngine {
         // buckets) scale sub-linearly, as the paper observes for AB.
         merged.saturated_seconds = saturated_max;
         merged.stats = stats;
+        // Duplicated-graph mode never migrates walkers: the shard census
+        // is per-device step execution only.
+        merged.shards = Some(ShardStats {
+            shards: self.num_devices,
+            per_shard_steps: per_device_steps,
+            migrations: 0,
+            link_seconds: 0.0,
+        });
         Ok(merged)
     }
 }

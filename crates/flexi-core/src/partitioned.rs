@@ -15,44 +15,15 @@
 //! single device, *and* pays a heavy migration toll relative to the
 //! duplicated-graph mode.
 
-use crate::engine::{EngineError, RunReport, SamplerTally, WalkEngine, WalkRequest};
+use crate::engine::{EngineError, RunReport, SamplerTally, ShardStats, WalkEngine, WalkRequest};
 use crate::workload::WalkState;
 use flexi_gpu_sim::{CostStats, DeviceSpec};
-use flexi_graph::{Csr, NodeId};
+use flexi_graph::{shard_of, Csr, NodeId, PartitionPlan};
 use flexi_rng::{RandomSource, Xoshiro256pp};
 use flexi_sampling::ids;
 use flexi_sampling::scalar::sample_ervs_jump;
 
-/// An NVLink-like inter-GPU interconnect.
-#[derive(Clone, Copy, Debug)]
-pub struct LinkSpec {
-    /// Aggregate link bandwidth in GB/s (NVLink 3: ~56 GB/s per direction
-    /// per pair; A6000 pairs use NVLink bridges).
-    pub gbps: f64,
-    /// Per-message latency in seconds (kernel-to-kernel, not MPI).
-    pub latency: f64,
-    /// Bytes per walker migration (walk state + RNG cursor + path tail).
-    pub bytes_per_migration: usize,
-}
-
-impl LinkSpec {
-    /// NVLink-bridge defaults.
-    pub fn nvlink() -> Self {
-        Self {
-            gbps: 56.0,
-            latency: 5e-6,
-            bytes_per_migration: 64,
-        }
-    }
-
-    /// Time for `n` migrations, assuming batched transfers that amortise
-    /// latency over whole warps (32 walkers per message).
-    pub fn seconds(&self, migrations: u64) -> f64 {
-        let bytes = migrations as f64 * self.bytes_per_migration as f64;
-        let messages = migrations.div_ceil(32) as f64;
-        bytes / (self.gbps * 1e9) + messages * self.latency
-    }
-}
+pub use crate::topology::LinkSpec;
 
 /// Graph-partitioned multi-GPU engine.
 #[derive(Clone, Debug)]
@@ -76,21 +47,17 @@ impl PartitionedEngine {
         }
     }
 
-    /// The device owning `node`'s adjacency (Fibonacci hash, matching the
-    /// query mapping of [`crate::multi_device`]).
+    /// The device owning `node`'s adjacency — [`flexi_graph::shard_of`],
+    /// the one ownership hash the whole system shares (the session shard
+    /// executor and cached [`PartitionPlan`]s route through it too).
     pub fn owner(&self, node: NodeId) -> usize {
-        ((u64::from(node).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % self.num_devices
+        shard_of(node, self.num_devices)
     }
 
     /// Bytes of `g` resident on each device: the partition's edges plus
     /// the full row-pointer array (needed to route remote lookups).
     pub fn partition_bytes(&self, g: &Csr) -> Vec<usize> {
-        let bytes_per_edge = 4 + g.props().bytes_per_weight() + usize::from(g.has_labels());
-        let mut out = vec![g.row_ptr().len() * 8; self.num_devices];
-        for v in 0..g.num_nodes() as NodeId {
-            out[self.owner(v)] += g.degree(v) * bytes_per_edge;
-        }
-        out
+        PartitionPlan::compute(g, self.num_devices).resident_bytes(g)
     }
 }
 
@@ -105,15 +72,15 @@ impl WalkEngine for PartitionedEngine {
         let w = req.walker.get()?.walk_dyn();
         let queries: &[NodeId] = &req.queries;
         let cfg = &req.config;
-        // VRAM check per partition (the whole point of this mode).
-        for (d, bytes) in self.partition_bytes(g).iter().enumerate() {
-            if *bytes > self.spec.vram_bytes {
+        // VRAM check per partition (the whole point of this mode), using
+        // the handle's cached plan — steady-state launches over an
+        // unchanged epoch reuse one census instead of re-partitioning.
+        let (plan, _) = req.graph.partition_plan(&snap, self.num_devices);
+        for bytes in plan.resident_bytes(g) {
+            if bytes > self.spec.vram_bytes {
                 return Err(EngineError::OutOfMemory {
-                    requested: *bytes,
-                    available: self
-                        .spec
-                        .vram_bytes
-                        .saturating_sub(self.partition_bytes(g)[d].min(self.spec.vram_bytes)),
+                    requested: bytes,
+                    available: self.spec.vram_bytes,
                 });
             }
         }
@@ -121,6 +88,7 @@ impl WalkEngine for PartitionedEngine {
         let steps = w.preferred_steps().unwrap_or(cfg.steps);
         let bytes_per_weight = w.bytes_per_weight(g);
         let mut device_stats = vec![CostStats::default(); self.num_devices];
+        let mut steps_by_owner = vec![0u64; self.num_devices];
         let mut migrations = 0u64;
         let mut steps_taken = 0u64;
         let mut paths = cfg.record_paths.then(|| vec![Vec::new(); queries.len()]);
@@ -159,6 +127,7 @@ impl WalkEngine for PartitionedEngine {
                     migrations += 1;
                 }
                 st.advance(next);
+                steps_by_owner[owner] += 1;
                 steps_taken += 1;
                 if let Some(paths) = &mut paths {
                     paths[qi].push(next);
@@ -205,6 +174,12 @@ impl WalkEngine for PartitionedEngine {
                 migrations as f64 / steps_taken.max(1) as f64 * 100.0
             )],
             watts: self.spec.load_watts * self.num_devices as f64,
+            shards: Some(ShardStats {
+                shards: self.num_devices,
+                per_shard_steps: steps_by_owner,
+                migrations,
+                link_seconds: comm,
+            }),
         })
     }
 }

@@ -1,0 +1,224 @@
+//! Execution topologies: how a session maps one walk job onto simulated
+//! devices.
+//!
+//! The paper evaluates two scale-out modes and this module names them as
+//! first-class session configuration:
+//!
+//! - [`Topology::Single`] — one device holds the whole graph (the
+//!   default, and the paper's main evaluation mode);
+//! - [`Topology::MultiDevice`] — the §6.6 mode: the graph is *duplicated*
+//!   on every device and walk queries split across them, so per-device
+//!   VRAM must still hold the full graph;
+//! - [`Topology::Partitioned`] — the §7.2 extension: the graph itself is
+//!   hash-partitioned over the devices (each holds its shard's edges plus
+//!   the row-pointer array), walkers migrate over an NVLink-like
+//!   [`LinkSpec`] when a step crosses shards, and a graph that overflows
+//!   one device's VRAM still fits as long as every *shard* does.
+//!
+//! All three run the same unified walker path ([`crate::walker`]) with
+//! per-query Philox streams, so the *walk output* — paths, step counts,
+//! sampler tallies — is bit-identical across topologies; only the
+//! simulated timing, memory and migration accounting differ.
+
+use flexi_graph::NodeId;
+
+/// An NVLink-like inter-GPU interconnect.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Aggregate link bandwidth in GB/s (NVLink 3: ~56 GB/s per direction
+    /// per pair; A6000 pairs use NVLink bridges).
+    pub gbps: f64,
+    /// Per-message latency in seconds (kernel-to-kernel, not MPI).
+    pub latency: f64,
+    /// Bytes per walker migration (walk state + RNG cursor + path tail).
+    pub bytes_per_migration: usize,
+}
+
+impl LinkSpec {
+    /// NVLink-bridge defaults.
+    pub fn nvlink() -> Self {
+        Self {
+            gbps: 56.0,
+            latency: 5e-6,
+            bytes_per_migration: 64,
+        }
+    }
+
+    /// Time for `n` migrations, assuming batched transfers that amortise
+    /// latency over whole warps (32 walkers per message).
+    pub fn seconds(&self, migrations: u64) -> f64 {
+        let bytes = migrations as f64 * self.bytes_per_migration as f64;
+        let messages = migrations.div_ceil(32) as f64;
+        bytes / (self.gbps * 1e9) + messages * self.latency
+    }
+}
+
+/// How a session (or engine) spreads one walk job over simulated devices.
+///
+/// ```
+/// use flexi_core::{LinkSpec, Topology};
+///
+/// assert_eq!(Topology::Single.devices(), 1);
+/// assert_eq!(Topology::multi(4).devices(), 4);
+/// let p = Topology::partitioned(2);
+/// assert_eq!(p.devices(), 2);
+/// assert_eq!(p.link(), Some(LinkSpec::nvlink()));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum Topology {
+    /// One device, whole graph — the default.
+    #[default]
+    Single,
+    /// `devices` identical devices, graph duplicated on each, queries
+    /// split across them (§6.6).
+    MultiDevice {
+        /// Number of devices (1–4 in the paper).
+        devices: usize,
+    },
+    /// `devices` identical devices, graph hash-partitioned across them,
+    /// walkers migrating over `link` (§7.2).
+    Partitioned {
+        /// Number of devices holding one shard each.
+        devices: usize,
+        /// Interconnect model for walker migrations.
+        link: LinkSpec,
+    },
+}
+
+impl Topology {
+    /// A duplicated-graph fleet of `devices` devices.
+    pub fn multi(devices: usize) -> Self {
+        Self::MultiDevice { devices }
+    }
+
+    /// A graph-partitioned fleet of `devices` devices over NVLink.
+    pub fn partitioned(devices: usize) -> Self {
+        Self::Partitioned {
+            devices,
+            link: LinkSpec::nvlink(),
+        }
+    }
+
+    /// The number of devices this topology spans.
+    pub fn devices(&self) -> usize {
+        match self {
+            Self::Single => 1,
+            Self::MultiDevice { devices } | Self::Partitioned { devices, .. } => *devices,
+        }
+    }
+
+    /// The interconnect, for topologies whose walkers migrate.
+    pub fn link(&self) -> Option<LinkSpec> {
+        match self {
+            Self::Partitioned { link, .. } => Some(*link),
+            _ => None,
+        }
+    }
+
+    /// Whether the graph itself is partitioned across devices (as opposed
+    /// to duplicated or single-resident).
+    pub fn is_partitioned(&self) -> bool {
+        matches!(self, Self::Partitioned { .. })
+    }
+
+    /// Clamps a zero device count up to one; identity otherwise.
+    pub fn normalized(self) -> Self {
+        match self {
+            Self::MultiDevice { devices } => Self::MultiDevice {
+                devices: devices.max(1),
+            },
+            Self::Partitioned { devices, link } => Self::Partitioned {
+                devices: devices.max(1),
+                link,
+            },
+            Self::Single => Self::Single,
+        }
+    }
+
+    /// A short tag for reports and bench JSON (`single`, `multi(2)`,
+    /// `partitioned(4)`).
+    pub fn tag(&self) -> String {
+        match self {
+            Self::Single => "single".to_string(),
+            Self::MultiDevice { devices } => format!("multi({devices})"),
+            Self::Partitioned { devices, .. } => format!("partitioned({devices})"),
+        }
+    }
+}
+
+/// Counts the inter-shard migrations and per-shard step execution a set
+/// of walk paths implies under an `shards`-way node partition: the step
+/// leaving node `u` executes on `u`'s owner, and a step whose destination
+/// lives elsewhere ships the walker across the link.
+///
+/// Returns `(per_shard_steps, migrations)`.
+pub fn migration_census(paths: &[Vec<NodeId>], shards: usize) -> (Vec<u64>, u64) {
+    let mut per_shard = vec![0u64; shards.max(1)];
+    let mut migrations = 0u64;
+    for path in paths {
+        for pair in path.windows(2) {
+            let from = flexi_graph::shard_of(pair[0], shards.max(1));
+            per_shard[from] += 1;
+            if flexi_graph::shard_of(pair[1], shards.max(1)) != from {
+                migrations += 1;
+            }
+        }
+    }
+    (per_shard, migrations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devices_and_link_accessors() {
+        assert_eq!(Topology::Single.devices(), 1);
+        assert_eq!(Topology::Single.link(), None);
+        assert!(!Topology::Single.is_partitioned());
+        assert_eq!(Topology::multi(3).devices(), 3);
+        assert_eq!(Topology::multi(3).link(), None);
+        assert!(Topology::partitioned(2).is_partitioned());
+        assert_eq!(Topology::partitioned(2).link(), Some(LinkSpec::nvlink()));
+        assert_eq!(Topology::default(), Topology::Single);
+    }
+
+    #[test]
+    fn normalization_clamps_zero_devices() {
+        assert_eq!(Topology::multi(0).normalized().devices(), 1);
+        assert_eq!(Topology::partitioned(0).normalized().devices(), 1);
+        assert_eq!(Topology::multi(4).normalized(), Topology::multi(4));
+    }
+
+    #[test]
+    fn tags_are_compact() {
+        assert_eq!(Topology::Single.tag(), "single");
+        assert_eq!(Topology::multi(2).tag(), "multi(2)");
+        assert_eq!(Topology::partitioned(4).tag(), "partitioned(4)");
+    }
+
+    #[test]
+    fn link_seconds_scale_with_migrations() {
+        let link = LinkSpec::nvlink();
+        assert_eq!(link.seconds(0), 0.0);
+        assert!(link.seconds(1_000_000) > 100.0 * link.seconds(1000));
+    }
+
+    #[test]
+    fn census_counts_cross_shard_steps() {
+        // With 1 shard nothing migrates; every step lands on shard 0.
+        let paths = vec![vec![0u32, 1, 2], vec![5, 5]];
+        let (steps, migrations) = migration_census(&paths, 1);
+        assert_eq!(steps, vec![3]);
+        assert_eq!(migrations, 0);
+        // With many shards the census splits by the ownership hash.
+        let (steps, migrations) = migration_census(&paths, 4);
+        assert_eq!(steps.iter().sum::<u64>(), 3);
+        let owners: Vec<usize> = [0u32, 1, 5]
+            .iter()
+            .map(|&v| flexi_graph::shard_of(v, 4))
+            .collect();
+        assert!(migrations <= 3);
+        assert!(owners.iter().any(|&o| steps[o] > 0));
+    }
+}

@@ -17,6 +17,7 @@
 
 use crate::csr::{Csr, NodeId};
 use crate::dynamic::{apply_batch, GraphUpdate};
+use crate::partition::PartitionPlan;
 use crate::GraphError;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -69,12 +70,37 @@ pub struct UpdateOutcome {
     /// Whether the topology changed (edge ids may have shifted), as
     /// opposed to weights only.
     pub structural: bool,
+    /// Cached partition plans migrated to the new epoch by incremental
+    /// dirty-node refresh (structural batches only; weight-only batches
+    /// carry plans across untouched and do not count here).
+    pub plans_migrated: usize,
+}
+
+/// How a [`GraphHandle::partition_plan`] lookup was served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanFetch {
+    /// The cached plan for this epoch and shard count was reused.
+    Cached,
+    /// No current plan existed; one was computed from scratch.
+    Built,
+}
+
+/// One cached partition plan: the shard count it was computed for and the
+/// epoch it is current at.
+#[derive(Debug)]
+struct PlanSlot {
+    shards: usize,
+    epoch: u64,
+    plan: Arc<PartitionPlan>,
 }
 
 #[derive(Debug)]
 struct Versioned {
     graph: Arc<Csr>,
     epoch: u64,
+    /// Cached partition plans, one per requested shard count, kept
+    /// current across update batches (see [`GraphHandle::partition_plan`]).
+    plans: Vec<PlanSlot>,
 }
 
 /// An owned, shareable, epoch-versioned graph.
@@ -121,7 +147,11 @@ impl GraphHandle {
     pub fn from_arc(graph: Arc<Csr>) -> Self {
         Self {
             id: NEXT_GRAPH_ID.fetch_add(1, Ordering::Relaxed),
-            shared: Arc::new(RwLock::new(Versioned { graph, epoch: 0 })),
+            shared: Arc::new(RwLock::new(Versioned {
+                graph,
+                epoch: 0,
+                plans: Vec::new(),
+            })),
         }
     }
 
@@ -188,22 +218,90 @@ impl GraphHandle {
                 graph: Arc::clone(&guard.graph),
                 dirty_nodes: Vec::new(),
                 structural: false,
+                plans_migrated: 0,
             });
         }
         // make_mut clones only when snapshots of the current version are
         // still live; apply_batch validates before mutating, so a rejected
         // batch leaves even that clone content-identical to the original.
+        let old_epoch = guard.epoch;
         let outcome = apply_batch(Arc::make_mut(&mut guard.graph), batch)?;
         guard.epoch += 1;
+        let new_epoch = guard.epoch;
+        // Migrate the cached partition plans under the same write lock, so
+        // no reader can observe the new epoch with a stale plan. Weight
+        // batches carry the plan (the census is pure topology); structural
+        // batches refresh exactly the dirty nodes. A slot whose epoch is
+        // already stale (it missed an earlier migration — impossible
+        // through this method, but cheap to guard) is dropped instead of
+        // patched.
+        let graph = Arc::clone(&guard.graph);
+        let mut plans_migrated = 0;
+        guard.plans.retain_mut(|slot| {
+            if slot.epoch != old_epoch {
+                return false;
+            }
+            if outcome.structural {
+                Arc::make_mut(&mut slot.plan).refresh(&graph, &outcome.dirty_nodes);
+                plans_migrated += 1;
+            }
+            slot.epoch = new_epoch;
+            true
+        });
         Ok(UpdateOutcome {
             version: GraphVersion {
                 graph_id: self.id,
-                epoch: guard.epoch,
+                epoch: new_epoch,
             },
-            graph: Arc::clone(&guard.graph),
+            graph,
             dirty_nodes: outcome.dirty_nodes,
             structural: outcome.structural,
+            plans_migrated,
         })
+    }
+
+    /// The partition plan for `shards` at the version `snap` pins.
+    ///
+    /// Served from the handle's plan cache when current — steady-state
+    /// sharded drains re-use one plan per epoch instead of re-partitioning
+    /// per launch; [`GraphHandle::apply_updates`] keeps cached plans
+    /// current by migrating only the dirty nodes. A miss (first request
+    /// for this shard count, or a snapshot of a superseded version)
+    /// computes the plan from the snapshot's graph; the result is cached
+    /// only when the snapshot is still the live version.
+    pub fn partition_plan(
+        &self,
+        snap: &GraphSnapshot,
+        shards: usize,
+    ) -> (Arc<PartitionPlan>, PlanFetch) {
+        {
+            let guard = self.read();
+            if let Some(slot) = guard
+                .plans
+                .iter()
+                .find(|s| s.shards == shards && s.epoch == snap.version.epoch)
+            {
+                return (Arc::clone(&slot.plan), PlanFetch::Cached);
+            }
+        }
+        let plan = Arc::new(PartitionPlan::compute(&snap.graph, shards));
+        let mut guard = self.shared.write().expect("graph handle lock poisoned");
+        if guard.epoch == snap.version.epoch {
+            match guard.plans.iter_mut().find(|s| s.shards == shards) {
+                // A concurrent builder may have raced us here; either plan
+                // is correct (both computed from the same version).
+                Some(slot) => {
+                    slot.epoch = snap.version.epoch;
+                    slot.plan = Arc::clone(&plan);
+                }
+                None => guard.plans.push(PlanSlot {
+                    shards,
+                    epoch: snap.version.epoch,
+                    plan: Arc::clone(&plan),
+                }),
+            }
+        }
+        (plan, PlanFetch::Built)
     }
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, Versioned> {
@@ -337,6 +435,72 @@ mod tests {
             epoch: 3,
         };
         assert_eq!(v.to_string(), "g7@e3");
+    }
+
+    #[test]
+    fn partition_plans_are_cached_per_epoch_and_migrated_by_updates() {
+        let h = GraphHandle::new(base());
+        let snap = h.snapshot();
+        let (plan, fetch) = h.partition_plan(&snap, 2);
+        assert_eq!(fetch, PlanFetch::Built);
+        assert_eq!(plan.total_edges(), 3);
+        // Same epoch, same shard count: served from the cache.
+        let (again, fetch) = h.partition_plan(&snap, 2);
+        assert_eq!(fetch, PlanFetch::Cached);
+        assert!(Arc::ptr_eq(&plan, &again));
+        // A different shard count is its own slot.
+        assert_eq!(h.partition_plan(&snap, 3).1, PlanFetch::Built);
+
+        // A weight-only batch carries the plan across the epoch.
+        let out = h
+            .apply_updates(&[GraphUpdate::SetWeight {
+                edge: 0,
+                weight: 9.0,
+            }])
+            .unwrap();
+        assert_eq!(out.plans_migrated, 0);
+        let (carried, fetch) = h.partition_plan(&h.snapshot(), 2);
+        assert_eq!(fetch, PlanFetch::Cached);
+        assert_eq!(*carried, *plan);
+
+        // A structural batch migrates every cached plan incrementally.
+        let out = h
+            .apply_updates(&[GraphUpdate::AddEdge {
+                src: 2,
+                dst: 3,
+                weight: 1.0,
+                label: 0,
+            }])
+            .unwrap();
+        assert_eq!(out.plans_migrated, 2, "both shard-count slots migrated");
+        let snap = h.snapshot();
+        let (migrated, fetch) = h.partition_plan(&snap, 2);
+        assert_eq!(fetch, PlanFetch::Cached);
+        assert_eq!(
+            *migrated,
+            crate::partition::PartitionPlan::compute(&snap.graph, 2)
+        );
+    }
+
+    #[test]
+    fn stale_snapshot_plan_is_built_but_not_cached() {
+        let h = GraphHandle::new(base());
+        let old = h.snapshot();
+        h.apply_updates(&[GraphUpdate::AddEdge {
+            src: 2,
+            dst: 3,
+            weight: 1.0,
+            label: 0,
+        }])
+        .unwrap();
+        // A plan for the superseded snapshot is computed from its pinned
+        // graph (3 edges, not 4) and never pollutes the live cache.
+        let (plan, fetch) = h.partition_plan(&old, 2);
+        assert_eq!(fetch, PlanFetch::Built);
+        assert_eq!(plan.total_edges(), 3);
+        let (live, fetch) = h.partition_plan(&h.snapshot(), 2);
+        assert_eq!(fetch, PlanFetch::Built, "stale plan was not cached");
+        assert_eq!(live.total_edges(), 4);
     }
 
     #[test]

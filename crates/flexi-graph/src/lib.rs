@@ -22,6 +22,7 @@ pub mod dynamic;
 pub mod gen;
 pub mod handle;
 pub mod io;
+pub mod partition;
 pub mod props;
 pub mod stats;
 
@@ -29,7 +30,8 @@ pub use builder::CsrBuilder;
 pub use csr::{Csr, EdgeId, NodeId};
 pub use datasets::{proxy, DatasetSpec, ALL_DATASETS};
 pub use dynamic::GraphUpdate;
-pub use handle::{GraphHandle, GraphSnapshot, GraphVersion, UpdateOutcome};
+pub use handle::{GraphHandle, GraphSnapshot, GraphVersion, PlanFetch, UpdateOutcome};
+pub use partition::{shard_of, PartitionPlan};
 pub use props::{EdgeProps, WeightModel};
 
 /// Errors produced by graph construction and I/O.

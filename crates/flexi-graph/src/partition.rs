@@ -1,0 +1,257 @@
+//! Node partition plans for sharded (multi-device) graph residency.
+//!
+//! The paper's §7.2 extension partitions the *graph* across devices:
+//! each shard stores its nodes' adjacency (1/D of the edges plus the full
+//! row-pointer array for routing) and walkers migrate over the
+//! interconnect when a step crosses shards. A [`PartitionPlan`] is the
+//! materialised half of that design: the per-node degree census and the
+//! per-shard edge totals every launch needs for its VRAM check and
+//! migration accounting.
+//!
+//! Plans are pure topology — they depend on node→shard ownership (a fixed
+//! hash) and degrees, not on weights — so a weight-only update batch
+//! carries a plan across epochs untouched, and a structural batch migrates
+//! it *incrementally*: only the dirty source nodes' degree contributions
+//! move ([`PartitionPlan::refresh`]). [`crate::GraphHandle`] caches one
+//! plan per shard count and keeps it current across
+//! [`crate::GraphHandle::apply_updates`], so steady-state drains never
+//! re-partition.
+
+use crate::csr::{Csr, NodeId};
+
+/// The shard owning `node`'s adjacency (Fibonacci hash — avalanches
+/// better than `id % shards` for the clustered id ranges R-MAT emits).
+///
+/// This is the one ownership function in the system: partition plans, the
+/// standalone partitioned engine and the session shard executor all route
+/// through it, so their notions of "home shard" can never drift apart.
+pub fn shard_of(node: NodeId, shards: usize) -> usize {
+    ((u64::from(node).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % shards
+}
+
+/// Bytes one edge occupies in a shard's resident adjacency: the 4-byte
+/// target id, the property weight at the graph's current width, and the
+/// label byte when the graph carries labels.
+pub fn bytes_per_edge(g: &Csr) -> usize {
+    4 + g.props().bytes_per_weight() + usize::from(g.has_labels())
+}
+
+/// One graph's partitioning over a fixed shard count: per-node degrees
+/// and per-shard edge totals.
+///
+/// Equality is structural, which is what the refresh-vs-rebuild tests
+/// pin: an incrementally migrated plan must equal a from-scratch
+/// [`PartitionPlan::compute`] over the same graph.
+///
+/// ```
+/// use flexi_graph::{partition::PartitionPlan, CsrBuilder};
+///
+/// let g = CsrBuilder::new(4)
+///     .edge(0, 1)
+///     .edge(0, 2)
+///     .edge(3, 0)
+///     .build()
+///     .unwrap();
+/// let plan = PartitionPlan::compute(&g, 2);
+/// // Every edge lives on exactly one shard.
+/// assert_eq!(plan.shard_edges().iter().sum::<u64>(), g.num_edges() as u64);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionPlan {
+    shards: usize,
+    /// Out-degree census at the plan's epoch — what an incremental
+    /// refresh diffs against.
+    degrees: Vec<u32>,
+    /// Edges owned by each shard.
+    shard_edges: Vec<u64>,
+}
+
+impl PartitionPlan {
+    /// Partitions `g` over `shards` from scratch (one O(V) pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn compute(g: &Csr, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let mut degrees = Vec::with_capacity(g.num_nodes());
+        let mut shard_edges = vec![0u64; shards];
+        for v in 0..g.num_nodes() as NodeId {
+            let d = g.degree(v);
+            degrees.push(d as u32);
+            shard_edges[shard_of(v, shards)] += d as u64;
+        }
+        Self {
+            shards,
+            degrees,
+            shard_edges,
+        }
+    }
+
+    /// The plan's shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `node`'s adjacency.
+    pub fn owner(&self, node: NodeId) -> usize {
+        shard_of(node, self.shards)
+    }
+
+    /// Edges owned by each shard.
+    pub fn shard_edges(&self) -> &[u64] {
+        &self.shard_edges
+    }
+
+    /// Total edges across all shards (each edge counted exactly once).
+    pub fn total_edges(&self) -> u64 {
+        self.shard_edges.iter().sum()
+    }
+
+    /// Bytes resident on each shard for `g`'s current edge representation:
+    /// the shard's edges plus the full row-pointer array (needed to route
+    /// remote lookups). Weight-width changes (e.g. a `SetWeight` promoting
+    /// an unweighted graph to F32) are picked up here, not by a re-plan —
+    /// byte totals derive from the edge census at query time.
+    pub fn resident_bytes(&self, g: &Csr) -> Vec<usize> {
+        let bpe = bytes_per_edge(g);
+        let row = g.row_ptr().len() * 8;
+        self.shard_edges
+            .iter()
+            .map(|&e| row + e as usize * bpe)
+            .collect()
+    }
+
+    /// The busiest shard's resident bytes — the per-device VRAM bar a
+    /// partitioned launch must clear.
+    pub fn max_resident_bytes(&self, g: &Csr) -> usize {
+        self.resident_bytes(g).into_iter().max().unwrap_or(0)
+    }
+
+    /// Incrementally migrates the plan to `g` (the post-batch graph):
+    /// each dirty source node's degree delta moves between its old and new
+    /// census entry, touching only that node's shard total. Returns the
+    /// number of nodes whose contribution actually changed.
+    ///
+    /// The result is identical to `PartitionPlan::compute(g, shards)` as
+    /// long as `dirty` covers every node whose out-degree changed — which
+    /// is exactly the dirty set [`crate::GraphHandle::apply_updates`]
+    /// reports.
+    pub fn refresh(&mut self, g: &Csr, dirty: &[NodeId]) -> usize {
+        let mut migrated = 0;
+        for &v in dirty {
+            let Some(slot) = self.degrees.get_mut(v as usize) else {
+                continue;
+            };
+            let new = g.degree(v) as u32;
+            let old = *slot;
+            if new == old {
+                continue;
+            }
+            let shard = shard_of(v, self.shards);
+            self.shard_edges[shard] = self.shard_edges[shard] - u64::from(old) + u64::from(new);
+            *slot = new;
+            migrated += 1;
+        }
+        migrated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CsrBuilder;
+    use crate::dynamic::GraphUpdate;
+    use crate::gen;
+    use crate::handle::GraphHandle;
+
+    fn graph(scale: u32, seed: u64) -> Csr {
+        gen::rmat(scale, 1 << (scale + 2), gen::RmatParams::SOCIAL, seed)
+    }
+
+    #[test]
+    fn plan_covers_each_edge_exactly_once() {
+        for shards in [1, 2, 3, 4, 7] {
+            let g = graph(8, 5);
+            let plan = PartitionPlan::compute(&g, shards);
+            assert_eq!(plan.total_edges(), g.num_edges() as u64);
+            let bytes = plan.resident_bytes(&g);
+            assert_eq!(bytes.len(), shards);
+            let row = g.row_ptr().len() * 8;
+            let edge_bytes: usize = bytes.iter().map(|b| b - row).sum();
+            assert_eq!(edge_bytes, g.num_edges() * bytes_per_edge(&g));
+        }
+    }
+
+    #[test]
+    fn owner_matches_shard_of() {
+        let g = graph(8, 7);
+        let plan = PartitionPlan::compute(&g, 4);
+        for v in [0u32, 1, 100, 255] {
+            assert_eq!(plan.owner(v), shard_of(v, 4));
+        }
+    }
+
+    #[test]
+    fn refresh_equals_from_scratch_recompute() {
+        let h = GraphHandle::new(graph(8, 11));
+        let mut plan = PartitionPlan::compute(&h.graph(), 3);
+        let n = h.graph().num_nodes() as NodeId;
+        for round in 0..10u32 {
+            let out = h
+                .apply_updates(&[
+                    GraphUpdate::AddEdge {
+                        src: (round * 37) % n,
+                        dst: (round * 91 + 1) % n,
+                        weight: 1.0,
+                        label: 0,
+                    },
+                    GraphUpdate::RemoveEdge {
+                        src: (round * 53) % n,
+                        dst: (round * 17 + 2) % n,
+                    },
+                ])
+                .unwrap();
+            plan.refresh(&out.graph, &out.dirty_nodes);
+            assert_eq!(
+                plan,
+                PartitionPlan::compute(&out.graph, 3),
+                "round {round}: incremental refresh diverged from re-partition"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_only_updates_leave_the_census_untouched() {
+        let h = GraphHandle::new(graph(8, 13));
+        let mut plan = PartitionPlan::compute(&h.graph(), 2);
+        let before = plan.clone();
+        let out = h
+            .apply_updates(&[GraphUpdate::SetWeight {
+                edge: 3,
+                weight: 9.0,
+            }])
+            .unwrap();
+        assert_eq!(plan.refresh(&out.graph, &out.dirty_nodes), 0);
+        assert_eq!(plan, before);
+    }
+
+    #[test]
+    fn resident_bytes_track_weight_width() {
+        let unweighted = CsrBuilder::new(2).edge(0, 1).build().unwrap();
+        let plan = PartitionPlan::compute(&unweighted, 1);
+        let plain = plan.max_resident_bytes(&unweighted);
+        let weighted = crate::props::WeightModel::UniformReal.apply(unweighted, 1);
+        assert_eq!(
+            plan.max_resident_bytes(&weighted),
+            plain + 4,
+            "F32 promotion adds 4 bytes/edge without re-planning"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        PartitionPlan::compute(&graph(8, 1), 0);
+    }
+}

@@ -1,4 +1,5 @@
-//! The parallel drain executor: fans a session's pending walk requests
+//! The parallel drain executor: fans a session's pending walk requests —
+//! and, under a multi-device [`Topology`], their per-shard sub-launches —
 //! across a host worker pool with a deterministic, submission-ordered
 //! merge.
 //!
@@ -7,27 +8,52 @@
 //! 1. **Prepare** (sequential, on the calling thread): each pending
 //!    request resolves its graph handle, pins a [`GraphSnapshot`] — one
 //!    per graph per drain, shared by every request in the same batch
-//!    group — and pulls its compiled estimators, aggregates and profile
-//!    out of the session caches (building them on a miss). This is the
-//!    only phase that mutates the session, so the caches need no locks.
+//!    group — and pulls its compiled estimators, aggregates, profile and
+//!    (for partitioned topologies) the epoch's cached
+//!    [`PartitionPlan`] out of the session caches (building them on a
+//!    miss). This is the only phase that mutates the session, so the
+//!    caches need no locks.
 //! 2. **Execute** (parallel): the prepared jobs are grouped by
-//!    `(graph id, epoch, device)` and fanned across the
-//!    [`WorkerPool`]. Each job is a pure call into
-//!    [`FlexiWalkerEngine::run_on`] over its pinned snapshot; nothing
-//!    here touches shared mutable state.
+//!    `(graph id, epoch, device)`, expanded into one launch per shard of
+//!    the session [`Topology`], and fanned across the [`WorkerPool`].
+//!    Each launch is a pure call into [`FlexiWalkerEngine::run_on`] (or
+//!    [`run_on_resident`](FlexiWalkerEngine::run_on_resident), for
+//!    partitioned shards whose devices hold only their partition) over
+//!    its pinned snapshot; nothing here touches shared mutable state.
 //!
-//! Reports merge back **in submission order**, and per-query Philox
-//! streams make every walk's randomness independent of warp placement and
-//! host-thread count — together that is what makes `drain()` output
-//! bit-identical at any worker count, which `tests/integration_executor.rs`
-//! pins across `workers ∈ {1, 2, 4, 8}` and across epoch splits.
+//! ## Shard expansion
+//!
+//! Under [`Topology::MultiDevice`] and [`Topology::Partitioned`] a job's
+//! query set splits into `devices` *contiguous* chunks, each launched as
+//! its own sub-request whose [`WalkRequest::query_offset`] is advanced by
+//! the chunk start. Per-query Philox streams key randomness off the
+//! *global* query index, so the concatenated shard outputs are
+//! bit-identical to the single-device run — sharding changes where work
+//! executes and what the simulated clock reads, never what the walks do.
+//! (Contiguous chunking is the right split for determinism; walkers under
+//! a partitioned topology migrate to each step's owner regardless of
+//! which chunk launched them, and the migration census below accounts
+//! steps to the owner of the walker's current node.)
+//!
+//! Per-job shard reports merge shard-major: steps, device activity and
+//! sampler tallies sum; the ensemble clock is the slowest shard plus — for
+//! partitioned topologies — the serialising migration traffic on the
+//! [`LinkSpec`](flexi_core::LinkSpec); [`RunReport::shards`] carries the
+//! per-shard step census, migration count and link seconds. Reports then
+//! merge back **in submission order** as before, so `drain()` output is
+//! bit-identical at any worker count *and* walk-identical across
+//! topologies — which `tests/integration_topology.rs` pins across
+//! `topology ∈ {single, multi(2), partitioned(2, 4)} × workers ∈ {1, 4}`
+//! and epoch splits.
 
 use crate::session::Ticket;
 use flexi_core::{
-    EngineError, FlexiWalkerEngine, PreparedState, RunReport, WalkRequest, WorkerPool,
+    migration_census, EngineError, FlexiWalkerEngine, PartitionPlan, PreparedState, RunReport,
+    ShardStats, Topology, WalkRequest, WorkerPool,
 };
 use flexi_graph::GraphSnapshot;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Batch grouping key: requests over the same graph version on the same
 /// device form one group and share a pinned snapshot.
@@ -49,6 +75,9 @@ pub struct PreparedJob {
     /// the typed preparation failure (unknown walker name, walker compile
     /// error) the job reports instead of running.
     pub prepared: Result<PreparedState, EngineError>,
+    /// The epoch's partition plan, attached by the prepare pass when the
+    /// session topology partitions the graph (`None` otherwise).
+    pub plan: Option<Arc<PartitionPlan>>,
     /// Whether the aggregates came from the session cache (Table-3
     /// preprocess overhead reports as zero).
     pub preprocess_hit: bool,
@@ -72,22 +101,51 @@ impl PreparedJob {
 pub struct DrainRun {
     /// Per-request outcomes, in submission order.
     pub results: Vec<(Ticket, Result<RunReport, EngineError>)>,
-    /// Requests executed by each worker slot (scheduling-dependent; the
-    /// merged results are not).
+    /// Shard launches executed by each worker slot (scheduling-dependent;
+    /// the merged results are not). Under `Topology::Single` a launch is
+    /// exactly one request.
     pub per_worker: Vec<u64>,
     /// Distinct `(graph id, epoch, device)` batch groups in this drain.
     pub groups: usize,
+    /// Shard sub-launches this drain fanned out (equals the request count
+    /// under `Topology::Single`).
+    pub shard_launches: u64,
+    /// Walker migrations across the simulated interconnect, summed over
+    /// the drain's partitioned jobs.
+    pub migrations: u64,
+    /// Simulated link seconds those migrations cost, summed likewise.
+    pub link_seconds: f64,
+}
+
+/// One schedulable launch: a job index, the shard it stands for, and the
+/// chunked sub-request (`None` = the job's own request, the
+/// single-topology fast path that avoids a clone).
+struct ShardTask {
+    job: usize,
+    shard: usize,
+    req: Option<WalkRequest>,
+    /// Device-resident bytes this launch must fit (partitioned topologies
+    /// check the busiest partition; duplicated/single launches check the
+    /// whole graph inside `run_on`).
+    resident: Option<usize>,
 }
 
 /// Executes prepared jobs across `workers` host threads and merges the
 /// reports in submission order.
 ///
 /// Jobs are scheduled group-by-group (requests over the same graph
-/// version run adjacently, for cache locality) but each job lands back at
-/// its own submission index, so the output is independent of both the
-/// grouping and the worker count. `workers == 1` runs inline on the
-/// calling thread — exactly the sequential path.
-pub fn execute(engine: &FlexiWalkerEngine, jobs: Vec<PreparedJob>, workers: usize) -> DrainRun {
+/// version run adjacently, for cache locality), expanded into one launch
+/// per topology shard, and each job lands back at its own submission
+/// index, so the output is independent of the grouping, the worker count
+/// and the shard interleaving. `workers == 1` runs inline on the calling
+/// thread — exactly the sequential path.
+pub fn execute(
+    engine: &FlexiWalkerEngine,
+    jobs: Vec<PreparedJob>,
+    workers: usize,
+    topology: Topology,
+) -> DrainRun {
+    let topology = topology.normalized();
     // Group by first appearance: stable within a group, groups in
     // submission order of their first member.
     let mut first_seen: HashMap<GroupKey, usize> = HashMap::new();
@@ -98,33 +156,135 @@ pub fn execute(engine: &FlexiWalkerEngine, jobs: Vec<PreparedJob>, workers: usiz
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by_key(|&i| (first_seen[&jobs[i].group(engine)], i));
 
-    let pool = WorkerPool::new(workers);
-    // Chunk of 1: drain jobs are whole walk batches, heavyweight enough
-    // that per-job popping balances better than it contends.
-    let run = pool.run_indexed(&order, 1, |_, &i| run_job(engine, &jobs[i]));
-
-    // Scatter back from execution order to submission order.
-    let mut slots: Vec<Option<Result<RunReport, EngineError>>> =
-        (0..jobs.len()).map(|_| None).collect();
-    for (pos, outcome) in run.results.into_iter().enumerate() {
-        slots[order[pos]] = Some(outcome);
+    // Expand each job into its shard launches, in group order.
+    let mut tasks: Vec<ShardTask> = Vec::new();
+    for &i in &order {
+        expand_job(&jobs[i], i, topology, &mut tasks);
     }
+
+    let pool = WorkerPool::new(workers);
+    // Chunk of 1: shard launches are whole walk batches, heavyweight
+    // enough that per-task popping balances better than it contends.
+    let run = pool.run_indexed(&tasks, 1, |_, task| {
+        run_task(engine, &jobs[task.job], task, topology)
+    });
+
+    // Collect each job's shard reports (tasks are contiguous per job and
+    // in shard order, so this is a stable gather).
+    let mut shard_reports: Vec<Vec<(usize, Result<RunReport, EngineError>)>> =
+        (0..jobs.len()).map(|_| Vec::new()).collect();
+    for (task, outcome) in tasks.iter().zip(run.results) {
+        shard_reports[task.job].push((task.shard, outcome));
+    }
+
+    let shard_launches = tasks.len() as u64;
+    let mut migrations = 0u64;
+    let mut link_seconds = 0.0f64;
     let results = jobs
         .iter()
-        .zip(slots)
-        .map(|(job, slot)| (job.ticket, slot.expect("every job executed")))
+        .zip(shard_reports)
+        .map(|(job, reports)| {
+            let merged = merge_job(engine, job, topology, reports);
+            if let Ok(report) = &merged {
+                if let Some(shards) = &report.shards {
+                    migrations += shards.migrations;
+                    link_seconds += shards.link_seconds;
+                }
+            }
+            (job.ticket, merged)
+        })
         .collect();
     DrainRun {
         results,
         per_worker: run.per_worker,
         groups,
+        shard_launches,
+        migrations,
+        link_seconds,
     }
 }
 
-/// Runs one prepared job — a pure function of the job and the engine.
-fn run_job(engine: &FlexiWalkerEngine, job: &PreparedJob) -> Result<RunReport, EngineError> {
+/// Splits one job into its topology's shard launches.
+///
+/// A failed preparation gets exactly one launch (which reports the typed
+/// error); `Topology::Single` gets the job's own request untouched; the
+/// sharded topologies get one contiguous query chunk per device, with the
+/// global stream offset advanced so every query keeps its own Philox
+/// stream. Devices whose chunk is empty launch nothing — but a job with
+/// no queries at all still launches once, so it reports like any other.
+fn expand_job(job: &PreparedJob, index: usize, topology: Topology, tasks: &mut Vec<ShardTask>) {
+    let devices = topology.devices();
+    if job.prepared.is_err() || matches!(topology, Topology::Single) {
+        tasks.push(ShardTask {
+            job: index,
+            shard: 0,
+            req: None,
+            resident: None,
+        });
+        return;
+    }
+    // Every device of a partitioned fleet must hold its partition
+    // (plus the shared row pointers) whether or not queries landed on it:
+    // the bar each launch's allocation checks is the busiest shard.
+    let resident = topology.is_partitioned().then(|| {
+        job.plan
+            .as_ref()
+            .map(|plan| plan.max_resident_bytes(&job.snap.graph))
+            .unwrap_or_else(|| {
+                // The session prepare pass always attaches a plan; compute
+                // one defensively for direct executor callers.
+                PartitionPlan::compute(&job.snap.graph, devices).max_resident_bytes(&job.snap.graph)
+            })
+    });
+    let sub_task = |shard: usize, start: usize, end: usize| {
+        let mut req = job
+            .req
+            .clone()
+            .query_offset(job.req.query_offset + start as u64);
+        req.queries = job.req.queries[start..end].into();
+        // Partitioned merges need full paths for the migration census;
+        // recording them is free on the simulated clock (only the host
+        // materialises the vectors), and the merge strips them again when
+        // the caller did not ask.
+        if topology.is_partitioned() {
+            req.config.record_paths = true;
+        }
+        ShardTask {
+            job: index,
+            shard,
+            req: Some(req),
+            resident,
+        }
+    };
+    let len = job.req.queries.len();
+    if len == 0 {
+        tasks.push(sub_task(0, 0, 0));
+        return;
+    }
+    let chunk = len.div_ceil(devices);
+    for shard in 0..devices {
+        let start = (shard * chunk).min(len);
+        let end = ((shard + 1) * chunk).min(len);
+        if start < end {
+            tasks.push(sub_task(shard, start, end));
+        }
+    }
+}
+
+/// Runs one shard launch — a pure function of the job, the task and the
+/// engine.
+fn run_task(
+    engine: &FlexiWalkerEngine,
+    job: &PreparedJob,
+    task: &ShardTask,
+    _topology: Topology,
+) -> Result<RunReport, EngineError> {
     let prepared = job.prepared.as_ref().map_err(Clone::clone)?;
-    let mut report = engine.run_on(&job.snap, &job.req, prepared)?;
+    let req = task.req.as_ref().unwrap_or(&job.req);
+    let mut report = match task.resident {
+        Some(resident) => engine.run_on_resident(&job.snap, req, prepared, resident)?,
+        None => engine.run_on(&job.snap, req, prepared)?,
+    };
     // Cached preparation costs nothing at run time; only the first
     // request over a (graph version, workload) pair reports Table-3
     // overheads.
@@ -135,4 +295,83 @@ fn run_job(engine: &FlexiWalkerEngine, job: &PreparedJob) -> Result<RunReport, E
         report.profile_seconds = 0.0;
     }
     Ok(report)
+}
+
+/// Folds one job's shard reports into its drained [`RunReport`].
+///
+/// Errors surface in shard order (deterministic at any worker count).
+/// Steps, device activity and sampler tallies sum; the ensemble clock is
+/// the slowest shard, plus the migration traffic for partitioned
+/// topologies; paths concatenate in shard order — which, with contiguous
+/// chunks, is exactly submission order.
+fn merge_job(
+    engine: &FlexiWalkerEngine,
+    job: &PreparedJob,
+    topology: Topology,
+    reports: Vec<(usize, Result<RunReport, EngineError>)>,
+) -> Result<RunReport, EngineError> {
+    if matches!(topology, Topology::Single) || job.prepared.is_err() {
+        let (_, outcome) = reports
+            .into_iter()
+            .next()
+            .expect("every job launches at least once");
+        return outcome;
+    }
+    let devices = topology.devices();
+    let mut shard_ok: Vec<(usize, RunReport)> = Vec::with_capacity(reports.len());
+    for (shard, outcome) in reports {
+        shard_ok.push((shard, outcome?));
+    }
+    let record_paths = job.req.config.record_paths;
+    let mut per_shard_steps = vec![0u64; devices];
+    let mut paths: Vec<Vec<flexi_graph::NodeId>> = Vec::new();
+    let mut merged: Option<RunReport> = None;
+    for (shard, mut report) in shard_ok {
+        per_shard_steps[shard] = report.steps_taken;
+        if let Some(p) = report.paths.take() {
+            paths.extend(p);
+        }
+        match &mut merged {
+            None => merged = Some(report),
+            Some(m) => {
+                m.sim_seconds = m.sim_seconds.max(report.sim_seconds);
+                m.saturated_seconds = m.saturated_seconds.max(report.saturated_seconds);
+                m.stats.add(&report.stats);
+                m.steps_taken += report.steps_taken;
+                m.sampler_steps.merge(&report.sampler_steps);
+                m.profile_seconds = m.profile_seconds.max(report.profile_seconds);
+                m.preprocess_seconds = m.preprocess_seconds.max(report.preprocess_seconds);
+            }
+        }
+    }
+    let mut merged = merged.expect("every job launches at least once");
+    merged.queries = job.req.queries.len();
+    merged.watts = engine.spec().load_watts * devices as f64;
+    let (census_steps, migrations, link_seconds) = match topology.link() {
+        Some(link) => {
+            // Steps execute on the owner of the walker's current node;
+            // cross-owner destinations ship the walker over the link, and
+            // the (serialising) transfer time lands on the ensemble clock
+            // — the paper's expected communication overhead.
+            let (census, migrations) = migration_census(&paths, devices);
+            let link_seconds = link.seconds(migrations);
+            merged.sim_seconds += link_seconds;
+            merged.saturated_seconds += link_seconds;
+            if merged.sim_seconds > job.req.config.time_budget {
+                return Err(EngineError::OutOfTime {
+                    budget_secs: job.req.config.time_budget,
+                });
+            }
+            (census, migrations, link_seconds)
+        }
+        None => (per_shard_steps, 0, 0.0),
+    };
+    merged.paths = record_paths.then_some(paths);
+    merged.shards = Some(ShardStats {
+        shards: devices,
+        per_shard_steps: census_steps,
+        migrations,
+        link_seconds,
+    });
+    Ok(merged)
 }

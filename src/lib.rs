@@ -109,14 +109,14 @@ pub mod prelude {
     pub use crate::session::{FlexiWalker, Session, SessionBuilder, SessionStats, Ticket};
     pub use flexi_core::{
         CompiledWalker, DynamicWalk, EngineError, FlexiWalkerEngine, IntoQueries, IntoWalker,
-        MetaPath, Node2Vec, RunReport, SamplerTally, SecondOrderPr, SelectionStrategy, UniformWalk,
-        WalkConfig, WalkEngine, WalkRequest, WalkState, WalkerDef, WalkerHandle, WalkerRegistry,
-        WalkerSource,
+        LinkSpec, MetaPath, Node2Vec, RunReport, SamplerTally, SecondOrderPr, SelectionStrategy,
+        ShardStats, Topology, UniformWalk, WalkConfig, WalkEngine, WalkRequest, WalkState,
+        WalkerDef, WalkerHandle, WalkerRegistry, WalkerSource,
     };
     pub use flexi_gpu_sim::DeviceSpec;
     pub use flexi_graph::{
-        gen, proxy, Csr, CsrBuilder, GraphError, GraphHandle, GraphSnapshot, GraphUpdate,
-        GraphVersion, NodeId, UpdateOutcome, WeightModel,
+        gen, proxy, shard_of, Csr, CsrBuilder, GraphError, GraphHandle, GraphSnapshot, GraphUpdate,
+        GraphVersion, NodeId, PartitionPlan, PlanFetch, UpdateOutcome, WeightModel,
     };
     pub use flexi_rng::{Philox4x32, RandomSource};
     pub use flexi_sampling::{

@@ -51,8 +51,9 @@
 
 use crate::executor::{self, PreparedJob};
 use flexi_core::{
-    CompiledWalker, EngineError, FlexiWalkerEngine, PreparedState, ProfileResult, RunReport,
-    SelectionStrategy, WalkRequest, WalkerDef, WalkerHandle, WalkerRegistry, WorkerPool,
+    CompiledWalker, EngineError, FlexiWalkerEngine, PlanFetch, PreparedState, ProfileResult,
+    RunReport, SelectionStrategy, Topology, WalkRequest, WalkerDef, WalkerHandle, WalkerRegistry,
+    WorkerPool,
 };
 use flexi_gpu_sim::DeviceSpec;
 use flexi_graph::{
@@ -85,6 +86,7 @@ pub struct SessionBuilder {
     skip_profile: bool,
     cost_ratio_override: Option<f64>,
     workers: usize,
+    topology: Topology,
 }
 
 impl SessionBuilder {
@@ -101,6 +103,7 @@ impl SessionBuilder {
             skip_profile: false,
             cost_ratio_override: None,
             workers: WorkerPool::available(),
+            topology: Topology::Single,
         }
     }
 
@@ -172,6 +175,28 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the execution topology: how each drained request maps onto
+    /// simulated devices (device counts are clamped to at least 1).
+    ///
+    /// - [`Topology::Single`] (default): one device, whole graph.
+    /// - [`Topology::MultiDevice`]: the graph is duplicated on every
+    ///   device and each request's queries split across them (§6.6).
+    /// - [`Topology::Partitioned`]: the graph is hash-partitioned over
+    ///   the devices — each holds its shard plus the row pointers, so
+    ///   graphs that overflow one device still serve — and walkers
+    ///   migrate over the configured link (§7.2). Partition plans are
+    ///   cached per epoch on the [`GraphHandle`] and migrated
+    ///   incrementally by [`Session::apply_updates`].
+    ///
+    /// Every topology serves the same unified walker path with per-query
+    /// Philox streams, so walk output (paths, step counts, sampler
+    /// tallies) is **bit-identical across topologies and worker counts**;
+    /// only simulated timing, memory and migration accounting differ.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology.normalized();
+        self
+    }
+
     /// Finishes configuration. The session is fully owned — no borrow
     /// lifetime: graphs are registered via [`Session::load_graph`] and
     /// travel in requests as [`GraphHandle`]s.
@@ -191,6 +216,7 @@ impl SessionBuilder {
             next_ticket: 0,
             query_cursor: 0,
             workers: self.workers,
+            topology: self.topology,
             stats: SessionStats::default(),
         }
     }
@@ -304,7 +330,7 @@ impl GraphEntry {
 /// Counters exposing the session's cache and executor behaviour — what
 /// the no-rehash-on-drain, incremental-refresh and parallel-drain
 /// guarantees are asserted against in tests and benchmarks.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SessionStats {
     /// Full O(V + E) content digests computed (once per loaded graph).
     pub digests_computed: u64,
@@ -324,10 +350,30 @@ pub struct SessionStats {
     pub parallel_drains: u64,
     /// `(graph id, epoch, device)` batch groups formed across all drains.
     pub drain_groups: u64,
-    /// Requests executed per worker slot, cumulative across drains. The
-    /// split between slots is scheduling-dependent; the sum always equals
-    /// the number of drained requests.
+    /// Shard launches executed per worker slot, cumulative across drains.
+    /// The split between slots is scheduling-dependent; the sum always
+    /// equals the number of launches (= drained requests under
+    /// [`Topology::Single`]).
     pub worker_requests: Vec<u64>,
+    /// Drains executed under a multi-device topology.
+    pub sharded_drains: u64,
+    /// Shard sub-launches fanned across the pool, cumulative.
+    pub shard_launches: u64,
+    /// Walker migrations across the simulated interconnect, cumulative
+    /// (partitioned topologies only).
+    pub migrations: u64,
+    /// Simulated seconds those migrations spent on the link, cumulative.
+    pub link_seconds: f64,
+    /// Partition plans computed from scratch — once per
+    /// `(graph, shard count)` pair per *structural history*, not per
+    /// drain.
+    pub plan_builds: u64,
+    /// Drain preparations served by a cached partition plan.
+    pub plan_hits: u64,
+    /// Cached plans migrated to a new epoch by incremental dirty-node
+    /// refresh (one per cached plan per structural batch; weight-only
+    /// batches carry plans without counting here).
+    pub plan_refreshes: u64,
 }
 
 /// A long-lived walk service over one engine configuration.
@@ -351,6 +397,8 @@ pub struct Session {
     query_cursor: u64,
     /// Host threads [`Session::drain`] fans requests across.
     workers: usize,
+    /// How drained requests map onto simulated devices.
+    topology: Topology,
     stats: SessionStats,
 }
 
@@ -373,6 +421,11 @@ impl Session {
     /// Host worker threads [`Session::drain`] fans requests across.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The execution topology drained requests map onto.
+    pub fn topology(&self) -> Topology {
+        self.topology
     }
 
     /// Number of resident aggregate sets — bounded by live graph versions
@@ -496,6 +549,11 @@ impl Session {
         let pre_weight_bytes = handle.graph().props().bytes_per_weight();
 
         let outcome = handle.apply_updates(batch)?;
+        // Structural batches migrate the handle's cached partition plans
+        // by incremental dirty-node refresh (inside the handle, under its
+        // write lock); surface the count so plan-reuse guarantees are
+        // testable: refreshes track structural epochs, never drains.
+        self.stats.plan_refreshes += outcome.plans_migrated as u64;
         if outcome.dirty_nodes.is_empty() && !outcome.structural {
             // Empty batch: nothing changed, nothing to migrate.
             return Ok(outcome);
@@ -612,12 +670,19 @@ impl Session {
             .into_iter()
             .map(|(ticket, req)| self.prepare_job(ticket, req, &mut snapshots))
             .collect();
-        // Phase 2 (parallel): pure engine runs, merged in submission order.
-        let run = executor::execute(&self.engine, jobs, self.workers);
+        // Phase 2 (parallel): pure engine runs — one launch per topology
+        // shard per request — merged in submission order.
+        let run = executor::execute(&self.engine, jobs, self.workers, self.topology);
         self.stats.drain_groups += run.groups as u64;
         if run.per_worker.len() > 1 {
             self.stats.parallel_drains += 1;
         }
+        if !matches!(self.topology, Topology::Single) {
+            self.stats.sharded_drains += 1;
+        }
+        self.stats.shard_launches += run.shard_launches;
+        self.stats.migrations += run.migrations;
+        self.stats.link_seconds += run.link_seconds;
         if self.stats.worker_requests.len() < run.per_worker.len() {
             self.stats.worker_requests.resize(run.per_worker.len(), 0);
         }
@@ -694,6 +759,18 @@ impl Session {
                 .expect("registered above")
                 .live_epoch = snap.version.epoch;
         }
+        // Partitioned topologies resolve the epoch's partition plan here,
+        // from the handle's plan cache — a from-scratch partitioning runs
+        // once per (graph, shard count) per structural history, never per
+        // drain (apply_updates migrates cached plans incrementally).
+        let plan = self.topology.is_partitioned().then(|| {
+            let (plan, fetch) = req.graph.partition_plan(&snap, self.topology.devices());
+            match fetch {
+                PlanFetch::Cached => self.stats.plan_hits += 1,
+                PlanFetch::Built => self.stats.plan_builds += 1,
+            }
+            plan
+        });
         // Resolve the walker through the registry + lowering cache; a
         // failure (unknown name, compile error) becomes the job's typed
         // drain result instead of a panic.
@@ -705,6 +782,7 @@ impl Session {
                     req,
                     snap,
                     prepared: Err(e),
+                    plan,
                     preprocess_hit: true,
                     profile_hit: true,
                 }
@@ -758,6 +836,7 @@ impl Session {
                 aggregates,
                 profile,
             }),
+            plan,
             preprocess_hit,
             profile_hit,
         }
@@ -774,6 +853,7 @@ impl std::fmt::Debug for Session {
             .field("cached_aggregates", &self.aggregates.len())
             .field("cached_profiles", &self.profiles.len())
             .field("workers", &self.workers)
+            .field("topology", &self.topology)
             .field("stats", &self.stats)
             .finish()
     }
