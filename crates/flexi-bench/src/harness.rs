@@ -2,8 +2,8 @@
 
 use crate::json::Json;
 use flexi_core::{
-    EngineError, FlexiWalkerEngine, IntoWalker, Node2Vec, RunReport, WalkConfig, WalkEngine,
-    WalkRequest,
+    EngineError, FlexiWalkerEngine, IntoWalker, LatencyHistogram, Node2Vec, RunReport,
+    SamplerTally, WalkConfig, WalkEngine, WalkRequest,
 };
 use flexi_gpu_sim::DeviceSpec;
 use flexi_graph::{datasets, props, Csr, GraphHandle, NodeId, WeightModel};
@@ -342,10 +342,23 @@ pub struct RunSummary {
     pub kernel_seconds: f64,
     /// Sampling steps per strategy, keyed by sampler id.
     pub sampler_steps: Vec<(String, u64)>,
+    /// Per-request wall-time distribution of the probe's chunked launches
+    /// (p50/p95/p99 — the same schema the serve bench gates on).
+    pub latency: LatencyHistogram,
 }
+
+/// Request chunks the probe splits its query set into — each chunk's wall
+/// time is one latency sample.
+const PROBE_CHUNKS: usize = 8;
 
 impl RunSummary {
     /// Runs the probe: weighted Node2Vec on the YT proxy under `p`.
+    ///
+    /// The query set is served as eight separate request chunks with
+    /// advancing [`WalkRequest::query_offset`]s: per-query Philox streams
+    /// make the chunked walks bit-identical to one monolithic launch,
+    /// while each chunk's wall time becomes one sample of the latency
+    /// distribution.
     pub fn probe(p: &Profile) -> Self {
         let name = "YT";
         let g = dataset(p, name, WeightSetup::Uniform, false);
@@ -353,9 +366,25 @@ impl RunSummary {
         let mut cfg = config_for(p, name, &g, qs.len());
         cfg.time_budget = f64::MAX;
         let engine = FlexiWalkerEngine::new(device_for(name, &g));
-        let req = WalkRequest::new(g, &Node2Vec::paper(true), qs.as_slice()).with_config(cfg);
+        let g = GraphHandle::new(g);
+        let walker = Node2Vec::paper(true);
+        let chunk_len = qs.len().div_ceil(PROBE_CHUNKS).max(1);
+        let mut latency = LatencyHistogram::new();
+        let mut kernel_seconds = 0.0;
+        let mut tally = SamplerTally::new();
+        let mut offset = 0u64;
         let start = Instant::now();
-        let report = engine.run(&req).expect("probe run succeeds");
+        for chunk in qs.chunks(chunk_len) {
+            let req = WalkRequest::new(&g, &walker, chunk)
+                .with_config(cfg.clone())
+                .query_offset(offset);
+            let launched = Instant::now();
+            let report = engine.run(&req).expect("probe run succeeds");
+            latency.record_seconds(launched.elapsed().as_secs_f64());
+            kernel_seconds += report.sim_seconds;
+            tally.merge(&report.sampler_steps);
+            offset += chunk.len() as u64;
+        }
         let wall_seconds = start.elapsed().as_secs_f64().max(1e-9);
         Self {
             dataset: name,
@@ -363,12 +392,9 @@ impl RunSummary {
             steps: p.steps,
             wall_seconds,
             throughput_qps: qs.len() as f64 / wall_seconds,
-            kernel_seconds: report.sim_seconds,
-            sampler_steps: report
-                .sampler_steps
-                .iter()
-                .map(|(id, n)| (id.to_string(), n))
-                .collect(),
+            kernel_seconds,
+            sampler_steps: tally.iter().map(|(id, n)| (id.to_string(), n)).collect(),
+            latency,
         }
     }
 
@@ -389,6 +415,7 @@ impl RunSummary {
                         .map(|(id, n)| (id.clone(), Json::from(*n))),
                 ),
             ),
+            ("latency", crate::json::latency_obj(&self.latency)),
         ])
     }
 }
@@ -493,8 +520,15 @@ mod tests {
         assert!(s.kernel_seconds > 0.0);
         assert!(s.queries > 0);
         assert!(!s.sampler_steps.is_empty());
+        assert!((1..=PROBE_CHUNKS as u64).contains(&s.latency.count()));
+        assert!(s.latency.p99() >= s.latency.p50());
         let doc = s.to_json().render();
         assert!(crate::json::extract_number(&doc, "throughput_qps").unwrap() > 0.0);
+        assert!(crate::json::extract_number(&doc, "p99_ms").unwrap() > 0.0);
+        assert_eq!(
+            crate::json::extract_number(&doc, "count"),
+            Some(s.latency.count() as f64)
+        );
     }
 
     #[test]

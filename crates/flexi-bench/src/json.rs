@@ -9,6 +9,7 @@
 //! renderer, and [`extract_number`] for reading one numeric field back out
 //! of a baseline file.
 
+use flexi_core::LatencyHistogram;
 use std::fmt::Write as _;
 
 /// A JSON value tree. Object member order is preserved as inserted, so
@@ -147,6 +148,21 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// The canonical latency block every bench artifact embeds — p50/p95/p99
+/// milliseconds plus mean, max and sample count — so the serve bench, the
+/// drain benches and `repro --json` summaries all emit one comparable
+/// schema.
+pub fn latency_obj(hist: &LatencyHistogram) -> Json {
+    Json::obj([
+        ("count", Json::from(hist.count())),
+        ("p50_ms", Json::from(hist.p50() * 1e3)),
+        ("p95_ms", Json::from(hist.p95() * 1e3)),
+        ("p99_ms", Json::from(hist.p99() * 1e3)),
+        ("mean_ms", Json::from(hist.mean() * 1e3)),
+        ("max_ms", Json::from(hist.max() * 1e3)),
+    ])
+}
+
 /// Extracts the first number stored under `"key":` in a JSON document.
 ///
 /// This is deliberately not a parser: the bench gate only needs to read a
@@ -194,6 +210,20 @@ mod tests {
     fn non_finite_numbers_render_null() {
         assert_eq!(Json::Num(f64::NAN).render(), "null\n");
         assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
+    }
+
+    #[test]
+    fn latency_obj_emits_the_shared_schema() {
+        let mut h = LatencyHistogram::new();
+        for us in [100u64, 200, 400, 120_000] {
+            h.record_seconds(us as f64 * 1e-6);
+        }
+        let doc = latency_obj(&h).render();
+        assert_eq!(extract_number(&doc, "count"), Some(4.0));
+        let p50 = extract_number(&doc, "p50_ms").unwrap();
+        let p99 = extract_number(&doc, "p99_ms").unwrap();
+        assert!(p50 > 0.0 && p99 >= p50);
+        assert!(extract_number(&doc, "max_ms").unwrap() >= 120.0);
     }
 
     #[test]

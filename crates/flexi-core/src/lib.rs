@@ -33,6 +33,7 @@ pub mod preprocess;
 pub mod profile;
 pub mod queue;
 pub mod runtime;
+pub mod service;
 pub mod topology;
 pub mod walker;
 pub mod workload;
@@ -57,10 +58,13 @@ pub use flexi_graph::{
     UpdateOutcome,
 };
 pub use pool::{PoolRun, WorkerPool};
+// The serving seam: bounded admission in front of the query queue and
+// latency-percentile tracking for SLO accounting.
 pub use preprocess::Aggregates;
 pub use profile::ProfileResult;
 pub use queue::QueryQueue;
 pub use runtime::{CostModel, RuntimeEnv, SelectionStrategy};
+pub use service::{Admission, AdmissionPolicy, AdmissionQueue, AdmissionStats, LatencyHistogram};
 // Re-export the sampling seam so engine users can register strategies
 // without naming `flexi-sampling` directly.
 pub use flexi_sampling::{ids as sampler_ids, Sampler, SamplerId, SamplerRegistry};

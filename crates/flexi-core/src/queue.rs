@@ -105,6 +105,25 @@ mod tests {
     }
 
     #[test]
+    fn chunked_pop_on_empty_queue_is_none() {
+        let q = QueryQueue::new(0);
+        assert_eq!(q.pop_chunk(1), None);
+        assert_eq!(q.pop_chunk(usize::MAX), None);
+        assert_eq!(q.popped(), 0);
+    }
+
+    #[test]
+    fn chunked_pop_on_one_item_queue_clamps_and_drains() {
+        let q = QueryQueue::new(1);
+        // An oversized chunk claims exactly the one item.
+        assert_eq!(q.pop_chunk(64), Some(0..1));
+        assert_eq!(q.pop_chunk(1), None);
+        assert_eq!(q.pop(), None);
+        // The overshot counter never reports past the queue length.
+        assert_eq!(q.popped(), 1);
+    }
+
+    #[test]
     fn chunked_and_single_pops_interleave_disjointly() {
         let q = QueryQueue::new(7);
         assert_eq!(q.pop(), Some(0));

@@ -1,0 +1,667 @@
+//! Serving-layer primitives: latency histograms and bounded admission.
+//!
+//! The batch pipeline (§5.3 queue → drain executor) answers *throughput*;
+//! an always-on serving front-end also has to answer *latency* and
+//! *overload*. This module provides the two std-only building blocks the
+//! root crate's `WalkServer` composes in front of the existing
+//! [`QueryQueue`](crate::QueryQueue):
+//!
+//! - [`LatencyHistogram`] — a fixed-size log-bucketed histogram of
+//!   per-request latencies with p50/p95/p99 estimation, cheap to record
+//!   into (one array increment, no allocation) and mergeable across
+//!   workers, sessions and bench samples;
+//! - [`AdmissionQueue`] — a bounded MPMC command queue with a pluggable
+//!   overload [`AdmissionPolicy`]: *reject* new work, *block* the
+//!   submitter (backpressure), or *shed the oldest* queued work to make
+//!   room. Producers are client threads; the consumer is the serving
+//!   loop, which pops admitted commands in FIFO order — admission order
+//!   is what the serving determinism guarantee is stated against.
+//!
+//! Both types are deliberately independent of walk requests (the queue is
+//! generic over its command type) so they are testable in isolation and
+//! reusable by other front-ends.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Number of latency buckets: four per factor-of-two ("octave") above the
+/// 1 µs floor, covering 1 µs · 2^39.75 ≈ 10 days in the last bucket.
+const BUCKETS: usize = 160;
+
+/// Sub-bucket resolution: buckets per octave.
+const PER_OCTAVE: f64 = 4.0;
+
+/// Floor of the first bucket, in seconds.
+const FLOOR_SECONDS: f64 = 1e-6;
+
+/// A log-bucketed latency histogram with percentile estimation.
+///
+/// Samples are recorded in seconds into one of 160 geometric
+/// buckets (four per factor of two, 1 µs floor), so `record` is one
+/// branch-free index computation plus an increment — cheap enough for the
+/// serving hot path. Percentiles are read back as the upper bound of the
+/// bucket containing the requested rank, clamped to the observed
+/// min/max, which bounds the estimation error at ~19 % (one bucket
+/// width) — ample for SLO gating.
+///
+/// Histograms merge bucket-wise ([`LatencyHistogram::merge`]), so
+/// per-worker or per-sample recordings fold into one distribution without
+/// losing resolution.
+///
+/// # Examples
+///
+/// ```
+/// use flexi_core::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for ms in [1.0, 2.0, 3.0, 40.0] {
+///     h.record_seconds(ms / 1e3);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.p50() >= 1e-3 && h.p50() <= 4e-3);
+/// assert!(h.p99() >= 0.02 && h.p99() <= 0.05);
+/// println!("{h}"); // "p50 2.38ms  p95 40.0ms  p99 40.0ms  (n=4)"
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_seconds: f64,
+    min_seconds: f64,
+    max_seconds: f64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_seconds: 0.0,
+            min_seconds: f64::INFINITY,
+            max_seconds: 0.0,
+        }
+    }
+
+    /// The bucket a latency of `secs` lands in.
+    fn bucket_of(secs: f64) -> usize {
+        // Callers sanitise NaN/negative samples to 0.0 first; everything
+        // at or below the floor lands in bucket 0.
+        if secs <= FLOOR_SECONDS {
+            return 0;
+        }
+        let idx = (PER_OCTAVE * (secs / FLOOR_SECONDS).log2()).floor() as usize + 1;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `i`, in seconds.
+    fn bucket_upper(i: usize) -> f64 {
+        FLOOR_SECONDS * (i as f64 / PER_OCTAVE).exp2()
+    }
+
+    /// Records one latency sample, in seconds. Non-finite or negative
+    /// samples count into the lowest bucket (they still advance `count`,
+    /// so a buggy clock cannot silently thin the distribution).
+    pub fn record_seconds(&mut self, secs: f64) {
+        let secs = if secs.is_finite() { secs.max(0.0) } else { 0.0 };
+        self.buckets[Self::bucket_of(secs)] += 1;
+        self.count += 1;
+        self.sum_seconds += secs;
+        self.min_seconds = self.min_seconds.min(secs);
+        self.max_seconds = self.max_seconds.max(secs);
+    }
+
+    /// Records one latency sample from a [`Duration`].
+    pub fn record(&mut self, elapsed: Duration) {
+        self.record_seconds(elapsed.as_secs_f64());
+    }
+
+    /// Folds another histogram into this one, bucket-wise.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_seconds += other.sum_seconds;
+        self.min_seconds = self.min_seconds.min(other.min_seconds);
+        self.max_seconds = self.max_seconds.max(other.max_seconds);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all recorded samples, in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.sum_seconds
+    }
+
+    /// Mean latency in seconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_seconds / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample in seconds (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_seconds
+        }
+    }
+
+    /// Largest recorded sample in seconds (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max_seconds
+    }
+
+    /// The latency at quantile `q ∈ [0, 1]`, in seconds: the upper bound
+    /// of the bucket holding the sample of rank `⌈q · count⌉`, clamped to
+    /// the observed min/max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(i).clamp(self.min_seconds, self.max_seconds);
+            }
+        }
+        self.max_seconds
+    }
+
+    /// Median latency in seconds.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency in seconds.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency in seconds.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Renders seconds with an auto-scaled unit (`µs`/`ms`/`s`).
+fn fmt_secs(f: &mut std::fmt::Formatter<'_>, secs: f64) -> std::fmt::Result {
+    if secs < 1e-3 {
+        write!(f, "{:.1}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        write!(f, "{:.2}ms", secs * 1e3)
+    } else {
+        write!(f, "{secs:.3}s")
+    }
+}
+
+impl std::fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "p50 -  p95 -  p99 -  (n=0)");
+        }
+        write!(f, "p50 ")?;
+        fmt_secs(f, self.p50())?;
+        write!(f, "  p95 ")?;
+        fmt_secs(f, self.p95())?;
+        write!(f, "  p99 ")?;
+        fmt_secs(f, self.p99())?;
+        write!(f, "  (n={})", self.count)
+    }
+}
+
+/// What an [`AdmissionQueue`] does when a push finds the queue full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AdmissionPolicy {
+    /// Refuse the new command; the submitter gets it back immediately.
+    /// Bounds queueing delay at the cost of dropped work — load shedding
+    /// at the front door.
+    Reject,
+    /// Block the submitting thread until the serving loop frees a slot —
+    /// classic backpressure. No work is lost and no request is refused;
+    /// overload shows up as submitter-side latency instead. The default.
+    #[default]
+    Block,
+    /// Evict the *oldest* queued commands to make room, handing them back
+    /// to the submitter to fail. Bounds the staleness of queued work —
+    /// the freshest requests survive overload.
+    ShedOldest,
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AdmissionPolicy::Reject => "reject",
+            AdmissionPolicy::Block => "block",
+            AdmissionPolicy::ShedOldest => "shed-oldest",
+        })
+    }
+}
+
+/// Counters describing an [`AdmissionQueue`]'s overload behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Commands accepted into the queue.
+    pub admitted: u64,
+    /// Commands refused under [`AdmissionPolicy::Reject`].
+    pub rejected: u64,
+    /// Queued commands evicted under [`AdmissionPolicy::ShedOldest`].
+    pub shed: u64,
+    /// Submitter waits under [`AdmissionPolicy::Block`] (one per push
+    /// that found the queue full, however long it then waited).
+    pub block_waits: u64,
+    /// High-water mark of the queue depth.
+    pub peak_depth: u64,
+}
+
+/// Outcome of one [`AdmissionQueue::push`].
+#[derive(Debug)]
+#[must_use = "rejected and shed commands carry work the submitter must fail"]
+pub enum Admission<T> {
+    /// The command was queued. Under [`AdmissionPolicy::ShedOldest`],
+    /// `shed` holds the older commands evicted to make room (empty for
+    /// the other policies) — the caller owns failing them.
+    Admitted {
+        /// Older commands evicted to admit this one, oldest first.
+        shed: Vec<T>,
+    },
+    /// The queue was full under [`AdmissionPolicy::Reject`]; the command
+    /// comes back to the submitter untouched.
+    Rejected(T),
+    /// The queue was closed; the command comes back untouched.
+    Closed(T),
+}
+
+impl<T> Admission<T> {
+    /// Whether the command entered the queue.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Admission::Admitted { .. })
+    }
+}
+
+/// Interior state of an [`AdmissionQueue`], guarded by one mutex.
+#[derive(Debug)]
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    stats: AdmissionStats,
+}
+
+/// A bounded MPMC command queue with a configurable overload policy.
+///
+/// Producers call [`push`](Self::push) from any number of threads; the
+/// consumer (a serving loop) calls [`pop_wait`](Self::pop_wait) /
+/// [`drain_ready`](Self::drain_ready). Commands come out in FIFO
+/// *admission order* — under [`AdmissionPolicy::ShedOldest`] an admitted
+/// command may evict older ones, but never reorder survivors.
+///
+/// [`close`](Self::close) stops further admission; already-queued
+/// commands still drain, and `pop_wait` returns `None` only once the
+/// queue is both closed and empty — so a serving loop that pops until
+/// `None` never strands accepted work.
+#[derive(Debug)]
+pub struct AdmissionQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    policy: AdmissionPolicy,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` commands (clamped to ≥ 1)
+    /// under `policy`.
+    pub fn new(capacity: usize, policy: AdmissionPolicy) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+                stats: AdmissionStats::default(),
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The overload policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Submits one command. Under [`AdmissionPolicy::Block`] this waits
+    /// for a free slot (or for [`close`](Self::close)); the other
+    /// policies return immediately.
+    pub fn push(&self, item: T) -> Admission<T> {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        if inner.closed {
+            return Admission::Closed(item);
+        }
+        let mut shed = Vec::new();
+        if inner.items.len() >= self.capacity {
+            match self.policy {
+                AdmissionPolicy::Reject => {
+                    inner.stats.rejected += 1;
+                    return Admission::Rejected(item);
+                }
+                AdmissionPolicy::Block => {
+                    inner.stats.block_waits += 1;
+                    while inner.items.len() >= self.capacity && !inner.closed {
+                        inner = self.not_full.wait(inner).expect("admission queue poisoned");
+                    }
+                    if inner.closed {
+                        return Admission::Closed(item);
+                    }
+                }
+                AdmissionPolicy::ShedOldest => {
+                    while inner.items.len() >= self.capacity {
+                        shed.push(inner.items.pop_front().expect("full queue is non-empty"));
+                    }
+                    inner.stats.shed += shed.len() as u64;
+                }
+            }
+        }
+        inner.items.push_back(item);
+        inner.stats.admitted += 1;
+        inner.stats.peak_depth = inner.stats.peak_depth.max(inner.items.len() as u64);
+        self.not_empty.notify_one();
+        Admission::Admitted { shed }
+    }
+
+    /// Pops the oldest admitted command, waiting while the queue is empty
+    /// and open. Returns `None` only when the queue is closed **and**
+    /// empty — queued commands always drain.
+    pub fn pop_wait(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .expect("admission queue poisoned");
+        }
+    }
+
+    /// Pops up to `max` already-queued commands without waiting (may
+    /// return fewer, or none). The serving loop uses this to batch: one
+    /// blocking pop, then a non-blocking sweep of whatever arrived since.
+    pub fn drain_ready(&self, max: usize) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        let n = inner.items.len().min(max);
+        let drained: Vec<T> = inner.items.drain(..n).collect();
+        if !drained.is_empty() {
+            self.not_full.notify_all();
+        }
+        drained
+    }
+
+    /// Commands currently queued.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("admission queue poisoned")
+            .items
+            .len()
+    }
+
+    /// Whether no commands are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stops further admission and wakes every waiting producer and
+    /// consumer. Already-queued commands still drain.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("admission queue poisoned");
+        inner.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("admission queue poisoned").closed
+    }
+
+    /// A snapshot of the admission counters.
+    pub fn stats(&self) -> AdmissionStats {
+        self.inner.lock().expect("admission queue poisoned").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn histogram_percentiles_bracket_the_samples() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100u32 {
+            h.record_seconds(i as f64 * 1e-3); // 1ms ..= 100ms
+        }
+        assert_eq!(h.count(), 100);
+        // Bucket resolution is ~19%; allow one bucket of slack each way.
+        assert!(h.p50() >= 0.040 && h.p50() <= 0.065, "p50 {}", h.p50());
+        assert!(h.p95() >= 0.090 && h.p95() <= 0.115, "p95 {}", h.p95());
+        assert!(h.p99() >= 0.095 && h.p99() <= 0.101, "p99 {}", h.p99());
+        assert!((h.mean() - 0.0505).abs() < 1e-9);
+        assert_eq!(h.min(), 1e-3);
+        assert_eq!(h.max(), 0.1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_clamped() {
+        let mut h = LatencyHistogram::new();
+        h.record_seconds(2e-3);
+        h.record_seconds(2e-3);
+        // A single-valued distribution reports that value at every
+        // quantile (clamping beats bucket upper bounds).
+        assert_eq!(h.p50(), 2e-3);
+        assert_eq!(h.p99(), 2e-3);
+        let mut prev = 0.0;
+        h.record_seconds(9e-3);
+        h.record_seconds(40e-3);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) regressed");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn histogram_handles_empty_and_degenerate_samples() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(format!("{h}"), "p50 -  p95 -  p99 -  (n=0)");
+        h.record_seconds(f64::NAN);
+        h.record_seconds(-1.0);
+        h.record_seconds(0.0);
+        assert_eq!(h.count(), 3, "degenerate samples still count");
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for (i, h) in [(1u32, &mut a), (2, &mut b)] {
+            for k in 0..50u32 {
+                let s = (i * 7 + k) as f64 * 1e-4;
+                h.record_seconds(s);
+                all.record_seconds(s);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for q in [0.1, 0.5, 0.95, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        // Sums differ only by float association order.
+        assert!((a.total_seconds() - all.total_seconds()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_display_scales_units() {
+        let mut h = LatencyHistogram::new();
+        h.record_seconds(5e-6);
+        assert!(format!("{h}").contains("µs"), "{h}");
+        let mut h = LatencyHistogram::new();
+        h.record_seconds(5e-3);
+        assert!(format!("{h}").contains("ms"), "{h}");
+        let mut h = LatencyHistogram::new();
+        h.record_seconds(5.0);
+        assert!(format!("{h}").contains('s'), "{h}");
+    }
+
+    #[test]
+    fn reject_policy_refuses_when_full() {
+        let q = AdmissionQueue::new(2, AdmissionPolicy::Reject);
+        assert!(q.push(1).is_admitted());
+        assert!(q.push(2).is_admitted());
+        match q.push(3) {
+            Admission::Rejected(3) => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+        let s = q.stats();
+        assert_eq!((s.admitted, s.rejected, s.shed), (2, 1, 0));
+        assert_eq!(s.peak_depth, 2);
+        // A freed slot readmits.
+        assert_eq!(q.pop_wait(), Some(1));
+        assert!(q.push(4).is_admitted());
+        assert_eq!(q.drain_ready(usize::MAX), vec![2, 4]);
+    }
+
+    #[test]
+    fn shed_oldest_evicts_in_age_order_and_keeps_fifo() {
+        let q = AdmissionQueue::new(2, AdmissionPolicy::ShedOldest);
+        assert!(q.push(1).is_admitted());
+        assert!(q.push(2).is_admitted());
+        match q.push(3) {
+            Admission::Admitted { shed } => assert_eq!(shed, vec![1]),
+            other => panic!("expected admission with shed, got {other:?}"),
+        }
+        assert_eq!(q.drain_ready(usize::MAX), vec![2, 3]);
+        assert_eq!(q.stats().shed, 1);
+        assert_eq!(q.stats().admitted, 3);
+    }
+
+    #[test]
+    fn block_policy_waits_for_a_free_slot() {
+        let q = Arc::new(AdmissionQueue::new(1, AdmissionPolicy::Block));
+        assert!(q.push(1).is_admitted());
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(2).is_admitted())
+        };
+        // Wait until the producer has parked in its blocked push.
+        while q.stats().block_waits == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(q.len(), 1, "blocked push must not enqueue early");
+        assert_eq!(q.pop_wait(), Some(1));
+        assert!(producer.join().expect("producer panicked"));
+        assert_eq!(q.pop_wait(), Some(2));
+        assert_eq!(q.stats().block_waits, 1);
+    }
+
+    #[test]
+    fn close_drains_queued_work_then_stops() {
+        let q = AdmissionQueue::new(4, AdmissionPolicy::Block);
+        assert!(q.push(1).is_admitted());
+        assert!(q.push(2).is_admitted());
+        q.close();
+        match q.push(3) {
+            Admission::Closed(3) => {}
+            other => panic!("expected closed, got {other:?}"),
+        }
+        // Queued commands still drain, then None.
+        assert_eq!(q.pop_wait(), Some(1));
+        assert_eq!(q.pop_wait(), Some(2));
+        assert_eq!(q.pop_wait(), None);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn close_unblocks_a_waiting_producer() {
+        let q = Arc::new(AdmissionQueue::new(1, AdmissionPolicy::Block));
+        assert!(q.push(1).is_admitted());
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || matches!(q.push(2), Admission::Closed(2)))
+        };
+        while q.stats().block_waits == 0 {
+            std::thread::yield_now();
+        }
+        q.close();
+        assert!(producer.join().expect("producer panicked"));
+    }
+
+    #[test]
+    fn concurrent_producers_admit_everything_under_block() {
+        let q = Arc::new(AdmissionQueue::new(3, AdmissionPolicy::Block));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        assert!(q.push(p * 100 + i).is_admitted());
+                    }
+                })
+            })
+            .collect();
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            got.extend(q.pop_wait());
+        }
+        for p in producers {
+            p.join().expect("producer panicked");
+        }
+        got.sort_unstable();
+        let expected: Vec<i32> = (0..4)
+            .flat_map(|p| (0..25).map(move |i| p * 100 + i))
+            .collect();
+        assert_eq!(got, expected);
+        assert_eq!(q.stats().admitted, 100);
+    }
+}

@@ -80,16 +80,8 @@ fn main() {
         );
     }
 
-    let stats = session.stats();
     println!();
-    println!(
-        "session stats: {} digest (computed once at load), {} full aggregate \
-         build, {} incremental refreshes covering {} dirty nodes",
-        stats.digests_computed,
-        stats.aggregates_built,
-        stats.aggregates_refreshed,
-        stats.aggregate_nodes_refreshed,
-    );
+    println!("{}", session.stats());
     println!("reading: as insertions pile weight onto hub edges, the weight");
     println!("tail grows heavier and the cost model shifts steps from eRJS");
     println!("toward eRVS — runtime adaptation over a live update stream.");

@@ -1,11 +1,13 @@
-//! Parallel drain: serving a request stream across host worker threads.
+//! Parallel service: the same request stream, served live and offline.
 //!
-//! A session configured with `workers(n)` fans its pending queue over `n`
-//! threads, grouped by `(graph id, epoch, device)`, and merges the
-//! reports back in submission order — the output is bit-identical to the
-//! sequential path at every worker count. This example serves the same
-//! traffic through a 1-worker and a multi-worker session, verifies the
-//! transcripts match, and prints the executor counters.
+//! A [`WalkServer`] keeps a session alive on its own thread: requests and
+//! update batches are admitted concurrently through a bounded queue and
+//! drained against epoch-pinned snapshots, multi-worker under the hood.
+//! The serving guarantee is that this changes *nothing* about the walks —
+//! a served request is bit-identical to the same request drained offline
+//! through a plain 1-worker [`Session`] at the same epoch. This example
+//! serves a mixed two-graph stream with a mid-stream update through both
+//! paths, verifies the transcripts match, and prints the session stats.
 //!
 //! ```text
 //! cargo run --release --example parallel_service
@@ -13,71 +15,112 @@
 
 use flexiwalker::prelude::*;
 
-/// Submits the same mixed stream — two graphs, a mid-stream update — and
-/// returns every drained path set in ticket order.
-fn serve(workers: usize) -> (Vec<Option<Vec<Vec<NodeId>>>>, SessionStats) {
-    let workload = Node2Vec::paper(true);
-    let mut session = FlexiWalker::builder()
+fn graphs() -> (Csr, Csr) {
+    (
+        WeightModel::UniformReal.apply(gen::rmat(10, 16_384, gen::RmatParams::SOCIAL, 7), 7),
+        WeightModel::UniformReal.apply(gen::rmat(10, 16_384, gen::RmatParams::WEB, 8), 8),
+    )
+}
+
+/// Eight requests alternating between two graphs, with a weight update
+/// landing on the social graph mid-stream: requests admitted before it
+/// execute at epoch 0, later social-graph requests at epoch 1.
+fn request(social: &GraphHandle, web: &GraphHandle, batch: u32) -> WalkRequest {
+    let graph = if batch % 2 == 0 { social } else { web };
+    let queries: Vec<NodeId> = (batch * 64..(batch + 1) * 64).collect();
+    WalkRequest::new(graph, "node2vec", queries)
+        .steps(20)
+        .record_paths(true)
+}
+
+const UPDATE: GraphUpdate = GraphUpdate::SetWeight {
+    edge: 0,
+    weight: 9.0,
+};
+
+/// Serves the stream through a live multi-worker `WalkServer`.
+fn served(workers: usize) -> (Vec<Option<Vec<Vec<NodeId>>>>, ServerStats) {
+    let server = WalkServer::builder()
         .device(DeviceSpec::a6000())
         .workers(workers)
-        .build();
-
-    let social = session.load_graph(
-        WeightModel::UniformReal.apply(gen::rmat(10, 16_384, gen::RmatParams::SOCIAL, 7), 7),
-    );
-    let web = session.load_graph(
-        WeightModel::UniformReal.apply(gen::rmat(10, 16_384, gen::RmatParams::WEB, 8), 8),
-    );
-
-    // Eight requests alternating between the two graphs.
-    for batch in 0..8u32 {
-        let graph = if batch % 2 == 0 { &social } else { &web };
-        let queries: Vec<NodeId> = (batch * 64..(batch + 1) * 64).collect();
-        session.submit(
-            WalkRequest::new(graph, &workload, queries)
-                .steps(20)
-                .record_paths(true),
+        .serve();
+    let (social, web) = graphs();
+    let (social, web) = (GraphHandle::new(social), GraphHandle::new(web));
+    let mut tickets = Vec::new();
+    for batch in 0..4 {
+        tickets.push(
+            server
+                .submit(request(&social, &web, batch))
+                .expect("admitted"),
         );
     }
-    // A weight update lands on the social graph before the drain: its
-    // requests execute at epoch 1, the web graph's at epoch 0 — two batch
-    // groups in one drain, no cross-talk.
-    session
-        .apply_updates(
-            &social,
-            &[GraphUpdate::SetWeight {
-                edge: 0,
-                weight: 9.0,
-            }],
-        )
+    server
+        .apply_updates(&social, vec![UPDATE])
+        .expect("admitted")
+        .wait()
         .expect("update applies");
-
-    let paths = session
-        .drain()
+    for batch in 4..8 {
+        tickets.push(
+            server
+                .submit(request(&social, &web, batch))
+                .expect("admitted"),
+        );
+    }
+    let paths = tickets
         .into_iter()
-        .map(|(_, r)| r.expect("drain succeeds").paths)
+        .map(|t| t.wait().expect("served").paths)
         .collect();
-    (paths, session.stats())
+    (paths, server.shutdown())
+}
+
+/// Replays the stream offline through a sequential batch session,
+/// draining at the update boundary.
+fn offline() -> Vec<Option<Vec<Vec<NodeId>>>> {
+    let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
+    let (social, web) = graphs();
+    let (social, web) = (session.load_graph(social), session.load_graph(web));
+    let mut paths = Vec::new();
+    let drain = |session: &mut Session, paths: &mut Vec<_>| {
+        paths.extend(
+            session
+                .drain()
+                .into_iter()
+                .map(|(_, r)| r.expect("drain succeeds").paths),
+        );
+    };
+    for batch in 0..4 {
+        session.submit(request(&social, &web, batch));
+    }
+    drain(&mut session, &mut paths);
+    session
+        .apply_updates(&social, &[UPDATE])
+        .expect("update applies");
+    for batch in 4..8 {
+        session.submit(request(&social, &web, batch));
+    }
+    drain(&mut session, &mut paths);
+    paths
 }
 
 fn main() {
     let host = std::thread::available_parallelism().map_or(1, |t| t.get());
     let workers = host.max(2);
 
-    let (sequential, _) = serve(1);
-    let (parallel, stats) = serve(workers);
+    let (live, stats) = served(workers);
+    let reference = offline();
 
     assert_eq!(
-        sequential, parallel,
-        "drain output must be bit-identical at any worker count"
+        live, reference,
+        "served walks must be bit-identical to offline drains"
     );
     println!("served 8 requests over 2 graphs (host parallelism: {host})");
-    println!("workers({workers}) transcript == workers(1) transcript: true");
+    println!("WalkServer({workers} workers) transcript == offline workers(1) transcript: true");
     println!(
-        "parallel drains: {}, batch groups: {} (2 graphs x 1 epoch each)",
-        stats.parallel_drains, stats.drain_groups
+        "serve latency: p50 {:.2}ms  p99 {:.2}ms over {} cycles, {} update batch applied",
+        stats.serve_latency.p50() * 1e3,
+        stats.serve_latency.p99() * 1e3,
+        stats.serve_cycles,
+        stats.updates_applied,
     );
-    for (slot, n) in stats.worker_requests.iter().enumerate() {
-        println!("  worker {slot}: {n} request(s)");
-    }
+    println!("{}", stats.session);
 }

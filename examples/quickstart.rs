@@ -101,13 +101,10 @@ fn main() {
     let after = session
         .run(WalkRequest::new(&graph, &workload, &queries).steps(80))
         .expect("post-update run failed");
-    let stats = session.stats();
     println!(
-        "epoch {}: simulated {:.3} ms (digests computed in session: {}, \
-         nodes incrementally refreshed: {})",
+        "epoch {}: simulated {:.3} ms",
         after.graph_version.epoch,
         after.sim_seconds * 1e3,
-        stats.digests_computed,
-        stats.aggregate_nodes_refreshed
     );
+    println!("{}", session.stats());
 }

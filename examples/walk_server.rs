@@ -1,0 +1,123 @@
+//! Always-on serving: concurrent clients, live updates, latency SLOs.
+//!
+//! Spins up a [`WalkServer`] and drives it the way a deployment would:
+//! several closed-loop client threads submit walk requests while a writer
+//! thread streams graph-update batches into the same admission queue.
+//! Walks admitted before an update serve at the old epoch, walks admitted
+//! after it at the new one — ingest never stalls the readers, and the
+//! per-request latency distribution (p50/p95/p99) comes back in
+//! [`ServerStats`]. A second, capacity-1 server demonstrates the
+//! `Reject` overload policy failing fast instead of queueing.
+//!
+//! ```text
+//! cargo run --release --example walk_server
+//! ```
+
+use flexiwalker::prelude::*;
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 24;
+const UPDATES: usize = 6;
+
+fn main() {
+    let host = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let csr =
+        WeightModel::UniformReal.apply(gen::rmat(10, 16_384, gen::RmatParams::SOCIAL, 42), 42);
+    let num_nodes = csr.num_nodes();
+    let graph = GraphHandle::new(csr);
+
+    // Default admission: a 256-deep queue with the `Block` policy —
+    // producers feel backpressure, nothing is dropped.
+    let server = WalkServer::builder()
+        .device(DeviceSpec::a6000())
+        .workers(host.max(2))
+        .serve();
+
+    std::thread::scope(|scope| {
+        // Closed-loop readers: submit, wait, repeat — alternating walkers.
+        for client in 0..CLIENTS {
+            let server = &server;
+            let graph = &graph;
+            scope.spawn(move || {
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let base = (client * REQUESTS_PER_CLIENT + r) * 64 % num_nodes;
+                    let queries: Vec<NodeId> = (0..64)
+                        .map(|i| ((base + i) % num_nodes) as NodeId)
+                        .collect();
+                    let walker = if r % 2 == 0 { "node2vec" } else { "uniform" };
+                    server
+                        .submit(WalkRequest::new(graph, walker, queries).steps(20))
+                        .expect("admitted")
+                        .wait()
+                        .expect("served");
+                }
+            });
+        }
+        // One writer streaming epoch updates through the same queue.
+        let server = &server;
+        let graph = &graph;
+        scope.spawn(move || {
+            for u in 0..UPDATES {
+                server
+                    .apply_updates(
+                        graph,
+                        vec![GraphUpdate::AddEdge {
+                            src: ((u * 977) % num_nodes) as NodeId,
+                            dst: ((u * 983) % num_nodes) as NodeId,
+                            weight: 2.0,
+                            label: 0,
+                        }],
+                    )
+                    .expect("admitted")
+                    .wait()
+                    .expect("applied");
+            }
+        });
+    });
+    assert_eq!(
+        graph.epoch(),
+        UPDATES as u64,
+        "every batch ingested an epoch"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.served, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
+    assert_eq!(stats.admission.rejected, 0, "Block never drops");
+    println!(
+        "served {} walk requests from {CLIENTS} clients while ingesting {} epochs",
+        stats.served, stats.updates_applied
+    );
+    println!("{stats}");
+
+    // Overload behaviour is a policy choice: a tiny Reject server fails
+    // the excess fast instead of queueing it.
+    let strict = WalkServer::builder()
+        .device(DeviceSpec::a6000())
+        .capacity(1)
+        .admission(AdmissionPolicy::Reject)
+        .serve();
+    let queries: Vec<NodeId> = (0..num_nodes.min(4096) as NodeId).collect();
+    let mut accepted = 0;
+    let mut rejected = 0;
+    let tickets: Vec<WalkTicket> = (0..64)
+        .filter_map(|_| {
+            match strict.submit(WalkRequest::new(&graph, "node2vec", queries.clone())) {
+                Ok(t) => {
+                    accepted += 1;
+                    Some(t)
+                }
+                Err(ServeError::Rejected) => {
+                    rejected += 1;
+                    None
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        })
+        .collect();
+    for t in tickets {
+        t.wait().expect("admitted requests still serve");
+    }
+    drop(strict);
+    assert!(accepted >= 1);
+    println!("strict capacity-1 Reject server: {accepted} accepted, {rejected} rejected fast");
+}

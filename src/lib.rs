@@ -94,6 +94,7 @@
 //! ```
 
 pub mod executor;
+pub mod server;
 pub mod session;
 
 pub use flexi_baselines as baselines;
@@ -106,12 +107,16 @@ pub use flexi_sampling as sampling;
 
 /// Commonly used items for a one-line import.
 pub mod prelude {
+    pub use crate::server::{
+        ServeError, ServerStats, UpdateTicket, WalkServer, WalkServerBuilder, WalkTicket,
+    };
     pub use crate::session::{FlexiWalker, Session, SessionBuilder, SessionStats, Ticket};
     pub use flexi_core::{
-        CompiledWalker, DynamicWalk, EngineError, FlexiWalkerEngine, IntoQueries, IntoWalker,
-        LinkSpec, MetaPath, Node2Vec, RunReport, SamplerTally, SecondOrderPr, SelectionStrategy,
-        ShardStats, Topology, UniformWalk, WalkConfig, WalkEngine, WalkRequest, WalkState,
-        WalkerDef, WalkerHandle, WalkerRegistry, WalkerSource,
+        AdmissionPolicy, AdmissionStats, CompiledWalker, DynamicWalk, EngineError,
+        FlexiWalkerEngine, IntoQueries, IntoWalker, LatencyHistogram, LinkSpec, MetaPath, Node2Vec,
+        RunReport, SamplerTally, SecondOrderPr, SelectionStrategy, ShardStats, Topology,
+        UniformWalk, WalkConfig, WalkEngine, WalkRequest, WalkState, WalkerDef, WalkerHandle,
+        WalkerRegistry, WalkerSource,
     };
     pub use flexi_gpu_sim::DeviceSpec;
     pub use flexi_graph::{

@@ -1,0 +1,634 @@
+//! The always-on serving layer: concurrent ingest and drain with epoch
+//! snapshotting, admission control and latency accounting.
+//!
+//! [`Session`] is a batch API — submissions and drains alternate on one
+//! thread, so ingestion and serving cannot overlap. [`WalkServer`] wraps
+//! a session in a long-lived **service loop** on its own thread and turns
+//! the front half into a concurrent, bounded, ticket-based interface:
+//!
+//! - **Concurrent ingest.** Any number of client threads submit
+//!   [`WalkRequest`]s and [`GraphUpdate`] batches through a bounded
+//!   [`AdmissionQueue`]; admission never waits for a drain in progress.
+//!   While the loop drains epoch-`N` requests against their pinned
+//!   [`GraphSnapshot`](flexi_graph::GraphSnapshot)s, the commands that
+//!   will form epoch `N+1` queue up behind it — the copy-on-write
+//!   [`GraphHandle`] makes the overlap safe by construction.
+//! - **Admission control.** The queue is bounded
+//!   ([`WalkServerBuilder::capacity`]) with a pluggable overload
+//!   [`AdmissionPolicy`]: reject new work, block the submitter
+//!   (backpressure, the default), or shed the oldest queued commands.
+//!   Rejected and shed requests fail fast with a typed [`ServeError`] —
+//!   overload degrades explicitly instead of growing an unbounded queue
+//!   in front of the [`QueryQueue`](flexi_core::QueryQueue).
+//! - **Ticket-based responses.** [`WalkServer::submit`] returns a
+//!   [`WalkTicket`] immediately; [`WalkTicket::wait`] parks until the
+//!   serving loop publishes the [`RunReport`]. Updates mirror this with
+//!   [`UpdateTicket`].
+//! - **Latency SLOs.** Every served request records its
+//!   admission-to-response latency into a [`LatencyHistogram`];
+//!   [`ServerStats`] surfaces p50/p95/p99 alongside the admission
+//!   counters and the inner [`SessionStats`] — the numbers the
+//!   `serve_latency` bench gates in CI.
+//!
+//! ## Determinism: served ≡ drained offline
+//!
+//! The loop processes commands in **admission order** and treats every
+//! update batch as an epoch boundary: walk requests admitted before it
+//! drain first (at the pre-update epoch), then the batch applies through
+//! [`Session::apply_updates`] (incremental cache migration included),
+//! then serving resumes at the new epoch. Because the session assigns
+//! each query its global stream index at submission and per-query Philox
+//! streams are keyed off that index, a served request returns paths
+//! **bit-identical** to an offline session replaying the same command
+//! sequence with explicit drains at the update boundaries — at every
+//! worker count and under every [`Topology`]
+//! (`tests/integration_serve.rs` pins the full sweep).
+//!
+//! ```
+//! use flexiwalker::prelude::*;
+//!
+//! let csr = gen::rmat(8, 2048, gen::RmatParams::SOCIAL, 7);
+//! let csr = WeightModel::UniformReal.apply(csr, 7);
+//! let graph = GraphHandle::new(csr);
+//!
+//! let server = WalkServer::builder().workers(2).capacity(64).serve();
+//! // Ingest: a walk, a live update, another walk — from this (or any)
+//! // thread, without waiting for drains.
+//! let queries: Vec<NodeId> = (0..32).collect();
+//! let before = server
+//!     .submit(WalkRequest::new(&graph, "node2vec", &queries).steps(8))
+//!     .unwrap();
+//! let update = server
+//!     .apply_updates(&graph, vec![GraphUpdate::AddEdge {
+//!         src: 0, dst: 5, weight: 2.0, label: 0,
+//!     }])
+//!     .unwrap();
+//! let after = server
+//!     .submit(WalkRequest::new(&graph, "node2vec", &queries).steps(8))
+//!     .unwrap();
+//! // Tickets resolve in admission order: pre-update walks at epoch 0,
+//! // post-update walks at epoch 1.
+//! assert_eq!(before.wait().unwrap().graph_version.epoch, 0);
+//! assert_eq!(update.wait().unwrap().version.epoch, 1);
+//! assert_eq!(after.wait().unwrap().graph_version.epoch, 1);
+//! let stats = server.shutdown();
+//! assert_eq!(stats.served, 2);
+//! assert_eq!(stats.serve_latency.count(), 2);
+//! ```
+
+use crate::session::{Session, SessionBuilder, SessionStats, Ticket};
+use flexi_core::{
+    Admission, AdmissionPolicy, AdmissionQueue, AdmissionStats, EngineError, LatencyHistogram,
+    RunReport, Topology, WalkRequest, WalkerDef,
+};
+use flexi_gpu_sim::DeviceSpec;
+use flexi_graph::{GraphError, GraphHandle, GraphUpdate, UpdateOutcome};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Why a served command failed before (or instead of) producing a result.
+#[derive(Debug, PartialEq)]
+pub enum ServeError {
+    /// The admission queue was full under [`AdmissionPolicy::Reject`].
+    Rejected,
+    /// The command was admitted but later evicted by a newer one under
+    /// [`AdmissionPolicy::ShedOldest`].
+    Shed,
+    /// The server shut down before the command could be served.
+    Closed,
+    /// The walk ran and the engine reported an error (OOM, OOT,
+    /// unknown walker, ...).
+    Engine(EngineError),
+    /// The update batch failed validation; the graph is unchanged.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected => write!(f, "admission queue full (policy: reject)"),
+            ServeError::Shed => write!(f, "shed from the admission queue (policy: shed-oldest)"),
+            ServeError::Closed => write!(f, "server closed before the command was served"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::Graph(e) => write!(f, "update rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One-shot response slot shared between a ticket and the serving loop.
+#[derive(Debug)]
+struct Slot<T> {
+    state: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fulfill(&self, value: T) {
+        let mut state = self.state.lock().expect("response slot poisoned");
+        debug_assert!(state.is_none(), "response slot fulfilled twice");
+        *state = Some(value);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> T {
+        let mut state = self.state.lock().expect("response slot poisoned");
+        loop {
+            if let Some(value) = state.take() {
+                return value;
+            }
+            state = self.ready.wait(state).expect("response slot poisoned");
+        }
+    }
+
+    fn is_ready(&self) -> bool {
+        self.state.lock().expect("response slot poisoned").is_some()
+    }
+}
+
+/// Handle to one in-flight walk request.
+///
+/// Returned immediately by [`WalkServer::submit`]; resolves once the
+/// serving loop drains the request. Dropping the ticket abandons the
+/// response without cancelling the walk.
+#[derive(Debug)]
+#[must_use = "a walk ticket resolves to the request's report"]
+pub struct WalkTicket {
+    slot: Arc<Slot<Result<RunReport, ServeError>>>,
+}
+
+impl WalkTicket {
+    /// Blocks until the request is served and returns its report.
+    pub fn wait(self) -> Result<RunReport, ServeError> {
+        self.slot.wait()
+    }
+
+    /// Whether the response is already available ([`WalkTicket::wait`]
+    /// would return without blocking).
+    pub fn is_ready(&self) -> bool {
+        self.slot.is_ready()
+    }
+}
+
+/// Handle to one in-flight update batch, mirroring [`WalkTicket`].
+#[derive(Debug)]
+#[must_use = "an update ticket resolves to the batch's outcome"]
+pub struct UpdateTicket {
+    slot: Arc<Slot<Result<UpdateOutcome, ServeError>>>,
+}
+
+impl UpdateTicket {
+    /// Blocks until the batch is applied and returns its outcome.
+    pub fn wait(self) -> Result<UpdateOutcome, ServeError> {
+        self.slot.wait()
+    }
+
+    /// Whether the outcome is already available.
+    pub fn is_ready(&self) -> bool {
+        self.slot.is_ready()
+    }
+}
+
+/// One admitted command, carrying its response slot and admission time.
+#[derive(Debug)]
+enum Command {
+    /// Serve a walk request.
+    Walk {
+        req: WalkRequest,
+        admitted: Instant,
+        slot: Arc<Slot<Result<RunReport, ServeError>>>,
+    },
+    /// Apply an update batch — an epoch boundary in the command stream.
+    Update {
+        graph: GraphHandle,
+        batch: Vec<GraphUpdate>,
+        admitted: Instant,
+        slot: Arc<Slot<Result<UpdateOutcome, ServeError>>>,
+    },
+}
+
+impl Command {
+    /// Resolves the command's ticket with a failure (shed / closed).
+    fn fail(self, err: ServeError) {
+        match self {
+            Command::Walk { slot, .. } => slot.fulfill(Err(err)),
+            Command::Update { slot, .. } => slot.fulfill(Err(err)),
+        }
+    }
+}
+
+/// Counters the serving loop publishes after every cycle.
+#[derive(Debug, Default)]
+struct LoopStats {
+    session: SessionStats,
+    serve_latency: LatencyHistogram,
+    update_latency: LatencyHistogram,
+    serve_cycles: u64,
+    served: u64,
+    updates_applied: u64,
+}
+
+/// A snapshot of everything observable about a [`WalkServer`].
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// The inner session's cache/executor counters (including its
+    /// per-drain latency histogram).
+    pub session: SessionStats,
+    /// Admission-to-response latency of served walk requests — the SLO
+    /// distribution (p50/p95/p99) the serve bench gates on.
+    pub serve_latency: LatencyHistogram,
+    /// Admission-to-applied latency of update batches.
+    pub update_latency: LatencyHistogram,
+    /// Admission-queue counters (admitted / rejected / shed /
+    /// block-waits / peak depth).
+    pub admission: AdmissionStats,
+    /// Serving-loop cycles that processed at least one command.
+    pub serve_cycles: u64,
+    /// Walk requests answered (successfully or with a typed engine
+    /// error). Excludes rejected and shed requests.
+    pub served: u64,
+    /// Update batches applied (epochs ingested while serving).
+    pub updates_applied: u64,
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "serve latency: {}  |  update latency: {}",
+            self.serve_latency, self.update_latency
+        )?;
+        writeln!(
+            f,
+            "served {} requests in {} cycles, {} update batches applied",
+            self.served, self.serve_cycles, self.updates_applied
+        )?;
+        write!(
+            f,
+            "admission: {} admitted, {} rejected, {} shed, {} block-waits (peak depth {})",
+            self.admission.admitted,
+            self.admission.rejected,
+            self.admission.shed,
+            self.admission.block_waits,
+            self.admission.peak_depth
+        )
+    }
+}
+
+/// State shared between the server front and its serving loop.
+#[derive(Debug)]
+struct Shared {
+    queue: AdmissionQueue<Command>,
+    paused: Mutex<bool>,
+    resume: Condvar,
+    stats: Mutex<LoopStats>,
+}
+
+impl Shared {
+    /// Parks the serving loop while the server is paused.
+    fn pause_gate(&self) {
+        let mut paused = self.paused.lock().expect("pause flag poisoned");
+        while *paused {
+            paused = self.resume.wait(paused).expect("pause flag poisoned");
+        }
+    }
+}
+
+/// Builder for [`WalkServer`]: the inner session's configuration plus the
+/// serving-layer knobs (queue bound, overload policy, batch window).
+#[derive(Clone, Debug)]
+pub struct WalkServerBuilder {
+    session: SessionBuilder,
+    capacity: usize,
+    policy: AdmissionPolicy,
+    batch_max: usize,
+}
+
+impl WalkServerBuilder {
+    /// Defaults: a default [`SessionBuilder`], capacity 256,
+    /// [`AdmissionPolicy::Block`] (pure backpressure — nothing rejected,
+    /// nothing shed), at most 32 commands per serving cycle.
+    pub fn new() -> Self {
+        Self {
+            session: SessionBuilder::new(),
+            capacity: 256,
+            policy: AdmissionPolicy::default(),
+            batch_max: 32,
+        }
+    }
+
+    /// Replaces the inner session configuration wholesale.
+    pub fn session(mut self, session: SessionBuilder) -> Self {
+        self.session = session;
+        self
+    }
+
+    /// Sets the simulated device (forwarded to the session builder).
+    pub fn device(mut self, spec: DeviceSpec) -> Self {
+        self.session = self.session.device(spec);
+        self
+    }
+
+    /// Sets the drain worker count (forwarded to the session builder).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.session = self.session.workers(workers);
+        self
+    }
+
+    /// Sets the execution topology (forwarded to the session builder).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.session = self.session.topology(topology);
+        self
+    }
+
+    /// Registers a walker definition (forwarded to the session builder).
+    pub fn register_walker(mut self, def: WalkerDef) -> Self {
+        self.session = self.session.register_walker(def);
+        self
+    }
+
+    /// Bounds the admission queue at `capacity` commands (clamped ≥ 1).
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the overload policy applied when the admission queue is full.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Caps how many queued commands one serving cycle pulls (clamped
+    /// ≥ 1). Smaller windows bound per-cycle latency; larger ones batch
+    /// better.
+    pub fn batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max.max(1);
+        self
+    }
+
+    /// Builds the session, spawns the serving loop and starts accepting
+    /// commands.
+    pub fn serve(self) -> WalkServer {
+        let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(self.capacity, self.policy),
+            paused: Mutex::new(false),
+            resume: Condvar::new(),
+            stats: Mutex::new(LoopStats::default()),
+        });
+        let loop_shared = Arc::clone(&shared);
+        let session_builder = self.session;
+        let batch_max = self.batch_max;
+        let worker = std::thread::Builder::new()
+            .name("flexi-walk-server".into())
+            .spawn(move || serve_loop(session_builder.build(), &loop_shared, batch_max))
+            .expect("spawning the serving loop");
+        WalkServer {
+            shared,
+            worker: Some(worker),
+        }
+    }
+}
+
+impl Default for WalkServerBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An always-on walk service: a [`Session`] behind a bounded admission
+/// queue, served by a dedicated loop thread.
+///
+/// See the [module docs](self) for the serving lifecycle, the overload
+/// policies and the served-≡-offline determinism guarantee. Cheap to
+/// share: submit from any thread holding a `&WalkServer`.
+#[derive(Debug)]
+pub struct WalkServer {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl WalkServer {
+    /// Starts configuring a server.
+    pub fn builder() -> WalkServerBuilder {
+        WalkServerBuilder::new()
+    }
+
+    /// Submits a walk request for serving and returns its ticket.
+    ///
+    /// Under [`AdmissionPolicy::Block`] this waits for queue space (the
+    /// backpressure path); under the other policies it returns
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] when the queue is full under
+    /// [`AdmissionPolicy::Reject`]; [`ServeError::Closed`] after
+    /// [`WalkServer::shutdown`] began.
+    pub fn submit(&self, req: WalkRequest) -> Result<WalkTicket, ServeError> {
+        let slot = Slot::new();
+        let cmd = Command::Walk {
+            req,
+            admitted: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        self.admit(cmd)?;
+        Ok(WalkTicket { slot })
+    }
+
+    /// Submits an update batch for application and returns its ticket.
+    ///
+    /// The batch is an **epoch boundary**: walks admitted before it are
+    /// served at the pre-update epoch, walks admitted after it at the
+    /// post-update epoch. Errors as [`WalkServer::submit`].
+    pub fn apply_updates(
+        &self,
+        graph: &GraphHandle,
+        batch: Vec<GraphUpdate>,
+    ) -> Result<UpdateTicket, ServeError> {
+        let slot = Slot::new();
+        let cmd = Command::Update {
+            graph: graph.clone(),
+            batch,
+            admitted: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        self.admit(cmd)?;
+        Ok(UpdateTicket { slot })
+    }
+
+    /// Pushes one command through the admission queue, failing any shed
+    /// victims.
+    fn admit(&self, cmd: Command) -> Result<(), ServeError> {
+        match self.shared.queue.push(cmd) {
+            Admission::Admitted { shed } => {
+                for victim in shed {
+                    victim.fail(ServeError::Shed);
+                }
+                Ok(())
+            }
+            Admission::Rejected(_) => Err(ServeError::Rejected),
+            Admission::Closed(_) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Pauses serving: the loop finishes nothing new until
+    /// [`WalkServer::resume`]. Admission stays open, so queued commands
+    /// accumulate against the capacity bound — this is the maintenance
+    /// window, and what makes the overload policies deterministic to
+    /// test.
+    pub fn pause(&self) {
+        *self.shared.paused.lock().expect("pause flag poisoned") = true;
+    }
+
+    /// Resumes serving after [`WalkServer::pause`].
+    pub fn resume(&self) {
+        *self.shared.paused.lock().expect("pause flag poisoned") = false;
+        self.shared.resume.notify_all();
+    }
+
+    /// Commands currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.shared.queue.capacity()
+    }
+
+    /// The overload policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.shared.queue.policy()
+    }
+
+    /// A snapshot of the server's counters: serving-loop stats (published
+    /// after every cycle) plus the live admission counters.
+    pub fn stats(&self) -> ServerStats {
+        let loop_stats = self.shared.stats.lock().expect("server stats poisoned");
+        ServerStats {
+            session: loop_stats.session.clone(),
+            serve_latency: loop_stats.serve_latency.clone(),
+            update_latency: loop_stats.update_latency.clone(),
+            admission: self.shared.queue.stats(),
+            serve_cycles: loop_stats.serve_cycles,
+            served: loop_stats.served,
+            updates_applied: loop_stats.updates_applied,
+        }
+    }
+
+    /// Stops admission, serves every already-admitted command, joins the
+    /// loop and returns the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        self.shared.queue.close();
+        // A paused loop must wake to observe the close.
+        self.resume();
+        if let Some(worker) = self.worker.take() {
+            worker.join().expect("serving loop panicked");
+        }
+    }
+}
+
+impl Drop for WalkServer {
+    fn drop(&mut self) {
+        if self.worker.is_some() {
+            self.close_and_join();
+        }
+    }
+}
+
+/// The serving loop: pop → (pause gate) → batch → process, until the
+/// queue is closed **and** drained, so shutdown never strands admitted
+/// work.
+fn serve_loop(mut session: Session, shared: &Shared, batch_max: usize) {
+    while let Some(first) = shared.queue.pop_wait() {
+        // Hold at most the one popped command while paused; everything
+        // else keeps queueing against the admission bound.
+        shared.pause_gate();
+        let mut batch = vec![first];
+        batch.extend(shared.queue.drain_ready(batch_max - 1));
+        process(&mut session, shared, batch);
+    }
+}
+
+/// Processes one admission-ordered command batch: walk runs accumulate
+/// into the session and drain at every epoch boundary (update command)
+/// and at the end of the batch.
+fn process(session: &mut Session, shared: &Shared, batch: Vec<Command>) {
+    type PendingWalk = (Ticket, Instant, Arc<Slot<Result<RunReport, ServeError>>>);
+    let mut pending: Vec<PendingWalk> = Vec::new();
+    let mut stats = LoopStats::default();
+
+    let drain_pending =
+        |session: &mut Session, pending: &mut Vec<PendingWalk>, stats: &mut LoopStats| {
+            if pending.is_empty() {
+                return;
+            }
+            let results = session.drain();
+            let done = Instant::now();
+            for (ticket, result) in results {
+                let Some(pos) = pending.iter().position(|(t, _, _)| *t == ticket) else {
+                    continue;
+                };
+                let (_, admitted, slot) = pending.swap_remove(pos);
+                stats.serve_latency.record(done.duration_since(admitted));
+                stats.served += 1;
+                slot.fulfill(result.map_err(ServeError::Engine));
+            }
+            debug_assert!(pending.is_empty(), "drain left tickets unresolved");
+        };
+
+    for cmd in batch {
+        match cmd {
+            Command::Walk {
+                req,
+                admitted,
+                slot,
+            } => {
+                let ticket = session.submit(req);
+                pending.push((ticket, admitted, slot));
+            }
+            Command::Update {
+                graph,
+                batch,
+                admitted,
+                slot,
+            } => {
+                // Epoch boundary: serve everything admitted before the
+                // update at the pre-update epoch, then ingest.
+                drain_pending(session, &mut pending, &mut stats);
+                let outcome = session.apply_updates(&graph, &batch);
+                let done = Instant::now();
+                if outcome.is_ok() {
+                    stats.updates_applied += 1;
+                }
+                stats.update_latency.record(done.duration_since(admitted));
+                slot.fulfill(outcome.map_err(ServeError::Graph));
+            }
+        }
+    }
+    drain_pending(session, &mut pending, &mut stats);
+
+    // Publish: fold this cycle's deltas into the shared snapshot.
+    let mut published = shared.stats.lock().expect("server stats poisoned");
+    published.session = session.stats();
+    published.serve_latency.merge(&stats.serve_latency);
+    published.update_latency.merge(&stats.update_latency);
+    published.serve_cycles += 1;
+    published.served += stats.served;
+    published.updates_applied += stats.updates_applied;
+}

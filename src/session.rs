@@ -374,6 +374,56 @@ pub struct SessionStats {
     /// refresh (one per cached plan per structural batch; weight-only
     /// batches carry plans without counting here).
     pub plan_refreshes: u64,
+    /// Per-request drain latency: every drained request records the host
+    /// wall time of the [`Session::drain`] call that served it (requests
+    /// in one drain complete together, so they share its latency). The
+    /// serving layer's end-to-end admission-to-response distribution
+    /// lives in `ServerStats::serve_latency`; this histogram isolates
+    /// the drain-side component.
+    pub latency: flexi_core::LatencyHistogram,
+}
+
+impl std::fmt::Display for SessionStats {
+    /// A compact human-readable summary — the one formatter every bench
+    /// and example can share instead of hand-picking counters.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "caches: {} digest(s), {} aggregate build(s), {} refresh(es) over {} dirty node(s), \
+             {} profile run(s) ({} carried)",
+            self.digests_computed,
+            self.aggregates_built,
+            self.aggregates_refreshed,
+            self.aggregate_nodes_refreshed,
+            self.profiles_run,
+            self.profiles_carried,
+        )?;
+        writeln!(
+            f,
+            "drains: {} group(s), {} parallel, {} sharded ({} shard launches, {} migrations, \
+             {:.3} link-s), plans: {} built / {} hit / {} refreshed",
+            self.drain_groups,
+            self.parallel_drains,
+            self.sharded_drains,
+            self.shard_launches,
+            self.migrations,
+            self.link_seconds,
+            self.plan_builds,
+            self.plan_hits,
+            self.plan_refreshes,
+        )?;
+        write!(
+            f,
+            "drain latency: {}  |  per-worker requests: ",
+            self.latency
+        )?;
+        if self.worker_requests.is_empty() {
+            write!(f, "-")
+        } else {
+            let reqs: Vec<String> = self.worker_requests.iter().map(u64::to_string).collect();
+            write!(f, "[{}]", reqs.join(", "))
+        }
+    }
 }
 
 /// A long-lived walk service over one engine configuration.
@@ -664,6 +714,7 @@ impl Session {
         if pending.is_empty() {
             return Vec::new();
         }
+        let started = std::time::Instant::now();
         // Phase 1 (sequential): pin snapshots and resolve caches.
         let mut snapshots: HashMap<u64, GraphSnapshot> = HashMap::new();
         let jobs: Vec<PreparedJob> = pending
@@ -673,6 +724,12 @@ impl Session {
         // Phase 2 (parallel): pure engine runs — one launch per topology
         // shard per request — merged in submission order.
         let run = executor::execute(&self.engine, jobs, self.workers, self.topology);
+        // Requests in one drain complete together: each records the
+        // drain's wall time as its drain-side latency.
+        let drain_seconds = started.elapsed().as_secs_f64();
+        for _ in &run.results {
+            self.stats.latency.record_seconds(drain_seconds);
+        }
         self.stats.drain_groups += run.groups as u64;
         if run.per_worker.len() > 1 {
             self.stats.parallel_drains += 1;

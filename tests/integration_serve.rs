@@ -1,0 +1,495 @@
+//! Serving determinism and admission control: a request served by the
+//! always-on [`WalkServer`] is **bit-identical** to the same request
+//! drained offline through a [`Session`] at the same epoch — across
+//! worker counts, topologies and mid-stream update batches — and the
+//! bounded admission queue degrades deterministically under each
+//! overload policy.
+
+use flexiwalker::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Deterministic per-seed script randomness (splitmix64 step).
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn graph(seed: u64) -> Csr {
+    let g = gen::rmat(8, 2048, gen::RmatParams::SOCIAL, seed);
+    WeightModel::UniformReal.apply(g, seed)
+}
+
+/// One scripted command; pure data, so the served and offline runs replay
+/// the exact same stream.
+#[derive(Clone, Debug)]
+enum Step {
+    Walk {
+        graph: usize,
+        walker: &'static str,
+        queries: Vec<NodeId>,
+        steps: usize,
+    },
+    Update {
+        graph: usize,
+        batch: Vec<GraphUpdate>,
+    },
+}
+
+/// Builds a mixed read/write script over two graphs: walk bursts with
+/// update batches interleaved mid-stream (each an epoch boundary).
+fn script(seed: u64) -> Vec<Step> {
+    let mut rng = seed;
+    let nodes = [graph(seed).num_nodes(), graph(seed + 101).num_nodes()];
+    let edges = [graph(seed).num_edges(), graph(seed + 101).num_edges()];
+    let walkers = ["node2vec", "uniform", "sopr"];
+    let mut steps = Vec::new();
+    for burst in 0..4 {
+        for _ in 0..2 + (mix(&mut rng) % 3) {
+            let g = (mix(&mut rng) % 2) as usize;
+            let count = 8 + (mix(&mut rng) % 17) as usize;
+            let start = mix(&mut rng) % nodes[g] as u64;
+            steps.push(Step::Walk {
+                graph: g,
+                walker: walkers[(mix(&mut rng) % 3) as usize],
+                queries: (0..count)
+                    .map(|i| ((start + i as u64) % nodes[g] as u64) as NodeId)
+                    .collect(),
+                steps: 4 + (mix(&mut rng) % 4) as usize,
+            });
+        }
+        if burst < 3 {
+            let g = (mix(&mut rng) % 2) as usize;
+            // Edge indices stay valid at every later epoch: `AddEdge`
+            // only grows the edge list, so `% edges[g]` never dangles.
+            steps.push(Step::Update {
+                graph: g,
+                batch: vec![
+                    GraphUpdate::AddEdge {
+                        src: (mix(&mut rng) % nodes[g] as u64) as NodeId,
+                        dst: (mix(&mut rng) % nodes[g] as u64) as NodeId,
+                        weight: 1.0 + (mix(&mut rng) % 8) as f32,
+                        label: 0,
+                    },
+                    GraphUpdate::SetWeight {
+                        edge: (mix(&mut rng) % edges[g] as u64) as usize,
+                        weight: 0.5 + (mix(&mut rng) % 4) as f32,
+                    },
+                ],
+            });
+        }
+    }
+    steps
+}
+
+/// Everything observable about one served walk, floats as bits so
+/// equality is exact.
+#[derive(Debug, PartialEq)]
+struct WalkRecord {
+    epoch: u64,
+    queries: usize,
+    steps_taken: u64,
+    sim_seconds: u64,
+    paths: Option<Vec<Vec<NodeId>>>,
+}
+
+fn record(report: &RunReport) -> WalkRecord {
+    WalkRecord {
+        epoch: report.graph_version.epoch,
+        queries: report.queries,
+        steps_taken: report.steps_taken,
+        sim_seconds: report.sim_seconds.to_bits(),
+        paths: report.paths.clone(),
+    }
+}
+
+fn request(graphs: &[GraphHandle], step: &Step) -> WalkRequest {
+    let Step::Walk {
+        graph,
+        walker,
+        queries,
+        steps,
+    } = step
+    else {
+        panic!("not a walk step")
+    };
+    WalkRequest::new(&graphs[*graph], *walker, queries.clone())
+        .steps(*steps)
+        .record_paths(true)
+}
+
+/// Serves the script through a `WalkServer` and returns the walk records
+/// in admission order plus the final server stats.
+fn serve_run(
+    seed: u64,
+    workers: usize,
+    topology: Topology,
+    batch_max: usize,
+) -> (Vec<WalkRecord>, ServerStats) {
+    let server = WalkServer::builder()
+        .device(DeviceSpec::tiny())
+        .workers(workers)
+        .topology(topology)
+        .batch_max(batch_max)
+        .serve();
+    let graphs = [
+        GraphHandle::new(graph(seed)),
+        GraphHandle::new(graph(seed + 101)),
+    ];
+    let mut walk_tickets = Vec::new();
+    let mut update_tickets = Vec::new();
+    for step in script(seed) {
+        match &step {
+            Step::Walk { .. } => {
+                walk_tickets.push(server.submit(request(&graphs, &step)).expect("admitted"));
+            }
+            Step::Update { graph, batch } => {
+                update_tickets.push(
+                    server
+                        .apply_updates(&graphs[*graph], batch.clone())
+                        .expect("admitted"),
+                );
+            }
+        }
+    }
+    for t in update_tickets {
+        t.wait().expect("update applies");
+    }
+    let records = walk_tickets
+        .into_iter()
+        .map(|t| record(&t.wait().expect("served")))
+        .collect();
+    (records, server.shutdown())
+}
+
+/// Replays the same script through a plain batch `Session`, draining at
+/// every update boundary — the offline reference the serving guarantee is
+/// stated against.
+fn offline_run(seed: u64, workers: usize, topology: Topology) -> Vec<WalkRecord> {
+    let mut session = FlexiWalker::builder()
+        .device(DeviceSpec::tiny())
+        .workers(workers)
+        .topology(topology)
+        .build();
+    let graphs = [
+        session.load_graph(graph(seed)),
+        session.load_graph(graph(seed + 101)),
+    ];
+    let mut records = Vec::new();
+    let drain = |session: &mut Session, records: &mut Vec<WalkRecord>| {
+        records.extend(
+            session
+                .drain()
+                .into_iter()
+                .map(|(_, r)| record(&r.expect("drain succeeds"))),
+        );
+    };
+    for step in script(seed) {
+        match &step {
+            Step::Walk { .. } => {
+                session.submit(request(&graphs, &step));
+            }
+            Step::Update { graph, batch } => {
+                drain(&mut session, &mut records);
+                session
+                    .apply_updates(&graphs[*graph], batch)
+                    .expect("update applies");
+            }
+        }
+    }
+    drain(&mut session, &mut records);
+    records
+}
+
+/// The acceptance sweep: served ≡ offline for every
+/// `workers × topology` combination, including the mid-stream epoch
+/// boundaries, with a small serving window so the stream spans several
+/// serve cycles.
+#[test]
+fn served_walks_match_offline_drains_across_workers_and_topologies() {
+    let topologies = [
+        Topology::Single,
+        Topology::MultiDevice { devices: 2 },
+        Topology::Partitioned {
+            devices: 2,
+            link: LinkSpec::nvlink(),
+        },
+    ];
+    for seed in [5u64, 23] {
+        for topology in topologies {
+            let reference = offline_run(seed, 1, topology);
+            assert!(
+                reference.iter().any(|r| r.epoch > 0),
+                "script must span epochs"
+            );
+            for workers in [1usize, 2, 4, 8] {
+                let offline = offline_run(seed, workers, topology);
+                assert_eq!(
+                    offline, reference,
+                    "offline drains diverged across worker counts (seed {seed})"
+                );
+                let (served, stats) = serve_run(seed, workers, topology, 4);
+                assert_eq!(
+                    served, reference,
+                    "served walks diverged from offline drains \
+                     (seed {seed}, workers {workers}, topology {topology:?})"
+                );
+                assert_eq!(stats.served as usize, reference.len());
+                assert_eq!(stats.serve_latency.count() as usize, reference.len());
+                assert_eq!(stats.updates_applied, 3);
+                assert_eq!(
+                    stats.admission.rejected, 0,
+                    "default policy rejects nothing"
+                );
+                assert_eq!(stats.admission.shed, 0);
+            }
+        }
+    }
+}
+
+/// Waits (bounded) for `cond` to become true.
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// A tiny request for the admission tests.
+fn tiny_request(g: &GraphHandle) -> WalkRequest {
+    WalkRequest::new(g, "uniform", vec![0 as NodeId, 1, 2]).steps(3)
+}
+
+/// Pauses the server and parks its loop holding one popped command, so
+/// the queue depth is exact and the overload policies fire
+/// deterministically. Returns the held ticket.
+fn park_loop(server: &WalkServer, g: &GraphHandle) -> WalkTicket {
+    server.pause();
+    let held = server.submit(tiny_request(g)).expect("first admit");
+    // The loop pops the command, then parks at the pause gate before
+    // processing it: queue empty, ticket unresolved.
+    wait_until("loop to hold the first command", || {
+        server.queue_depth() == 0 && !held.is_ready()
+    });
+    held
+}
+
+#[test]
+fn reject_policy_fails_fast_when_the_queue_is_full() {
+    let server = WalkServer::builder()
+        .device(DeviceSpec::tiny())
+        .workers(1)
+        .capacity(2)
+        .admission(AdmissionPolicy::Reject)
+        .serve();
+    let g = GraphHandle::new(graph(3));
+    let held = park_loop(&server, &g);
+    let queued: Vec<WalkTicket> = (0..2)
+        .map(|_| server.submit(tiny_request(&g)).expect("fits in the queue"))
+        .collect();
+    // Queue full, loop parked: the next submit is refused immediately.
+    match server.submit(tiny_request(&g)) {
+        Err(ServeError::Rejected) => {}
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    server.resume();
+    assert!(held.wait().is_ok());
+    for t in queued {
+        assert!(t.wait().is_ok(), "admitted requests all serve after resume");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.admission.rejected, 1);
+    assert_eq!(stats.served, 3);
+    assert_eq!(stats.admission.peak_depth, 2);
+}
+
+#[test]
+fn shed_oldest_policy_evicts_the_oldest_queued_request() {
+    let server = WalkServer::builder()
+        .device(DeviceSpec::tiny())
+        .workers(1)
+        .capacity(2)
+        .admission(AdmissionPolicy::ShedOldest)
+        .serve();
+    let g = GraphHandle::new(graph(3));
+    let held = park_loop(&server, &g);
+    let oldest = server.submit(tiny_request(&g)).expect("admitted");
+    let newer = server.submit(tiny_request(&g)).expect("admitted");
+    // Queue full: admitting one more sheds `oldest` (not the held one,
+    // which already left the queue).
+    let newest = server.submit(tiny_request(&g)).expect("admitted with shed");
+    assert!(matches!(oldest.wait(), Err(ServeError::Shed)));
+    server.resume();
+    assert!(held.wait().is_ok());
+    assert!(newer.wait().is_ok());
+    assert!(newest.wait().is_ok());
+    let stats = server.shutdown();
+    assert_eq!(stats.admission.shed, 1);
+    assert_eq!(stats.served, 3, "shed requests are never served");
+}
+
+#[test]
+fn block_policy_applies_backpressure_and_loses_nothing() {
+    let server = WalkServer::builder()
+        .device(DeviceSpec::tiny())
+        .workers(1)
+        .capacity(2)
+        .admission(AdmissionPolicy::Block)
+        .serve();
+    let g = GraphHandle::new(graph(3));
+    // Hammer from several client threads: more in flight than capacity,
+    // so submitters must block — but every request is served.
+    let tickets: Vec<WalkTicket> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    (0..5)
+                        .map(|_| {
+                            server
+                                .submit(tiny_request(&g))
+                                .expect("block never refuses")
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client panicked"))
+            .collect()
+    });
+    for t in tickets {
+        assert!(t.wait().is_ok());
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 20);
+    assert_eq!(stats.admission.rejected, 0);
+    assert_eq!(stats.admission.shed, 0);
+    assert_eq!(stats.serve_latency.count(), 20);
+    assert!(stats.serve_latency.p99() > 0.0);
+}
+
+/// Drain-during-ingest epoch pinning: walks admitted before an update
+/// serve at the pre-update epoch, walks admitted after it at the
+/// post-update epoch — even when all of them sit in one serving cycle.
+#[test]
+fn updates_pin_epoch_boundaries_within_one_serving_cycle() {
+    let server = WalkServer::builder()
+        .device(DeviceSpec::tiny())
+        .workers(2)
+        .capacity(16)
+        .serve();
+    let g = GraphHandle::new(graph(9));
+    let held = park_loop(&server, &g);
+    let before = server.submit(tiny_request(&g)).expect("admitted");
+    let update = server
+        .apply_updates(
+            &g,
+            vec![GraphUpdate::AddEdge {
+                src: 0,
+                dst: 3,
+                weight: 2.0,
+                label: 0,
+            }],
+        )
+        .expect("admitted");
+    let after = server.submit(tiny_request(&g)).expect("admitted");
+    server.resume();
+    assert_eq!(held.wait().expect("served").graph_version.epoch, 0);
+    assert_eq!(before.wait().expect("served").graph_version.epoch, 0);
+    assert_eq!(update.wait().expect("applied").version.epoch, 1);
+    assert_eq!(after.wait().expect("served").graph_version.epoch, 1);
+    let stats = server.shutdown();
+    assert_eq!(stats.updates_applied, 1);
+    // The session underneath migrated its caches incrementally — the
+    // update did not force a re-digest.
+    assert_eq!(stats.session.digests_computed, 1);
+}
+
+/// Ingest is concurrent with serving: while the loop is busy draining,
+/// submissions are admitted without waiting for the drain.
+#[test]
+fn admission_overlaps_an_active_drain() {
+    let server = WalkServer::builder()
+        .device(DeviceSpec::tiny())
+        .workers(1)
+        .capacity(64)
+        .batch_max(1)
+        .serve();
+    let g = GraphHandle::new(graph(13));
+    // A heavyweight first request keeps the loop busy (batch_max 1, so
+    // it drains alone)...
+    let queries: Vec<NodeId> = (0..200).map(|i| i % 256).collect();
+    let big = server
+        .submit(
+            WalkRequest::new(&g, "node2vec", queries)
+                .steps(64)
+                .record_paths(true),
+        )
+        .expect("admitted");
+    // ...while later submissions are admitted immediately.
+    let tail: Vec<WalkTicket> = (0..8)
+        .map(|_| server.submit(tiny_request(&g)).expect("admitted mid-drain"))
+        .collect();
+    assert!(big.wait().is_ok());
+    for t in tail {
+        assert!(t.wait().is_ok());
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 9);
+    assert!(
+        stats.serve_cycles >= 2,
+        "batch_max 1 forces multiple cycles"
+    );
+}
+
+/// An invalid update batch fails its own ticket, leaves the graph and
+/// the serving loop intact, and later commands keep serving.
+#[test]
+fn failed_updates_surface_typed_and_do_not_stall_serving() {
+    let server = WalkServer::builder()
+        .device(DeviceSpec::tiny())
+        .workers(1)
+        .serve();
+    let g = GraphHandle::new(graph(21));
+    let nodes = g.graph().num_nodes() as NodeId;
+    let bad = server
+        .apply_updates(
+            &g,
+            vec![GraphUpdate::AddEdge {
+                src: nodes + 7, // out of range
+                dst: 0,
+                weight: 1.0,
+                label: 0,
+            }],
+        )
+        .expect("admitted");
+    let walk = server.submit(tiny_request(&g)).expect("admitted");
+    assert!(matches!(bad.wait(), Err(ServeError::Graph(_))));
+    let report = walk.wait().expect("serving continues");
+    assert_eq!(report.graph_version.epoch, 0, "failed batch left epoch 0");
+    let stats = server.shutdown();
+    assert_eq!(stats.updates_applied, 0);
+    assert_eq!(stats.served, 1);
+}
+
+/// Shutdown closes admission but serves everything already admitted.
+#[test]
+fn shutdown_serves_all_admitted_work() {
+    let server = WalkServer::builder()
+        .device(DeviceSpec::tiny())
+        .workers(2)
+        .serve();
+    let g = GraphHandle::new(graph(31));
+    let tickets: Vec<WalkTicket> = (0..6)
+        .map(|_| server.submit(tiny_request(&g)).expect("admitted"))
+        .collect();
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 6);
+    for t in tickets {
+        assert!(t.wait().is_ok(), "admitted work is served through shutdown");
+    }
+}
