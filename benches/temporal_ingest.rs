@@ -1,0 +1,251 @@
+//! Progressive-ingestion bench + gate: timestamped edge streams must
+//! ingest at **flat per-edge cost** while the graph grows 100x.
+//!
+//! A session starts from a small timestamped graph and doubles its edge
+//! count per rung with [`GraphUpdate::AddEdgeAt`] batches (batch size
+//! proportional to the current graph, the amortised-doubling schedule),
+//! interleaving a time-windowed temporal walk at every rung so the
+//! mask/plan caches migrate live. If ingest re-did work proportional to
+//! the *total* graph beyond the merge itself — re-digesting, rebuilding
+//! every plan, recomputing masks from scratch — the per-edge nanoseconds
+//! would climb with the ladder; the gate fails when the flatness ratio
+//! (worst rung / best rung) regresses more than 2x against the
+//! checked-in baseline.
+//!
+//! ```text
+//! cargo bench --bench temporal_ingest [-- --smoke] [--json PATH]
+//!                                     [--gate BASELINE]
+//! ```
+//!
+//! - `--smoke`: 10k -> 160k edges (CI scale). Full: 10k -> 1.28M.
+//! - `--json PATH`: write the result artifact to PATH.
+//! - `--gate BASELINE`: compare the flatness ratio against a baseline
+//!   JSON and exit non-zero on a > 2x regression (the ratio is
+//!   dimensionless, so no host normalisation is needed).
+
+use flexi_bench::json::{extract_number, Json};
+use flexiwalker::prelude::*;
+use std::time::Instant;
+
+/// Deterministic stream randomness (splitmix64 step).
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const START_EDGES: usize = 10_000;
+const NODES: usize = 1 << 14;
+
+struct Rung {
+    edges_before: usize,
+    batch_edges: usize,
+    per_edge_ns: f64,
+    walk_ms: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut json_path: Option<String> = None;
+    let mut gate_path: Option<String> = None;
+    let value_of = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires an argument");
+            std::process::exit(2);
+        })
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--json" => {
+                i += 1;
+                json_path = Some(value_of(&args, i, "--json"));
+            }
+            "--gate" => {
+                i += 1;
+                gate_path = Some(value_of(&args, i, "--gate"));
+            }
+            // `cargo bench` forwards its own flags (e.g. --bench); ignore.
+            _ => {}
+        }
+        i += 1;
+    }
+    let target_edges: usize = if smoke { 160_000 } else { 1_280_000 };
+    let mode = if smoke { "smoke" } else { "full" };
+    println!("# temporal_ingest [{mode}]: {START_EDGES} -> {target_edges}+ edges, doubling rungs");
+
+    // The seed graph: timestamped from the start, stamps in [0, 1000).
+    let mut rng = 0xF1E5u64;
+    let mut builder = CsrBuilder::new(NODES);
+    for _ in 0..START_EDGES {
+        builder.push_full_at(
+            (mix(&mut rng) % NODES as u64) as NodeId,
+            (mix(&mut rng) % NODES as u64) as NodeId,
+            0.5 + (mix(&mut rng) % 8) as f32,
+            0,
+            mix(&mut rng) % 1000,
+        );
+    }
+    let csr = builder.build().expect("seed graph");
+
+    let mut session = FlexiWalker::builder().device(DeviceSpec::a6000()).build();
+    let graph = session.load_graph(csr);
+    let queries: Vec<NodeId> = (0..64).map(|q| (q * 131 % NODES) as NodeId).collect();
+    // Warm the walker pipeline once so rung walks measure serving, not
+    // one-time lowering/profiling.
+    session
+        .run(WalkRequest::new(&graph, "temporal_uniform", queries.clone()).steps(8))
+        .expect("warm-up walk");
+
+    let mut rungs: Vec<Rung> = Vec::new();
+    let mut clock = 1000u64; // ingest stamps continue past the seed range
+    while graph.graph().num_edges() < target_edges {
+        let edges_before = graph.graph().num_edges();
+        let batch_edges = edges_before; // doubling schedule
+        let batch: Vec<GraphUpdate> = (0..batch_edges)
+            .map(|_| {
+                clock += mix(&mut rng) % 3;
+                GraphUpdate::AddEdgeAt {
+                    src: (mix(&mut rng) % NODES as u64) as NodeId,
+                    dst: (mix(&mut rng) % NODES as u64) as NodeId,
+                    weight: 0.5 + (mix(&mut rng) % 8) as f32,
+                    label: 0,
+                    time: clock,
+                }
+            })
+            .collect();
+
+        let start = Instant::now();
+        let outcome = session
+            .apply_updates(&graph, &batch)
+            .expect("ingest applies");
+        let ingest = start.elapsed();
+        assert_eq!(
+            outcome.version.epoch,
+            rungs.len() as u64 + 1,
+            "each rung is one epoch"
+        );
+
+        // A recent-slice walk on the fresh epoch: the mask and plan
+        // caches migrate while the stream keeps growing.
+        let window = TimeWindow::since(clock.saturating_sub(500));
+        let wstart = Instant::now();
+        let report = session
+            .run(
+                WalkRequest::new(&graph, "temporal_uniform", queries.clone())
+                    .steps(8)
+                    .window(window),
+            )
+            .expect("windowed walk serves");
+        let walk = wstart.elapsed();
+        assert!(report.steps_taken > 0, "the recent slice is walkable");
+
+        let per_edge_ns = ingest.as_secs_f64() * 1e9 / batch_edges as f64;
+        println!(
+            "  [{edges_before:>9} + {batch_edges:>9} edges] ingest {per_edge_ns:>8.1} ns/edge, \
+             windowed walk {:.2} ms",
+            walk.as_secs_f64() * 1e3
+        );
+        rungs.push(Rung {
+            edges_before,
+            batch_edges,
+            per_edge_ns,
+            walk_ms: walk.as_secs_f64() * 1e3,
+        });
+    }
+
+    let final_edges = graph.graph().num_edges();
+    let stats = session.stats();
+    println!("{stats}");
+    let best = rungs.iter().map(|r| r.per_edge_ns).fold(f64::MAX, f64::min);
+    let worst = rungs.iter().map(|r| r.per_edge_ns).fold(0.0, f64::max);
+    let flatness = worst / best.max(1e-9);
+    println!(
+        "  per-edge ingest: best {best:.1} ns, worst {worst:.1} ns, \
+         flatness {flatness:.2}x over a {}x growth",
+        final_edges / START_EDGES
+    );
+
+    let doc = Json::obj([
+        ("bench", Json::from("temporal_ingest")),
+        ("mode", Json::from(mode)),
+        ("start_edges", Json::from(START_EDGES)),
+        ("final_edges", Json::from(final_edges)),
+        ("rungs", {
+            Json::arr(rungs.iter().map(|r| {
+                Json::obj([
+                    ("edges_before", Json::from(r.edges_before)),
+                    ("batch_edges", Json::from(r.batch_edges)),
+                    ("per_edge_ns", Json::from(r.per_edge_ns)),
+                    ("walk_ms", Json::from(r.walk_ms)),
+                ])
+            }))
+        }),
+        ("best_per_edge_ns", Json::from(best)),
+        ("worst_per_edge_ns", Json::from(worst)),
+        ("flatness", Json::from(flatness)),
+        ("epochs_applied", Json::from(stats.epochs_applied)),
+        ("masks_migrated", Json::from(stats.masks_migrated)),
+    ]);
+    if let Some(path) = &json_path {
+        std::fs::write(path, doc.render()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("  (result recorded in {path})");
+    }
+
+    let mut failed = false;
+    if final_edges < target_edges {
+        eprintln!("GATE FAIL: ladder stopped at {final_edges} of {target_edges} edges");
+        failed = true;
+    }
+    if stats.epochs_applied != rungs.len() as u64 {
+        eprintln!(
+            "GATE FAIL: {} epochs for {} ingest batches",
+            stats.epochs_applied,
+            rungs.len()
+        );
+        failed = true;
+    }
+    if stats.digests_computed != 1 {
+        eprintln!(
+            "GATE FAIL: ingest re-hashed the graph ({} digests)",
+            stats.digests_computed
+        );
+        failed = true;
+    }
+    if let Some(path) = &gate_path {
+        let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read gate baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        match extract_number(&baseline, "flatness") {
+            Some(base) => {
+                // Flatness is a dimensionless growth ratio: a regression
+                // means per-edge cost now climbs with total graph size.
+                let allowed = base.max(1.0) * 2.0;
+                if flatness > allowed {
+                    eprintln!(
+                        "GATE FAIL: ingest flatness {flatness:.2}x exceeds 2x the \
+                         baseline ratio ({base:.2}x)"
+                    );
+                    failed = true;
+                } else {
+                    println!("  gate: flatness within 2x of baseline ({base:.2}x) — ok");
+                }
+            }
+            None => {
+                eprintln!("GATE FAIL: baseline {path} lacks a flatness field");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -164,6 +164,7 @@ pub fn fig7b(p: &Profile) -> Table {
                 cur: win[1],
                 prev: Some(win[0]),
                 step: step + 1,
+                time: 0,
             };
             let total: f64 = g
                 .edge_range(st.cur)

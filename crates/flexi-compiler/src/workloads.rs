@@ -79,6 +79,41 @@ get_weight(edge) {
 }
 "#;
 
+/// Forward-in-time walk: an edge is traversable only if it is not older
+/// than the walk's clock (`walk_time`, advanced to each traversed edge's
+/// timestamp), so paths never move backwards in time. Admissible edges
+/// weigh their property weight.
+pub const TEMPORAL_UNIFORM: &str = r#"
+get_weight(edge) {
+    if (edge_time < walk_time) return 0.0;
+    return h[edge];
+}
+"#;
+
+/// Forward-in-time walk with exponential recency bias: younger edges
+/// (relative to the walk clock) are preferred with rate `lambda`.
+///
+/// The `exp` call keeps the program interpretable but not estimable — it
+/// lowers with the sound reservoir-only fallback.
+pub const TEMPORAL_EXP: &str = r#"
+get_weight(edge) {
+    if (edge_time < walk_time) return 0.0;
+    age = edge_time - walk_time;
+    return h[edge] * exp(0.0 - lambda * age);
+}
+"#;
+
+/// Forward-in-time walk with linear recency bias: weight falls linearly
+/// from `h` at age 0 to 0 at age `span`.
+pub const TEMPORAL_LINEAR: &str = r#"
+get_weight(edge) {
+    if (edge_time < walk_time) return 0.0;
+    age = edge_time - walk_time;
+    if (age >= span) return 0.0;
+    return h[edge] * ((span - age) / span);
+}
+"#;
+
 /// Names of the canonical built-in specs, in the paper's Table 2 order.
 pub const BUILTIN_SPEC_NAMES: [&str; 5] = [
     "node2vec_weighted",
@@ -87,6 +122,11 @@ pub const BUILTIN_SPEC_NAMES: [&str; 5] = [
     "metapath_unweighted",
     "pagerank_2nd",
 ];
+
+/// Names of the canonical temporal specs (the PR 7 extension workloads;
+/// kept out of [`BUILTIN_SPEC_NAMES`] so the paper's Table 2 set stays
+/// exactly the five evaluated workloads).
+pub const TEMPORAL_SPEC_NAMES: [&str; 3] = ["temporal_uniform", "temporal_exp", "temporal_linear"];
 
 /// The canonical [`WalkSpec`] of one built-in workload, with the paper's
 /// default hyperparameters (§6.1: `a = 2.0`, `b = 0.5`, `gamma = 0.2`).
@@ -102,6 +142,9 @@ pub fn builtin_spec(name: &str) -> Option<WalkSpec> {
         "metapath_weighted" => (METAPATH_WEIGHTED, vec![]),
         "metapath_unweighted" => (METAPATH_UNWEIGHTED, vec![]),
         "pagerank_2nd" => (PAGERANK_2ND, vec![("gamma".to_string(), 0.2)]),
+        "temporal_uniform" => (TEMPORAL_UNIFORM, vec![]),
+        "temporal_exp" => (TEMPORAL_EXP, vec![("lambda".to_string(), 0.1)]),
+        "temporal_linear" => (TEMPORAL_LINEAR, vec![("span".to_string(), 100.0)]),
         _ => return None,
     };
     Some(WalkSpec {
@@ -173,6 +216,30 @@ mod tests {
         assert_eq!(get("node2vec_weighted"), BoundGranularity::PerStep);
         assert_eq!(get("metapath_weighted"), BoundGranularity::PerStep);
         assert_eq!(get("pagerank_2nd"), BoundGranularity::PerStep);
+    }
+
+    #[test]
+    fn temporal_specs_compile_as_designed() {
+        for name in super::TEMPORAL_SPEC_NAMES {
+            let spec = super::builtin_spec(name).unwrap();
+            match (name, compile(&spec).unwrap()) {
+                // The exp() call is interpretable but not estimable: the
+                // walk must lower with the sound reservoir-only fallback.
+                ("temporal_exp", CompileOutcome::Fallback { warnings }) => {
+                    assert!(!warnings.is_empty());
+                }
+                ("temporal_exp", CompileOutcome::Supported(_)) => {
+                    panic!("temporal_exp unexpectedly estimable")
+                }
+                (_, CompileOutcome::Supported(c)) => {
+                    assert!(!c.paths.is_empty(), "{name}: no paths");
+                    assert_eq!(c.flag, BoundGranularity::PerStep, "{name}");
+                }
+                (_, CompileOutcome::Fallback { warnings }) => {
+                    panic!("{name} unexpectedly fell back: {warnings:?}")
+                }
+            }
+        }
     }
 
     #[test]

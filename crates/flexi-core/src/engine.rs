@@ -28,7 +28,7 @@ use crate::walker::{CompiledWalker, IntoWalker, WalkerHandle, WalkerRegistry};
 use crate::workload::{DynamicWalk, WalkState};
 use flexi_compiler::CompiledWalk;
 use flexi_gpu_sim::{CostStats, Device, DeviceSpec, WarpCtx, WARP_SIZE};
-use flexi_graph::{Csr, GraphHandle, GraphSnapshot, GraphVersion, NodeId};
+use flexi_graph::{Csr, EdgeId, GraphHandle, GraphSnapshot, GraphVersion, NodeId, TimeWindow};
 use flexi_rng::Philox4x32;
 use flexi_sampling::kernels::{warp_max_reduce, ErvsMode, NeighborView};
 use flexi_sampling::{ErvsSampler, Granularity, Sampler, SamplerId, SamplerRegistry};
@@ -136,6 +136,14 @@ pub struct WalkRequest {
     /// Baseline engines seed their RNG from the config seed alone and
     /// ignore this field — the batch-split guarantee is FlexiWalker's.
     pub query_offset: u64,
+    /// Restricts the walk to edges whose timestamp falls inside this
+    /// half-open window: masked-out edges weigh `0.0` and are never
+    /// traversed, and walks start with their clock at `window.t0`. `None`
+    /// walks the whole graph (equivalent to [`TimeWindow::all`]).
+    ///
+    /// The window is resolved against the pinned snapshot through the
+    /// handle's per-epoch [`TimeMask`](flexi_graph::TimeMask) cache.
+    pub window: Option<TimeWindow>,
 }
 
 impl WalkRequest {
@@ -158,6 +166,7 @@ impl WalkRequest {
             queries: queries.into_queries(),
             config: WalkConfig::default(),
             query_offset: 0,
+            window: None,
         }
     }
 
@@ -213,6 +222,13 @@ impl WalkRequest {
         self.query_offset = offset;
         self
     }
+
+    /// Restricts the walk to edges timestamped inside `window`
+    /// (see [`WalkRequest::window`]).
+    pub fn window(mut self, window: TimeWindow) -> Self {
+        self.window = Some(window);
+        self
+    }
 }
 
 impl std::fmt::Debug for WalkRequest {
@@ -223,6 +239,7 @@ impl std::fmt::Debug for WalkRequest {
             .field("queries", &self.queries.len())
             .field("config", &self.config)
             .field("query_offset", &self.query_offset)
+            .field("window", &self.window)
             .finish()
     }
 }
@@ -767,6 +784,18 @@ impl FlexiWalkerEngine {
             .map(|(i, _)| i)
             .collect();
 
+        // Resolve the request's time window against the pinned snapshot,
+        // through the handle's per-epoch mask cache. Full masks (every edge
+        // admitted, e.g. an all-window or a window covering the whole
+        // timestamp range) cost nothing per edge: the kernel skips masking.
+        let mask: Option<Arc<flexi_graph::TimeMask>> = match req.window {
+            Some(window) if !window.is_all() => {
+                let (mask, _) = req.graph.time_mask(snap, window);
+                (!mask.is_full()).then_some(mask)
+            }
+            _ => None,
+        };
+
         let kernel_cfg = WarpKernelCfg {
             compiled: prepared.artifacts.compiled.as_ref(),
             aggregates: &prepared.aggregates,
@@ -778,6 +807,8 @@ impl FlexiWalkerEngine {
             record_paths: cfg.record_paths,
             seed: cfg.seed,
             query_offset: req.query_offset,
+            mask: mask.as_deref(),
+            start_time: req.window.map_or(0, |w| w.t0),
         };
         let kernel = |ctx: &mut WarpCtx| walk_warp(ctx, g, w, &queue, queries, &kernel_cfg);
         let launch = if cfg.host_threads > 1 {
@@ -891,6 +922,23 @@ struct WarpKernelCfg<'a> {
     record_paths: bool,
     seed: u64,
     query_offset: u64,
+    /// Time-window mask over edge ids; `None` means every edge is live
+    /// (no window, or a full mask).
+    mask: Option<&'a flexi_graph::TimeMask>,
+    /// Initial walk clock: the window's lower bound (0 without a window).
+    start_time: u64,
+}
+
+impl WarpKernelCfg<'_> {
+    /// The effective weight of `edge` for `state`: the walker's dynamic
+    /// weight, unless the time mask rules the edge out.
+    #[inline]
+    fn masked_weight(&self, g: &Csr, w: &dyn DynamicWalk, state: &WalkState, edge: EdgeId) -> f32 {
+        match self.mask {
+            Some(m) if !m.admits(edge) => 0.0,
+            _ => w.weight(g, state, edge),
+        }
+    }
 }
 
 /// The §5.2 concurrent kernel body for one warp.
@@ -939,7 +987,7 @@ fn walk_warp(
                     }
                     *lane_slot = Some(Lane {
                         query: q,
-                        state: WalkState::start(start),
+                        state: WalkState::start_at(start, kc.start_time),
                         path,
                         steps_taken: 0,
                         rng: Philox4x32::new(
@@ -995,7 +1043,7 @@ fn walk_warp(
                 None
             };
             let range = g.edge_range(state.cur);
-            let wf = |i: usize| w.weight(g, &state, range.start + i);
+            let wf = |i: usize| kc.masked_weight(g, w, &state, range.start + i);
             let view = NeighborView::new(&wf, range.len(), bytes_per_weight);
             ctx.bind_stream(rng);
             let picked = sampler.sample_lane(ctx, l, &view, bound);
@@ -1032,7 +1080,7 @@ fn walk_warp(
                 ctx.shfl(&dummy, l); // Broadcast target node.
                 ctx.shfl(&dummy, l); // Broadcast step/query id.
                 let range = g.edge_range(state.cur);
-                let wf = |i: usize| w.weight(g, &state, range.start + i);
+                let wf = |i: usize| kc.masked_weight(g, w, &state, range.start + i);
                 let view = NeighborView::new(&wf, range.len(), bytes_per_weight);
                 ctx.bind_stream(rng);
                 let picked = sampler.sample_warp(ctx, &view);
@@ -1056,8 +1104,11 @@ fn advance_lane(
     let lane = lane_slot.as_mut().expect("advance on empty lane");
     match picked {
         Some(i) => {
-            let next = g.neighbor(lane.state.cur, i);
-            lane.state.advance(next);
+            let edge = g.edge_range(lane.state.cur).start + i;
+            let next = g.edge_target(edge);
+            // Traversing an edge advances the walk clock to its timestamp
+            // (0 on untimed graphs, leaving the clock untouched).
+            lane.state.advance_at(next, g.time(edge));
             lane.steps_taken += 1;
             if record_paths {
                 lane.path.push(next);
@@ -1165,9 +1216,11 @@ fn rjs_bound(
             return Some((b * SLACK) as f32);
         }
     }
-    // No estimator: pay the exact max reduction (NextDoor's cost).
+    // No estimator: pay the exact max reduction (NextDoor's cost). Masked
+    // edges weigh 0 in the kernel, so the reduction can mask them too and
+    // stay a tight, sound bound.
     let range = g.edge_range(state.cur);
-    let wf = |i: usize| w.weight(g, state, range.start + i);
+    let wf = |i: usize| kc.masked_weight(g, w, state, range.start + i);
     let view = NeighborView::new(&wf, range.len(), w.bytes_per_weight(g));
     let m = warp_max_reduce(ctx, &view);
     (m > 0.0).then_some(m)
@@ -1176,7 +1229,7 @@ fn rjs_bound(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::{MetaPath, Node2Vec, SecondOrderPr, UniformWalk};
+    use crate::workload::{MetaPath, Node2Vec, SecondOrderPr, TemporalUniform, UniformWalk};
     use flexi_graph::{gen, props, CsrBuilder, WeightModel};
     use flexi_sampling::ids;
     use flexi_sampling::stat;
@@ -1205,6 +1258,52 @@ mod tests {
             engine,
             &WalkRequest::new(g.clone(), w, queries).with_config(c.clone()),
         )
+    }
+
+    #[test]
+    fn time_window_masks_walks_to_live_edges() {
+        // 0→1 @5, 0→2 @10, 1→0 @6, 2→0 @12.
+        let mut b = CsrBuilder::new(3);
+        b.push_timestamped(0, 1, 1.0, 5);
+        b.push_timestamped(0, 2, 1.0, 10);
+        b.push_timestamped(1, 0, 1.0, 6);
+        b.push_timestamped(2, 0, 1.0, 12);
+        let g = b.build().unwrap();
+        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+        let queries = [0u32; 8];
+        let windowed = WalkEngine::run(
+            &engine,
+            &WalkRequest::new(g.clone(), &UniformWalk, &queries[..])
+                .with_config(cfg(6))
+                .window(TimeWindow::since(10)),
+        )
+        .unwrap();
+        for path in windowed.paths.as_ref().unwrap() {
+            assert!(!path.contains(&1), "edge @5 lies outside [10..): {path:?}");
+        }
+        // The same request without the window does reach node 1.
+        let free = run(&engine, &g, &UniformWalk, &queries, &cfg(6)).unwrap();
+        assert!(free.paths.as_ref().unwrap().iter().any(|p| p.contains(&1)));
+    }
+
+    #[test]
+    fn temporal_walker_advances_the_clock_forward_only() {
+        // 0→1 @10, then from 1: @5 (backwards, inadmissible) or @20.
+        let mut b = CsrBuilder::new(4);
+        b.push_timestamped(0, 1, 1.0, 10);
+        b.push_timestamped(1, 2, 1.0, 5);
+        b.push_timestamped(1, 3, 1.0, 20);
+        let g = b.build().unwrap();
+        let engine = FlexiWalkerEngine::new(DeviceSpec::tiny());
+        let queries = [0u32; 8];
+        let report = run(&engine, &g, &TemporalUniform, &queries, &cfg(3)).unwrap();
+        for path in report.paths.as_ref().unwrap() {
+            assert_eq!(
+                path,
+                &vec![0, 1, 3],
+                "after traversing @10 the clock forbids the @5 edge"
+            );
+        }
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use walker::{
 // engine users should not have to name `flexi-graph` directly.
 pub use flexi_graph::{
     shard_of, GraphHandle, GraphSnapshot, GraphUpdate, GraphVersion, PartitionPlan, PlanFetch,
-    UpdateOutcome,
+    TimeMask, TimeWindow, UpdateOutcome,
 };
 pub use pool::{PoolRun, WorkerPool};
 // The serving seam: bounded admission in front of the query queue and
@@ -69,5 +69,6 @@ pub use service::{Admission, AdmissionPolicy, AdmissionQueue, AdmissionStats, La
 // without naming `flexi-sampling` directly.
 pub use flexi_sampling::{ids as sampler_ids, Sampler, SamplerId, SamplerRegistry};
 pub use workload::{
-    static_max_bound, DynamicWalk, MetaPath, Node2Vec, SecondOrderPr, UniformWalk, WalkState,
+    static_max_bound, DynamicWalk, MetaPath, Node2Vec, SecondOrderPr, TemporalExp, TemporalLinear,
+    TemporalUniform, UniformWalk, WalkState,
 };

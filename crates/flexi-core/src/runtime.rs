@@ -308,6 +308,7 @@ mod tests {
                 cur: 0,
                 prev,
                 step: 1,
+                time: 0,
             };
             let env = RuntimeEnv {
                 graph: &g,

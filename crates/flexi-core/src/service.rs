@@ -638,6 +638,40 @@ mod tests {
     }
 
     #[test]
+    fn close_releases_every_blocked_producer_at_once() {
+        // Several producers parked in push() against a full Block queue;
+        // close() must hand each its own command back as Closed, while the
+        // commands already admitted still drain in order.
+        let q = Arc::new(AdmissionQueue::new(2, AdmissionPolicy::Block));
+        assert!(q.push(0).is_admitted());
+        assert!(q.push(1).is_admitted());
+        let producers: Vec<_> = (10..14)
+            .map(|item| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || match q.push(item) {
+                    Admission::Closed(returned) => {
+                        assert_eq!(returned, item, "a producer got someone else's command");
+                    }
+                    other => panic!("expected Closed({item}), got {other:?}"),
+                })
+            })
+            .collect();
+        // Every producer must be parked before the close, so none of the
+        // four can sneak into a freed slot.
+        while q.stats().block_waits < 4 {
+            std::thread::yield_now();
+        }
+        q.close();
+        for p in producers {
+            p.join().expect("producer panicked");
+        }
+        assert_eq!(q.pop_wait(), Some(0));
+        assert_eq!(q.pop_wait(), Some(1));
+        assert_eq!(q.pop_wait(), None, "closed and drained");
+        assert_eq!(q.stats().admitted, 2, "blocked producers admit nothing");
+    }
+
+    #[test]
     fn concurrent_producers_admit_everything_under_block() {
         let q = Arc::new(AdmissionQueue::new(3, AdmissionPolicy::Block));
         let producers: Vec<_> = (0..4)

@@ -31,7 +31,10 @@
 //! [`WalkRequest`]: crate::engine::WalkRequest
 
 use crate::engine::{CompiledArtifacts, EngineError};
-use crate::workload::{DynamicWalk, MetaPath, Node2Vec, SecondOrderPr, UniformWalk, WalkState};
+use crate::workload::{
+    DynamicWalk, MetaPath, Node2Vec, SecondOrderPr, TemporalExp, TemporalLinear, TemporalUniform,
+    UniformWalk, WalkState,
+};
 use flexi_compiler::{
     compile, interpret_f32, parse_program, references, BoundGranularity, CompileOutcome,
     EstimatorEnv, InterpEnv, Program, RefInfo, WalkSpec,
@@ -273,6 +276,7 @@ impl WalkerDef {
                     uses_h: refs.arrays.contains("h"),
                     uses_label: refs.arrays.contains("label"),
                     uses_linked: refs.calls.contains("linked"),
+                    uses_time: refs.frees.contains("edge_time"),
                     program,
                     hyperparams: spec.hyperparams.clone(),
                     arrays: self.arrays.clone(),
@@ -309,20 +313,29 @@ impl WalkerDef {
             }
         }
         for c in &refs.calls {
-            if c != "linked" {
+            if c != "linked" && c != "exp" {
                 return Err(format!(
-                    "unknown function {c:?}; only linked(a, b) is available"
+                    "unknown function {c:?}; only linked(a, b) and exp(x) are available"
                 ));
             }
         }
-        const BUILTIN_VARS: [&str; 6] = ["edge", "cur", "prev", "has_prev", "step", "iter"];
+        const BUILTIN_VARS: [&str; 8] = [
+            "edge",
+            "cur",
+            "prev",
+            "has_prev",
+            "step",
+            "iter",
+            "edge_time",
+            "walk_time",
+        ];
         for v in &refs.frees {
             let known =
                 BUILTIN_VARS.contains(&v.as_str()) || spec.hyperparams.iter().any(|(n, _)| n == v);
             if !known {
                 return Err(format!(
                     "unknown variable {v:?}; bind it with WalkerDef::hyperparam or use one \
-                     of edge/cur/prev/has_prev/step"
+                     of edge/cur/prev/has_prev/step/edge_time/walk_time"
                 ));
             }
         }
@@ -522,6 +535,7 @@ struct DslWalk {
     uses_h: bool,
     uses_label: bool,
     uses_linked: bool,
+    uses_time: bool,
 }
 
 /// Interpreter environment bridging one weight evaluation to the graph.
@@ -540,6 +554,8 @@ impl InterpEnv for DslEnv<'_> {
             "prev" => Some(f64::from(self.st.prev.unwrap_or(self.st.cur))),
             "has_prev" => Some(if self.st.prev.is_some() { 1.0 } else { 0.0 }),
             "step" | "iter" => Some(self.st.step as f64),
+            "edge_time" => Some(self.g.time(self.edge) as f64),
+            "walk_time" => Some(self.st.time as f64),
             _ => self
                 .walk
                 .hyperparams
@@ -570,6 +586,10 @@ impl InterpEnv for DslEnv<'_> {
     fn call(&self, name: &str, args: &[f64]) -> Option<f64> {
         match (name, args) {
             ("linked", [a, b]) => Some(f64::from(self.g.has_edge(*a as u32, *b as u32))),
+            // The interpreter rounds only arithmetic results, so the hook
+            // quantizes itself — keeping DSL walks bit-identical to native
+            // twins that round after every operation.
+            ("exp", [x]) => Some(f64::from(x.exp() as f32)),
             _ => None,
         }
     }
@@ -594,14 +614,16 @@ impl DynamicWalk for DslWalk {
 
     fn bytes_per_weight(&self, g: &Csr) -> usize {
         // Adjacency entry + the memory classes the program actually reads:
-        // property weight, edge label, and the linked() membership probe.
-        // Degrees, schema arrays and hyperparameters are register-resident.
+        // property weight, edge label, edge timestamp, and the linked()
+        // membership probe. Degrees, schema arrays and hyperparameters are
+        // register-resident.
         4 + if self.uses_h {
             g.props().bytes_per_weight()
         } else {
             0
         } + usize::from(self.uses_label)
             + if self.uses_linked { 8 } else { 0 }
+            + if self.uses_time { 8 } else { 0 }
     }
 
     fn spec(&self) -> WalkSpec {
@@ -655,7 +677,16 @@ impl DynamicWalk for DslWalk {
 /// registry.register(WalkerDef::dsl("flat", "get_weight(edge) { return 1.0; }"));
 /// assert_eq!(
 ///     registry.names(),
-///     vec!["node2vec", "metapath", "sopr", "uniform", "flat"]
+///     vec![
+///         "node2vec",
+///         "metapath",
+///         "sopr",
+///         "uniform",
+///         "temporal_uniform",
+///         "temporal_exp",
+///         "temporal_linear",
+///         "flat"
+///     ]
 /// );
 /// ```
 #[derive(Clone, Debug, Default)]
@@ -669,16 +700,23 @@ impl WalkerRegistry {
         Self::default()
     }
 
-    /// The four built-in workloads as ordinary registry entries, with the
+    /// The built-in workloads as ordinary registry entries, with the
     /// paper's hyperparameters: weighted Node2Vec (`"node2vec"`), weighted
-    /// MetaPath (`"metapath"`), second-order PageRank (`"sopr"`) and the
-    /// static first-order walk (`"uniform"`).
+    /// MetaPath (`"metapath"`), second-order PageRank (`"sopr"`), the
+    /// static first-order walk (`"uniform"`), and the three temporal
+    /// walks (`"temporal_uniform"`, `"temporal_exp"`, `"temporal_linear"`).
     pub fn builtin() -> Self {
         let mut r = Self::empty();
         r.register(WalkerDef::native("node2vec", Node2Vec::paper(true)));
         r.register(WalkerDef::native("metapath", MetaPath::paper(true)));
         r.register(WalkerDef::native("sopr", SecondOrderPr::paper()));
         r.register(WalkerDef::native("uniform", UniformWalk));
+        r.register(WalkerDef::native("temporal_uniform", TemporalUniform));
+        r.register(WalkerDef::native("temporal_exp", TemporalExp::paper()));
+        r.register(WalkerDef::native(
+            "temporal_linear",
+            TemporalLinear::paper(),
+        ));
         r
     }
 
@@ -701,6 +739,15 @@ impl WalkerRegistry {
         r.register(WalkerDef::dsl(
             "uniform",
             "get_weight(edge) { return h[edge]; }",
+        ));
+        r.register(WalkerDef::spec(
+            "temporal_uniform",
+            canonical("temporal_uniform"),
+        ));
+        r.register(WalkerDef::spec("temporal_exp", canonical("temporal_exp")));
+        r.register(WalkerDef::spec(
+            "temporal_linear",
+            canonical("temporal_linear"),
         ));
         r
     }
@@ -953,7 +1000,12 @@ mod tests {
         for cur in 0..3u32 {
             for prev in [None, Some(0), Some(1), Some(2)] {
                 for step in 0..3usize {
-                    let st = WalkState { cur, prev, step };
+                    let st = WalkState {
+                        cur,
+                        prev,
+                        step,
+                        time: 0,
+                    };
                     for e in g.edge_range(cur) {
                         assert_eq!(
                             cw.walk_dyn().weight(&g, &st, e).to_bits(),
@@ -964,6 +1016,60 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn temporal_dsl_twins_match_native_bit_identically() {
+        // Timed graph: 0→1 @10, 0→2 @20, 1→{0 @5, 2 @30}, 2→0 @0.
+        let mut b = CsrBuilder::new(3);
+        b.push_timestamped(0, 1, 1.0, 10);
+        b.push_timestamped(0, 2, 2.0, 20);
+        b.push_timestamped(1, 0, 3.0, 5);
+        b.push_timestamped(1, 2, 4.0, 30);
+        b.push_timestamped(2, 0, 5.0, 0);
+        let g = b.build().unwrap();
+        let native = WalkerRegistry::builtin();
+        let dsl = WalkerRegistry::builtin_dsl();
+        for name in ["temporal_uniform", "temporal_exp", "temporal_linear"] {
+            let n = native.get(name).unwrap().lower().unwrap();
+            let d = dsl.get(name).unwrap().lower().unwrap();
+            for cur in 0..3u32 {
+                for time in [0u64, 5, 10, 21, 30, 500] {
+                    let st = WalkState::start_at(cur, time);
+                    for e in g.edge_range(cur) {
+                        assert_eq!(
+                            n.walk_dyn().weight(&g, &st, e).to_bits(),
+                            d.walk_dyn().weight(&g, &st, e).to_bits(),
+                            "{name}: cur {cur} time {time} edge {e}"
+                        );
+                    }
+                }
+            }
+            // Twins also agree on the simulator's byte accounting.
+            assert_eq!(
+                n.walk_dyn().bytes_per_weight(&g),
+                d.walk_dyn().bytes_per_weight(&g),
+                "{name}: bytes_per_weight diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn temporal_walkers_lower_first_order_without_labels() {
+        let r = WalkerRegistry::builtin();
+        for name in ["temporal_uniform", "temporal_exp", "temporal_linear"] {
+            let cw = r.get(name).unwrap().lower().unwrap();
+            assert!(!cw.second_order(), "{name}: history-free");
+            assert!(!cw.needs_labels(), "{name}");
+            assert_eq!(cw.static_bound(), None, "{name}: weight depends on h");
+        }
+        // exp() is interpretable but not estimable: the compiled artifacts
+        // carry no estimator and the engine falls back to reservoir-only.
+        let exp = r.get("temporal_exp").unwrap().lower().unwrap();
+        assert!(exp.artifacts().compiled.is_none());
+        assert!(!exp.artifacts().warnings.is_empty());
+        let uni = r.get("temporal_uniform").unwrap().lower().unwrap();
+        assert!(uni.artifacts().compiled.is_some(), "uniform is estimable");
     }
 
     #[test]
@@ -1164,6 +1270,7 @@ mod tests {
             cur: 0,
             prev: Some(1),
             step: 2,
+            time: 0,
         };
         assert_eq!(w.env_scalar(&g, &st2, "schema", "step"), Some(0.0));
     }

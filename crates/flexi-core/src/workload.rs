@@ -23,23 +23,41 @@ pub struct WalkState {
     pub prev: Option<NodeId>,
     /// Zero-based step index.
     pub step: usize,
+    /// The walk's clock: the timestamp of the last traversed edge (or the
+    /// walk's starting instant). Temporal walkers compare edge timestamps
+    /// against it; on untimed graphs it stays 0.
+    pub time: u64,
 }
 
 impl WalkState {
-    /// State at the start of a walk from `start`.
+    /// State at the start of a walk from `start` (clock at 0).
     pub fn start(start: NodeId) -> Self {
+        Self::start_at(start, 0)
+    }
+
+    /// State at the start of a walk from `start` with the clock at `time`
+    /// (a time-windowed walk starts its clock at the window's lower bound).
+    pub fn start_at(start: NodeId, time: u64) -> Self {
         Self {
             cur: start,
             prev: None,
             step: 0,
+            time,
         }
     }
 
-    /// Advances to `next`.
+    /// Advances to `next`, leaving the clock unchanged.
     pub fn advance(&mut self, next: NodeId) {
         self.prev = Some(self.cur);
         self.cur = next;
         self.step += 1;
+    }
+
+    /// Advances to `next` across an edge stamped `time`, moving the clock
+    /// forward to it.
+    pub fn advance_at(&mut self, next: NodeId, time: u64) {
+        self.advance(next);
+        self.time = time;
     }
 }
 
@@ -343,6 +361,147 @@ impl DynamicWalk for UniformWalk {
     }
 }
 
+/// Forward-in-time walk (temporal subsystem): an edge is traversable only
+/// if its timestamp is not older than the walk clock (`WalkState::time`,
+/// advanced to each traversed edge's timestamp by the engine), so paths
+/// never move backwards in time. Admissible edges weigh their property
+/// weight. On untimed graphs every timestamp is 0 and this degenerates to
+/// [`UniformWalk`].
+///
+/// Timestamps are compared through `f64` (exactly like the DSL twin reads
+/// them), so clocks above 2⁵³ would lose precision — epoch milliseconds
+/// and sequence numbers are far below that.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TemporalUniform;
+
+impl DynamicWalk for TemporalUniform {
+    fn name(&self) -> &str {
+        "temporal_uniform"
+    }
+
+    fn weight(&self, g: &Csr, st: &WalkState, edge: EdgeId) -> f32 {
+        if (g.time(edge) as f64) < st.time as f64 {
+            return 0.0;
+        }
+        g.prop(edge)
+    }
+
+    fn bytes_per_weight(&self, g: &Csr) -> usize {
+        // Adjacency + property + the edge timestamp.
+        4 + g.props().bytes_per_weight() + 8
+    }
+
+    fn spec(&self) -> WalkSpec {
+        dsl::builtin_spec("temporal_uniform").expect("canonical spec exists")
+    }
+}
+
+/// Forward-in-time walk with exponential recency bias: an admissible edge
+/// of age `Δ = edge_time − walk_time` weighs `h · exp(−λ·Δ)`, preferring
+/// edges close to the walk clock (the classic temporal-walk decay kernel).
+///
+/// Arithmetic follows the DSL twin op for op with per-operation f32
+/// rounding, so both produce bit-identical paths.
+#[derive(Clone, Copy, Debug)]
+pub struct TemporalExp {
+    /// Decay rate λ (per clock unit).
+    pub lambda: f64,
+}
+
+impl TemporalExp {
+    /// The default evaluation setting: λ = 0.1.
+    pub fn paper() -> Self {
+        Self { lambda: 0.1 }
+    }
+}
+
+impl DynamicWalk for TemporalExp {
+    fn name(&self) -> &str {
+        "temporal_exp"
+    }
+
+    fn weight(&self, g: &Csr, st: &WalkState, edge: EdgeId) -> f32 {
+        let te = g.time(edge) as f64;
+        let tw = st.time as f64;
+        if te < tw {
+            return 0.0;
+        }
+        // Mirror the interpreter's per-op f32 rounding exactly:
+        // age = r(te - tw); x = r(lambda * age); x = r(0 - x);
+        // e = r(exp(x)); return r(h * e).
+        let age = f64::from((te - tw) as f32);
+        let x = f64::from((self.lambda * age) as f32);
+        let x = f64::from((0.0 - x) as f32);
+        let e = f64::from(x.exp() as f32);
+        (f64::from(g.prop(edge)) * e) as f32
+    }
+
+    fn bytes_per_weight(&self, g: &Csr) -> usize {
+        4 + g.props().bytes_per_weight() + 8
+    }
+
+    fn spec(&self) -> WalkSpec {
+        let mut spec = dsl::builtin_spec("temporal_exp").expect("canonical spec exists");
+        spec.hyperparams = vec![("lambda".to_string(), self.lambda)];
+        spec
+    }
+
+    fn hyperparam(&self, name: &str) -> Option<f64> {
+        (name == "lambda").then_some(self.lambda)
+    }
+}
+
+/// Forward-in-time walk with linear recency bias: weight falls linearly
+/// from `h` at age 0 to 0 at age `span` (a sliding attention window).
+#[derive(Clone, Copy, Debug)]
+pub struct TemporalLinear {
+    /// Window width in clock units; edges older than this weigh 0.
+    pub span: f64,
+}
+
+impl TemporalLinear {
+    /// The default evaluation setting: span = 100 clock units.
+    pub fn paper() -> Self {
+        Self { span: 100.0 }
+    }
+}
+
+impl DynamicWalk for TemporalLinear {
+    fn name(&self) -> &str {
+        "temporal_linear"
+    }
+
+    fn weight(&self, g: &Csr, st: &WalkState, edge: EdgeId) -> f32 {
+        let te = g.time(edge) as f64;
+        let tw = st.time as f64;
+        if te < tw {
+            return 0.0;
+        }
+        let age = f64::from((te - tw) as f32);
+        if age >= self.span {
+            return 0.0;
+        }
+        // r(h * r(r(span - age) / span)), matching the DSL twin.
+        let num = f64::from((self.span - age) as f32);
+        let frac = f64::from((num / self.span) as f32);
+        (f64::from(g.prop(edge)) * frac) as f32
+    }
+
+    fn bytes_per_weight(&self, g: &Csr) -> usize {
+        4 + g.props().bytes_per_weight() + 8
+    }
+
+    fn spec(&self) -> WalkSpec {
+        let mut spec = dsl::builtin_spec("temporal_linear").expect("canonical spec exists");
+        spec.hyperparams = vec![("span".to_string(), self.span)];
+        spec
+    }
+
+    fn hyperparam(&self, name: &str) -> Option<f64> {
+        (name == "span").then_some(self.span)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +527,7 @@ mod tests {
             cur: 1,
             prev: Some(0),
             step: 1,
+            time: 0,
         };
         let r = g.edge_range(1);
         // Edge 1→0: post == prev → h/a = 3/2.
@@ -379,6 +539,7 @@ mod tests {
             cur: 0,
             prev: Some(2),
             step: 1,
+            time: 0,
         };
         let r0 = g.edge_range(0);
         assert_eq!(w.weight(&g, &st2, r0.start), 1.0 / 0.5);
@@ -402,6 +563,7 @@ mod tests {
             cur: 1,
             prev: Some(0),
             step: 1,
+            time: 0,
         };
         let r = g.edge_range(1);
         assert_eq!(w.weight(&g, &st, r.start), 0.5); // 1/a
@@ -425,6 +587,7 @@ mod tests {
             cur: 0,
             prev: Some(1),
             step: 1,
+            time: 0,
         };
         assert_eq!(w.weight(&g, &st1, r.start), 0.0);
         assert_eq!(w.weight(&g, &st1, r.start + 1), 2.0);
@@ -452,6 +615,7 @@ mod tests {
             cur: 1,
             prev: Some(0),
             step: 1,
+            time: 0,
         };
         let r = g.edge_range(1);
         let got = w.weight(&g, &st, r.start + 1);
@@ -476,6 +640,154 @@ mod tests {
         assert_eq!(st.cur, 9);
         assert_eq!(st.prev, Some(4));
         assert_eq!(st.step, 1);
+        assert_eq!(st.time, 0, "plain advance leaves the clock alone");
+        st.advance_at(2, 77);
+        assert_eq!((st.cur, st.prev, st.step, st.time), (2, Some(9), 2, 77));
+        assert_eq!(WalkState::start_at(3, 50).time, 50);
+    }
+
+    /// Timed graph: 0→1 @10 (h=1), 0→2 @20 (h=2), 1→2 @30 (h=4), 2→0 @5 (h=5).
+    fn timed() -> Csr {
+        let mut b = CsrBuilder::new(3);
+        b.push_timestamped(0, 1, 1.0, 10);
+        b.push_timestamped(0, 2, 2.0, 20);
+        b.push_timestamped(1, 2, 4.0, 30);
+        b.push_timestamped(2, 0, 5.0, 5);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn temporal_uniform_enforces_forward_time() {
+        let g = timed();
+        let w = TemporalUniform;
+        let st = WalkState::start_at(0, 15);
+        let r = g.edge_range(0);
+        assert_eq!(w.weight(&g, &st, r.start), 0.0, "edge@10 is in the past");
+        assert_eq!(w.weight(&g, &st, r.start + 1), 2.0, "edge@20 admissible");
+        // Clock equal to the edge time is admissible (not strictly newer).
+        let st_eq = WalkState::start_at(0, 20);
+        assert_eq!(w.weight(&g, &st_eq, r.start + 1), 2.0);
+        // On untimed graphs every edge has implicit time 0 and the walk
+        // degenerates to the uniform property-weighted walk.
+        let ug = super::tests::g();
+        let st0 = WalkState::start(0);
+        let r0 = ug.edge_range(0);
+        assert_eq!(w.weight(&ug, &st0, r0.start), 1.0);
+        assert_eq!(w.weight(&ug, &st0, r0.start + 1), 2.0);
+    }
+
+    #[test]
+    fn temporal_exp_decays_with_age() {
+        let g = timed();
+        let w = TemporalExp::paper();
+        let st = WalkState::start_at(0, 10);
+        let r = g.edge_range(0);
+        // Edge@10: age 0 → full property weight.
+        assert_eq!(w.weight(&g, &st, r.start), 1.0);
+        // Edge@20: age 10, λ=0.1 → 2·exp(-1).
+        let got = w.weight(&g, &st, r.start + 1);
+        assert!(
+            (f64::from(got) - 2.0 * (-1.0f64).exp()).abs() < 1e-6,
+            "got {got}"
+        );
+        // Past edge still hard-masked regardless of decay.
+        let late = WalkState::start_at(0, 25);
+        assert_eq!(w.weight(&g, &late, r.start + 1), 0.0);
+    }
+
+    #[test]
+    fn temporal_linear_hits_zero_at_span() {
+        let g = timed();
+        let st = WalkState::start_at(0, 10);
+        let r = g.edge_range(0);
+        // span=100: edge@20 has age 10 → 2·(90/100).
+        let w = TemporalLinear::paper();
+        let got = w.weight(&g, &st, r.start + 1);
+        assert!((f64::from(got) - 1.8).abs() < 1e-6, "got {got}");
+        // A narrow span masks the same edge entirely.
+        let narrow = TemporalLinear { span: 10.0 };
+        assert_eq!(narrow.weight(&g, &st, r.start + 1), 0.0);
+        assert_eq!(narrow.weight(&g, &st, r.start), 1.0, "age 0 keeps full h");
+    }
+
+    #[test]
+    fn temporal_hyperparams_and_specs_resolve() {
+        let e = TemporalExp::paper();
+        assert_eq!(e.hyperparam("lambda"), Some(0.1));
+        assert_eq!(e.hyperparam("walk_time"), None, "clock is not a knob");
+        let l = TemporalLinear { span: 42.0 };
+        assert_eq!(l.hyperparam("span"), Some(42.0));
+        assert_eq!(l.spec().hyperparams, vec![("span".to_string(), 42.0)]);
+        assert!(TemporalUniform.spec().source.contains("edge_time"));
+    }
+
+    #[test]
+    fn temporal_dsl_interpreter_is_bit_identical() {
+        use flexi_compiler::{interpret_f32, parse_program, InterpEnv};
+        struct Env<'a> {
+            g: &'a Csr,
+            st: &'a WalkState,
+            edge: usize,
+            hyper: Vec<(&'static str, f64)>,
+        }
+        impl InterpEnv for Env<'_> {
+            fn var(&self, name: &str) -> Option<f64> {
+                match name {
+                    "edge" => Some(self.edge as f64),
+                    "edge_time" => Some(self.g.time(self.edge) as f64),
+                    "walk_time" => Some(self.st.time as f64),
+                    _ => self.hyper.iter().find(|(k, _)| *k == name).map(|(_, v)| *v),
+                }
+            }
+            fn index(&self, array: &str, index: f64) -> Option<f64> {
+                (array == "h").then(|| f64::from(self.g.prop(index as usize)))
+            }
+            fn call(&self, name: &str, args: &[f64]) -> Option<f64> {
+                // The engine's env quantizes exp itself: the interpreter
+                // rounds only arithmetic results, not call results.
+                match (name, args) {
+                    ("exp", [x]) => Some(f64::from(x.exp() as f32)),
+                    _ => None,
+                }
+            }
+        }
+
+        type WorkloadCase = (Box<dyn DynamicWalk>, Vec<(&'static str, f64)>);
+        let g = timed();
+        let workloads: Vec<WorkloadCase> = vec![
+            (Box::new(TemporalUniform), vec![]),
+            (Box::new(TemporalExp { lambda: 0.3 }), vec![("lambda", 0.3)]),
+            (
+                Box::new(TemporalLinear { span: 17.0 }),
+                vec![("span", 17.0)],
+            ),
+        ];
+        for (w, hyper) in &workloads {
+            let program = parse_program(&w.spec().source).unwrap();
+            for cur in 0..3u32 {
+                for time in [0u64, 5, 10, 15, 20, 27, 30, 1000] {
+                    let st = WalkState::start_at(cur, time);
+                    for edge in g.edge_range(cur) {
+                        let rust = w.weight(&g, &st, edge);
+                        let env = Env {
+                            g: &g,
+                            st: &st,
+                            edge,
+                            hyper: hyper.clone(),
+                        };
+                        let dsl_val = interpret_f32(&program, &env).unwrap();
+                        // Bit-identical, not merely close: the native twins
+                        // replay the interpreter's per-op f32 rounding.
+                        assert_eq!(
+                            f64::from(rust),
+                            dsl_val,
+                            "{}: cur {cur} time {time} edge {edge}",
+                            w.name()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -485,6 +797,7 @@ mod tests {
             cur: 1,
             prev: Some(2),
             step: 0,
+            time: 0,
         };
         let n2v = Node2Vec::paper(true);
         assert_eq!(n2v.env_scalar(&g, &st, "deg", "cur"), Some(2.0));
@@ -559,7 +872,12 @@ mod tests {
             for cur in 0..3u32 {
                 for prev in [None, Some(0), Some(1), Some(2)] {
                     for step in 0..3usize {
-                        let st = WalkState { cur, prev, step };
+                        let st = WalkState {
+                            cur,
+                            prev,
+                            step,
+                            time: 0,
+                        };
                         for edge in g.edge_range(cur) {
                             let rust = w.weight(&g, &st, edge);
                             let env = Env {

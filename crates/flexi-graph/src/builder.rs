@@ -30,6 +30,7 @@ pub struct CsrBuilder {
     dst: Vec<NodeId>,
     weights: Option<Vec<f32>>,
     labels: Option<Vec<u8>>,
+    times: Option<Vec<u64>>,
     dedup: bool,
 }
 
@@ -42,6 +43,7 @@ impl CsrBuilder {
             dst: Vec::new(),
             weights: None,
             labels: None,
+            times: None,
             dedup: false,
         }
     }
@@ -75,6 +77,12 @@ impl CsrBuilder {
         self
     }
 
+    /// Adds a weighted directed edge with a timestamp.
+    pub fn timestamped_edge(mut self, src: NodeId, dst: NodeId, w: f32, time: u64) -> Self {
+        self.push_timestamped(src, dst, w, time);
+        self
+    }
+
     /// Adds an unweighted edge (by-reference form for loops).
     pub fn push_edge(&mut self, src: NodeId, dst: NodeId) {
         self.src.push(src);
@@ -84,6 +92,9 @@ impl CsrBuilder {
         }
         if let Some(l) = &mut self.labels {
             l.push(0);
+        }
+        if let Some(t) = &mut self.times {
+            t.push(0);
         }
     }
 
@@ -98,10 +109,47 @@ impl CsrBuilder {
         if let Some(l) = &mut self.labels {
             l.push(0);
         }
+        if let Some(t) = &mut self.times {
+            t.push(0);
+        }
     }
 
     /// Adds a weighted, labeled edge.
     pub fn push_full(&mut self, src: NodeId, dst: NodeId, w: f32, label: u8) {
+        let weights = self
+            .weights
+            .get_or_insert_with(|| vec![1.0; self.src.len()]);
+        let labels = self.labels.get_or_insert_with(|| vec![0; self.src.len()]);
+        weights.push(w);
+        labels.push(label);
+        self.src.push(src);
+        self.dst.push(dst);
+        if let Some(t) = &mut self.times {
+            t.push(0);
+        }
+    }
+
+    /// Adds a weighted, timestamped edge (by-reference form for loops).
+    ///
+    /// Earlier edges without an explicit timestamp backfill time `0`.
+    pub fn push_timestamped(&mut self, src: NodeId, dst: NodeId, w: f32, time: u64) {
+        let times = self.times.get_or_insert_with(|| vec![0; self.src.len()]);
+        times.push(time);
+        let weights = self
+            .weights
+            .get_or_insert_with(|| vec![1.0; self.src.len()]);
+        weights.push(w);
+        self.src.push(src);
+        self.dst.push(dst);
+        if let Some(l) = &mut self.labels {
+            l.push(0);
+        }
+    }
+
+    /// Adds a weighted, labeled, timestamped edge (by-reference form).
+    pub fn push_full_at(&mut self, src: NodeId, dst: NodeId, w: f32, label: u8, time: u64) {
+        let times = self.times.get_or_insert_with(|| vec![0; self.src.len()]);
+        times.push(time);
         let weights = self
             .weights
             .get_or_insert_with(|| vec![1.0; self.src.len()]);
@@ -158,6 +206,7 @@ impl CsrBuilder {
         let mut col_idx = Vec::with_capacity(m);
         let mut weights = self.weights.as_ref().map(|_| Vec::with_capacity(m));
         let mut labels = self.labels.as_ref().map(|_| Vec::with_capacity(m));
+        let mut times = self.times.as_ref().map(|_| Vec::with_capacity(m));
         let mut prev: Option<(NodeId, NodeId)> = None;
         let mut kept_row_counts = vec![0u64; n];
         for &i in &order {
@@ -173,6 +222,9 @@ impl CsrBuilder {
                 out.push(src[i]);
             }
             if let (Some(out), Some(src)) = (&mut labels, &self.labels) {
+                out.push(src[i]);
+            }
+            if let (Some(out), Some(src)) = (&mut times, &self.times) {
                 out.push(src[i]);
             }
         }
@@ -196,6 +248,7 @@ impl CsrBuilder {
             col_idx,
             props,
             labels,
+            times,
         })
     }
 }
@@ -267,6 +320,39 @@ mod tests {
         assert!(g.is_weighted());
         assert_eq!(g.prop(g.edge_range(0).start), 1.0);
         assert_eq!(g.prop(g.edge_range(1).start), 4.0);
+    }
+
+    #[test]
+    fn timestamps_permute_with_adjacency_and_backfill_zero() {
+        let mut b = CsrBuilder::new(3);
+        b.push_edge(0, 2); // Pre-timestamp edge: backfills time 0.
+        b.push_timestamped(0, 1, 2.0, 50);
+        b.push_full_at(1, 0, 3.0, 4, 75);
+        let g = b.build().unwrap();
+        assert!(g.has_times());
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        let r = g.edge_range(0);
+        assert_eq!(g.time(r.start), 50);
+        assert_eq!(g.time(r.start + 1), 0);
+        assert_eq!(g.prop(r.start), 2.0);
+        let r1 = g.edge_range(1);
+        assert_eq!((g.time(r1.start), g.label(r1.start)), (75, 4));
+        // Edges pushed after the times array exists backfill too.
+        let mut b = CsrBuilder::new(2);
+        b.push_timestamped(0, 1, 1.0, 9);
+        b.push_weighted(1, 0, 2.0);
+        let g = b.build().unwrap();
+        assert_eq!(g.time(g.edge_range(1).start), 0);
+    }
+
+    #[test]
+    fn dedup_keeps_first_timestamp() {
+        let mut b = CsrBuilder::new(2).dedup();
+        b.push_timestamped(0, 1, 1.0, 10);
+        b.push_timestamped(0, 1, 1.0, 99);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.time(0), 10);
     }
 
     #[test]

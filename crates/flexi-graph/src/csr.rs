@@ -43,6 +43,7 @@ pub struct Csr {
     pub(crate) col_idx: Vec<NodeId>,
     pub(crate) props: EdgeProps,
     pub(crate) labels: Option<Vec<u8>>,
+    pub(crate) times: Option<Vec<u64>>,
 }
 
 impl Csr {
@@ -120,6 +121,26 @@ impl Csr {
         self.labels.is_some()
     }
 
+    /// Timestamp of edge `e` (0 when the graph is untimed).
+    ///
+    /// Timestamps are opaque `u64` instants; the temporal machinery only
+    /// ever compares them, so any monotone clock (epoch seconds, logical
+    /// sequence numbers) works.
+    #[inline]
+    pub fn time(&self, e: EdgeId) -> u64 {
+        self.times.as_ref().map_or(0, |t| t[e])
+    }
+
+    /// Whether the graph carries per-edge timestamps.
+    pub fn has_times(&self) -> bool {
+        self.times.is_some()
+    }
+
+    /// Raw timestamp array, when the graph is temporal.
+    pub fn times(&self) -> Option<&[u64]> {
+        self.times.as_deref()
+    }
+
     /// Whether the graph carries non-trivial edge property weights.
     pub fn is_weighted(&self) -> bool {
         !matches!(self.props, EdgeProps::Unweighted)
@@ -171,6 +192,25 @@ impl Csr {
         Ok(self)
     }
 
+    /// Replaces the per-edge timestamps.
+    ///
+    /// The array is parallel to the adjacency: `times[e]` is the instant
+    /// edge `e` (in sorted CSR order) became live.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GraphError::PropLengthMismatch`] on length mismatch.
+    pub fn with_times(mut self, times: Vec<u64>) -> Result<Self, crate::GraphError> {
+        if times.len() != self.num_edges() {
+            return Err(crate::GraphError::PropLengthMismatch {
+                got: times.len(),
+                expected: self.num_edges(),
+            });
+        }
+        self.times = Some(times);
+        Ok(self)
+    }
+
     /// Approximate resident bytes (used for OOM emulation in baselines).
     pub fn memory_bytes(&self) -> usize {
         let mut bytes = self.row_ptr.len() * 8 + self.col_idx.len() * 4;
@@ -181,6 +221,9 @@ impl Csr {
         };
         if let Some(l) = &self.labels {
             bytes += l.len();
+        }
+        if let Some(t) = &self.times {
+            bytes += t.len() * 8;
         }
         bytes
     }
@@ -290,6 +333,32 @@ mod tests {
         assert_eq!(base, 5 * 8 + 4 * 4);
         let weighted = g.with_props(EdgeProps::F32(vec![1.0; 4])).unwrap();
         assert_eq!(weighted.memory_bytes(), base + 16);
+        let timed = weighted.with_times(vec![7; 4]).unwrap();
+        assert_eq!(timed.memory_bytes(), base + 16 + 32);
+    }
+
+    #[test]
+    fn untimed_time_is_zero() {
+        let g = diamond();
+        assert!(!g.has_times());
+        assert_eq!(g.time(0), 0);
+        assert_eq!(g.times(), None);
+    }
+
+    #[test]
+    fn with_times_validates_length() {
+        let g = diamond();
+        assert_eq!(
+            g.clone().with_times(vec![1; 3]).unwrap_err(),
+            GraphError::PropLengthMismatch {
+                got: 3,
+                expected: 4
+            }
+        );
+        let timed = g.with_times(vec![10, 20, 30, 40]).unwrap();
+        assert!(timed.has_times());
+        assert_eq!(timed.time(2), 30);
+        assert_eq!(timed.times(), Some(&[10, 20, 30, 40][..]));
     }
 
     #[test]

@@ -39,6 +39,24 @@ pub enum GraphUpdate {
         /// Edge label.
         label: u8,
     },
+    /// Insert a directed edge that becomes live at `time`.
+    ///
+    /// The timestamp rides the same epoch machinery as every other update:
+    /// inserting into an untimed graph promotes it to temporal form
+    /// (pre-existing edges backfill time `0`), so progressive ingestion is
+    /// just a stream of `AddEdgeAt` batches.
+    AddEdgeAt {
+        /// Source node.
+        src: NodeId,
+        /// Target node.
+        dst: NodeId,
+        /// Property weight.
+        weight: f32,
+        /// Edge label.
+        label: u8,
+        /// Instant the edge becomes live (opaque monotone clock).
+        time: u64,
+    },
     /// Remove one occurrence of a directed edge (no-op if absent).
     RemoveEdge {
         /// Source node.
@@ -71,39 +89,80 @@ pub struct BatchOutcome {
     pub structural: bool,
 }
 
+/// Renders one update for error attribution (endpoints or edge id).
+fn describe(u: &GraphUpdate) -> String {
+    match u {
+        GraphUpdate::AddEdge { src, dst, .. } => format!("add {src} -> {dst}"),
+        GraphUpdate::AddEdgeAt { src, dst, time, .. } => format!("add {src} -> {dst} @ {time}"),
+        GraphUpdate::RemoveEdge { src, dst } => format!("remove {src} -> {dst}"),
+        GraphUpdate::SetWeight { edge, .. } => format!("set-weight edge {edge}"),
+    }
+}
+
+/// One pending insertion, in batch order.
+struct Addition {
+    src: NodeId,
+    dst: NodeId,
+    weight: f32,
+    label: u8,
+    time: u64,
+}
+
 /// Applies a batch of updates to `csr` in place.
 ///
 /// The whole batch is validated up front: on error the graph is left
 /// untouched. Weight updates ([`GraphUpdate::SetWeight`]) are applied
 /// first, against the pre-batch edge ids; structural updates are then
-/// applied together by one CSR rebuild.
+/// applied together in one pass. Add-only batches (no removals) take a
+/// sorted linear merge — O(k log k + E) with no re-sort of the whole
+/// adjacency — so progressive ingestion stays cheap as the graph grows;
+/// batches containing removals fall back to a full rebuild. Both paths
+/// produce bit-identical graphs.
+///
+/// Timestamps ([`GraphUpdate::AddEdgeAt`]) are carried through either
+/// path; inserting a timestamped edge into an untimed graph promotes it
+/// (existing edges backfill time `0`).
 ///
 /// # Errors
 ///
-/// [`GraphError::NodeOutOfRange`] if an insertion or removal references an
-/// unknown node; [`GraphError::EdgeOutOfRange`] if a weight update
-/// references an edge id past the pre-batch edge count.
+/// [`GraphError::InvalidUpdate`] wrapping [`GraphError::NodeOutOfRange`]
+/// (insertion/removal referencing an unknown node) or
+/// [`GraphError::EdgeOutOfRange`] (weight update past the pre-batch edge
+/// count), annotated with the offending batch index and edge endpoints.
 pub fn apply_batch(csr: &mut Csr, batch: &[GraphUpdate]) -> Result<BatchOutcome, GraphError> {
     let n = csr.num_nodes();
     let m = csr.num_edges();
-    for u in batch {
-        match u {
-            GraphUpdate::AddEdge { src, dst, .. } | GraphUpdate::RemoveEdge { src, dst } => {
+    for (index, u) in batch.iter().enumerate() {
+        let cause = match u {
+            GraphUpdate::AddEdge { src, dst, .. }
+            | GraphUpdate::AddEdgeAt { src, dst, .. }
+            | GraphUpdate::RemoveEdge { src, dst } => {
                 if *src as usize >= n || *dst as usize >= n {
-                    return Err(GraphError::NodeOutOfRange {
+                    Some(GraphError::NodeOutOfRange {
                         node: u64::from((*src).max(*dst)),
                         num_nodes: n as u64,
-                    });
+                    })
+                } else {
+                    None
                 }
             }
             GraphUpdate::SetWeight { edge, .. } => {
                 if *edge >= m {
-                    return Err(GraphError::EdgeOutOfRange {
+                    Some(GraphError::EdgeOutOfRange {
                         edge: *edge,
                         num_edges: m,
-                    });
+                    })
+                } else {
+                    None
                 }
             }
+        };
+        if let Some(cause) = cause {
+            return Err(GraphError::InvalidUpdate {
+                index,
+                update: describe(u),
+                cause: Box::new(cause),
+            });
         }
     }
 
@@ -115,51 +174,171 @@ pub fn apply_batch(csr: &mut Csr, batch: &[GraphUpdate]) -> Result<BatchOutcome,
         }
     }
 
-    // Phase 2: one rebuild covering every structural update.
+    // Phase 2: one structural pass covering every insertion/removal.
     let structural = batch
         .iter()
         .any(|u| !matches!(u, GraphUpdate::SetWeight { .. }));
     if structural {
-        // Removal multiset: (src, dst) -> count.
-        let mut removals: std::collections::HashMap<(NodeId, NodeId), usize> =
-            std::collections::HashMap::new();
+        // The output graph is temporal iff the input already was or the
+        // batch introduces a timestamped edge; untimed dynamic graphs never
+        // pay the +8 B/edge array.
+        let timed = csr.has_times()
+            || batch
+                .iter()
+                .any(|u| matches!(u, GraphUpdate::AddEdgeAt { .. }));
+        let mut additions: Vec<Addition> = Vec::new();
         for u in batch {
-            if let GraphUpdate::RemoveEdge { src, dst } = u {
-                *removals.entry((*src, *dst)).or_insert(0) += 1;
+            match *u {
+                GraphUpdate::AddEdge {
+                    src,
+                    dst,
+                    weight,
+                    label,
+                } => additions.push(Addition {
+                    src,
+                    dst,
+                    weight,
+                    label,
+                    time: 0,
+                }),
+                GraphUpdate::AddEdgeAt {
+                    src,
+                    dst,
+                    weight,
+                    label,
+                    time,
+                } => additions.push(Addition {
+                    src,
+                    dst,
+                    weight,
+                    label,
+                    time,
+                }),
+                _ => {}
             }
         }
-        let mut b = CsrBuilder::with_capacity(n, csr.num_edges() + batch.len());
-        for v in 0..n as NodeId {
-            for e in csr.edge_range(v) {
-                let t = csr.edge_target(e);
-                if let Some(count) = removals.get_mut(&(v, t)) {
-                    if *count > 0 {
-                        *count -= 1;
-                        dirty.insert(v);
-                        continue;
-                    }
-                }
-                b.push_full(v, t, csr.prop(e), csr.label(e));
-            }
+        for a in &additions {
+            dirty.insert(a.src);
         }
-        for u in batch {
-            if let GraphUpdate::AddEdge {
-                src,
-                dst,
-                weight,
-                label,
-            } = u
-            {
-                b.push_full(*src, *dst, *weight, *label);
-                dirty.insert(*src);
-            }
+        let has_removals = batch
+            .iter()
+            .any(|u| matches!(u, GraphUpdate::RemoveEdge { .. }));
+        if has_removals {
+            rebuild_with(csr, batch, &additions, timed, &mut dirty)?;
+        } else {
+            merge_additions(csr, additions, timed);
         }
-        *csr = b.build()?;
     }
     Ok(BatchOutcome {
         dirty_nodes: dirty.into_iter().collect(),
         structural,
     })
+}
+
+/// Full CSR rebuild: removals dropped, additions appended, payloads
+/// (weights, labels and — when `timed` — timestamps) carried through the
+/// builder's stable sort.
+fn rebuild_with(
+    csr: &mut Csr,
+    batch: &[GraphUpdate],
+    additions: &[Addition],
+    timed: bool,
+    dirty: &mut BTreeSet<NodeId>,
+) -> Result<(), GraphError> {
+    let n = csr.num_nodes();
+    // Removal multiset: (src, dst) -> count.
+    let mut removals: std::collections::HashMap<(NodeId, NodeId), usize> =
+        std::collections::HashMap::new();
+    for u in batch {
+        if let GraphUpdate::RemoveEdge { src, dst } = u {
+            *removals.entry((*src, *dst)).or_insert(0) += 1;
+        }
+    }
+    let mut b = CsrBuilder::with_capacity(n, csr.num_edges() + additions.len());
+    for v in 0..n as NodeId {
+        for e in csr.edge_range(v) {
+            let t = csr.edge_target(e);
+            if let Some(count) = removals.get_mut(&(v, t)) {
+                if *count > 0 {
+                    *count -= 1;
+                    dirty.insert(v);
+                    continue;
+                }
+            }
+            if timed {
+                b.push_full_at(v, t, csr.prop(e), csr.label(e), csr.time(e));
+            } else {
+                b.push_full(v, t, csr.prop(e), csr.label(e));
+            }
+        }
+    }
+    for a in additions {
+        if timed {
+            b.push_full_at(a.src, a.dst, a.weight, a.label, a.time);
+        } else {
+            b.push_full(a.src, a.dst, a.weight, a.label);
+        }
+    }
+    *csr = b.build()?;
+    Ok(())
+}
+
+/// Add-only fast path: stable-sorts the `k` additions by `(src, dst)` and
+/// linearly merges them into the already-sorted adjacency — no re-sort of
+/// the existing `E` edges. On `(src, dst)` ties existing edges come first
+/// and additions keep batch order, exactly matching the builder's stable
+/// sort in [`rebuild_with`], so both paths are bit-identical (pinned by the
+/// `merge_matches_rebuild_bit_identically` test).
+fn merge_additions(csr: &mut Csr, mut additions: Vec<Addition>, timed: bool) {
+    let n = csr.num_nodes();
+    let m = csr.num_edges();
+    additions.sort_by_key(|a| (a.src, a.dst));
+    let m_new = m + additions.len();
+    let mut row_ptr: Vec<u64> = Vec::with_capacity(n + 1);
+    row_ptr.push(0);
+    let mut col_idx: Vec<NodeId> = Vec::with_capacity(m_new);
+    let mut weights: Vec<f32> = Vec::with_capacity(m_new);
+    let mut labels: Vec<u8> = Vec::with_capacity(m_new);
+    let mut times: Option<Vec<u64>> = timed.then(|| Vec::with_capacity(m_new));
+    let mut adds = additions.iter().peekable();
+    for v in 0..n as NodeId {
+        let mut e = csr.edge_range(v).start;
+        let end = csr.edge_range(v).end;
+        loop {
+            let next_add = adds.peek().filter(|a| a.src == v);
+            match next_add {
+                // Existing-before-new on ties: only take the addition while
+                // it sorts strictly ahead of the next existing edge.
+                Some(a) if e >= end || a.dst < csr.edge_target(e) => {
+                    col_idx.push(a.dst);
+                    weights.push(a.weight);
+                    labels.push(a.label);
+                    if let Some(t) = &mut times {
+                        t.push(a.time);
+                    }
+                    adds.next();
+                }
+                _ if e < end => {
+                    col_idx.push(csr.edge_target(e));
+                    weights.push(csr.prop(e));
+                    labels.push(csr.label(e));
+                    if let Some(t) = &mut times {
+                        t.push(csr.time(e));
+                    }
+                    e += 1;
+                }
+                _ => break,
+            }
+        }
+        row_ptr.push(col_idx.len() as u64);
+    }
+    *csr = Csr {
+        row_ptr,
+        col_idx,
+        props: EdgeProps::F32(weights),
+        labels: Some(labels),
+        times,
+    };
 }
 
 /// Overwrites one edge weight in place, returning the edge's source node.
@@ -269,8 +448,9 @@ impl DynamicGraph {
     ///
     /// # Errors
     ///
-    /// Returns [`GraphError::NodeOutOfRange`] if an insertion references an
-    /// unknown node; the graph is left unchanged in that case.
+    /// Returns [`GraphError::InvalidUpdate`] (wrapping the range failure,
+    /// annotated with batch index and endpoints) if an insertion references
+    /// an unknown node; the graph is left unchanged in that case.
     pub fn commit(&mut self) -> Result<(), GraphError> {
         if self.pending.is_empty() {
             return Ok(());
@@ -422,12 +602,245 @@ mod tests {
         .unwrap_err();
         assert_eq!(
             err,
-            GraphError::EdgeOutOfRange {
-                edge: 99,
-                num_edges: 3
+            GraphError::InvalidUpdate {
+                index: 1,
+                update: "set-weight edge 99".into(),
+                cause: Box::new(GraphError::EdgeOutOfRange {
+                    edge: 99,
+                    num_edges: 3
+                }),
             }
         );
         assert_eq!(g.prop(0), 2.0, "graph untouched on invalid batch");
+    }
+
+    #[test]
+    fn add_edge_error_carries_index_and_endpoints() {
+        let mut g = base();
+        let err = apply_batch(
+            &mut g,
+            &[
+                GraphUpdate::RemoveEdge { src: 0, dst: 1 },
+                GraphUpdate::AddEdge {
+                    src: 2,
+                    dst: 9,
+                    weight: 1.0,
+                    label: 0,
+                },
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::InvalidUpdate {
+                index: 1,
+                update: "add 2 -> 9".into(),
+                cause: Box::new(GraphError::NodeOutOfRange {
+                    node: 9,
+                    num_nodes: 4
+                }),
+            }
+        );
+        assert!(g.has_edge(0, 1), "graph untouched on invalid batch");
+        let msg = err.to_string();
+        assert!(msg.contains("#1") && msg.contains("add 2 -> 9"), "{msg}");
+    }
+
+    #[test]
+    fn add_edge_at_error_carries_index_and_endpoints() {
+        let mut g = base();
+        let err = apply_batch(
+            &mut g,
+            &[GraphUpdate::AddEdgeAt {
+                src: 7,
+                dst: 0,
+                weight: 1.0,
+                label: 0,
+                time: 42,
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::InvalidUpdate {
+                index: 0,
+                update: "add 7 -> 0 @ 42".into(),
+                cause: Box::new(GraphError::NodeOutOfRange {
+                    node: 7,
+                    num_nodes: 4
+                }),
+            }
+        );
+        assert!(!g.has_times(), "graph untouched on invalid batch");
+    }
+
+    #[test]
+    fn remove_edge_error_carries_index_and_endpoints() {
+        let mut g = base();
+        let err = apply_batch(&mut g, &[GraphUpdate::RemoveEdge { src: 1, dst: 6 }]).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::InvalidUpdate {
+                index: 0,
+                update: "remove 1 -> 6".into(),
+                cause: Box::new(GraphError::NodeOutOfRange {
+                    node: 6,
+                    num_nodes: 4
+                }),
+            }
+        );
+    }
+
+    #[test]
+    fn set_weight_error_carries_index_and_edge_id() {
+        let mut g = base();
+        let err = apply_batch(
+            &mut g,
+            &[GraphUpdate::SetWeight {
+                edge: 3,
+                weight: 1.0,
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::InvalidUpdate {
+                index: 0,
+                update: "set-weight edge 3".into(),
+                cause: Box::new(GraphError::EdgeOutOfRange {
+                    edge: 3,
+                    num_edges: 3
+                }),
+            }
+        );
+    }
+
+    fn assert_same_graph(a: &Csr, b: &Csr) {
+        assert_eq!(a.row_ptr(), b.row_ptr());
+        assert_eq!(a.col_idx(), b.col_idx());
+        assert_eq!(a.has_times(), b.has_times());
+        for e in 0..a.num_edges() {
+            assert_eq!(a.prop(e).to_bits(), b.prop(e).to_bits(), "edge {e}");
+            assert_eq!(a.label(e), b.label(e), "edge {e}");
+            assert_eq!(a.time(e), b.time(e), "edge {e}");
+        }
+    }
+
+    #[test]
+    fn merge_matches_rebuild_bit_identically() {
+        // Additions with duplicate (src, dst) keys, ties against existing
+        // edges, and fresh targets — the stable-order corner cases.
+        let batch = [
+            GraphUpdate::AddEdgeAt {
+                src: 0,
+                dst: 2,
+                weight: 8.0,
+                label: 3,
+                time: 11,
+            },
+            GraphUpdate::AddEdgeAt {
+                src: 0,
+                dst: 2,
+                weight: 9.0,
+                label: 4,
+                time: 12,
+            },
+            GraphUpdate::AddEdgeAt {
+                src: 3,
+                dst: 1,
+                weight: 1.0,
+                label: 0,
+                time: 13,
+            },
+            GraphUpdate::AddEdge {
+                src: 0,
+                dst: 0,
+                weight: 2.5,
+                label: 1,
+            },
+        ];
+        let mut merged = base();
+        let out_m = apply_batch(&mut merged, &batch).unwrap();
+        // An absent removal is a no-op that forces the rebuild path.
+        let mut rebuilt = base();
+        let mut forced: Vec<GraphUpdate> = batch.to_vec();
+        forced.push(GraphUpdate::RemoveEdge { src: 2, dst: 1 });
+        let out_r = apply_batch(&mut rebuilt, &forced).unwrap();
+        assert_same_graph(&merged, &rebuilt);
+        assert_eq!(out_m.dirty_nodes, out_r.dirty_nodes);
+        // Tie order: existing 0 -> 2 (weight 3.0) precedes both additions,
+        // which keep batch order.
+        let r = merged.edge_range(0);
+        assert_eq!(merged.neighbors(0), &[0, 1, 2, 2, 2]);
+        assert_eq!(merged.prop(r.start + 2), 3.0);
+        assert_eq!(merged.prop(r.start + 3), 8.0);
+        assert_eq!(merged.prop(r.start + 4), 9.0);
+        assert_eq!(merged.time(r.start + 4), 12);
+    }
+
+    #[test]
+    fn add_edge_at_promotes_untimed_graph_and_backfills_zero() {
+        let mut g = base();
+        let outcome = apply_batch(
+            &mut g,
+            &[GraphUpdate::AddEdgeAt {
+                src: 2,
+                dst: 0,
+                weight: 4.0,
+                label: 2,
+                time: 77,
+            }],
+        )
+        .unwrap();
+        assert!(outcome.structural);
+        assert_eq!(outcome.dirty_nodes, vec![2]);
+        assert!(g.has_times());
+        let e = g.edge_range(2).start;
+        assert_eq!((g.time(e), g.prop(e), g.label(e)), (77, 4.0, 2));
+        for e in g.edge_range(0).chain(g.edge_range(1)) {
+            assert_eq!(g.time(e), 0, "pre-existing edges backfill time 0");
+        }
+    }
+
+    #[test]
+    fn untimed_add_into_timed_graph_gets_time_zero_and_removal_keeps_times() {
+        let mut g = CsrBuilder::new(3)
+            .timestamped_edge(0, 1, 1.0, 10)
+            .timestamped_edge(1, 2, 1.0, 20)
+            .build()
+            .unwrap();
+        apply_batch(
+            &mut g,
+            &[GraphUpdate::AddEdge {
+                src: 2,
+                dst: 0,
+                weight: 1.0,
+                label: 0,
+            }],
+        )
+        .unwrap();
+        assert!(g.has_times());
+        assert_eq!(g.time(g.edge_range(2).start), 0);
+        // A removal (rebuild path) must carry surviving timestamps.
+        apply_batch(&mut g, &[GraphUpdate::RemoveEdge { src: 0, dst: 1 }]).unwrap();
+        assert!(g.has_times());
+        assert_eq!(g.time(g.edge_range(1).start), 20);
+    }
+
+    #[test]
+    fn untimed_batches_do_not_materialize_times() {
+        let mut g = base();
+        apply_batch(
+            &mut g,
+            &[GraphUpdate::AddEdge {
+                src: 3,
+                dst: 0,
+                weight: 1.0,
+                label: 0,
+            }],
+        )
+        .unwrap();
+        assert!(!g.has_times(), "untimed graphs never pay the times array");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use crate::csr::{Csr, NodeId};
 use crate::dynamic::{apply_batch, GraphUpdate};
 use crate::partition::PartitionPlan;
+use crate::temporal::{TimeMask, TimeWindow};
 use crate::GraphError;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -74,6 +75,11 @@ pub struct UpdateOutcome {
     /// dirty-node refresh (structural batches only; weight-only batches
     /// carry plans across untouched and do not count here).
     pub plans_migrated: usize,
+    /// Cached time-window masks recomputed for the new epoch (structural
+    /// batches only; weight-only batches carry masks across untouched —
+    /// a mask depends only on topology and timestamps — and do not count
+    /// here).
+    pub masks_migrated: usize,
 }
 
 /// How a [`GraphHandle::partition_plan`] lookup was served.
@@ -94,6 +100,15 @@ struct PlanSlot {
     plan: Arc<PartitionPlan>,
 }
 
+/// One cached time-window mask: the window it resolves and the epoch it is
+/// current at.
+#[derive(Debug)]
+struct MaskSlot {
+    window: TimeWindow,
+    epoch: u64,
+    mask: Arc<TimeMask>,
+}
+
 #[derive(Debug)]
 struct Versioned {
     graph: Arc<Csr>,
@@ -101,6 +116,9 @@ struct Versioned {
     /// Cached partition plans, one per requested shard count, kept
     /// current across update batches (see [`GraphHandle::partition_plan`]).
     plans: Vec<PlanSlot>,
+    /// Cached time-window masks, one per requested window, kept current
+    /// across update batches (see [`GraphHandle::time_mask`]).
+    masks: Vec<MaskSlot>,
 }
 
 /// An owned, shareable, epoch-versioned graph.
@@ -151,6 +169,7 @@ impl GraphHandle {
                 graph,
                 epoch: 0,
                 plans: Vec::new(),
+                masks: Vec::new(),
             })),
         }
     }
@@ -219,6 +238,7 @@ impl GraphHandle {
                 dirty_nodes: Vec::new(),
                 structural: false,
                 plans_migrated: 0,
+                masks_migrated: 0,
             });
         }
         // make_mut clones only when snapshots of the current version are
@@ -248,6 +268,21 @@ impl GraphHandle {
             slot.epoch = new_epoch;
             true
         });
+        // Same treatment for cached time-window masks: weight-only batches
+        // carry them (a mask reads only topology + timestamps), structural
+        // batches recompute against the new edge ids under the same lock.
+        let mut masks_migrated = 0;
+        guard.masks.retain_mut(|slot| {
+            if slot.epoch != old_epoch {
+                return false;
+            }
+            if outcome.structural {
+                slot.mask = Arc::new(TimeMask::compute(&graph, slot.window));
+                masks_migrated += 1;
+            }
+            slot.epoch = new_epoch;
+            true
+        });
         Ok(UpdateOutcome {
             version: GraphVersion {
                 graph_id: self.id,
@@ -257,6 +292,7 @@ impl GraphHandle {
             dirty_nodes: outcome.dirty_nodes,
             structural: outcome.structural,
             plans_migrated,
+            masks_migrated,
         })
     }
 
@@ -302,6 +338,49 @@ impl GraphHandle {
             }
         }
         (plan, PlanFetch::Built)
+    }
+
+    /// The time-window mask for `window` at the version `snap` pins.
+    ///
+    /// Served from the handle's mask cache when current — a stream of
+    /// same-window requests resolves the O(E) mask once per ingest epoch;
+    /// [`GraphHandle::apply_updates`] keeps cached masks current (carried
+    /// across weight-only batches, recomputed on structural ones). A miss
+    /// computes the mask from the snapshot's pinned graph; the result is
+    /// cached only when the snapshot is still the live version.
+    pub fn time_mask(
+        &self,
+        snap: &GraphSnapshot,
+        window: TimeWindow,
+    ) -> (Arc<TimeMask>, PlanFetch) {
+        {
+            let guard = self.read();
+            if let Some(slot) = guard
+                .masks
+                .iter()
+                .find(|s| s.window == window && s.epoch == snap.version.epoch)
+            {
+                return (Arc::clone(&slot.mask), PlanFetch::Cached);
+            }
+        }
+        let mask = Arc::new(TimeMask::compute(&snap.graph, window));
+        let mut guard = self.shared.write().expect("graph handle lock poisoned");
+        if guard.epoch == snap.version.epoch {
+            match guard.masks.iter_mut().find(|s| s.window == window) {
+                // A concurrent builder may have raced us here; either mask
+                // is correct (both computed from the same version).
+                Some(slot) => {
+                    slot.epoch = snap.version.epoch;
+                    slot.mask = Arc::clone(&mask);
+                }
+                None => guard.masks.push(MaskSlot {
+                    window,
+                    epoch: snap.version.epoch,
+                    mask: Arc::clone(&mask),
+                }),
+            }
+        }
+        (mask, PlanFetch::Built)
     }
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, Versioned> {
@@ -501,6 +580,83 @@ mod tests {
         let (live, fetch) = h.partition_plan(&h.snapshot(), 2);
         assert_eq!(fetch, PlanFetch::Built, "stale plan was not cached");
         assert_eq!(live.total_edges(), 4);
+    }
+
+    #[test]
+    fn time_masks_are_cached_per_epoch_and_migrated_by_updates() {
+        let g = CsrBuilder::new(4)
+            .timestamped_edge(0, 1, 1.0, 10)
+            .timestamped_edge(0, 2, 1.0, 20)
+            .timestamped_edge(1, 2, 1.0, 30)
+            .build()
+            .unwrap();
+        let h = GraphHandle::new(g);
+        let snap = h.snapshot();
+        let w = TimeWindow::until(25);
+        let (mask, fetch) = h.time_mask(&snap, w);
+        assert_eq!(fetch, PlanFetch::Built);
+        assert_eq!(mask.admitted(), 2);
+        let (again, fetch) = h.time_mask(&snap, w);
+        assert_eq!(fetch, PlanFetch::Cached);
+        assert!(Arc::ptr_eq(&mask, &again));
+        // A different window is its own slot.
+        assert_eq!(h.time_mask(&snap, TimeWindow::all()).1, PlanFetch::Built);
+
+        // A weight-only batch carries masks across the epoch untouched.
+        let out = h
+            .apply_updates(&[GraphUpdate::SetWeight {
+                edge: 0,
+                weight: 9.0,
+            }])
+            .unwrap();
+        assert_eq!(out.masks_migrated, 0);
+        let (carried, fetch) = h.time_mask(&h.snapshot(), w);
+        assert_eq!(fetch, PlanFetch::Cached);
+        assert!(Arc::ptr_eq(&mask, &carried));
+
+        // A structural batch recomputes every cached mask for the new ids.
+        let out = h
+            .apply_updates(&[GraphUpdate::AddEdgeAt {
+                src: 0,
+                dst: 0,
+                weight: 1.0,
+                label: 0,
+                time: 24,
+            }])
+            .unwrap();
+        assert_eq!(out.masks_migrated, 2, "both window slots recomputed");
+        let snap = h.snapshot();
+        let (migrated, fetch) = h.time_mask(&snap, w);
+        assert_eq!(fetch, PlanFetch::Cached);
+        // Inserted edge 0 -> 0 sorts ahead of 0 -> 1; mask tracks new ids.
+        assert_eq!(migrated.admitted(), 3);
+        // Admitted: (0,0,t24) id 0, (0,1,t10) id 1, (0,2,t20) id 2; the
+        // t30 edge (1,2) now sits at id 3, outside [0, 25).
+        assert!((0..3).all(|e| migrated.admits(e)) && !migrated.admits(3));
+    }
+
+    #[test]
+    fn stale_snapshot_mask_is_built_but_not_cached() {
+        let g = CsrBuilder::new(3)
+            .timestamped_edge(0, 1, 1.0, 10)
+            .build()
+            .unwrap();
+        let h = GraphHandle::new(g);
+        let old = h.snapshot();
+        h.apply_updates(&[GraphUpdate::AddEdgeAt {
+            src: 1,
+            dst: 2,
+            weight: 1.0,
+            label: 0,
+            time: 15,
+        }])
+        .unwrap();
+        let (mask, fetch) = h.time_mask(&old, TimeWindow::until(20));
+        assert_eq!(fetch, PlanFetch::Built);
+        assert_eq!(mask.num_edges(), 1, "resolved over the pinned old graph");
+        let (live, fetch) = h.time_mask(&h.snapshot(), TimeWindow::until(20));
+        assert_eq!(fetch, PlanFetch::Built, "stale mask was not cached");
+        assert_eq!(live.num_edges(), 2);
     }
 
     #[test]

@@ -110,7 +110,7 @@ pub fn write_binary<W: Write>(g: &Csr, writer: W) -> Result<(), GraphError> {
     let m = g.num_edges() as u64;
     w.write_all(&n.to_le_bytes())?;
     w.write_all(&m.to_le_bytes())?;
-    let flags: u8 = match (g.props(), g.has_labels()) {
+    let mut flags: u8 = match (g.props(), g.has_labels()) {
         (EdgeProps::Unweighted, false) => 0,
         (EdgeProps::Unweighted, true) => 2,
         (EdgeProps::F32(_), false) => 1,
@@ -118,6 +118,9 @@ pub fn write_binary<W: Write>(g: &Csr, writer: W) -> Result<(), GraphError> {
         (EdgeProps::Int8 { .. }, false) => 4,
         (EdgeProps::Int8 { .. }, true) => 6,
     };
+    if g.has_times() {
+        flags |= 8;
+    }
     w.write_all(&[flags])?;
     for rp in g.row_ptr() {
         w.write_all(&rp.to_le_bytes())?;
@@ -145,6 +148,11 @@ pub fn write_binary<W: Write>(g: &Csr, writer: W) -> Result<(), GraphError> {
     if g.has_labels() {
         for e in 0..g.num_edges() {
             w.write_all(&[g.label(e)])?;
+        }
+    }
+    if let Some(times) = g.times() {
+        for t in times {
+            w.write_all(&t.to_le_bytes())?;
         }
     }
     w.flush()?;
@@ -210,11 +218,21 @@ pub fn read_binary<R: Read>(reader: R) -> Result<Csr, GraphError> {
     } else {
         None
     };
+    let times = if flags & 8 != 0 {
+        let mut t = Vec::with_capacity(m);
+        for _ in 0..m {
+            t.push(read_u64(&mut r)?);
+        }
+        Some(t)
+    } else {
+        None
+    };
     Ok(Csr {
         row_ptr,
         col_idx,
         props,
         labels,
+        times,
     })
 }
 

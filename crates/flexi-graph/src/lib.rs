@@ -25,6 +25,7 @@ pub mod io;
 pub mod partition;
 pub mod props;
 pub mod stats;
+pub mod temporal;
 
 pub use builder::CsrBuilder;
 pub use csr::{Csr, EdgeId, NodeId};
@@ -33,6 +34,7 @@ pub use dynamic::GraphUpdate;
 pub use handle::{GraphHandle, GraphSnapshot, GraphVersion, PlanFetch, UpdateOutcome};
 pub use partition::{shard_of, PartitionPlan};
 pub use props::{EdgeProps, WeightModel};
+pub use temporal::{TimeMask, TimeWindow};
 
 /// Errors produced by graph construction and I/O.
 #[derive(Debug, PartialEq, Eq)]
@@ -58,6 +60,19 @@ pub enum GraphError {
         /// Number of edges in the graph.
         expected: usize,
     },
+    /// A batch entry failed validation in [`dynamic::apply_batch`].
+    ///
+    /// Wraps the underlying range error with the entry's position in the
+    /// batch and a rendering of the offending update (edge endpoints or
+    /// edge id), so a failed mixed batch is attributable at a glance.
+    InvalidUpdate {
+        /// Zero-based position of the offending update within the batch.
+        index: usize,
+        /// Human-readable rendering of the update, e.g. `add 3 -> 99`.
+        update: String,
+        /// The underlying validation failure.
+        cause: Box<GraphError>,
+    },
     /// Input file or stream was malformed.
     Parse(String),
     /// Underlying I/O failure.
@@ -75,6 +90,13 @@ impl std::fmt::Display for GraphError {
             }
             Self::PropLengthMismatch { got, expected } => {
                 write!(f, "property array has {got} entries, expected {expected}")
+            }
+            Self::InvalidUpdate {
+                index,
+                update,
+                cause,
+            } => {
+                write!(f, "update #{index} ({update}) rejected: {cause}")
             }
             Self::Parse(msg) => write!(f, "parse error: {msg}"),
             Self::Io(msg) => write!(f, "I/O error: {msg}"),

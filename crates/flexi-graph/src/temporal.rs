@@ -1,0 +1,290 @@
+//! Temporal graph views: per-edge timestamps and cached time-window masks.
+//!
+//! FlexiWalker's temporal subsystem stores one opaque `u64` instant per
+//! edge ([`Csr::time`]) and exposes half-open [`TimeWindow`]s over them. A
+//! window is resolved against a concrete graph version into a [`TimeMask`]
+//! — a bitset over edge ids — which the engine consults when weighing
+//! neighbors: masked-out edges weigh `0.0` and are never traversed. Masks
+//! are cached per `(epoch, window)` on
+//! [`GraphHandle`](crate::handle::GraphHandle), exactly like
+//! `PartitionPlan`s, so a served stream of same-window walk requests pays
+//! the O(E) resolution once per ingest epoch.
+//!
+//! Timestamps are only ever *compared*, so any monotone clock works:
+//! epoch seconds, milliseconds, or logical sequence numbers.
+
+use crate::csr::{Csr, EdgeId};
+
+/// A half-open time interval `[t0, t1)` selecting the edges live within it.
+///
+/// An edge `e` is admitted iff `t0 <= time(e) < t1`. The default window
+/// ([`TimeWindow::all`]) admits every edge — including edges of untimed
+/// graphs, whose implicit timestamp is `0`.
+///
+/// # Examples
+///
+/// ```
+/// use flexi_graph::temporal::TimeWindow;
+///
+/// let w = TimeWindow::new(10, 20);
+/// assert!(w.contains(10) && w.contains(19));
+/// assert!(!w.contains(20) && !w.contains(9));
+/// assert!(TimeWindow::all().contains(0));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimeWindow {
+    /// Inclusive lower bound.
+    pub t0: u64,
+    /// Exclusive upper bound.
+    pub t1: u64,
+}
+
+impl TimeWindow {
+    /// The window `[t0, t1)`.
+    pub fn new(t0: u64, t1: u64) -> Self {
+        Self { t0, t1 }
+    }
+
+    /// The window admitting every timestamp.
+    pub fn all() -> Self {
+        Self {
+            t0: 0,
+            t1: u64::MAX,
+        }
+    }
+
+    /// Everything before `t1`: the window `[0, t1)`.
+    pub fn until(t1: u64) -> Self {
+        Self { t0: 0, t1 }
+    }
+
+    /// Everything from `t0` on: the window `[t0, u64::MAX)`.
+    pub fn since(t0: u64) -> Self {
+        Self { t0, t1: u64::MAX }
+    }
+
+    /// Whether `t` falls inside the window.
+    #[inline]
+    pub fn contains(self, t: u64) -> bool {
+        self.t0 <= t && t < self.t1
+    }
+
+    /// Whether this is the admit-everything window.
+    pub fn is_all(self) -> bool {
+        self.t0 == 0 && self.t1 == u64::MAX
+    }
+}
+
+impl Default for TimeWindow {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+impl std::fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_all() {
+            write!(f, "[..)")
+        } else if self.t1 == u64::MAX {
+            write!(f, "[{}..)", self.t0)
+        } else {
+            write!(f, "[{}..{})", self.t0, self.t1)
+        }
+    }
+}
+
+/// A [`TimeWindow`] resolved against one concrete graph version: a bitset
+/// over edge ids marking the edges live inside the window.
+///
+/// Resolution is O(E) once; [`TimeMask::admits`] is O(1) per edge. Masks
+/// are immutable and safely shared across worker threads behind `Arc`.
+#[derive(Clone, Debug)]
+pub struct TimeMask {
+    window: TimeWindow,
+    bits: Vec<u64>,
+    num_edges: usize,
+    admitted: usize,
+}
+
+impl TimeMask {
+    /// Resolves `window` against `g`'s edge timestamps.
+    ///
+    /// Untimed graphs short-circuit: every edge carries the implicit
+    /// timestamp `0`, so the mask is all-ones when the window contains `0`
+    /// and all-zeros otherwise.
+    pub fn compute(g: &Csr, window: TimeWindow) -> Self {
+        let m = g.num_edges();
+        let words = m.div_ceil(64);
+        match g.times() {
+            None => {
+                if window.contains(0) {
+                    Self::full(g, window)
+                } else {
+                    Self {
+                        window,
+                        bits: vec![0; words],
+                        num_edges: m,
+                        admitted: 0,
+                    }
+                }
+            }
+            Some(times) => {
+                let mut bits = vec![0u64; words];
+                let mut admitted = 0usize;
+                for (e, &t) in times.iter().enumerate() {
+                    if window.contains(t) {
+                        bits[e / 64] |= 1 << (e % 64);
+                        admitted += 1;
+                    }
+                }
+                Self {
+                    window,
+                    bits,
+                    num_edges: m,
+                    admitted,
+                }
+            }
+        }
+    }
+
+    /// The all-ones mask for `g` (every edge admitted), tagged with `window`.
+    fn full(g: &Csr, window: TimeWindow) -> Self {
+        let m = g.num_edges();
+        let words = m.div_ceil(64);
+        let mut bits = vec![u64::MAX; words];
+        if m % 64 != 0 {
+            if let Some(last) = bits.last_mut() {
+                *last = (1u64 << (m % 64)) - 1;
+            }
+        }
+        Self {
+            window,
+            bits,
+            num_edges: m,
+            admitted: m,
+        }
+    }
+
+    /// Whether edge `e` is live inside the window.
+    #[inline]
+    pub fn admits(&self, e: EdgeId) -> bool {
+        debug_assert!(e < self.num_edges, "edge id {e} out of mask range");
+        self.bits[e / 64] & (1 << (e % 64)) != 0
+    }
+
+    /// The window this mask resolves.
+    pub fn window(&self) -> TimeWindow {
+        self.window
+    }
+
+    /// Number of edges the mask was resolved over.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of admitted (live) edges.
+    pub fn admitted(&self) -> usize {
+        self.admitted
+    }
+
+    /// Whether every edge is admitted (engines skip masking entirely).
+    pub fn is_full(&self) -> bool {
+        self.admitted == self.num_edges
+    }
+
+    /// Approximate resident bytes (bitset words).
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CsrBuilder;
+
+    fn timed() -> Csr {
+        CsrBuilder::new(3)
+            .timestamped_edge(0, 1, 1.0, 5)
+            .timestamped_edge(0, 2, 1.0, 15)
+            .timestamped_edge(1, 2, 1.0, 25)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let w = TimeWindow::new(10, 20);
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+    }
+
+    #[test]
+    fn window_helpers_and_display() {
+        assert!(TimeWindow::all().is_all());
+        assert_eq!(TimeWindow::default(), TimeWindow::all());
+        assert!(TimeWindow::until(5).contains(0) && !TimeWindow::until(5).contains(5));
+        assert!(TimeWindow::since(5).contains(u64::MAX - 1));
+        assert_eq!(TimeWindow::all().to_string(), "[..)");
+        assert_eq!(TimeWindow::since(3).to_string(), "[3..)");
+        assert_eq!(TimeWindow::new(1, 9).to_string(), "[1..9)");
+    }
+
+    #[test]
+    fn mask_selects_edges_inside_window() {
+        let g = timed();
+        let m = TimeMask::compute(&g, TimeWindow::new(10, 30));
+        assert_eq!(m.admitted(), 2);
+        assert!(!m.admits(0));
+        assert!(m.admits(1));
+        assert!(m.admits(2));
+        assert!(!m.is_full());
+        assert_eq!(m.window(), TimeWindow::new(10, 30));
+    }
+
+    #[test]
+    fn all_window_is_full_even_on_timed_graphs() {
+        let g = timed();
+        let m = TimeMask::compute(&g, TimeWindow::all());
+        assert!(m.is_full());
+        assert_eq!(m.admitted(), 3);
+    }
+
+    #[test]
+    fn untimed_graph_masks_all_or_nothing() {
+        let g = CsrBuilder::new(2).edge(0, 1).edge(1, 0).build().unwrap();
+        let live = TimeMask::compute(&g, TimeWindow::until(100));
+        assert!(live.is_full(), "implicit time 0 inside [0, 100)");
+        let dead = TimeMask::compute(&g, TimeWindow::since(1));
+        assert_eq!(dead.admitted(), 0);
+        assert!(!dead.admits(0) && !dead.admits(1));
+    }
+
+    #[test]
+    fn full_mask_handles_word_boundaries() {
+        // 64 and 65 edges exercise the partial-last-word path.
+        for m_edges in [63usize, 64, 65, 130] {
+            let mut b = CsrBuilder::new(2);
+            for _ in 0..m_edges {
+                b.push_timestamped(0, 1, 1.0, 7);
+            }
+            let g = b.build().unwrap();
+            let m = TimeMask::compute(&g, TimeWindow::all());
+            assert_eq!(m.admitted(), m_edges);
+            assert!((0..m_edges).all(|e| m.admits(e)));
+            let none = TimeMask::compute(&g, TimeWindow::until(7));
+            assert_eq!(none.admitted(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_graph_mask_is_trivial() {
+        let g = CsrBuilder::new(1).build().unwrap();
+        let m = TimeMask::compute(&g, TimeWindow::all());
+        assert_eq!(m.num_edges(), 0);
+        assert!(m.is_full(), "vacuously full");
+        assert_eq!(m.memory_bytes(), 0);
+    }
+}

@@ -50,6 +50,9 @@ pub mod ids {
     pub const RVS: SamplerId = "rvs";
     /// Rejection sampling with exact per-step max (NextDoor, KnightKing).
     pub const RJS: SamplerId = "rjs";
+    /// Temporal CDF sampling for time-windowed walks
+    /// ([`TcdfSampler`](crate::temporal::TcdfSampler)).
+    pub const TCDF: SamplerId = "tcdf";
 }
 
 /// How a strategy occupies the warp during one sampling step.

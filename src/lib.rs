@@ -27,7 +27,9 @@
 //! builder produces a [`Session`](prelude::Session) that *owns* its graphs
 //! behind epoch-versioned [`GraphHandle`](prelude::GraphHandle)s, serves
 //! any walker registered in its [`WalkerRegistry`](prelude::WalkerRegistry)
-//! — the built-ins (`"node2vec"`, `"metapath"`, `"sopr"`, `"uniform"`),
+//! — the built-ins (`"node2vec"`, `"metapath"`, `"sopr"`, `"uniform"`,
+//! and the temporal trio `"temporal_uniform"` / `"temporal_exp"` /
+//! `"temporal_linear"`),
 //! user DSL sources, or native [`DynamicWalk`](prelude::DynamicWalk)
 //! implementations, all lowered through one compiler pipeline — over live
 //! topology/weight updates, and caches lowering, preprocessing and
@@ -114,17 +116,18 @@ pub mod prelude {
     pub use flexi_core::{
         AdmissionPolicy, AdmissionStats, CompiledWalker, DynamicWalk, EngineError,
         FlexiWalkerEngine, IntoQueries, IntoWalker, LatencyHistogram, LinkSpec, MetaPath, Node2Vec,
-        RunReport, SamplerTally, SecondOrderPr, SelectionStrategy, ShardStats, Topology,
-        UniformWalk, WalkConfig, WalkEngine, WalkRequest, WalkState, WalkerDef, WalkerHandle,
-        WalkerRegistry, WalkerSource,
+        RunReport, SamplerTally, SecondOrderPr, SelectionStrategy, ShardStats, TemporalExp,
+        TemporalLinear, TemporalUniform, Topology, UniformWalk, WalkConfig, WalkEngine,
+        WalkRequest, WalkState, WalkerDef, WalkerHandle, WalkerRegistry, WalkerSource,
     };
     pub use flexi_gpu_sim::DeviceSpec;
     pub use flexi_graph::{
         gen, proxy, shard_of, Csr, CsrBuilder, GraphError, GraphHandle, GraphSnapshot, GraphUpdate,
-        GraphVersion, NodeId, PartitionPlan, PlanFetch, UpdateOutcome, WeightModel,
+        GraphVersion, NodeId, PartitionPlan, PlanFetch, TimeMask, TimeWindow, UpdateOutcome,
+        WeightModel,
     };
     pub use flexi_rng::{Philox4x32, RandomSource};
     pub use flexi_sampling::{
-        ids as sampler_ids, Granularity, Sampler, SamplerId, SamplerRegistry,
+        ids as sampler_ids, Granularity, Sampler, SamplerId, SamplerRegistry, TcdfSampler,
     };
 }

@@ -269,8 +269,15 @@ impl std::fmt::Display for ServerStats {
         )?;
         writeln!(
             f,
-            "served {} requests in {} cycles, {} update batches applied",
-            self.served, self.serve_cycles, self.updates_applied
+            "served {} requests in {} cycles, {} update batches applied \
+             ({} epoch(s), plans: {} built / {} hit / {} refreshed)",
+            self.served,
+            self.serve_cycles,
+            self.updates_applied,
+            self.session.epochs_applied,
+            self.session.plan_builds,
+            self.session.plan_hits,
+            self.session.plan_refreshes,
         )?;
         write!(
             f,

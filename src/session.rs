@@ -374,6 +374,12 @@ pub struct SessionStats {
     /// refresh (one per cached plan per structural batch; weight-only
     /// batches carry plans without counting here).
     pub plan_refreshes: u64,
+    /// Ingest epochs applied through [`Session::apply_updates`]
+    /// (non-empty batches only; a no-op batch advances nothing).
+    pub epochs_applied: u64,
+    /// Cached time-window masks migrated across those epochs (recomputed
+    /// on structural batches, carried on weight-only ones).
+    pub masks_migrated: u64,
     /// Per-request drain latency: every drained request records the host
     /// wall time of the [`Session::drain`] call that served it (requests
     /// in one drain complete together, so they share its latency). The
@@ -401,16 +407,19 @@ impl std::fmt::Display for SessionStats {
         writeln!(
             f,
             "drains: {} group(s), {} parallel, {} sharded ({} shard launches, {} migrations, \
-             {:.3} link-s), plans: {} built / {} hit / {} refreshed",
+             {:.3} link-s), {} epoch(s), plans: {} built / {} hit / {} refreshed, \
+             {} mask(s) migrated",
             self.drain_groups,
             self.parallel_drains,
             self.sharded_drains,
             self.shard_launches,
             self.migrations,
             self.link_seconds,
+            self.epochs_applied,
             self.plan_builds,
             self.plan_hits,
             self.plan_refreshes,
+            self.masks_migrated,
         )?;
         write!(
             f,
@@ -604,10 +613,12 @@ impl Session {
         // write lock); surface the count so plan-reuse guarantees are
         // testable: refreshes track structural epochs, never drains.
         self.stats.plan_refreshes += outcome.plans_migrated as u64;
+        self.stats.masks_migrated += outcome.masks_migrated as u64;
         if outcome.dirty_nodes.is_empty() && !outcome.structural {
             // Empty batch: nothing changed, nothing to migrate.
             return Ok(outcome);
         }
+        self.stats.epochs_applied += 1;
         let new_epoch = outcome.version.epoch;
         let old_epoch = new_epoch - 1;
         let old_fp = entry.fp_at(id, old_epoch);

@@ -39,7 +39,12 @@ fn bound_estimators_dominate_actual_weights_for_all_workloads() {
             }
             for prev in [None, Some((cur + 1) % g.num_nodes() as u32)] {
                 for step in [0usize, 1, 3] {
-                    let state = WalkState { cur, prev, step };
+                    let state = WalkState {
+                        cur,
+                        prev,
+                        step,
+                        time: 0,
+                    };
                     let env = RuntimeEnv {
                         graph: &g,
                         aggregates: &agg,

@@ -55,6 +55,7 @@ fn bound_stays_sound_across_updates_and_refreshes() {
                 cur,
                 prev: Some((cur + 1) % g.num_nodes() as u32),
                 step: 1,
+                time: 0,
             };
             let env = RuntimeEnv {
                 graph: g,
@@ -95,6 +96,7 @@ fn stale_aggregates_are_actually_stale_without_refresh() {
         cur: 0,
         prev: Some(1),
         step: 1,
+        time: 0,
     };
     let env = RuntimeEnv {
         graph: dg.graph(),

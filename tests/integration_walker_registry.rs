@@ -137,7 +137,15 @@ fn duplicate_walker_names_replace_in_place() {
         .build();
     assert_eq!(
         session.walkers().names(),
-        vec!["node2vec", "metapath", "sopr", "uniform"],
+        vec![
+            "node2vec",
+            "metapath",
+            "sopr",
+            "uniform",
+            "temporal_uniform",
+            "temporal_exp",
+            "temporal_linear"
+        ],
         "replacement kept the registry position"
     );
     let w = session.load_walker("node2vec").unwrap();
