@@ -1,0 +1,299 @@
+//! Sampler-state churn bench + gate: epoch-keyed incremental maintenance
+//! must beat rebuild-per-epoch, and its per-epoch cost must scale with
+//! the batch size **Δ**, not the graph size **|V|**.
+//!
+//! Each rung doubles the graph while the weight-only update batch stays
+//! fixed at Δ edges. Two arms replay the identical epoch loop — apply a
+//! batch, submit walks, drain — against a state-enabled session:
+//!
+//! - **incremental**: one handle maintained across epochs; alias/CDF
+//!   tables are patched in place (O(Δ)) and re-served from the cache;
+//! - **rebuild**: the post-batch snapshot is reloaded into a fresh handle
+//!   every epoch, so digest, plans, aggregates and every sampler-state
+//!   table are rebuilt from scratch (O(|V|)) — what a system without
+//!   epoch-keyed state maintenance pays.
+//!
+//! ```text
+//! cargo bench --bench churn_drain [-- --smoke] [--json PATH]
+//!                                 [--gate BASELINE]
+//! ```
+//!
+//! - `--smoke`: rungs 4k -> 16k nodes (CI scale). Full: 4k -> 64k.
+//! - `--json PATH`: write the result artifact to PATH.
+//! - `--gate BASELINE`: compare the largest-rung speedup against a
+//!   baseline JSON and exit non-zero on a > 2x regression.
+//!
+//! Hard gates (always on): incremental must beat rebuild by >= 2x at the
+//! largest rung; the incremental arm must patch — exactly one build per
+//! stateful sampler ever, one patch per sampler per epoch; walk outputs
+//! of the two arms must be bit-identical (refresh ≡ rebuild).
+
+use flexi_bench::json::{extract_number, Json};
+use flexiwalker::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Deterministic stream randomness (splitmix64 step).
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Weight-only churn per epoch: fixed regardless of graph size.
+const DELTA: usize = 256;
+/// Epochs per rung.
+const EPOCHS: usize = 6;
+/// Stateful strategies registered (ALS + ITS + tcdf).
+const STATEFUL: u64 = 3;
+
+fn wgraph(nodes: usize, seed: u64) -> Csr {
+    let mut rng = seed;
+    let mut b = CsrBuilder::new(nodes);
+    for src in 0..nodes as NodeId {
+        for _ in 0..2 + (mix(&mut rng) % 4) {
+            let dst = (mix(&mut rng) % nodes as u64) as NodeId;
+            b.push_weighted(src, dst, 0.5 + (mix(&mut rng) % 8) as f32);
+        }
+    }
+    b.build().expect("valid weighted graph")
+}
+
+fn session() -> Session {
+    FlexiWalker::builder()
+        .device(DeviceSpec::a6000())
+        .register_sampler(Arc::new(AliasSampler))
+        .register_sampler(Arc::new(ItsSampler))
+        .register_sampler(Arc::new(TcdfSampler))
+        .incremental_state(true)
+        .build()
+}
+
+struct Arm {
+    epoch_ms: f64,
+    paths: Vec<Option<Vec<Vec<NodeId>>>>,
+    stats: SessionStats,
+}
+
+/// One rung arm: warm up, then `EPOCHS` x (batch -> walks -> drain).
+/// `rebuild` reloads the post-batch snapshot into a fresh handle each
+/// epoch, defeating every cache on purpose.
+fn run_arm(nodes: usize, seed: u64, rebuild: bool) -> Arm {
+    let mut session = session();
+    let mut g = session.load_graph(wgraph(nodes, seed));
+    let queries: Vec<NodeId> = (0..64).map(|q| (q * 131 % nodes) as NodeId).collect();
+    session
+        .run(WalkRequest::new(&g, "uniform", queries.clone()).steps(8))
+        .expect("warm-up walk");
+
+    let mut rng = seed ^ 0xC0FF_EE00;
+    let mut paths = Vec::new();
+    let start = Instant::now();
+    for _ in 0..EPOCHS {
+        let edges = g.graph().num_edges();
+        let batch: Vec<GraphUpdate> = (0..DELTA)
+            .map(|_| GraphUpdate::SetWeight {
+                edge: (mix(&mut rng) % edges as u64) as usize,
+                weight: 0.25 + (mix(&mut rng) % 16) as f32 * 0.5,
+            })
+            .collect();
+        session.apply_updates(&g, &batch).expect("batch applies");
+        if rebuild {
+            let snapshot = g.graph();
+            g = session.load_graph(snapshot);
+        }
+        for _ in 0..2 {
+            session.submit(
+                WalkRequest::new(&g, "uniform", queries.clone())
+                    .steps(8)
+                    .record_paths(true),
+            );
+        }
+        for (_, r) in session.drain() {
+            paths.push(r.expect("drain succeeds").paths);
+        }
+    }
+    let epoch_ms = start.elapsed().as_secs_f64() * 1e3 / EPOCHS as f64;
+    Arm {
+        epoch_ms,
+        paths,
+        stats: session.stats(),
+    }
+}
+
+struct Rung {
+    nodes: usize,
+    edges: usize,
+    inc_epoch_ms: f64,
+    reb_epoch_ms: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut json_path: Option<String> = None;
+    let mut gate_path: Option<String> = None;
+    let value_of = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires an argument");
+            std::process::exit(2);
+        })
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--json" => {
+                i += 1;
+                json_path = Some(value_of(&args, i, "--json"));
+            }
+            "--gate" => {
+                i += 1;
+                gate_path = Some(value_of(&args, i, "--gate"));
+            }
+            // `cargo bench` forwards its own flags (e.g. --bench); ignore.
+            _ => {}
+        }
+        i += 1;
+    }
+    let top: usize = if smoke { 1 << 14 } else { 1 << 16 };
+    let mode = if smoke { "smoke" } else { "full" };
+    println!(
+        "# churn_drain [{mode}]: weight-only churn Δ={DELTA} x {EPOCHS} epochs, \
+         incremental state vs rebuild-per-epoch"
+    );
+
+    let mut rungs: Vec<Rung> = Vec::new();
+    let mut failed = false;
+    let mut nodes = 1usize << 12;
+    while nodes <= top {
+        let seed = 0xC4A1u64 ^ nodes as u64;
+        let edges = wgraph(nodes, seed).num_edges();
+        let inc = run_arm(nodes, seed, false);
+        let reb = run_arm(nodes, seed, true);
+        if inc.paths != reb.paths {
+            eprintln!("GATE FAIL: patched and rebuilt walks diverged at {nodes} nodes");
+            failed = true;
+        }
+        // Structural proof that the incremental arm patched instead of
+        // rebuilding: one build per stateful sampler ever, one patch per
+        // sampler per epoch, and the rebuild arm re-built every epoch.
+        if inc.stats.sampler_state_builds != STATEFUL {
+            eprintln!(
+                "GATE FAIL: incremental arm rebuilt state ({} builds at {nodes} nodes)",
+                inc.stats.sampler_state_builds
+            );
+            failed = true;
+        }
+        if inc.stats.sampler_state_patches != STATEFUL * EPOCHS as u64 {
+            eprintln!(
+                "GATE FAIL: incremental arm patched {} times, expected {}",
+                inc.stats.sampler_state_patches,
+                STATEFUL * EPOCHS as u64
+            );
+            failed = true;
+        }
+        if reb.stats.sampler_state_builds < STATEFUL * EPOCHS as u64 {
+            eprintln!(
+                "GATE FAIL: rebuild arm only built {} state tables",
+                reb.stats.sampler_state_builds
+            );
+            failed = true;
+        }
+        let speedup = reb.epoch_ms / inc.epoch_ms.max(1e-9);
+        println!(
+            "  [{nodes:>6} nodes / {edges:>7} edges] incremental {:>8.2} ms/epoch, \
+             rebuild {:>8.2} ms/epoch, speedup {speedup:>5.2}x",
+            inc.epoch_ms, reb.epoch_ms
+        );
+        rungs.push(Rung {
+            nodes,
+            edges,
+            inc_epoch_ms: inc.epoch_ms,
+            reb_epoch_ms: reb.epoch_ms,
+            speedup,
+        });
+        nodes <<= 1;
+    }
+
+    let first = rungs.first().expect("at least one rung");
+    let last = rungs.last().expect("at least one rung");
+    let speedup_largest = last.speedup;
+    // Δ is fixed while |V| grows: per-epoch incremental cost must stay
+    // (near-)flat while the rebuild arm climbs with the graph.
+    let delta_scaling = last.inc_epoch_ms / first.inc_epoch_ms.max(1e-9);
+    let growth = (last.nodes / first.nodes) as f64;
+    println!(
+        "  largest rung: incremental beats rebuild {speedup_largest:.2}x; \
+         incremental per-epoch cost grew {delta_scaling:.2}x over {growth:.0}x graph growth"
+    );
+
+    if speedup_largest < 2.0 {
+        eprintln!(
+            "GATE FAIL: incremental speedup {speedup_largest:.2}x at the largest rung \
+             is below the required 2x"
+        );
+        failed = true;
+    }
+
+    let doc = Json::obj([
+        ("bench", Json::from("churn_drain")),
+        ("mode", Json::from(mode)),
+        ("delta", Json::from(DELTA)),
+        ("epochs_per_rung", Json::from(EPOCHS)),
+        ("rungs", {
+            Json::arr(rungs.iter().map(|r| {
+                Json::obj([
+                    ("nodes", Json::from(r.nodes)),
+                    ("edges", Json::from(r.edges)),
+                    ("inc_epoch_ms", Json::from(r.inc_epoch_ms)),
+                    ("reb_epoch_ms", Json::from(r.reb_epoch_ms)),
+                    ("speedup", Json::from(r.speedup)),
+                ])
+            }))
+        }),
+        ("speedup_largest", Json::from(speedup_largest)),
+        ("delta_scaling", Json::from(delta_scaling)),
+        ("graph_growth", Json::from(growth)),
+    ]);
+    if let Some(path) = &json_path {
+        std::fs::write(path, doc.render()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("  (result recorded in {path})");
+    }
+
+    if let Some(path) = &gate_path {
+        let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read gate baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        match extract_number(&baseline, "speedup_largest") {
+            Some(base) => {
+                // The speedup is a dimensionless ratio of the two arms on
+                // the same host, so no normalisation is needed.
+                let allowed = base / 2.0;
+                if speedup_largest < allowed {
+                    eprintln!(
+                        "GATE FAIL: incremental speedup {speedup_largest:.2}x fell more \
+                         than 2x below the baseline ({base:.2}x)"
+                    );
+                    failed = true;
+                } else {
+                    println!("  gate: speedup within 2x of baseline ({base:.2}x) — ok");
+                }
+            }
+            None => {
+                eprintln!("GATE FAIL: baseline {path} lacks a speedup_largest field");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

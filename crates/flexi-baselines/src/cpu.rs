@@ -214,6 +214,8 @@ fn cpu_run(
             t.record(sampler.sampler_id(), steps_taken);
             t
         },
+        sampler_state_builds: 0,
+        sampler_state_hits: 0,
         profile_seconds: 0.0,
         preprocess_seconds: 0.0,
         warnings: Vec::new(),

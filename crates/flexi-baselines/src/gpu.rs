@@ -168,6 +168,8 @@ impl GpuBaseline {
             steps_taken,
             paths,
             sampler_steps,
+            sampler_state_builds: 0,
+            sampler_state_hits: 0,
             profile_seconds: 0.0,
             preprocess_seconds: 0.0,
             warnings: Vec::new(),

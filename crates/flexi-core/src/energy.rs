@@ -53,6 +53,8 @@ mod tests {
             steps_taken: 0,
             paths: None,
             sampler_steps: crate::SamplerTally::new(),
+            sampler_state_builds: 0,
+            sampler_state_hits: 0,
             profile_seconds: 0.0,
             preprocess_seconds: 0.0,
             warnings: vec![],

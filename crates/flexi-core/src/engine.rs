@@ -23,15 +23,20 @@
 use crate::preprocess::Aggregates;
 use crate::profile::{run_profile, ProfileResult};
 use crate::queue::QueryQueue;
-use crate::runtime::{CostModel, RuntimeEnv, SelectionStrategy};
+use crate::runtime::{ChurnProfile, CostModel, RuntimeEnv, SelectionStrategy};
 use crate::walker::{CompiledWalker, IntoWalker, WalkerHandle, WalkerRegistry};
 use crate::workload::{DynamicWalk, WalkState};
 use flexi_compiler::CompiledWalk;
 use flexi_gpu_sim::{CostStats, Device, DeviceSpec, WarpCtx, WARP_SIZE};
-use flexi_graph::{Csr, EdgeId, GraphHandle, GraphSnapshot, GraphVersion, NodeId, TimeWindow};
+use flexi_graph::{
+    Csr, DynState, EdgeId, GraphHandle, GraphSnapshot, GraphVersion, NodeId, PlanFetch,
+    StateMaintainer, TimeWindow,
+};
 use flexi_rng::Philox4x32;
 use flexi_sampling::kernels::{warp_max_reduce, ErvsMode, NeighborView};
-use flexi_sampling::{ErvsSampler, Granularity, Sampler, SamplerId, SamplerRegistry};
+use flexi_sampling::{
+    ErvsSampler, Granularity, NodeState, Sampler, SamplerId, SamplerRegistry, StateTable,
+};
 use std::sync::Arc;
 
 /// Default simulated-time budget (the paper's 12-hour OOT cutoff).
@@ -426,6 +431,11 @@ pub struct RunReport {
     pub paths: Option<Vec<Vec<NodeId>>>,
     /// Sampling steps per strategy, keyed by sampler id.
     pub sampler_steps: SamplerTally,
+    /// Sampler-state artifacts built from scratch for this run (cold
+    /// epoch-cache misses on the incremental-state path).
+    pub sampler_state_builds: u64,
+    /// Sampler-state artifacts served from the handle's epoch cache.
+    pub sampler_state_hits: u64,
     /// Profiling time (Table 3); zero when served from a session cache.
     pub profile_seconds: f64,
     /// Preprocessing time (Table 3); zero when served from a session cache.
@@ -513,6 +523,17 @@ pub struct FlexiWalkerEngine {
     /// Pin the cost model's `EdgeCost_RJS / EdgeCost_RVS` ratio instead of
     /// profiling it (ratio-sensitivity ablations).
     pub cost_ratio_override: Option<f64>,
+    /// Maintain per-node sampler state (alias tables / CDFs) through the
+    /// graph handle's epoch cache and serve eligible walks from it.
+    /// Opt-in: the state path changes RNG draw sequences, so runs with it
+    /// on are bit-identical to each other but not to stateless runs.
+    /// Silently inert for walkers whose weights read walk state, and for
+    /// time-windowed requests (the artifact cannot encode a mask).
+    pub incremental_state: bool,
+    /// Expected update churn amortised into stateful pricing (zero by
+    /// default). Sessions feed observed refresh rates back here so the
+    /// argmin prices table maintenance alongside sampling.
+    pub churn: ChurnProfile,
     registry: SamplerRegistry,
     walkers: WalkerRegistry,
 }
@@ -531,9 +552,23 @@ impl FlexiWalkerEngine {
             strategy,
             skip_profile: false,
             cost_ratio_override: None,
+            incremental_state: false,
+            churn: ChurnProfile::default(),
             registry: SamplerRegistry::builtin(),
             walkers: WalkerRegistry::builtin(),
         }
+    }
+
+    /// Enables (or disables) the incremental sampler-state path.
+    pub fn with_incremental_state(mut self, on: bool) -> Self {
+        self.incremental_state = on;
+        self
+    }
+
+    /// Sets the churn profile stateful pricing amortises over.
+    pub fn with_churn(mut self, churn: ChurnProfile) -> Self {
+        self.churn = churn;
+        self
     }
 
     /// Replaces the sampler registry wholesale.
@@ -634,12 +669,15 @@ impl FlexiWalkerEngine {
         }
     }
 
-    /// The cost model for a run, honouring the ratio override.
+    /// The cost model for a run, honouring the ratio override and carrying
+    /// this engine's churn profile into stateful pricing.
     fn cost_model(&self, profile: Option<&ProfileResult>) -> CostModel {
-        match self.cost_ratio_override {
-            Some(edge_cost_ratio) => CostModel { edge_cost_ratio },
+        let mut model = match self.cost_ratio_override {
+            Some(edge_cost_ratio) => CostModel::with_ratio(edge_cost_ratio),
             None => profile.map_or(CostModel::default_ratio(), ProfileResult::cost_model),
-        }
+        };
+        model.churn = self.churn;
+        model
     }
 
     /// Runs `req` against previously prepared state (the session fast
@@ -698,7 +736,8 @@ impl FlexiWalkerEngine {
         resident_bytes: usize,
     ) -> Result<RunReport, EngineError> {
         let g: &Csr = &snap.graph;
-        let w: &dyn DynamicWalk = req.walker.get()?.walk_dyn();
+        let cw = req.walker.get()?;
+        let w: &dyn DynamicWalk = cw.walk_dyn();
         let queries: &[NodeId] = &req.queries;
         let cfg = &req.config;
         let mut warnings = prepared.artifacts.warnings.clone();
@@ -773,17 +812,6 @@ impl FlexiWalkerEngine {
         let slots = self.spec.total_warp_slots();
         let num_warps = queries.len().div_ceil(WARP_SIZE).min(slots).max(1);
 
-        // Launch-invariant candidate set: every registered strategy, minus
-        // the bound-needing ones when no estimator exists. Computed once so
-        // per-step selection never allocates.
-        let candidates: Vec<usize> = self
-            .registry
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| bounds_available || !s.needs_bound())
-            .map(|(i, _)| i)
-            .collect();
-
         // Resolve the request's time window against the pinned snapshot,
         // through the handle's per-epoch mask cache. Full masks (every edge
         // admitted, e.g. an all-window or a window covering the whole
@@ -796,10 +824,47 @@ impl FlexiWalkerEngine {
             _ => None,
         };
 
+        // Launch-invariant candidate set: every registered strategy, minus
+        // the bound-needing ones when no estimator exists. Computed once so
+        // per-step selection never allocates. On the incremental-state path
+        // each state-capable candidate additionally carries its per-node
+        // artifact, fetched through the handle's epoch cache — eligible
+        // only when the walker's weights are edge-pure and no time mask is
+        // in force (a precomputed table cannot encode either).
+        let state_eligible = self.incremental_state && cw.static_weights() && mask.is_none();
+        let mut sampler_state_builds = 0u64;
+        let mut sampler_state_hits = 0u64;
+        let candidates: Vec<Candidate> = self
+            .registry
+            .iter()
+            .filter(|s| bounds_available || !s.needs_bound())
+            .map(|s| {
+                let state = (state_eligible && s.supports_state())
+                    .then(|| {
+                        let maintainer: Arc<dyn StateMaintainer> =
+                            Arc::new(SamplerStateMaintainer {
+                                sampler: Arc::clone(s),
+                                walk: Arc::clone(cw.walk()),
+                                fingerprint: cw.fingerprint(),
+                            });
+                        let (state, fetch) = req.graph.sampler_state(snap, &maintainer);
+                        match fetch {
+                            PlanFetch::Cached => sampler_state_hits += 1,
+                            PlanFetch::Built => sampler_state_builds += 1,
+                        }
+                        state.downcast::<StateTable>().ok()
+                    })
+                    .flatten();
+                Candidate {
+                    sampler: Arc::clone(s),
+                    state,
+                }
+            })
+            .collect();
+
         let kernel_cfg = WarpKernelCfg {
             compiled: prepared.artifacts.compiled.as_ref(),
             aggregates: &prepared.aggregates,
-            registry: &self.registry,
             candidates,
             strategy,
             cost_model,
@@ -828,8 +893,8 @@ impl FlexiWalkerEngine {
         let mut paths = cfg.record_paths.then(|| vec![Vec::new(); queries.len()]);
         for out in &launch.outputs {
             for (idx, n) in out.tallies.iter().enumerate() {
-                if let Some(s) = self.registry.at(idx) {
-                    sampler_steps.record(s.id(), *n);
+                if let Some(c) = kernel_cfg.candidates.get(idx) {
+                    sampler_steps.record(c.sampler.id(), *n);
                 }
             }
             for (q, path, s) in &out.finished {
@@ -854,6 +919,8 @@ impl FlexiWalkerEngine {
             steps_taken,
             paths,
             sampler_steps,
+            sampler_state_builds,
+            sampler_state_hits,
             profile_seconds: prepared.profile.as_ref().map_or(0.0, |p| p.sim_seconds),
             preprocess_seconds: prepared.aggregates.sim_seconds,
             warnings,
@@ -904,18 +971,84 @@ struct Lane {
 #[derive(Debug, Default)]
 struct WarpOut {
     finished: Vec<(usize, Vec<NodeId>, u64)>,
-    /// Steps per registry position.
+    /// Steps per candidate position.
     tallies: Vec<u64>,
+}
+
+/// One selectable strategy for a run: the sampler plus the resident
+/// per-node state artifact serving it (incremental-state path only).
+struct Candidate {
+    sampler: Arc<dyn Sampler>,
+    state: Option<Arc<StateTable>>,
+}
+
+impl Candidate {
+    /// The resident artifact for `v`, when one serves this candidate.
+    #[inline]
+    fn node_state(&self, v: NodeId) -> Option<&NodeState> {
+        self.state.as_ref().and_then(|t| t.node(v as usize))
+    }
+}
+
+/// Bridges one `(sampler, walker)` pair to the graph handle's epoch-keyed
+/// state cache: builds per-node artifacts from the walker's edge-pure
+/// weights, and patches exactly the dirty frontier on refresh. Each node's
+/// artifact is a pure function of its weight vector, so a patch is
+/// bit-identical to a from-scratch rebuild of the same epoch.
+struct SamplerStateMaintainer {
+    sampler: Arc<dyn Sampler>,
+    walk: Arc<dyn DynamicWalk>,
+    /// Value fingerprint of the walker the weights come from — part of the
+    /// cache key, so two walkers sharing a sampler never share tables.
+    fingerprint: u64,
+}
+
+impl SamplerStateMaintainer {
+    fn node_state(&self, g: &Csr, v: NodeId) -> Option<NodeState> {
+        // Eligibility (CompiledWalker::static_weights) guarantees the
+        // weight ignores everything in the start state but the edge.
+        let st = WalkState::start(v);
+        let weights: Vec<f32> = g
+            .edge_range(v)
+            .map(|e| self.walk.weight(g, &st, e))
+            .collect();
+        self.sampler.build_node_state(&weights)
+    }
+}
+
+impl StateMaintainer for SamplerStateMaintainer {
+    fn state_key(&self) -> String {
+        format!("{}@{:016x}", self.sampler.id(), self.fingerprint)
+    }
+
+    fn build(&self, graph: &Csr) -> DynState {
+        let nodes = (0..graph.num_nodes() as u32)
+            .map(|v| self.node_state(graph, v).map(Arc::new))
+            .collect();
+        Arc::new(StateTable::new(nodes))
+    }
+
+    fn refresh(&self, prev: &DynState, graph: &Csr, dirty: &[NodeId]) -> DynState {
+        let table = prev
+            .downcast_ref::<StateTable>()
+            .expect("state slot holds this maintainer's table");
+        Arc::new(
+            table.patched(
+                dirty
+                    .iter()
+                    .map(|&v| (v as usize, self.node_state(graph, v))),
+            ),
+        )
+    }
 }
 
 /// Launch-invariant parameters of the §5.2 warp kernel.
 struct WarpKernelCfg<'a> {
     compiled: Option<&'a CompiledWalk>,
     aggregates: &'a Aggregates,
-    registry: &'a SamplerRegistry,
-    /// Registry positions selectable this run, in priority order
+    /// Strategies selectable this run, in registry priority order
     /// (bound-needing strategies are excluded when no estimator exists).
-    candidates: Vec<usize>,
+    candidates: Vec<Candidate>,
     strategy: SelectionStrategy,
     cost_model: CostModel,
     steps: usize,
@@ -952,7 +1085,7 @@ fn walk_warp(
 ) -> WarpOut {
     let mut out = WarpOut {
         finished: Vec::new(),
-        tallies: vec![0; kc.registry.len()],
+        tallies: vec![0; kc.candidates.len()],
     };
     let bytes_per_weight = w.bytes_per_weight(g);
     let mut lanes: [Option<Lane>; WARP_SIZE] = std::array::from_fn(|_| None);
@@ -1026,10 +1159,32 @@ fn walk_warp(
             }
         }
 
+        // Phase 0: lanes whose chosen strategy holds a resident per-node
+        // artifact draw from it directly — no weight scan, no bound
+        // estimation; the table already encodes the distribution.
+        for l in 0..WARP_SIZE {
+            let Some(idx) = choice[l] else { continue };
+            let cand = &kc.candidates[idx];
+            let state = lanes[l].as_ref().expect("choice implies lane").state;
+            if cand.node_state(state.cur).is_none() {
+                continue;
+            }
+            let rng = lanes[l].as_ref().expect("still Some").rng.clone();
+            ctx.bind_stream(rng);
+            let picked = cand
+                .node_state(state.cur)
+                .expect("checked above")
+                .sample_warp(ctx, l);
+            lanes[l].as_mut().expect("still Some").rng = ctx.unbind_stream();
+            out.tallies[idx] += 1;
+            advance_lane(&mut lanes[l], picked, g, kc.record_paths, &mut out);
+            choice[l] = None;
+        }
+
         // Phase 1: thread-granular lanes run their trials independently.
         for l in 0..WARP_SIZE {
             let Some(idx) = choice[l] else { continue };
-            let sampler = kc.registry.at(idx).expect("choice is a registry index");
+            let sampler = kc.candidates[idx].sampler.as_ref();
             if sampler.granularity() != Granularity::Lane {
                 continue;
             }
@@ -1055,11 +1210,8 @@ fn walk_warp(
         // Ballot: does any lane need a warp-granular strategy?
         let mut preds = [false; WARP_SIZE];
         for (l, p) in preds.iter_mut().enumerate() {
-            *p = choice[l].is_some_and(|idx| {
-                kc.registry
-                    .at(idx)
-                    .is_some_and(|s| s.granularity() == Granularity::Warp)
-            });
+            *p = choice[l]
+                .is_some_and(|idx| kc.candidates[idx].sampler.granularity() == Granularity::Warp);
         }
         let mask = ctx.ballot(&preds);
         if mask != 0 {
@@ -1071,7 +1223,7 @@ fn walk_warp(
                     continue;
                 }
                 let idx = choice[l].expect("mask implies choice");
-                let sampler = kc.registry.at(idx).expect("choice is a registry index");
+                let sampler = kc.candidates[idx].sampler.as_ref();
                 let (state, rng) = {
                     let lane = lanes[l].as_ref().expect("mask implies lane");
                     (lane.state, lane.rng.clone())
@@ -1123,7 +1275,7 @@ fn advance_lane(
 }
 
 /// Flexi-Runtime's per-step selection, with cost accounting. Returns the
-/// registry position of the chosen strategy.
+/// position of the chosen strategy in the run's candidate set.
 fn select_sampler(
     ctx: &mut WarpCtx,
     lane: usize,
@@ -1133,14 +1285,13 @@ fn select_sampler(
     state: &WalkState,
 ) -> Option<usize> {
     match kc.strategy {
-        SelectionStrategy::Only(id) => kc.registry.position(id),
+        SelectionStrategy::Only(id) => kc.candidates.iter().position(|c| c.sampler.id() == id),
         SelectionStrategy::Random => {
             // Uniform over the run's precomputed candidate set.
             if kc.candidates.is_empty() {
                 return None;
             }
-            let pick = ctx.draw_u32(lane) as usize % kc.candidates.len();
-            Some(kc.candidates[pick])
+            Some(ctx.draw_u32(lane) as usize % kc.candidates.len())
         }
         SelectionStrategy::DegreeThreshold(t) => {
             let wanted = if g.degree(state.cur) >= t {
@@ -1150,9 +1301,12 @@ fn select_sampler(
             };
             kc.candidates
                 .iter()
-                .copied()
-                .find(|&i| kc.registry.at(i).is_some_and(|s| s.granularity() == wanted))
-                .or_else(|| kc.candidates.first().copied())
+                .position(|c| c.sampler.granularity() == wanted)
+                .or(if kc.candidates.is_empty() {
+                    None
+                } else {
+                    Some(0)
+                })
         }
         SelectionStrategy::CostModel => {
             let deg = g.degree(state.cur) as f64;
@@ -1177,9 +1331,24 @@ fn select_sampler(
                 None => (None, None),
             };
             ctx.alu(3 * kc.candidates.len().max(1) as u64);
-            kc.cost_model
-                .select_among(kc.registry, &kc.candidates, deg, max_est, sum_est)
-                .map(|(i, _)| i)
+            // The generalised Eq. 11 argmin, priced per candidate: a
+            // resident artifact for this node swaps the strategy's step
+            // cost for its (cheaper) state-serving cost plus the
+            // churn-amortised update charge. Strict `<` keeps the earlier
+            // candidate on ties, reproducing the paper's priority order.
+            let inputs = kc.cost_model.inputs(deg, max_est, sum_est);
+            let mut best: Option<(usize, f64)> = None;
+            for (i, c) in kc.candidates.iter().enumerate() {
+                let stateful = c.node_state(state.cur).is_some();
+                let (sample, update) = kc.cost_model.price(c.sampler.as_ref(), stateful, &inputs);
+                let Some(total) = sample.map(|s| s + update) else {
+                    continue;
+                };
+                if best.is_none_or(|(_, b)| total < b) {
+                    best = Some((i, total));
+                }
+            }
+            best.map(|(i, _)| i)
         }
     }
 }
@@ -1837,6 +2006,8 @@ mod tests {
             steps_taken: 0,
             paths: None,
             sampler_steps: SamplerTally::new(),
+            sampler_state_builds: 0,
+            sampler_state_hits: 0,
             profile_seconds: 0.0,
             preprocess_seconds: 0.0,
             warnings: vec![],

@@ -63,11 +63,15 @@ pub use pool::{PoolRun, WorkerPool};
 pub use preprocess::Aggregates;
 pub use profile::ProfileResult;
 pub use queue::QueryQueue;
-pub use runtime::{CostModel, RuntimeEnv, SelectionStrategy};
+pub use runtime::{
+    ChurnProfile, CostModel, PricedCandidate, RuntimeEnv, SamplerSelection, SelectionStrategy,
+};
 pub use service::{Admission, AdmissionPolicy, AdmissionQueue, AdmissionStats, LatencyHistogram};
 // Re-export the sampling seam so engine users can register strategies
 // without naming `flexi-sampling` directly.
-pub use flexi_sampling::{ids as sampler_ids, Sampler, SamplerId, SamplerRegistry};
+pub use flexi_sampling::{
+    ids as sampler_ids, NodeState, Sampler, SamplerId, SamplerRegistry, StateTable,
+};
 pub use workload::{
     static_max_bound, DynamicWalk, MetaPath, Node2Vec, SecondOrderPr, TemporalExp, TemporalLinear,
     TemporalUniform, UniformWalk, WalkState,

@@ -120,6 +120,8 @@ impl WalkEngine for MultiDeviceEngine {
             steps_taken: 0,
             paths: None,
             sampler_steps: SamplerTally::new(),
+            sampler_state_builds: 0,
+            sampler_state_hits: 0,
             profile_seconds: 0.0,
             preprocess_seconds: 0.0,
             warnings: Vec::new(),
@@ -150,6 +152,8 @@ impl WalkEngine for MultiDeviceEngine {
             stats.add(&report.stats);
             merged.steps_taken += report.steps_taken;
             merged.sampler_steps.merge(&report.sampler_steps);
+            merged.sampler_state_builds += report.sampler_state_builds;
+            merged.sampler_state_hits += report.sampler_state_hits;
             merged.profile_seconds = merged.profile_seconds.max(report.profile_seconds);
             merged.preprocess_seconds = merged.preprocess_seconds.max(report.preprocess_seconds);
         }

@@ -166,6 +166,8 @@ impl WalkEngine for PartitionedEngine {
                 t.record(ids::ERVS, steps_taken);
                 t
             },
+            sampler_state_builds: 0,
+            sampler_state_hits: 0,
             profile_seconds: 0.0,
             preprocess_seconds: 0.0,
             warnings: vec![format!(

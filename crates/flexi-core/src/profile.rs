@@ -26,9 +26,7 @@ pub struct ProfileResult {
 impl ProfileResult {
     /// The cost model parameterised by this profile.
     pub fn cost_model(&self) -> CostModel {
-        CostModel {
-            edge_cost_ratio: self.edge_cost_ratio,
-        }
+        CostModel::with_ratio(self.edge_cost_ratio)
     }
 }
 

@@ -54,12 +54,113 @@ impl SelectionStrategy {
     }
 }
 
+/// Expected update churn the cost model amortises against when pricing
+/// stateful strategies — the "update cost" axis of the argmin.
+///
+/// A strategy served from a prebuilt per-node artifact samples cheaply
+/// but pays to keep the artifact current across graph epochs. The churn
+/// profile expresses that maintenance pressure as *expected per-node
+/// state refreshes per sampling step served*: `0.0` (the default) is a
+/// read-only graph where resident state is free to keep, large values
+/// describe write-heavy serving where a fast-sampling/slow-rebuilding
+/// strategy should lose the argmin.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChurnProfile {
+    /// Expected dirty-node artifact refreshes per sampling step served
+    /// (refresh rate ÷ sampling rate over the serving horizon).
+    pub refreshes_per_step: f64,
+}
+
+impl ChurnProfile {
+    /// A churn profile from observed counters: `refreshes` dirty-node
+    /// patches amortised over `steps` sampling steps.
+    pub fn observed(refreshes: u64, steps: u64) -> Self {
+        Self {
+            refreshes_per_step: if steps == 0 {
+                0.0
+            } else {
+                refreshes as f64 / steps as f64
+            },
+        }
+    }
+}
+
+/// One candidate strategy's pricing inside a [`SamplerSelection`] — the
+/// *why* behind an argmin outcome, replacing the bare registry index the
+/// positional API used to return.
+#[derive(Clone)]
+pub struct PricedCandidate {
+    /// The candidate strategy.
+    pub sampler: Arc<dyn Sampler>,
+    /// Expected cost of sampling one step (`None`: unpriceable at this
+    /// node, e.g. a rejection strategy without a usable bound estimate).
+    pub sample_cost: Option<f64>,
+    /// Amortised per-step charge for keeping the strategy's state
+    /// artifact current under the configured [`ChurnProfile`] (`0.0` for
+    /// stateless pricing or a churn-free profile).
+    pub update_cost: f64,
+    /// Whether the pricing assumed a resident per-node state artifact.
+    pub stateful: bool,
+}
+
+impl PricedCandidate {
+    /// The argmin objective: sample cost plus amortised update cost.
+    pub fn total(&self) -> Option<f64> {
+        self.sample_cost.map(|c| c + self.update_cost)
+    }
+}
+
+impl std::fmt::Debug for PricedCandidate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PricedCandidate")
+            .field("sampler", &self.sampler.id())
+            .field("sample_cost", &self.sample_cost)
+            .field("update_cost", &self.update_cost)
+            .field("stateful", &self.stateful)
+            .finish()
+    }
+}
+
+/// The typed result of one cost-model argmin: the winning strategy plus
+/// the full pricing table it won against.
+#[derive(Clone)]
+pub struct SamplerSelection {
+    /// The selected (cheapest priceable) strategy.
+    pub sampler: Arc<dyn Sampler>,
+    /// Every candidate's pricing, in priority order — callers can see
+    /// whether a strategy won on sample cost, lost on update cost, or was
+    /// unpriceable.
+    pub priced: Vec<PricedCandidate>,
+}
+
+impl SamplerSelection {
+    /// The winning candidate's pricing row.
+    pub fn winner(&self) -> &PricedCandidate {
+        self.priced
+            .iter()
+            .find(|p| p.sampler.id() == self.sampler.id())
+            .expect("selection winner is always priced")
+    }
+}
+
+impl std::fmt::Debug for SamplerSelection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SamplerSelection")
+            .field("sampler", &self.sampler.id())
+            .field("priced", &self.priced)
+            .finish()
+    }
+}
+
 /// The profiled cost model.
 #[derive(Clone, Copy, Debug)]
 pub struct CostModel {
     /// `EdgeCost_RJS / EdgeCost_RVS` — random-probe cost relative to
     /// sequential-scan cost per edge, measured at startup.
     pub edge_cost_ratio: f64,
+    /// Expected update churn amortised into stateful pricing (zero by
+    /// default, which reproduces the read-only argmin exactly).
+    pub churn: ChurnProfile,
 }
 
 impl CostModel {
@@ -68,6 +169,15 @@ impl CostModel {
     pub fn default_ratio() -> Self {
         Self {
             edge_cost_ratio: 8.0,
+            churn: ChurnProfile::default(),
+        }
+    }
+
+    /// A cost model with the given measured/pinned ratio and no churn.
+    pub fn with_ratio(edge_cost_ratio: f64) -> Self {
+        Self {
+            edge_cost_ratio,
+            churn: ChurnProfile::default(),
         }
     }
 
@@ -81,12 +191,86 @@ impl CostModel {
         }
     }
 
-    /// Generalised Eq. 11: the cheapest priceable strategy in `registry`
-    /// for a node with the given degree and estimates. Ties keep the
-    /// earlier registration, so the built-in `[eRVS, eRJS]` registry
-    /// reproduces the paper's strict `ratio · max < sum` comparison
-    /// exactly. Returns the registry position alongside the strategy;
-    /// `None` only for an empty (or wholly unpriceable) registry.
+    /// Prices one candidate: stateless strategies through
+    /// [`Sampler::step_cost`]; stateful ones (when `stateful`, i.e. a
+    /// resident artifact serves this node) through
+    /// [`Sampler::state_step_cost`] plus the churn-amortised
+    /// [`Sampler::state_update_cost`].
+    ///
+    /// Returns `(sample_cost, update_cost)`; a `None` sample cost means
+    /// the strategy cannot be priced at this node.
+    pub fn price(
+        &self,
+        sampler: &dyn Sampler,
+        stateful: bool,
+        inp: &CostInputs,
+    ) -> (Option<f64>, f64) {
+        if stateful {
+            if let Some(sample) = sampler.state_step_cost(inp) {
+                let update =
+                    self.churn.refreshes_per_step * sampler.state_update_cost(inp).unwrap_or(0.0);
+                return (Some(sample).filter(|c| c.is_finite()), update);
+            }
+        }
+        (sampler.step_cost(inp).filter(|c| c.is_finite()), 0.0)
+    }
+
+    /// Generalised Eq. 11 over explicit candidates: the cheapest priceable
+    /// strategy wins on `sample_cost + update_cost`, ties keeping the
+    /// earlier candidate — so the built-in `[eRVS, eRJS]` pair reproduces
+    /// the paper's strict `ratio · max < sum` comparison exactly. Each
+    /// candidate carries whether a resident state artifact serves it at
+    /// this node. Returns the full pricing table; `None` only when no
+    /// candidate is priceable.
+    pub fn selection<'a>(
+        &self,
+        candidates: impl IntoIterator<Item = (&'a Arc<dyn Sampler>, bool)>,
+        deg: f64,
+        max_est: Option<f64>,
+        sum_est: Option<f64>,
+    ) -> Option<SamplerSelection> {
+        let inp = self.inputs(deg, max_est, sum_est);
+        let mut priced = Vec::new();
+        let mut best: Option<(usize, f64)> = None;
+        for (s, stateful) in candidates {
+            let (sample_cost, update_cost) = self.price(s.as_ref(), stateful, &inp);
+            let row = PricedCandidate {
+                sampler: Arc::clone(s),
+                sample_cost,
+                update_cost,
+                stateful,
+            };
+            if let Some(total) = row.total() {
+                if best.is_none_or(|(_, c)| total < c) {
+                    best = Some((priced.len(), total));
+                }
+            }
+            priced.push(row);
+        }
+        best.map(|(i, _)| SamplerSelection {
+            sampler: Arc::clone(&priced[i].sampler),
+            priced,
+        })
+    }
+
+    /// [`CostModel::selection`] over a whole registry, priced statelessly —
+    /// the drop-in replacement for the old positional `select`.
+    pub fn select_registry(
+        &self,
+        registry: &SamplerRegistry,
+        deg: f64,
+        max_est: Option<f64>,
+        sum_est: Option<f64>,
+    ) -> Option<SamplerSelection> {
+        self.selection(registry.iter().map(|s| (s, false)), deg, max_est, sum_est)
+    }
+
+    /// Generalised Eq. 11: the cheapest priceable strategy in `registry`.
+    #[deprecated(
+        since = "0.8.0",
+        note = "returns a bare registry position; use `select_registry` (typed \
+                `SamplerSelection` with per-candidate pricing) instead"
+    )]
     pub fn select<'r>(
         &self,
         registry: &'r SamplerRegistry,
@@ -95,13 +279,16 @@ impl CostModel {
         sum_est: Option<f64>,
     ) -> Option<(usize, &'r Arc<dyn Sampler>)> {
         let all: Vec<usize> = (0..registry.len()).collect();
+        #[allow(deprecated)]
         self.select_among(registry, &all, deg, max_est, sum_est)
     }
 
-    /// [`CostModel::select`] restricted to the given registry positions —
-    /// the single argmin implementation the engine's per-step selection
-    /// also uses (candidates exclude bound-needing strategies when no
-    /// estimator exists).
+    /// [`CostModel::select`] restricted to the given registry positions.
+    #[deprecated(
+        since = "0.8.0",
+        note = "returns a bare registry position; use `selection` over explicit \
+                candidates (typed `SamplerSelection`) instead"
+    )]
     pub fn select_among<'r>(
         &self,
         registry: &'r SamplerRegistry,
@@ -112,10 +299,10 @@ impl CostModel {
     ) -> Option<(usize, &'r Arc<dyn Sampler>)> {
         let inp = self.inputs(deg, max_est, sum_est);
         let mut best: Option<(usize, &'r Arc<dyn Sampler>, f64)> = None;
-        for &i in candidates {
-            let Some(s) = registry.at(i) else {
+        for (i, s) in registry.iter().enumerate() {
+            if !candidates.contains(&i) {
                 continue;
-            };
+            }
             let Some(cost) = s.step_cost(&inp) else {
                 continue;
             };
@@ -173,35 +360,29 @@ mod tests {
 
     fn selected(m: &CostModel, max_est: Option<f64>, sum_est: Option<f64>) -> &'static str {
         let reg = SamplerRegistry::builtin();
-        m.select(&reg, 100.0, max_est, sum_est)
+        m.select_registry(&reg, 100.0, max_est, sum_est)
             .expect("builtin registry always selects")
-            .1
+            .sampler
             .id()
     }
 
     #[test]
     fn cost_model_prefers_rjs_for_flat_weights() {
         // 100 neighbors of weight ~1: max = 1, sum = 100, ratio 8 → RJS.
-        let m = CostModel {
-            edge_cost_ratio: 8.0,
-        };
+        let m = CostModel::with_ratio(8.0);
         assert_eq!(selected(&m, Some(1.0), Some(100.0)), ids::ERJS);
     }
 
     #[test]
     fn cost_model_prefers_rvs_for_skewed_weights() {
         // One huge outlier: max = 90, sum = 100 → 8·90 > 100 → RVS.
-        let m = CostModel {
-            edge_cost_ratio: 8.0,
-        };
+        let m = CostModel::with_ratio(8.0);
         assert_eq!(selected(&m, Some(90.0), Some(100.0)), ids::ERVS);
     }
 
     #[test]
     fn cost_model_threshold_is_eq11() {
-        let m = CostModel {
-            edge_cost_ratio: 2.0,
-        };
+        let m = CostModel::with_ratio(2.0);
         // 2 * 10 = 20: strictly-less comparison → RVS at equality.
         assert_eq!(selected(&m, Some(10.0), Some(20.0)), ids::ERVS);
         assert_eq!(selected(&m, Some(10.0), Some(20.1)), ids::ERJS);
@@ -220,7 +401,115 @@ mod tests {
     fn empty_registry_selects_nothing() {
         let m = CostModel::default_ratio();
         let reg = SamplerRegistry::empty();
-        assert!(m.select(&reg, 10.0, Some(1.0), Some(10.0)).is_none());
+        assert!(m
+            .select_registry(&reg, 10.0, Some(1.0), Some(10.0))
+            .is_none());
+    }
+
+    #[test]
+    fn selection_exposes_per_candidate_pricing() {
+        let m = CostModel::with_ratio(8.0);
+        let reg = SamplerRegistry::builtin();
+        let sel = m
+            .select_registry(&reg, 100.0, Some(1.0), Some(100.0))
+            .unwrap();
+        assert_eq!(sel.sampler.id(), ids::ERJS);
+        assert_eq!(sel.priced.len(), 2, "every candidate is priced");
+        let ervs = &sel.priced[0];
+        let erjs = &sel.priced[1];
+        assert_eq!(ervs.sampler.id(), ids::ERVS);
+        assert_eq!(ervs.sample_cost, Some(100.0), "Eq. 9");
+        assert_eq!(erjs.sample_cost, Some(8.0), "Eq. 10");
+        assert_eq!(erjs.update_cost, 0.0, "stateless pricing has no churn");
+        assert_eq!(sel.winner().sampler.id(), ids::ERJS);
+        assert!(sel.winner().total() < ervs.total());
+    }
+
+    #[test]
+    fn resident_state_flips_the_argmin_toward_heavyweight_strategies() {
+        use flexi_sampling::AliasSampler;
+        let m = CostModel::with_ratio(8.0);
+        let reg = SamplerRegistry::with_baselines();
+        let deg = 1000.0;
+        // Statelessly, ALS pays its per-step table build and loses.
+        let cold = m
+            .select_registry(&reg, deg, Some(90.0), Some(100.0))
+            .unwrap();
+        assert_ne!(cold.sampler.id(), ids::ALS);
+        // With a resident artifact the table build is amortised away: the
+        // O(1) stateful sample (2·ratio = 16) beats every scan strategy.
+        let warm = m
+            .selection(
+                reg.iter().map(|s| (s, s.id() == ids::ALS)),
+                deg,
+                Some(90.0),
+                Some(100.0),
+            )
+            .unwrap();
+        assert_eq!(warm.sampler.id(), ids::ALS);
+        let row = warm.winner();
+        assert!(row.stateful);
+        assert_eq!(row.sample_cost, Some(16.0));
+        // Sanity: the stateful coefficients came from the trait hooks.
+        let inp = m.inputs(deg, None, None);
+        assert_eq!(AliasSampler.state_step_cost(&inp), Some(16.0));
+        assert_eq!(AliasSampler.state_update_cost(&inp), Some(7.0 * deg));
+    }
+
+    #[test]
+    fn churn_charge_prices_update_cost_into_the_argmin() {
+        // Under heavy churn the amortised per-step update charge must make
+        // a fast-sampling/slow-rebuilding stateful strategy lose to the
+        // plain scan — the "samples fast but rebuilds slow" clause.
+        let reg = SamplerRegistry::with_baselines();
+        let deg = 100.0;
+        let pick = |refreshes_per_step: f64| {
+            let m = CostModel {
+                edge_cost_ratio: 8.0,
+                churn: ChurnProfile { refreshes_per_step },
+            };
+            m.selection(
+                reg.iter().map(|s| (s, s.supports_state())),
+                deg,
+                Some(90.0),
+                Some(100.0),
+            )
+            .unwrap()
+        };
+        let idle = pick(0.0);
+        assert_eq!(idle.sampler.id(), ids::ALS, "free to keep when read-only");
+        assert_eq!(idle.winner().update_cost, 0.0);
+        // One full dirty-node refresh per step: ALS pays 16 + 700, ITS
+        // pays ~53 + 200 — both now lose to eRVS's plain deg scan.
+        let churning = pick(1.0);
+        assert_eq!(churning.sampler.id(), ids::ERVS);
+        let als = churning
+            .priced
+            .iter()
+            .find(|p| p.sampler.id() == ids::ALS)
+            .unwrap();
+        assert_eq!(als.update_cost, 700.0, "7·deg per refresh, 1 per step");
+        assert_eq!(
+            ChurnProfile::observed(50, 100).refreshes_per_step,
+            0.5,
+            "observed counters amortise refreshes over steps"
+        );
+        assert_eq!(ChurnProfile::observed(5, 0).refreshes_per_step, 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_selection_still_answers() {
+        // One-release shim: `select`/`select_among` keep returning the
+        // registry position while callers migrate to `SamplerSelection`.
+        let m = CostModel::with_ratio(8.0);
+        let reg = SamplerRegistry::builtin();
+        let (pos, s) = m.select(&reg, 100.0, Some(1.0), Some(100.0)).unwrap();
+        assert_eq!((pos, s.id()), (1, ids::ERJS));
+        let (pos, s) = m
+            .select_among(&reg, &[0], 100.0, Some(1.0), Some(100.0))
+            .unwrap();
+        assert_eq!((pos, s.id()), (0, ids::ERVS));
     }
 
     #[test]
@@ -250,9 +539,11 @@ mod tests {
         let mut reg = SamplerRegistry::builtin();
         reg.register(Arc::new(Cheap));
         let m = CostModel::default_ratio();
-        let (pos, s) = m.select(&reg, 100.0, Some(1.0), Some(100.0)).unwrap();
-        assert_eq!(s.id(), "cheap");
-        assert_eq!(pos, 2, "registered after the builtin pair");
+        let sel = m
+            .select_registry(&reg, 100.0, Some(1.0), Some(100.0))
+            .unwrap();
+        assert_eq!(sel.sampler.id(), "cheap");
+        assert_eq!(sel.priced.len(), 3, "all three candidates priced");
     }
 
     #[test]

@@ -253,6 +253,8 @@ impl WalkerDef {
                     needs_labels: refs.as_ref().is_some_and(|r| r.arrays.contains("label")),
                     // No parse ⇒ no proof the walk ignores history.
                     second_order: refs.as_ref().is_none_or(RefInfo::second_order),
+                    // No parse ⇒ no proof the weights ignore walk state.
+                    static_weights: refs.as_ref().is_some_and(weights_are_static),
                     spec,
                     artifacts,
                     walk: Arc::clone(walk),
@@ -289,6 +291,7 @@ impl WalkerDef {
                     static_bound: derive_static_bound(&artifacts),
                     needs_labels: refs.arrays.contains("label"),
                     second_order: refs.second_order(),
+                    static_weights: weights_are_static(&refs),
                     spec,
                     artifacts,
                     walk,
@@ -419,6 +422,24 @@ fn derive_static_bound(artifacts: &CompiledArtifacts) -> Option<f32> {
     c.max_estimator.eval(&NoEnv).map(|b| b as f32)
 }
 
+/// Whether a walker's transition weights are a pure function of the edge —
+/// independent of walk position, history and time. Only such walkers can
+/// share a per-node sampler-state artifact (alias table / CDF) across every
+/// walk and step: any free variable that varies per step would make the
+/// precomputed table encode the wrong distribution.
+fn weights_are_static(refs: &RefInfo) -> bool {
+    const STATE_VARS: [&str; 7] = [
+        "cur",
+        "prev",
+        "has_prev",
+        "step",
+        "iter",
+        "edge_time",
+        "walk_time",
+    ];
+    !refs.calls.contains("linked") && STATE_VARS.iter().all(|v| !refs.frees.contains(*v))
+}
+
 /// The statically derived max-bias bound of an arbitrary workload's spec —
 /// `Some` only when the compiled bound is a kernel-wide constant (the
 /// paper's "partially supports dynamic random walk" capability of
@@ -453,6 +474,7 @@ pub struct CompiledWalker {
     static_bound: Option<f32>,
     needs_labels: bool,
     second_order: bool,
+    static_weights: bool,
 }
 
 impl CompiledWalker {
@@ -507,6 +529,13 @@ impl CompiledWalker {
     pub fn second_order(&self) -> bool {
         self.second_order
     }
+
+    /// Whether transition weights depend only on the edge itself (no walk
+    /// position, history or time). Such walkers are eligible for resident
+    /// per-node sampler state (alias tables / CDFs) shared across walks.
+    pub fn static_weights(&self) -> bool {
+        self.static_weights
+    }
 }
 
 impl std::fmt::Debug for CompiledWalker {
@@ -518,6 +547,7 @@ impl std::fmt::Debug for CompiledWalker {
             .field("static_bound", &self.static_bound)
             .field("needs_labels", &self.needs_labels)
             .field("second_order", &self.second_order)
+            .field("static_weights", &self.static_weights)
             .finish()
     }
 }
@@ -1093,6 +1123,35 @@ mod tests {
 
         let uniform = WalkerDef::native("uniform", UniformWalk).lower().unwrap();
         assert!(!uniform.second_order());
+    }
+
+    #[test]
+    fn static_weight_analysis_separates_walkers() {
+        // Edge-pure weights: eligible for resident sampler state.
+        for def in [
+            WalkerDef::native("uniform", UniformWalk),
+            WalkerDef::dsl("h", "get_weight(edge) { return h[edge]; }"),
+            WalkerDef::dsl("flat", "get_weight(edge) { return 2.5; }"),
+        ] {
+            let cw = def.lower().unwrap();
+            assert!(cw.static_weights(), "{} is edge-pure", cw.name());
+        }
+        // Any walk-state dependence disqualifies.
+        for def in [
+            WalkerDef::native("node2vec", Node2Vec::paper(true)),
+            WalkerDef::native("sopr", SecondOrderPr::paper()),
+            WalkerDef::native("t", TemporalExp::paper()),
+            WalkerDef::dsl("step", "get_weight(edge) { return h[edge] * step; }"),
+        ] {
+            let cw = def.lower().unwrap();
+            assert!(!cw.static_weights(), "{} reads walk state", cw.name());
+        }
+        // MetaPath reads schema[step]: state-dependent even though labels
+        // are static per edge.
+        let mp = WalkerDef::native("metapath", MetaPath::paper(true))
+            .lower()
+            .unwrap();
+        assert!(!mp.static_weights());
     }
 
     #[test]

@@ -20,9 +20,9 @@ fn rng() -> SplitMix64 {
 }
 
 fn pick(registry: &SamplerRegistry, m: &CostModel, max: f64, sum: f64) -> &'static str {
-    m.select(registry, 100.0, Some(max), Some(sum))
+    m.select_registry(registry, 100.0, Some(max), Some(sum))
         .expect("builtin registry selects")
-        .1
+        .sampler
         .id()
 }
 
@@ -37,9 +37,7 @@ fn cost_model_monotone_in_skew() {
         let sum = 0.1 + (r.bounded(1_000_000) as f64);
         let max_lo = 0.01 + (r.bounded(1_000_000) as f64) / 1000.0;
         let bump = 1.0 + (r.bounded(999_000) as f64) / 1000.0;
-        let m = CostModel {
-            edge_cost_ratio: ratio,
-        };
+        let m = CostModel::with_ratio(ratio);
         let lo = pick(&registry, &m, max_lo, sum);
         let hi = pick(&registry, &m, max_lo + bump, sum);
         // erjs -> ervs transitions are allowed; ervs -> erjs is not.
@@ -61,9 +59,7 @@ fn cost_model_monotone_in_sum() {
         let max = 0.01 + (r.bounded(1_000_000) as f64) / 1000.0;
         let sum_lo = 0.1 + (r.bounded(1_000_000) as f64);
         let bump = 1.0 + (r.bounded(1_000_000) as f64);
-        let m = CostModel {
-            edge_cost_ratio: ratio,
-        };
+        let m = CostModel::with_ratio(ratio);
         let lo = pick(&registry, &m, max, sum_lo);
         let hi = pick(&registry, &m, max, sum_lo + bump);
         assert!(

@@ -129,9 +129,16 @@ struct Addition {
 /// (insertion/removal referencing an unknown node) or
 /// [`GraphError::EdgeOutOfRange`] (weight update past the pre-batch edge
 /// count), annotated with the offending batch index and edge endpoints.
+/// When more than one entry is invalid, [`GraphError::InvalidBatch`]
+/// collects every rejection (in batch order) so bulk ingest callers can
+/// strip exactly the bad entries and retry the remainder.
 pub fn apply_batch(csr: &mut Csr, batch: &[GraphUpdate]) -> Result<BatchOutcome, GraphError> {
     let n = csr.num_nodes();
     let m = csr.num_edges();
+    // Validation collects *every* invalid entry, not just the first: bulk
+    // ingest callers splitting a rejected batch need the full rejection
+    // set to retry the valid remainder in one pass.
+    let mut invalid: Vec<GraphError> = Vec::new();
     for (index, u) in batch.iter().enumerate() {
         let cause = match u {
             GraphUpdate::AddEdge { src, dst, .. }
@@ -158,12 +165,17 @@ pub fn apply_batch(csr: &mut Csr, batch: &[GraphUpdate]) -> Result<BatchOutcome,
             }
         };
         if let Some(cause) = cause {
-            return Err(GraphError::InvalidUpdate {
+            invalid.push(GraphError::InvalidUpdate {
                 index,
                 update: describe(u),
                 cause: Box::new(cause),
             });
         }
+    }
+    match invalid.len() {
+        0 => {}
+        1 => return Err(invalid.pop().expect("one entry")),
+        _ => return Err(GraphError::InvalidBatch { errors: invalid }),
     }
 
     let mut dirty: BTreeSet<NodeId> = BTreeSet::new();
@@ -612,6 +624,64 @@ mod tests {
             }
         );
         assert_eq!(g.prop(0), 2.0, "graph untouched on invalid batch");
+    }
+
+    #[test]
+    fn apply_batch_reports_every_invalid_entry() {
+        let mut g = base();
+        let err = apply_batch(
+            &mut g,
+            &[
+                GraphUpdate::SetWeight {
+                    edge: 99,
+                    weight: 1.0,
+                },
+                GraphUpdate::AddEdge {
+                    src: 0,
+                    dst: 2,
+                    weight: 1.0,
+                    label: 0,
+                },
+                GraphUpdate::AddEdge {
+                    src: 2,
+                    dst: 9,
+                    weight: 1.0,
+                    label: 0,
+                },
+            ],
+        )
+        .unwrap_err();
+        // Both bad entries are reported (in batch order); the valid one in
+        // between is not, so the caller can retry exactly [1].
+        assert_eq!(
+            err,
+            GraphError::InvalidBatch {
+                errors: vec![
+                    GraphError::InvalidUpdate {
+                        index: 0,
+                        update: "set-weight edge 99".into(),
+                        cause: Box::new(GraphError::EdgeOutOfRange {
+                            edge: 99,
+                            num_edges: 3
+                        }),
+                    },
+                    GraphError::InvalidUpdate {
+                        index: 2,
+                        update: "add 2 -> 9".into(),
+                        cause: Box::new(GraphError::NodeOutOfRange {
+                            node: 9,
+                            num_nodes: 4
+                        }),
+                    },
+                ],
+            }
+        );
+        assert_eq!(g.num_edges(), 3, "graph untouched on invalid batch");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("2 updates rejected") && msg.contains("#0") && msg.contains("#2"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -20,8 +20,34 @@ use crate::dynamic::{apply_batch, GraphUpdate};
 use crate::partition::PartitionPlan;
 use crate::temporal::{TimeMask, TimeWindow};
 use crate::GraphError;
+use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// A type-erased sampler-state artifact cached on a [`GraphHandle`].
+///
+/// The graph layer stores and migrates these without knowing their shape;
+/// the sampling layer downcasts to its concrete table type at use sites.
+pub type DynState = Arc<dyn Any + Send + Sync>;
+
+/// Builds and incrementally migrates one epoch-versioned sampler-state
+/// artifact (alias tables, CDF segments, …) for a [`GraphHandle`].
+///
+/// Implementations live above the graph layer (they close over a sampler
+/// strategy and a walker weight function); the handle only needs the two
+/// lifecycle entry points plus a cache key. The incremental contract is
+/// the same one the partition-plan cache pins: for every epoch history,
+/// `refresh(prev, g, dirty)` must be **bit-identical** to `build(g)`.
+pub trait StateMaintainer: Send + Sync {
+    /// Cache key identifying the artifact — distinct sampler strategies
+    /// and distinct weight functions must not collide.
+    fn state_key(&self) -> String;
+    /// Builds the artifact from scratch over `graph`.
+    fn build(&self, graph: &Csr) -> DynState;
+    /// Migrates `prev` across one epoch by recomputing only the `dirty`
+    /// source nodes against the post-batch `graph` — O(Δ), not O(|V|).
+    fn refresh(&self, prev: &DynState, graph: &Csr, dirty: &[NodeId]) -> DynState;
+}
 
 /// Process-wide handle id allocator.
 static NEXT_GRAPH_ID: AtomicU64 = AtomicU64::new(1);
@@ -80,6 +106,12 @@ pub struct UpdateOutcome {
     /// a mask depends only on topology and timestamps — and do not count
     /// here).
     pub masks_migrated: usize,
+    /// Cached sampler-state artifacts patched to the new epoch by
+    /// incremental dirty-node refresh. Unlike plans and masks, these
+    /// migrate on **both** batch kinds — a weight-only batch changes the
+    /// very weights the tables encode — so every cached artifact counts
+    /// here on every non-empty batch.
+    pub sampler_states_migrated: usize,
 }
 
 /// How a [`GraphHandle::partition_plan`] lookup was served.
@@ -109,6 +141,25 @@ struct MaskSlot {
     mask: Arc<TimeMask>,
 }
 
+/// One cached sampler-state artifact: its maintainer (kept so update
+/// batches can patch it in place), the key it is filed under, and the
+/// epoch it is current at.
+struct StateSlot {
+    key: String,
+    epoch: u64,
+    state: DynState,
+    maintainer: Arc<dyn StateMaintainer>,
+}
+
+impl std::fmt::Debug for StateSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateSlot")
+            .field("key", &self.key)
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
 #[derive(Debug)]
 struct Versioned {
     graph: Arc<Csr>,
@@ -119,6 +170,9 @@ struct Versioned {
     /// Cached time-window masks, one per requested window, kept current
     /// across update batches (see [`GraphHandle::time_mask`]).
     masks: Vec<MaskSlot>,
+    /// Cached sampler-state artifacts, one per state key, kept current
+    /// across update batches (see [`GraphHandle::sampler_state`]).
+    states: Vec<StateSlot>,
 }
 
 /// An owned, shareable, epoch-versioned graph.
@@ -170,6 +224,7 @@ impl GraphHandle {
                 epoch: 0,
                 plans: Vec::new(),
                 masks: Vec::new(),
+                states: Vec::new(),
             })),
         }
     }
@@ -239,6 +294,7 @@ impl GraphHandle {
                 structural: false,
                 plans_migrated: 0,
                 masks_migrated: 0,
+                sampler_states_migrated: 0,
             });
         }
         // make_mut clones only when snapshots of the current version are
@@ -283,6 +339,23 @@ impl GraphHandle {
             slot.epoch = new_epoch;
             true
         });
+        // Sampler-state artifacts encode the weight values themselves, so
+        // *every* batch kind patches them — weight-only in O(Δ) over the
+        // touched sources, structural over the dirty frontier. Either way
+        // the maintainer's refresh≡rebuild contract keeps the patched
+        // artifact bit-identical to a from-scratch build.
+        let mut sampler_states_migrated = 0;
+        guard.states.retain_mut(|slot| {
+            if slot.epoch != old_epoch {
+                return false;
+            }
+            slot.state = slot
+                .maintainer
+                .refresh(&slot.state, &graph, &outcome.dirty_nodes);
+            sampler_states_migrated += 1;
+            slot.epoch = new_epoch;
+            true
+        });
         Ok(UpdateOutcome {
             version: GraphVersion {
                 graph_id: self.id,
@@ -293,6 +366,7 @@ impl GraphHandle {
             structural: outcome.structural,
             plans_migrated,
             masks_migrated,
+            sampler_states_migrated,
         })
     }
 
@@ -381,6 +455,55 @@ impl GraphHandle {
             }
         }
         (mask, PlanFetch::Built)
+    }
+
+    /// The sampler-state artifact maintained by `maintainer`, at the
+    /// version `snap` pins.
+    ///
+    /// Served from the handle's state cache when current — steady-state
+    /// drains re-use one artifact per epoch instead of rebuilding tables
+    /// per launch; [`GraphHandle::apply_updates`] keeps cached artifacts
+    /// current by patching only the dirty nodes (on both weight-only and
+    /// structural batches). A miss builds from the snapshot's pinned
+    /// graph; the result (and its maintainer, which future batches will
+    /// patch through) is cached only when the snapshot is still the live
+    /// version.
+    pub fn sampler_state(
+        &self,
+        snap: &GraphSnapshot,
+        maintainer: &Arc<dyn StateMaintainer>,
+    ) -> (DynState, PlanFetch) {
+        let key = maintainer.state_key();
+        {
+            let guard = self.read();
+            if let Some(slot) = guard
+                .states
+                .iter()
+                .find(|s| s.key == key && s.epoch == snap.version.epoch)
+            {
+                return (Arc::clone(&slot.state), PlanFetch::Cached);
+            }
+        }
+        let state = maintainer.build(&snap.graph);
+        let mut guard = self.shared.write().expect("graph handle lock poisoned");
+        if guard.epoch == snap.version.epoch {
+            match guard.states.iter_mut().find(|s| s.key == key) {
+                // A concurrent builder may have raced us here; either
+                // artifact is correct (both built from the same version).
+                Some(slot) => {
+                    slot.epoch = snap.version.epoch;
+                    slot.state = Arc::clone(&state);
+                    slot.maintainer = Arc::clone(maintainer);
+                }
+                None => guard.states.push(StateSlot {
+                    key,
+                    epoch: snap.version.epoch,
+                    state: Arc::clone(&state),
+                    maintainer: Arc::clone(maintainer),
+                }),
+            }
+        }
+        (state, PlanFetch::Built)
     }
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, Versioned> {
@@ -657,6 +780,112 @@ mod tests {
         let (live, fetch) = h.time_mask(&h.snapshot(), TimeWindow::until(20));
         assert_eq!(fetch, PlanFetch::Built, "stale mask was not cached");
         assert_eq!(live.num_edges(), 2);
+    }
+
+    /// Toy maintainer caching each node's weight sum — enough structure to
+    /// observe cache hits, O(Δ) patches and the refresh≡rebuild contract.
+    struct SumState;
+
+    impl StateMaintainer for SumState {
+        fn state_key(&self) -> String {
+            "sum@test".to_string()
+        }
+
+        fn build(&self, graph: &Csr) -> DynState {
+            let sums: Vec<f64> = (0..graph.num_nodes())
+                .map(|v| {
+                    graph
+                        .edge_range(v as NodeId)
+                        .map(|e| f64::from(graph.prop(e)))
+                        .sum()
+                })
+                .collect();
+            Arc::new(sums)
+        }
+
+        fn refresh(&self, prev: &DynState, graph: &Csr, dirty: &[NodeId]) -> DynState {
+            let prev = prev.downcast_ref::<Vec<f64>>().expect("sum state");
+            let mut sums = prev.clone();
+            for &v in dirty {
+                sums[v as usize] = graph.edge_range(v).map(|e| f64::from(graph.prop(e))).sum();
+            }
+            Arc::new(sums)
+        }
+    }
+
+    #[test]
+    fn sampler_states_are_cached_per_epoch_and_patched_by_updates() {
+        let h = GraphHandle::new(base());
+        let snap = h.snapshot();
+        let m: Arc<dyn StateMaintainer> = Arc::new(SumState);
+        let (state, fetch) = h.sampler_state(&snap, &m);
+        assert_eq!(fetch, PlanFetch::Built);
+        let sums = state.downcast_ref::<Vec<f64>>().unwrap();
+        assert_eq!(sums, &vec![5.0, 1.0, 0.0, 0.0]);
+        // Same epoch, same key: served from the cache.
+        let (again, fetch) = h.sampler_state(&snap, &m);
+        assert_eq!(fetch, PlanFetch::Cached);
+        assert!(Arc::ptr_eq(&state, &again));
+
+        // A weight-only batch patches the cached artifact (unlike plans
+        // and masks, which a weight batch carries untouched).
+        let out = h
+            .apply_updates(&[GraphUpdate::SetWeight {
+                edge: 2,
+                weight: 7.0,
+            }])
+            .unwrap();
+        assert_eq!(out.sampler_states_migrated, 1);
+        let (patched, fetch) = h.sampler_state(&h.snapshot(), &m);
+        assert_eq!(fetch, PlanFetch::Cached);
+        assert_eq!(
+            patched.downcast_ref::<Vec<f64>>().unwrap(),
+            &vec![5.0, 7.0, 0.0, 0.0]
+        );
+
+        // A structural batch dirty-refreshes the artifact too, and the
+        // patched result matches a from-scratch build (refresh≡rebuild).
+        let out = h
+            .apply_updates(&[GraphUpdate::AddEdge {
+                src: 2,
+                dst: 3,
+                weight: 4.0,
+                label: 0,
+            }])
+            .unwrap();
+        assert_eq!(out.sampler_states_migrated, 1);
+        let snap = h.snapshot();
+        let (migrated, fetch) = h.sampler_state(&snap, &m);
+        assert_eq!(fetch, PlanFetch::Cached);
+        assert_eq!(
+            migrated.downcast_ref::<Vec<f64>>().unwrap(),
+            SumState
+                .build(&snap.graph)
+                .downcast_ref::<Vec<f64>>()
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn stale_snapshot_state_is_built_but_not_cached() {
+        let h = GraphHandle::new(base());
+        let old = h.snapshot();
+        h.apply_updates(&[GraphUpdate::SetWeight {
+            edge: 0,
+            weight: 9.0,
+        }])
+        .unwrap();
+        let m: Arc<dyn StateMaintainer> = Arc::new(SumState);
+        let (state, fetch) = h.sampler_state(&old, &m);
+        assert_eq!(fetch, PlanFetch::Built);
+        assert_eq!(
+            state.downcast_ref::<Vec<f64>>().unwrap()[0],
+            5.0,
+            "built over the pinned old weights"
+        );
+        let (live, fetch) = h.sampler_state(&h.snapshot(), &m);
+        assert_eq!(fetch, PlanFetch::Built, "stale state was not cached");
+        assert_eq!(live.downcast_ref::<Vec<f64>>().unwrap()[0], 12.0);
     }
 
     #[test]

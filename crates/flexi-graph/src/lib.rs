@@ -31,7 +31,9 @@ pub use builder::CsrBuilder;
 pub use csr::{Csr, EdgeId, NodeId};
 pub use datasets::{proxy, DatasetSpec, ALL_DATASETS};
 pub use dynamic::GraphUpdate;
-pub use handle::{GraphHandle, GraphSnapshot, GraphVersion, PlanFetch, UpdateOutcome};
+pub use handle::{
+    DynState, GraphHandle, GraphSnapshot, GraphVersion, PlanFetch, StateMaintainer, UpdateOutcome,
+};
 pub use partition::{shard_of, PartitionPlan};
 pub use props::{EdgeProps, WeightModel};
 pub use temporal::{TimeMask, TimeWindow};
@@ -73,6 +75,17 @@ pub enum GraphError {
         /// The underlying validation failure.
         cause: Box<GraphError>,
     },
+    /// Two or more batch entries failed validation in
+    /// [`dynamic::apply_batch`].
+    ///
+    /// Carries one [`GraphError::InvalidUpdate`] per offending entry, in
+    /// batch order, so bulk ingest callers can drop exactly the rejected
+    /// entries and retry the valid remainder. A batch with a single bad
+    /// entry still surfaces the plain `InvalidUpdate`.
+    InvalidBatch {
+        /// One `InvalidUpdate` per offending entry, in batch order.
+        errors: Vec<GraphError>,
+    },
     /// Input file or stream was malformed.
     Parse(String),
     /// Underlying I/O failure.
@@ -97,6 +110,16 @@ impl std::fmt::Display for GraphError {
                 cause,
             } => {
                 write!(f, "update #{index} ({update}) rejected: {cause}")
+            }
+            Self::InvalidBatch { errors } => {
+                write!(f, "{} updates rejected: ", errors.len())?;
+                for (i, e) in errors.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
             }
             Self::Parse(msg) => write!(f, "parse error: {msg}"),
             Self::Io(msg) => write!(f, "I/O error: {msg}"),

@@ -35,6 +35,7 @@ pub mod kernels;
 pub mod sampler;
 pub mod scalar;
 pub mod stat;
+pub mod state;
 pub mod temporal;
 
 pub use alias::AliasTable;
@@ -43,6 +44,7 @@ pub use sampler::{
     ItsSampler, ReservoirPrefixSampler, Sampler, SamplerId, SamplerRegistry,
 };
 pub use scalar::ScalarCost;
+pub use state::{NodeState, StateTable};
 pub use temporal::TcdfSampler;
 
 /// Maximum rejection-sampling trials before falling back to a linear scan.

@@ -18,6 +18,7 @@
 //! baseline methods ([`ItsSampler`], [`AliasSampler`],
 //! [`ReservoirPrefixSampler`], [`ExactMaxRjsSampler`]).
 
+use crate::alias::AliasTable;
 use crate::kernels::{
     lane_rejection, warp_alias, warp_ervs, warp_its, warp_max_reduce_scattered,
     warp_reservoir_prefix, ErvsMode, NeighborView,
@@ -26,6 +27,7 @@ use crate::scalar::{
     exact_max, sample_alias, sample_ervs_exp, sample_ervs_jump, sample_its, sample_rejection,
     sample_reservoir_prefix, ScalarCost,
 };
+use crate::state::NodeState;
 use flexi_gpu_sim::WarpCtx;
 use flexi_rng::RandomSource;
 use std::sync::Arc;
@@ -142,6 +144,44 @@ pub trait Sampler: Send + Sync {
         bound: Option<f32>,
         rng: &mut dyn RandomSource,
     ) -> (Option<usize>, ScalarCost);
+
+    // ---- Optional incremental-state entry points -------------------------
+
+    /// Whether this strategy can serve steps from a prebuilt, incrementally
+    /// maintained per-node artifact ([`NodeState`]).
+    ///
+    /// Only sound for weight functions that do not depend on walker
+    /// history — the engine gates the state path on the compiler's
+    /// static-weight analysis.
+    fn supports_state(&self) -> bool {
+        false
+    }
+
+    /// Builds this strategy's per-node artifact from one node's transition
+    /// weights (`None` for dead-end / all-zero neighborhoods, and the
+    /// default for strategies without state support).
+    fn build_node_state(&self, weights: &[f32]) -> Option<NodeState> {
+        let _ = weights;
+        None
+    }
+
+    /// Expected cost of sampling one step *from a prebuilt artifact*, in
+    /// the same units as [`Sampler::step_cost`]. This is what the
+    /// update-aware cost model prices instead of `step_cost` when the
+    /// node's artifact is resident.
+    fn state_step_cost(&self, inp: &CostInputs) -> Option<f64> {
+        let _ = inp;
+        None
+    }
+
+    /// Expected cost of re-deriving one dirty node's artifact after an
+    /// update batch — the per-node O(Δ) maintenance charge the cost model
+    /// amortises against churn when argmin-ing (a strategy that samples
+    /// fast but rebuilds slow should lose under heavy churn).
+    fn state_update_cost(&self, inp: &CostInputs) -> Option<f64> {
+        let _ = inp;
+        None
+    }
 }
 
 /// The ordered set of strategies an engine run selects between.
@@ -212,16 +252,31 @@ impl SamplerRegistry {
     }
 
     /// The strategy at priority position `index`.
+    #[deprecated(
+        since = "0.8.0",
+        note = "positional selection is superseded by the cost model's typed \
+                `SamplerSelection`; iterate with `iter()` or look up by id with `get()`"
+    )]
     pub fn at(&self, index: usize) -> Option<&Arc<dyn Sampler>> {
         self.samplers.get(index)
     }
 
     /// Priority position of `id`, if registered.
+    #[deprecated(
+        since = "0.8.0",
+        note = "positional selection is superseded by the cost model's typed \
+                `SamplerSelection`; use `contains()`/`get()` or `ids()` for ordering"
+    )]
     pub fn position(&self, id: &str) -> Option<usize> {
         self.samplers.iter().position(|s| s.id() == id)
     }
 
     /// The highest-priority strategy of the given granularity.
+    #[deprecated(
+        since = "0.8.0",
+        note = "positional selection is superseded by the cost model's typed \
+                `SamplerSelection`; filter `iter()` by `granularity()` instead"
+    )]
     pub fn first_of(&self, granularity: Granularity) -> Option<&Arc<dyn Sampler>> {
         self.samplers
             .iter()
@@ -404,6 +459,24 @@ impl Sampler for ItsSampler {
     ) -> (Option<usize>, ScalarCost) {
         sample_its(weights, &mut rng)
     }
+
+    fn supports_state(&self) -> bool {
+        true
+    }
+
+    fn build_node_state(&self, weights: &[f32]) -> Option<NodeState> {
+        NodeState::build_cdf(weights)
+    }
+
+    fn state_step_cost(&self, inp: &CostInputs) -> Option<f64> {
+        // The CDF is prebuilt: only the binary-search inversion remains.
+        Some(inp.edge_cost_ratio * inp.deg.max(1.0).log2().max(1.0))
+    }
+
+    fn state_update_cost(&self, inp: &CostInputs) -> Option<f64> {
+        // Segment re-prefix of one dirty node: weight pass + CDF store.
+        Some(2.0 * inp.deg)
+    }
 }
 
 /// Alias sampling with per-step table construction (Skywalker).
@@ -436,6 +509,27 @@ impl Sampler for AliasSampler {
         mut rng: &mut dyn RandomSource,
     ) -> (Option<usize>, ScalarCost) {
         sample_alias(weights, &mut rng)
+    }
+
+    fn supports_state(&self) -> bool {
+        true
+    }
+
+    fn build_node_state(&self, weights: &[f32]) -> Option<NodeState> {
+        AliasTable::build(weights).map(NodeState::Alias)
+    }
+
+    fn state_step_cost(&self, inp: &CostInputs) -> Option<f64> {
+        // The table is prebuilt: two draws and one random bucket probe —
+        // the O(1) sample the alias method promises once construction is
+        // amortised across an epoch.
+        Some(2.0 * inp.edge_cost_ratio)
+    }
+
+    fn state_update_cost(&self, inp: &CostInputs) -> Option<f64> {
+        // Vose rebuild of one dirty node's table (bias re-factorisation):
+        // same two-stack traffic as the stateless per-step build.
+        Some(7.0 * inp.deg)
     }
 }
 
@@ -553,7 +647,6 @@ mod tests {
     fn registry_preserves_priority_order() {
         let r = SamplerRegistry::builtin();
         assert_eq!(r.ids(), vec![ids::ERVS, ids::ERJS]);
-        assert_eq!(r.position(ids::ERVS), Some(0));
         assert!(r.contains(ids::ERJS));
         assert!(!r.contains("nonsense"));
     }
@@ -563,12 +656,18 @@ mod tests {
         let mut r = SamplerRegistry::builtin();
         r.register(Arc::new(ErvsSampler::with_mode(ErvsMode::Exp)));
         assert_eq!(r.len(), 2);
-        assert_eq!(r.position(ids::ERVS), Some(0), "priority kept");
+        assert_eq!(r.ids(), vec![ids::ERVS, ids::ERJS], "priority kept");
     }
 
     #[test]
-    fn first_of_finds_granularity_classes() {
+    #[allow(deprecated)]
+    fn deprecated_positional_shims_still_work() {
+        // One-release compatibility contract for the pre-`SamplerSelection`
+        // surface: `at`/`position`/`first_of` keep answering while callers
+        // migrate to the typed selection API.
         let r = all_builtins();
+        assert_eq!(r.position(ids::ERVS), Some(0));
+        assert_eq!(r.at(1).unwrap().id(), ids::ERJS);
         assert_eq!(r.first_of(Granularity::Warp).unwrap().id(), ids::ERVS);
         assert_eq!(r.first_of(Granularity::Lane).unwrap().id(), ids::ERJS);
     }

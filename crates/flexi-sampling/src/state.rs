@@ -1,0 +1,343 @@
+//! Prebuilt, incrementally maintainable per-node sampler state.
+//!
+//! The heavyweight strategies (ALS alias tables, ITS/tcdf CDFs) pay an
+//! O(deg) construction on *every step* when run statelessly — the Fig. 3
+//! cliff. For walkers whose transition weights do not depend on walker
+//! history, that construction can instead be done **once per node per
+//! graph epoch** and reused by every step that lands on the node; an
+//! update batch then re-derives only the dirty nodes' artifacts (O(Δ),
+//! the Bingo-style maintenance the ROADMAP names) instead of the whole
+//! graph (O(|V|)).
+//!
+//! This module holds the artifact itself:
+//!
+//! - [`NodeState`] — one node's prebuilt structure: an alias table or a
+//!   cumulative-distribution prefix, with scalar and warp sampling entry
+//!   points that draw from the exact target distribution;
+//! - [`StateTable`] — the per-graph collection, `Arc`-sharing node
+//!   entries so an epoch migration clones the index in O(|V|) pointer
+//!   bumps and rebuilds only the dirty nodes.
+//!
+//! Which strategy owns which artifact is declared on the [`Sampler`]
+//! trait (`supports_state` / `build_node_state` / `state_step_cost` /
+//! `state_update_cost`); the graph-handle cache that versions these
+//! tables by epoch lives in `flexi-graph`, and the engine wiring in
+//! `flexi-core`.
+//!
+//! [`Sampler`]: crate::sampler::Sampler
+
+use crate::alias::AliasTable;
+use crate::scalar::ScalarCost;
+use flexi_gpu_sim::WarpCtx;
+use flexi_rng::RandomSource;
+use std::sync::Arc;
+
+/// One node's prebuilt sampling structure.
+///
+/// Both variants answer "draw a neighbor index `i` with probability
+/// `w_i / Σw`" without touching the weight array at sample time — the
+/// per-step work drops from O(deg) to O(1) (alias) or O(log deg) (CDF).
+#[derive(Clone, Debug)]
+pub enum NodeState {
+    /// Walker alias table: two draws, one random table probe.
+    Alias(AliasTable),
+    /// Cumulative weight prefix: one draw, a binary-search inversion.
+    /// `prefix[i] = Σ_{j ≤ i} max(w_j, 0)` in f64.
+    Cdf(Vec<f64>),
+}
+
+impl NodeState {
+    /// Builds the CDF variant from one node's transition weights.
+    ///
+    /// Returns `None` for empty or all-dead neighborhoods (no positive
+    /// weight), mirroring [`AliasTable::build`].
+    pub fn build_cdf(weights: &[f32]) -> Option<Self> {
+        if weights.is_empty() {
+            return None;
+        }
+        let mut acc = 0.0f64;
+        let prefix: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                if w.is_finite() {
+                    acc += f64::from(w.max(0.0));
+                }
+                acc
+            })
+            .collect();
+        if acc <= 0.0 {
+            return None;
+        }
+        Some(Self::Cdf(prefix))
+    }
+
+    /// Number of outcomes the artifact covers.
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Alias(t) => t.len(),
+            Self::Cdf(p) => p.len(),
+        }
+    }
+
+    /// Whether the artifact covers no outcomes (never true once built).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Warp-kernel entry point: samples one neighbor index from the
+    /// prebuilt structure, drawing from `lane`'s RNG stream and charging
+    /// `ctx` for the table probes.
+    pub fn sample_warp(&self, ctx: &mut WarpCtx, lane: usize) -> Option<usize> {
+        match self {
+            Self::Alias(t) => {
+                let col = ctx.draw_index(lane, t.len());
+                let u = ctx.draw_f64(lane);
+                // One random probe fetches the bucket's (prob, alias) pair.
+                ctx.read_random(12);
+                Some(if u <= t.bucket_prob(col) {
+                    col
+                } else {
+                    t.bucket_alias(col)
+                })
+            }
+            Self::Cdf(prefix) => {
+                let n = prefix.len();
+                let total = *prefix.last()?;
+                if total <= 0.0 {
+                    return None;
+                }
+                let target = ctx.draw_f64(lane) * total;
+                let (mut lo, mut hi) = (0usize, n - 1);
+                while lo < hi {
+                    // Each probe is one random read of a prefix entry.
+                    ctx.alu(1);
+                    ctx.read_random(8);
+                    let mid = (lo + hi) / 2;
+                    if prefix[mid] < target {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                cdf_finish(prefix, lo)
+            }
+        }
+    }
+
+    /// Scalar reference entry point — the same draw sequence as
+    /// [`NodeState::sample_warp`], so a bound stream produces identical
+    /// picks through either.
+    pub fn sample_scalar(&self, rng: &mut dyn RandomSource) -> (Option<usize>, ScalarCost) {
+        let mut cost = ScalarCost::default();
+        match self {
+            Self::Alias(t) => {
+                cost.rng_draws = 2;
+                cost.probe_reads = 1;
+                // Mirrors WarpCtx::draw_index (u32 multiply-shift), then
+                // the alias method's stay-or-alias test.
+                let x = rng.next_u32();
+                let col = ((u64::from(x) * t.len() as u64) >> 32) as usize;
+                let u = rng.uniform_f64();
+                let picked = if u <= t.bucket_prob(col) {
+                    col
+                } else {
+                    t.bucket_alias(col)
+                };
+                (Some(picked), cost)
+            }
+            Self::Cdf(prefix) => {
+                let n = prefix.len();
+                let total = match prefix.last() {
+                    Some(&t) if t > 0.0 => t,
+                    _ => return (None, cost),
+                };
+                cost.rng_draws = 1;
+                let target = rng.uniform_f64() * total;
+                let (mut lo, mut hi) = (0usize, n - 1);
+                while lo < hi {
+                    cost.probe_reads += 1;
+                    let mid = (lo + hi) / 2;
+                    if prefix[mid] < target {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                (cdf_finish(prefix, lo), cost)
+            }
+        }
+    }
+}
+
+/// Maps an inverted-CDF position to a *positive-weight* outcome: the
+/// target can land exactly on a run of zero-weight entries (their prefix
+/// is flat), in which case the next live outcome owns the mass.
+fn cdf_finish(prefix: &[f64], at: usize) -> Option<usize> {
+    let live = |i: usize| prefix[i] > if i == 0 { 0.0 } else { prefix[i - 1] };
+    let n = prefix.len();
+    let mut i = at;
+    while i < n && !live(i) {
+        i += 1;
+    }
+    if i == n {
+        return (0..n).rev().find(|&j| live(j));
+    }
+    Some(i)
+}
+
+/// The per-graph sampler-state artifact: one optional [`NodeState`] per
+/// source node (`None` for dead-end or all-zero neighborhoods).
+///
+/// Node entries are `Arc`-shared, so migrating the table across a graph
+/// epoch clones the index cheaply and replaces only the dirty nodes —
+/// the table's maintenance cost scales with Δ, not |V|. Because each
+/// node's artifact is a pure function of that node's weight vector,
+/// patching dirty nodes is **bit-identical** to a from-scratch rebuild.
+#[derive(Clone, Debug, Default)]
+pub struct StateTable {
+    nodes: Vec<Option<Arc<NodeState>>>,
+}
+
+impl StateTable {
+    /// Wraps per-node artifacts (index = node id).
+    pub fn new(nodes: Vec<Option<Arc<NodeState>>>) -> Self {
+        Self { nodes }
+    }
+
+    /// Number of source nodes covered.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the table covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The artifact for node `v`, if it has one.
+    pub fn node(&self, v: usize) -> Option<&NodeState> {
+        self.nodes.get(v).and_then(|s| s.as_deref())
+    }
+
+    /// Number of nodes holding a built artifact (live, non-dead-end).
+    pub fn built_nodes(&self) -> usize {
+        self.nodes.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// A copy of this table with the given nodes' artifacts replaced —
+    /// the O(Δ) epoch-migration step. Untouched nodes share their
+    /// existing artifacts.
+    pub fn patched(&self, dirty: impl IntoIterator<Item = (usize, Option<NodeState>)>) -> Self {
+        let mut nodes = self.nodes.clone();
+        for (v, state) in dirty {
+            if v < nodes.len() {
+                nodes[v] = state.map(Arc::new);
+            }
+        }
+        Self { nodes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stat;
+    use flexi_rng::Philox4x32;
+
+    const WEIGHTS: [f32; 5] = [3.0, 2.0, 4.0, 1.0, 0.5];
+    const MASKED: [f32; 8] = [0.0, 0.0, 3.0, 0.0, 1.0, 0.0, 0.0, 2.0];
+
+    #[test]
+    fn cdf_build_rejects_degenerate_inputs() {
+        assert!(NodeState::build_cdf(&[]).is_none());
+        assert!(NodeState::build_cdf(&[0.0, 0.0]).is_none());
+        assert!(NodeState::build_cdf(&[f32::NAN]).is_none());
+    }
+
+    #[test]
+    fn alias_state_scalar_matches_distribution() {
+        let s = NodeState::Alias(AliasTable::build(&WEIGHTS).unwrap());
+        let mut counts = vec![0u64; WEIGHTS.len()];
+        for trial in 0..40_000u64 {
+            let mut rng = Philox4x32::new(trial, 0xA1);
+            let (picked, _) = s.sample_scalar(&mut rng);
+            counts[picked.expect("positive weights")] += 1;
+        }
+        stat::assert_matches_distribution(&counts, &stat::normalize(&WEIGHTS), "alias state");
+    }
+
+    #[test]
+    fn cdf_state_scalar_matches_distribution_on_masked_weights() {
+        let s = NodeState::build_cdf(&MASKED).unwrap();
+        let mut counts = vec![0u64; MASKED.len()];
+        for trial in 0..40_000u64 {
+            let mut rng = Philox4x32::new(trial, 0xA2);
+            let (picked, _) = s.sample_scalar(&mut rng);
+            counts[picked.expect("positive weights")] += 1;
+        }
+        stat::assert_matches_distribution(&counts, &stat::normalize(&MASKED), "cdf state");
+    }
+
+    #[test]
+    fn warp_and_scalar_entry_points_agree_per_stream() {
+        for weights in [&WEIGHTS[..], &MASKED[..]] {
+            for state in [
+                NodeState::Alias(AliasTable::build(weights).unwrap()),
+                NodeState::build_cdf(weights).unwrap(),
+            ] {
+                for trial in 0..500u64 {
+                    let mut ctx = WarpCtx::new(0, 0);
+                    ctx.bind_stream(Philox4x32::new(trial, 0xA3));
+                    let via_warp = state.sample_warp(&mut ctx, 0);
+                    let mut rng = Philox4x32::new(trial, 0xA3);
+                    let (via_scalar, _) = state.sample_scalar(&mut rng);
+                    assert_eq!(via_warp, via_scalar, "trial {trial}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warp_sampling_charges_probes_not_weight_passes() {
+        let s = NodeState::Alias(AliasTable::build(&WEIGHTS).unwrap());
+        let mut ctx = WarpCtx::new(0, 0x77);
+        s.sample_warp(&mut ctx, 0).unwrap();
+        assert!(ctx.stats().random_transactions >= 1);
+        assert_eq!(
+            ctx.stats().coalesced_transactions,
+            0,
+            "no per-step weight pass"
+        );
+    }
+
+    #[test]
+    fn state_table_patching_is_o_delta_and_matches_rebuild() {
+        let build = |weights: &[&[f32]]| {
+            StateTable::new(
+                weights
+                    .iter()
+                    .map(|w| NodeState::build_cdf(w).map(Arc::new))
+                    .collect(),
+            )
+        };
+        let before: [&[f32]; 3] = [&[1.0, 2.0], &[3.0], &[]];
+        let after: [&[f32]; 3] = [&[1.0, 2.0], &[5.0, 1.0], &[]];
+        let t = build(&before);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.built_nodes(), 2);
+        // Patch only node 1; node 0's artifact must be *shared*, not rebuilt.
+        let patched = t.patched([(1, NodeState::build_cdf(after[1]))]);
+        assert!(Arc::ptr_eq(
+            t.nodes[0].as_ref().unwrap(),
+            patched.nodes[0].as_ref().unwrap()
+        ));
+        let rebuilt = build(&after);
+        for v in 0..3 {
+            match (patched.node(v), rebuilt.node(v)) {
+                (Some(NodeState::Cdf(a)), Some(NodeState::Cdf(b))) => assert_eq!(a, b),
+                (None, None) => {}
+                other => panic!("node {v} mismatch: {other:?}"),
+            }
+        }
+    }
+}

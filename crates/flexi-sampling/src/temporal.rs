@@ -19,6 +19,7 @@
 use crate::kernels::NeighborView;
 use crate::sampler::{ids, CostInputs, Granularity, Sampler, SamplerId};
 use crate::scalar::ScalarCost;
+use crate::state::NodeState;
 use flexi_gpu_sim::{WarpCtx, WARP_SIZE};
 use flexi_rng::RandomSource;
 
@@ -63,6 +64,24 @@ impl Sampler for TcdfSampler {
         rng: &mut dyn RandomSource,
     ) -> (Option<usize>, ScalarCost) {
         sample_linear_cdf(weights, rng)
+    }
+
+    fn supports_state(&self) -> bool {
+        true
+    }
+
+    fn build_node_state(&self, weights: &[f32]) -> Option<NodeState> {
+        NodeState::build_cdf(weights)
+    }
+
+    fn state_step_cost(&self, inp: &CostInputs) -> Option<f64> {
+        // Prebuilt running sum: only the inversion's random probes remain.
+        Some(inp.edge_cost_ratio * inp.deg.max(1.0).log2().max(1.0))
+    }
+
+    fn state_update_cost(&self, inp: &CostInputs) -> Option<f64> {
+        // Re-prefix one dirty node's segment: a single coalesced pass.
+        Some(2.0 * inp.deg)
     }
 }
 
@@ -241,6 +260,11 @@ mod tests {
         assert!(!SamplerRegistry::with_baselines().contains(ids::TCDF));
         let mut r = SamplerRegistry::builtin();
         r.register(std::sync::Arc::new(TcdfSampler));
-        assert_eq!(r.position(ids::TCDF), Some(2), "appended after the pair");
+        assert_eq!(
+            r.ids().last().copied(),
+            Some(ids::TCDF),
+            "appended after the pair"
+        );
+        assert_eq!(r.len(), 3);
     }
 }

@@ -339,6 +339,8 @@ fn merge_job(
                 m.stats.add(&report.stats);
                 m.steps_taken += report.steps_taken;
                 m.sampler_steps.merge(&report.sampler_steps);
+                m.sampler_state_builds += report.sampler_state_builds;
+                m.sampler_state_hits += report.sampler_state_hits;
                 m.profile_seconds = m.profile_seconds.max(report.profile_seconds);
                 m.preprocess_seconds = m.preprocess_seconds.max(report.preprocess_seconds);
             }

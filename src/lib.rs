@@ -114,11 +114,12 @@ pub mod prelude {
     };
     pub use crate::session::{FlexiWalker, Session, SessionBuilder, SessionStats, Ticket};
     pub use flexi_core::{
-        AdmissionPolicy, AdmissionStats, CompiledWalker, DynamicWalk, EngineError,
+        AdmissionPolicy, AdmissionStats, ChurnProfile, CompiledWalker, DynamicWalk, EngineError,
         FlexiWalkerEngine, IntoQueries, IntoWalker, LatencyHistogram, LinkSpec, MetaPath, Node2Vec,
-        RunReport, SamplerTally, SecondOrderPr, SelectionStrategy, ShardStats, TemporalExp,
-        TemporalLinear, TemporalUniform, Topology, UniformWalk, WalkConfig, WalkEngine,
-        WalkRequest, WalkState, WalkerDef, WalkerHandle, WalkerRegistry, WalkerSource,
+        PricedCandidate, RunReport, SamplerSelection, SamplerTally, SecondOrderPr,
+        SelectionStrategy, ShardStats, TemporalExp, TemporalLinear, TemporalUniform, Topology,
+        UniformWalk, WalkConfig, WalkEngine, WalkRequest, WalkState, WalkerDef, WalkerHandle,
+        WalkerRegistry, WalkerSource,
     };
     pub use flexi_gpu_sim::DeviceSpec;
     pub use flexi_graph::{
@@ -128,6 +129,7 @@ pub mod prelude {
     };
     pub use flexi_rng::{Philox4x32, RandomSource};
     pub use flexi_sampling::{
-        ids as sampler_ids, Granularity, Sampler, SamplerId, SamplerRegistry, TcdfSampler,
+        ids as sampler_ids, AliasSampler, Granularity, ItsSampler, NodeState, Sampler, SamplerId,
+        SamplerRegistry, StateTable, TcdfSampler,
     };
 }

@@ -270,7 +270,8 @@ impl std::fmt::Display for ServerStats {
         writeln!(
             f,
             "served {} requests in {} cycles, {} update batches applied \
-             ({} epoch(s), plans: {} built / {} hit / {} refreshed)",
+             ({} epoch(s), plans: {} built / {} hit / {} refreshed, \
+             sampler state: {} built / {} hit / {} patched)",
             self.served,
             self.serve_cycles,
             self.updates_applied,
@@ -278,6 +279,9 @@ impl std::fmt::Display for ServerStats {
             self.session.plan_builds,
             self.session.plan_hits,
             self.session.plan_refreshes,
+            self.session.sampler_state_builds,
+            self.session.sampler_state_hits,
+            self.session.sampler_state_patches,
         )?;
         write!(
             f,

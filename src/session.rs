@@ -46,14 +46,15 @@
 //! | lowered walkers | walker fingerprint | kept | kept |
 //! | aggregates | graph version × walker | migrated via dirty-node refresh | migrated via dirty-node refresh |
 //! | cost-model profile | graph version | carried to the new epoch | evicted (re-profiled on next drain) |
+//! | sampler state (alias/CDF tables) | graph version × sampler × walker fingerprint | patched in O(Δ) | dirty frontier refreshed |
 //!
 //! [`GraphUpdate`]: flexi_graph::GraphUpdate
 
 use crate::executor::{self, PreparedJob};
 use flexi_core::{
-    CompiledWalker, EngineError, FlexiWalkerEngine, PlanFetch, PreparedState, ProfileResult,
-    RunReport, SelectionStrategy, Topology, WalkRequest, WalkerDef, WalkerHandle, WalkerRegistry,
-    WorkerPool,
+    ChurnProfile, CompiledWalker, EngineError, FlexiWalkerEngine, PlanFetch, PreparedState,
+    ProfileResult, RunReport, SelectionStrategy, Topology, WalkRequest, WalkerDef, WalkerHandle,
+    WalkerRegistry, WorkerPool,
 };
 use flexi_gpu_sim::DeviceSpec;
 use flexi_graph::{
@@ -85,6 +86,8 @@ pub struct SessionBuilder {
     walkers: WalkerRegistry,
     skip_profile: bool,
     cost_ratio_override: Option<f64>,
+    incremental_state: bool,
+    churn: ChurnProfile,
     workers: usize,
     topology: Topology,
 }
@@ -102,6 +105,8 @@ impl SessionBuilder {
             walkers: WalkerRegistry::builtin(),
             skip_profile: false,
             cost_ratio_override: None,
+            incremental_state: false,
+            churn: ChurnProfile::default(),
             workers: WorkerPool::available(),
             topology: Topology::Single,
         }
@@ -161,6 +166,27 @@ impl SessionBuilder {
         self
     }
 
+    /// Maintains per-node sampler state (alias tables / CDFs) in the
+    /// graph handle's epoch cache and serves eligible drains from it.
+    ///
+    /// Opt-in: the state path draws from a different RNG sequence than
+    /// stateless sampling, so output is bit-identical across workers,
+    /// topologies and churn *within* the mode, but not to a stateless
+    /// session. Inert for walkers whose weights read walk state and for
+    /// time-windowed requests.
+    pub fn incremental_state(mut self, on: bool) -> Self {
+        self.incremental_state = on;
+        self
+    }
+
+    /// Amortises an expected update churn into stateful sampler pricing —
+    /// [`ChurnProfile::observed`] converts a session's own refresh/step
+    /// counters into this profile.
+    pub fn churn(mut self, churn: ChurnProfile) -> Self {
+        self.churn = churn;
+        self
+    }
+
     /// Sets how many host worker threads [`Session::drain`] fans pending
     /// requests across (clamped to at least 1).
     ///
@@ -206,6 +232,8 @@ impl SessionBuilder {
             .with_walkers(self.walkers);
         engine.skip_profile = self.skip_profile;
         engine.cost_ratio_override = self.cost_ratio_override;
+        engine.incremental_state = self.incremental_state;
+        engine.churn = self.churn;
         Session {
             engine,
             walkers: HashMap::new(),
@@ -380,6 +408,17 @@ pub struct SessionStats {
     /// Cached time-window masks migrated across those epochs (recomputed
     /// on structural batches, carried on weight-only ones).
     pub masks_migrated: u64,
+    /// Sampler-state artifacts built from scratch by drains (cold
+    /// epoch-cache misses on the incremental-state path).
+    pub sampler_state_builds: u64,
+    /// Drain launches served by a cached sampler-state artifact.
+    pub sampler_state_hits: u64,
+    /// Cached sampler-state artifacts patched to a new epoch by
+    /// [`Session::apply_updates`] — O(dirty frontier) per batch, on both
+    /// weight-only and structural batches (weights are what the tables
+    /// encode). Under weight-only churn these dominate
+    /// [`SessionStats::sampler_state_builds`].
+    pub sampler_state_patches: u64,
     /// Per-request drain latency: every drained request records the host
     /// wall time of the [`Session::drain`] call that served it (requests
     /// in one drain complete together, so they share its latency). The
@@ -420,6 +459,11 @@ impl std::fmt::Display for SessionStats {
             self.plan_hits,
             self.plan_refreshes,
             self.masks_migrated,
+        )?;
+        writeln!(
+            f,
+            "sampler state: {} built / {} hit / {} patched",
+            self.sampler_state_builds, self.sampler_state_hits, self.sampler_state_patches,
         )?;
         write!(
             f,
@@ -614,6 +658,10 @@ impl Session {
         // testable: refreshes track structural epochs, never drains.
         self.stats.plan_refreshes += outcome.plans_migrated as u64;
         self.stats.masks_migrated += outcome.masks_migrated as u64;
+        // Sampler-state artifacts migrate on *every* non-empty batch —
+        // weight-only included, since weights are exactly what the tables
+        // encode — by patching only the dirty frontier.
+        self.stats.sampler_state_patches += outcome.sampler_states_migrated as u64;
         if outcome.dirty_nodes.is_empty() && !outcome.structural {
             // Empty batch: nothing changed, nothing to migrate.
             return Ok(outcome);
@@ -756,6 +804,10 @@ impl Session {
         }
         for (slot, n) in run.per_worker.iter().enumerate() {
             self.stats.worker_requests[slot] += n;
+        }
+        for report in run.results.iter().filter_map(|(_, r)| r.as_ref().ok()) {
+            self.stats.sampler_state_builds += report.sampler_state_builds;
+            self.stats.sampler_state_hits += report.sampler_state_hits;
         }
         run.results
     }

@@ -1,0 +1,453 @@
+//! Churn sweep: epoch-versioned sampler state (alias tables / CDFs) stays
+//! **bit-identical** to rebuild-from-scratch across weight-only and
+//! structural update batches, across worker counts and topologies, and
+//! across served vs offline execution — while the session counters prove
+//! the maintenance was incremental (patches dominate builds under
+//! weight-only churn).
+
+use flexiwalker::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic per-seed script randomness (splitmix64 step).
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const NODES: usize = 160;
+const HUBS: usize = 4;
+const HUB_DEG: usize = 48;
+
+/// A weighted graph with a few high-degree hubs: at hub degree the
+/// prebuilt-state strategies out-price the streaming kernels, so the cost
+/// model genuinely routes steps through the resident tables.
+fn wgraph(seed: u64) -> Csr {
+    let mut rng = seed;
+    let mut b = CsrBuilder::new(NODES);
+    for src in 0..NODES as NodeId {
+        let fanout = if (src as usize) < HUBS {
+            HUB_DEG
+        } else {
+            2 + (mix(&mut rng) % 3) as usize
+        };
+        for _ in 0..fanout {
+            let dst = (mix(&mut rng) % NODES as u64) as NodeId;
+            let w = 0.5 + (mix(&mut rng) % 8) as f32;
+            b.push_weighted(src, dst, w);
+        }
+    }
+    b.build().expect("valid weighted graph")
+}
+
+/// One scripted command; pure data, so every run replays the exact same
+/// stream.
+#[derive(Clone, Debug)]
+enum Step {
+    Walk { queries: Vec<NodeId>, steps: usize },
+    Update { batch: Vec<GraphUpdate> },
+}
+
+/// Weight-only churn: overwrite a handful of edge weights. Edge ids stay
+/// comfortably below the graph's minimum edge count across the script.
+fn weight_batch(rng: &mut u64) -> Vec<GraphUpdate> {
+    (0..6)
+        .map(|_| GraphUpdate::SetWeight {
+            edge: (mix(rng) % (HUBS * HUB_DEG + NODES) as u64) as usize,
+            weight: 0.25 + (mix(rng) % 16) as f32 * 0.5,
+        })
+        .collect()
+}
+
+/// Structural churn: insertions (some landing on hubs) plus a removal,
+/// with a couple of weight overwrites riding the same batch.
+fn structural_batch(rng: &mut u64) -> Vec<GraphUpdate> {
+    let mut batch: Vec<GraphUpdate> = (0..3)
+        .map(|_| GraphUpdate::AddEdge {
+            src: (mix(rng) % NODES as u64) as NodeId,
+            dst: (mix(rng) % NODES as u64) as NodeId,
+            weight: 1.0 + (mix(rng) % 4) as f32,
+            label: 0,
+        })
+        .collect();
+    batch.push(GraphUpdate::RemoveEdge {
+        src: (mix(rng) % NODES as u64) as NodeId,
+        dst: (mix(rng) % NODES as u64) as NodeId,
+    });
+    batch.extend((0..2).map(|_| GraphUpdate::SetWeight {
+        edge: (mix(rng) % (HUBS * HUB_DEG) as u64) as usize,
+        weight: 0.5 + (mix(rng) % 8) as f32,
+    }));
+    batch
+}
+
+/// Four walk bursts with three update batches between them: weight-only,
+/// structural, weight-only — the structural batch exercises the dirty
+/// refresh, the weight-only ones the O(Δ) patch path.
+fn script(seed: u64) -> Vec<Step> {
+    let mut rng = seed;
+    let mut steps = Vec::new();
+    for burst in 0..4 {
+        for _ in 0..2 + (mix(&mut rng) % 2) {
+            let count = 8 + (mix(&mut rng) % 9) as usize;
+            let start = mix(&mut rng) % NODES as u64;
+            steps.push(Step::Walk {
+                // Bias a few starts onto the hubs so high-degree
+                // frontiers show up in every burst.
+                queries: (0..count)
+                    .map(|i| {
+                        if i < 3 {
+                            (i % HUBS) as NodeId
+                        } else {
+                            ((start + i as u64) % NODES as u64) as NodeId
+                        }
+                    })
+                    .collect(),
+                steps: 4 + (mix(&mut rng) % 4) as usize,
+            });
+        }
+        match burst {
+            0 | 2 => steps.push(Step::Update {
+                batch: weight_batch(&mut rng),
+            }),
+            1 => steps.push(Step::Update {
+                batch: structural_batch(&mut rng),
+            }),
+            _ => {}
+        }
+    }
+    steps
+}
+
+/// Everything observable about one walk, floats as bits so equality is
+/// exact.
+#[derive(Debug, PartialEq)]
+struct WalkRecord {
+    epoch: u64,
+    queries: usize,
+    steps_taken: u64,
+    sim_seconds: u64,
+    paths: Option<Vec<Vec<NodeId>>>,
+}
+
+fn record(report: &RunReport) -> WalkRecord {
+    WalkRecord {
+        epoch: report.graph_version.epoch,
+        queries: report.queries,
+        steps_taken: report.steps_taken,
+        sim_seconds: report.sim_seconds.to_bits(),
+        paths: report.paths.clone(),
+    }
+}
+
+fn request(g: &GraphHandle, step: &Step) -> WalkRequest {
+    let Step::Walk { queries, steps } = step else {
+        panic!("not a walk step")
+    };
+    WalkRequest::new(g, "uniform", queries.clone())
+        .steps(*steps)
+        .record_paths(true)
+}
+
+/// A state-enabled session with every stateful strategy registered: ALS
+/// (alias tables), ITS and tcdf (prefix CDFs) compete with the streaming
+/// built-ins under the update-aware cost model.
+fn state_session(
+    workers: usize,
+    topology: Topology,
+    strategy: SelectionStrategy,
+) -> SessionBuilder {
+    FlexiWalker::builder()
+        .device(DeviceSpec::tiny())
+        .workers(workers)
+        .topology(topology)
+        .strategy(strategy)
+        .register_sampler(Arc::new(AliasSampler))
+        .register_sampler(Arc::new(ItsSampler))
+        .register_sampler(Arc::new(TcdfSampler))
+        .incremental_state(true)
+}
+
+/// Replays the script through a batch `Session`, draining at every update
+/// boundary — the reference every other run is compared against.
+fn offline_run(
+    seed: u64,
+    workers: usize,
+    topology: Topology,
+    strategy: SelectionStrategy,
+) -> (Vec<WalkRecord>, SessionStats) {
+    let mut session = state_session(workers, topology, strategy).build();
+    let g = session.load_graph(wgraph(seed));
+    let mut records = Vec::new();
+    let drain = |session: &mut Session, records: &mut Vec<WalkRecord>| {
+        records.extend(
+            session
+                .drain()
+                .into_iter()
+                .map(|(_, r)| record(&r.expect("drain succeeds"))),
+        );
+    };
+    for step in script(seed) {
+        match &step {
+            Step::Walk { .. } => {
+                session.submit(request(&g, &step));
+            }
+            Step::Update { batch } => {
+                drain(&mut session, &mut records);
+                session.apply_updates(&g, batch).expect("update applies");
+            }
+        }
+    }
+    drain(&mut session, &mut records);
+    (records, session.stats())
+}
+
+/// Serves the same script through a `WalkServer`, update batches
+/// interleaved with walk requests.
+fn serve_run(seed: u64, workers: usize, topology: Topology) -> (Vec<WalkRecord>, ServerStats) {
+    let server = WalkServer::builder()
+        .session(state_session(
+            workers,
+            topology,
+            SelectionStrategy::CostModel,
+        ))
+        .batch_max(4)
+        .serve();
+    let g = GraphHandle::new(wgraph(seed));
+    let mut walk_tickets = Vec::new();
+    let mut update_tickets = Vec::new();
+    for step in script(seed) {
+        match &step {
+            Step::Walk { .. } => {
+                walk_tickets.push(server.submit(request(&g, &step)).expect("admitted"));
+            }
+            Step::Update { batch } => {
+                update_tickets.push(server.apply_updates(&g, batch.clone()).expect("admitted"));
+            }
+        }
+    }
+    for t in update_tickets {
+        t.wait().expect("batch applies");
+    }
+    let records = walk_tickets
+        .into_iter()
+        .map(|t| record(&t.wait().expect("served")))
+        .collect();
+    (records, server.shutdown())
+}
+
+/// The walk-visible slice of a record — what must match between a session
+/// that *patches* its state across epochs and one that *rebuilds* it from
+/// scratch (the rebuild run serves from fresh epoch-0 handles, so version
+/// fields are not comparable).
+type WalkPaths = (usize, u64, Option<Vec<Vec<NodeId>>>);
+
+/// Replays the script; at every update boundary the `rebuild` variant
+/// abandons the handle and reloads the post-batch snapshot into a *fresh*
+/// handle, forcing every sampler-state table to be rebuilt from scratch
+/// instead of patched. Submission order is identical, so the per-query
+/// RNG streams line up and the walks must match bit-for-bit.
+fn scripted_paths(
+    seed: u64,
+    strategy: SelectionStrategy,
+    rebuild: bool,
+) -> (Vec<WalkPaths>, SessionStats) {
+    let mut session = state_session(1, Topology::Single, strategy).build();
+    let mut g = session.load_graph(wgraph(seed));
+    let mut out: Vec<WalkPaths> = Vec::new();
+    let drain = |session: &mut Session, out: &mut Vec<WalkPaths>| {
+        out.extend(session.drain().into_iter().map(|(_, r)| {
+            let r = r.expect("drain succeeds");
+            (r.queries, r.steps_taken, r.paths.clone())
+        }));
+    };
+    for step in script(seed) {
+        match &step {
+            Step::Walk { .. } => {
+                session.submit(request(&g, &step));
+            }
+            Step::Update { batch } => {
+                drain(&mut session, &mut out);
+                session.apply_updates(&g, batch).expect("update applies");
+                if rebuild {
+                    let snapshot = g.graph();
+                    g = session.load_graph(snapshot);
+                }
+            }
+        }
+    }
+    drain(&mut session, &mut out);
+    (out, session.stats())
+}
+
+/// The acceptance sweep: state-enabled walks are bit-identical across
+/// `workers × topology` and across served vs offline execution, and the
+/// single-worker reference proves the state actually lived in the cache —
+/// built once, hit on every later launch, patched on every batch.
+#[test]
+fn churned_state_walks_bit_identical_across_workers_topologies_and_serving() {
+    let seed = 23u64;
+    let topologies = [
+        Topology::Single,
+        Topology::MultiDevice { devices: 2 },
+        Topology::Partitioned {
+            devices: 2,
+            link: LinkSpec::nvlink(),
+        },
+    ];
+    let (reference, stats) = offline_run(seed, 1, Topology::Single, SelectionStrategy::CostModel);
+    assert!(
+        reference.iter().any(|r| r.epoch > 0),
+        "script must span epochs"
+    );
+    assert_eq!(stats.epochs_applied, 3);
+    // Three stateful strategies are registered; each builds its table
+    // once, then every later launch in the same epoch hits the cache and
+    // every update batch patches it in place.
+    assert!(stats.sampler_state_builds >= 3, "{stats:?}");
+    assert!(
+        stats.sampler_state_hits > stats.sampler_state_builds,
+        "{stats:?}"
+    );
+    assert_eq!(stats.sampler_state_patches, 3 * stats.epochs_applied);
+    let path_reference: Vec<_> = reference.iter().map(|r| r.paths.clone()).collect();
+    for topology in topologies {
+        let (topo_reference, _) = offline_run(seed, 1, topology, SelectionStrategy::CostModel);
+        assert_eq!(
+            topo_reference
+                .iter()
+                .map(|r| r.paths.clone())
+                .collect::<Vec<_>>(),
+            path_reference,
+            "paths diverged across topologies ({topology:?})"
+        );
+        for workers in [1usize, 2, 4, 8] {
+            let (offline, _) = offline_run(seed, workers, topology, SelectionStrategy::CostModel);
+            assert_eq!(
+                offline, topo_reference,
+                "offline churn drains diverged (workers {workers}, {topology:?})"
+            );
+            let (served, sstats) = serve_run(seed, workers, topology);
+            assert_eq!(
+                served, topo_reference,
+                "served churn walks diverged (workers {workers}, {topology:?})"
+            );
+            assert_eq!(sstats.served as usize, topo_reference.len());
+            assert_eq!(sstats.session.epochs_applied, 3);
+            assert!(sstats.session.sampler_state_patches > 0);
+        }
+    }
+}
+
+/// Refresh ≡ rebuild, pinned at the walk level for every stateful
+/// strategy: a session that patches its alias/CDF tables across the whole
+/// churn script produces bit-identical walks to one that rebuilds every
+/// table from scratch at each epoch — under cost-model selection and with
+/// each stateful sampler forced.
+#[test]
+fn incremental_state_matches_rebuild_from_scratch() {
+    let seed = 41u64;
+    let strategies = [
+        SelectionStrategy::CostModel,
+        SelectionStrategy::Only(sampler_ids::ALS),
+        SelectionStrategy::Only(sampler_ids::ITS),
+        SelectionStrategy::Only(sampler_ids::TCDF),
+    ];
+    for strategy in strategies {
+        let (incremental, istats) = scripted_paths(seed, strategy, false);
+        let (rebuilt, rstats) = scripted_paths(seed, strategy, true);
+        assert_eq!(
+            incremental, rebuilt,
+            "patched state diverged from rebuilt state ({strategy:?})"
+        );
+        // The incremental run maintained its tables (patched, built once);
+        // the rebuild run paid a fresh build per epoch.
+        assert!(istats.sampler_state_patches > 0, "{strategy:?}: {istats:?}");
+        assert!(
+            rstats.sampler_state_builds > istats.sampler_state_builds,
+            "{strategy:?}: rebuild run must build more ({rstats:?} vs {istats:?})"
+        );
+    }
+}
+
+/// Under pure weight-only churn the patch path must dominate: tables are
+/// built once at epoch 0 and every subsequent batch lands as an O(Δ)
+/// patch, never a rebuild — the `SessionStats` counters prove it and the
+/// human-readable display surfaces them.
+#[test]
+fn weight_only_churn_patches_dominate_builds() {
+    let mut session = state_session(1, Topology::Single, SelectionStrategy::CostModel).build();
+    let g = session.load_graph(wgraph(7));
+    let queries: Vec<NodeId> = (0..32).collect();
+    let mut rng = 7u64;
+    for _ in 0..5 {
+        session
+            .run(WalkRequest::new(&g, "uniform", queries.clone()).steps(6))
+            .expect("serves");
+        session
+            .apply_updates(&g, &weight_batch(&mut rng))
+            .expect("weight batch applies");
+    }
+    session
+        .run(WalkRequest::new(&g, "uniform", queries).steps(6))
+        .expect("serves");
+    let stats = session.stats();
+    assert_eq!(
+        stats.sampler_state_builds, 3,
+        "one build per stateful sampler, ever: {stats:?}"
+    );
+    assert_eq!(stats.sampler_state_patches, 3 * 5, "{stats:?}");
+    assert!(stats.sampler_state_hits >= 5, "{stats:?}");
+    assert!(
+        stats.sampler_state_patches > stats.sampler_state_builds,
+        "weight-only churn must patch, not rebuild: {stats:?}"
+    );
+    let shown = format!("{stats}");
+    assert!(
+        shown.contains("sampler state:"),
+        "stats display must surface the state counters:\n{shown}"
+    );
+}
+
+/// The resident tables genuinely serve steps: with hubs in the graph the
+/// update-aware cost model routes high-degree frontiers through a
+/// prebuilt-state strategy, and a zero-churn profile reproduces the
+/// default pricing bit-for-bit.
+#[test]
+fn resident_state_serves_steps_and_zero_churn_is_default_pricing() {
+    let run = |churn: Option<ChurnProfile>| {
+        let b = state_session(1, Topology::Single, SelectionStrategy::CostModel);
+        let b = match churn {
+            Some(c) => b.churn(c),
+            None => b,
+        };
+        let mut session = b.build();
+        let g = session.load_graph(wgraph(13));
+        // Start every walk on a hub so the priced frontier is
+        // high-degree where prebuilt state wins the argmin.
+        let queries: Vec<NodeId> = (0..64).map(|i| (i % HUBS as u64) as NodeId).collect();
+        session
+            .run(
+                WalkRequest::new(&g, "uniform", queries)
+                    .steps(8)
+                    .record_paths(true),
+            )
+            .expect("serves")
+    };
+    let report = run(None);
+    let stateful_steps = report.sampler_steps.get(sampler_ids::ALS)
+        + report.sampler_steps.get(sampler_ids::ITS)
+        + report.sampler_steps.get(sampler_ids::TCDF);
+    assert!(
+        stateful_steps > 0,
+        "hub frontiers must route through resident state: {:?}",
+        report.sampler_steps
+    );
+    assert!(report.sampler_state_builds > 0);
+    // ChurnProfile::default() prices updates at zero refreshes per step —
+    // exactly the read-only argmin.
+    let zero_churn = run(Some(ChurnProfile::default()));
+    assert_eq!(record(&report), record(&zero_churn));
+}
