@@ -1,0 +1,394 @@
+//! Microbench + gate: out-of-core block-scheduled session drains.
+//!
+//! The scenario the topology exists for: a graph several times larger
+//! than the resident byte budget. A `Topology::Single` session on a
+//! device that cannot hold the whole graph must OOM; a
+//! `Topology::out_of_core(budget, block)` session on the same device —
+//! holding only a handful of CSR blocks resident at once — must serve.
+//! The bench walks a ladder of oversize rungs (graph = {2, 4, 8}x the
+//! resident budget), asserting the drain serves at every rung and that
+//! the walk output at the harshest rung is bit-identical to a
+//! single-device run on an unconstrained device, at 1 and N workers.
+//! It gates the slowdown vs an all-resident drain at the smallest rung
+//! (where residency, not the block scheduler, should dominate), the
+//! block-cache hit rate there, and records everything in
+//! `BENCH_blocks.json`.
+//!
+//! ```text
+//! cargo bench --bench block_drain [-- --smoke] [--workers N]
+//!                                 [--json PATH] [--gate BASELINE]
+//! ```
+//!
+//! - `--smoke`: reduced scale for CI.
+//! - `--json PATH`: write the result artifact to PATH.
+//! - `--gate BASELINE`: compare against a checked-in baseline JSON and
+//!   exit non-zero if out-of-core throughput regressed more than 2x
+//!   (host-normalised) or the block-cache hit rate fell below half the
+//!   baseline's. The OOM/serve/bit-identity/slowdown assertions always
+//!   gate.
+
+use flexi_bench::json::{extract_number, Json};
+use flexiwalker::prelude::*;
+use std::time::Instant;
+
+struct Scale {
+    mode: &'static str,
+    graph_scale: u32,
+    edges: usize,
+    requests: usize,
+    queries_per_request: usize,
+    steps: usize,
+    samples: usize,
+}
+
+const FULL: Scale = Scale {
+    mode: "full",
+    graph_scale: 13,
+    edges: 65_536,
+    requests: 12,
+    queries_per_request: 192,
+    steps: 16,
+    samples: 5,
+};
+
+const SMOKE: Scale = Scale {
+    mode: "smoke",
+    graph_scale: 11,
+    edges: 16_384,
+    requests: 8,
+    queries_per_request: 96,
+    steps: 10,
+    samples: 3,
+};
+
+/// The oversize ladder: each rung caps the resident budget at
+/// `graph_bytes / rung`, split into blocks a quarter of the budget
+/// each, so ~4 blocks fit at once and the harsher rungs keep the cache
+/// under genuine eviction pressure the whole drain.
+const RUNGS: [usize; 3] = [2, 4, 8];
+const BLOCKS_RESIDENT: usize = 4;
+
+/// The comparable walk-content footprint of one drained ticket (timing is
+/// topology-dependent by design and deliberately absent).
+type Record = (usize, Option<Vec<Vec<NodeId>>>, u64, Vec<(String, u64)>);
+
+fn records(drained: Vec<(Ticket, Result<RunReport, EngineError>)>) -> Vec<Record> {
+    drained
+        .into_iter()
+        .map(|(t, r)| {
+            let r = r.expect("drain succeeds");
+            let tally = r
+                .sampler_steps
+                .iter()
+                .map(|(id, n)| (id.to_string(), n))
+                .collect();
+            (t.id(), r.paths, r.steps_taken, tally)
+        })
+        .collect()
+}
+
+/// One measured configuration: replays `samples + 1` identical submission
+/// streams (first drain warms the caches) and returns the last drain's
+/// records, the best drain throughput, and the final session stats.
+fn measure(
+    scale: &Scale,
+    spec: &DeviceSpec,
+    topology: Topology,
+    workers: usize,
+    csr: &Csr,
+) -> (Vec<Record>, f64, SessionStats) {
+    let mut session = FlexiWalker::builder()
+        .device(spec.clone())
+        .topology(topology)
+        .workers(workers)
+        .build();
+    let graph = session.load_graph(csr.clone());
+    let total_queries = (scale.requests * scale.queries_per_request) as f64;
+    let mut best_qps = 0.0f64;
+    let mut last = Vec::new();
+    for sample in 0..=scale.samples {
+        for r in 0..scale.requests {
+            let base = (r * scale.queries_per_request) % csr.num_nodes();
+            let queries: Vec<NodeId> = (0..scale.queries_per_request)
+                .map(|i| ((base + i) % csr.num_nodes()) as NodeId)
+                .collect();
+            session.submit(
+                WalkRequest::new(&graph, "node2vec", queries)
+                    .steps(scale.steps)
+                    .record_paths(true),
+            );
+        }
+        let start = Instant::now();
+        let drained = session.drain();
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        if sample > 0 {
+            best_qps = best_qps.max(total_queries / secs);
+        }
+        last = records(drained);
+    }
+    (last, best_qps, session.stats())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = &FULL;
+    let mut json_path: Option<String> = None;
+    let mut gate_path: Option<String> = None;
+    let mut workers_flag: Option<usize> = None;
+    let value_of = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires an argument");
+            std::process::exit(2);
+        })
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => scale = &SMOKE,
+            "--json" => {
+                i += 1;
+                json_path = Some(value_of(&args, i, "--json"));
+            }
+            "--gate" => {
+                i += 1;
+                gate_path = Some(value_of(&args, i, "--gate"));
+            }
+            "--workers" => {
+                i += 1;
+                match value_of(&args, i, "--workers").parse() {
+                    Ok(n) => workers_flag = Some(n),
+                    Err(_) => {
+                        eprintln!("--workers requires a numeric argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            // `cargo bench` forwards its own flags (e.g. --bench); ignore.
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = workers_flag.unwrap_or_else(|| host.max(2));
+    let csr = gen::rmat(scale.graph_scale, scale.edges, gen::RmatParams::SOCIAL, 41);
+    let csr = WeightModel::UniformReal.apply(csr, 41);
+    let graph_bytes = csr.memory_bytes();
+    // The constrained device: VRAM holds ~60% of the graph — enough for
+    // every rung's resident budget (the largest is graph/2), far less
+    // than the whole graph. Single must OOM on it; out-of-core only
+    // ever asks it to hold the budget.
+    let mut small = DeviceSpec::a6000();
+    small.vram_bytes = graph_bytes * 3 / 5;
+    println!(
+        "# block_drain [{}]: {} requests x {} queries, {} steps, \
+         graph {:.1} KB, oversize rungs {RUNGS:?}, host parallelism {host}",
+        scale.mode,
+        scale.requests,
+        scale.queries_per_request,
+        scale.steps,
+        graph_bytes as f64 / 1e3,
+    );
+
+    let mut failed = false;
+
+    // 1. The footprint really exceeds the constrained device.
+    let mut single = FlexiWalker::builder().device(small.clone()).build();
+    let g = single.load_graph(csr.clone());
+    let oom_single = matches!(
+        single.run(WalkRequest::new(&g, "node2vec", &[0u32, 1][..]).steps(2)),
+        Err(EngineError::OutOfMemory { .. })
+    );
+    if !oom_single {
+        eprintln!("GATE FAIL: the single-device run should OOM on the constrained device");
+        failed = true;
+    }
+
+    // 2. The all-resident reference: unconstrained single device.
+    let (reference, qps_resident, _) =
+        measure(scale, &DeviceSpec::a6000(), Topology::Single, 1, &csr);
+    println!("  single device:      OOM as expected ({oom_single})");
+    println!("  all-resident 1w:    {qps_resident:>12.0} queries/s");
+
+    // 3. The rung ladder: every rung must serve the spilled graph on
+    //    the constrained device with output identical to the reference.
+    let mut rung_qps = Vec::new();
+    let mut rung_hits = Vec::new();
+    let mut harsh_stats = SessionStats::default();
+    for (r, oversize) in RUNGS.iter().enumerate() {
+        let resident_budget = graph_bytes / oversize;
+        let block_bytes = (resident_budget / BLOCKS_RESIDENT).max(1024);
+        let topology = Topology::out_of_core(resident_budget, block_bytes);
+        let (seq, qps, stats) = measure(scale, &small, topology, 1, &csr);
+        if seq != reference {
+            eprintln!(
+                "GATE FAIL: out-of-core walk output at {oversize}x oversize diverged \
+                 from the all-resident run"
+            );
+            failed = true;
+        }
+        let launches = stats.block_loads + stats.block_hits;
+        let hit_rate = stats.block_hits as f64 / (launches as f64).max(1.0);
+        let slowdown = qps_resident / qps.max(1e-9);
+        println!(
+            "  out-of-core {oversize}x:     {qps:>12.0} queries/s  (slowdown {slowdown:.2}x, \
+             {} blocks, {:.0}% hit rate, {} evictions)",
+            stats.block_spills, // one session: spills == the block count
+            hit_rate * 100.0,
+            stats.block_evictions
+        );
+        rung_qps.push(qps);
+        rung_hits.push(hit_rate);
+        if r + 1 == RUNGS.len() {
+            harsh_stats = stats;
+        }
+    }
+
+    // 4. The block replay may not cost more than 2x the all-resident
+    //    drain at the smallest rung, where most of the graph stays
+    //    resident and the scheduler itself is the only overhead.
+    let slowdown = qps_resident / rung_qps[0].max(1e-9);
+    if slowdown > 2.0 {
+        eprintln!(
+            "GATE FAIL: out-of-core drain at {}x oversize is {slowdown:.2}x slower than \
+             all-resident (allowed: 2x)",
+            RUNGS[0]
+        );
+        failed = true;
+    }
+    let hit_rate = rung_hits[0];
+
+    // 5. The harshest rung runs under real eviction pressure — and its
+    //    drains stay bit-identical across worker counts.
+    if harsh_stats.block_loads == 0 || harsh_stats.block_evictions == 0 {
+        eprintln!(
+            "GATE FAIL: the {}x rung must run under eviction pressure ({} loads, {} evictions)",
+            RUNGS[RUNGS.len() - 1],
+            harsh_stats.block_loads,
+            harsh_stats.block_evictions
+        );
+        failed = true;
+    }
+    let harsh = RUNGS[RUNGS.len() - 1];
+    let harsh_budget = graph_bytes / harsh;
+    let harsh_topology =
+        Topology::out_of_core(harsh_budget, (harsh_budget / BLOCKS_RESIDENT).max(1024));
+    let (par, qps_nw, _) = measure(scale, &small, harsh_topology, workers, &csr);
+    let identical_workers = par == reference;
+    if !identical_workers {
+        eprintln!(
+            "GATE FAIL: workers({workers}) out-of-core drain at {harsh}x diverged \
+             from the sequential reference"
+        );
+        failed = true;
+    }
+    let qps_1w = rung_qps[RUNGS.len() - 1];
+    let speedup = qps_nw / qps_1w.max(1e-9);
+    println!(
+        "  out-of-core {harsh}x {workers}w:  {qps_nw:>12.0} queries/s  (speedup {speedup:.2}x)"
+    );
+    println!(
+        "  block cache {harsh}x:    {} spilled, {} loads, {} hits, {} evictions",
+        harsh_stats.block_spills,
+        harsh_stats.block_loads,
+        harsh_stats.block_hits,
+        harsh_stats.block_evictions
+    );
+    println!("  identical reports:  rungs true, workers {identical_workers}");
+
+    let doc = Json::obj([
+        ("bench", Json::from("block_drain")),
+        ("mode", Json::from(scale.mode)),
+        ("host_parallelism", Json::from(host)),
+        ("workers", Json::from(workers)),
+        ("requests", Json::from(scale.requests)),
+        ("queries_per_request", Json::from(scale.queries_per_request)),
+        ("steps", Json::from(scale.steps)),
+        ("graph_bytes", Json::from(graph_bytes)),
+        ("oversize_rungs", Json::from(RUNGS.len())),
+        ("oom_single", Json::from(oom_single)),
+        ("identical_workers", Json::from(identical_workers)),
+        ("block_spills", Json::from(harsh_stats.block_spills)),
+        ("block_loads", Json::from(harsh_stats.block_loads)),
+        ("block_hits", Json::from(harsh_stats.block_hits)),
+        ("block_evictions", Json::from(harsh_stats.block_evictions)),
+        ("hit_rate", Json::from(hit_rate)),
+        ("slowdown_vs_resident", Json::from(slowdown)),
+        ("throughput_resident_qps", Json::from(qps_resident)),
+        ("throughput_smallest_rung_qps", Json::from(rung_qps[0])),
+        ("throughput_1w_qps", Json::from(qps_1w)),
+        ("throughput_nw_qps", Json::from(qps_nw)),
+        ("speedup", Json::from(speedup)),
+    ]);
+    if let Some(path) = &json_path {
+        std::fs::write(path, doc.render()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("  (result recorded in {path})");
+    }
+
+    if let Some(path) = &gate_path {
+        let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read gate baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        match (
+            extract_number(&baseline, "throughput_nw_qps"),
+            extract_number(&baseline, "throughput_1w_qps"),
+        ) {
+            (Some(base_nw), Some(base_1w)) => {
+                // Normalise the baseline to this host's sequential speed
+                // (see parallel_drain): a slower runner scales the
+                // expectation down; a faster one keeps the raw baseline.
+                let host_factor = (qps_1w / base_1w.max(1e-9)).min(1.0);
+                let expected = base_nw * host_factor;
+                if qps_nw < expected / 2.0 {
+                    eprintln!(
+                        "GATE FAIL: out-of-core throughput regressed more than 2x \
+                         ({qps_nw:.0} qps vs host-normalised baseline {expected:.0} qps)"
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "  gate: within 2x of host-normalised baseline ({expected:.0} qps) — ok"
+                    );
+                }
+            }
+            _ => {
+                eprintln!("GATE FAIL: baseline {path} lacks throughput_nw_qps/throughput_1w_qps");
+                failed = true;
+            }
+        }
+        // The cache-policy gate: hit rate is hardware-independent, so it
+        // compares unnormalised. Half the baseline is a policy
+        // regression (e.g. the resident-first tiebreak disappearing),
+        // not noise.
+        match extract_number(&baseline, "hit_rate") {
+            Some(base_hits) => {
+                if hit_rate < base_hits / 2.0 {
+                    eprintln!(
+                        "GATE FAIL: block-cache hit rate collapsed \
+                         ({:.0}% vs baseline {:.0}%)",
+                        hit_rate * 100.0,
+                        base_hits * 100.0
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "  gate: hit rate {:.0}% vs baseline {:.0}% — ok",
+                        hit_rate * 100.0,
+                        base_hits * 100.0
+                    );
+                }
+            }
+            None => {
+                eprintln!("GATE FAIL: baseline {path} lacks hit_rate");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -221,6 +221,7 @@ fn cpu_run(
         warnings: Vec::new(),
         watts,
         shards: None,
+        blocks: None,
     })
 }
 

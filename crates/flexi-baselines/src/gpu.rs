@@ -175,6 +175,7 @@ impl GpuBaseline {
             warnings: Vec::new(),
             watts: self.spec.load_watts,
             shards: None,
+            blocks: None,
         })
     }
 }

@@ -2,8 +2,8 @@
 
 use crate::json::Json;
 use flexi_core::{
-    EngineError, FlexiWalkerEngine, IntoWalker, LatencyHistogram, Node2Vec, RunReport,
-    SamplerTally, WalkConfig, WalkEngine, WalkRequest,
+    block_schedule, BlockStats, DiskSpec, EngineError, FlexiWalkerEngine, IntoWalker,
+    LatencyHistogram, Node2Vec, RunReport, SamplerTally, WalkConfig, WalkEngine, WalkRequest,
 };
 use flexi_gpu_sim::DeviceSpec;
 use flexi_graph::{datasets, props, Csr, GraphHandle, NodeId, WeightModel};
@@ -307,7 +307,8 @@ pub fn run(
         Err(
             EngineError::Unsupported(_)
             | EngineError::UnknownWalker { .. }
-            | EngineError::WalkerCompile { .. },
+            | EngineError::WalkerCompile { .. }
+            | EngineError::Io(_),
         ) => Outcome::Unsupported,
     }
 }
@@ -345,6 +346,11 @@ pub struct RunSummary {
     /// Per-request wall-time distribution of the probe's chunked launches
     /// (p50/p95/p99 — the same schema the serve bench gates on).
     pub latency: LatencyHistogram,
+    /// Out-of-core accounting of one recorded chunk replayed through a
+    /// spilled block store bounded at a quarter of the graph — the
+    /// `block_loads`/`block_hits`/`block_evictions` scalars the bench
+    /// trajectory tracks alongside throughput.
+    pub blocks: BlockStats,
 }
 
 /// Request chunks the probe splits its query set into — each chunk's wall
@@ -386,6 +392,23 @@ impl RunSummary {
             offset += chunk.len() as u64;
         }
         let wall_seconds = start.elapsed().as_secs_f64().max(1e-9);
+        // Out-of-core probe: replay one recorded chunk through a spilled
+        // block store whose resident budget admits a quarter of the
+        // graph, so every artifact carries comparable block-cache
+        // scalars.
+        let mut oc_cfg = cfg.clone();
+        oc_cfg.record_paths = true;
+        let chunk = &qs[..chunk_len.min(qs.len())];
+        let report = engine
+            .run(&WalkRequest::new(&g, &walker, chunk).with_config(oc_cfg))
+            .expect("block probe run succeeds");
+        let paths = report.paths.expect("block probe records paths");
+        let csr = g.graph();
+        let budget = (csr.memory_bytes() / 4).max(1);
+        let rt = flexi_graph::BlockRuntime::build(&csr, (budget / 4).max(1), budget)
+            .expect("block probe spill succeeds");
+        let blocks =
+            block_schedule(&paths, &rt, &DiskSpec::nvme()).expect("block probe replay succeeds");
         Self {
             dataset: name,
             queries: qs.len(),
@@ -395,6 +418,7 @@ impl RunSummary {
             kernel_seconds,
             sampler_steps: tally.iter().map(|(id, n)| (id.to_string(), n)).collect(),
             latency,
+            blocks,
         }
     }
 
@@ -416,6 +440,17 @@ impl RunSummary {
                 ),
             ),
             ("latency", crate::json::latency_obj(&self.latency)),
+            (
+                "blocks",
+                Json::obj([
+                    ("count", Json::from(self.blocks.blocks)),
+                    ("block_loads", Json::from(self.blocks.loads)),
+                    ("block_hits", Json::from(self.blocks.hits)),
+                    ("block_evictions", Json::from(self.blocks.evictions)),
+                    ("hit_rate", Json::from(self.blocks.hit_rate())),
+                    ("io_seconds", Json::from(self.blocks.io_seconds)),
+                ]),
+            ),
         ])
     }
 }

@@ -60,6 +60,7 @@ mod tests {
             warnings: vec![],
             watts,
             shards: None,
+            blocks: None,
         }
     }
 

@@ -280,6 +280,10 @@ pub enum EngineError {
         /// The compiler's diagnostic.
         message: String,
     },
+    /// Out-of-core block storage failed: the spill file could not be
+    /// read, or a recorded step was absent from the owning block's
+    /// adjacency (spill diverged from the served graph).
+    Io(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -295,6 +299,7 @@ impl std::fmt::Display for EngineError {
             Self::WalkerCompile { name, message } => {
                 write!(f, "walker {name:?} failed to compile: {message}")
             }
+            Self::Io(msg) => write!(f, "block I/O failed: {msg}"),
         }
     }
 }
@@ -447,6 +452,10 @@ pub struct RunReport {
     /// Scale-out accounting, when the run spanned a multi-device
     /// topology (`None` for plain single-device runs).
     pub shards: Option<ShardStats>,
+    /// Out-of-core accounting, when the run was served from disk-resident
+    /// blocks under [`Topology::OutOfCore`](crate::Topology::OutOfCore)
+    /// (`None` for memory-resident runs).
+    pub blocks: Option<crate::out_of_core::BlockStats>,
 }
 
 impl RunReport {
@@ -926,6 +935,7 @@ impl FlexiWalkerEngine {
             warnings,
             watts: self.spec.load_watts,
             shards: None,
+            blocks: None,
         })
     }
 }
@@ -2013,6 +2023,7 @@ mod tests {
             warnings: vec![],
             watts: 100.0,
             shards: None,
+            blocks: None,
         };
         assert_eq!(r.joules(), 200.0);
         assert_eq!(r.joules_per_query(), 50.0);

@@ -27,6 +27,7 @@ pub mod apps;
 pub mod energy;
 pub mod engine;
 pub mod multi_device;
+pub mod out_of_core;
 pub mod partitioned;
 pub mod pool;
 pub mod preprocess;
@@ -45,6 +46,7 @@ pub use engine::{
 };
 // The scale-out seam: topologies, the interconnect model, and the
 // migration census the shard executor accounts with.
+pub use out_of_core::{block_schedule, BlockStats, DiskSpec};
 pub use topology::{migration_census, LinkSpec, Topology};
 // The unified walker surface: definitions, the registry, handles, and the
 // lowered artifact every source kind compiles into.
@@ -54,8 +56,8 @@ pub use walker::{
 // Re-export the graph-handle seam: requests are built over these, so
 // engine users should not have to name `flexi-graph` directly.
 pub use flexi_graph::{
-    shard_of, GraphHandle, GraphSnapshot, GraphUpdate, GraphVersion, PartitionPlan, PlanFetch,
-    TimeMask, TimeWindow, UpdateOutcome,
+    block_of, shard_of, BlockRuntime, CacheCounters, GraphHandle, GraphSnapshot, GraphUpdate,
+    GraphVersion, PartitionPlan, PlanFetch, ResidentCache, TimeMask, TimeWindow, UpdateOutcome,
 };
 pub use pool::{PoolRun, WorkerPool};
 // The serving seam: bounded admission in front of the query queue and

@@ -127,6 +127,7 @@ impl WalkEngine for MultiDeviceEngine {
             warnings: Vec::new(),
             watts: self.spec.load_watts * self.num_devices as f64,
             shards: None,
+            blocks: None,
         };
         // Fan the per-device launches across the host pool: each device
         // prepares and runs independently over the shared snapshot. The

@@ -1,0 +1,317 @@
+//! Out-of-core block-scheduled execution — the host-memory cliff past
+//! [`crate::partitioned`].
+//!
+//! PR 5's partitioned topology serves graphs that overflow one *device*;
+//! this module serves graphs that overflow the *host*. The graph is
+//! spilled into fixed-size CSR blocks
+//! ([`flexi_graph::blocks::BlockStore`]) behind a budget-bounded
+//! [`ResidentCache`](flexi_graph::ResidentCache), and the drain replays
+//! every walk through whole-block activations: walker state lives in
+//! per-block pools, the scheduler drains already-resident blocks first
+//! (their pools cost no disk read) and otherwise activates whichever
+//! block has the most pending walkers (ties → lowest block id — all
+//! deterministic), steps each pooled walker until its path exits the
+//! block, and re-enqueues it at the destination block's pool.
+//!
+//! # Determinism argument
+//!
+//! Walk *output* is computed once by the unified walker path with
+//! per-query Philox streams, so it is bit-identical to
+//! [`Topology::Single`](crate::Topology::Single) by construction — block
+//! scheduling order cannot perturb sampling decisions. The scheduler then
+//! replays the recorded paths against real block data (verifying every
+//! step against the block-resident adjacency via
+//! [`BlockData::has_edge`](flexi_graph::BlockData::has_edge)) to produce
+//! the out-of-core cost accounting: block activations, cache hits/loads/
+//! evictions, and simulated NVMe time. The replay itself is sequential,
+//! so cache state evolves identically at any worker count.
+
+use crate::engine::EngineError;
+use flexi_graph::{BlockRuntime, NodeId};
+
+/// An NVMe-like block storage device, the out-of-core analogue of
+/// [`LinkSpec`](crate::LinkSpec).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiskSpec {
+    /// Sequential read bandwidth in GB/s (PCIe 4.0 NVMe: ~7 GB/s).
+    pub gbps: f64,
+    /// Per-read latency in seconds (submission + flash access).
+    pub latency: f64,
+}
+
+impl DiskSpec {
+    /// PCIe 4.0 NVMe defaults.
+    pub fn nvme() -> Self {
+        Self {
+            gbps: 7.0,
+            latency: 80e-6,
+        }
+    }
+
+    /// Time to serve `loads` block reads totalling `bytes` payload bytes.
+    pub fn seconds(&self, bytes: u64, loads: u64) -> f64 {
+        bytes as f64 / (self.gbps * 1e9) + loads as f64 * self.latency
+    }
+}
+
+/// Out-of-core accounting for a run executed under
+/// [`Topology::OutOfCore`](crate::Topology::OutOfCore): how the block
+/// scheduler moved data and what the bounded cache did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BlockStats {
+    /// Number of blocks the graph was spilled into.
+    pub blocks: usize,
+    /// Block activations: how many times the scheduler picked a block and
+    /// drained its pending-walker pool.
+    pub launches: u64,
+    /// Activations whose block had to be read from the spill file.
+    pub loads: u64,
+    /// Activations served from the resident cache.
+    pub hits: u64,
+    /// Blocks evicted from the resident cache during the run.
+    pub evictions: u64,
+    /// Payload bytes read from the spill file.
+    pub load_bytes: u64,
+    /// Simulated seconds those reads spent on the disk.
+    pub io_seconds: f64,
+    /// The resident-cache byte budget the run was served under.
+    pub resident_budget: usize,
+}
+
+impl BlockStats {
+    /// Fraction of block activations served without touching disk.
+    pub fn hit_rate(&self) -> f64 {
+        if self.launches == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.launches as f64
+        }
+    }
+}
+
+/// Replays recorded walk `paths` through the spilled block store,
+/// scheduling whole blocks resident-first, then most-pending-walkers-
+/// first.
+///
+/// Every step is verified against the activated block's resident
+/// adjacency, proving the walk could have been served from block data
+/// alone. Returns the cost accounting; the walk output itself is the
+/// recorded paths, untouched.
+///
+/// # Errors
+///
+/// [`EngineError::Io`] when the spill file cannot be read or a recorded
+/// step is absent from the owning block's adjacency (which would mean the
+/// spill diverged from the graph the walk ran on).
+pub fn block_schedule(
+    paths: &[Vec<NodeId>],
+    rt: &BlockRuntime,
+    disk: &DiskSpec,
+) -> Result<BlockStats, EngineError> {
+    let blocks = rt.blocks();
+    let mut stats = BlockStats {
+        blocks,
+        resident_budget: rt.resident_budget(),
+        ..Default::default()
+    };
+    // Per-block pools of (walker, position-in-path). A walker enters the
+    // pool of the block owning its current node and leaves it only by
+    // finishing or crossing into another block.
+    let mut pools: Vec<Vec<(usize, usize)>> = vec![Vec::new(); blocks];
+    let mut live = 0usize;
+    for (wi, path) in paths.iter().enumerate() {
+        if path.len() >= 2 {
+            pools[rt.block_of(path[0])].push((wi, 0));
+            live += 1;
+        }
+    }
+    // The cache is shared across runs on the same cached runtime;
+    // evictions are attributed to this run by delta.
+    let evictions_before = rt.cache().counters().evictions;
+    let mut resident = vec![false; blocks];
+
+    while live > 0 {
+        // Resident blocks with pending walkers drain first — their pools
+        // cost no disk read, so deferring every load until no resident
+        // work remains lets pools on cold blocks grow and amortises each
+        // load over more walkers. Within a tier (resident, then cold) the
+        // pick is most-pending-first, ties to the lowest block id. All
+        // inputs to this choice are deterministic, so the schedule is too.
+        for slot in resident.iter_mut() {
+            *slot = false;
+        }
+        for b in rt.cache().resident_blocks() {
+            if let Some(slot) = resident.get_mut(b) {
+                *slot = true;
+            }
+        }
+        let mut best = usize::MAX;
+        let mut best_warm = false;
+        for (b, pool) in pools.iter().enumerate() {
+            if pool.is_empty() {
+                continue;
+            }
+            let warm = resident[b];
+            let better = match (warm, best_warm) {
+                (true, false) => true,
+                (false, true) => false,
+                _ => best == usize::MAX || pool.len() > pools[best].len(),
+            };
+            if better {
+                best = b;
+                best_warm = warm;
+            }
+        }
+        let b = best;
+        let (data, hit) = rt
+            .fetch_pinned(b)
+            .map_err(|e| EngineError::Io(e.to_string()))?;
+        stats.launches += 1;
+        if hit {
+            stats.hits += 1;
+        } else {
+            stats.loads += 1;
+            stats.load_bytes += data.bytes() as u64;
+        }
+        for (wi, mut pos) in std::mem::take(&mut pools[b]) {
+            let path = &paths[wi];
+            while pos + 1 < path.len() && rt.block_of(path[pos]) == b {
+                if !data.has_edge(path[pos], path[pos + 1]) {
+                    rt.unpin(b);
+                    return Err(EngineError::Io(format!(
+                        "block {b} spill lost edge {} -> {}",
+                        path[pos],
+                        path[pos + 1]
+                    )));
+                }
+                pos += 1;
+            }
+            if pos + 1 < path.len() {
+                pools[rt.block_of(path[pos])].push((wi, pos));
+            } else {
+                live -= 1;
+            }
+        }
+        rt.unpin(b);
+    }
+
+    stats.evictions = rt.cache().counters().evictions - evictions_before;
+    stats.io_seconds = disk.seconds(stats.load_bytes, stats.loads);
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexi_graph::gen::rmat;
+    use flexi_graph::{Csr, WeightModel};
+    use std::sync::Arc;
+
+    fn graph() -> Csr {
+        let g = rmat(9, 1 << 11, flexi_graph::gen::RmatParams::SOCIAL, 7);
+        WeightModel::UniformReal.apply(g, 11)
+    }
+
+    /// Deterministic stand-in for recorded walk paths: greedy first-
+    /// neighbor walks, so every consecutive pair is a real edge.
+    fn walks(g: &Csr, queries: usize, steps: usize) -> Vec<Vec<NodeId>> {
+        (0..queries)
+            .map(|q| {
+                let mut cur = (q * 37 % g.num_nodes()) as NodeId;
+                let mut path = vec![cur];
+                for s in 0..steps {
+                    let ns = g.neighbors(cur);
+                    if ns.is_empty() {
+                        break;
+                    }
+                    cur = ns[(q + s) % ns.len()];
+                    path.push(cur);
+                }
+                path
+            })
+            .collect()
+    }
+
+    #[test]
+    fn disk_seconds_scale_with_bytes_and_loads() {
+        let d = DiskSpec::nvme();
+        assert_eq!(d.seconds(0, 0), 0.0);
+        assert!(d.seconds(1 << 30, 100) > d.seconds(1 << 20, 100));
+        assert!(d.seconds(1 << 20, 100) > d.seconds(1 << 20, 1));
+    }
+
+    #[test]
+    fn schedule_accounts_every_activation() {
+        let g = graph();
+        let paths = walks(&g, 64, 20);
+        let rt = Arc::new(BlockRuntime::build(&g, 4096, usize::MAX).unwrap());
+        let stats = block_schedule(&paths, &rt, &DiskSpec::nvme()).unwrap();
+        assert!(stats.blocks >= 2, "graph should spill into several blocks");
+        assert!(stats.launches > 0);
+        assert_eq!(stats.hits + stats.loads, stats.launches);
+        assert!(
+            stats.loads as usize <= stats.blocks,
+            "unbounded cache never reloads"
+        );
+        assert!(stats.io_seconds > 0.0);
+        assert_eq!(stats.evictions, 0, "unbounded cache never evicts");
+        assert!(stats.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn bounded_budget_evicts_and_reloads() {
+        let g = graph();
+        let paths = walks(&g, 64, 20);
+        let rt = Arc::new(BlockRuntime::build(&g, 4096, 8192).unwrap());
+        assert!(
+            rt.spilled_bytes() > rt.resident_budget(),
+            "spill must exceed the budget for this test to bite"
+        );
+        let stats = block_schedule(&paths, &rt, &DiskSpec::nvme()).unwrap();
+        assert!(stats.evictions > 0, "bounded cache must evict");
+        assert!(
+            stats.loads as usize > stats.blocks,
+            "evicted blocks get reloaded"
+        );
+        assert_eq!(stats.resident_budget, 8192);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let g = graph();
+        let paths = walks(&g, 48, 16);
+        let a = {
+            let rt = BlockRuntime::build(&g, 4096, 8192).unwrap();
+            block_schedule(&paths, &rt, &DiskSpec::nvme()).unwrap()
+        };
+        let b = {
+            let rt = BlockRuntime::build(&g, 4096, 8192).unwrap();
+            block_schedule(&paths, &rt, &DiskSpec::nvme()).unwrap()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fabricated_step_is_rejected() {
+        let g = graph();
+        let v = (g.num_nodes() - 1) as NodeId;
+        // Walk an edge that does not exist (self-loop to a node picked to
+        // have no such loop, or any absent pair).
+        let mut dst = 0;
+        while g.has_edge(v, dst) {
+            dst += 1;
+        }
+        let rt = BlockRuntime::build(&g, 4096, usize::MAX).unwrap();
+        let err = block_schedule(&[vec![v, dst]], &rt, &DiskSpec::nvme()).unwrap_err();
+        assert!(matches!(err, EngineError::Io(_)));
+    }
+
+    #[test]
+    fn empty_and_single_node_paths_cost_nothing() {
+        let g = graph();
+        let rt = BlockRuntime::build(&g, 4096, usize::MAX).unwrap();
+        let stats = block_schedule(&[vec![], vec![3]], &rt, &DiskSpec::nvme()).unwrap();
+        assert_eq!(stats.launches, 0);
+        assert_eq!(stats.io_seconds, 0.0);
+    }
+}

@@ -182,6 +182,7 @@ impl WalkEngine for PartitionedEngine {
                 migrations,
                 link_seconds: comm,
             }),
+            blocks: None,
         })
     }
 }

@@ -264,57 +264,6 @@ impl CostModel {
     ) -> Option<SamplerSelection> {
         self.selection(registry.iter().map(|s| (s, false)), deg, max_est, sum_est)
     }
-
-    /// Generalised Eq. 11: the cheapest priceable strategy in `registry`.
-    #[deprecated(
-        since = "0.8.0",
-        note = "returns a bare registry position; use `select_registry` (typed \
-                `SamplerSelection` with per-candidate pricing) instead"
-    )]
-    pub fn select<'r>(
-        &self,
-        registry: &'r SamplerRegistry,
-        deg: f64,
-        max_est: Option<f64>,
-        sum_est: Option<f64>,
-    ) -> Option<(usize, &'r Arc<dyn Sampler>)> {
-        let all: Vec<usize> = (0..registry.len()).collect();
-        #[allow(deprecated)]
-        self.select_among(registry, &all, deg, max_est, sum_est)
-    }
-
-    /// [`CostModel::select`] restricted to the given registry positions.
-    #[deprecated(
-        since = "0.8.0",
-        note = "returns a bare registry position; use `selection` over explicit \
-                candidates (typed `SamplerSelection`) instead"
-    )]
-    pub fn select_among<'r>(
-        &self,
-        registry: &'r SamplerRegistry,
-        candidates: &[usize],
-        deg: f64,
-        max_est: Option<f64>,
-        sum_est: Option<f64>,
-    ) -> Option<(usize, &'r Arc<dyn Sampler>)> {
-        let inp = self.inputs(deg, max_est, sum_est);
-        let mut best: Option<(usize, &'r Arc<dyn Sampler>, f64)> = None;
-        for (i, s) in registry.iter().enumerate() {
-            if !candidates.contains(&i) {
-                continue;
-            }
-            let Some(cost) = s.step_cost(&inp) else {
-                continue;
-            };
-            if !cost.is_finite() {
-                continue;
-            }
-            if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
-                best = Some((i, s, cost));
-            }
-        }
-        best.map(|(i, s, _)| (i, s))
-    }
 }
 
 /// Estimator environment bridging graph, aggregates, workload and walker
@@ -495,21 +444,6 @@ mod tests {
             "observed counters amortise refreshes over steps"
         );
         assert_eq!(ChurnProfile::observed(5, 0).refreshes_per_step, 0.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_positional_selection_still_answers() {
-        // One-release shim: `select`/`select_among` keep returning the
-        // registry position while callers migrate to `SamplerSelection`.
-        let m = CostModel::with_ratio(8.0);
-        let reg = SamplerRegistry::builtin();
-        let (pos, s) = m.select(&reg, 100.0, Some(1.0), Some(100.0)).unwrap();
-        assert_eq!((pos, s.id()), (1, ids::ERJS));
-        let (pos, s) = m
-            .select_among(&reg, &[0], 100.0, Some(1.0), Some(100.0))
-            .unwrap();
-        assert_eq!((pos, s.id()), (0, ids::ERVS));
     }
 
     #[test]

@@ -13,9 +13,14 @@
 //!   hash-partitioned over the devices (each holds its shard's edges plus
 //!   the row-pointer array), walkers migrate over an NVLink-like
 //!   [`LinkSpec`] when a step crosses shards, and a graph that overflows
-//!   one device's VRAM still fits as long as every *shard* does.
+//!   one device's VRAM still fits as long as every *shard* does;
+//! - [`Topology::OutOfCore`] — the out-of-core extension: the graph is
+//!   spilled to fixed-size disk-resident CSR blocks, only a bounded
+//!   byte budget of blocks is memory-resident at once, and the drain
+//!   schedules whole blocks most-pending-walkers-first, so a graph that
+//!   overflows *host* memory still serves.
 //!
-//! All three run the same unified walker path ([`crate::walker`]) with
+//! All four run the same unified walker path ([`crate::walker`]) with
 //! per-query Philox streams, so the *walk output* — paths, step counts,
 //! sampler tallies — is bit-identical across topologies; only the
 //! simulated timing, memory and migration accounting differ.
@@ -83,6 +88,17 @@ pub enum Topology {
         /// Interconnect model for walker migrations.
         link: LinkSpec,
     },
+    /// One device, graph spilled to disk-resident CSR blocks: only
+    /// `resident_budget` bytes of block payload are memory-resident at
+    /// once, and the drain path schedules whole blocks
+    /// (most-pending-walkers-first) through a bounded cache. Serves
+    /// graphs bigger than host memory.
+    OutOfCore {
+        /// Byte budget for memory-resident block payloads.
+        resident_budget: usize,
+        /// Target payload size per spilled block.
+        block_bytes: usize,
+    },
 }
 
 impl Topology {
@@ -99,10 +115,19 @@ impl Topology {
         }
     }
 
+    /// A single device serving disk-resident blocks through a
+    /// `resident_budget`-byte cache, spilled in `block_bytes` blocks.
+    pub fn out_of_core(resident_budget: usize, block_bytes: usize) -> Self {
+        Self::OutOfCore {
+            resident_budget,
+            block_bytes,
+        }
+    }
+
     /// The number of devices this topology spans.
     pub fn devices(&self) -> usize {
         match self {
-            Self::Single => 1,
+            Self::Single | Self::OutOfCore { .. } => 1,
             Self::MultiDevice { devices } | Self::Partitioned { devices, .. } => *devices,
         }
     }
@@ -121,7 +146,14 @@ impl Topology {
         matches!(self, Self::Partitioned { .. })
     }
 
-    /// Clamps a zero device count up to one; identity otherwise.
+    /// Whether the graph is spilled to disk-resident blocks behind a
+    /// bounded cache.
+    pub fn is_out_of_core(&self) -> bool {
+        matches!(self, Self::OutOfCore { .. })
+    }
+
+    /// Clamps a zero device count up to one, and zero out-of-core sizes
+    /// up to one byte; identity otherwise.
     pub fn normalized(self) -> Self {
         match self {
             Self::MultiDevice { devices } => Self::MultiDevice {
@@ -131,17 +163,28 @@ impl Topology {
                 devices: devices.max(1),
                 link,
             },
+            Self::OutOfCore {
+                resident_budget,
+                block_bytes,
+            } => Self::OutOfCore {
+                resident_budget: resident_budget.max(1),
+                block_bytes: block_bytes.max(1),
+            },
             Self::Single => Self::Single,
         }
     }
 
     /// A short tag for reports and bench JSON (`single`, `multi(2)`,
-    /// `partitioned(4)`).
+    /// `partitioned(4)`, `outofcore(64MiB/4MiB)` — budget/block).
     pub fn tag(&self) -> String {
         match self {
             Self::Single => "single".to_string(),
             Self::MultiDevice { devices } => format!("multi({devices})"),
             Self::Partitioned { devices, .. } => format!("partitioned({devices})"),
+            Self::OutOfCore {
+                resident_budget,
+                block_bytes,
+            } => format!("outofcore({resident_budget}/{block_bytes})"),
         }
     }
 }
@@ -188,6 +231,10 @@ mod tests {
         assert_eq!(Topology::multi(0).normalized().devices(), 1);
         assert_eq!(Topology::partitioned(0).normalized().devices(), 1);
         assert_eq!(Topology::multi(4).normalized(), Topology::multi(4));
+        assert_eq!(
+            Topology::out_of_core(0, 0).normalized(),
+            Topology::out_of_core(1, 1)
+        );
     }
 
     #[test]
@@ -195,6 +242,17 @@ mod tests {
         assert_eq!(Topology::Single.tag(), "single");
         assert_eq!(Topology::multi(2).tag(), "multi(2)");
         assert_eq!(Topology::partitioned(4).tag(), "partitioned(4)");
+        assert_eq!(Topology::out_of_core(1024, 64).tag(), "outofcore(1024/64)");
+    }
+
+    #[test]
+    fn out_of_core_is_a_single_device_topology() {
+        let t = Topology::out_of_core(1 << 20, 1 << 16);
+        assert_eq!(t.devices(), 1);
+        assert_eq!(t.link(), None);
+        assert!(!t.is_partitioned());
+        assert!(t.is_out_of_core());
+        assert!(!Topology::Single.is_out_of_core());
     }
 
     #[test]

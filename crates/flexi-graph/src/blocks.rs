@@ -1,0 +1,1244 @@
+//! Out-of-core block storage: fixed-size CSR blocks spilled to disk and
+//! served back through a bounded resident cache.
+//!
+//! The partitioned topology (PR 5) serves graphs that overflow one
+//! *device* by hash-sharding the adjacency across a fleet; this module is
+//! the next cliff — graphs that overflow the *host*. A graph is spilled
+//! once into fixed-size **blocks** (each holding the full adjacency of the
+//! nodes it owns), written to a temporary file in a binary format that
+//! reuses the [`crate::io`] flag-bit scheme, and read back on demand
+//! through a [`ResidentCache`] bounded by a configurable byte budget.
+//!
+//! Ownership routes through the same [`shard_of`] Fibonacci hash as
+//! partition plans — `block_of(v) = shard_of(v, blocks)` — so block
+//! residency, shard residency and the migration census can never disagree
+//! about a node's home. The block *count* is chosen from the
+//! [`PartitionPlan`] degree census at spill time: the smallest count whose
+//! busiest block fits the requested `block_bytes` target (doubling until
+//! it fits or a single node's adjacency alone exceeds the target, in
+//! which case that oversized block is accepted — it is pinned through
+//! each activation and evicted immediately after).
+//!
+//! Epoch lifecycle mirrors the other handle-cached artifacts
+//! ([`crate::GraphHandle::partition_plan`] and friends): the handle owns
+//! one [`BlockRuntime`] per `(block_bytes, resident_budget)` request and
+//! migrates it across [`crate::GraphHandle::apply_updates`] batches by
+//! re-spilling exactly the blocks owning dirty nodes and dropping them
+//! from the resident cache. Blocks encode weight values, so — like
+//! sampler-state artifacts and unlike plans — **both** weight-only and
+//! structural batches migrate them.
+
+use crate::csr::{Csr, NodeId};
+use crate::partition::{shard_of, PartitionPlan};
+use crate::props::EdgeProps;
+use crate::GraphError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Magic header of a block-spill file (sibling of io.rs's `FXWGRPH1`).
+const BLOCK_MAGIC: &[u8; 8] = b"FXWBLKS1";
+
+/// Fixed per-block payload header: `u32` node count + `u64` edge count.
+const BLOCK_HEADER_BYTES: usize = 12;
+
+/// Hard ceiling on the block count the planner will try — a backstop
+/// against pathological `block_bytes` targets, far above what the
+/// laptop-scale proxies need.
+const MAX_BLOCKS: usize = 4096;
+
+/// Process-wide spill-file sequence numbers (unique file names).
+static NEXT_SPILL_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The block owning `node`'s adjacency — the same Fibonacci ownership
+/// hash as [`shard_of`], so blocks and shards agree on every node's home.
+pub fn block_of(node: NodeId, blocks: usize) -> usize {
+    shard_of(node, blocks)
+}
+
+/// Bytes one edge occupies in a spilled block record: the 4-byte target
+/// id plus the weight/label/timestamp columns the graph actually carries
+/// (Int8 weights spill as their 1-byte codes).
+pub fn bytes_per_block_edge(g: &Csr) -> usize {
+    4 + g.props().bytes_per_weight() + usize::from(g.has_labels()) + 8 * usize::from(g.has_times())
+}
+
+/// The block geometry of one spilled graph: how many blocks, which nodes
+/// and edges each owns, and each block's on-disk payload size.
+///
+/// Built on the [`PartitionPlan`] degree census (edges per block come
+/// straight from the plan's shard totals with `shards = blocks`), kept
+/// current across epochs by [`BlockIndex::refresh`] — the same
+/// refresh≡recompute contract the plan cache pins, *given the same block
+/// count*. The count itself is frozen at spill time so a runtime keeps
+/// its geometry across updates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockIndex {
+    blocks: usize,
+    /// The `block_bytes` target the count was chosen for.
+    target_bytes: usize,
+    /// Out-degree census at the index's epoch (what refresh diffs).
+    degrees: Vec<u32>,
+    /// Nodes owned by each block (fixed: updates never add nodes).
+    node_counts: Vec<u32>,
+    /// Edges owned by each block.
+    edge_counts: Vec<u64>,
+    /// Bytes per spilled edge record at the index's epoch.
+    record_bytes: usize,
+}
+
+impl BlockIndex {
+    /// Plans `g`'s block geometry for a `block_bytes` payload target.
+    ///
+    /// Starts from `ceil(total payload / block_bytes)` blocks and doubles
+    /// until every block's payload fits the target, doubling stops
+    /// helping (a single node's adjacency alone exceeds the target — the
+    /// documented oversized-block fallback), or the `MAX_BLOCKS`
+    /// backstop is hit. A zero `block_bytes` target degenerates to one
+    /// block.
+    pub fn plan(g: &Csr, block_bytes: usize) -> Self {
+        let record = bytes_per_block_edge(g);
+        let total = BLOCK_HEADER_BYTES + 8 * g.num_nodes() + record * g.num_edges();
+        let mut blocks = if block_bytes == 0 {
+            1
+        } else {
+            total.div_ceil(block_bytes).max(1)
+        };
+        loop {
+            let index = Self::census(g, blocks, block_bytes, record);
+            let max = index.max_payload_bytes();
+            if max <= block_bytes.max(1) || blocks >= MAX_BLOCKS {
+                return index;
+            }
+            // Doubling cannot split a single node's adjacency: once the
+            // busiest block is one oversized node, accept it.
+            if index
+                .degrees
+                .iter()
+                .map(|&d| Self::payload_of(1, u64::from(d), record))
+                .max()
+                .unwrap_or(0)
+                >= max
+            {
+                return index;
+            }
+            blocks = (blocks * 2).min(MAX_BLOCKS);
+        }
+    }
+
+    /// One census pass at a fixed block count, routed through the
+    /// [`PartitionPlan`] degree census for the edge totals.
+    fn census(g: &Csr, blocks: usize, target_bytes: usize, record_bytes: usize) -> Self {
+        let plan = PartitionPlan::compute(g, blocks);
+        let mut node_counts = vec![0u32; blocks];
+        let mut degrees = Vec::with_capacity(g.num_nodes());
+        for v in 0..g.num_nodes() as NodeId {
+            node_counts[block_of(v, blocks)] += 1;
+            degrees.push(g.degree(v) as u32);
+        }
+        Self {
+            blocks,
+            target_bytes,
+            degrees,
+            node_counts,
+            edge_counts: plan.shard_edges().to_vec(),
+            record_bytes,
+        }
+    }
+
+    fn payload_of(nodes: u64, edges: u64, record_bytes: usize) -> usize {
+        BLOCK_HEADER_BYTES + 8 * nodes as usize + record_bytes * edges as usize
+    }
+
+    /// The number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// The `block_bytes` payload target the geometry was planned for.
+    pub fn target_bytes(&self) -> usize {
+        self.target_bytes
+    }
+
+    /// The block owning `node`.
+    pub fn owner(&self, node: NodeId) -> usize {
+        block_of(node, self.blocks)
+    }
+
+    /// Nodes owned by `block`.
+    pub fn node_count(&self, block: usize) -> usize {
+        self.node_counts[block] as usize
+    }
+
+    /// Edges owned by `block`.
+    pub fn edge_count(&self, block: usize) -> u64 {
+        self.edge_counts[block]
+    }
+
+    /// On-disk payload bytes of `block` at the index's epoch.
+    pub fn payload_bytes(&self, block: usize) -> usize {
+        Self::payload_of(
+            u64::from(self.node_counts[block]),
+            self.edge_counts[block],
+            self.record_bytes,
+        )
+    }
+
+    /// The busiest block's payload bytes — the floor a resident budget
+    /// must admit for every block to be loadable.
+    pub fn max_payload_bytes(&self) -> usize {
+        (0..self.blocks)
+            .map(|b| self.payload_bytes(b))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total payload bytes across all blocks (the spilled CSR footprint).
+    pub fn total_payload_bytes(&self) -> usize {
+        (0..self.blocks).map(|b| self.payload_bytes(b)).sum()
+    }
+
+    /// Migrates the index to the post-batch graph `g`, given the batch's
+    /// dirty source nodes. Returns the affected blocks, sorted and
+    /// deduplicated — every block owning a dirty node counts (its spilled
+    /// payload is stale even when the degree did not change, e.g. a
+    /// weight-only batch). A change in the edge-record width (a
+    /// `SetWeight` promoting an unweighted graph to F32) dirties every
+    /// block.
+    pub fn refresh(&mut self, g: &Csr, dirty: &[NodeId]) -> Vec<usize> {
+        let record = bytes_per_block_edge(g);
+        if record != self.record_bytes {
+            self.record_bytes = record;
+            for v in 0..self.degrees.len() {
+                self.degrees[v] = g.degree(v as NodeId) as u32;
+            }
+            let plan = PartitionPlan::compute(g, self.blocks);
+            self.edge_counts = plan.shard_edges().to_vec();
+            return (0..self.blocks).collect();
+        }
+        let mut touched: Vec<usize> = Vec::new();
+        for &v in dirty {
+            let Some(slot) = self.degrees.get_mut(v as usize) else {
+                continue;
+            };
+            let block = block_of(v, self.blocks);
+            let new = g.degree(v) as u32;
+            let old = *slot;
+            if new != old {
+                self.edge_counts[block] = self.edge_counts[block] - u64::from(old) + u64::from(new);
+                *slot = new;
+            }
+            touched.push(block);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+}
+
+/// One block's adjacency, loaded into memory: a mini-CSR over the block's
+/// owned nodes (sorted by id), with whatever weight/label/timestamp
+/// columns the graph carries.
+#[derive(Clone, Debug)]
+pub struct BlockData {
+    block: usize,
+    nodes: Vec<NodeId>,
+    row_ptr: Vec<u64>,
+    col_idx: Vec<NodeId>,
+    weights: Option<Vec<f32>>,
+    labels: Option<Vec<u8>>,
+    times: Option<Vec<u64>>,
+    /// On-disk payload bytes — what the resident budget charges.
+    bytes: usize,
+}
+
+impl BlockData {
+    /// The block id this data belongs to.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Nodes resident in this block (ascending ids).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Edges resident in this block.
+    pub fn num_edges(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// On-disk payload bytes (the resident-budget charge).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The sorted out-neighbor slice of `v`, or `None` when this block
+    /// does not own `v`.
+    pub fn neighbors(&self, v: NodeId) -> Option<&[NodeId]> {
+        let i = self.nodes.binary_search(&v).ok()?;
+        Some(&self.col_idx[self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize])
+    }
+
+    /// Whether the block-resident adjacency contains the edge `(v, u)` —
+    /// the per-step verification hook the out-of-core scheduler uses to
+    /// prove steps were served from block data.
+    pub fn has_edge(&self, v: NodeId, u: NodeId) -> bool {
+        self.neighbors(v)
+            .is_some_and(|ns| ns.binary_search(&u).is_ok())
+    }
+
+    /// Weight of the local edge slot `e` (1.0 for unweighted graphs).
+    pub fn weight(&self, e: usize) -> f32 {
+        self.weights.as_ref().map_or(1.0, |w| w[e])
+    }
+
+    /// Label of the local edge slot `e` (0 for unlabeled graphs).
+    pub fn label(&self, e: usize) -> u8 {
+        self.labels.as_ref().map_or(0, |l| l[e])
+    }
+
+    /// Timestamp of the local edge slot `e`, or `None` when the graph
+    /// carries no timestamps.
+    pub fn time(&self, e: usize) -> Option<u64> {
+        self.times.as_ref().map(|t| t[e])
+    }
+}
+
+struct StoreInner {
+    file: File,
+    /// Per-block `(offset, len)` into the spill file. Respills append and
+    /// repoint, so superseded payloads become dead bytes — acceptable for
+    /// a session-lifetime temporary file.
+    dir: Vec<(u64, u64)>,
+    end: u64,
+}
+
+/// The on-disk half of a spilled graph: one append-only temporary file
+/// holding every block's payload, plus the in-memory directory locating
+/// them.
+///
+/// The file starts with `FXWBLKS1`, the io.rs flag byte (1 = F32
+/// weights, 2 = labels, 4 = Int8, 8 = timestamps), the Int8
+/// dequantisation pair when flag 4 is set, and the block count; block
+/// payloads follow. The header describes the *initial* spill — respills
+/// across epochs keep the in-memory flags authoritative (the file is
+/// private to this process and deleted on drop, never re-opened cold).
+pub struct BlockStore {
+    path: PathBuf,
+    flags: Mutex<(u8, Option<(f32, f32)>)>,
+    inner: Mutex<StoreInner>,
+}
+
+impl std::fmt::Debug for BlockStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockStore")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+fn prop_flags(g: &Csr) -> (u8, Option<(f32, f32)>) {
+    let (mut flags, int8) = match g.props() {
+        EdgeProps::Unweighted => (0u8, None),
+        EdgeProps::F32(_) => (1u8, None),
+        EdgeProps::Int8 { scale, offset, .. } => (4u8, Some((*scale, *offset))),
+    };
+    if g.has_labels() {
+        flags |= 2;
+    }
+    if g.has_times() {
+        flags |= 8;
+    }
+    (flags, int8)
+}
+
+/// Buckets every node into its owning block — one O(V) pass shared by
+/// spill and respill.
+fn nodes_by_block(n: usize, blocks: usize) -> Vec<Vec<NodeId>> {
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); blocks];
+    for v in 0..n as NodeId {
+        buckets[block_of(v, blocks)].push(v);
+    }
+    buckets
+}
+
+/// Encodes one block's payload: node count, edge count, the
+/// `(id, degree)` table, then the column/weight/label/time arrays.
+fn encode_block(g: &Csr, nodes: &[NodeId]) -> Vec<u8> {
+    let edges: u64 = nodes.iter().map(|&v| g.degree(v) as u64).sum();
+    let mut buf = Vec::with_capacity(BLOCK_HEADER_BYTES + 8 * nodes.len() + 4 * edges as usize);
+    buf.extend_from_slice(&(nodes.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&edges.to_le_bytes());
+    for &v in nodes {
+        buf.extend_from_slice(&v.to_le_bytes());
+        buf.extend_from_slice(&(g.degree(v) as u32).to_le_bytes());
+    }
+    for &v in nodes {
+        for e in g.edge_range(v) {
+            buf.extend_from_slice(&g.edge_target(e).to_le_bytes());
+        }
+    }
+    match g.props() {
+        EdgeProps::Unweighted => {}
+        EdgeProps::F32(w) => {
+            for &v in nodes {
+                for e in g.edge_range(v) {
+                    buf.extend_from_slice(&w[e].to_le_bytes());
+                }
+            }
+        }
+        EdgeProps::Int8 { data, .. } => {
+            for &v in nodes {
+                for e in g.edge_range(v) {
+                    buf.push(data[e]);
+                }
+            }
+        }
+    }
+    if g.has_labels() {
+        for &v in nodes {
+            for e in g.edge_range(v) {
+                buf.push(g.label(e));
+            }
+        }
+    }
+    if g.has_times() {
+        for &v in nodes {
+            for e in g.edge_range(v) {
+                buf.extend_from_slice(&g.time(e).to_le_bytes());
+            }
+        }
+    }
+    buf
+}
+
+fn read_u32(buf: &[u8], at: &mut usize) -> Result<u32, GraphError> {
+    let end = *at + 4;
+    let bytes = buf
+        .get(*at..end)
+        .ok_or_else(|| GraphError::Parse("block payload truncated".into()))?;
+    *at = end;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+fn read_u64(buf: &[u8], at: &mut usize) -> Result<u64, GraphError> {
+    let end = *at + 8;
+    let bytes = buf
+        .get(*at..end)
+        .ok_or_else(|| GraphError::Parse("block payload truncated".into()))?;
+    *at = end;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+impl BlockStore {
+    /// Spills `g` into `index.blocks()` payloads under a fresh temporary
+    /// file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures as [`GraphError::Io`].
+    pub fn spill(g: &Csr, index: &BlockIndex) -> Result<Self, GraphError> {
+        let path = std::env::temp_dir().join(format!(
+            "flexiwalker-blocks-{}-{}.bin",
+            std::process::id(),
+            NEXT_SPILL_ID.fetch_add(1, Ordering::Relaxed),
+        ));
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        let (flags, int8) = prop_flags(g);
+        file.write_all(BLOCK_MAGIC)?;
+        file.write_all(&[flags])?;
+        if let Some((scale, offset)) = int8 {
+            file.write_all(&scale.to_le_bytes())?;
+            file.write_all(&offset.to_le_bytes())?;
+        }
+        file.write_all(&(index.blocks() as u64).to_le_bytes())?;
+        let mut end = file.stream_position()?;
+        let mut dir = Vec::with_capacity(index.blocks());
+        for nodes in nodes_by_block(g.num_nodes(), index.blocks()) {
+            let payload = encode_block(g, &nodes);
+            file.write_all(&payload)?;
+            dir.push((end, payload.len() as u64));
+            end += payload.len() as u64;
+        }
+        file.flush()?;
+        Ok(Self {
+            path,
+            flags: Mutex::new((flags, int8)),
+            inner: Mutex::new(StoreInner { file, dir, end }),
+        })
+    }
+
+    /// The spill file's location (diagnostics; deleted on drop).
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Bytes the spill file currently occupies, dead payloads included.
+    pub fn file_bytes(&self) -> u64 {
+        self.lock_inner().end
+    }
+
+    /// Reads one block's payload back into memory.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Io`] on read failures, [`GraphError::Parse`] on a
+    /// corrupt payload or out-of-range block id.
+    pub fn load(&self, block: usize) -> Result<BlockData, GraphError> {
+        let (flags, int8) = *self.flags.lock().expect("block store flags poisoned");
+        let buf = {
+            let mut inner = self.lock_inner();
+            let &(offset, len) = inner
+                .dir
+                .get(block)
+                .ok_or_else(|| GraphError::Parse(format!("block {block} out of range")))?;
+            let mut buf = vec![0u8; len as usize];
+            inner.file.seek(SeekFrom::Start(offset))?;
+            inner.file.read_exact(&mut buf)?;
+            buf
+        };
+        let mut at = 0usize;
+        let node_count = read_u32(&buf, &mut at)? as usize;
+        let edge_count = read_u64(&buf, &mut at)? as usize;
+        let mut nodes = Vec::with_capacity(node_count);
+        let mut row_ptr = Vec::with_capacity(node_count + 1);
+        row_ptr.push(0u64);
+        for _ in 0..node_count {
+            nodes.push(read_u32(&buf, &mut at)?);
+            let degree = read_u32(&buf, &mut at)?;
+            row_ptr.push(row_ptr.last().expect("non-empty") + u64::from(degree));
+        }
+        if *row_ptr.last().expect("non-empty") != edge_count as u64 {
+            return Err(GraphError::Parse(format!(
+                "block {block}: degree table disagrees with edge count"
+            )));
+        }
+        // The three big columns decode from whole sub-slices (one bounds
+        // check each), not element-wise reads — block loads are the hot
+        // path of a thrashing cache.
+        let col_slice = buf
+            .get(at..at + 4 * edge_count)
+            .ok_or_else(|| GraphError::Parse("block payload truncated".into()))?;
+        at += 4 * edge_count;
+        let col_idx: Vec<NodeId> = col_slice
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        let weights = if flags & 4 != 0 {
+            let (scale, offset) = int8.unwrap_or((1.0, 0.0));
+            let codes = buf
+                .get(at..at + edge_count)
+                .ok_or_else(|| GraphError::Parse("block payload truncated".into()))?;
+            at += edge_count;
+            Some(
+                codes
+                    .iter()
+                    .map(|&c| f32::from(c) * scale + offset)
+                    .collect(),
+            )
+        } else if flags & 1 != 0 {
+            let w_slice = buf
+                .get(at..at + 4 * edge_count)
+                .ok_or_else(|| GraphError::Parse("block payload truncated".into()))?;
+            at += 4 * edge_count;
+            Some(
+                w_slice
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let labels = (flags & 2 != 0)
+            .then(|| {
+                let slice = buf
+                    .get(at..at + edge_count)
+                    .ok_or_else(|| GraphError::Parse("block payload truncated".into()))?;
+                at += edge_count;
+                Ok::<_, GraphError>(slice.to_vec())
+            })
+            .transpose()?;
+        let times = (flags & 8 != 0)
+            .then(|| {
+                let t_slice = buf
+                    .get(at..at + 8 * edge_count)
+                    .ok_or_else(|| GraphError::Parse("block payload truncated".into()))?;
+                at += 8 * edge_count;
+                Ok::<_, GraphError>(
+                    t_slice
+                        .chunks_exact(8)
+                        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                        .collect(),
+                )
+            })
+            .transpose()?;
+        Ok(BlockData {
+            block,
+            nodes,
+            row_ptr,
+            col_idx,
+            weights,
+            labels,
+            times,
+            bytes: buf.len(),
+        })
+    }
+
+    /// Re-spills the given blocks against the post-batch graph `g`: fresh
+    /// payloads append to the file and the directory repoints to them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures as [`GraphError::Io`].
+    pub fn respill(&self, g: &Csr, index: &BlockIndex, blocks: &[usize]) -> Result<(), GraphError> {
+        if blocks.is_empty() {
+            return Ok(());
+        }
+        *self.flags.lock().expect("block store flags poisoned") = prop_flags(g);
+        let mut member = vec![false; index.blocks()];
+        for &b in blocks {
+            if let Some(slot) = member.get_mut(b) {
+                *slot = true;
+            }
+        }
+        let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); index.blocks()];
+        for v in 0..g.num_nodes() as NodeId {
+            let b = block_of(v, index.blocks());
+            if member[b] {
+                buckets[b].push(v);
+            }
+        }
+        let mut inner = self.lock_inner();
+        let end = inner.end;
+        inner.file.seek(SeekFrom::Start(end))?;
+        for &b in blocks {
+            if b >= index.blocks() {
+                continue;
+            }
+            let payload = encode_block(g, &buckets[b]);
+            inner.file.write_all(&payload)?;
+            inner.dir[b] = (inner.end, payload.len() as u64);
+            inner.end += payload.len() as u64;
+        }
+        inner.file.flush()?;
+        Ok(())
+    }
+
+    fn lock_inner(&self) -> MutexGuard<'_, StoreInner> {
+        self.inner.lock().expect("block store lock poisoned")
+    }
+}
+
+impl Drop for BlockStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Cumulative activity counters of one [`ResidentCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Blocks read from the spill file (cache misses).
+    pub loads: u64,
+    /// Fetches served from resident data.
+    pub hits: u64,
+    /// Blocks evicted to honour the byte budget.
+    pub evictions: u64,
+}
+
+struct CacheEntry {
+    block: usize,
+    data: Arc<BlockData>,
+    last_use: u64,
+    pins: u32,
+}
+
+struct CacheState {
+    entries: Vec<CacheEntry>,
+    used: usize,
+    tick: u64,
+    counters: CacheCounters,
+}
+
+/// A bounded cache of loaded blocks: at most `budget` payload bytes stay
+/// resident, evicting least-recently-used **unpinned** blocks first
+/// (ties broken by lowest block id, for determinism).
+///
+/// Pinned blocks are never evicted — the scheduler pins the block it is
+/// draining — so the budget can be transiently exceeded while an
+/// oversized pinned block is active; eviction settles back under the
+/// budget as soon as the pin drops (or at the next fetch), which is the
+/// invariant `tests/integration_outofcore.rs` sweeps.
+pub struct ResidentCache {
+    budget: usize,
+    state: Mutex<CacheState>,
+}
+
+impl std::fmt::Debug for ResidentCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResidentCache")
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResidentCache {
+    /// An empty cache bounded by `budget` payload bytes.
+    pub fn new(budget: usize) -> Self {
+        Self {
+            budget,
+            state: Mutex::new(CacheState {
+                entries: Vec::new(),
+                used: 0,
+                tick: 0,
+                counters: CacheCounters::default(),
+            }),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Payload bytes currently resident.
+    pub fn used_bytes(&self) -> usize {
+        self.lock().used
+    }
+
+    /// Whether `block` is resident right now.
+    pub fn is_resident(&self, block: usize) -> bool {
+        self.lock().entries.iter().any(|e| e.block == block)
+    }
+
+    /// The ids of every resident block, ascending — one snapshot per
+    /// call, so a scheduler can consult residency without re-locking per
+    /// candidate block.
+    pub fn resident_blocks(&self) -> Vec<usize> {
+        let mut blocks: Vec<usize> = self.lock().entries.iter().map(|e| e.block).collect();
+        blocks.sort_unstable();
+        blocks
+    }
+
+    /// Cumulative load/hit/eviction counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.lock().counters
+    }
+
+    /// Fetches `block` through the cache, pinned: a resident block is a
+    /// hit, otherwise the payload loads from `store` (counted as a load)
+    /// and LRU eviction runs to settle back under the budget. The caller
+    /// owns one pin and must [`ResidentCache::unpin`] it.
+    ///
+    /// Returns the block data and whether the fetch was a hit.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockStore::load`].
+    pub fn fetch_pinned(
+        &self,
+        block: usize,
+        store: &BlockStore,
+    ) -> Result<(Arc<BlockData>, bool), GraphError> {
+        let mut state = self.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(entry) = state.entries.iter_mut().find(|e| e.block == block) {
+            entry.last_use = tick;
+            entry.pins += 1;
+            let data = Arc::clone(&entry.data);
+            state.counters.hits += 1;
+            return Ok((data, true));
+        }
+        // Load while holding the lock: concurrent fetchers of the same
+        // block must not both charge the budget, and the scheduler is
+        // sequential anyway.
+        let data = Arc::new(store.load(block)?);
+        state.counters.loads += 1;
+        state.used += data.bytes();
+        state.entries.push(CacheEntry {
+            block,
+            data: Arc::clone(&data),
+            last_use: tick,
+            pins: 1,
+        });
+        Self::evict_to_budget(&mut state, self.budget);
+        Ok((data, false))
+    }
+
+    /// Drops one pin from `block` and settles the budget (an unpinned
+    /// oversized block is evicted here).
+    pub fn unpin(&self, block: usize) {
+        let mut state = self.lock();
+        if let Some(entry) = state.entries.iter_mut().find(|e| e.block == block) {
+            entry.pins = entry.pins.saturating_sub(1);
+        }
+        Self::evict_to_budget(&mut state, self.budget);
+    }
+
+    /// Drops the given blocks from residency (stale after an epoch
+    /// migration re-spilled them).
+    pub fn invalidate(&self, blocks: &[usize]) {
+        let mut state = self.lock();
+        state.entries.retain(|e| !blocks.contains(&e.block));
+        state.used = state.entries.iter().map(|e| e.data.bytes()).sum();
+    }
+
+    fn evict_to_budget(state: &mut CacheState, budget: usize) {
+        while state.used > budget {
+            let victim = state
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.pins == 0)
+                .min_by_key(|(_, e)| (e.last_use, e.block))
+                .map(|(i, _)| i);
+            let Some(i) = victim else {
+                // Everything resident is pinned: the budget is
+                // transiently exceeded until a pin drops.
+                return;
+            };
+            let entry = state.entries.swap_remove(i);
+            state.used -= entry.data.bytes();
+            state.counters.evictions += 1;
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CacheState> {
+        self.state.lock().expect("resident cache lock poisoned")
+    }
+}
+
+/// The complete out-of-core runtime for one graph epoch stream: the block
+/// geometry, the spill file, and the bounded resident cache — the
+/// artifact [`crate::GraphHandle::block_runtime`] caches per
+/// `(block_bytes, resident_budget)` request and migrates across update
+/// batches.
+#[derive(Debug)]
+pub struct BlockRuntime {
+    blocks: usize,
+    block_bytes: usize,
+    resident_budget: usize,
+    index: Mutex<BlockIndex>,
+    store: BlockStore,
+    cache: ResidentCache,
+}
+
+impl BlockRuntime {
+    /// Plans, spills and wraps `g` under a fresh runtime.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockStore::spill`].
+    pub fn build(g: &Csr, block_bytes: usize, resident_budget: usize) -> Result<Self, GraphError> {
+        let index = BlockIndex::plan(g, block_bytes);
+        let store = BlockStore::spill(g, &index)?;
+        Ok(Self {
+            blocks: index.blocks(),
+            block_bytes,
+            resident_budget,
+            index: Mutex::new(index),
+            store,
+            cache: ResidentCache::new(resident_budget),
+        })
+    }
+
+    /// The number of blocks the graph spilled into.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// The `block_bytes` payload target the geometry was planned for.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// The resident cache's byte budget.
+    pub fn resident_budget(&self) -> usize {
+        self.resident_budget
+    }
+
+    /// The block owning `node`.
+    pub fn block_of(&self, node: NodeId) -> usize {
+        block_of(node, self.blocks)
+    }
+
+    /// The bounded resident cache.
+    pub fn cache(&self) -> &ResidentCache {
+        &self.cache
+    }
+
+    /// The on-disk block store.
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// A clone of the current block geometry.
+    pub fn index(&self) -> BlockIndex {
+        self.lock_index().clone()
+    }
+
+    /// The busiest block's payload bytes (the budget floor).
+    pub fn max_block_bytes(&self) -> usize {
+        self.lock_index().max_payload_bytes()
+    }
+
+    /// Total spilled payload bytes (the out-of-core CSR footprint).
+    pub fn spilled_bytes(&self) -> usize {
+        self.lock_index().total_payload_bytes()
+    }
+
+    /// Fetches `block` pinned through the resident cache; see
+    /// [`ResidentCache::fetch_pinned`].
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockStore::load`].
+    pub fn fetch_pinned(&self, block: usize) -> Result<(Arc<BlockData>, bool), GraphError> {
+        self.cache.fetch_pinned(block, &self.store)
+    }
+
+    /// Drops one pin from `block`; see [`ResidentCache::unpin`].
+    pub fn unpin(&self, block: usize) {
+        self.cache.unpin(block);
+    }
+
+    /// Migrates the runtime across one update batch: the geometry census
+    /// refreshes, every block owning a dirty node re-spills against the
+    /// post-batch graph, and those blocks drop from the resident cache.
+    /// Returns the number of blocks re-spilled.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockStore::respill`]; on error the runtime must be
+    /// considered stale (the handle drops the cached slot).
+    pub fn migrate(&self, g: &Csr, dirty: &[NodeId]) -> Result<usize, GraphError> {
+        let dirty_blocks = {
+            let mut index = self.lock_index();
+            let dirty_blocks = index.refresh(g, dirty);
+            self.store.respill(g, &index, &dirty_blocks)?;
+            dirty_blocks
+        };
+        self.cache.invalidate(&dirty_blocks);
+        Ok(dirty_blocks.len())
+    }
+
+    fn lock_index(&self) -> MutexGuard<'_, BlockIndex> {
+        self.index.lock().expect("block index lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CsrBuilder;
+    use crate::gen;
+
+    fn graph(scale: u32, seed: u64) -> Csr {
+        gen::rmat(scale, 1 << (scale + 2), gen::RmatParams::SOCIAL, seed)
+    }
+
+    fn weighted(scale: u32, seed: u64) -> Csr {
+        crate::props::WeightModel::UniformReal.apply(graph(scale, seed), seed)
+    }
+
+    #[test]
+    fn index_census_covers_every_node_and_edge() {
+        let g = weighted(8, 3);
+        let index = BlockIndex::plan(&g, 4096);
+        assert!(index.blocks() > 1, "target forces multiple blocks");
+        let nodes: usize = (0..index.blocks()).map(|b| index.node_count(b)).sum();
+        let edges: u64 = (0..index.blocks()).map(|b| index.edge_count(b)).sum();
+        assert_eq!(nodes, g.num_nodes());
+        assert_eq!(edges, g.num_edges() as u64);
+        for v in 0..g.num_nodes() as NodeId {
+            assert_eq!(index.owner(v), block_of(v, index.blocks()));
+        }
+    }
+
+    #[test]
+    fn planner_fits_target_or_stops_at_single_node_blocks() {
+        let g = weighted(8, 5);
+        for target in [1 << 12, 1 << 14, 1 << 20] {
+            let index = BlockIndex::plan(&g, target);
+            let single_max = (0..g.num_nodes() as NodeId)
+                .map(|v| BLOCK_HEADER_BYTES + 8 + bytes_per_block_edge(&g) * g.degree(v))
+                .max()
+                .unwrap();
+            assert!(
+                index.max_payload_bytes() <= target.max(single_max),
+                "target {target}: busiest block {} exceeds both the target and the \
+                 single-node floor {single_max}",
+                index.max_payload_bytes()
+            );
+        }
+        // A giant target degenerates to one block holding everything.
+        let whole = BlockIndex::plan(&g, usize::MAX);
+        assert_eq!(whole.blocks(), 1);
+        assert_eq!(whole.total_payload_bytes(), whole.max_payload_bytes());
+    }
+
+    #[test]
+    fn spilled_blocks_round_trip_the_adjacency() {
+        let g = weighted(8, 7);
+        let index = BlockIndex::plan(&g, 8192);
+        let store = BlockStore::spill(&g, &index).unwrap();
+        for b in 0..index.blocks() {
+            let data = store.load(b).unwrap();
+            assert_eq!(data.block(), b);
+            assert_eq!(data.bytes(), index.payload_bytes(b));
+            for &v in data.nodes() {
+                assert_eq!(block_of(v, index.blocks()), b);
+                assert_eq!(data.neighbors(v).unwrap(), g.neighbors(v));
+            }
+            let mut e = 0usize;
+            for &v in data.nodes() {
+                for ge in g.edge_range(v) {
+                    assert_eq!(data.weight(e), g.prop(ge));
+                    e += 1;
+                }
+            }
+        }
+        // Foreign nodes are absent, not empty.
+        let other = (0..g.num_nodes() as NodeId)
+            .find(|&v| block_of(v, index.blocks()) != 0)
+            .unwrap();
+        assert!(store.load(0).unwrap().neighbors(other).is_none());
+    }
+
+    #[test]
+    fn labeled_timestamped_blocks_round_trip() {
+        let mut b = CsrBuilder::new(4);
+        b.push_full_at(0, 1, 2.0, 3, 10);
+        b.push_full_at(0, 2, 4.0, 1, 20);
+        b.push_full_at(2, 3, 8.0, 0, 30);
+        let g = b.build().unwrap();
+        let index = BlockIndex::plan(&g, usize::MAX);
+        let store = BlockStore::spill(&g, &index).unwrap();
+        let data = store.load(0).unwrap();
+        assert_eq!(data.num_edges(), 3);
+        let labels = data.labels.as_ref().unwrap();
+        let times = data.times.as_ref().unwrap();
+        // Node iteration order within the block is ascending id, matching
+        // the CSR's own edge order node-by-node.
+        let mut e = 0usize;
+        for &v in data.nodes() {
+            for ge in g.edge_range(v) {
+                assert_eq!(data.weight(e), g.prop(ge));
+                assert_eq!(labels[e], g.label(ge));
+                assert_eq!(times[e], g.time(ge));
+                e += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn int8_blocks_dequantise_like_the_graph() {
+        let g = weighted(6, 9);
+        let q = g.clone().with_props(g.props().quantize_int8()).unwrap();
+        let index = BlockIndex::plan(&q, usize::MAX);
+        let store = BlockStore::spill(&q, &index).unwrap();
+        let data = store.load(0).unwrap();
+        let mut e = 0usize;
+        for &v in data.nodes() {
+            for ge in q.edge_range(v) {
+                assert_eq!(data.weight(e), q.prop(ge));
+                e += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn cache_serves_hits_and_counts_loads() {
+        let g = weighted(7, 11);
+        let rt = BlockRuntime::build(&g, 2048, usize::MAX).unwrap();
+        let (first, hit) = rt.fetch_pinned(0).unwrap();
+        assert!(!hit);
+        let (again, hit) = rt.fetch_pinned(0).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&first, &again));
+        rt.unpin(0);
+        rt.unpin(0);
+        let c = rt.cache().counters();
+        assert_eq!((c.loads, c.hits, c.evictions), (1, 1, 0));
+    }
+
+    #[test]
+    fn eviction_honours_budget_and_lru_order() {
+        let g = weighted(8, 13);
+        let index = BlockIndex::plan(&g, 2048);
+        assert!(index.blocks() >= 4);
+        // Budget fits roughly two blocks.
+        let budget = index.payload_bytes(0) + index.payload_bytes(1);
+        let rt = BlockRuntime::build(&g, 2048, budget).unwrap();
+        for b in 0..index.blocks() {
+            let (_, hit) = rt.fetch_pinned(b).unwrap();
+            assert!(!hit);
+            rt.unpin(b);
+            assert!(
+                rt.cache().used_bytes() <= budget,
+                "budget exceeded with nothing pinned"
+            );
+        }
+        assert!(rt.cache().counters().evictions > 0);
+        // The most recent block survived; the least recent did not.
+        assert!(rt.cache().is_resident(index.blocks() - 1));
+        assert!(!rt.cache().is_resident(0));
+    }
+
+    #[test]
+    fn pinned_blocks_are_never_evicted() {
+        let g = weighted(8, 15);
+        let index = BlockIndex::plan(&g, 2048);
+        assert!(index.blocks() >= 3);
+        // Budget fits only one block: pinning block 0 and fetching others
+        // must keep 0 resident and over-budget until the pin drops.
+        let budget = index.payload_bytes(0);
+        let rt = BlockRuntime::build(&g, 2048, budget).unwrap();
+        let _ = rt.fetch_pinned(0).unwrap();
+        for b in 1..index.blocks() {
+            let _ = rt.fetch_pinned(b).unwrap();
+            assert!(rt.cache().is_resident(0), "pinned block 0 evicted");
+            rt.unpin(b);
+        }
+        rt.unpin(0);
+        // With every pin dropped, eviction settles back under budget.
+        let (_, _) = rt.fetch_pinned(1).unwrap();
+        rt.unpin(1);
+        assert!(rt.cache().used_bytes() <= budget);
+    }
+
+    #[test]
+    fn migrate_respills_dirty_blocks_and_invalidates_them() {
+        let h = crate::GraphHandle::new(weighted(7, 17));
+        let g0 = h.graph();
+        let rt = BlockRuntime::build(&g0, 2048, usize::MAX).unwrap();
+        // Warm every block.
+        for b in 0..rt.blocks() {
+            rt.fetch_pinned(b).unwrap();
+            rt.unpin(b);
+        }
+        let out = h
+            .apply_updates(&[crate::GraphUpdate::SetWeight {
+                edge: 0,
+                weight: 99.0,
+            }])
+            .unwrap();
+        let respilled = rt.migrate(&out.graph, &out.dirty_nodes).unwrap();
+        assert_eq!(respilled, 1, "weight-only batch respills the owner block");
+        let dirty_block = rt.block_of(out.dirty_nodes[0]);
+        assert!(!rt.cache().is_resident(dirty_block), "stale block dropped");
+        // Reloading serves the post-batch weights.
+        let (data, hit) = rt.fetch_pinned(dirty_block).unwrap();
+        assert!(!hit);
+        rt.unpin(dirty_block);
+        let v = out.dirty_nodes[0];
+        let local: usize = data
+            .nodes()
+            .iter()
+            .take_while(|&&u| u != v)
+            .map(|&u| out.graph.degree(u))
+            .sum();
+        assert_eq!(data.weight(local), 99.0);
+    }
+
+    #[test]
+    fn migrate_tracks_structural_batches_against_recompute() {
+        let h = crate::GraphHandle::new(weighted(7, 19));
+        let rt = BlockRuntime::build(&h.graph(), 2048, usize::MAX).unwrap();
+        let n = h.graph().num_nodes() as NodeId;
+        for round in 0..6u32 {
+            let out = h
+                .apply_updates(&[crate::GraphUpdate::AddEdge {
+                    src: (round * 31) % n,
+                    dst: (round * 57 + 1) % n,
+                    weight: 2.0,
+                    label: 0,
+                }])
+                .unwrap();
+            rt.migrate(&out.graph, &out.dirty_nodes).unwrap();
+            // The migrated geometry equals a fresh census at the same
+            // (frozen) block count.
+            let fresh = BlockIndex::census(
+                &out.graph,
+                rt.blocks(),
+                rt.block_bytes(),
+                bytes_per_block_edge(&out.graph),
+            );
+            assert_eq!(rt.index(), fresh, "round {round}: refresh diverged");
+            // And the respilled payloads serve the post-batch adjacency.
+            for b in 0..rt.blocks() {
+                let (data, _) = rt.fetch_pinned(b).unwrap();
+                for &v in data.nodes() {
+                    assert_eq!(data.neighbors(v).unwrap(), out.graph.neighbors(v));
+                }
+                rt.unpin(b);
+            }
+        }
+    }
+
+    #[test]
+    fn weight_promotion_dirties_every_block() {
+        let g = graph(7, 21); // unweighted
+        let h = crate::GraphHandle::new(g);
+        let rt = BlockRuntime::build(&h.graph(), 2048, usize::MAX).unwrap();
+        assert!(rt.blocks() > 1);
+        let out = h
+            .apply_updates(&[crate::GraphUpdate::SetWeight {
+                edge: 0,
+                weight: 5.0,
+            }])
+            .unwrap();
+        // SetWeight on an unweighted graph promotes props to F32: the
+        // edge-record width changed, so every block's payload is stale.
+        let respilled = rt.migrate(&out.graph, &out.dirty_nodes).unwrap();
+        assert_eq!(respilled, rt.blocks());
+        let (data, _) = rt.fetch_pinned(rt.block_of(out.dirty_nodes[0])).unwrap();
+        rt.unpin(data.block());
+        assert!(data.weights.is_some(), "respill picked up the F32 column");
+    }
+
+    #[test]
+    fn invalidate_drops_stale_residency() {
+        let g = weighted(7, 23);
+        let rt = BlockRuntime::build(&g, 2048, usize::MAX).unwrap();
+        rt.fetch_pinned(0).unwrap();
+        rt.unpin(0);
+        assert!(rt.cache().is_resident(0));
+        rt.cache().invalidate(&[0]);
+        assert!(!rt.cache().is_resident(0));
+        assert_eq!(rt.cache().used_bytes(), 0);
+    }
+
+    #[test]
+    fn spill_file_is_removed_on_drop() {
+        let g = weighted(6, 25);
+        let path = {
+            let rt = BlockRuntime::build(&g, 4096, usize::MAX).unwrap();
+            let p = rt.store().path().to_path_buf();
+            assert!(p.exists());
+            p
+        };
+        assert!(!path.exists(), "spill file outlived its runtime");
+    }
+
+    #[test]
+    fn empty_graph_spills_one_empty_block() {
+        let g = CsrBuilder::new(0).build().unwrap();
+        let rt = BlockRuntime::build(&g, 4096, 1 << 20).unwrap();
+        assert_eq!(rt.blocks(), 1);
+        let (data, _) = rt.fetch_pinned(0).unwrap();
+        rt.unpin(0);
+        assert!(data.nodes().is_empty());
+        assert_eq!(data.num_edges(), 0);
+    }
+}

@@ -15,6 +15,7 @@
 //! incremental aggregate refresh (`Aggregates::refresh_nodes` in
 //! `flexi-core`).
 
+use crate::blocks::BlockRuntime;
 use crate::csr::{Csr, NodeId};
 use crate::dynamic::{apply_batch, GraphUpdate};
 use crate::partition::PartitionPlan;
@@ -112,6 +113,11 @@ pub struct UpdateOutcome {
     /// very weights the tables encode — so every cached artifact counts
     /// here on every non-empty batch.
     pub sampler_states_migrated: usize,
+    /// Out-of-core blocks re-spilled across cached [`BlockRuntime`]s —
+    /// the blocks owning a dirty node, summed over every cached runtime.
+    /// Like sampler states (and unlike plans), block payloads encode
+    /// weight values, so **both** batch kinds count here.
+    pub blocks_migrated: usize,
 }
 
 /// How a [`GraphHandle::partition_plan`] lookup was served.
@@ -160,6 +166,16 @@ impl std::fmt::Debug for StateSlot {
     }
 }
 
+/// One cached out-of-core block runtime: the `(block bytes, budget)`
+/// request it serves and the epoch its spill is current at.
+#[derive(Debug)]
+struct BlockSlot {
+    block_bytes: usize,
+    resident_budget: usize,
+    epoch: u64,
+    runtime: Arc<BlockRuntime>,
+}
+
 #[derive(Debug)]
 struct Versioned {
     graph: Arc<Csr>,
@@ -173,6 +189,10 @@ struct Versioned {
     /// Cached sampler-state artifacts, one per state key, kept current
     /// across update batches (see [`GraphHandle::sampler_state`]).
     states: Vec<StateSlot>,
+    /// Cached out-of-core block runtimes, one per `(block bytes, budget)`
+    /// request, kept current across update batches (see
+    /// [`GraphHandle::block_runtime`]).
+    blocks: Vec<BlockSlot>,
 }
 
 /// An owned, shareable, epoch-versioned graph.
@@ -225,6 +245,7 @@ impl GraphHandle {
                 plans: Vec::new(),
                 masks: Vec::new(),
                 states: Vec::new(),
+                blocks: Vec::new(),
             })),
         }
     }
@@ -295,6 +316,7 @@ impl GraphHandle {
                 plans_migrated: 0,
                 masks_migrated: 0,
                 sampler_states_migrated: 0,
+                blocks_migrated: 0,
             });
         }
         // make_mut clones only when snapshots of the current version are
@@ -356,6 +378,25 @@ impl GraphHandle {
             slot.epoch = new_epoch;
             true
         });
+        // Block runtimes spill the weight values themselves, so — like
+        // sampler states — both batch kinds migrate them: the blocks
+        // owning dirty nodes re-spill against the post-batch graph and
+        // drop from the resident cache. A runtime whose re-spill fails
+        // (spill-file I/O) is dropped rather than served stale.
+        let mut blocks_migrated = 0;
+        guard.blocks.retain_mut(|slot| {
+            if slot.epoch != old_epoch {
+                return false;
+            }
+            match slot.runtime.migrate(&graph, &outcome.dirty_nodes) {
+                Ok(respilled) => {
+                    blocks_migrated += respilled;
+                    slot.epoch = new_epoch;
+                    true
+                }
+                Err(_) => false,
+            }
+        });
         Ok(UpdateOutcome {
             version: GraphVersion {
                 graph_id: self.id,
@@ -367,6 +408,7 @@ impl GraphHandle {
             plans_migrated,
             masks_migrated,
             sampler_states_migrated,
+            blocks_migrated,
         })
     }
 
@@ -504,6 +546,66 @@ impl GraphHandle {
             }
         }
         (state, PlanFetch::Built)
+    }
+
+    /// The out-of-core block runtime for a `(block_bytes, resident
+    /// budget)` request, at the version `snap` pins.
+    ///
+    /// Served from the handle's block cache when current — steady-state
+    /// out-of-core drains re-use one spill per epoch stream instead of
+    /// re-spilling per launch; [`GraphHandle::apply_updates`] keeps
+    /// cached runtimes current by re-spilling only the blocks owning
+    /// dirty nodes (on both weight-only and structural batches — block
+    /// payloads encode the weights). A miss plans, spills and caches a
+    /// fresh runtime; the result is cached only when the snapshot is
+    /// still the live version.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Io`] when the spill file cannot be written.
+    pub fn block_runtime(
+        &self,
+        snap: &GraphSnapshot,
+        block_bytes: usize,
+        resident_budget: usize,
+    ) -> Result<(Arc<BlockRuntime>, PlanFetch), GraphError> {
+        {
+            let guard = self.read();
+            if let Some(slot) = guard.blocks.iter().find(|s| {
+                s.block_bytes == block_bytes
+                    && s.resident_budget == resident_budget
+                    && s.epoch == snap.version.epoch
+            }) {
+                return Ok((Arc::clone(&slot.runtime), PlanFetch::Cached));
+            }
+        }
+        let runtime = Arc::new(BlockRuntime::build(
+            &snap.graph,
+            block_bytes,
+            resident_budget,
+        )?);
+        let mut guard = self.shared.write().expect("graph handle lock poisoned");
+        if guard.epoch == snap.version.epoch {
+            match guard
+                .blocks
+                .iter_mut()
+                .find(|s| s.block_bytes == block_bytes && s.resident_budget == resident_budget)
+            {
+                // A concurrent builder may have raced us here; either
+                // runtime is correct (both spilled from the same version).
+                Some(slot) => {
+                    slot.epoch = snap.version.epoch;
+                    slot.runtime = Arc::clone(&runtime);
+                }
+                None => guard.blocks.push(BlockSlot {
+                    block_bytes,
+                    resident_budget,
+                    epoch: snap.version.epoch,
+                    runtime: Arc::clone(&runtime),
+                }),
+            }
+        }
+        Ok((runtime, PlanFetch::Built))
     }
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, Versioned> {
@@ -886,6 +988,83 @@ mod tests {
         let (live, fetch) = h.sampler_state(&h.snapshot(), &m);
         assert_eq!(fetch, PlanFetch::Built, "stale state was not cached");
         assert_eq!(live.downcast_ref::<Vec<f64>>().unwrap()[0], 12.0);
+    }
+
+    #[test]
+    fn block_runtimes_are_cached_per_epoch_and_migrated_by_updates() {
+        let h = GraphHandle::new(base());
+        let snap = h.snapshot();
+        let (rt, fetch) = h.block_runtime(&snap, 1 << 20, 1 << 20).unwrap();
+        assert_eq!(fetch, PlanFetch::Built);
+        // Same epoch, same geometry request: served from the cache.
+        let (again, fetch) = h.block_runtime(&snap, 1 << 20, 1 << 20).unwrap();
+        assert_eq!(fetch, PlanFetch::Cached);
+        assert!(Arc::ptr_eq(&rt, &again));
+        // A different budget is its own slot.
+        assert_eq!(
+            h.block_runtime(&snap, 1 << 20, 1 << 10).unwrap().1,
+            PlanFetch::Built
+        );
+
+        // A weight-only batch re-spills the dirty node's block (blocks
+        // encode weights, so unlike plans they migrate on both kinds).
+        let out = h
+            .apply_updates(&[GraphUpdate::SetWeight {
+                edge: 0,
+                weight: 9.0,
+            }])
+            .unwrap();
+        assert!(out.blocks_migrated >= 2, "both cached runtimes re-spilled");
+        let snap = h.snapshot();
+        let (carried, fetch) = h.block_runtime(&snap, 1 << 20, 1 << 20).unwrap();
+        assert_eq!(fetch, PlanFetch::Cached);
+        assert!(Arc::ptr_eq(&rt, &carried));
+        let (data, _) = carried.fetch_pinned(carried.block_of(0)).unwrap();
+        carried.unpin(data.block());
+        assert_eq!(data.weight(0), 9.0, "respill picked up the new weight");
+
+        // A structural batch migrates the geometry census too.
+        let out = h
+            .apply_updates(&[GraphUpdate::AddEdge {
+                src: 2,
+                dst: 3,
+                weight: 1.0,
+                label: 0,
+            }])
+            .unwrap();
+        assert!(out.blocks_migrated >= 1);
+        let snap = h.snapshot();
+        let (migrated, fetch) = h.block_runtime(&snap, 1 << 20, 1 << 20).unwrap();
+        assert_eq!(fetch, PlanFetch::Cached);
+        let (data, _) = migrated.fetch_pinned(migrated.block_of(2)).unwrap();
+        migrated.unpin(data.block());
+        assert_eq!(data.neighbors(2).unwrap(), snap.graph.neighbors(2));
+    }
+
+    #[test]
+    fn stale_snapshot_block_runtime_is_built_but_not_cached() {
+        let h = GraphHandle::new(base());
+        let old = h.snapshot();
+        h.apply_updates(&[GraphUpdate::AddEdge {
+            src: 2,
+            dst: 3,
+            weight: 1.0,
+            label: 0,
+        }])
+        .unwrap();
+        let (rt, fetch) = h.block_runtime(&old, 1 << 20, 1 << 20).unwrap();
+        assert_eq!(fetch, PlanFetch::Built);
+        let (data, _) = rt.fetch_pinned(rt.block_of(2)).unwrap();
+        rt.unpin(data.block());
+        assert!(
+            data.neighbors(2).unwrap().is_empty(),
+            "spilled from the pinned old graph"
+        );
+        let (live, fetch) = h.block_runtime(&h.snapshot(), 1 << 20, 1 << 20).unwrap();
+        assert_eq!(fetch, PlanFetch::Built, "stale runtime was not cached");
+        let (data, _) = live.fetch_pinned(live.block_of(2)).unwrap();
+        live.unpin(data.block());
+        assert_eq!(data.neighbors(2).unwrap(), &[3]);
     }
 
     #[test]

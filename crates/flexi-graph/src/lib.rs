@@ -13,8 +13,12 @@
 //!   Pareto power-law, degree-based, and quantised INT8 (paper §6.1, §7.2),
 //!   plus edge labels `{0..4}` for MetaPath;
 //! - [`io`] — plain-text edge-list and compact binary round-trip formats;
+//! - [`blocks`] — out-of-core block spill: fixed-size CSR blocks on disk
+//!   behind a budget-bounded resident cache (the `Topology::OutOfCore`
+//!   substrate);
 //! - [`stats`] — degree/weight statistics used by the evaluation harness.
 
+pub mod blocks;
 pub mod builder;
 pub mod csr;
 pub mod datasets;
@@ -27,6 +31,9 @@ pub mod props;
 pub mod stats;
 pub mod temporal;
 
+pub use blocks::{
+    block_of, BlockData, BlockIndex, BlockRuntime, BlockStore, CacheCounters, ResidentCache,
+};
 pub use builder::CsrBuilder;
 pub use csr::{Csr, EdgeId, NodeId};
 pub use datasets::{proxy, DatasetSpec, ALL_DATASETS};

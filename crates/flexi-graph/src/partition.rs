@@ -124,6 +124,14 @@ impl PartitionPlan {
 
     /// The busiest shard's resident bytes — the per-device VRAM bar a
     /// partitioned launch must clear.
+    ///
+    /// Never returns 0 for a plan built by [`PartitionPlan::compute`]:
+    /// that constructor rejects `shards == 0`, so there is always at
+    /// least one shard, and every shard's footprint includes the full
+    /// row-pointer array (non-empty even for an edgeless graph). The
+    /// `unwrap_or(0)` below is therefore an unreachable-sentinel guard,
+    /// not an empty-plan code path — pinned by the zero-degree and
+    /// empty-shard tests in this module.
     pub fn max_resident_bytes(&self, g: &Csr) -> usize {
         self.resident_bytes(g).into_iter().max().unwrap_or(0)
     }
@@ -253,5 +261,61 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         PartitionPlan::compute(&graph(8, 1), 0);
+    }
+
+    #[test]
+    fn zero_degree_nodes_census_as_zero_but_still_cost_row_pointers() {
+        // Nodes 2 and 3 have no out-edges; node 3 is additionally
+        // untargeted. Their census entries are zero, yet every shard —
+        // including one owning only zero-degree nodes — still pays the
+        // row-pointer array, so `max_resident_bytes` cannot be 0.
+        let g = CsrBuilder::new(4).edge(0, 1).edge(1, 2).build().unwrap();
+        for shards in [1, 2, 4, 7] {
+            let plan = PartitionPlan::compute(&g, shards);
+            assert_eq!(plan.total_edges(), 2);
+            let row = g.row_ptr().len() * 8;
+            for (shard, bytes) in plan.resident_bytes(&g).iter().enumerate() {
+                assert!(
+                    *bytes >= row,
+                    "shard {shard} of {shards} lost its row pointers"
+                );
+            }
+            assert!(plan.max_resident_bytes(&g) >= row);
+            // A refresh naming the zero-degree nodes is a no-op.
+            let mut refreshed = plan.clone();
+            assert_eq!(refreshed.refresh(&g, &[2, 3]), 0);
+            assert_eq!(refreshed, plan);
+        }
+    }
+
+    #[test]
+    fn empty_shards_report_row_pointer_floor_not_zero() {
+        // More shards than nodes guarantees empty shards (no owned
+        // nodes at all). Their resident footprint is exactly the shared
+        // row-pointer array — never 0 — and the busiest-shard bar stays
+        // well-defined.
+        let g = CsrBuilder::new(2).edge(0, 1).edge(1, 0).build().unwrap();
+        let shards = 5;
+        let plan = PartitionPlan::compute(&g, shards);
+        let owners: Vec<usize> = (0..2).map(|v| shard_of(v, shards)).collect();
+        let row = g.row_ptr().len() * 8;
+        for (shard, bytes) in plan.resident_bytes(&g).iter().enumerate() {
+            if owners.contains(&shard) {
+                assert!(*bytes > row, "owning shard {shard} holds edges");
+            } else {
+                assert_eq!(plan.shard_edges()[shard], 0, "shard {shard} owns nothing");
+                assert_eq!(*bytes, row, "empty shard {shard} is row pointers only");
+            }
+        }
+        assert!(plan.max_resident_bytes(&g) > 0);
+        // Even an edgeless graph keeps the bar above zero: the sentinel
+        // in `max_resident_bytes` is unreachable through `compute`.
+        let edgeless = CsrBuilder::new(3).build().unwrap();
+        let plan = PartitionPlan::compute(&edgeless, 2);
+        assert_eq!(plan.total_edges(), 0);
+        assert_eq!(
+            plan.max_resident_bytes(&edgeless),
+            edgeless.row_ptr().len() * 8
+        );
     }
 }

@@ -251,38 +251,6 @@ impl SamplerRegistry {
         self.samplers.iter()
     }
 
-    /// The strategy at priority position `index`.
-    #[deprecated(
-        since = "0.8.0",
-        note = "positional selection is superseded by the cost model's typed \
-                `SamplerSelection`; iterate with `iter()` or look up by id with `get()`"
-    )]
-    pub fn at(&self, index: usize) -> Option<&Arc<dyn Sampler>> {
-        self.samplers.get(index)
-    }
-
-    /// Priority position of `id`, if registered.
-    #[deprecated(
-        since = "0.8.0",
-        note = "positional selection is superseded by the cost model's typed \
-                `SamplerSelection`; use `contains()`/`get()` or `ids()` for ordering"
-    )]
-    pub fn position(&self, id: &str) -> Option<usize> {
-        self.samplers.iter().position(|s| s.id() == id)
-    }
-
-    /// The highest-priority strategy of the given granularity.
-    #[deprecated(
-        since = "0.8.0",
-        note = "positional selection is superseded by the cost model's typed \
-                `SamplerSelection`; filter `iter()` by `granularity()` instead"
-    )]
-    pub fn first_of(&self, granularity: Granularity) -> Option<&Arc<dyn Sampler>> {
-        self.samplers
-            .iter()
-            .find(|s| s.granularity() == granularity)
-    }
-
     /// Number of registered strategies.
     pub fn len(&self) -> usize {
         self.samplers.len()
@@ -657,19 +625,6 @@ mod tests {
         r.register(Arc::new(ErvsSampler::with_mode(ErvsMode::Exp)));
         assert_eq!(r.len(), 2);
         assert_eq!(r.ids(), vec![ids::ERVS, ids::ERJS], "priority kept");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_positional_shims_still_work() {
-        // One-release compatibility contract for the pre-`SamplerSelection`
-        // surface: `at`/`position`/`first_of` keep answering while callers
-        // migrate to the typed selection API.
-        let r = all_builtins();
-        assert_eq!(r.position(ids::ERVS), Some(0));
-        assert_eq!(r.at(1).unwrap().id(), ids::ERJS);
-        assert_eq!(r.first_of(Granularity::Warp).unwrap().id(), ids::ERVS);
-        assert_eq!(r.first_of(Granularity::Lane).unwrap().id(), ids::ERJS);
     }
 
     #[test]

@@ -35,6 +35,19 @@
 //! which chunk launched them, and the migration census below accounts
 //! steps to the owner of the walker's current node.)
 //!
+//! ## Out-of-core replay
+//!
+//! Under [`Topology::OutOfCore`] a job launches once (one device) with
+//! paths force-recorded and the OOM bar lowered to the resident-cache
+//! budget (plus one oversized block) — the graph itself never has to fit.
+//! The merge then replays the recorded paths through the epoch's cached
+//! [`BlockRuntime`] via [`flexi_core::block_schedule`]: walkers pool per
+//! block, the most-pending block activates next, every step is verified
+//! against spilled block data, and the simulated NVMe time of the cache
+//! misses lands on the job's clock. The replay runs on the merging
+//! thread, sequentially in submission order, so cache state — and with
+//! it every counter — is deterministic at any worker count.
+//!
 //! Per-job shard reports merge shard-major: steps, device activity and
 //! sampler tallies sum; the ensemble clock is the slowest shard plus — for
 //! partitioned topologies — the serialising migration traffic on the
@@ -48,8 +61,8 @@
 
 use crate::session::Ticket;
 use flexi_core::{
-    migration_census, EngineError, FlexiWalkerEngine, PartitionPlan, PreparedState, RunReport,
-    ShardStats, Topology, WalkRequest, WorkerPool,
+    block_schedule, migration_census, BlockRuntime, DiskSpec, EngineError, FlexiWalkerEngine,
+    PartitionPlan, PreparedState, RunReport, ShardStats, Topology, WalkRequest, WorkerPool,
 };
 use flexi_graph::GraphSnapshot;
 use std::collections::HashMap;
@@ -78,6 +91,9 @@ pub struct PreparedJob {
     /// The epoch's partition plan, attached by the prepare pass when the
     /// session topology partitions the graph (`None` otherwise).
     pub plan: Option<Arc<PartitionPlan>>,
+    /// The epoch's block runtime (spill + resident cache), attached by
+    /// the prepare pass under [`Topology::OutOfCore`] (`None` otherwise).
+    pub blocks: Option<Arc<BlockRuntime>>,
     /// Whether the aggregates came from the session cache (Table-3
     /// preprocess overhead reports as zero).
     pub preprocess_hit: bool,
@@ -115,6 +131,15 @@ pub struct DrainRun {
     pub migrations: u64,
     /// Simulated link seconds those migrations cost, summed likewise.
     pub link_seconds: f64,
+    /// Blocks read from the spill file, summed over the drain's
+    /// out-of-core jobs.
+    pub block_loads: u64,
+    /// Block activations served from the resident cache, summed likewise.
+    pub block_hits: u64,
+    /// Blocks evicted from the resident cache, summed likewise.
+    pub block_evictions: u64,
+    /// Simulated disk seconds the block loads cost, summed likewise.
+    pub io_seconds: f64,
 }
 
 /// One schedulable launch: a job index, the shard it stands for, and the
@@ -180,6 +205,10 @@ pub fn execute(
     let shard_launches = tasks.len() as u64;
     let mut migrations = 0u64;
     let mut link_seconds = 0.0f64;
+    let mut block_loads = 0u64;
+    let mut block_hits = 0u64;
+    let mut block_evictions = 0u64;
+    let mut io_seconds = 0.0f64;
     let results = jobs
         .iter()
         .zip(shard_reports)
@@ -189,6 +218,12 @@ pub fn execute(
                 if let Some(shards) = &report.shards {
                     migrations += shards.migrations;
                     link_seconds += shards.link_seconds;
+                }
+                if let Some(blocks) = &report.blocks {
+                    block_loads += blocks.loads;
+                    block_hits += blocks.hits;
+                    block_evictions += blocks.evictions;
+                    io_seconds += blocks.io_seconds;
                 }
             }
             (job.ticket, merged)
@@ -201,6 +236,10 @@ pub fn execute(
         shard_launches,
         migrations,
         link_seconds,
+        block_loads,
+        block_hits,
+        block_evictions,
+        io_seconds,
     }
 }
 
@@ -220,6 +259,30 @@ fn expand_job(job: &PreparedJob, index: usize, topology: Topology, tasks: &mut V
             shard: 0,
             req: None,
             resident: None,
+        });
+        return;
+    }
+    if let Topology::OutOfCore {
+        resident_budget, ..
+    } = topology
+    {
+        // A single launch over the whole query set: out-of-core spans one
+        // device. Paths are recorded for the block replay (the merge
+        // strips them when the caller did not ask), and the device need
+        // only hold the resident cache — plus one oversized block, when a
+        // single node's adjacency overflows the block target — never the
+        // whole graph. That allowance is what serves graphs bigger than
+        // memory.
+        let mut req = job.req.clone();
+        req.config.record_paths = true;
+        let resident = job.blocks.as_ref().map_or(resident_budget, |rt| {
+            rt.resident_budget().max(rt.max_block_bytes())
+        });
+        tasks.push(ShardTask {
+            job: index,
+            shard: 0,
+            req: Some(req),
+            resident: Some(resident),
         });
         return;
     }
@@ -316,6 +379,45 @@ fn merge_job(
             .next()
             .expect("every job launches at least once");
         return outcome;
+    }
+    if let Topology::OutOfCore {
+        resident_budget,
+        block_bytes,
+    } = topology
+    {
+        let (_, outcome) = reports
+            .into_iter()
+            .next()
+            .expect("every job launches at least once");
+        let mut report = outcome?;
+        // The walk output came from the unified kernel — bit-identical to
+        // `Single` by construction. The block scheduler replays it
+        // against real spilled data (verifying every step) to charge the
+        // run its out-of-core cost: loads, evictions and disk time.
+        let paths = report
+            .paths
+            .take()
+            .expect("out-of-core launches record paths");
+        let rt = match &job.blocks {
+            Some(rt) => Arc::clone(rt),
+            // The session prepare pass always attaches a runtime; build
+            // one defensively for direct executor callers.
+            None => Arc::new(
+                BlockRuntime::build(&job.snap.graph, block_bytes, resident_budget)
+                    .map_err(|e| EngineError::Io(e.to_string()))?,
+            ),
+        };
+        let stats = block_schedule(&paths, &rt, &DiskSpec::nvme())?;
+        report.sim_seconds += stats.io_seconds;
+        report.saturated_seconds += stats.io_seconds;
+        if report.sim_seconds > job.req.config.time_budget {
+            return Err(EngineError::OutOfTime {
+                budget_secs: job.req.config.time_budget,
+            });
+        }
+        report.paths = job.req.config.record_paths.then_some(paths);
+        report.blocks = Some(stats);
+        return Ok(report);
     }
     let devices = topology.devices();
     let mut shard_ok: Vec<(usize, RunReport)> = Vec::with_capacity(reports.len());

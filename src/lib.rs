@@ -114,18 +114,18 @@ pub mod prelude {
     };
     pub use crate::session::{FlexiWalker, Session, SessionBuilder, SessionStats, Ticket};
     pub use flexi_core::{
-        AdmissionPolicy, AdmissionStats, ChurnProfile, CompiledWalker, DynamicWalk, EngineError,
-        FlexiWalkerEngine, IntoQueries, IntoWalker, LatencyHistogram, LinkSpec, MetaPath, Node2Vec,
-        PricedCandidate, RunReport, SamplerSelection, SamplerTally, SecondOrderPr,
-        SelectionStrategy, ShardStats, TemporalExp, TemporalLinear, TemporalUniform, Topology,
-        UniformWalk, WalkConfig, WalkEngine, WalkRequest, WalkState, WalkerDef, WalkerHandle,
-        WalkerRegistry, WalkerSource,
+        AdmissionPolicy, AdmissionStats, BlockStats, ChurnProfile, CompiledWalker, DiskSpec,
+        DynamicWalk, EngineError, FlexiWalkerEngine, IntoQueries, IntoWalker, LatencyHistogram,
+        LinkSpec, MetaPath, Node2Vec, PricedCandidate, RunReport, SamplerSelection, SamplerTally,
+        SecondOrderPr, SelectionStrategy, ShardStats, TemporalExp, TemporalLinear, TemporalUniform,
+        Topology, UniformWalk, WalkConfig, WalkEngine, WalkRequest, WalkState, WalkerDef,
+        WalkerHandle, WalkerRegistry, WalkerSource,
     };
     pub use flexi_gpu_sim::DeviceSpec;
     pub use flexi_graph::{
-        gen, proxy, shard_of, Csr, CsrBuilder, GraphError, GraphHandle, GraphSnapshot, GraphUpdate,
-        GraphVersion, NodeId, PartitionPlan, PlanFetch, TimeMask, TimeWindow, UpdateOutcome,
-        WeightModel,
+        block_of, gen, proxy, shard_of, BlockRuntime, CacheCounters, Csr, CsrBuilder, GraphError,
+        GraphHandle, GraphSnapshot, GraphUpdate, GraphVersion, NodeId, PartitionPlan, PlanFetch,
+        ResidentCache, TimeMask, TimeWindow, UpdateOutcome, WeightModel,
     };
     pub use flexi_rng::{Philox4x32, RandomSource};
     pub use flexi_sampling::{

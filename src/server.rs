@@ -260,6 +260,23 @@ pub struct ServerStats {
     pub updates_applied: u64,
 }
 
+impl ServerStats {
+    /// Blocks read from the spill file by out-of-core drains.
+    pub fn block_loads(&self) -> u64 {
+        self.session.block_loads
+    }
+
+    /// Out-of-core block activations served from the resident cache.
+    pub fn block_hits(&self) -> u64 {
+        self.session.block_hits
+    }
+
+    /// Blocks evicted from the resident cache to honour its budget.
+    pub fn block_evictions(&self) -> u64 {
+        self.session.block_evictions
+    }
+}
+
 impl std::fmt::Display for ServerStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
@@ -282,6 +299,14 @@ impl std::fmt::Display for ServerStats {
             self.session.sampler_state_builds,
             self.session.sampler_state_hits,
             self.session.sampler_state_patches,
+        )?;
+        writeln!(
+            f,
+            "blocks: {} spilled / {} loaded / {} hit / {} evicted",
+            self.session.block_spills,
+            self.session.block_loads,
+            self.session.block_hits,
+            self.session.block_evictions,
         )?;
         write!(
             f,

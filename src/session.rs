@@ -207,6 +207,9 @@ impl SessionBuilder {
     /// - [`Topology::Single`] (default): one device, whole graph.
     /// - [`Topology::MultiDevice`]: the graph is duplicated on every
     ///   device and each request's queries split across them (§6.6).
+    /// - [`Topology::OutOfCore`]: the graph is spilled to disk-resident
+    ///   blocks and only a bounded byte budget stays memory-resident —
+    ///   serves graphs bigger than host memory.
     /// - [`Topology::Partitioned`]: the graph is hash-partitioned over
     ///   the devices — each holds its shard plus the row pointers, so
     ///   graphs that overflow one device still serve — and walkers
@@ -392,6 +395,19 @@ pub struct SessionStats {
     pub migrations: u64,
     /// Simulated seconds those migrations spent on the link, cumulative.
     pub link_seconds: f64,
+    /// Blocks written to the out-of-core spill file, cumulative: the
+    /// initial spill when an epoch's block runtime is first built, plus
+    /// every dirty block re-spilled by [`Session::apply_updates`]
+    /// migrating cached runtimes across epochs.
+    pub block_spills: u64,
+    /// Blocks read back from the spill file by out-of-core drains
+    /// (resident-cache misses).
+    pub block_loads: u64,
+    /// Out-of-core block activations served from the resident cache.
+    pub block_hits: u64,
+    /// Blocks evicted from the resident cache to stay under its byte
+    /// budget.
+    pub block_evictions: u64,
     /// Partition plans computed from scratch — once per
     /// `(graph, shard count)` pair per *structural history*, not per
     /// drain.
@@ -464,6 +480,11 @@ impl std::fmt::Display for SessionStats {
             f,
             "sampler state: {} built / {} hit / {} patched",
             self.sampler_state_builds, self.sampler_state_hits, self.sampler_state_patches,
+        )?;
+        writeln!(
+            f,
+            "blocks: {} spilled / {} loaded / {} hit / {} evicted",
+            self.block_spills, self.block_loads, self.block_hits, self.block_evictions,
         )?;
         write!(
             f,
@@ -658,6 +679,10 @@ impl Session {
         // testable: refreshes track structural epochs, never drains.
         self.stats.plan_refreshes += outcome.plans_migrated as u64;
         self.stats.masks_migrated += outcome.masks_migrated as u64;
+        // Cached block runtimes re-spill their dirty blocks on every
+        // non-empty batch — the spill encodes weights, so weight-only
+        // batches migrate it too.
+        self.stats.block_spills += outcome.blocks_migrated as u64;
         // Sampler-state artifacts migrate on *every* non-empty batch —
         // weight-only included, since weights are exactly what the tables
         // encode — by patching only the dirty frontier.
@@ -799,6 +824,9 @@ impl Session {
         self.stats.shard_launches += run.shard_launches;
         self.stats.migrations += run.migrations;
         self.stats.link_seconds += run.link_seconds;
+        self.stats.block_loads += run.block_loads;
+        self.stats.block_hits += run.block_hits;
+        self.stats.block_evictions += run.block_evictions;
         if self.stats.worker_requests.len() < run.per_worker.len() {
             self.stats.worker_requests.resize(run.per_worker.len(), 0);
         }
@@ -891,6 +919,40 @@ impl Session {
             }
             plan
         });
+        // Out-of-core topologies resolve the epoch's block runtime (spill
+        // + resident cache) the same way: the spill runs once per (graph,
+        // geometry) per structural history — apply_updates re-spills only
+        // dirty blocks — and the cache's residency survives across drains.
+        let blocks = if let Topology::OutOfCore {
+            resident_budget,
+            block_bytes,
+        } = self.topology
+        {
+            match req.graph.block_runtime(&snap, block_bytes, resident_budget) {
+                Ok((rt, fetch)) => {
+                    if fetch == PlanFetch::Built {
+                        self.stats.block_spills += rt.blocks() as u64;
+                    }
+                    Some(rt)
+                }
+                Err(e) => {
+                    // Spilling failed (disk full, unwritable tmp): the job
+                    // reports the typed error instead of running.
+                    return PreparedJob {
+                        ticket,
+                        req,
+                        snap,
+                        prepared: Err(EngineError::Io(e.to_string())),
+                        plan,
+                        blocks: None,
+                        preprocess_hit: true,
+                        profile_hit: true,
+                    };
+                }
+            }
+        } else {
+            None
+        };
         // Resolve the walker through the registry + lowering cache; a
         // failure (unknown name, compile error) becomes the job's typed
         // drain result instead of a panic.
@@ -903,6 +965,7 @@ impl Session {
                     snap,
                     prepared: Err(e),
                     plan,
+                    blocks,
                     preprocess_hit: true,
                     profile_hit: true,
                 }
@@ -957,6 +1020,7 @@ impl Session {
                 profile,
             }),
             plan,
+            blocks,
             preprocess_hit,
             profile_hit,
         }

@@ -7,7 +7,7 @@
 //! changes where work executes and what the simulated clock, memory
 //! model and migration census read — never what the walks do. A seeded
 //! sweep pins this across
-//! `topology ∈ {single, multi(2), partitioned(2), partitioned(4)}` ×
+//! `topology ∈ {single, multi(2), partitioned(2, 4), outofcore}` ×
 //! `workers ∈ {1, 4}`, for all four built-in walkers plus a
 //! DSL-registered one, over a session stream whose epochs split
 //! mid-stream through `apply_updates`.
@@ -18,12 +18,15 @@ use flexiwalker::prelude::*;
 
 const WORKERS: [usize; 2] = [1, 4];
 
-fn topologies() -> [Topology; 4] {
+fn topologies() -> [Topology; 5] {
     [
         Topology::Single,
         Topology::multi(2),
         Topology::partitioned(2),
         Topology::partitioned(4),
+        // Budget far below the spill size, so the sweep also pins the
+        // out-of-core replay's determinism under real eviction pressure.
+        Topology::out_of_core(8192, 4096),
     ]
 }
 
@@ -252,6 +255,16 @@ fn walk_output_is_bit_identical_across_topologies_and_workers() {
                         assert_eq!(stats.plan_builds, 2, "one plan per graph");
                         assert_eq!(stats.plan_refreshes, 1, "one structural epoch on A");
                         assert!(stats.plan_hits >= 8, "stats: {stats:?}");
+                    }
+                    Topology::OutOfCore { .. } => {
+                        assert_eq!(stats.sharded_drains, 2);
+                        assert_eq!(stats.migrations, 0, "blocks replay on one device");
+                        assert!(stats.block_spills > 0, "stats: {stats:?}");
+                        assert!(stats.block_loads > 0, "stats: {stats:?}");
+                        assert!(
+                            stats.block_evictions > 0,
+                            "budget below spill size must evict: {stats:?}"
+                        );
                     }
                 }
             }
