@@ -3,7 +3,8 @@
 use crate::json::Json;
 use flexi_core::{
     block_schedule, BlockStats, DiskSpec, EngineError, FlexiWalkerEngine, IntoWalker,
-    LatencyHistogram, Node2Vec, RunReport, SamplerTally, WalkConfig, WalkEngine, WalkRequest,
+    LatencyHistogram, Node2Vec, RunReport, SamplerTally, StageTiming, WalkConfig, WalkEngine,
+    WalkRequest,
 };
 use flexi_gpu_sim::DeviceSpec;
 use flexi_graph::{datasets, props, Csr, GraphHandle, NodeId, WeightModel};
@@ -351,6 +352,14 @@ pub struct RunSummary {
     /// `block_loads`/`block_hits`/`block_evictions` scalars the bench
     /// trajectory tracks alongside throughput.
     pub blocks: BlockStats,
+    /// Host wall seconds per probe stage — prepare (dataset + engine
+    /// setup), launch (the chunked walk loop) and replay (the block
+    /// probe) — in the same [`StageTiming`] schema the session drains
+    /// report, so every `repro --json` artifact carries the per-stage
+    /// block. The probe is single-threaded, so its merge tail equals its
+    /// replay time; the pipeline-overlap evidence comes from the
+    /// session-driven drain benches.
+    pub stages: StageTiming,
 }
 
 /// Request chunks the probe splits its query set into — each chunk's wall
@@ -366,6 +375,7 @@ impl RunSummary {
     /// while each chunk's wall time becomes one sample of the latency
     /// distribution.
     pub fn probe(p: &Profile) -> Self {
+        let probe_start = Instant::now();
         let name = "YT";
         let g = dataset(p, name, WeightSetup::Uniform, false);
         let qs = queries(&g, p);
@@ -374,6 +384,7 @@ impl RunSummary {
         let engine = FlexiWalkerEngine::new(device_for(name, &g));
         let g = GraphHandle::new(g);
         let walker = Node2Vec::paper(true);
+        let prepare_seconds = probe_start.elapsed().as_secs_f64();
         let chunk_len = qs.len().div_ceil(PROBE_CHUNKS).max(1);
         let mut latency = LatencyHistogram::new();
         let mut kernel_seconds = 0.0;
@@ -405,10 +416,22 @@ impl RunSummary {
         let paths = report.paths.expect("block probe records paths");
         let csr = g.graph();
         let budget = (csr.memory_bytes() / 4).max(1);
+        let replay_start = Instant::now();
         let rt = flexi_graph::BlockRuntime::build(&csr, (budget / 4).max(1), budget)
             .expect("block probe spill succeeds");
         let blocks =
             block_schedule(&paths, &rt, &DiskSpec::nvme()).expect("block probe replay succeeds");
+        let replay_seconds = replay_start.elapsed().as_secs_f64();
+        let stages = StageTiming {
+            prepare_seconds,
+            launch_seconds: wall_seconds,
+            merge_seconds: 0.0,
+            replay_seconds,
+            // Single-threaded probe: the replay runs after the last
+            // launch, so none of it is hidden.
+            merge_tail_seconds: replay_seconds,
+            wall_seconds: probe_start.elapsed().as_secs_f64(),
+        };
         Self {
             dataset: name,
             queries: qs.len(),
@@ -419,6 +442,7 @@ impl RunSummary {
             sampler_steps: tally.iter().map(|(id, n)| (id.to_string(), n)).collect(),
             latency,
             blocks,
+            stages,
         }
     }
 
@@ -440,6 +464,7 @@ impl RunSummary {
                 ),
             ),
             ("latency", crate::json::latency_obj(&self.latency)),
+            ("stages", crate::json::stages_obj(&self.stages)),
             (
                 "blocks",
                 Json::obj([
@@ -564,6 +589,15 @@ mod tests {
             crate::json::extract_number(&doc, "count"),
             Some(s.latency.count() as f64)
         );
+        // The per-stage block rides every artifact: the probe's launch
+        // loop dominates its stage wall time, and the single-threaded
+        // replay is entirely unhidden tail.
+        assert!(crate::json::extract_number(&doc, "launch_seconds").unwrap() > 0.0);
+        assert!(
+            crate::json::extract_number(&doc, "stage_wall_seconds").unwrap()
+                >= crate::json::extract_number(&doc, "launch_seconds").unwrap()
+        );
+        assert_eq!(s.stages.merge_tail_seconds, s.stages.replay_seconds);
     }
 
     #[test]

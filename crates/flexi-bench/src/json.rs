@@ -9,7 +9,7 @@
 //! renderer, and [`extract_number`] for reading one numeric field back out
 //! of a baseline file.
 
-use flexi_core::LatencyHistogram;
+use flexi_core::{LatencyHistogram, StageTiming};
 use std::fmt::Write as _;
 
 /// A JSON value tree. Object member order is preserved as inserted, so
@@ -163,6 +163,22 @@ pub fn latency_obj(hist: &LatencyHistogram) -> Json {
     ])
 }
 
+/// The canonical per-stage timing block — prepare/launch/merge/replay
+/// busy seconds, the unhidden merge tail, the execute-phase wall time and
+/// the derived overlap fraction — shared by every `repro --json` artifact
+/// and the drain benches, so the pipeline gate can read one schema.
+pub fn stages_obj(stages: &StageTiming) -> Json {
+    Json::obj([
+        ("prepare_seconds", Json::from(stages.prepare_seconds)),
+        ("launch_seconds", Json::from(stages.launch_seconds)),
+        ("merge_seconds", Json::from(stages.merge_seconds)),
+        ("replay_seconds", Json::from(stages.replay_seconds)),
+        ("merge_tail_seconds", Json::from(stages.merge_tail_seconds)),
+        ("stage_wall_seconds", Json::from(stages.wall_seconds)),
+        ("overlap_fraction", Json::from(stages.overlap_fraction())),
+    ])
+}
+
 /// Extracts the first number stored under `"key":` in a JSON document.
 ///
 /// This is deliberately not a parser: the bench gate only needs to read a
@@ -224,6 +240,26 @@ mod tests {
         let p99 = extract_number(&doc, "p99_ms").unwrap();
         assert!(p50 > 0.0 && p99 >= p50);
         assert!(extract_number(&doc, "max_ms").unwrap() >= 120.0);
+    }
+
+    #[test]
+    fn stages_obj_emits_the_shared_schema() {
+        let stages = StageTiming {
+            prepare_seconds: 0.5,
+            launch_seconds: 2.0,
+            merge_seconds: 0.75,
+            replay_seconds: 0.25,
+            merge_tail_seconds: 0.25,
+            wall_seconds: 2.25,
+        };
+        let doc = stages_obj(&stages).render();
+        assert_eq!(extract_number(&doc, "prepare_seconds"), Some(0.5));
+        assert_eq!(extract_number(&doc, "launch_seconds"), Some(2.0));
+        assert_eq!(extract_number(&doc, "merge_seconds"), Some(0.75));
+        assert_eq!(extract_number(&doc, "replay_seconds"), Some(0.25));
+        assert_eq!(extract_number(&doc, "merge_tail_seconds"), Some(0.25));
+        assert_eq!(extract_number(&doc, "stage_wall_seconds"), Some(2.25));
+        assert_eq!(extract_number(&doc, "overlap_fraction"), Some(0.75));
     }
 
     #[test]

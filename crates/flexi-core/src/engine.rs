@@ -967,14 +967,57 @@ impl WalkEngine for FlexiWalkerEngine {
     }
 }
 
-#[derive(Debug)]
-struct Lane {
-    query: usize,
-    state: WalkState,
-    path: Vec<NodeId>,
-    steps_taken: u64,
-    /// This query's private RNG stream (placement-independent randomness).
-    rng: Philox4x32,
+/// Frontier-compacted, structure-of-arrays walker state for one warp's
+/// resident lanes (§5.2).
+///
+/// Each per-walker field lives in its own `WARP_SIZE` array so the
+/// per-step scans (retire, select, advance) walk dense homogeneous
+/// memory instead of hopping across `Option<Lane>` records, and the hot
+/// row invariants of each lane's current node — adjacency row start and
+/// length — are hoisted here once per step and reused by selection, the
+/// sampling views, the eRJS bound and the advance. The refill scan still
+/// touches every slot (each empty slot charges its queue-pop atomic,
+/// exactly like the record-per-lane kernel did), so the simulated cost
+/// sequence is bit-identical; only the host-side layout changed.
+struct WarpLanes {
+    query: [usize; WARP_SIZE],
+    state: [WalkState; WARP_SIZE],
+    steps_taken: [u64; WARP_SIZE],
+    /// Each query's private RNG stream (placement-independent randomness).
+    rng: [Philox4x32; WARP_SIZE],
+    path: [Vec<NodeId>; WARP_SIZE],
+    occupied: [bool; WARP_SIZE],
+    /// Hoisted per-(lane, step) invariant: the adjacency row start of the
+    /// lane's current node.
+    row_start: [EdgeId; WARP_SIZE],
+    /// Hoisted per-(lane, step) invariant: that row's length (the degree).
+    row_len: [usize; WARP_SIZE],
+}
+
+impl WarpLanes {
+    fn new() -> Self {
+        WarpLanes {
+            query: [0; WARP_SIZE],
+            state: [WalkState::start(0); WARP_SIZE],
+            steps_taken: [0; WARP_SIZE],
+            rng: std::array::from_fn(|_| Philox4x32::new(0, 0)),
+            path: std::array::from_fn(|_| Vec::new()),
+            occupied: [false; WARP_SIZE],
+            row_start: [0; WARP_SIZE],
+            row_len: [0; WARP_SIZE],
+        }
+    }
+
+    /// Retires lane `l`: its walk output moves to `out` and the slot
+    /// frees for the next refill.
+    fn finish(&mut self, l: usize, out: &mut WarpOut) {
+        self.occupied[l] = false;
+        out.finished.push((
+            self.query[l],
+            std::mem::take(&mut self.path[l]),
+            self.steps_taken[l],
+        ));
+    }
 }
 
 /// Per-warp kernel output.
@@ -1072,18 +1115,6 @@ struct WarpKernelCfg<'a> {
     start_time: u64,
 }
 
-impl WarpKernelCfg<'_> {
-    /// The effective weight of `edge` for `state`: the walker's dynamic
-    /// weight, unless the time mask rules the edge out.
-    #[inline]
-    fn masked_weight(&self, g: &Csr, w: &dyn DynamicWalk, state: &WalkState, edge: EdgeId) -> f32 {
-        match self.mask {
-            Some(m) if !m.admits(edge) => 0.0,
-            _ => w.weight(g, state, edge),
-        }
-    }
-}
-
 /// The §5.2 concurrent kernel body for one warp.
 fn walk_warp(
     ctx: &mut WarpCtx,
@@ -1098,11 +1129,18 @@ fn walk_warp(
         tallies: vec![0; kc.candidates.len()],
     };
     let bytes_per_weight = w.bytes_per_weight(g);
-    let mut lanes: [Option<Lane>; WARP_SIZE] = std::array::from_fn(|_| None);
+    let mut lanes = WarpLanes::new();
+    // The compacted frontier: lanes still walking, ascending. Rebuilt by
+    // each refill, pruned after retire/select, so the per-phase loops
+    // visit only live work instead of scanning all `WARP_SIZE` slots.
+    let mut active: Vec<usize> = Vec::with_capacity(WARP_SIZE);
 
-    // PER_KERNEL bounds are estimated once (§4.2 flag semantics).
-    let per_kernel_bound: Option<f64> = kc.compiled.and_then(|c| {
-        if c.flag == flexi_compiler::BoundGranularity::PerKernel {
+    // PER_KERNEL estimators are state-independent (§4.2 flag semantics):
+    // evaluate the (max, sum) pair once and let every step's cost-model
+    // selection — and the eRJS bound — reuse the registers instead of
+    // re-walking the estimator tree per lane per step.
+    let per_kernel_ests: Option<(Option<f64>, Option<f64>)> = kc.compiled.and_then(|c| {
+        (c.flag == flexi_compiler::BoundGranularity::PerKernel).then(|| {
             let env = RuntimeEnv {
                 graph: g,
                 aggregates: kc.aggregates,
@@ -1110,188 +1148,241 @@ fn walk_warp(
                 state: WalkState::start(0),
             };
             ctx.alu(4);
-            c.max_estimator.eval(&env)
-        } else {
-            None
-        }
+            (c.max_estimator.eval(&env), c.sum_estimator.eval(&env))
+        })
     });
+    let per_kernel_bound: Option<f64> = per_kernel_ests.and_then(|(max, _)| max);
 
     loop {
-        // Refill idle lanes from the global queue (§5.3).
-        let mut any_active = false;
-        for lane_slot in lanes.iter_mut() {
-            if lane_slot.is_none() {
+        // Refill idle lanes from the global queue (§5.3). Every empty
+        // slot pays its pop atomic each round, occupied or not — the
+        // frontier compaction below must not change the simulated cost.
+        active.clear();
+        for l in 0..WARP_SIZE {
+            if !lanes.occupied[l] {
                 ctx.atomic();
                 if let Some(q) = queue.pop() {
                     let start = queries[q];
-                    let mut path = Vec::new();
+                    lanes.occupied[l] = true;
+                    lanes.query[l] = q;
+                    lanes.state[l] = WalkState::start_at(start, kc.start_time);
+                    lanes.steps_taken[l] = 0;
+                    lanes.path[l].clear();
                     if kc.record_paths {
-                        path.push(start);
+                        lanes.path[l].push(start);
                     }
-                    *lane_slot = Some(Lane {
-                        query: q,
-                        state: WalkState::start_at(start, kc.start_time),
-                        path,
-                        steps_taken: 0,
-                        rng: Philox4x32::new(
-                            kc.seed ^ QUERY_STREAM_SALT,
-                            kc.query_offset + q as u64,
-                        ),
-                    });
+                    lanes.rng[l] =
+                        Philox4x32::new(kc.seed ^ QUERY_STREAM_SALT, kc.query_offset + q as u64);
                 }
             }
-            any_active |= lane_slot.is_some();
+            if lanes.occupied[l] {
+                active.push(l);
+            }
         }
-        if !any_active {
+        if active.is_empty() {
             break;
         }
 
-        // Retire finished walks and pick a sampler for the rest.
+        // Retire finished walks, hoist each survivor's adjacency row and
+        // pick a sampler for the rest.
         let mut choice: [Option<usize>; WARP_SIZE] = [None; WARP_SIZE];
-        for (l, lane_slot) in lanes.iter_mut().enumerate() {
-            let Some(lane) = lane_slot else { continue };
-            let deg = g.degree(lane.state.cur);
-            if lane.state.step >= kc.steps || deg == 0 {
-                let lane = lane_slot.take().expect("checked Some");
-                out.finished.push((lane.query, lane.path, lane.steps_taken));
+        for &l in &active {
+            let range = g.edge_range(lanes.state[l].cur);
+            let deg = range.len();
+            if lanes.state[l].step >= kc.steps || deg == 0 {
+                lanes.finish(l, &mut out);
                 continue;
             }
-            let state = lane.state;
-            ctx.bind_stream(lane.rng.clone());
-            choice[l] = select_sampler(ctx, l, g, w, kc, &state);
-            lane.rng = ctx.unbind_stream();
+            lanes.row_start[l] = range.start;
+            lanes.row_len[l] = deg;
+            let state = lanes.state[l];
+            ctx.bind_stream(lanes.rng[l].clone());
+            choice[l] = select_sampler(ctx, l, deg, g, w, kc, per_kernel_ests, &state);
+            lanes.rng[l] = ctx.unbind_stream();
             if choice[l].is_none() {
                 // No runnable strategy at this node (e.g. every candidate
                 // unpriceable): the walk must terminate, not spin — a lane
                 // left active but never advanced would loop forever.
-                let lane = lane_slot.take().expect("checked Some");
-                out.finished.push((lane.query, lane.path, lane.steps_taken));
+                lanes.finish(l, &mut out);
             }
         }
+        // Compact: only lanes with a chosen strategy enter the phases.
+        active.retain(|&l| choice[l].is_some());
 
         // Phase 0: lanes whose chosen strategy holds a resident per-node
         // artifact draw from it directly — no weight scan, no bound
         // estimation; the table already encodes the distribution.
-        for l in 0..WARP_SIZE {
+        for &l in &active {
             let Some(idx) = choice[l] else { continue };
             let cand = &kc.candidates[idx];
-            let state = lanes[l].as_ref().expect("choice implies lane").state;
-            if cand.node_state(state.cur).is_none() {
+            let Some(node_state) = cand.node_state(lanes.state[l].cur) else {
                 continue;
-            }
-            let rng = lanes[l].as_ref().expect("still Some").rng.clone();
-            ctx.bind_stream(rng);
-            let picked = cand
-                .node_state(state.cur)
-                .expect("checked above")
-                .sample_warp(ctx, l);
-            lanes[l].as_mut().expect("still Some").rng = ctx.unbind_stream();
+            };
+            ctx.bind_stream(lanes.rng[l].clone());
+            let picked = node_state.sample_warp(ctx, l);
+            lanes.rng[l] = ctx.unbind_stream();
             out.tallies[idx] += 1;
-            advance_lane(&mut lanes[l], picked, g, kc.record_paths, &mut out);
+            advance_lane(&mut lanes, l, picked, g, kc.record_paths, &mut out);
             choice[l] = None;
         }
 
         // Phase 1: thread-granular lanes run their trials independently.
-        for l in 0..WARP_SIZE {
+        for &l in &active {
             let Some(idx) = choice[l] else { continue };
             let sampler = kc.candidates[idx].sampler.as_ref();
             if sampler.granularity() != Granularity::Lane {
                 continue;
             }
-            let (state, rng) = {
-                let lane = lanes[l].as_ref().expect("choice implies lane");
-                (lane.state, lane.rng.clone())
-            };
+            let state = lanes.state[l];
             let bound = if sampler.needs_bound() {
-                rjs_bound(ctx, g, w, kc, &state, per_kernel_bound)
+                rjs_bound(
+                    ctx,
+                    g,
+                    w,
+                    kc,
+                    &state,
+                    per_kernel_bound,
+                    lanes.row_start[l],
+                    lanes.row_len[l],
+                    bytes_per_weight,
+                )
             } else {
                 None
             };
-            let range = g.edge_range(state.cur);
-            let wf = |i: usize| kc.masked_weight(g, w, &state, range.start + i);
-            let view = NeighborView::new(&wf, range.len(), bytes_per_weight);
-            ctx.bind_stream(rng);
-            let picked = sampler.sample_lane(ctx, l, &view, bound);
-            lanes[l].as_mut().expect("still Some").rng = ctx.unbind_stream();
+            ctx.bind_stream(lanes.rng[l].clone());
+            let picked = with_row_view(
+                g,
+                w,
+                kc.mask,
+                &state,
+                lanes.row_start[l],
+                lanes.row_len[l],
+                bytes_per_weight,
+                |view| sampler.sample_lane(ctx, l, view, bound),
+            );
+            lanes.rng[l] = ctx.unbind_stream();
             out.tallies[idx] += 1;
-            advance_lane(&mut lanes[l], picked, g, kc.record_paths, &mut out);
+            advance_lane(&mut lanes, l, picked, g, kc.record_paths, &mut out);
         }
 
         // Ballot: does any lane need a warp-granular strategy?
         let mut preds = [false; WARP_SIZE];
-        for (l, p) in preds.iter_mut().enumerate() {
-            *p = choice[l]
+        for &l in &active {
+            preds[l] = choice[l]
                 .is_some_and(|idx| kc.candidates[idx].sampler.granularity() == Granularity::Warp);
         }
         let mask = ctx.ballot(&preds);
         if mask != 0 {
             // Phase 2: the whole warp cooperates on each such lane in turn,
             // sharing the query parameters via shuffles (§5.2).
-            #[allow(clippy::needless_range_loop)]
-            for l in 0..WARP_SIZE {
+            for &l in &active {
                 if mask & (1 << l) == 0 {
                     continue;
                 }
                 let idx = choice[l].expect("mask implies choice");
                 let sampler = kc.candidates[idx].sampler.as_ref();
-                let (state, rng) = {
-                    let lane = lanes[l].as_ref().expect("mask implies lane");
-                    (lane.state, lane.rng.clone())
-                };
+                let state = lanes.state[l];
                 let dummy = [0u32; WARP_SIZE];
                 ctx.shfl(&dummy, l); // Broadcast target node.
                 ctx.shfl(&dummy, l); // Broadcast step/query id.
-                let range = g.edge_range(state.cur);
-                let wf = |i: usize| kc.masked_weight(g, w, &state, range.start + i);
-                let view = NeighborView::new(&wf, range.len(), bytes_per_weight);
-                ctx.bind_stream(rng);
-                let picked = sampler.sample_warp(ctx, &view);
-                lanes[l].as_mut().expect("still Some").rng = ctx.unbind_stream();
+                ctx.bind_stream(lanes.rng[l].clone());
+                let picked = with_row_view(
+                    g,
+                    w,
+                    kc.mask,
+                    &state,
+                    lanes.row_start[l],
+                    lanes.row_len[l],
+                    bytes_per_weight,
+                    |view| sampler.sample_warp(ctx, view),
+                );
+                lanes.rng[l] = ctx.unbind_stream();
                 out.tallies[idx] += 1;
-                advance_lane(&mut lanes[l], picked, g, kc.record_paths, &mut out);
+                advance_lane(&mut lanes, l, picked, g, kc.record_paths, &mut out);
             }
         }
     }
     out
 }
 
-/// Applies a sampled neighbor index (or dead end) to a lane.
+/// Builds the lane's [`NeighborView`] with the time-mask branch resolved
+/// **once** — outside the per-edge weight loop — and hands it to `body`.
+///
+/// The masked and unmasked arms use distinct closures, so an unwindowed
+/// walk (the common case) pays no per-edge `Option` check at all; the
+/// windowed arm hoists the mask reference out of the loop. Both produce
+/// exactly the weights [`WarpKernelCfg::masked_weight`] would.
+#[allow(clippy::too_many_arguments)]
+fn with_row_view<R>(
+    g: &Csr,
+    w: &dyn DynamicWalk,
+    mask: Option<&flexi_graph::TimeMask>,
+    state: &WalkState,
+    row_start: EdgeId,
+    row_len: usize,
+    bytes_per_weight: usize,
+    body: impl FnOnce(&NeighborView) -> R,
+) -> R {
+    match mask {
+        Some(m) => {
+            let wf = |i: usize| {
+                let edge = row_start + i;
+                if m.admits(edge) {
+                    w.weight(g, state, edge)
+                } else {
+                    0.0
+                }
+            };
+            body(&NeighborView::new(&wf, row_len, bytes_per_weight))
+        }
+        None => {
+            let wf = |i: usize| w.weight(g, state, row_start + i);
+            body(&NeighborView::new(&wf, row_len, bytes_per_weight))
+        }
+    }
+}
+
+/// Applies a sampled neighbor index (or dead end) to lane `l`, resolving
+/// the edge id from the row start hoisted at the top of the step.
 fn advance_lane(
-    lane_slot: &mut Option<Lane>,
+    lanes: &mut WarpLanes,
+    l: usize,
     picked: Option<usize>,
     g: &Csr,
     record_paths: bool,
     out: &mut WarpOut,
 ) {
-    let lane = lane_slot.as_mut().expect("advance on empty lane");
     match picked {
         Some(i) => {
-            let edge = g.edge_range(lane.state.cur).start + i;
+            let edge = lanes.row_start[l] + i;
             let next = g.edge_target(edge);
             // Traversing an edge advances the walk clock to its timestamp
             // (0 on untimed graphs, leaving the clock untouched).
-            lane.state.advance_at(next, g.time(edge));
-            lane.steps_taken += 1;
+            lanes.state[l].advance_at(next, g.time(edge));
+            lanes.steps_taken[l] += 1;
             if record_paths {
-                lane.path.push(next);
+                lanes.path[l].push(next);
             }
         }
-        None => {
-            // Dead end (all weights zero): the walk terminates here.
-            let lane = lane_slot.take().expect("checked Some");
-            out.finished.push((lane.query, lane.path, lane.steps_taken));
-        }
+        // Dead end (all weights zero): the walk terminates here.
+        None => lanes.finish(l, out),
     }
 }
 
 /// Flexi-Runtime's per-step selection, with cost accounting. Returns the
-/// position of the chosen strategy in the run's candidate set.
+/// position of the chosen strategy in the run's candidate set. `deg` is
+/// the lane's hoisted current-node degree; `per_kernel_ests` is the
+/// kernel-start (max, sum) estimator pair when the bound granularity is
+/// PER_KERNEL (state-independent, so every step reuses it).
+#[allow(clippy::too_many_arguments)]
 fn select_sampler(
     ctx: &mut WarpCtx,
     lane: usize,
+    deg: usize,
     g: &Csr,
     w: &dyn DynamicWalk,
     kc: &WarpKernelCfg<'_>,
+    per_kernel_ests: Option<(Option<f64>, Option<f64>)>,
     state: &WalkState,
 ) -> Option<usize> {
     match kc.strategy {
@@ -1304,7 +1395,7 @@ fn select_sampler(
             Some(ctx.draw_u32(lane) as usize % kc.candidates.len())
         }
         SelectionStrategy::DegreeThreshold(t) => {
-            let wanted = if g.degree(state.cur) >= t {
+            let wanted = if deg >= t {
                 Granularity::Lane
             } else {
                 Granularity::Warp
@@ -1319,8 +1410,13 @@ fn select_sampler(
                 })
         }
         SelectionStrategy::CostModel => {
-            let deg = g.degree(state.cur) as f64;
+            let deg = deg as f64;
             let (max_est, sum_est) = match kc.compiled {
+                // PER_KERNEL estimators were evaluated once at kernel
+                // start — register-resident constants by §4.2, free here.
+                Some(_) if per_kernel_ests.is_some() => {
+                    per_kernel_ests.expect("guarded by is_some")
+                }
                 Some(c) => {
                     let env = RuntimeEnv {
                         graph: g,
@@ -1329,13 +1425,9 @@ fn select_sampler(
                         state: *state,
                     };
                     // PER_STEP estimators read the per-node aggregates
-                    // (h_MAX, h_SUM); PER_KERNEL estimators are
-                    // register-resident constants plus the degree, which
-                    // the lane already holds (§4.2).
-                    if c.flag == flexi_compiler::BoundGranularity::PerStep {
-                        ctx.read_random(4);
-                        ctx.read_random(4);
-                    }
+                    // (h_MAX, h_SUM) at the lane's current node.
+                    ctx.read_random(4);
+                    ctx.read_random(4);
                     (c.max_estimator.eval(&env), c.sum_estimator.eval(&env))
                 }
                 None => (None, None),
@@ -1363,7 +1455,10 @@ fn select_sampler(
     }
 }
 
-/// The eRJS upper bound for the lane's current node (§3.3).
+/// The eRJS upper bound for the lane's current node (§3.3). `row_start`,
+/// `row_len` and `bytes_per_weight` are the kernel's hoisted invariants,
+/// reused by the no-estimator fallback's exact max reduction.
+#[allow(clippy::too_many_arguments)]
 fn rjs_bound(
     ctx: &mut WarpCtx,
     g: &Csr,
@@ -1371,6 +1466,9 @@ fn rjs_bound(
     kc: &WarpKernelCfg<'_>,
     state: &WalkState,
     per_kernel_bound: Option<f64>,
+    row_start: EdgeId,
+    row_len: usize,
+    bytes_per_weight: usize,
 ) -> Option<f32> {
     // Float-safety headroom: the estimator math is f64 while kernel weights
     // are f32; a hair of slack keeps "bound >= max" airtight.
@@ -1398,10 +1496,16 @@ fn rjs_bound(
     // No estimator: pay the exact max reduction (NextDoor's cost). Masked
     // edges weigh 0 in the kernel, so the reduction can mask them too and
     // stay a tight, sound bound.
-    let range = g.edge_range(state.cur);
-    let wf = |i: usize| kc.masked_weight(g, w, state, range.start + i);
-    let view = NeighborView::new(&wf, range.len(), w.bytes_per_weight(g));
-    let m = warp_max_reduce(ctx, &view);
+    let m = with_row_view(
+        g,
+        w,
+        kc.mask,
+        state,
+        row_start,
+        row_len,
+        bytes_per_weight,
+        |view| warp_max_reduce(ctx, view),
+    );
     (m > 0.0).then_some(m)
 }
 

@@ -35,6 +35,7 @@ pub mod profile;
 pub mod queue;
 pub mod runtime;
 pub mod service;
+pub mod stage;
 pub mod topology;
 pub mod walker;
 pub mod workload;
@@ -69,6 +70,7 @@ pub use runtime::{
     ChurnProfile, CostModel, PricedCandidate, RuntimeEnv, SamplerSelection, SelectionStrategy,
 };
 pub use service::{Admission, AdmissionPolicy, AdmissionQueue, AdmissionStats, LatencyHistogram};
+pub use stage::StageTiming;
 // Re-export the sampling seam so engine users can register strategies
 // without naming `flexi-sampling` directly.
 pub use flexi_sampling::{

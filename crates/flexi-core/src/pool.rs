@@ -16,6 +16,8 @@
 //! dependency — `std::thread::scope` plus one atomic.
 
 use crate::queue::QueryQueue;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Outcome of one [`WorkerPool::run_indexed`] call.
 #[derive(Debug)]
@@ -120,6 +122,115 @@ impl WorkerPool {
             per_worker,
         }
     }
+
+    /// [`WorkerPool::run_indexed`] with *pipelined job completion*: items
+    /// belong to jobs (`job_of(item_index) -> job id` in `0..jobs`), and
+    /// the worker that finishes a job's **last** item immediately calls
+    /// `complete(job, results)` — on the worker thread, while other
+    /// workers are still executing later items — instead of every
+    /// completion waiting for the full-list barrier.
+    ///
+    /// `complete` receives the job's `(item index, result)` pairs in
+    /// ascending item order, exactly once per non-empty job; jobs with no
+    /// items complete first, on the calling thread, in job-id order.
+    /// Which worker (and when) a job completes is scheduling-dependent, so
+    /// `complete` must be a pure function of its inputs — or do its own
+    /// ordering, as the drain executor's out-of-core replay funnel does —
+    /// for the overall run to stay deterministic. Item results are passed
+    /// to `complete` rather than returned; the call returns only the
+    /// per-worker item counts.
+    ///
+    /// With one worker — or one item — everything runs inline on the
+    /// calling thread in item order, completions interleaved at each
+    /// job's last item: the sequential path pipelined results must match.
+    pub fn run_pipelined<T, R, F, C>(
+        &self,
+        items: &[T],
+        chunk: usize,
+        job_of: impl Fn(usize) -> usize + Sync,
+        jobs: usize,
+        f: F,
+        complete: C,
+    ) -> Vec<u64>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        C: Fn(usize, Vec<(usize, R)>) + Sync,
+    {
+        // Per-job membership, resolved once: ascending item order within
+        // each job falls out of the ascending scan.
+        let mut job_items: Vec<Vec<usize>> = (0..jobs).map(|_| Vec::new()).collect();
+        for i in 0..items.len() {
+            let j = job_of(i);
+            assert!(j < jobs, "job_of({i}) = {j} out of 0..{jobs}");
+            job_items[j].push(i);
+        }
+        for (j, members) in job_items.iter().enumerate() {
+            if members.is_empty() {
+                complete(j, Vec::new());
+            }
+        }
+        let remaining: Vec<AtomicUsize> = job_items
+            .iter()
+            .map(|m| AtomicUsize::new(m.len()))
+            .collect();
+        let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+        // Runs on whichever thread finished item `i`: park the result,
+        // and if it was the job's last outstanding item, gather and
+        // complete. The Release/Acquire pair on `remaining` makes every
+        // sibling's parked result visible to the completing worker.
+        let finish_item = |i: usize, r: R| {
+            let j = job_of(i);
+            *slots[i].lock().expect("result slot lock") = Some(r);
+            if remaining[j].fetch_sub(1, Ordering::AcqRel) == 1 {
+                let gathered: Vec<(usize, R)> = job_items[j]
+                    .iter()
+                    .map(|&i| {
+                        let r = slots[i]
+                            .lock()
+                            .expect("result slot lock")
+                            .take()
+                            .expect("sibling item completed before its job");
+                        (i, r)
+                    })
+                    .collect();
+                complete(j, gathered);
+            }
+        };
+
+        let workers = self.workers.min(items.len()).max(1);
+        if workers == 1 {
+            for (i, t) in items.iter().enumerate() {
+                let r = f(i, t);
+                finish_item(i, r);
+            }
+            return vec![items.len() as u64];
+        }
+        let queue = QueryQueue::new(items.len());
+        let chunk = chunk.max(1);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut executed = 0u64;
+                        while let Some(range) = queue.pop_chunk(chunk) {
+                            for i in range {
+                                let r = f(i, &items[i]);
+                                finish_item(i, r);
+                                executed += 1;
+                            }
+                        }
+                        executed
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        })
+    }
 }
 
 impl Default for WorkerPool {
@@ -179,5 +290,101 @@ mod tests {
     fn width_is_clamped_to_one() {
         assert_eq!(WorkerPool::new(0).workers(), 1);
         assert!(WorkerPool::available() >= 1);
+    }
+
+    /// Pipelined-completion semantics under deliberately *skewed* task
+    /// durations — slowest-first, so under any pipelined scheduling the
+    /// first-claimed task finishes last and every fast task's result
+    /// must wait in its slot. The index-ordered output must not depend on
+    /// the worker count or the skew.
+    #[test]
+    fn skewed_slowest_first_durations_stay_deterministic() {
+        let items: Vec<usize> = (0..24).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for workers in [1usize, 2, 4, 8] {
+            let run = WorkerPool::new(workers).run_indexed(&items, 1, |i, &x| {
+                // Task 0 sleeps longest; later tasks are near-instant.
+                let micros = (items.len() - i) as u64 * 300;
+                std::thread::sleep(std::time::Duration::from_micros(micros));
+                x * x
+            });
+            assert_eq!(
+                run.results, expected,
+                "workers {workers}: skewed durations must not reorder results"
+            );
+            assert_eq!(run.per_worker.iter().sum::<u64>(), items.len() as u64);
+        }
+    }
+
+    /// More worker slots than jobs: the pool must clamp its fan-out, so
+    /// `per_worker` never reports more slots than there was work for.
+    #[test]
+    fn per_worker_shape_when_workers_exceed_jobs() {
+        for (workers, jobs) in [(8usize, 3usize), (16, 1), (4, 2)] {
+            let items: Vec<usize> = (0..jobs).collect();
+            let run = WorkerPool::new(workers).run_indexed(&items, 1, |_, &x| x);
+            assert_eq!(run.results, items);
+            assert!(
+                run.per_worker.len() <= jobs,
+                "{workers} workers over {jobs} jobs spawned {} slots",
+                run.per_worker.len()
+            );
+            assert_eq!(run.per_worker.iter().sum::<u64>(), jobs as u64);
+        }
+    }
+
+    #[test]
+    fn pipelined_completion_fires_once_per_job_with_ordered_members() {
+        use std::sync::Mutex;
+        // 10 items over 4 jobs, interleaved membership (i % 4), skewed
+        // slowest-first durations so completion order differs from job
+        // order under parallel scheduling.
+        type Completions = Vec<(usize, Vec<(usize, usize)>)>;
+        let items: Vec<usize> = (0..10).collect();
+        for workers in [1usize, 2, 4, 8] {
+            let completed: Mutex<Completions> = Mutex::new(Vec::new());
+            let per_worker = WorkerPool::new(workers).run_pipelined(
+                &items,
+                1,
+                |i| i % 4,
+                4,
+                |i, &x| {
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        (items.len() - i) as u64 * 200,
+                    ));
+                    x * 10
+                },
+                |job, results| completed.lock().unwrap().push((job, results)),
+            );
+            assert_eq!(per_worker.iter().sum::<u64>(), items.len() as u64);
+            let mut done = completed.into_inner().unwrap();
+            assert_eq!(done.len(), 4, "every job completes exactly once");
+            done.sort_by_key(|(job, _)| *job);
+            for (job, results) in &done {
+                let expect: Vec<(usize, usize)> = (0..items.len())
+                    .filter(|i| i % 4 == *job)
+                    .map(|i| (i, i * 10))
+                    .collect();
+                assert_eq!(results, &expect, "job {job} members in item order");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_jobs_without_items_complete_upfront() {
+        use std::sync::Mutex;
+        let items = [7usize];
+        let completed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        WorkerPool::new(4).run_pipelined(
+            &items,
+            1,
+            |_| 1, // the only item belongs to job 1; jobs 0 and 2 are empty
+            3,
+            |_, &x| x,
+            |job, _| completed.lock().unwrap().push(job),
+        );
+        let done = completed.into_inner().unwrap();
+        // Empty jobs complete first in job order, then the real one.
+        assert_eq!(done, vec![0, 2, 1]);
     }
 }

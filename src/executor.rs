@@ -1,7 +1,7 @@
-//! The parallel drain executor: fans a session's pending walk requests —
+//! The pipelined drain executor: fans a session's pending walk requests —
 //! and, under a multi-device [`Topology`], their per-shard sub-launches —
-//! across a host worker pool with a deterministic, submission-ordered
-//! merge.
+//! across a host worker pool, merging each job the moment its last shard
+//! returns instead of barriering the whole drain.
 //!
 //! [`Session::drain`](crate::session::Session::drain) runs in two phases:
 //!
@@ -13,13 +13,43 @@
 //!    [`PartitionPlan`] out of the session caches (building them on a
 //!    miss). This is the only phase that mutates the session, so the
 //!    caches need no locks.
-//! 2. **Execute** (parallel): the prepared jobs are grouped by
+//! 2. **Execute** (pipelined): the prepared jobs are grouped by
 //!    `(graph id, epoch, device)`, expanded into one launch per shard of
-//!    the session [`Topology`], and fanned across the [`WorkerPool`].
-//!    Each launch is a pure call into [`FlexiWalkerEngine::run_on`] (or
+//!    the session [`Topology`], and fanned across the [`WorkerPool`] via
+//!    [`WorkerPool::run_pipelined`]. Each launch is a pure call into
+//!    [`FlexiWalkerEngine::run_on`] (or
 //!    [`run_on_resident`](FlexiWalkerEngine::run_on_resident), for
 //!    partitioned shards whose devices hold only their partition) over
-//!    its pinned snapshot; nothing here touches shared mutable state.
+//!    its pinned snapshot; the worker that finishes a job's **last**
+//!    shard folds that job's reports immediately, so merge work runs
+//!    concurrently with other jobs' launches instead of serialising
+//!    behind a drain-wide barrier.
+//!
+//! ## Pipeline stages and the merge-ordering invariant
+//!
+//! The executor accounts four host-side stages in
+//! [`flexi_core::StageTiming`]: *prepare* (timed by the
+//! session), *launch*, *merge* and *replay*, plus the *merge tail* — the
+//! merge/replay seconds left after the last launch finished, which the
+//! `pipeline_drain` bench gates on. Determinism survives the pipelining
+//! because of a strict split:
+//!
+//! - **Merges may run anywhere, in any completion order.** A per-job fold
+//!   is a pure function of that job's shard reports, so which worker runs
+//!   it — and when — cannot change its value.
+//! - **Everything order-sensitive happens in submission order.** Merged
+//!   values are gathered back by job index on the calling thread, and all
+//!   drain-level accumulation (migrations, link seconds, block counters —
+//!   f64 sums, where order changes bits) runs there, job by job.
+//! - **Out-of-core replays are funnelled.** They mutate the epoch's
+//!   shared [`ResidentCache`](flexi_core::ResidentCache), so a completing
+//!   worker parks its job's reports and whichever worker holds the replay
+//!   cursor drains every parked job that is next in line — sequential, in
+//!   submission order, overlapping other jobs' launches but never each
+//!   other.
+//!
+//! Output is therefore bit-identical at any worker count, which
+//! `tests/integration_executor.rs` pins across workers {1, 2, 4, 8}.
 //!
 //! ## Shard expansion
 //!
@@ -44,29 +74,33 @@
 //! [`BlockRuntime`] via [`flexi_core::block_schedule`]: walkers pool per
 //! block, the most-pending block activates next, every step is verified
 //! against spilled block data, and the simulated NVMe time of the cache
-//! misses lands on the job's clock. The replay runs on the merging
-//! thread, sequentially in submission order, so cache state — and with
-//! it every counter — is deterministic at any worker count.
+//! misses lands on the job's clock. Replays run through the submission-
+//! order funnel above, so cache state — and with it every counter — is
+//! deterministic at any worker count.
 //!
 //! Per-job shard reports merge shard-major: steps, device activity and
 //! sampler tallies sum; the ensemble clock is the slowest shard plus — for
 //! partitioned topologies — the serialising migration traffic on the
 //! [`LinkSpec`](flexi_core::LinkSpec); [`RunReport::shards`] carries the
-//! per-shard step census, migration count and link seconds. Reports then
-//! merge back **in submission order** as before, so `drain()` output is
-//! bit-identical at any worker count *and* walk-identical across
-//! topologies — which `tests/integration_topology.rs` pins across
-//! `topology ∈ {single, multi(2), partitioned(2, 4)} × workers ∈ {1, 4}`
-//! and epoch splits.
+//! per-shard step census, migration count and link seconds. A job that
+//! runs out of budget *after* the census or the block replay still
+//! charged that simulated work, so its partial [`ShardStats`] /
+//! [`BlockStats`] ride the error path into the drain totals instead of
+//! vanishing with the report. `tests/integration_topology.rs` pins
+//! walk-identity across `topology ∈ {single, multi(2), partitioned(2, 4)}
+//! × workers ∈ {1, 4}` and epoch splits.
 
 use crate::session::Ticket;
 use flexi_core::{
-    block_schedule, migration_census, BlockRuntime, DiskSpec, EngineError, FlexiWalkerEngine,
-    PartitionPlan, PreparedState, RunReport, ShardStats, Topology, WalkRequest, WorkerPool,
+    block_schedule, migration_census, BlockRuntime, BlockStats, DiskSpec, EngineError,
+    FlexiWalkerEngine, PartitionPlan, PreparedState, RunReport, ShardStats, StageTiming, Topology,
+    WalkRequest, WorkerPool,
 };
 use flexi_graph::GraphSnapshot;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Batch grouping key: requests over the same graph version on the same
 /// device form one group and share a pinned snapshot.
@@ -127,12 +161,14 @@ pub struct DrainRun {
     /// under `Topology::Single`).
     pub shard_launches: u64,
     /// Walker migrations across the simulated interconnect, summed over
-    /// the drain's partitioned jobs.
+    /// the drain's partitioned jobs — including jobs whose budget expired
+    /// after the census charged the traffic.
     pub migrations: u64,
     /// Simulated link seconds those migrations cost, summed likewise.
     pub link_seconds: f64,
     /// Blocks read from the spill file, summed over the drain's
-    /// out-of-core jobs.
+    /// out-of-core jobs — including jobs whose budget expired after the
+    /// replay charged the I/O.
     pub block_loads: u64,
     /// Block activations served from the resident cache, summed likewise.
     pub block_hits: u64,
@@ -140,6 +176,15 @@ pub struct DrainRun {
     pub block_evictions: u64,
     /// Simulated disk seconds the block loads cost, summed likewise.
     pub io_seconds: f64,
+    /// Host wall seconds per pipeline stage for this drain's execute
+    /// phase (`prepare_seconds` is zero here; the session fills it from
+    /// its own prepare pass).
+    pub stages: StageTiming,
+    /// Per-job host wall seconds from the start of the execute phase to
+    /// that job's merge completing, in submission order — the pipelined
+    /// completion offset each drained ticket's latency sample is built
+    /// from.
+    pub completion_seconds: Vec<f64>,
 }
 
 /// One schedulable launch: a job index, the shard it stands for, and the
@@ -155,15 +200,40 @@ struct ShardTask {
     resident: Option<usize>,
 }
 
-/// Executes prepared jobs across `workers` host threads and merges the
-/// reports in submission order.
+/// One job's merged outcome, plus any stats the error path would
+/// otherwise drop: `shards`/`blocks` are populated **only** when
+/// `outcome` is `Err` but the job charged real simulated work first
+/// (migration census, block replay) — an `Ok` report carries its own.
+struct MergedJob {
+    outcome: Result<RunReport, EngineError>,
+    shards: Option<ShardStats>,
+    blocks: Option<BlockStats>,
+}
+
+impl MergedJob {
+    fn plain(outcome: Result<RunReport, EngineError>) -> Self {
+        MergedJob {
+            outcome,
+            shards: None,
+            blocks: None,
+        }
+    }
+}
+
+/// Executes prepared jobs across `workers` host threads with pipelined
+/// per-job merges, gathering the reports in submission order.
 ///
 /// Jobs are scheduled group-by-group (requests over the same graph
 /// version run adjacently, for cache locality), expanded into one launch
-/// per topology shard, and each job lands back at its own submission
-/// index, so the output is independent of the grouping, the worker count
-/// and the shard interleaving. `workers == 1` runs inline on the calling
-/// thread — exactly the sequential path.
+/// per topology shard, and fanned across
+/// [`WorkerPool::run_pipelined`]: the worker that returns a job's last
+/// shard merges that job immediately, while out-of-core replays go
+/// through a submission-ordered funnel (they share cache state). Each job
+/// lands back at its own submission index and the drain-level f64
+/// accumulation runs on the calling thread in submission order, so the
+/// output is independent of the grouping, the worker count and the shard
+/// interleaving. `workers == 1` runs launches and merges inline on the
+/// calling thread — exactly the sequential path.
 pub fn execute(
     engine: &FlexiWalkerEngine,
     jobs: Vec<PreparedJob>,
@@ -186,52 +256,161 @@ pub fn execute(
     for &i in &order {
         expand_job(&jobs[i], i, topology, &mut tasks);
     }
+    let shard_launches = tasks.len() as u64;
 
-    let pool = WorkerPool::new(workers);
+    // Shared pipeline state. Merged jobs park in per-job slots (filled by
+    // whichever worker completes them), timing lands in atomics, and the
+    // calling thread gathers everything in submission order afterwards.
+    let t0 = Instant::now();
+    let now = || t0.elapsed().as_nanos() as u64;
+    let merged: Vec<Mutex<Option<MergedJob>>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+    let completion: Vec<AtomicU64> = (0..jobs.len()).map(|_| AtomicU64::new(0)).collect();
+    let launch_nanos = AtomicU64::new(0);
+    let last_launch_end = AtomicU64::new(0);
+    // (start, end, is_replay) per merge/replay, for the stage report.
+    let merge_events: Mutex<Vec<(u64, u64, bool)>> = Mutex::new(Vec::new());
+
+    // The out-of-core replay funnel: completed jobs park their reports,
+    // and whoever holds the cursor replays every parked job that is next
+    // in submission order. `try_lock` keeps non-next workers free to
+    // launch; the post-release recheck closes the race where a job parks
+    // while the cursor holder is on its way out.
+    let funnelled = matches!(topology, Topology::OutOfCore { .. });
+    type Parked = Vec<(usize, Result<RunReport, EngineError>)>;
+    let parked: Vec<Mutex<Option<Parked>>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+    let ready: Vec<AtomicBool> = (0..jobs.len()).map(|_| AtomicBool::new(false)).collect();
+    let cursor = Mutex::new(0usize);
+    let cursor_at = AtomicUsize::new(0);
+
+    let finish = |job: usize, m: MergedJob, start: u64, end: u64, is_replay: bool| {
+        merge_events.lock().unwrap().push((start, end, is_replay));
+        completion[job].store(end, Ordering::Relaxed);
+        *merged[job].lock().unwrap() = Some(m);
+    };
+    let pump = || loop {
+        let Ok(mut cur) = cursor.try_lock() else {
+            // The holder's post-release recheck will pick our job up.
+            return;
+        };
+        while *cur < jobs.len() && ready[*cur].load(Ordering::SeqCst) {
+            let job = *cur;
+            let reports = parked[job]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("a ready job has parked reports");
+            let start = now();
+            let m = replay_out_of_core(&jobs[job], topology, reports);
+            finish(job, m, start, now(), true);
+            *cur += 1;
+        }
+        cursor_at.store(*cur, Ordering::SeqCst);
+        drop(cur);
+        let at = cursor_at.load(Ordering::SeqCst);
+        if at >= jobs.len() || !ready[at].load(Ordering::SeqCst) {
+            return;
+        }
+        // The next job parked between our scan and the unlock; re-enter.
+    };
+
     // Chunk of 1: shard launches are whole walk batches, heavyweight
     // enough that per-task popping balances better than it contends.
-    let run = pool.run_indexed(&tasks, 1, |_, task| {
-        run_task(engine, &jobs[task.job], task, topology)
-    });
+    let per_worker = WorkerPool::new(workers).run_pipelined(
+        &tasks,
+        1,
+        |i| tasks[i].job,
+        jobs.len(),
+        |_, task| {
+            let start = now();
+            let outcome = run_task(engine, &jobs[task.job], task, topology);
+            let end = now();
+            launch_nanos.fetch_add(end - start, Ordering::Relaxed);
+            last_launch_end.fetch_max(end, Ordering::Relaxed);
+            outcome
+        },
+        |job, results| {
+            // Items gather in ascending task order, which is shard order.
+            let reports: Parked = results
+                .into_iter()
+                .map(|(i, outcome)| (tasks[i].shard, outcome))
+                .collect();
+            if funnelled {
+                *parked[job].lock().unwrap() = Some(reports);
+                ready[job].store(true, Ordering::SeqCst);
+                pump();
+            } else {
+                let start = now();
+                let m = merge_shards(engine, &jobs[job], topology, reports);
+                finish(job, m, start, now(), false);
+            }
+        },
+    );
 
-    // Collect each job's shard reports (tasks are contiguous per job and
-    // in shard order, so this is a stable gather).
-    let mut shard_reports: Vec<Vec<(usize, Result<RunReport, EngineError>)>> =
-        (0..jobs.len()).map(|_| Vec::new()).collect();
-    for (task, outcome) in tasks.iter().zip(run.results) {
-        shard_reports[task.job].push((task.shard, outcome));
+    // Stage report: busy seconds per stage, and the unhidden tail — the
+    // merge/replay time left after the drain's last launch finished.
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let last_end = last_launch_end.load(Ordering::Relaxed);
+    let mut merge_seconds = 0.0f64;
+    let mut replay_seconds = 0.0f64;
+    let mut merge_tail_seconds = 0.0f64;
+    for &(start, end, is_replay) in merge_events.lock().unwrap().iter() {
+        let dur = (end - start) as f64 * 1e-9;
+        if is_replay {
+            replay_seconds += dur;
+        } else {
+            merge_seconds += dur;
+        }
+        merge_tail_seconds += end.saturating_sub(start.max(last_end)) as f64 * 1e-9;
     }
+    let stages = StageTiming {
+        prepare_seconds: 0.0, // the session times its own prepare pass
+        launch_seconds: launch_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+        merge_seconds,
+        replay_seconds,
+        merge_tail_seconds,
+        wall_seconds,
+    };
 
-    let shard_launches = tasks.len() as u64;
+    // Submission-order gather on the calling thread: all order-sensitive
+    // accumulation (f64 sums) happens here, never on the workers.
     let mut migrations = 0u64;
     let mut link_seconds = 0.0f64;
     let mut block_loads = 0u64;
     let mut block_hits = 0u64;
     let mut block_evictions = 0u64;
     let mut io_seconds = 0.0f64;
-    let results = jobs
-        .iter()
-        .zip(shard_reports)
-        .map(|(job, reports)| {
-            let merged = merge_job(engine, job, topology, reports);
-            if let Ok(report) = &merged {
-                if let Some(shards) = &report.shards {
-                    migrations += shards.migrations;
-                    link_seconds += shards.link_seconds;
-                }
-                if let Some(blocks) = &report.blocks {
-                    block_loads += blocks.loads;
-                    block_hits += blocks.hits;
-                    block_evictions += blocks.evictions;
-                    io_seconds += blocks.io_seconds;
-                }
-            }
-            (job.ticket, merged)
-        })
-        .collect();
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut completion_seconds = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        let m = merged[i]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("the pipelined drain merges every job");
+        let (shards, blocks) = match &m.outcome {
+            Ok(report) => (report.shards.as_ref(), report.blocks.as_ref()),
+            // The accounting fix: a job whose budget expired *after* the
+            // census or the block replay still charged that simulated
+            // work — its partial stats ride the error path into the
+            // drain totals.
+            Err(_) => (m.shards.as_ref(), m.blocks.as_ref()),
+        };
+        if let Some(s) = shards {
+            migrations += s.migrations;
+            link_seconds += s.link_seconds;
+        }
+        if let Some(b) = blocks {
+            block_loads += b.loads;
+            block_hits += b.hits;
+            block_evictions += b.evictions;
+            io_seconds += b.io_seconds;
+        }
+        completion_seconds.push(completion[i].load(Ordering::Relaxed) as f64 * 1e-9);
+        results.push((job.ticket, m.outcome));
+    }
     DrainRun {
         results,
-        per_worker: run.per_worker,
+        per_worker,
         groups,
         shard_launches,
         migrations,
@@ -240,6 +419,8 @@ pub fn execute(
         block_hits,
         block_evictions,
         io_seconds,
+        stages,
+        completion_seconds,
     }
 }
 
@@ -360,69 +541,36 @@ fn run_task(
     Ok(report)
 }
 
-/// Folds one job's shard reports into its drained [`RunReport`].
+/// Folds one job's shard reports into its drained [`RunReport`] — a pure
+/// per-job function, safe to run on any worker in any completion order.
 ///
 /// Errors surface in shard order (deterministic at any worker count).
 /// Steps, device activity and sampler tallies sum; the ensemble clock is
 /// the slowest shard, plus the migration traffic for partitioned
 /// topologies; paths concatenate in shard order — which, with contiguous
-/// chunks, is exactly submission order.
-fn merge_job(
+/// chunks, is exactly submission order. A budget that expires after the
+/// census charged its link time returns the partial [`ShardStats`]
+/// alongside the error instead of dropping it.
+fn merge_shards(
     engine: &FlexiWalkerEngine,
     job: &PreparedJob,
     topology: Topology,
     reports: Vec<(usize, Result<RunReport, EngineError>)>,
-) -> Result<RunReport, EngineError> {
+) -> MergedJob {
     if matches!(topology, Topology::Single) || job.prepared.is_err() {
         let (_, outcome) = reports
             .into_iter()
             .next()
             .expect("every job launches at least once");
-        return outcome;
-    }
-    if let Topology::OutOfCore {
-        resident_budget,
-        block_bytes,
-    } = topology
-    {
-        let (_, outcome) = reports
-            .into_iter()
-            .next()
-            .expect("every job launches at least once");
-        let mut report = outcome?;
-        // The walk output came from the unified kernel — bit-identical to
-        // `Single` by construction. The block scheduler replays it
-        // against real spilled data (verifying every step) to charge the
-        // run its out-of-core cost: loads, evictions and disk time.
-        let paths = report
-            .paths
-            .take()
-            .expect("out-of-core launches record paths");
-        let rt = match &job.blocks {
-            Some(rt) => Arc::clone(rt),
-            // The session prepare pass always attaches a runtime; build
-            // one defensively for direct executor callers.
-            None => Arc::new(
-                BlockRuntime::build(&job.snap.graph, block_bytes, resident_budget)
-                    .map_err(|e| EngineError::Io(e.to_string()))?,
-            ),
-        };
-        let stats = block_schedule(&paths, &rt, &DiskSpec::nvme())?;
-        report.sim_seconds += stats.io_seconds;
-        report.saturated_seconds += stats.io_seconds;
-        if report.sim_seconds > job.req.config.time_budget {
-            return Err(EngineError::OutOfTime {
-                budget_secs: job.req.config.time_budget,
-            });
-        }
-        report.paths = job.req.config.record_paths.then_some(paths);
-        report.blocks = Some(stats);
-        return Ok(report);
+        return MergedJob::plain(outcome);
     }
     let devices = topology.devices();
     let mut shard_ok: Vec<(usize, RunReport)> = Vec::with_capacity(reports.len());
     for (shard, outcome) in reports {
-        shard_ok.push((shard, outcome?));
+        match outcome {
+            Ok(report) => shard_ok.push((shard, report)),
+            Err(e) => return MergedJob::plain(Err(e)),
+        }
     }
     let record_paths = job.req.config.record_paths;
     let mut per_shard_steps = vec![0u64; devices];
@@ -462,9 +610,20 @@ fn merge_job(
             merged.sim_seconds += link_seconds;
             merged.saturated_seconds += link_seconds;
             if merged.sim_seconds > job.req.config.time_budget {
-                return Err(EngineError::OutOfTime {
-                    budget_secs: job.req.config.time_budget,
-                });
+                // The budget tripped *after* the census: the migrations
+                // and link seconds were charged, so they ride the error.
+                return MergedJob {
+                    outcome: Err(EngineError::OutOfTime {
+                        budget_secs: job.req.config.time_budget,
+                    }),
+                    shards: Some(ShardStats {
+                        shards: devices,
+                        per_shard_steps: census,
+                        migrations,
+                        link_seconds,
+                    }),
+                    blocks: None,
+                };
             }
             (census, migrations, link_seconds)
         }
@@ -477,5 +636,70 @@ fn merge_job(
         migrations,
         link_seconds,
     });
-    Ok(merged)
+    MergedJob::plain(Ok(merged))
+}
+
+/// Replays one out-of-core job's recorded paths through the epoch's
+/// [`BlockRuntime`]. Mutates the shared resident cache, so callers go
+/// through the submission-order funnel — never concurrently.
+///
+/// The walk output came from the unified kernel — bit-identical to
+/// `Single` by construction. The block scheduler replays it against real
+/// spilled data (verifying every step) to charge the run its out-of-core
+/// cost: loads, evictions and disk time. A budget that expires after the
+/// replay charged its I/O returns the partial [`BlockStats`] alongside
+/// the error instead of dropping it.
+fn replay_out_of_core(
+    job: &PreparedJob,
+    topology: Topology,
+    reports: Vec<(usize, Result<RunReport, EngineError>)>,
+) -> MergedJob {
+    let Topology::OutOfCore {
+        resident_budget,
+        block_bytes,
+    } = topology
+    else {
+        unreachable!("the replay funnel only runs under Topology::OutOfCore");
+    };
+    let (_, outcome) = reports
+        .into_iter()
+        .next()
+        .expect("every job launches at least once");
+    let mut report = match outcome {
+        Ok(report) => report,
+        Err(e) => return MergedJob::plain(Err(e)),
+    };
+    let paths = report
+        .paths
+        .take()
+        .expect("out-of-core launches record paths");
+    let rt = match &job.blocks {
+        Some(rt) => Arc::clone(rt),
+        // The session prepare pass always attaches a runtime; build
+        // one defensively for direct executor callers.
+        None => match BlockRuntime::build(&job.snap.graph, block_bytes, resident_budget) {
+            Ok(rt) => Arc::new(rt),
+            Err(e) => return MergedJob::plain(Err(EngineError::Io(e.to_string()))),
+        },
+    };
+    let stats = match block_schedule(&paths, &rt, &DiskSpec::nvme()) {
+        Ok(stats) => stats,
+        Err(e) => return MergedJob::plain(Err(e)),
+    };
+    report.sim_seconds += stats.io_seconds;
+    report.saturated_seconds += stats.io_seconds;
+    if report.sim_seconds > job.req.config.time_budget {
+        // The budget tripped *after* the replay: the loads, evictions
+        // and disk seconds were charged, so they ride the error.
+        return MergedJob {
+            outcome: Err(EngineError::OutOfTime {
+                budget_secs: job.req.config.time_budget,
+            }),
+            shards: None,
+            blocks: Some(stats),
+        };
+    }
+    report.paths = job.req.config.record_paths.then_some(paths);
+    report.blocks = Some(stats);
+    MergedJob::plain(Ok(report))
 }

@@ -117,9 +117,9 @@ pub mod prelude {
         AdmissionPolicy, AdmissionStats, BlockStats, ChurnProfile, CompiledWalker, DiskSpec,
         DynamicWalk, EngineError, FlexiWalkerEngine, IntoQueries, IntoWalker, LatencyHistogram,
         LinkSpec, MetaPath, Node2Vec, PricedCandidate, RunReport, SamplerSelection, SamplerTally,
-        SecondOrderPr, SelectionStrategy, ShardStats, TemporalExp, TemporalLinear, TemporalUniform,
-        Topology, UniformWalk, WalkConfig, WalkEngine, WalkRequest, WalkState, WalkerDef,
-        WalkerHandle, WalkerRegistry, WalkerSource,
+        SecondOrderPr, SelectionStrategy, ShardStats, StageTiming, TemporalExp, TemporalLinear,
+        TemporalUniform, Topology, UniformWalk, WalkConfig, WalkEngine, WalkRequest, WalkState,
+        WalkerDef, WalkerHandle, WalkerRegistry, WalkerSource,
     };
     pub use flexi_gpu_sim::DeviceSpec;
     pub use flexi_graph::{

@@ -435,13 +435,20 @@ pub struct SessionStats {
     /// encode). Under weight-only churn these dominate
     /// [`SessionStats::sampler_state_builds`].
     pub sampler_state_patches: u64,
-    /// Per-request drain latency: every drained request records the host
-    /// wall time of the [`Session::drain`] call that served it (requests
-    /// in one drain complete together, so they share its latency). The
+    /// Per-request drain latency: every drained request records one
+    /// sample — the drain's sequential prepare time plus *that request's
+    /// own* pipelined completion offset (prepare start to its merge
+    /// landing), so a 100-request drain carries 100 samples and requests
+    /// merged early report lower latency than the drain's stragglers. The
     /// serving layer's end-to-end admission-to-response distribution
     /// lives in `ServerStats::serve_latency`; this histogram isolates
     /// the drain-side component.
     pub latency: flexi_core::LatencyHistogram,
+    /// Host wall seconds per executor pipeline stage, accumulated across
+    /// drains: prepare (sequential cache resolution), launch, merge and
+    /// replay busy time, plus the unhidden merge tail (see
+    /// [`flexi_core::StageTiming`]).
+    pub stages: flexi_core::StageTiming,
 }
 
 impl std::fmt::Display for SessionStats {
@@ -486,6 +493,7 @@ impl std::fmt::Display for SessionStats {
             "blocks: {} spilled / {} loaded / {} hit / {} evicted",
             self.block_spills, self.block_loads, self.block_hits, self.block_evictions,
         )?;
+        writeln!(f, "stages: {}", self.stages)?;
         write!(
             f,
             "drain latency: {}  |  per-worker requests: ",
@@ -805,15 +813,24 @@ impl Session {
             .into_iter()
             .map(|(ticket, req)| self.prepare_job(ticket, req, &mut snapshots))
             .collect();
-        // Phase 2 (parallel): pure engine runs — one launch per topology
-        // shard per request — merged in submission order.
+        let prepare_seconds = started.elapsed().as_secs_f64();
+        // Phase 2 (pipelined): pure engine runs — one launch per topology
+        // shard per request — each request merging the moment its last
+        // shard returns, gathered in submission order.
         let run = executor::execute(&self.engine, jobs, self.workers, self.topology);
-        // Requests in one drain complete together: each records the
-        // drain's wall time as its drain-side latency.
+        // One latency sample per drained ticket: the shared prepare pass
+        // plus that request's own pipelined completion offset.
         let drain_seconds = started.elapsed().as_secs_f64();
-        for _ in &run.results {
-            self.stats.latency.record_seconds(drain_seconds);
+        for i in 0..run.results.len() {
+            let completed = run
+                .completion_seconds
+                .get(i)
+                .map_or(drain_seconds, |c| prepare_seconds + c);
+            self.stats.latency.record_seconds(completed);
         }
+        let mut stages = run.stages;
+        stages.prepare_seconds = prepare_seconds;
+        self.stats.stages.add(&stages);
         self.stats.drain_groups += run.groups as u64;
         if run.per_worker.len() > 1 {
             self.stats.parallel_drains += 1;

@@ -239,3 +239,146 @@ fn workers_zero_is_clamped_to_sequential() {
     let session = FlexiWalker::builder().workers(0).build();
     assert_eq!(session.workers(), 1);
 }
+
+/// A budget that expires *between* the shard launches and the merged
+/// total must not lose the migration census: the launches fit the
+/// budget, the census's link seconds push the job over, and the session
+/// still accounts the traffic the simulation charged.
+#[test]
+fn partitioned_timeout_after_census_keeps_migration_stats() {
+    let csr = graph(13);
+    let queries: Vec<NodeId> = (0..32).collect();
+    let run = |budget: Option<f64>| {
+        let mut session = FlexiWalker::builder()
+            .device(DeviceSpec::tiny())
+            .topology(Topology::partitioned(2))
+            .build();
+        let g = session.load_graph(csr.clone());
+        let mut req = WalkRequest::new(&g, "node2vec", queries.clone())
+            .steps(10)
+            .record_paths(true);
+        if let Some(b) = budget {
+            req = req.time_budget(b);
+        }
+        session.submit(req);
+        let mut drained = session.drain();
+        (drained.pop().expect("one ticket").1, session.stats())
+    };
+
+    let (ok, full_stats) = run(None);
+    let report = ok.expect("generous budget succeeds");
+    let shards = report.shards.expect("partitioned run carries shard stats");
+    assert!(shards.migrations > 0, "test premise: walkers must migrate");
+    assert!(shards.link_seconds > 0.0);
+    // The merged simulated time is the slowest shard launch plus the
+    // migration link seconds; a budget between the two passes every
+    // launch but trips the post-census check.
+    let launch_sim = report.sim_seconds - shards.link_seconds;
+    let budget = launch_sim + shards.link_seconds * 0.5;
+
+    let (err, stats) = run(Some(budget));
+    assert!(
+        matches!(err, Err(EngineError::OutOfTime { .. })),
+        "bracketed budget must expire after the census: {err:?}"
+    );
+    // The satellite bugfix under test: the charged census survives the
+    // error path, bit-identical to the successful run's accounting.
+    assert_eq!(stats.migrations, full_stats.migrations);
+    assert_eq!(
+        stats.link_seconds.to_bits(),
+        full_stats.link_seconds.to_bits()
+    );
+}
+
+/// Same invariant on the out-of-core path: a budget that expires after
+/// the block replay charged its disk time must keep the block-cache
+/// counters the replay accumulated.
+#[test]
+fn out_of_core_timeout_after_replay_keeps_block_stats() {
+    let csr = graph(9);
+    let queries: Vec<NodeId> = (0..32).collect();
+    let run = |budget: Option<f64>| {
+        let mut session = FlexiWalker::builder()
+            .device(DeviceSpec::tiny())
+            .topology(Topology::out_of_core(8192, 4096))
+            .build();
+        let g = session.load_graph(csr.clone());
+        let mut req = WalkRequest::new(&g, "node2vec", queries.clone()).steps(8);
+        if let Some(b) = budget {
+            req = req.time_budget(b);
+        }
+        session.submit(req);
+        let mut drained = session.drain();
+        (drained.pop().expect("one ticket").1, session.stats())
+    };
+
+    let (ok, full_stats) = run(None);
+    let report = ok.expect("generous budget succeeds");
+    let blocks = report.blocks.expect("out-of-core run carries block stats");
+    assert!(blocks.loads > 0, "test premise: the replay must touch disk");
+    assert!(blocks.io_seconds > 0.0);
+    let launch_sim = report.sim_seconds - blocks.io_seconds;
+    let budget = launch_sim + blocks.io_seconds * 0.5;
+
+    let (err, stats) = run(Some(budget));
+    assert!(
+        matches!(err, Err(EngineError::OutOfTime { .. })),
+        "bracketed budget must expire after the replay: {err:?}"
+    );
+    assert_eq!(stats.block_loads, full_stats.block_loads);
+    assert_eq!(stats.block_hits, full_stats.block_hits);
+    assert_eq!(stats.block_evictions, full_stats.block_evictions);
+}
+
+/// Every drained ticket records exactly one latency sample, and the
+/// histogram keeps accumulating across drains.
+#[test]
+fn drain_records_one_latency_sample_per_ticket() {
+    let w = UniformWalk;
+    let mut session = FlexiWalker::builder()
+        .device(DeviceSpec::tiny())
+        .workers(4)
+        .build();
+    let g = session.load_graph(graph(19));
+    for chunk in (0..48u32).collect::<Vec<_>>().chunks(8) {
+        session.submit(WalkRequest::new(&g, &w, chunk).steps(4));
+    }
+    let drained = session.drain();
+    assert_eq!(drained.len(), 6);
+    assert_eq!(session.stats().latency.count(), 6);
+
+    for chunk in (0..16u32).collect::<Vec<_>>().chunks(8) {
+        session.submit(WalkRequest::new(&g, &w, chunk).steps(4));
+    }
+    session.drain();
+    let stats = session.stats();
+    assert_eq!(stats.latency.count(), 8);
+    assert!(stats.latency.max() > 0.0);
+}
+
+/// Per-stage timing accumulates with every drain and never claims more
+/// unhidden tail than there was merge-side work.
+#[test]
+fn drain_accumulates_stage_timing() {
+    let w = Node2Vec::paper(true);
+    let mut session = FlexiWalker::builder()
+        .device(DeviceSpec::tiny())
+        .workers(2)
+        .build();
+    let g = session.load_graph(graph(23));
+    for chunk in (0..32u32).collect::<Vec<_>>().chunks(8) {
+        session.submit(WalkRequest::new(&g, &w, chunk).steps(6));
+    }
+    session.drain();
+    let first = session.stats().stages;
+    assert!(first.wall_seconds > 0.0);
+    assert!(first.launch_seconds > 0.0);
+    assert!(first.prepare_seconds > 0.0);
+    assert!(first.merge_tail_seconds <= first.merge_work_seconds() + 1e-9);
+
+    session.submit(WalkRequest::new(&g, &w, (0..8u32).collect::<Vec<_>>()).steps(6));
+    session.drain();
+    let second = session.stats().stages;
+    assert!(second.wall_seconds > first.wall_seconds);
+    assert!(second.launch_seconds > first.launch_seconds);
+}
